@@ -1,0 +1,94 @@
+// Ablation (paper §II-B): the optional HBM crossbar.
+// The crossbar lets every AXI port reach the whole HBM space but costs
+// latency and throughput; the paper disables it and gives each PE a
+// dedicated channel. The cost only shows when a client actually needs the
+// channel's full bandwidth, so this sweep measures
+//   (a) raw channel throughput under saturating linear traffic, and
+//   (b) the bandwidth-hungriest accelerator (NIPS80: ~10 GiB/s per PE,
+//       compute-only) — where the crossbar's effective-bandwidth loss
+//       bites — plus NIPS10 end-to-end, where it does not (slack).
+#include "bench_common.hpp"
+
+#include "spnhbm/sim/process.hpp"
+
+namespace {
+
+using namespace spnhbm;
+
+double raw_channel_throughput(bool crossbar) {
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  hbm::HbmDeviceConfig config;
+  config.crossbar_enabled = crossbar;
+  hbm::HbmDevice device(scheduler, config);
+  runner.spawn([&device]() -> sim::Process {
+    co_await axi::linear_transfer(device.port(0), 0, 64 * kMiB, false);
+  });
+  scheduler.run();
+  runner.check();
+  return static_cast<double>(64 * kMiB) / to_seconds(scheduler.now()) /
+         static_cast<double>(kGiB);
+}
+
+double accel_throughput(const compiler::DatapathModule& module,
+                        const arith::ArithBackend& backend, int pes,
+                        bool crossbar, bool include_transfers) {
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  tapasco::CompositionConfig composition;
+  composition.pe_count = pes;
+  composition.compute_results = false;
+  composition.hbm_crossbar = crossbar;
+  tapasco::Device device(runner, module, backend, composition);
+  runtime::RuntimeConfig config;
+  config.include_transfers = include_transfers;
+  runtime::InferenceRuntime rt(runner, device, module, config);
+  return rt.run(static_cast<std::uint64_t>(pes) * 2'000'000)
+      .samples_per_second;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spnhbm::bench;
+  print_header("Ablation — HBM crossbar on/off",
+               "paper §II-B: the crossbar costs latency and bandwidth, so "
+               "it is disabled and each PE gets a dedicated channel");
+
+  std::printf("\nraw single-channel linear read throughput:\n");
+  Table raw({"config", "GiB/s"});
+  const double direct_raw = raw_channel_throughput(false);
+  const double crossbar_raw = raw_channel_throughput(true);
+  raw.add_row({"direct (no crossbar)", strformat("%.2f", direct_raw)});
+  raw.add_row({"through crossbar", strformat("%.2f", crossbar_raw)});
+  raw.add_row({"penalty",
+               strformat("%.1f%%", (1 - crossbar_raw / direct_raw) * 100)});
+  print_table(raw);
+
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  struct Case {
+    std::size_t size;
+    bool include_transfers;
+    const char* label;
+  };
+  for (const Case c : {Case{80, false, "NIPS80 compute-only (bandwidth-"
+                                       "hungry: crossbar visible)"},
+                       Case{10, true, "NIPS10 end-to-end (bandwidth slack: "
+                                      "crossbar hidden)"}}) {
+    const auto module = compiler::compile_spn(
+        workload::make_nips_model(c.size).spn, *backend);
+    std::printf("\n%s:\n", c.label);
+    Table table({"PEs", "direct [Ms/s]", "crossbar [Ms/s]", "penalty"});
+    for (const int pes : {1, 4, 8}) {
+      const double direct = accel_throughput(module, *backend, pes, false,
+                                             c.include_transfers);
+      const double crossbar = accel_throughput(module, *backend, pes, true,
+                                               c.include_transfers);
+      table.add_row({strformat("%d", pes), msamples(direct),
+                     msamples(crossbar),
+                     strformat("%.1f%%", (1 - crossbar / direct) * 100)});
+    }
+    print_table(table);
+  }
+  return 0;
+}

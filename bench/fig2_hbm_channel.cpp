@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 2: maximum throughput of ONE HBM memory channel
+// under parallel linear reads and writes, as a function of request size,
+// for two attachment configurations:
+//   (a) traffic generator at the native 450 MHz / 256-bit HBM interface;
+//   (b) generator at 225 MHz / 512-bit behind an AXI SmartConnect doing
+//       clock-, width- and protocol-conversion.
+// Expected shape: throughput rises with request size, capping at ~1 MiB
+// around ~12 GiB/s combined, with both configurations on top of each
+// other.
+#include "bench_common.hpp"
+
+#include "spnhbm/axi/smart_connect.hpp"
+#include "spnhbm/hbm/hbm.hpp"
+#include "spnhbm/sim/process.hpp"
+
+namespace spnhbm::bench {
+namespace {
+
+/// One direction of the traffic-generator block: issues linear requests of
+/// `request_bytes` with a descriptor re-arm gap between requests.
+sim::Process traffic_stream(sim::Scheduler& scheduler, axi::AxiPort& port,
+                            std::uint64_t region_base,
+                            std::uint64_t request_bytes, bool is_write,
+                            std::uint64_t total_bytes) {
+  constexpr Picoseconds kRearmGap = microseconds(2);
+  std::uint64_t moved = 0;
+  while (moved < total_bytes) {
+    co_await sim::delay(scheduler, kRearmGap);
+    co_await axi::linear_transfer(port, region_base + (moved % (64 * kMiB)),
+                                  request_bytes, is_write);
+    moved += request_bytes;
+  }
+}
+
+double measure(std::uint64_t request_bytes, bool use_smart_connect) {
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  hbm::HbmChannel channel(scheduler);
+  axi::SmartConnect smart_connect(scheduler, channel.port());
+  axi::AxiPort& port = use_smart_connect
+                           ? static_cast<axi::AxiPort&>(smart_connect)
+                           : static_cast<axi::AxiPort&>(channel.port());
+  const std::uint64_t per_direction = 48 * kMiB;
+  runner.spawn(traffic_stream(scheduler, port, 0, request_bytes, false,
+                              per_direction));
+  runner.spawn(traffic_stream(scheduler, port, 128 * kMiB, request_bytes,
+                              true, per_direction));
+  scheduler.run();
+  runner.check();
+  return static_cast<double>(2 * per_direction) /
+         to_seconds(scheduler.now()) / static_cast<double>(kGiB);
+}
+
+}  // namespace
+}  // namespace spnhbm::bench
+
+int main() {
+  using namespace spnhbm;
+  using namespace spnhbm::bench;
+  print_header("Fig. 2 — single HBM channel throughput vs request size",
+               "parallel linear read+write; paper plateau: ~12 GiB/s "
+               "combined at >= 1 MiB requests, both configs equal");
+
+  Table table({"request size", "native 450MHz/256b [GiB/s]",
+               "SmartConnect 225MHz/512b [GiB/s]", "delta"});
+  for (const std::uint64_t request :
+       {4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB}) {
+    const double native = measure(request, false);
+    const double converted = measure(request, true);
+    table.add_row({format_bytes(request), strformat("%.2f", native),
+                   strformat("%.2f", converted),
+                   strformat("%+.1f%%", (converted / native - 1.0) * 100)});
+  }
+  print_table(table);
+  std::printf(
+      "\npaper reference: plateau ~12 GiB/s reached at 1 MiB requests; the\n"
+      "half-clock/double-width SmartConnect attachment matches the native\n"
+      "attachment within measurement noise (paper Fig. 2).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Micro-benchmarks (google-benchmark) of the bit-accurate arithmetic
+// kernels — the software-model cost of the operators the datapath
+// generator instantiates.
+#include <benchmark/benchmark.h>
+
+#include "spnhbm/arith/backend.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace {
+
+using namespace spnhbm;
+
+std::vector<std::uint64_t> random_operands(const arith::ArithBackend& backend,
+                                           std::size_t count) {
+  Rng rng(42);
+  std::vector<std::uint64_t> operands(count);
+  for (auto& bits : operands) {
+    bits = backend.encode(rng.next_uniform(0.01, 1.0));
+  }
+  return operands;
+}
+
+void BM_CfpMul(benchmark::State& state) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto ops = random_operands(*backend, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend->mul(ops[i % 1024], ops[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CfpMul);
+
+void BM_CfpAdd(benchmark::State& state) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto ops = random_operands(*backend, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend->add(ops[i % 1024], ops[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CfpAdd);
+
+void BM_LnsMul(benchmark::State& state) {
+  const auto backend = arith::make_lns_backend(arith::paper_lns_format());
+  const auto ops = random_operands(*backend, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend->mul(ops[i % 1024], ops[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_LnsMul);
+
+void BM_LnsAdd(benchmark::State& state) {
+  const auto backend = arith::make_lns_backend(arith::paper_lns_format());
+  const auto ops = random_operands(*backend, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend->add(ops[i % 1024], ops[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_LnsAdd);
+
+void BM_CfpEncode(benchmark::State& state) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  Rng rng(7);
+  std::vector<double> values(1024);
+  for (auto& v : values) v = rng.next_uniform(0.001, 1.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->encode(values[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CfpEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Micro-benchmarks (google-benchmark) of the host-side runtime components:
+// the device memory manager (hot allocate/free path taken per sub-job) and
+// the native CPU inference engine (baseline throughput on this machine).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "spnhbm/baselines/cpu_engine.hpp"
+#include "spnhbm/runtime/memory_manager.hpp"
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace {
+
+using namespace spnhbm;
+
+void BM_MemoryManagerAllocFree(benchmark::State& state) {
+  runtime::DeviceMemoryManager manager(1, 256ull << 20);
+  for (auto _ : state) {
+    const auto a = manager.allocate(0, 10 << 20);
+    const auto b = manager.allocate(0, 2 << 20);
+    manager.free(0, a);
+    manager.free(0, b);
+  }
+}
+BENCHMARK(BM_MemoryManagerAllocFree);
+
+void BM_MemoryManagerFragmented(benchmark::State& state) {
+  runtime::DeviceMemoryManager manager(1, 256ull << 20);
+  // Build a fragmented arena first.
+  std::vector<std::uint64_t> held;
+  for (int i = 0; i < 128; ++i) held.push_back(manager.allocate(0, 1 << 20));
+  for (std::size_t i = 0; i < held.size(); i += 2) manager.free(0, held[i]);
+  for (auto _ : state) {
+    const auto address = manager.allocate(0, 512 << 10);
+    manager.free(0, address);
+  }
+  for (std::size_t i = 1; i < held.size(); i += 2) manager.free(0, held[i]);
+}
+BENCHMARK(BM_MemoryManagerFragmented);
+
+void BM_ReferenceEvaluator(benchmark::State& state) {
+  const auto model =
+      workload::make_nips_model(static_cast<std::size_t>(state.range(0)));
+  spn::Evaluator evaluator(model.spn);
+  Rng rng(5);
+  std::vector<double> sample(model.variables);
+  for (auto& v : sample) v = static_cast<double>(rng.next_below(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(sample));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReferenceEvaluator)->Arg(10)->Arg(40)->Arg(80);
+
+void BM_CpuEngineBatch(benchmark::State& state) {
+  const auto model =
+      workload::make_nips_model(static_cast<std::size_t>(state.range(0)));
+  const auto backend = arith::make_float64_backend();
+  const auto module = compiler::compile_spn(model.spn, *backend);
+  baselines::CpuInferenceEngine engine(
+      module, std::max(1u, std::thread::hardware_concurrency()));
+  Rng rng(5);
+  const std::size_t count = 8192;
+  std::vector<std::uint8_t> samples(count * model.variables);
+  for (auto& b : samples) b = static_cast<std::uint8_t>(rng.next_below(256));
+  std::vector<double> results(count);
+  for (auto _ : state) {
+    engine.infer(samples, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_CpuEngineBatch)->Arg(10)->Arg(80);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Reproduces paper Table I: resource utilisation of four-accelerator
+// designs, this work ("New": CFP datapaths on the HBM platform, hardened
+// memory controllers) versus the prior work "[8]" (float64 datapaths on
+// AWS F1 with soft DDR4 controllers), for NIPS10..NIPS40, plus the
+// device "Available" row. Published values are printed alongside.
+#include "bench_common.hpp"
+
+#include "spnhbm/fpga/resource_model.hpp"
+
+namespace {
+
+struct PaperRow {
+  std::size_t size;
+  double new_lut, old_lut;
+  double new_lutmem, old_lutmem;
+  double new_regs, old_regs;
+  double new_bram, old_bram;
+  double new_dsp, old_dsp;
+};
+
+// Table I of the paper, verbatim.
+constexpr PaperRow kPaperRows[] = {
+    {10, 169.8, 376.0, 66.9, 45.4, 275.1, 530.2, 122, 360, 200, 612},
+    {20, 180.5, 467.0, 69.6, 54.4, 320.7, 650.6, 126, 388, 448, 1356},
+    {30, 230.9, 577.3, 70.4, 62.6, 354.4, 765.4, 122, 364, 696, 2100},
+    {40, 241.2, 664.1, 72.9, 75.1, 401.6, 907.1, 132, 380, 976, 2940},
+};
+
+}  // namespace
+
+int main() {
+  using namespace spnhbm;
+  using namespace spnhbm::bench;
+  print_header("Table I — resource utilisation, 4-PE designs",
+               "New = this work (CFP + HBM), [8] = prior work (float64 + "
+               "soft DDR on F1); 'paper' columns are the published values");
+
+  const auto cfp = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto f64 = arith::make_float64_backend();
+
+  Table table({"Example", "resource", "New (sim)", "New (paper)", "[8] (sim)",
+               "[8] (paper)"});
+  for (const auto& row : kPaperRows) {
+    const auto model = workload::make_nips_model(row.size);
+    const auto module_new = compiler::compile_spn(model.spn, *cfp);
+    const auto module_old = compiler::compile_spn(model.spn, *f64);
+    const auto design_new = fpga::estimate_design(
+        module_new, arith::FormatKind::kCfp,
+        fpga::DesignSpec{fpga::Platform::kHbmXupVvh, 4, 1});
+    const auto design_old = fpga::estimate_design(
+        module_old, arith::FormatKind::kFloat64,
+        fpga::DesignSpec{fpga::Platform::kF1, 4, 4});
+    const std::string name = strformat("NIPS%zu", row.size);
+    table.add_row({name, "kLUT logic", strformat("%.1f", design_new.kluts_logic),
+                   strformat("%.1f", row.new_lut),
+                   strformat("%.1f", design_old.kluts_logic),
+                   strformat("%.1f", row.old_lut)});
+    table.add_row({name, "kLUT mem", strformat("%.1f", design_new.kluts_mem),
+                   strformat("%.1f", row.new_lutmem),
+                   strformat("%.1f", design_old.kluts_mem),
+                   strformat("%.1f", row.old_lutmem)});
+    table.add_row({name, "kRegs", strformat("%.1f", design_new.kregs),
+                   strformat("%.1f", row.new_regs),
+                   strformat("%.1f", design_old.kregs),
+                   strformat("%.1f", row.old_regs)});
+    table.add_row({name, "BRAM", strformat("%.0f", design_new.bram36),
+                   strformat("%.0f", row.new_bram),
+                   strformat("%.0f", design_old.bram36),
+                   strformat("%.0f", row.old_bram)});
+    table.add_row({name, "DSP", strformat("%.0f", design_new.dsp),
+                   strformat("%.0f", row.new_dsp),
+                   strformat("%.0f", design_old.dsp),
+                   strformat("%.0f", row.old_dsp)});
+  }
+  const auto vu37p = fpga::vu37p_budget();
+  const auto vu9p = fpga::f1_vu9p_budget();
+  table.add_row({"Available", "kLUT logic", strformat("%.1f", vu37p.kluts_logic),
+                 "1304.0", strformat("%.1f", vu9p.kluts_logic), "1182.0"});
+  table.add_row({"Available", "DSP", strformat("%.0f", vu37p.dsp), "9024",
+                 strformat("%.0f", vu9p.dsp), "6840"});
+  print_table(table);
+
+  // The headline claims of §V-A.
+  const auto nips80 = workload::make_nips_model(80);
+  const auto module80_new = compiler::compile_spn(nips80.spn, *cfp);
+  const auto module80_old = compiler::compile_spn(nips80.spn, *f64);
+  std::printf(
+      "\nreplication: NIPS80 fits %d PEs on the HBM platform (paper: 8) vs "
+      "%d PEs on F1 (paper: 2)\n",
+      fpga::max_placeable_pes(module80_new, arith::FormatKind::kCfp,
+                              fpga::Platform::kHbmXupVvh),
+      fpga::max_placeable_pes(module80_old, arith::FormatKind::kFloat64,
+                              fpga::Platform::kF1));
+  return 0;
+}

@@ -1,0 +1,104 @@
+// End-to-end NIPS workload: train a Mixed SPN on the synthetic NIPS
+// bag-of-words corpus (the paper's benchmark recipe), check its structure
+// against the device, and race the 8-PE HBM design against the prior-work
+// F1 configuration and the native CPU baseline on this machine.
+//
+//   ./build/examples/nips_end_to_end [variables=20]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "spnhbm/baselines/cpu_engine.hpp"
+#include "spnhbm/fpga/resource_model.hpp"
+#include "spnhbm/runtime/inference_runtime.hpp"
+#include "spnhbm/workload/bag_of_words.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spnhbm;
+  const std::size_t variables =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
+
+  // 1. Learn the model from the corpus (LearnSPN on synthetic NIPS data).
+  const auto model = workload::make_nips_model(variables);
+  std::printf("learned %s: %s\n", model.name.c_str(),
+              spn::compute_stats(model.spn).describe().c_str());
+
+  // 2. Compile and size the design.
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compiler::compile_spn(model.spn, *backend);
+  const int max_pes = fpga::max_placeable_pes(module, arith::FormatKind::kCfp,
+                                              fpga::Platform::kHbmXupVvh);
+  const auto design = fpga::estimate_design(
+      module, arith::FormatKind::kCfp,
+      fpga::DesignSpec{fpga::Platform::kHbmXupVvh, max_pes, 1});
+  std::printf("design: %d PEs, %s\n", max_pes, design.describe().c_str());
+
+  // 3. Simulated HBM run (end-to-end, transfers included).
+  {
+    sim::Scheduler scheduler;
+    sim::ProcessRunner runner(scheduler);
+    tapasco::CompositionConfig composition;
+    composition.pe_count = max_pes;
+    composition.compute_results = false;
+    tapasco::Device device(runner, module, *backend, composition);
+    runtime::InferenceRuntime rt(runner, device, module);
+    const auto stats = rt.run(static_cast<std::uint64_t>(max_pes) * 2'000'000);
+    std::printf("HBM x%d (simulated): %s\n", max_pes,
+                stats.describe().c_str());
+  }
+
+  // 4. Prior-work F1 configuration for contrast.
+  {
+    const auto f64 = arith::make_float64_backend();
+    const auto module_f64 = compiler::compile_spn(model.spn, *f64);
+    const int f1_pes = std::min(
+        fpga::max_placeable_pes(module_f64, arith::FormatKind::kFloat64,
+                                fpga::Platform::kF1),
+        4);
+    sim::Scheduler scheduler;
+    sim::ProcessRunner runner(scheduler);
+    tapasco::CompositionConfig composition;
+    composition.platform = fpga::Platform::kF1;
+    composition.pe_count = f1_pes;
+    composition.memory_channels = f1_pes;
+    tapasco::Device device(runner, module_f64, *f64, composition);
+    runtime::RuntimeConfig config;
+    config.threads_per_pe = 2;
+    runtime::InferenceRuntime rt(runner, device, module_f64, config);
+    const auto stats = rt.run(static_cast<std::uint64_t>(f1_pes) * 1'000'000);
+    std::printf("F1 x%d [8] (simulated): %s\n", f1_pes,
+                stats.describe().c_str());
+  }
+
+  // 5. Native CPU baseline, measured for real on this machine.
+  {
+    const auto f64 = arith::make_float64_backend();
+    const auto module_f64 = compiler::compile_spn(model.spn, *f64);
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+    baselines::CpuInferenceEngine engine(module_f64, cores);
+    const double rate = engine.measure_throughput(200'000);
+    std::printf("CPU x%u threads (native, this machine): %s\n", cores,
+                format_rate(rate).c_str());
+  }
+
+  // 6. Functional spot check on real corpus documents.
+  {
+    workload::CorpusConfig corpus;
+    corpus.documents = 4;
+    corpus.vocabulary = variables;
+    const auto docs = workload::make_bag_of_words(corpus);
+    sim::Scheduler scheduler;
+    sim::ProcessRunner runner(scheduler);
+    tapasco::CompositionConfig composition;
+    tapasco::Device device(runner, module, *backend, composition);
+    runtime::InferenceRuntime rt(runner, device, module);
+    const auto results = rt.infer(docs.to_bytes());
+    std::printf("\njoint probabilities of %zu real documents:\n",
+                results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::printf("  doc %zu: %.6e\n", i, results[i]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The in-network streaming variant (paper §V-D, citing [7]): instead of
+// buffering batches in HBM behind a PCIe DMA, the SPN accelerators sit in
+// a 100G network pipeline and process samples at line rate — no memory
+// accesses at all. The paper uses this to put the HBM architecture's
+// efficiency in context: for NIPS80, 99.078 Gbit/s of line rate bounds
+// inference at 140.7 Msamples/s, and the HBM design's measured 116.6
+// Msamples/s is ~83% of that ceiling despite paying for PCIe and HBM.
+//
+// This example *simulates* the streaming pipeline (ingress link ->
+// replicated datapaths -> egress link) per benchmark, simulates the HBM
+// design's end-to-end rate, and prints the comparison.
+//
+//   ./build/examples/streaming_network
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "spnhbm/network/streaming.hpp"
+#include "spnhbm/runtime/inference_runtime.hpp"
+#include "spnhbm/util/strings.hpp"
+#include "spnhbm/util/table.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+int main() {
+  using namespace spnhbm;
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+
+  Table table({"benchmark", "B/sample (wire)", "replicas",
+               "streaming sim [Ms/s]", "ceiling [Ms/s]",
+               "HBM end-to-end [Ms/s]", "HBM vs streaming"});
+  for (const std::size_t size : workload::nips_benchmark_sizes()) {
+    const auto model = workload::make_nips_model(size);
+    const auto module = compiler::compile_spn(model.spn, *backend);
+
+    // Streaming pipeline: replicate datapaths until the 100G wire, not
+    // the datapath, is the limit ([7]'s "reasonable degree of
+    // replication").
+    network::StreamingConfig stream_config;
+    {
+      network::LinkConfig link;
+      const double per_replica =
+          fpga::cal::kPeClockHz /
+          compiler::DatapathModule::initiation_interval();
+      const double by_link =
+          Bandwidth::gbit_per_second(99.078).as_bytes_per_second() /
+          static_cast<double>(model.total_bytes_per_sample());
+      stream_config.replicas = static_cast<std::size_t>(
+          std::max(1.0, std::ceil(by_link / per_replica)));
+    }
+    sim::Scheduler stream_scheduler;
+    sim::ProcessRunner stream_runner(stream_scheduler);
+    network::StreamingPipeline pipeline(stream_runner, module, stream_config);
+    const double streaming =
+        pipeline.run(2'000'000).samples_per_second;
+    const double ceiling = pipeline.line_rate_ceiling();
+
+    // Simulated HBM design (largest placeable).
+    const int pes = fpga::max_placeable_pes(module, arith::FormatKind::kCfp,
+                                            fpga::Platform::kHbmXupVvh);
+    sim::Scheduler scheduler;
+    sim::ProcessRunner runner(scheduler);
+    tapasco::CompositionConfig composition;
+    composition.pe_count = pes;
+    composition.compute_results = false;
+    tapasco::Device device(runner, module, *backend, composition);
+    runtime::InferenceRuntime rt(runner, device, module);
+    const double hbm =
+        rt.run(static_cast<std::uint64_t>(pes) * 1'500'000).samples_per_second;
+
+    table.add_row({model.name,
+                   strformat("%llu", static_cast<unsigned long long>(
+                                         pipeline.wire_bytes_per_sample())),
+                   strformat("%zu", stream_config.replicas),
+                   strformat("%.1f", streaming / 1e6),
+                   strformat("%.1f", ceiling / 1e6),
+                   strformat("%.1f", hbm / 1e6),
+                   strformat("%.0f%%", hbm / streaming * 100)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\npaper reference (NIPS80): streaming ceiling 140.7 Ms/s vs measured\n"
+      "116.6 Ms/s on the HBM design (~17%% streaming advantage); the\n"
+      "streaming variant targets datacenter-scale deployments, the\n"
+      "HBM+PCIe design smaller setups without 100G infrastructure (§V-D).\n");
+  return 0;
+}

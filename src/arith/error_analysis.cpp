@@ -1,0 +1,66 @@
+#include "spnhbm/arith/error_analysis.hpp"
+
+#include <cmath>
+
+#include "spnhbm/arith/backend.hpp"
+
+namespace spnhbm::arith {
+
+double relative_error(double x, double reference) {
+  if (reference == 0.0) return x == 0.0 ? 0.0 : std::fabs(x);
+  return std::fabs(x - reference) / std::fabs(reference);
+}
+
+ErrorReport roundtrip_error(const ArithBackend& backend,
+                            const std::vector<double>& reference_values) {
+  ErrorReport report;
+  double relative_sum = 0.0;
+  for (double reference : reference_values) {
+    const double decoded = backend.decode(backend.encode(reference));
+    const double abs_err = std::fabs(decoded - reference);
+    const double rel_err = relative_error(decoded, reference);
+    report.max_absolute = std::max(report.max_absolute, abs_err);
+    report.max_relative = std::max(report.max_relative, rel_err);
+    relative_sum += rel_err;
+    ++report.samples;
+  }
+  if (report.samples > 0) {
+    report.mean_relative = relative_sum / static_cast<double>(report.samples);
+  }
+  return report;
+}
+
+ErrorReport accumulation_error(
+    const ArithBackend& backend,
+    const std::vector<std::vector<double>>& chains) {
+  ErrorReport report;
+  double relative_sum = 0.0;
+  // sum over chains of (product over chain values): the canonical SPN
+  // bottom-up shape (mixture of factorisations).
+  std::uint64_t accumulator = backend.encode(0.0);
+  double reference_accumulator = 0.0;
+  for (const auto& chain : chains) {
+    std::uint64_t product = backend.encode(1.0);
+    double reference_product = 1.0;
+    for (double value : chain) {
+      product = backend.mul(product, backend.encode(value));
+      reference_product *= value;
+    }
+    accumulator = backend.add(accumulator, product);
+    reference_accumulator += reference_product;
+
+    const double decoded = backend.decode(accumulator);
+    const double abs_err = std::fabs(decoded - reference_accumulator);
+    const double rel_err = relative_error(decoded, reference_accumulator);
+    report.max_absolute = std::max(report.max_absolute, abs_err);
+    report.max_relative = std::max(report.max_relative, rel_err);
+    relative_sum += rel_err;
+    ++report.samples;
+  }
+  if (report.samples > 0) {
+    report.mean_relative = relative_sum / static_cast<double>(report.samples);
+  }
+  return report;
+}
+
+}  // namespace spnhbm::arith

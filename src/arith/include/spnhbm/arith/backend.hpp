@@ -1,0 +1,68 @@
+// Uniform interface over the number formats the datapath generator supports.
+//
+// The compiler picks a backend (CFP, LNS, or float64 for reference/baseline
+// designs); the datapath executor then evaluates every sum/product operator
+// through this interface, bit-accurately in the chosen format. Latencies
+// feed the pipeline scheduler; resource costs live in the FPGA cost model
+// (`spnhbm/fpga/resource_model.hpp`), keyed by `kind()`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "spnhbm/arith/cfp.hpp"
+#include "spnhbm/arith/lns.hpp"
+#include "spnhbm/arith/posit.hpp"
+
+namespace spnhbm::arith {
+
+enum class FormatKind { kFloat64, kCfp, kLns, kPosit };
+
+const char* format_kind_name(FormatKind kind);
+
+class ArithBackend {
+ public:
+  virtual ~ArithBackend() = default;
+
+  virtual FormatKind kind() const = 0;
+  virtual std::string describe() const = 0;
+  /// Storage width of one value in bits.
+  virtual int width_bits() const = 0;
+
+  virtual std::uint64_t encode(double value) const = 0;
+  virtual double decode(std::uint64_t bits) const = 0;
+  virtual std::uint64_t add(std::uint64_t a, std::uint64_t b) const = 0;
+  virtual std::uint64_t mul(std::uint64_t a, std::uint64_t b) const = 0;
+
+  /// Pipeline latency of the operator in PE clock cycles (feeds the
+  /// datapath scheduler; values follow the FCCM'20 / FPT'19 operator
+  /// implementations).
+  virtual int add_latency_cycles() const = 0;
+  virtual int mul_latency_cycles() const = 0;
+
+  /// Smallest representable positive value (for underflow analyses).
+  virtual double min_positive() const = 0;
+};
+
+/// IEEE double reference backend (models the prior-work [8] datapaths,
+/// which used double-precision Vivado floating-point cores).
+std::unique_ptr<ArithBackend> make_float64_backend();
+
+std::unique_ptr<ArithBackend> make_cfp_backend(CfpFormat format);
+
+std::unique_ptr<ArithBackend> make_lns_backend(LnsFormat format);
+
+std::unique_ptr<ArithBackend> make_posit_backend(PositFormat format);
+
+/// The CFP configuration the paper adopts from [4] for its datapaths
+/// (unsigned, 8-bit exponent / 22-bit mantissa, round-to-nearest-even).
+CfpFormat paper_cfp_format();
+
+/// The LNS configuration from [11] (8 integer / 22 fraction bits, 2^11 LUT).
+LnsFormat paper_lns_format();
+
+/// The PACoGen posit configuration evaluated in [4] (posit<32,2>).
+PositFormat paper_posit_format();
+
+}  // namespace spnhbm::arith

@@ -1,0 +1,72 @@
+// Custom Floating Point (CFP) arithmetic.
+//
+// Bit-accurate software model of the FPGA-optimised floating-point format
+// from Sommer et al., "Comparison of Arithmetic Number Formats for Inference
+// in Sum-Product Networks on FPGAs" (FCCM 2020), which the paper uses inside
+// the generated SPN datapaths:
+//   * configurable exponent and mantissa widths,
+//   * optional sign bit (SPN probabilities are non-negative, so the SPN
+//     datapath configuration omits it),
+//   * no subnormals (flush to zero), no NaN/Inf (saturate to the largest
+//     finite value on overflow),
+//   * round-to-nearest-even or truncation.
+//
+// Operations are implemented with exact integer significand arithmetic and a
+// guard/round/sticky rounding step, so results match what the RTL operators
+// produce — re-rounding double results would introduce double-rounding
+// differences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::arith {
+
+enum class Rounding { kNearestEven, kTruncate };
+
+struct CfpFormat {
+  int exponent_bits = 8;
+  int mantissa_bits = 23;
+  bool has_sign = false;
+  Rounding rounding = Rounding::kNearestEven;
+
+  int total_bits() const {
+    return exponent_bits + mantissa_bits + (has_sign ? 1 : 0);
+  }
+  int bias() const { return (1 << (exponent_bits - 1)) - 1; }
+  int max_exponent_field() const { return (1 << exponent_bits) - 1; }
+
+  void validate() const {
+    SPNHBM_REQUIRE(exponent_bits >= 2 && exponent_bits <= 16,
+                   "CFP exponent width out of range");
+    SPNHBM_REQUIRE(mantissa_bits >= 1 && mantissa_bits <= 52,
+                   "CFP mantissa width out of range");
+    SPNHBM_REQUIRE(total_bits() <= 64, "CFP format exceeds 64 bits");
+  }
+
+  std::string describe() const;
+};
+
+/// Encodes `value` into the format's bit pattern (rounding as configured).
+/// Negative inputs in an unsigned format clamp to zero.
+std::uint64_t cfp_encode(const CfpFormat& format, double value);
+
+/// Decodes a bit pattern to double (exact: double is strictly wider).
+double cfp_decode(const CfpFormat& format, std::uint64_t bits);
+
+/// Bit-accurate addition. Unsigned formats: plain magnitude addition.
+/// Signed formats: full add/sub with sign resolution.
+std::uint64_t cfp_add(const CfpFormat& format, std::uint64_t a, std::uint64_t b);
+
+/// Bit-accurate multiplication.
+std::uint64_t cfp_mul(const CfpFormat& format, std::uint64_t a, std::uint64_t b);
+
+/// Largest finite value's bit pattern (saturation target).
+std::uint64_t cfp_max_value(const CfpFormat& format);
+
+/// Smallest positive normal value as a double (underflow threshold).
+double cfp_min_positive(const CfpFormat& format);
+
+}  // namespace spnhbm::arith

@@ -1,0 +1,33 @@
+// Numeric error analysis helpers for comparing reduced-precision formats
+// against the double-precision reference — used by the format-ablation
+// benchmark (DESIGN.md §5.4) and the arithmetic property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spnhbm::arith {
+
+class ArithBackend;
+
+struct ErrorReport {
+  double max_absolute = 0.0;
+  double max_relative = 0.0;
+  double mean_relative = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Relative error |x - reference| / |reference| (0 when both are zero).
+double relative_error(double x, double reference);
+
+/// Round-trips every reference value through the backend and accumulates
+/// encode/decode error statistics.
+ErrorReport roundtrip_error(const ArithBackend& backend,
+                            const std::vector<double>& reference_values);
+
+/// Evaluates sum(product chains) in the backend vs double and reports the
+/// accumulated error — a proxy for SPN bottom-up evaluation error.
+ErrorReport accumulation_error(const ArithBackend& backend,
+                               const std::vector<std::vector<double>>& chains);
+
+}  // namespace spnhbm::arith

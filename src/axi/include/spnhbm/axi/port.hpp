@@ -1,0 +1,42 @@
+// AXI burst-level timing abstractions.
+//
+// The simulation models AXI at *burst transaction* granularity: a unit
+// issues a read or write burst against a port and co_awaits its
+// completion. Data movement is purely timing here; functional contents
+// live in the memory device's backing store (back-door accessed by the
+// host/DMA models), exactly like the split between a bus-functional model
+// and a memory model in RTL verification.
+#pragma once
+
+#include <cstdint>
+
+#include "spnhbm/sim/task.hpp"
+#include "spnhbm/util/units.hpp"
+
+namespace spnhbm::axi {
+
+struct BurstRequest {
+  std::uint64_t address = 0;
+  std::uint32_t bytes = 0;
+  bool is_write = false;
+};
+
+/// Abstract AXI subordinate (memory-side) port.
+class AxiPort {
+ public:
+  virtual ~AxiPort() = default;
+
+  /// Completes when the last beat of the burst has been transferred.
+  virtual sim::Task<void> transfer(BurstRequest request) = 0;
+
+  /// Largest single burst the port accepts (AXI4: 256 beats).
+  virtual std::uint32_t max_burst_bytes() const = 0;
+};
+
+/// Splits an arbitrarily large linear transfer into maximal bursts and
+/// issues them back-to-back against `port` (one outstanding — callers that
+/// want multiple outstanding bursts pipeline several of these).
+sim::Task<void> linear_transfer(AxiPort& port, std::uint64_t address,
+                                std::uint64_t bytes, bool is_write);
+
+}  // namespace spnhbm::axi

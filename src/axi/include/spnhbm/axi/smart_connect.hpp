@@ -1,0 +1,65 @@
+// AXI SmartConnect and register-slice timing models.
+//
+// The paper runs the SPN accelerators at 225 MHz with a 512-bit interface
+// and uses an AXI SmartConnect for the clock- (225<->450 MHz), width-
+// (512<->256 bit) and protocol- (AXI4<->AXI3) conversion towards the HBM
+// port. The key measured property (paper Fig. 2) is that the conversion
+// adds *latency* but preserves *throughput*: the token rate
+// 512 bit x 225 MHz equals 256 bit x 450 MHz. These models therefore add
+// per-burst latency (and split bursts down to the downstream maximum) while
+// leaving occupancy to the downstream port.
+#pragma once
+
+#include "spnhbm/axi/port.hpp"
+#include "spnhbm/sim/scheduler.hpp"
+
+namespace spnhbm::axi {
+
+struct SmartConnectConfig {
+  /// Pipeline latency through the converter, both directions combined.
+  Picoseconds conversion_latency = nanoseconds(55);
+  /// Downstream burst cap after protocol conversion (AXI3: 16 beats of
+  /// 32 B at the HBM port = 512 B... the HBM controller linearises longer
+  /// bursts itself, so the effective cap is 4 KiB as in the RTL flow).
+  std::uint32_t max_burst_bytes = 4096;
+};
+
+class SmartConnect final : public AxiPort {
+ public:
+  SmartConnect(sim::Scheduler& scheduler, AxiPort& downstream,
+               SmartConnectConfig config = {});
+
+  sim::Task<void> transfer(BurstRequest request) override;
+  std::uint32_t max_burst_bytes() const override {
+    return config_.max_burst_bytes;
+  }
+
+ private:
+  sim::Scheduler& scheduler_;
+  AxiPort& downstream_;
+  SmartConnectConfig config_;
+};
+
+struct RegisterSliceConfig {
+  /// One pipeline stage each way at the attached clock.
+  Picoseconds latency = nanoseconds(5);
+};
+
+/// Register slice: pure latency, inserted for routability (paper §IV-A).
+class RegisterSlice final : public AxiPort {
+ public:
+  RegisterSlice(sim::Scheduler& scheduler, AxiPort& downstream,
+                RegisterSliceConfig config = {});
+
+  sim::Task<void> transfer(BurstRequest request) override;
+  std::uint32_t max_burst_bytes() const override {
+    return downstream_.max_burst_bytes();
+  }
+
+ private:
+  sim::Scheduler& scheduler_;
+  AxiPort& downstream_;
+  RegisterSliceConfig config_;
+};
+
+}  // namespace spnhbm::axi

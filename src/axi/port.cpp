@@ -1,0 +1,22 @@
+#include "spnhbm/axi/port.hpp"
+
+#include <algorithm>
+
+namespace spnhbm::axi {
+
+sim::Task<void> linear_transfer(AxiPort& port, std::uint64_t address,
+                                std::uint64_t bytes, bool is_write) {
+  const std::uint32_t burst_cap = port.max_burst_bytes();
+  SPNHBM_REQUIRE(burst_cap > 0, "port reports zero burst size");
+  std::uint64_t remaining = bytes;
+  std::uint64_t cursor = address;
+  while (remaining > 0) {
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, burst_cap));
+    co_await port.transfer(BurstRequest{cursor, chunk, is_write});
+    cursor += chunk;
+    remaining -= chunk;
+  }
+}
+
+}  // namespace spnhbm::axi

@@ -1,0 +1,33 @@
+#include "spnhbm/axi/smart_connect.hpp"
+
+#include <algorithm>
+
+namespace spnhbm::axi {
+
+SmartConnect::SmartConnect(sim::Scheduler& scheduler, AxiPort& downstream,
+                           SmartConnectConfig config)
+    : scheduler_(scheduler), downstream_(downstream), config_(config) {
+  config_.max_burst_bytes =
+      std::min(config_.max_burst_bytes, downstream.max_burst_bytes());
+}
+
+sim::Task<void> SmartConnect::transfer(BurstRequest request) {
+  SPNHBM_REQUIRE(request.bytes <= config_.max_burst_bytes,
+                 "burst exceeds SmartConnect cap");
+  // Width/clock/protocol conversion pipeline: latency only. The token rate
+  // is conserved by construction (512 b x 225 MHz == 256 b x 450 MHz), so
+  // occupancy is wholly determined by the downstream port.
+  co_await sim::delay(scheduler_, config_.conversion_latency);
+  co_await downstream_.transfer(request);
+}
+
+RegisterSlice::RegisterSlice(sim::Scheduler& scheduler, AxiPort& downstream,
+                             RegisterSliceConfig config)
+    : scheduler_(scheduler), downstream_(downstream), config_(config) {}
+
+sim::Task<void> RegisterSlice::transfer(BurstRequest request) {
+  co_await sim::delay(scheduler_, config_.latency);
+  co_await downstream_.transfer(request);
+}
+
+}  // namespace spnhbm::axi

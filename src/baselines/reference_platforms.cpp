@@ -1,0 +1,75 @@
+#include "spnhbm/baselines/reference_platforms.hpp"
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::baselines {
+
+double PlatformCurve::at(std::size_t benchmark_size) const {
+  for (const auto& [size, rate] : samples_per_second) {
+    if (size == benchmark_size) return rate;
+  }
+  throw Error("no reference data for this benchmark size");
+}
+
+PlatformCurve paper_hbm_curve() {
+  // NIPS10 and NIPS80: published absolutes (§V-B, §V-C). NIPS20/30/40:
+  // 85% of the 11.64 GiB/s aggregate DMA rate over (N + 8) bytes/sample —
+  // the paper's own bottleneck arithmetic (85% matches both anchors:
+  // 614.7M is 88.5% of the 18 B cap, 116.6M is 82% of the 88 B cap).
+  return PlatformCurve{
+      "HBM (paper)",
+      "published absolutes + published DMA-bound interpolation",
+      {{10, 614.7e6},
+       {20, 379.5e6},
+       {30, 279.6e6},
+       {40, 221.4e6},
+       {80, 116.6e6}}};
+}
+
+PlatformCurve xeon_e5_2680v3_curve() {
+  // HBM(paper) divided by per-benchmark speedups chosen to satisfy every
+  // published constraint: CPU wins NIPS10 (speedup < 1), 1.21x at NIPS20
+  // (stated), 2.46x max at NIPS80 (stated), geometric mean 1.6x (stated).
+  // Chosen speedups: {0.88, 1.21, 1.85, 2.16, 2.46} -> geo-mean 1.5995.
+  return PlatformCurve{"Xeon E5-2680 v3",
+                       "reconstructed from published speedups (geo 1.6x)",
+                       {{10, 698.5e6},
+                        {20, 313.6e6},
+                        {30, 151.1e6},
+                        {40, 102.5e6},
+                        {80, 47.4e6}}};
+}
+
+PlatformCurve tesla_v100_curve() {
+  // Speedups {5.5, 6.5, 7.0, 7.5, 8.4} -> geo-mean 6.91x, max 8.4x at
+  // NIPS80 (both stated). The V100 loses because batch-wise SPN inference
+  // is memory-bound with low arithmetic intensity and pays kernel-launch
+  // plus PCIe overheads per batch (§V-D).
+  return PlatformCurve{"Tesla V100",
+                       "reconstructed from published speedups (geo 6.9x)",
+                       {{10, 111.8e6},
+                        {20, 58.4e6},
+                        {30, 39.9e6},
+                        {40, 29.5e6},
+                        {80, 13.881e6}}};
+}
+
+PlatformCurve aws_f1_curve() {
+  // Speedups {1.22, 1.25, 1.28, 1.22, 1.50} -> geo-mean 1.29x ("close to
+  // the geo.-mean ... for almost all examples"), 1.50x at NIPS80 (stated:
+  // the prior work fit only two NIPS80 PEs).
+  return PlatformCurve{"AWS F1 [8]",
+                       "reconstructed from published speedups (geo 1.29x)",
+                       {{10, 503.9e6},
+                        {20, 303.6e6},
+                        {30, 218.4e6},
+                        {40, 181.5e6},
+                        {80, 77.7e6}}};
+}
+
+std::vector<PlatformCurve> all_reference_curves() {
+  return {paper_hbm_curve(), aws_f1_curve(), xeon_e5_2680v3_curve(),
+          tesla_v100_curve()};
+}
+
+}  // namespace spnhbm::baselines

@@ -1,0 +1,29 @@
+// Binary serialisation of compiled datapath modules.
+//
+// Plays the role of the bitstream/artifact cache in the real toolflow:
+// a compiled (lowered + scheduled) design can be written to disk and
+// loaded back without re-running the compiler, e.g. to ship a model-zoo
+// design next to its SPN description. The format is a little-endian
+// tagged container with a magic/version header and explicit counts — a
+// truncated or corrupted file fails loudly with ParseError, never
+// silently.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spnhbm/compiler/datapath.hpp"
+
+namespace spnhbm::compiler {
+
+/// Serialises the module to a binary stream.
+void save_design(const DatapathModule& module, std::ostream& out);
+
+/// Deserialises a module; throws ParseError on malformed input.
+DatapathModule load_design(std::istream& in);
+
+/// File-path conveniences.
+void save_design_file(const DatapathModule& module, const std::string& path);
+DatapathModule load_design_file(const std::string& path);
+
+}  // namespace spnhbm::compiler

@@ -1,0 +1,39 @@
+#include "spnhbm/ddr/ddr.hpp"
+
+namespace spnhbm::ddr {
+
+DdrChannel::DdrChannel(sim::Scheduler& scheduler, DdrChannelConfig config)
+    : scheduler_(scheduler),
+      config_(config),
+      occupancy_(scheduler, 1),
+      port_(*this) {
+  SPNHBM_REQUIRE(config_.bytes_per_transfer > 0, "transfer width positive");
+}
+
+sim::Task<void> DdrChannel::access(axi::BurstRequest request) {
+  SPNHBM_REQUIRE(request.bytes > 0 && request.bytes <= config_.max_burst_bytes,
+                 "burst size out of range");
+  SPNHBM_REQUIRE(request.address + request.bytes <= config_.capacity_bytes,
+                 "access beyond channel capacity");
+  co_await occupancy_.acquire();
+  const double bytes_per_second =
+      config_.mega_transfers_per_second * 1e6 * config_.bytes_per_transfer;
+  Picoseconds time = static_cast<Picoseconds>(
+      static_cast<double>(request.bytes) / bytes_per_second *
+      static_cast<double>(kPicosecondsPerSecond));
+  time += config_.burst_overhead;
+  if (request.is_write != last_was_write_) time += config_.turnaround;
+  last_was_write_ = request.is_write;
+  time += static_cast<Picoseconds>(static_cast<double>(time) *
+                                   config_.refresh_overhead);
+  busy_time_ += time;
+  if (request.is_write) {
+    bytes_written_ += request.bytes;
+  } else {
+    bytes_read_ += request.bytes;
+  }
+  co_await sim::delay(scheduler_, time);
+  occupancy_.release();
+}
+
+}  // namespace spnhbm::ddr

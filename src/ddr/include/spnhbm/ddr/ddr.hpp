@@ -1,0 +1,79 @@
+// Off-chip DDR4 SDRAM channel model — the memory system of the prior-work
+// AWS F1 architecture [8] that this paper replaces with HBM.
+//
+// Differences from the HBM channel that matter to the reproduction:
+//   * one soft memory controller per channel, implemented in FPGA logic
+//     (the resource cost that limited [8] to 4 channels / hurt timing
+//     closure — accounted in fpga/resource_model);
+//   * a single wide channel (64 bit @ 2133 MT/s) shared by however many
+//     PEs are bound to it, instead of one independent channel per PE;
+//   * slightly worse efficiency (longer tRFC on 8 Gb parts, bank-group
+//     turnaround on shared access streams).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "spnhbm/axi/port.hpp"
+#include "spnhbm/sim/channel.hpp"
+#include "spnhbm/sim/scheduler.hpp"
+
+namespace spnhbm::ddr {
+
+struct DdrChannelConfig {
+  /// DDR4-2133, 64-bit: 8 bytes x 2133 MT/s = 17.064 GB/s raw.
+  double mega_transfers_per_second = 2133.0;
+  std::uint32_t bytes_per_transfer = 8;
+  std::uint64_t capacity_bytes = 16ull * 1024 * 1024 * 1024;
+  std::uint32_t max_burst_bytes = 4096;
+  Picoseconds burst_overhead = nanoseconds(35);
+  Picoseconds turnaround = nanoseconds(25);
+  double refresh_overhead = 0.055;
+};
+
+class DdrChannel {
+ public:
+  DdrChannel(sim::Scheduler& scheduler, DdrChannelConfig config = {});
+
+  const DdrChannelConfig& config() const { return config_; }
+  sim::Task<void> access(axi::BurstRequest request);
+  axi::AxiPort& port() { return port_; }
+
+  /// Raw pin bandwidth.
+  Bandwidth raw_bandwidth() const {
+    return Bandwidth::bytes_per_second(config_.mega_transfers_per_second *
+                                       1e6 *
+                                       config_.bytes_per_transfer);
+  }
+
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  Picoseconds busy_time() const { return busy_time_; }
+
+ private:
+  class PortAdapter final : public axi::AxiPort {
+   public:
+    explicit PortAdapter(DdrChannel& channel) : channel_(channel) {}
+    sim::Task<void> transfer(axi::BurstRequest request) override {
+      return channel_.access(request);
+    }
+    std::uint32_t max_burst_bytes() const override {
+      return channel_.config_.max_burst_bytes;
+    }
+
+   private:
+    DdrChannel& channel_;
+  };
+
+  sim::Scheduler& scheduler_;
+  DdrChannelConfig config_;
+  sim::Resource occupancy_;
+  PortAdapter port_;
+  bool last_was_write_ = false;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  Picoseconds busy_time_ = 0;
+};
+
+}  // namespace spnhbm::ddr

@@ -1,0 +1,125 @@
+// Cycle-calibrated simulation of one SPN accelerator core (paper Fig. 3).
+//
+// Units modelled, at burst granularity in virtual time:
+//   * Load Unit      — issues AXI4 read bursts against the attached memory
+//                      port and feeds the Sample Buffer;
+//   * Sample Buffer  — bounded FIFO of input samples (back-pressures the
+//                      Load Unit, exactly like the RTL FIFO);
+//   * SPN Datapath   — the compiled pipelined operator graph; consumes one
+//                      sample per PE cycle (II = 1) after the pipeline
+//                      fill; modelled analytically within a burst, which is
+//                      exact for a linear-rate pipeline;
+//   * Result Buffer  — packs 64-bit results into 512-bit words;
+//   * Store Unit     — writes result bursts back to memory.
+//
+// Control happens through an AXI4-Lite register file with 64-bit address
+// registers (the paper's HBM adaptation) and two execution modes: normal
+// inference and configuration read-out (paper §IV-B).
+//
+// The functional path is real: in `compute_results` mode the core reads
+// input bytes from the memory's backing store, evaluates every sample
+// bit-accurately through the datapath's arithmetic backend, and writes the
+// results back — so end-to-end runs produce checkable probabilities.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "spnhbm/axi/port.hpp"
+#include "spnhbm/compiler/datapath.hpp"
+#include "spnhbm/fpga/calibration.hpp"
+#include "spnhbm/hbm/hbm.hpp"
+#include "spnhbm/sim/channel.hpp"
+#include "spnhbm/sim/process.hpp"
+
+namespace spnhbm::fpga {
+
+/// AXI4-Lite register map (64-bit registers, paper §III-B).
+enum class Reg : std::uint32_t {
+  kControl = 0x00,      ///< write 1: start inference, write 2: config mode
+  kStatus = 0x08,       ///< bit 0: busy, bit 1: done
+  kInputAddress = 0x10,  ///< device address of the input samples
+  kOutputAddress = 0x18,  ///< device address for the results
+  kSampleCount = 0x20,
+  kReturnValue = 0x28,  ///< config mode result
+};
+
+/// Config-mode selectors (written to kSampleCount before starting mode 2).
+enum class ConfigQuery : std::uint64_t {
+  kInputFeatures = 0,
+  kPipelineDepth = 1,
+  kInterfaceBytes = 2,
+  kClockHz = 3,
+};
+
+struct AcceleratorConfig {
+  ClockDomain clock{cal::kPeClockHz};
+  std::uint32_t interface_bytes = cal::kPeInterfaceBytes;
+  std::uint32_t load_burst_bytes = cal::kLoadBurstBytes;
+  std::size_t sample_fifo_samples = cal::kSampleFifoSamples;
+  std::size_t result_fifo_results = cal::kResultFifoResults;
+  /// Evaluate samples functionally (off for timing-only sweeps).
+  bool compute_results = true;
+};
+
+class SpnAccelerator {
+ public:
+  /// `data_port` is the timing path to memory; `backing` (optional) is the
+  /// functional backing store behind that port.
+  SpnAccelerator(sim::ProcessRunner& runner,
+                 const compiler::DatapathModule& module,
+                 const arith::ArithBackend& backend, axi::AxiPort& data_port,
+                 hbm::HbmChannel* backing, AcceleratorConfig config = {});
+
+  // --- AXI4-Lite access ------------------------------------------------
+  void write_register(Reg reg, std::uint64_t value);
+  std::uint64_t read_register(Reg reg) const;
+
+  /// Completes when the current job finishes (level-triggered: returns
+  /// immediately if idle).
+  sim::Task<void> wait_done();
+
+  bool busy() const { return busy_; }
+  const AcceleratorConfig& config() const { return config_; }
+  const compiler::DatapathModule& module() const { return module_; }
+
+  /// Samples processed over the accelerator's lifetime.
+  std::uint64_t samples_processed() const { return samples_processed_; }
+
+ private:
+  struct BurstToken {
+    std::uint64_t samples = 0;
+    bool last = false;
+  };
+
+  void start_inference();
+  void run_config_query();
+  sim::Process job_process();
+  sim::Process load_unit(std::uint64_t input_address, std::uint64_t samples);
+  sim::Process datapath_unit(std::uint64_t samples);
+  sim::Process store_unit(std::uint64_t output_address, std::uint64_t samples);
+  void evaluate_block(std::uint64_t input_address,
+                      std::uint64_t output_address, std::uint64_t samples);
+
+  sim::ProcessRunner& runner_;
+  const compiler::DatapathModule& module_;
+  const arith::ArithBackend& backend_;
+  axi::AxiPort& data_port_;
+  hbm::HbmChannel* backing_;
+  AcceleratorConfig config_;
+
+  // Register file.
+  std::uint64_t input_address_ = 0;
+  std::uint64_t output_address_ = 0;
+  std::uint64_t sample_count_ = 0;
+  std::uint64_t return_value_ = 0;
+  bool busy_ = false;
+  bool done_ = true;
+
+  std::unique_ptr<sim::Fifo<BurstToken>> sample_buffer_;
+  std::unique_ptr<sim::Fifo<BurstToken>> result_buffer_;
+  sim::Notify done_notify_;
+  std::uint64_t samples_processed_ = 0;
+};
+
+}  // namespace spnhbm::fpga

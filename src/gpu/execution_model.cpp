@@ -1,0 +1,54 @@
+#include "spnhbm/gpu/execution_model.hpp"
+
+namespace spnhbm::gpu {
+
+GpuExecutionModel::GpuExecutionModel(GpuModelConfig config)
+    : config_(config) {
+  SPNHBM_REQUIRE(config_.batch_samples > 0, "batch must be positive");
+  SPNHBM_REQUIRE(config_.elementwise_efficiency > 0 &&
+                     config_.gather_efficiency > 0,
+                 "efficiencies must be positive");
+}
+
+GpuBatchBreakdown GpuExecutionModel::batch_breakdown(
+    const compiler::DatapathModule& module,
+    std::uint64_t batch_samples) const {
+  const auto ops = static_cast<double>(module.ops().size());
+  const auto gathers = static_cast<double>(
+      module.count_ops(compiler::OpKind::kHistogramLookup));
+  const double elementwise = ops - gathers;
+  const auto batch = static_cast<double>(batch_samples);
+
+  GpuBatchBreakdown breakdown;
+  breakdown.launch_time = static_cast<Picoseconds>(
+      ops * static_cast<double>(config_.kernel_launch_overhead));
+  const double dram = config_.dram_bandwidth.as_bytes_per_second();
+  breakdown.gather_time = static_cast<Picoseconds>(
+      gathers * batch * config_.bytes_per_op_per_sample /
+      (dram * config_.gather_efficiency) *
+      static_cast<double>(kPicosecondsPerSecond));
+  breakdown.elementwise_time = static_cast<Picoseconds>(
+      elementwise * batch * config_.bytes_per_op_per_sample /
+      (dram * config_.elementwise_efficiency) *
+      static_cast<double>(kPicosecondsPerSecond));
+  const double transfer_bytes =
+      batch * (static_cast<double>(module.input_features()) + 8.0);
+  breakdown.transfer_time = static_cast<Picoseconds>(
+      transfer_bytes / config_.pcie.as_bytes_per_second() *
+      static_cast<double>(kPicosecondsPerSecond));
+  return breakdown;
+}
+
+double GpuExecutionModel::throughput(const compiler::DatapathModule& module,
+                                     std::uint64_t batch_samples) const {
+  const auto breakdown = batch_breakdown(module, batch_samples);
+  return static_cast<double>(batch_samples) /
+         to_seconds(breakdown.total());
+}
+
+double GpuExecutionModel::throughput(
+    const compiler::DatapathModule& module) const {
+  return throughput(module, config_.batch_samples);
+}
+
+}  // namespace spnhbm::gpu

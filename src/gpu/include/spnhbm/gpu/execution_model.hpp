@@ -1,0 +1,79 @@
+// Mechanistic V100 execution model for the GPU baseline.
+//
+// The paper's GPU numbers come from [8], whose baseline evaluates the SPN
+// with SPFlow's TensorFlow backend: every SPN node becomes a separate
+// batched kernel (gather for histogram leaves, elementwise mul/add for
+// inner nodes) writing its intermediate column back to HBM2. That
+// execution style — not the V100's raw FLOPs — is why the GPU loses: per
+// batch it pays
+//   * one kernel launch per operator (launch latency dominates for big
+//     graphs),
+//   * a full DRAM round-trip per operator column (low arithmetic
+//     intensity; histogram gathers additionally uncoalesced),
+//   * PCIe transfers for inputs and results.
+//
+// This model prices exactly those three mechanisms. It reproduces the
+// reconstructed V100 curve within ~25% across the NIPS zoo and, more
+// importantly, *explains* it (see bench/gpu_baseline_model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spnhbm/compiler/datapath.hpp"
+#include "spnhbm/util/units.hpp"
+
+namespace spnhbm::gpu {
+
+struct GpuModelConfig {
+  std::string name = "Tesla V100 (SPFlow/TF execution)";
+  /// HBM2 stream bandwidth after ECC (measured-class, not datasheet).
+  Bandwidth dram_bandwidth = Bandwidth::gb_per_second(790.0);
+  /// DRAM efficiency of coalesced elementwise kernels.
+  double elementwise_efficiency = 0.80;
+  /// DRAM efficiency of uncoalesced histogram gathers.
+  double gather_efficiency = 0.26;
+  /// Bytes moved per operator per sample (read operands + write column).
+  double bytes_per_op_per_sample = 16.0;
+  /// Kernel launch + framework dispatch latency per operator.
+  Picoseconds kernel_launch_overhead = microseconds(12);
+  /// PCIe 3.0 x16 effective transfer rate.
+  Bandwidth pcie = Bandwidth::gbit_per_second(100.0);
+  /// Samples per batch (large batches amortise launches; bounded by
+  /// device memory for the intermediate columns).
+  std::uint64_t batch_samples = 512 * 1024;
+};
+
+struct GpuBatchBreakdown {
+  Picoseconds launch_time = 0;
+  Picoseconds gather_time = 0;
+  Picoseconds elementwise_time = 0;
+  Picoseconds transfer_time = 0;
+  Picoseconds total() const {
+    return launch_time + gather_time + elementwise_time + transfer_time;
+  }
+};
+
+class GpuExecutionModel {
+ public:
+  explicit GpuExecutionModel(GpuModelConfig config = {});
+
+  const GpuModelConfig& config() const { return config_; }
+
+  /// Time for one batch of the compiled graph.
+  GpuBatchBreakdown batch_breakdown(const compiler::DatapathModule& module,
+                                    std::uint64_t batch_samples) const;
+
+  /// Steady-state end-to-end throughput (samples/s) at the configured
+  /// batch size.
+  double throughput(const compiler::DatapathModule& module) const;
+
+  /// Throughput with an explicit batch size (for the batch-size sweep).
+  double throughput(const compiler::DatapathModule& module,
+                    std::uint64_t batch_samples) const;
+
+ private:
+  GpuModelConfig config_;
+};
+
+}  // namespace spnhbm::gpu

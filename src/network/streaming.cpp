@@ -1,0 +1,134 @@
+#include "spnhbm/network/streaming.hpp"
+
+#include <algorithm>
+
+namespace spnhbm::network {
+
+NetworkLink::NetworkLink(sim::Scheduler& scheduler, LinkConfig config)
+    : scheduler_(scheduler), config_(config), wire_(scheduler, 1) {
+  SPNHBM_REQUIRE(config_.frame_payload_bytes > 0, "empty frames");
+}
+
+sim::Task<void> NetworkLink::send(std::uint64_t payload_bytes) {
+  SPNHBM_REQUIRE(payload_bytes > 0, "empty transmission");
+  std::uint64_t remaining = payload_bytes;
+  while (remaining > 0) {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(remaining, config_.frame_payload_bytes);
+    const std::uint64_t on_wire = chunk + config_.frame_overhead_bytes;
+    co_await wire_.acquire();
+    payload_bytes_ += chunk;
+    wire_bytes_ += on_wire;
+    co_await sim::delay(scheduler_, config_.line_rate.transfer_time(on_wire));
+    wire_.release();
+    remaining -= chunk;
+  }
+}
+
+StreamingPipeline::StreamingPipeline(sim::ProcessRunner& runner,
+                                     const compiler::DatapathModule& module,
+                                     StreamingConfig config)
+    : runner_(runner), module_(module), config_(config) {
+  SPNHBM_REQUIRE(config_.replicas >= 1, "need at least one datapath replica");
+  auto& scheduler = runner.scheduler();
+  ingress_ = std::make_unique<NetworkLink>(scheduler, config_.link);
+  egress_ = std::make_unique<NetworkLink>(scheduler, config_.link);
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    replica_queues_.push_back(
+        std::make_unique<sim::Fifo<FrameToken>>(scheduler, 4));
+  }
+  egress_queue_ = std::make_unique<sim::Fifo<FrameToken>>(
+      scheduler, 4 * config_.replicas);
+}
+
+double StreamingPipeline::line_rate_ceiling() const {
+  const double by_link = ingress_->goodput().as_bytes_per_second() /
+                         static_cast<double>(wire_bytes_per_sample());
+  const double by_datapath =
+      static_cast<double>(config_.replicas) * config_.clock.frequency_hz() /
+      compiler::DatapathModule::initiation_interval();
+  return std::min(by_link, by_datapath);
+}
+
+sim::Process StreamingPipeline::ingress_process(std::uint64_t total_samples) {
+  const std::uint64_t wire_per_sample = wire_bytes_per_sample();
+  const std::uint64_t samples_per_frame = std::max<std::uint64_t>(
+      1, config_.link.frame_payload_bytes / wire_per_sample);
+  std::uint64_t sent = 0;
+  std::size_t next_replica = 0;
+  while (sent < total_samples) {
+    const std::uint64_t batch =
+        std::min<std::uint64_t>(samples_per_frame, total_samples - sent);
+    co_await ingress_->send(batch * wire_per_sample);
+    co_await replica_queues_[next_replica]->put(FrameToken{batch});
+    next_replica = (next_replica + 1) % replica_queues_.size();
+    sent += batch;
+  }
+}
+
+sim::Process StreamingPipeline::replica_process(std::size_t index) {
+  auto& scheduler = runner_.scheduler();
+  auto& queue = *replica_queues_[index];
+  bool first = true;
+  for (;;) {
+    const FrameToken token = co_await queue.get();
+    if (token.samples == 0) break;  // poison pill
+    if (first) {
+      co_await sim::delay(scheduler,
+                          config_.clock.cycles(module_.pipeline_depth()));
+      first = false;
+    }
+    co_await sim::delay(
+        scheduler,
+        config_.clock.cycles(static_cast<std::int64_t>(token.samples)));
+    co_await egress_queue_->put(token);
+  }
+}
+
+sim::Process StreamingPipeline::egress_process(std::uint64_t total_samples) {
+  std::uint64_t done = 0;
+  while (done < total_samples) {
+    const FrameToken token = co_await egress_queue_->get();
+    co_await egress_->send(token.samples * 8);  // 64-bit results
+    done += token.samples;
+  }
+}
+
+StreamingStats StreamingPipeline::run(std::uint64_t total_samples) {
+  SPNHBM_REQUIRE(total_samples > 0, "nothing to stream");
+  auto& scheduler = runner_.scheduler();
+  const Picoseconds start = scheduler.now();
+  const std::uint64_t wire_before = ingress_->wire_bytes_sent();
+
+  std::vector<sim::Process> replicas;
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    replicas.push_back(runner_.spawn(replica_process(r)));
+  }
+  sim::Process ingress = runner_.spawn(ingress_process(total_samples));
+  sim::Process egress = runner_.spawn(egress_process(total_samples));
+  scheduler.run();
+  runner_.check();
+  SPNHBM_REQUIRE(ingress.done() && egress.done(),
+                 "streaming pipeline did not drain");
+  // Stop the replica loops.
+  for (auto& queue : replica_queues_) {
+    const bool delivered = queue->try_put(FrameToken{0});
+    SPNHBM_REQUIRE(delivered, "replica queue jammed at shutdown");
+  }
+  scheduler.run();
+  runner_.check();
+
+  StreamingStats stats;
+  stats.samples = total_samples;
+  stats.elapsed = scheduler.now() - start;
+  stats.samples_per_second =
+      static_cast<double>(total_samples) / to_seconds(stats.elapsed);
+  const double wire_seconds = config_.link.line_rate.transfer_time(
+                                  ingress_->wire_bytes_sent() - wire_before) /
+                              static_cast<double>(kPicosecondsPerSecond);
+  stats.ingress_utilisation =
+      wire_seconds / to_seconds(stats.elapsed);
+  return stats;
+}
+
+}  // namespace spnhbm::network

@@ -1,0 +1,66 @@
+#include "spnhbm/pcie/pcie.hpp"
+
+namespace spnhbm::pcie {
+
+PcieGeneration pcie_generation(int generation) {
+  switch (generation) {
+    case 3:
+      return {3, Bandwidth::gb_per_second(15.754),
+              Bandwidth::gbit_per_second(100.0)};  // 11.64 GiB/s
+    case 4:
+      return {4, Bandwidth::gb_per_second(31.508),
+              Bandwidth::gib_per_second(23.0)};
+    case 5:
+      return {5, Bandwidth::gb_per_second(63.015),
+              Bandwidth::gib_per_second(46.0)};
+    case 6:
+      return {6, Bandwidth::gb_per_second(126.03),
+              Bandwidth::gib_per_second(92.0)};
+    default:
+      throw Error("unsupported PCIe generation");
+  }
+}
+
+DmaEngineConfig dma_config_for_generation(int generation) {
+  DmaEngineConfig config;
+  config.engine_bandwidth = pcie_generation(generation).practical;
+  return config;
+}
+
+DmaEngine::DmaEngine(sim::Scheduler& scheduler, DmaEngineConfig config)
+    : scheduler_(scheduler),
+      config_(config),
+      engine_(scheduler, 1),
+      failure_rng_(config.failure_seed) {
+  SPNHBM_REQUIRE(config_.failure_rate >= 0.0 && config_.failure_rate < 1.0,
+                 "failure rate must be in [0, 1)");
+}
+
+sim::Task<void> DmaEngine::transfer(std::uint64_t bytes, Direction direction) {
+  SPNHBM_REQUIRE(bytes > 0, "empty DMA transfer");
+  // Setup (descriptor + doorbell): latency only, overlappable across
+  // transfers.
+  co_await sim::delay(scheduler_, config_.setup_latency);
+  co_await engine_.acquire();
+  const Picoseconds occupancy =
+      config_.engine_bandwidth.transfer_time(bytes) +
+      config_.per_transfer_overhead;
+  busy_time_ += occupancy;
+  ++transfers_;
+  if (direction == Direction::kHostToDevice) {
+    bytes_to_device_ += bytes;
+  } else {
+    bytes_to_host_ += bytes;
+  }
+  co_await sim::delay(scheduler_, occupancy);
+  engine_.release();
+  if (config_.failure_rate > 0.0 &&
+      failure_rng_.next_double() < config_.failure_rate) {
+    // The transfer consumed engine time but delivered a CRC/abort error;
+    // the host driver must re-queue it.
+    ++failed_transfers_;
+    throw DmaError("transfer aborted (injected fault)");
+  }
+}
+
+}  // namespace spnhbm::pcie

@@ -1,0 +1,90 @@
+// Thread-safe device memory manager with per-HBM-channel address regions.
+//
+// TaPaSCo's memory-management API cannot split the device address space
+// into distinct regions, so the paper's runtime brings its own manager
+// (§IV-B): each HBM channel is an independent allocation arena, and
+// allocation/free are safe to call from any host thread.
+//
+// Implementation: classic first-fit free list with immediate coalescing,
+// 64-byte alignment (one 512-bit interface beat).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::runtime {
+
+class DeviceMemoryManager {
+ public:
+  DeviceMemoryManager(std::size_t channels, std::uint64_t capacity_per_channel);
+
+  static constexpr std::uint64_t kAlignment = 64;
+
+  /// Allocates `bytes` in `channel`'s region; returns the device address.
+  /// Throws DeviceMemoryError when no sufficient free block exists.
+  std::uint64_t allocate(std::size_t channel, std::uint64_t bytes);
+
+  /// Frees a previous allocation (exact address required).
+  void free(std::size_t channel, std::uint64_t address);
+
+  std::uint64_t capacity_per_channel() const { return capacity_; }
+  std::uint64_t bytes_free(std::size_t channel) const;
+  std::uint64_t bytes_allocated(std::size_t channel) const;
+  /// Largest single allocation currently possible in the channel.
+  std::uint64_t largest_free_block(std::size_t channel) const;
+  std::size_t channels() const { return arenas_.size(); }
+
+ private:
+  struct Arena {
+    // free blocks: address -> size, address-ordered for coalescing
+    std::map<std::uint64_t, std::uint64_t> free_blocks;
+    // live allocations: address -> size
+    std::map<std::uint64_t, std::uint64_t> allocations;
+  };
+
+  Arena& arena(std::size_t channel);
+  const Arena& arena(std::size_t channel) const;
+
+  std::uint64_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Arena> arenas_;
+};
+
+/// RAII allocation handle.
+class DeviceBuffer {
+ public:
+  DeviceBuffer(DeviceMemoryManager& manager, std::size_t channel,
+               std::uint64_t bytes)
+      : manager_(&manager),
+        channel_(channel),
+        address_(manager.allocate(channel, bytes)),
+        bytes_(bytes) {}
+  ~DeviceBuffer() {
+    if (manager_ != nullptr) manager_->free(channel_, address_);
+  }
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : manager_(other.manager_),
+        channel_(other.channel_),
+        address_(other.address_),
+        bytes_(other.bytes_) {
+    other.manager_ = nullptr;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(DeviceBuffer&&) = delete;
+
+  std::uint64_t address() const { return address_; }
+  std::uint64_t size() const { return bytes_; }
+
+ private:
+  DeviceMemoryManager* manager_;
+  std::size_t channel_;
+  std::uint64_t address_;
+  std::uint64_t bytes_;
+};
+
+}  // namespace spnhbm::runtime

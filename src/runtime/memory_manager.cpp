@@ -1,0 +1,104 @@
+#include "spnhbm/runtime/memory_manager.hpp"
+
+#include <algorithm>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::runtime {
+
+DeviceMemoryManager::DeviceMemoryManager(std::size_t channels,
+                                         std::uint64_t capacity_per_channel)
+    : capacity_(capacity_per_channel), arenas_(channels) {
+  SPNHBM_REQUIRE(channels > 0, "need at least one channel");
+  SPNHBM_REQUIRE(capacity_per_channel >= kAlignment, "capacity too small");
+  for (auto& arena : arenas_) {
+    arena.free_blocks.emplace(0, capacity_per_channel);
+  }
+}
+
+DeviceMemoryManager::Arena& DeviceMemoryManager::arena(std::size_t channel) {
+  SPNHBM_REQUIRE(channel < arenas_.size(), "channel index out of range");
+  return arenas_[channel];
+}
+
+const DeviceMemoryManager::Arena& DeviceMemoryManager::arena(
+    std::size_t channel) const {
+  SPNHBM_REQUIRE(channel < arenas_.size(), "channel index out of range");
+  return arenas_[channel];
+}
+
+std::uint64_t DeviceMemoryManager::allocate(std::size_t channel,
+                                            std::uint64_t bytes) {
+  SPNHBM_REQUIRE(bytes > 0, "empty allocation");
+  const std::uint64_t size = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Arena& a = arena(channel);
+  // First fit in address order.
+  for (auto it = a.free_blocks.begin(); it != a.free_blocks.end(); ++it) {
+    if (it->second < size) continue;
+    const std::uint64_t address = it->first;
+    const std::uint64_t leftover = it->second - size;
+    a.free_blocks.erase(it);
+    if (leftover > 0) {
+      a.free_blocks.emplace(address + size, leftover);
+    }
+    a.allocations.emplace(address, size);
+    return address;
+  }
+  throw DeviceMemoryError(strformat(
+      "channel %zu: cannot allocate %llu bytes", channel,
+      static_cast<unsigned long long>(size)));
+}
+
+void DeviceMemoryManager::free(std::size_t channel, std::uint64_t address) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Arena& a = arena(channel);
+  const auto allocation = a.allocations.find(address);
+  if (allocation == a.allocations.end()) {
+    throw DeviceMemoryError("free of an address that is not allocated");
+  }
+  std::uint64_t size = allocation->second;
+  a.allocations.erase(allocation);
+
+  // Coalesce with the following free block.
+  auto next = a.free_blocks.lower_bound(address);
+  if (next != a.free_blocks.end() && address + size == next->first) {
+    size += next->second;
+    next = a.free_blocks.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (next != a.free_blocks.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == address) {
+      prev->second += size;
+      return;
+    }
+  }
+  a.free_blocks.emplace(address, size);
+}
+
+std::uint64_t DeviceMemoryManager::bytes_free(std::size_t channel) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [address, size] : arena(channel).free_blocks) total += size;
+  return total;
+}
+
+std::uint64_t DeviceMemoryManager::bytes_allocated(std::size_t channel) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [address, size] : arena(channel).allocations) total += size;
+  return total;
+}
+
+std::uint64_t DeviceMemoryManager::largest_free_block(
+    std::size_t channel) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t largest = 0;
+  for (const auto& [address, size] : arena(channel).free_blocks) {
+    largest = std::max(largest, size);
+  }
+  return largest;
+}
+
+}  // namespace spnhbm::runtime

@@ -1,0 +1,213 @@
+// Virtual-time synchronisation primitives: bounded FIFO channels with
+// back-pressure and a FIFO-fair counting resource (semaphore).
+//
+// Both primitives use *exact hand-off*: when a waiter is woken, its
+// operation has already been completed on its behalf (the value moved, the
+// permit assigned), so there are no spurious wakeups or retry loops and
+// fairness is strict FIFO — the same behaviour as a hardware ready/valid
+// handshake chain.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "spnhbm/sim/scheduler.hpp"
+
+namespace spnhbm::sim {
+
+/// Bounded single-clock FIFO. Models a hardware FIFO between two units:
+/// `put` blocks (in virtual time) while full, `get` blocks while empty.
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Scheduler& scheduler, std::size_t capacity)
+      : scheduler_(scheduler), capacity_(capacity) {
+    SPNHBM_REQUIRE(capacity_ > 0, "fifo capacity must be positive");
+  }
+
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+  struct PutAwaitable {
+    Fifo& fifo;
+    T value;
+    bool await_ready() {
+      // Jump the queue only if nobody is already waiting to put.
+      if (fifo.pending_puts_.empty() && fifo.try_put_now(std::move(value))) {
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      fifo.pending_puts_.push_back(PendingPut{std::move(value), handle});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct GetAwaitable {
+    Fifo& fifo;
+    std::optional<T> result;
+    bool await_ready() {
+      if (fifo.pending_gets_.empty()) {
+        result = fifo.try_get_now();
+        if (result.has_value()) return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      fifo.pending_gets_.push_back(PendingGet{&result, handle});
+    }
+    T await_resume() { return std::move(*result); }
+  };
+
+  /// co_await fifo.put(value);
+  PutAwaitable put(T value) { return PutAwaitable{*this, std::move(value)}; }
+  /// T value = co_await fifo.get();
+  GetAwaitable get() { return GetAwaitable{*this, std::nullopt}; }
+
+  /// Non-blocking put; returns false if full (used by test drivers).
+  bool try_put(T value) {
+    if (!pending_puts_.empty()) return false;
+    return try_put_now(std::move(value));
+  }
+
+ private:
+  struct PendingPut {
+    T value;
+    std::coroutine_handle<> handle;
+  };
+  struct PendingGet {
+    std::optional<T>* slot;
+    std::coroutine_handle<> handle;
+  };
+
+  // Attempts an immediate put. Hands the value straight to a waiting getter
+  // if there is one; otherwise stores it if there is room.
+  bool try_put_now(T&& value) {
+    if (!pending_gets_.empty() && items_.empty()) {
+      PendingGet getter = pending_gets_.front();
+      pending_gets_.pop_front();
+      *getter.slot = std::move(value);
+      scheduler_.schedule_at(scheduler_.now(), getter.handle);
+      return true;
+    }
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(value));
+      return true;
+    }
+    return false;
+  }
+
+  // Attempts an immediate get; refills from a pending putter if one exists.
+  std::optional<T> try_get_now() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    if (!pending_puts_.empty()) {
+      PendingPut putter = std::move(pending_puts_.front());
+      pending_puts_.pop_front();
+      if (!try_put_now(std::move(putter.value))) {
+        SPNHBM_REQUIRE(false, "fifo hand-off invariant violated");
+      }
+      scheduler_.schedule_at(scheduler_.now(), putter.handle);
+    }
+    return value;
+  }
+
+  Scheduler& scheduler_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<PendingPut> pending_puts_;
+  std::deque<PendingGet> pending_gets_;
+};
+
+/// FIFO-fair counting resource; models an arbitrated shared unit such as the
+/// PCIe DMA engine or a memory-channel port. `co_await acquire()` then
+/// `release()` when done.
+class Resource {
+ public:
+  Resource(Scheduler& scheduler, std::size_t permits)
+      : scheduler_(scheduler), available_(permits), total_(permits) {
+    SPNHBM_REQUIRE(permits > 0, "resource needs at least one permit");
+  }
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  struct AcquireAwaitable {
+    Resource& resource;
+    bool await_ready() {
+      if (resource.waiters_.empty() && resource.available_ > 0) {
+        --resource.available_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      resource.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  AcquireAwaitable acquire() { return AcquireAwaitable{*this}; }
+
+  void release() {
+    SPNHBM_REQUIRE(available_ < total_ || !waiters_.empty(),
+                   "release without matching acquire");
+    if (!waiters_.empty()) {
+      // Exact hand-off: the permit passes directly to the first waiter.
+      auto handle = waiters_.front();
+      waiters_.pop_front();
+      scheduler_.schedule_at(scheduler_.now(), handle);
+    } else {
+      ++available_;
+    }
+  }
+
+  std::size_t available() const { return available_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Scheduler& scheduler_;
+  std::size_t available_;
+  std::size_t total_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Broadcast notification: wakes every process currently waiting.
+class Notify {
+ public:
+  explicit Notify(Scheduler& scheduler) : scheduler_(scheduler) {}
+
+  struct WaitAwaitable {
+    Notify& notify;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      notify.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  WaitAwaitable wait() { return WaitAwaitable{*this}; }
+
+  void notify_all() {
+    for (auto handle : waiters_) {
+      scheduler_.schedule_at(scheduler_.now(), handle);
+    }
+    waiters_.clear();
+  }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Scheduler& scheduler_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace spnhbm::sim

@@ -1,0 +1,110 @@
+// Discrete-event simulation (DES) scheduler.
+//
+// The entire hardware substrate (HBM channels, AXI interconnect, PCIe DMA,
+// accelerator cores, host control threads) runs as C++20 coroutine
+// processes on this scheduler in *virtual time* measured in integer
+// picoseconds. Events scheduled for the same instant run in FIFO order of
+// scheduling (tie-broken by a monotone sequence number), which makes every
+// simulation bit-reproducible regardless of host timing.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+#include "spnhbm/util/units.hpp"
+
+namespace spnhbm::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time.
+  Picoseconds now() const { return now_; }
+
+  /// Schedules a coroutine resumption at absolute virtual time `t` >= now.
+  void schedule_at(Picoseconds t, std::coroutine_handle<> handle) {
+    SPNHBM_REQUIRE(t >= now_, "cannot schedule into the past");
+    queue_.push(Entry{t, next_seq_++, handle, {}});
+  }
+
+  /// Schedules a plain callback at absolute virtual time `t` >= now.
+  void call_at(Picoseconds t, std::function<void()> callback) {
+    SPNHBM_REQUIRE(t >= now_, "cannot schedule into the past");
+    queue_.push(Entry{t, next_seq_++, nullptr, std::move(callback)});
+  }
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.time;
+    if (entry.handle) {
+      entry.handle.resume();
+    } else {
+      entry.callback();
+    }
+    return true;
+  }
+
+  /// Runs until the event queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Runs until the queue drains or virtual time would exceed `deadline`.
+  /// Events strictly after the deadline stay queued.
+  void run_until(Picoseconds deadline) {
+    while (!queue_.empty() && queue_.top().time <= deadline) {
+      step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Picoseconds time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    std::function<void()> callback;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  Picoseconds now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Awaitable produced by `delay()`: suspends the process for `dt` of
+/// virtual time. A zero delay still yields through the event queue, which
+/// is useful to enforce deterministic interleaving.
+struct DelayAwaitable {
+  Scheduler& scheduler;
+  Picoseconds dt;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) const {
+    scheduler.schedule_at(scheduler.now() + dt, handle);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaitable delay(Scheduler& scheduler, Picoseconds dt) {
+  SPNHBM_REQUIRE(dt >= 0, "negative delay");
+  return DelayAwaitable{scheduler, dt};
+}
+
+}  // namespace spnhbm::sim

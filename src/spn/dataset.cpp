@@ -1,0 +1,15 @@
+#include "spnhbm/spn/dataset.hpp"
+
+#include <algorithm>
+
+namespace spnhbm::spn {
+
+std::vector<std::uint8_t> DataMatrix::to_bytes() const {
+  std::vector<std::uint8_t> bytes(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(std::clamp(values_[i], 0.0, 255.0));
+  }
+  return bytes;
+}
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,77 @@
+#include "spnhbm/spn/discretise.hpp"
+
+#include <cmath>
+
+namespace spnhbm::spn {
+
+double gaussian_cdf(double x, double mean, double stddev) {
+  return 0.5 * (1.0 + std::erf((x - mean) / (stddev * std::sqrt(2.0))));
+}
+
+namespace {
+
+HistogramLeaf discretise_leaf(const GaussianLeaf& gaussian,
+                              const DiscretiseOptions& options) {
+  HistogramLeaf histogram;
+  histogram.variable = gaussian.variable;
+  const double width = options.domain / static_cast<double>(options.buckets);
+  histogram.breaks.resize(options.buckets + 1);
+  for (std::size_t b = 0; b <= options.buckets; ++b) {
+    histogram.breaks[b] = width * static_cast<double>(b);
+  }
+  histogram.densities.resize(options.buckets);
+  double mass = 0.0;
+  for (std::size_t b = 0; b < options.buckets; ++b) {
+    const double bucket_mass =
+        gaussian_cdf(histogram.breaks[b + 1], gaussian.mean, gaussian.stddev) -
+        gaussian_cdf(histogram.breaks[b], gaussian.mean, gaussian.stddev);
+    histogram.densities[b] =
+        std::max(bucket_mass / width, options.density_floor);
+    mass += histogram.densities[b] * width;
+  }
+  // Renormalise: the floor and the clipped tails shift the integral.
+  for (auto& density : histogram.densities) density /= mass;
+  return histogram;
+}
+
+}  // namespace
+
+Spn discretise_gaussians(const Spn& spn, const DiscretiseOptions& options) {
+  SPNHBM_REQUIRE(options.buckets >= 2, "need at least two buckets");
+  SPNHBM_REQUIRE(options.domain > 0.0, "domain must be positive");
+  Spn result;
+  std::vector<NodeId> mapped(spn.node_count(), kInvalidNode);
+  for (const NodeId id : spn.reachable_topological()) {
+    const auto& payload = spn.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      std::vector<NodeId> children;
+      children.reserve(sum->children.size());
+      for (const NodeId child : sum->children) {
+        children.push_back(mapped[child]);
+      }
+      mapped[id] = result.add_sum(std::move(children), sum->weights);
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      std::vector<NodeId> children;
+      children.reserve(product->children.size());
+      for (const NodeId child : product->children) {
+        children.push_back(mapped[child]);
+      }
+      mapped[id] = result.add_product(std::move(children));
+    } else if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+      mapped[id] = result.add_histogram(histogram->variable, histogram->breaks,
+                                        histogram->densities);
+    } else if (const auto* gaussian = std::get_if<GaussianLeaf>(&payload)) {
+      HistogramLeaf leaf = discretise_leaf(*gaussian, options);
+      mapped[id] = result.add_histogram(leaf.variable, std::move(leaf.breaks),
+                                        std::move(leaf.densities));
+    } else {
+      const auto& categorical = std::get<CategoricalLeaf>(payload);
+      mapped[id] = result.add_categorical(categorical.variable,
+                                          categorical.probabilities);
+    }
+  }
+  result.set_root(mapped[spn.root()]);
+  return result;
+}
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,42 @@
+#include "spnhbm/spn/dot_export.hpp"
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::spn {
+
+std::string to_dot(const Spn& spn, const std::string& graph_name) {
+  SPNHBM_REQUIRE(spn.has_root(), "cannot export an SPN without a root");
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  for (const NodeId id : spn.reachable_topological()) {
+    const auto& payload = spn.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      out += strformat("  n%u [shape=circle,label=\"+\"];\n", id);
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        out += strformat("  n%u -> n%u [label=\"%.3g\"];\n", id,
+                         sum->children[c], sum->weights[c]);
+      }
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      out += strformat("  n%u [shape=circle,label=\"×\"];\n", id);
+      for (const NodeId child : product->children) {
+        out += strformat("  n%u -> n%u;\n", id, child);
+      }
+    } else if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+      out += strformat(
+          "  n%u [shape=box,label=\"V%u\\nhist[%zu]\"];\n", id,
+          histogram->variable, histogram->densities.size());
+    } else if (const auto* gaussian = std::get_if<GaussianLeaf>(&payload)) {
+      out += strformat(
+          "  n%u [shape=box,label=\"V%u\\nN(%.3g, %.3g)\"];\n", id,
+          gaussian->variable, gaussian->mean, gaussian->stddev);
+    } else {
+      const auto& categorical = std::get<CategoricalLeaf>(payload);
+      out += strformat("  n%u [shape=box,label=\"V%u\\ncat[%zu]\"];\n", id,
+                       categorical.variable, categorical.probabilities.size());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,139 @@
+#include "spnhbm/spn/evaluate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spnhbm::spn {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+}
+
+double leaf_density(const NodePayload& leaf, double value) {
+  if (is_missing(value)) return 1.0;  // marginalise
+  if (const auto* histogram = std::get_if<HistogramLeaf>(&leaf)) {
+    if (value < histogram->breaks.front() || value >= histogram->breaks.back()) {
+      return 0.0;
+    }
+    // First break strictly greater than value -> bucket index.
+    const auto it = std::upper_bound(histogram->breaks.begin(),
+                                     histogram->breaks.end(), value);
+    const auto bucket =
+        static_cast<std::size_t>(it - histogram->breaks.begin()) - 1;
+    return histogram->densities[bucket];
+  }
+  if (const auto* gaussian = std::get_if<GaussianLeaf>(&leaf)) {
+    const double z = (value - gaussian->mean) / gaussian->stddev;
+    return kInvSqrt2Pi / gaussian->stddev * std::exp(-0.5 * z * z);
+  }
+  if (const auto* categorical = std::get_if<CategoricalLeaf>(&leaf)) {
+    const auto index = static_cast<long long>(value);
+    if (index < 0 ||
+        index >= static_cast<long long>(categorical->probabilities.size()) ||
+        static_cast<double>(index) != value) {
+      return 0.0;
+    }
+    return categorical->probabilities[static_cast<std::size_t>(index)];
+  }
+  SPNHBM_REQUIRE(false, "leaf_density called on an inner node");
+  return 0.0;
+}
+
+Evaluator::Evaluator(const Spn& spn)
+    : spn_(spn),
+      order_(spn.reachable_topological()),
+      values_(spn.node_count(), 0.0),
+      byte_sample_(spn.variable_count(), 0.0) {}
+
+double Evaluator::evaluate(std::span<const double> sample) {
+  SPNHBM_REQUIRE(sample.size() >= spn_.variable_count(),
+                 "sample is narrower than the SPN's scope");
+  for (const NodeId id : order_) {
+    const auto& payload = spn_.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        acc += sum->weights[c] * values_[sum->children[c]];
+      }
+      values_[id] = acc;
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      double acc = 1.0;
+      for (const NodeId child : product->children) acc *= values_[child];
+      values_[id] = acc;
+    } else if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+      values_[id] = leaf_density(payload, sample[histogram->variable]);
+    } else if (const auto* gaussian = std::get_if<GaussianLeaf>(&payload)) {
+      values_[id] = leaf_density(payload, sample[gaussian->variable]);
+    } else if (const auto* categorical =
+                   std::get_if<CategoricalLeaf>(&payload)) {
+      values_[id] = leaf_density(payload, sample[categorical->variable]);
+    }
+  }
+  return values_[spn_.root()];
+}
+
+double Evaluator::evaluate_log(std::span<const double> sample) {
+  SPNHBM_REQUIRE(sample.size() >= spn_.variable_count(),
+                 "sample is narrower than the SPN's scope");
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  for (const NodeId id : order_) {
+    const auto& payload = spn_.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      // log-sum-exp with max extraction for stability.
+      double max_term = kNegInf;
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        const double term =
+            std::log(sum->weights[c]) + values_[sum->children[c]];
+        max_term = std::max(max_term, term);
+      }
+      if (max_term == kNegInf) {
+        values_[id] = kNegInf;
+      } else {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < sum->children.size(); ++c) {
+          acc += std::exp(std::log(sum->weights[c]) +
+                          values_[sum->children[c]] - max_term);
+        }
+        values_[id] = max_term + std::log(acc);
+      }
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      double acc = 0.0;
+      for (const NodeId child : product->children) acc += values_[child];
+      values_[id] = acc;
+    } else {
+      VariableId variable = 0;
+      if (const auto* h = std::get_if<HistogramLeaf>(&payload)) {
+        variable = h->variable;
+      } else if (const auto* g = std::get_if<GaussianLeaf>(&payload)) {
+        variable = g->variable;
+      } else {
+        variable = std::get<CategoricalLeaf>(payload).variable;
+      }
+      values_[id] = std::log(leaf_density(payload, sample[variable]));
+    }
+  }
+  return values_[spn_.root()];
+}
+
+double Evaluator::evaluate_bytes(std::span<const std::uint8_t> sample) {
+  SPNHBM_REQUIRE(sample.size() >= byte_sample_.size(),
+                 "byte sample is narrower than the SPN's scope");
+  for (std::size_t i = 0; i < byte_sample_.size(); ++i) {
+    byte_sample_[i] = static_cast<double>(sample[i]);
+  }
+  return evaluate(byte_sample_);
+}
+
+void Evaluator::evaluate_batch(std::span<const double> rows,
+                               std::size_t row_width,
+                               std::span<double> results) {
+  SPNHBM_REQUIRE(row_width >= spn_.variable_count(),
+                 "row width narrower than the SPN's scope");
+  SPNHBM_REQUIRE(rows.size() == row_width * results.size(),
+                 "rows/results size mismatch");
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    results[r] = evaluate(rows.subspan(r * row_width, row_width));
+  }
+}
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,198 @@
+#include "spnhbm/spn/graph.hpp"
+
+#include <algorithm>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::spn {
+
+NodeKind node_kind(const NodePayload& payload) {
+  switch (payload.index()) {
+    case 0: return NodeKind::kSum;
+    case 1: return NodeKind::kProduct;
+    case 2: return NodeKind::kHistogram;
+    case 3: return NodeKind::kGaussian;
+    case 4: return NodeKind::kCategorical;
+  }
+  SPNHBM_REQUIRE(false, "unreachable node payload index");
+  return NodeKind::kSum;
+}
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSum: return "sum";
+    case NodeKind::kProduct: return "product";
+    case NodeKind::kHistogram: return "histogram";
+    case NodeKind::kGaussian: return "gaussian";
+    case NodeKind::kCategorical: return "categorical";
+  }
+  return "?";
+}
+
+NodeId Spn::push(NodePayload payload) {
+  SPNHBM_REQUIRE(nodes_.size() < static_cast<std::size_t>(kInvalidNode),
+                 "node arena full");
+  nodes_.push_back(std::move(payload));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Spn::check_children(std::span<const NodeId> children) const {
+  SPNHBM_REQUIRE(!children.empty(), "inner node needs at least one child");
+  for (const NodeId child : children) {
+    SPNHBM_REQUIRE(child < nodes_.size(),
+                   "child node does not exist yet (children-first order)");
+  }
+}
+
+NodeId Spn::add_sum(std::vector<NodeId> children, std::vector<double> weights) {
+  check_children(children);
+  SPNHBM_REQUIRE(children.size() == weights.size(),
+                 "sum node needs one weight per child");
+  return push(SumNode{std::move(children), std::move(weights)});
+}
+
+NodeId Spn::add_product(std::vector<NodeId> children) {
+  check_children(children);
+  return push(ProductNode{std::move(children)});
+}
+
+NodeId Spn::add_histogram(VariableId variable, std::vector<double> breaks,
+                          std::vector<double> densities) {
+  SPNHBM_REQUIRE(breaks.size() >= 2, "histogram needs at least one bucket");
+  SPNHBM_REQUIRE(breaks.size() == densities.size() + 1,
+                 "histogram needs |breaks| == |densities| + 1");
+  SPNHBM_REQUIRE(std::is_sorted(breaks.begin(), breaks.end()),
+                 "histogram breaks must be sorted");
+  return push(HistogramLeaf{variable, std::move(breaks), std::move(densities)});
+}
+
+NodeId Spn::add_gaussian(VariableId variable, double mean, double stddev) {
+  SPNHBM_REQUIRE(stddev > 0.0, "gaussian needs positive stddev");
+  return push(GaussianLeaf{variable, mean, stddev});
+}
+
+NodeId Spn::add_categorical(VariableId variable,
+                            std::vector<double> probabilities) {
+  SPNHBM_REQUIRE(!probabilities.empty(), "categorical needs probabilities");
+  return push(CategoricalLeaf{variable, std::move(probabilities)});
+}
+
+void Spn::set_root(NodeId root) {
+  SPNHBM_REQUIRE(root < nodes_.size(), "root node does not exist");
+  root_ = root;
+}
+
+const NodePayload& Spn::node(NodeId id) const {
+  SPNHBM_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+std::size_t Spn::variable_count() const {
+  std::size_t count = 0;
+  for (const auto& payload : nodes_) {
+    VariableId variable = 0;
+    if (const auto* h = std::get_if<HistogramLeaf>(&payload)) {
+      variable = h->variable;
+    } else if (const auto* g = std::get_if<GaussianLeaf>(&payload)) {
+      variable = g->variable;
+    } else if (const auto* c = std::get_if<CategoricalLeaf>(&payload)) {
+      variable = c->variable;
+    } else {
+      continue;
+    }
+    count = std::max(count, static_cast<std::size_t>(variable) + 1);
+  }
+  return count;
+}
+
+namespace {
+std::span<const NodeId> children_of(const NodePayload& payload) {
+  if (const auto* s = std::get_if<SumNode>(&payload)) return s->children;
+  if (const auto* p = std::get_if<ProductNode>(&payload)) return p->children;
+  return {};
+}
+}  // namespace
+
+std::vector<std::vector<VariableId>> Spn::compute_scopes() const {
+  std::vector<std::vector<VariableId>> scopes(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const auto& payload = nodes_[id];
+    if (const auto* h = std::get_if<HistogramLeaf>(&payload)) {
+      scopes[id] = {h->variable};
+    } else if (const auto* g = std::get_if<GaussianLeaf>(&payload)) {
+      scopes[id] = {g->variable};
+    } else if (const auto* c = std::get_if<CategoricalLeaf>(&payload)) {
+      scopes[id] = {c->variable};
+    } else {
+      std::vector<VariableId> merged;
+      for (const NodeId child : children_of(payload)) {
+        merged.insert(merged.end(), scopes[child].begin(), scopes[child].end());
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      scopes[id] = std::move(merged);
+    }
+  }
+  return scopes;
+}
+
+std::vector<NodeId> Spn::reachable_topological() const {
+  SPNHBM_REQUIRE(has_root(), "SPN has no root");
+  std::vector<bool> reachable(nodes_.size(), false);
+  std::vector<NodeId> stack{root_};
+  reachable[root_] = true;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (const NodeId child : children_of(nodes_[id])) {
+      if (!reachable[child]) {
+        reachable[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  // Node ids are already topological (children-first by construction); a
+  // filtered ascending scan therefore yields a children-first order.
+  std::vector<NodeId> order;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (reachable[id]) order.push_back(id);
+  }
+  return order;
+}
+
+std::string SpnStats::describe() const {
+  return strformat(
+      "%zu nodes (%zu sum, %zu product, %zu histogram, %zu gaussian, "
+      "%zu categorical), %zu edges, depth %zu, %zu variables, %zu buckets",
+      total_nodes(), sum_nodes, product_nodes, histogram_leaves,
+      gaussian_leaves, categorical_leaves, edges, depth, variables,
+      histogram_buckets);
+}
+
+SpnStats compute_stats(const Spn& spn) {
+  SpnStats stats;
+  stats.variables = spn.variable_count();
+  std::vector<std::size_t> depth(spn.node_count(), 0);
+  for (const NodeId id : spn.reachable_topological()) {
+    const auto& payload = spn.node(id);
+    switch (node_kind(payload)) {
+      case NodeKind::kSum: ++stats.sum_nodes; break;
+      case NodeKind::kProduct: ++stats.product_nodes; break;
+      case NodeKind::kHistogram:
+        ++stats.histogram_leaves;
+        stats.histogram_buckets +=
+            std::get<HistogramLeaf>(payload).densities.size();
+        break;
+      case NodeKind::kGaussian: ++stats.gaussian_leaves; break;
+      case NodeKind::kCategorical: ++stats.categorical_leaves; break;
+    }
+    for (const NodeId child : children_of(payload)) {
+      ++stats.edges;
+      depth[id] = std::max(depth[id], depth[child] + 1);
+    }
+    if (id == spn.root()) stats.depth = depth[id];
+  }
+  return stats;
+}
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,47 @@
+// Row-major numeric dataset used for structure learning and evaluation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::spn {
+
+class DataMatrix {
+ public:
+  DataMatrix() = default;
+  DataMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), values_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double at(std::size_t row, std::size_t col) const {
+    SPNHBM_REQUIRE(row < rows_ && col < cols_, "dataset index out of range");
+    return values_[row * cols_ + col];
+  }
+  void set(std::size_t row, std::size_t col, double value) {
+    SPNHBM_REQUIRE(row < rows_ && col < cols_, "dataset index out of range");
+    values_[row * cols_ + col] = value;
+  }
+
+  std::span<const double> row(std::size_t r) const {
+    SPNHBM_REQUIRE(r < rows_, "dataset row out of range");
+    return std::span<const double>(values_).subspan(r * cols_, cols_);
+  }
+
+  std::span<const double> raw() const { return values_; }
+
+  /// Quantises every value to a byte (clamping to [0, 255]) — the encoding
+  /// the hardware datapath consumes.
+  std::vector<std::uint8_t> to_bytes() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace spnhbm::spn

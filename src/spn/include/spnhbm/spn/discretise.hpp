@@ -1,0 +1,34 @@
+// Discretisation of continuous leaves — the paper's Fig. 1.
+//
+// The hardware flow only maps *histogram* leaves (BRAM lookup tables), so
+// SPNs with Gaussian leaves are first converted to Mixed SPNs by
+// approximating each Gaussian with a histogram over the byte input domain
+// (Molina et al. 2018). Each bucket receives the Gaussian's average
+// density over that bucket (exact bucket mass / width, computed from the
+// error function), and the result is renormalised so the leaf stays a
+// proper density over the domain.
+#pragma once
+
+#include "spnhbm/spn/graph.hpp"
+
+namespace spnhbm::spn {
+
+struct DiscretiseOptions {
+  /// Domain covered by the replacement histograms: [0, domain).
+  double domain = 256.0;
+  std::size_t buckets = 32;
+  /// Density floor per bucket (before renormalisation) so tails stay
+  /// representable in reduced-precision arithmetic.
+  double density_floor = 1e-9;
+};
+
+/// Gaussian CDF at x.
+double gaussian_cdf(double x, double mean, double stddev);
+
+/// Returns a structurally identical SPN in which every Gaussian leaf has
+/// been replaced by its histogram approximation; histogram and categorical
+/// leaves pass through unchanged. The result compiles on the byte-input
+/// hardware flow.
+Spn discretise_gaussians(const Spn& spn, const DiscretiseOptions& options = {});
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,16 @@
+// Graphviz export of an SPN (the figures in SPN papers — including the
+// paper's Fig. 1 — are exactly this rendering).
+#pragma once
+
+#include <string>
+
+#include "spnhbm/spn/graph.hpp"
+
+namespace spnhbm::spn {
+
+/// Renders the subgraph reachable from the root as a Graphviz digraph:
+/// sums as "+" circles with weighted edges, products as "x" circles,
+/// leaves as boxes with their distribution summary.
+std::string to_dot(const Spn& spn, const std::string& graph_name = "spn");
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,59 @@
+// Reference SPN inference (the semantics every accelerated path is checked
+// against).
+//
+// Bottom-up evaluation over the topological node order — linear in the
+// number of edges, the tractability property the paper leans on. Two
+// domains are provided:
+//   * linear domain (plain probabilities in double), and
+//   * log domain (numerically robust for deep SPNs / tiny probabilities).
+//
+// Missing features (NaN inputs) are marginalised: a leaf over a missing
+// variable contributes 1 (log 0), the standard SPN marginalisation rule —
+// this is the "handles uncertainty" property from the paper's background
+// section.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "spnhbm/spn/graph.hpp"
+
+namespace spnhbm::spn {
+
+/// Marker for a missing feature value (marginalised variable).
+inline double missing_value() { return std::nan(""); }
+inline bool is_missing(double v) { return std::isnan(v); }
+
+/// Density of a single leaf at `value` (1.0 if missing/marginalised).
+double leaf_density(const NodePayload& leaf, double value);
+
+/// Reusable evaluator; holds per-node value scratch so batch evaluation
+/// does not allocate per sample.
+class Evaluator {
+ public:
+  explicit Evaluator(const Spn& spn);
+
+  /// Joint probability/density of one sample (indexed by VariableId).
+  double evaluate(std::span<const double> sample);
+
+  /// log of the joint probability (log-domain accumulation throughout).
+  double evaluate_log(std::span<const double> sample);
+
+  /// Joint density for byte-quantised features, the hardware input format.
+  double evaluate_bytes(std::span<const std::uint8_t> sample);
+
+  /// Batch evaluation, one output per row; `row_width` >= variable count.
+  void evaluate_batch(std::span<const double> rows, std::size_t row_width,
+                      std::span<double> results);
+
+  const Spn& spn() const { return spn_; }
+
+ private:
+  const Spn& spn_;
+  std::vector<NodeId> order_;
+  std::vector<double> values_;
+  std::vector<double> byte_sample_;
+};
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,129 @@
+// Sum-Product Network graph representation.
+//
+// An SPN is a rooted DAG with three node families (Poon & Domingos 2011):
+//   * leaves: univariate distributions over a single random variable —
+//     here histograms (the Mixed-SPN flavour of Molina et al. 2018 that the
+//     paper's hardware maps directly to BRAM lookup tables), Gaussians, and
+//     categorical distributions;
+//   * product nodes: factorisations over disjoint scopes;
+//   * sum nodes: weighted mixtures over identical scopes.
+//
+// Nodes are stored in a flat arena indexed by NodeId. The builder API only
+// accepts children that already exist, so node ids are a topological order
+// by construction — every evaluator in this repo exploits that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::spn {
+
+using NodeId = std::uint32_t;
+using VariableId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct SumNode {
+  std::vector<NodeId> children;
+  std::vector<double> weights;  // same arity as children; must sum to ~1
+};
+
+struct ProductNode {
+  std::vector<NodeId> children;
+};
+
+/// Piecewise-constant density: `breaks` has one more entry than `densities`;
+/// bucket i covers [breaks[i], breaks[i+1]) with density `densities[i]`.
+/// This is the leaf type the FPGA maps to a BRAM lookup table.
+struct HistogramLeaf {
+  VariableId variable = 0;
+  std::vector<double> breaks;
+  std::vector<double> densities;
+};
+
+struct GaussianLeaf {
+  VariableId variable = 0;
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+/// Probability mass over {0, 1, ..., probabilities.size()-1}.
+struct CategoricalLeaf {
+  VariableId variable = 0;
+  std::vector<double> probabilities;
+};
+
+using NodePayload = std::variant<SumNode, ProductNode, HistogramLeaf,
+                                 GaussianLeaf, CategoricalLeaf>;
+
+enum class NodeKind { kSum, kProduct, kHistogram, kGaussian, kCategorical };
+
+NodeKind node_kind(const NodePayload& payload);
+const char* node_kind_name(NodeKind kind);
+
+class Spn {
+ public:
+  // --- Builder API. Children must already exist (enforces acyclicity). ---
+  NodeId add_sum(std::vector<NodeId> children, std::vector<double> weights);
+  NodeId add_product(std::vector<NodeId> children);
+  NodeId add_histogram(VariableId variable, std::vector<double> breaks,
+                       std::vector<double> densities);
+  NodeId add_gaussian(VariableId variable, double mean, double stddev);
+  NodeId add_categorical(VariableId variable,
+                         std::vector<double> probabilities);
+
+  /// Declares the root. Must be the last step of construction.
+  void set_root(NodeId root);
+
+  // --- Introspection -------------------------------------------------------
+  std::size_t node_count() const { return nodes_.size(); }
+  NodeId root() const { return root_; }
+  bool has_root() const { return root_ != kInvalidNode; }
+  const NodePayload& node(NodeId id) const;
+  NodeKind kind(NodeId id) const { return node_kind(node(id)); }
+
+  /// Number of distinct random variables referenced by leaves (max id + 1).
+  std::size_t variable_count() const;
+
+  /// Scope (sorted variable ids) of each node, computed bottom-up.
+  std::vector<std::vector<VariableId>> compute_scopes() const;
+
+  /// Ids of the nodes reachable from the root, in topological
+  /// (children-first) order.
+  std::vector<NodeId> reachable_topological() const;
+
+ private:
+  NodeId push(NodePayload payload);
+  void check_children(std::span<const NodeId> children) const;
+
+  std::vector<NodePayload> nodes_;
+  NodeId root_ = kInvalidNode;
+};
+
+/// Structural statistics used by reports and the resource model.
+struct SpnStats {
+  std::size_t sum_nodes = 0;
+  std::size_t product_nodes = 0;
+  std::size_t histogram_leaves = 0;
+  std::size_t gaussian_leaves = 0;
+  std::size_t categorical_leaves = 0;
+  std::size_t edges = 0;
+  std::size_t depth = 0;  // longest root-to-leaf path, in edges
+  std::size_t variables = 0;
+  std::size_t histogram_buckets = 0;  // total across all histogram leaves
+
+  std::size_t total_nodes() const {
+    return sum_nodes + product_nodes + histogram_leaves + gaussian_leaves +
+           categorical_leaves;
+  }
+  std::string describe() const;
+};
+
+SpnStats compute_stats(const Spn& spn);
+
+}  // namespace spnhbm::spn

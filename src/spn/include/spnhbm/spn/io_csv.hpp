@@ -1,0 +1,27 @@
+// CSV interchange for datasets.
+//
+// The trainable surface of the toolflow: datasets come in as plain CSV
+// (one sample per line, one numeric feature per cell, no header) and
+// leave the same way (sampled data, exported corpora).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "spnhbm/spn/dataset.hpp"
+
+namespace spnhbm::spn {
+
+/// Parses CSV text into a dense matrix. Empty lines are skipped; every
+/// remaining row must have the same arity. Throws ParseError on ragged or
+/// non-numeric input (with the offending line number).
+DataMatrix parse_csv(std::string_view text);
+
+/// Renders a matrix as CSV ('%g' cells, '\n' rows).
+std::string to_csv(const DataMatrix& data);
+
+/// File conveniences.
+DataMatrix load_csv_file(const std::string& path);
+void save_csv_file(const DataMatrix& data, const std::string& path);
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,43 @@
+// LearnSPN-style structure learning (Gens & Domingos 2013, simplified to
+// the Mixed-SPN histogram setting of Molina et al. 2018).
+//
+// The paper's models are trained with SPFlow on the NIPS bag-of-words
+// corpus and exported as text. This learner reproduces that pipeline on
+// the synthetic corpus from `spnhbm/workload`:
+//   * variable splits: pairwise-independence graph (Pearson correlation on
+//     the current row subset, thresholded), split into connected
+//     components -> product node;
+//   * row splits: 2-means clustering -> sum node weighted by cluster size;
+//   * base case: histogram leaves with Laplace smoothing over the byte
+//     domain.
+#pragma once
+
+#include <cstdint>
+
+#include "spnhbm/spn/dataset.hpp"
+#include "spnhbm/spn/graph.hpp"
+
+namespace spnhbm::spn {
+
+struct LearnOptions {
+  /// Stop clustering below this many rows; factorise into leaves instead.
+  std::size_t min_instances = 64;
+  /// |Pearson correlation| below this counts as independent.
+  double independence_threshold = 0.15;
+  std::size_t histogram_buckets = 16;
+  /// Feature domain upper bound; leaves cover [0, domain).
+  double domain = 256.0;
+  /// Laplace smoothing pseudo-count per bucket.
+  double smoothing = 1.0;
+  /// k-means iterations for row clustering.
+  std::size_t kmeans_iterations = 10;
+  /// Hard recursion cap (sum levels); guards degenerate clusterings.
+  std::size_t max_depth = 24;
+  std::uint64_t seed = 1;
+};
+
+/// Learns an SPN over all columns of `data`. The result is valid
+/// (complete, decomposable, normalised) by construction.
+Spn learn_spn(const DataMatrix& data, const LearnOptions& options = {});
+
+}  // namespace spnhbm::spn

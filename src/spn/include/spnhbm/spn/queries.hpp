@@ -1,0 +1,48 @@
+// Advanced probabilistic queries on SPNs.
+//
+// Beyond the joint/marginal evaluation the accelerator computes, SPNs
+// support further tractable queries (all linear in the network size) that
+// the host-side library provides:
+//   * conditional probabilities P(Q | E) — two marginal evaluations;
+//   * MPE (most probable explanation): argmax completion of missing
+//     features, via a max-product upward pass + top-down backtracking
+//     (Poon & Domingos 2011);
+//   * ancestral sampling from the encoded joint distribution — used both
+//     as a generative API and as a statistical test oracle for the
+//     learner/evaluator pair.
+#pragma once
+
+#include <vector>
+
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/spn/graph.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::spn {
+
+/// P(query | evidence): both spans are full-width samples where
+/// `missing_value()` marks unconstrained variables; `query` must constrain
+/// a superset of `evidence`'s variables. Returns P(query) / P(evidence).
+double conditional_probability(Evaluator& evaluator,
+                               std::span<const double> query,
+                               std::span<const double> evidence);
+
+/// Most probable explanation: completes every missing variable in
+/// `evidence` with its MPE assignment. Observed variables pass through.
+/// Continuous leaves (Gaussian) complete with their mode; histogram and
+/// categorical leaves with the centre of the highest-density bucket /
+/// highest-mass category (ties: lowest value).
+std::vector<double> mpe_completion(const Spn& spn,
+                                   std::span<const double> evidence);
+
+/// Draws one sample from the joint distribution by ancestral sampling:
+/// sums choose a child by weight, products recurse into every child,
+/// leaves sample their distribution. Histogram leaves sample a bucket by
+/// mass, then uniformly within the bucket.
+std::vector<double> sample(const Spn& spn, Rng& rng);
+
+/// Batch sampling convenience.
+std::vector<std::vector<double>> sample_batch(const Spn& spn, Rng& rng,
+                                              std::size_t count);
+
+}  // namespace spnhbm::spn

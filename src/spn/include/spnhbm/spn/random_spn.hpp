@@ -1,0 +1,34 @@
+// Random SPN generation (Peharz-et-al-style random structures).
+//
+// Used by property tests (valid-by-construction structures across a size
+// sweep) and by the model zoo when an organically learned structure needs
+// to be scaled to a prescribed size.
+#pragma once
+
+#include <cstdint>
+
+#include "spnhbm/spn/graph.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::spn {
+
+struct RandomSpnConfig {
+  std::size_t variables = 10;
+  /// Byte-quantised feature domain: histogram leaves cover [0, domain).
+  std::size_t leaf_domain = 256;
+  std::size_t histogram_buckets = 16;
+  /// Children per sum node (mixture components).
+  std::size_t sum_fanout = 2;
+  /// Maximum variables a leaf region may hold before it must be split.
+  std::size_t max_leaf_scope = 1;
+  /// Recursion depth cap (alternating sum/product levels).
+  std::size_t max_depth = 16;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a random, valid (complete & decomposable & normalised) SPN over
+/// `config.variables` variables. Structure: a sum-of-products region graph —
+/// sums mix random partitions of the scope, products split the scope.
+Spn make_random_spn(const RandomSpnConfig& config);
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,33 @@
+// SPFlow-compatible textual SPN description.
+//
+// The paper's toolflow trains SPNs with the SPFlow library and exports them
+// to a textual description consumed by the hardware generator. This module
+// implements that interchange format:
+//
+//   Sum(0.4*Product(Histogram(V0|[0,1,2];[0.25,0.75]) *
+//                   Histogram(V1|[0,1,2];[0.5,0.5]))
+//     + 0.6*Product(Histogram(V0|[0,1,2];[0.5,0.5]) *
+//                   Histogram(V1|[0,1,2];[0.1,0.9])))
+//   Gaussian(V2|0.5;1.25)        -- mean; stddev
+//   Categorical(V3|[0.2,0.8])
+//
+// Whitespace (including newlines) is insignificant. `parse_spn` and
+// `to_text` round-trip: parse(to_text(spn)) is structurally identical.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "spnhbm/spn/graph.hpp"
+
+namespace spnhbm::spn {
+
+/// Parses a textual SPN description. Throws ParseError with a byte offset
+/// and message on malformed input. The result always has a root set.
+Spn parse_spn(std::string_view text);
+
+/// Serialises the subgraph reachable from the root. `indent=true` produces
+/// a pretty-printed nested layout, otherwise a single line.
+std::string to_text(const Spn& spn, bool indent = false);
+
+}  // namespace spnhbm::spn

@@ -1,0 +1,39 @@
+// Structural optimisation passes over SPNs.
+//
+// The hardware generator benefits from smaller, flatter graphs: every
+// node becomes physical operators, so classic compiler cleanups translate
+// directly into LUTs/DSPs saved. All passes preserve the represented
+// distribution exactly (up to weight renormalisation tolerance) and
+// return a fresh SPN; the equivalence property tests in
+// tests/spn/test_transform.cpp verify value-preservation pointwise.
+//
+//   * flatten:      collapse sum-of-sum and product-of-product nesting
+//                   (associativity), merging weights multiplicatively;
+//   * prune:        drop sum children whose mixture weight is below a
+//                   threshold and renormalise the survivors;
+//   * deduplicate:  share structurally identical subgraphs (tree -> DAG
+//                   conversion; the SPN-level analogue of the compiler's
+//                   lookup-table CSE).
+#pragma once
+
+#include "spnhbm/spn/graph.hpp"
+
+namespace spnhbm::spn {
+
+/// Collapses nested sums (child sum weights fold into the parent) and
+/// nested products into single n-ary nodes.
+Spn flatten(const Spn& spn);
+
+/// Removes sum edges with weight < `threshold` (never removing the last
+/// child) and renormalises. Changes the distribution by at most the
+/// pruned mass; threshold 0 is the identity.
+Spn prune_low_weights(const Spn& spn, double threshold);
+
+/// Merges structurally identical subgraphs into shared nodes. Purely a
+/// size optimisation; the distribution is unchanged.
+Spn deduplicate(const Spn& spn);
+
+/// flatten + deduplicate, the default pre-compilation pipeline.
+Spn optimise(const Spn& spn);
+
+}  // namespace spnhbm::spn

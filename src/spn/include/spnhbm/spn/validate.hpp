@@ -1,0 +1,32 @@
+// Structural validation of SPNs.
+//
+// Checks the three properties that make SPN inference tractable and the
+// datapath generation sound:
+//   * completeness/smoothness — all children of a sum node share the same
+//     scope (a sum is a mixture over the *same* variables);
+//   * decomposability — children of a product node have pairwise disjoint
+//     scopes (a product factorises *independent* variables);
+//   * normalisation — sum weights are positive and sum to 1 (within
+//     tolerance), leaf distributions are valid densities/masses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spnhbm/spn/graph.hpp"
+
+namespace spnhbm::spn {
+
+struct ValidationOptions {
+  double weight_tolerance = 1e-9;  ///< |sum(weights) - 1| allowed
+  bool require_normalised_leaves = true;
+};
+
+/// Returns the list of violations (empty == valid). Never throws.
+std::vector<std::string> validate(const Spn& spn,
+                                  const ValidationOptions& options = {});
+
+/// Throws ValidationError with all violations if the SPN is invalid.
+void validate_or_throw(const Spn& spn, const ValidationOptions& options = {});
+
+}  // namespace spnhbm::spn

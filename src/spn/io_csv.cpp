@@ -1,0 +1,78 @@
+#include "spnhbm/spn/io_csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::spn {
+
+DataMatrix parse_csv(std::string_view text) {
+  std::vector<std::vector<double>> rows;
+  std::size_t line_number = 0;
+  for (const auto& line : split(text, '\n')) {
+    ++line_number;
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<double> row;
+    for (const auto& cell : split(trimmed, ',')) {
+      const auto cell_text = trim(cell);
+      double value = 0.0;
+      const auto result = std::from_chars(
+          cell_text.data(), cell_text.data() + cell_text.size(), value);
+      if (result.ec != std::errc{} ||
+          result.ptr != cell_text.data() + cell_text.size()) {
+        throw ParseError(strformat("CSV line %zu: '%.*s' is not a number",
+                                   line_number,
+                                   static_cast<int>(cell_text.size()),
+                                   cell_text.data()));
+      }
+      row.push_back(value);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      throw ParseError(strformat(
+          "CSV line %zu: %zu cells, expected %zu (ragged input)",
+          line_number, row.size(), rows.front().size()));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) throw ParseError("CSV contains no data rows");
+  DataMatrix data(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      data.set(r, c, rows[r][c]);
+    }
+  }
+  return data;
+}
+
+std::string to_csv(const DataMatrix& data) {
+  std::string out;
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      if (c != 0) out += ',';
+      out += strformat("%g", data.at(r, c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+DataMatrix load_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+void save_csv_file(const DataMatrix& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open CSV file for writing: " + path);
+  out << to_csv(data);
+  if (!out) throw Error("failed writing CSV file: " + path);
+}
+
+}  // namespace spnhbm::spn

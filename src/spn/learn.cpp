@@ -1,0 +1,231 @@
+#include "spnhbm/spn/learn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/util/stats.hpp"
+
+namespace spnhbm::spn {
+
+namespace {
+
+class Learner {
+ public:
+  Learner(const DataMatrix& data, const LearnOptions& options)
+      : data_(data), options_(options), rng_(options.seed) {
+    SPNHBM_REQUIRE(data.rows() > 0 && data.cols() > 0,
+                   "cannot learn from an empty dataset");
+    SPNHBM_REQUIRE(options.histogram_buckets >= 1, "need >= 1 bucket");
+  }
+
+  Spn learn() {
+    Spn spn;
+    std::vector<std::size_t> rows(data_.rows());
+    std::iota(rows.begin(), rows.end(), 0u);
+    std::vector<VariableId> vars(data_.cols());
+    std::iota(vars.begin(), vars.end(), 0u);
+    spn.set_root(build(spn, rows, vars, 0));
+    return spn;
+  }
+
+ private:
+  /// Smoothed equal-width histogram over [0, domain) from the row subset.
+  NodeId make_leaf(Spn& spn, const std::vector<std::size_t>& rows,
+                   VariableId variable) {
+    const std::size_t buckets = options_.histogram_buckets;
+    const double width = options_.domain / static_cast<double>(buckets);
+    std::vector<double> counts(buckets, options_.smoothing);
+    for (const std::size_t r : rows) {
+      const double v = data_.at(r, variable);
+      auto bucket = static_cast<std::size_t>(
+          std::clamp(v / width, 0.0, static_cast<double>(buckets - 1)));
+      counts[bucket] += 1.0;
+    }
+    const double total =
+        std::accumulate(counts.begin(), counts.end(), 0.0) * width;
+    std::vector<double> breaks(buckets + 1);
+    for (std::size_t i = 0; i <= buckets; ++i) {
+      breaks[i] = width * static_cast<double>(i);
+    }
+    std::vector<double> densities(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) densities[i] = counts[i] / total;
+    return spn.add_histogram(variable, std::move(breaks), std::move(densities));
+  }
+
+  NodeId factorise(Spn& spn, const std::vector<std::size_t>& rows,
+                   const std::vector<VariableId>& vars) {
+    if (vars.size() == 1) return make_leaf(spn, rows, vars.front());
+    std::vector<NodeId> leaves;
+    leaves.reserve(vars.size());
+    for (const VariableId v : vars) leaves.push_back(make_leaf(spn, rows, v));
+    return spn.add_product(std::move(leaves));
+  }
+
+  /// Connected components of the dependency graph on `vars`.
+  std::vector<std::vector<VariableId>> independence_split(
+      const std::vector<std::size_t>& rows,
+      const std::vector<VariableId>& vars) {
+    const std::size_t n = vars.size();
+    std::vector<std::size_t> component(n);
+    std::iota(component.begin(), component.end(), 0u);
+    // Union-find with path halving.
+    const auto find = [&](std::size_t x) {
+      while (component[x] != x) {
+        component[x] = component[component[x]];
+        x = component[x];
+      }
+      return x;
+    };
+    std::vector<double> col_a(rows.size()), col_b(rows.size());
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (find(a) == find(b)) continue;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          col_a[i] = data_.at(rows[i], vars[a]);
+          col_b[i] = data_.at(rows[i], vars[b]);
+        }
+        if (std::fabs(pearson_correlation(col_a, col_b)) >
+            options_.independence_threshold) {
+          component[find(a)] = find(b);
+        }
+      }
+    }
+    std::vector<std::vector<VariableId>> groups;
+    std::vector<std::size_t> group_of(n, static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t representative = find(i);
+      if (group_of[representative] == static_cast<std::size_t>(-1)) {
+        group_of[representative] = groups.size();
+        groups.emplace_back();
+      }
+      groups[group_of[representative]].push_back(vars[i]);
+    }
+    return groups;
+  }
+
+  /// 2-means over the row subset (restricted to `vars`). Returns cluster
+  /// assignment per row index; clusters may be empty on degenerate data.
+  std::vector<std::vector<std::size_t>> cluster_rows(
+      const std::vector<std::size_t>& rows,
+      const std::vector<VariableId>& vars) {
+    const std::size_t k = 2;
+    std::vector<std::vector<double>> centroids(
+        k, std::vector<double>(vars.size(), 0.0));
+    // Deterministic init: a random row and the row farthest from it.
+    const std::size_t first = rows[rng_.next_below(rows.size())];
+    for (std::size_t d = 0; d < vars.size(); ++d) {
+      centroids[0][d] = data_.at(first, vars[d]);
+    }
+    double best_distance = -1.0;
+    std::size_t farthest = first;
+    for (const std::size_t r : rows) {
+      double distance = 0.0;
+      for (std::size_t d = 0; d < vars.size(); ++d) {
+        const double diff = data_.at(r, vars[d]) - centroids[0][d];
+        distance += diff * diff;
+      }
+      if (distance > best_distance) {
+        best_distance = distance;
+        farthest = r;
+      }
+    }
+    for (std::size_t d = 0; d < vars.size(); ++d) {
+      centroids[1][d] = data_.at(farthest, vars[d]);
+    }
+
+    std::vector<std::size_t> assignment(rows.size(), 0);
+    for (std::size_t iteration = 0; iteration < options_.kmeans_iterations;
+         ++iteration) {
+      bool changed = false;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        double best = std::numeric_limits<double>::max();
+        std::size_t best_cluster = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+          double distance = 0.0;
+          for (std::size_t d = 0; d < vars.size(); ++d) {
+            const double diff = data_.at(rows[i], vars[d]) - centroids[c][d];
+            distance += diff * diff;
+          }
+          if (distance < best) {
+            best = distance;
+            best_cluster = c;
+          }
+        }
+        if (assignment[i] != best_cluster) {
+          assignment[i] = best_cluster;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+      for (std::size_t c = 0; c < k; ++c) {
+        std::fill(centroids[c].begin(), centroids[c].end(), 0.0);
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          if (assignment[i] != c) continue;
+          ++count;
+          for (std::size_t d = 0; d < vars.size(); ++d) {
+            centroids[c][d] += data_.at(rows[i], vars[d]);
+          }
+        }
+        if (count > 0) {
+          for (auto& v : centroids[c]) v /= static_cast<double>(count);
+        }
+      }
+    }
+
+    std::vector<std::vector<std::size_t>> clusters(k);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      clusters[assignment[i]].push_back(rows[i]);
+    }
+    return clusters;
+  }
+
+  NodeId build(Spn& spn, const std::vector<std::size_t>& rows,
+               const std::vector<VariableId>& vars, std::size_t depth) {
+    if (vars.size() == 1) return make_leaf(spn, rows, vars.front());
+    if (rows.size() < options_.min_instances || depth >= options_.max_depth) {
+      return factorise(spn, rows, vars);
+    }
+    // Try a variable split first (as LearnSPN does).
+    auto groups = independence_split(rows, vars);
+    if (groups.size() > 1) {
+      std::vector<NodeId> children;
+      children.reserve(groups.size());
+      for (const auto& group : groups) {
+        children.push_back(build(spn, rows, group, depth + 1));
+      }
+      return spn.add_product(std::move(children));
+    }
+    // Otherwise split rows into clusters -> sum node.
+    auto clusters = cluster_rows(rows, vars);
+    clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
+                                  [](const auto& c) { return c.empty(); }),
+                   clusters.end());
+    if (clusters.size() < 2) return factorise(spn, rows, vars);
+    std::vector<NodeId> children;
+    std::vector<double> weights;
+    for (const auto& cluster : clusters) {
+      children.push_back(build(spn, cluster, vars, depth + 1));
+      weights.push_back(static_cast<double>(cluster.size()) /
+                        static_cast<double>(rows.size()));
+    }
+    // Exact renormalisation against accumulated rounding.
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    for (auto& w : weights) w /= total;
+    return spn.add_sum(std::move(children), std::move(weights));
+  }
+
+  const DataMatrix& data_;
+  LearnOptions options_;
+  Rng rng_;
+};
+
+}  // namespace
+
+Spn learn_spn(const DataMatrix& data, const LearnOptions& options) {
+  return Learner(data, options).learn();
+}
+
+}  // namespace spnhbm::spn

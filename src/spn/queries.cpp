@@ -1,0 +1,168 @@
+#include "spnhbm/spn/queries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spnhbm::spn {
+
+double conditional_probability(Evaluator& evaluator,
+                               std::span<const double> query,
+                               std::span<const double> evidence) {
+  SPNHBM_REQUIRE(query.size() == evidence.size(),
+                 "query and evidence must have the same width");
+  for (std::size_t v = 0; v < query.size(); ++v) {
+    if (!is_missing(evidence[v])) {
+      SPNHBM_REQUIRE(!is_missing(query[v]) && query[v] == evidence[v],
+                     "query must agree with the evidence where observed");
+    }
+  }
+  const double joint = evaluator.evaluate(query);
+  const double prior = evaluator.evaluate(evidence);
+  SPNHBM_REQUIRE(prior > 0.0, "evidence has zero probability");
+  return joint / prior;
+}
+
+namespace {
+
+/// Mode of a single leaf distribution.
+double leaf_mode(const NodePayload& payload) {
+  if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < histogram->densities.size(); ++b) {
+      if (histogram->densities[b] > histogram->densities[best]) best = b;
+    }
+    return 0.5 * (histogram->breaks[best] + histogram->breaks[best + 1]);
+  }
+  if (const auto* gaussian = std::get_if<GaussianLeaf>(&payload)) {
+    return gaussian->mean;
+  }
+  const auto& categorical = std::get<CategoricalLeaf>(payload);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < categorical.probabilities.size(); ++c) {
+    if (categorical.probabilities[c] > categorical.probabilities[best]) {
+      best = c;
+    }
+  }
+  return static_cast<double>(best);
+}
+
+VariableId leaf_variable(const NodePayload& payload) {
+  if (const auto* h = std::get_if<HistogramLeaf>(&payload)) return h->variable;
+  if (const auto* g = std::get_if<GaussianLeaf>(&payload)) return g->variable;
+  return std::get<CategoricalLeaf>(payload).variable;
+}
+
+/// Density of the leaf at its own mode (the value the max-product pass
+/// propagates for an unobserved variable).
+double leaf_max_density(const NodePayload& payload) {
+  return leaf_density(payload, leaf_mode(payload));
+}
+
+}  // namespace
+
+std::vector<double> mpe_completion(const Spn& spn,
+                                   std::span<const double> evidence) {
+  SPNHBM_REQUIRE(evidence.size() >= spn.variable_count(),
+                 "evidence narrower than the SPN's scope");
+  const auto order = spn.reachable_topological();
+
+  // Upward max-product pass: sums take max over weighted children instead
+  // of the weighted sum; record the winning child for backtracking.
+  std::vector<double> value(spn.node_count(), 0.0);
+  std::vector<std::size_t> winner(spn.node_count(), 0);
+  for (const NodeId id : order) {
+    const auto& payload = spn.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      double best = -1.0;
+      std::size_t best_child = 0;
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        const double candidate = sum->weights[c] * value[sum->children[c]];
+        if (candidate > best) {
+          best = candidate;
+          best_child = c;
+        }
+      }
+      value[id] = best;
+      winner[id] = best_child;
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      double acc = 1.0;
+      for (const NodeId child : product->children) acc *= value[child];
+      value[id] = acc;
+    } else {
+      const VariableId variable = leaf_variable(payload);
+      value[id] = is_missing(evidence[variable])
+                      ? leaf_max_density(payload)
+                      : leaf_density(payload, evidence[variable]);
+    }
+  }
+
+  // Top-down backtracking along winning sum branches; leaves reached in
+  // the selected sub-circuit emit their mode for missing variables.
+  std::vector<double> completion(evidence.begin(), evidence.end());
+  std::vector<NodeId> stack{spn.root()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const auto& payload = spn.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      stack.push_back(sum->children[winner[id]]);
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      for (const NodeId child : product->children) stack.push_back(child);
+    } else {
+      const VariableId variable = leaf_variable(payload);
+      if (is_missing(completion[variable])) {
+        completion[variable] = leaf_mode(payload);
+      }
+    }
+  }
+  return completion;
+}
+
+namespace {
+
+void sample_into(const Spn& spn, NodeId id, Rng& rng,
+                 std::vector<double>& out) {
+  const auto& payload = spn.node(id);
+  if (const auto* sum = std::get_if<SumNode>(&payload)) {
+    sample_into(spn, sum->children[rng.next_weighted(sum->weights)], rng, out);
+  } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+    for (const NodeId child : product->children) {
+      sample_into(spn, child, rng, out);
+    }
+  } else if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+    std::vector<double> masses(histogram->densities.size());
+    for (std::size_t b = 0; b < masses.size(); ++b) {
+      masses[b] = histogram->densities[b] *
+                  (histogram->breaks[b + 1] - histogram->breaks[b]);
+    }
+    const std::size_t bucket = rng.next_weighted(masses);
+    out[histogram->variable] = rng.next_uniform(histogram->breaks[bucket],
+                                                histogram->breaks[bucket + 1]);
+  } else if (const auto* gaussian = std::get_if<GaussianLeaf>(&payload)) {
+    out[gaussian->variable] =
+        gaussian->mean + gaussian->stddev * rng.next_normal();
+  } else {
+    const auto& categorical = std::get<CategoricalLeaf>(payload);
+    out[categorical.variable] = static_cast<double>(
+        rng.next_weighted(categorical.probabilities));
+  }
+}
+
+}  // namespace
+
+std::vector<double> sample(const Spn& spn, Rng& rng) {
+  SPNHBM_REQUIRE(spn.has_root(), "SPN has no root");
+  std::vector<double> out(spn.variable_count(), missing_value());
+  sample_into(spn, spn.root(), rng, out);
+  return out;
+}
+
+std::vector<std::vector<double>> sample_batch(const Spn& spn, Rng& rng,
+                                              std::size_t count) {
+  std::vector<std::vector<double>> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) samples.push_back(sample(spn, rng));
+  return samples;
+}
+
+}  // namespace spnhbm::spn

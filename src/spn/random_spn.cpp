@@ -1,0 +1,104 @@
+#include "spnhbm/spn/random_spn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spnhbm::spn {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(const RandomSpnConfig& config)
+      : config_(config), rng_(config.seed) {
+    SPNHBM_REQUIRE(config.variables >= 1, "need at least one variable");
+    SPNHBM_REQUIRE(config.sum_fanout >= 2, "sum fanout must be >= 2");
+    SPNHBM_REQUIRE(config.histogram_buckets >= 1, "need at least one bucket");
+  }
+
+  Spn generate() {
+    Spn spn;
+    std::vector<VariableId> scope(config_.variables);
+    std::iota(scope.begin(), scope.end(), 0u);
+    const NodeId root = build_region(spn, scope, 0);
+    spn.set_root(root);
+    return spn;
+  }
+
+ private:
+  /// Random normalised histogram over the byte domain.
+  NodeId make_leaf(Spn& spn, VariableId variable) {
+    const std::size_t buckets = config_.histogram_buckets;
+    std::vector<double> breaks(buckets + 1);
+    const double width =
+        static_cast<double>(config_.leaf_domain) / static_cast<double>(buckets);
+    for (std::size_t i = 0; i <= buckets; ++i) {
+      breaks[i] = width * static_cast<double>(i);
+    }
+    std::vector<double> densities(buckets);
+    double total = 0.0;
+    for (auto& d : densities) {
+      d = rng_.next_uniform(0.05, 1.0);
+      total += d * width;
+    }
+    for (auto& d : densities) d /= total;  // integrate to 1
+    return spn.add_histogram(variable, std::move(breaks), std::move(densities));
+  }
+
+  /// A sum-region over `scope`: mixes `sum_fanout` partition-trees.
+  NodeId build_region(Spn& spn, const std::vector<VariableId>& scope,
+                      std::size_t depth) {
+    if (scope.size() <= config_.max_leaf_scope || depth >= config_.max_depth) {
+      if (scope.size() == 1) return make_leaf(spn, scope.front());
+      // Multi-variable leaf region: factorise into univariate leaves.
+      std::vector<NodeId> leaves;
+      leaves.reserve(scope.size());
+      for (const VariableId v : scope) leaves.push_back(make_leaf(spn, v));
+      return spn.add_product(std::move(leaves));
+    }
+    std::vector<NodeId> components;
+    std::vector<double> weights;
+    double total = 0.0;
+    for (std::size_t k = 0; k < config_.sum_fanout; ++k) {
+      components.push_back(build_partition(spn, scope, depth + 1));
+      const double w = rng_.next_uniform(0.2, 1.0);
+      weights.push_back(w);
+      total += w;
+    }
+    for (auto& w : weights) w /= total;
+    // Renormalise exactly: nudge the first weight by the residual.
+    const double residual =
+        1.0 - std::accumulate(weights.begin(), weights.end(), 0.0);
+    weights.front() += residual;
+    return spn.add_sum(std::move(components), std::move(weights));
+  }
+
+  /// A product over a random 2-way split of `scope`.
+  NodeId build_partition(Spn& spn, std::vector<VariableId> scope,
+                         std::size_t depth) {
+    // Shuffle, then split at a random interior point.
+    for (std::size_t i = scope.size(); i > 1; --i) {
+      std::swap(scope[i - 1], scope[rng_.next_below(i)]);
+    }
+    const std::size_t cut =
+        1 + rng_.next_below(static_cast<std::uint64_t>(scope.size() - 1));
+    std::vector<VariableId> left(scope.begin(), scope.begin() + cut);
+    std::vector<VariableId> right(scope.begin() + cut, scope.end());
+    std::sort(left.begin(), left.end());
+    std::sort(right.begin(), right.end());
+    const NodeId left_node = build_region(spn, left, depth + 1);
+    const NodeId right_node = build_region(spn, right, depth + 1);
+    return spn.add_product({left_node, right_node});
+  }
+
+  RandomSpnConfig config_;
+  Rng rng_;
+};
+
+}  // namespace
+
+Spn make_random_spn(const RandomSpnConfig& config) {
+  return Generator(config).generate();
+}
+
+}  // namespace spnhbm::spn

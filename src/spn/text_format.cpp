@@ -1,0 +1,270 @@
+#include "spnhbm/spn/text_format.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::spn {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Spn parse() {
+    Spn spn;
+    const NodeId root = parse_node(spn);
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after SPN description");
+    }
+    spn.set_root(root);
+    return spn;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(
+        strformat("%s (at offset %zu)", message.c_str(), pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool try_consume(char c) {
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!try_consume(c)) {
+      fail(strformat("expected '%c'", c));
+    }
+  }
+
+  bool try_keyword(std::string_view keyword) {
+    skip_whitespace();
+    if (text_.substr(pos_, keyword.size()) == keyword) {
+      pos_ += keyword.size();
+      return true;
+    }
+    return false;
+  }
+
+  double parse_number() {
+    skip_whitespace();
+    double value = 0.0;
+    const auto* begin = text_.data() + pos_;
+    const auto* end = text_.data() + text_.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec != std::errc{}) {
+      fail("expected a number");
+    }
+    pos_ += static_cast<std::size_t>(result.ptr - begin);
+    return value;
+  }
+
+  VariableId parse_variable() {
+    skip_whitespace();
+    if (pos_ >= text_.size() || text_[pos_] != 'V') {
+      fail("expected a variable reference 'V<index>'");
+    }
+    ++pos_;
+    unsigned value = 0;
+    const auto* begin = text_.data() + pos_;
+    const auto* end = text_.data() + text_.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec != std::errc{} || result.ptr == begin) {
+      fail("expected a variable index after 'V'");
+    }
+    pos_ += static_cast<std::size_t>(result.ptr - begin);
+    return value;
+  }
+
+  std::vector<double> parse_number_list() {
+    expect('[');
+    std::vector<double> values;
+    if (!try_consume(']')) {
+      do {
+        values.push_back(parse_number());
+      } while (try_consume(','));
+      expect(']');
+    }
+    return values;
+  }
+
+  NodeId parse_node(Spn& spn) {
+    if (try_keyword("Sum")) return parse_sum(spn);
+    if (try_keyword("Product")) return parse_product(spn);
+    if (try_keyword("Histogram")) return parse_histogram(spn);
+    if (try_keyword("Gaussian")) return parse_gaussian(spn);
+    if (try_keyword("Categorical")) return parse_categorical(spn);
+    fail("expected Sum, Product, Histogram, Gaussian or Categorical");
+  }
+
+  NodeId parse_sum(Spn& spn) {
+    expect('(');
+    std::vector<NodeId> children;
+    std::vector<double> weights;
+    do {
+      weights.push_back(parse_number());
+      expect('*');
+      children.push_back(parse_node(spn));
+    } while (try_consume('+'));
+    expect(')');
+    return spn.add_sum(std::move(children), std::move(weights));
+  }
+
+  NodeId parse_product(Spn& spn) {
+    expect('(');
+    std::vector<NodeId> children;
+    do {
+      children.push_back(parse_node(spn));
+    } while (try_consume('*'));
+    expect(')');
+    return spn.add_product(std::move(children));
+  }
+
+  NodeId parse_histogram(Spn& spn) {
+    expect('(');
+    const VariableId variable = parse_variable();
+    expect('|');
+    auto breaks = parse_number_list();
+    expect(';');
+    auto densities = parse_number_list();
+    expect(')');
+    if (breaks.size() != densities.size() + 1) {
+      fail("histogram needs |breaks| == |densities| + 1");
+    }
+    return spn.add_histogram(variable, std::move(breaks), std::move(densities));
+  }
+
+  NodeId parse_gaussian(Spn& spn) {
+    expect('(');
+    const VariableId variable = parse_variable();
+    expect('|');
+    const double mean = parse_number();
+    expect(';');
+    const double stddev = parse_number();
+    expect(')');
+    if (stddev <= 0.0) fail("gaussian needs a positive stddev");
+    return spn.add_gaussian(variable, mean, stddev);
+  }
+
+  NodeId parse_categorical(Spn& spn) {
+    expect('(');
+    const VariableId variable = parse_variable();
+    expect('|');
+    auto probabilities = parse_number_list();
+    expect(')');
+    if (probabilities.empty()) fail("categorical needs probabilities");
+    return spn.add_categorical(variable, std::move(probabilities));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Printer {
+ public:
+  Printer(const Spn& spn, bool indent) : spn_(spn), indent_(indent) {}
+
+  std::string print() {
+    emit_node(spn_.root(), 0);
+    return std::move(out_);
+  }
+
+ private:
+  void newline(int depth) {
+    if (!indent_) return;
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(depth) * 2, ' ');
+  }
+
+  static std::string number(double v) {
+    // Shortest representation that round-trips through double.
+    std::string s = strformat("%.17g", v);
+    for (int precision = 1; precision < 17; ++precision) {
+      std::string candidate = strformat("%.*g", precision, v);
+      if (std::stod(candidate) == v) return candidate;
+    }
+    return s;
+  }
+
+  void emit_list(const std::vector<double>& values) {
+    out_ += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) out_ += ',';
+      out_ += number(values[i]);
+    }
+    out_ += ']';
+  }
+
+  void emit_node(NodeId id, int depth) {
+    const auto& payload = spn_.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      out_ += "Sum(";
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        if (c != 0) {
+          newline(depth + 1);
+          out_ += " + ";
+        }
+        out_ += number(sum->weights[c]);
+        out_ += '*';
+        emit_node(sum->children[c], depth + 1);
+      }
+      out_ += ')';
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      out_ += "Product(";
+      for (std::size_t c = 0; c < product->children.size(); ++c) {
+        if (c != 0) {
+          newline(depth + 1);
+          out_ += " * ";
+        }
+        emit_node(product->children[c], depth + 1);
+      }
+      out_ += ')';
+    } else if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+      out_ += strformat("Histogram(V%u|", histogram->variable);
+      emit_list(histogram->breaks);
+      out_ += ';';
+      emit_list(histogram->densities);
+      out_ += ')';
+    } else if (const auto* gaussian = std::get_if<GaussianLeaf>(&payload)) {
+      out_ += strformat("Gaussian(V%u|%s;%s)", gaussian->variable,
+                        number(gaussian->mean).c_str(),
+                        number(gaussian->stddev).c_str());
+    } else if (const auto* categorical =
+                   std::get_if<CategoricalLeaf>(&payload)) {
+      out_ += strformat("Categorical(V%u|", categorical->variable);
+      emit_list(categorical->probabilities);
+      out_ += ')';
+    }
+  }
+
+  const Spn& spn_;
+  bool indent_;
+  std::string out_;
+};
+
+}  // namespace
+
+Spn parse_spn(std::string_view text) { return Parser(text).parse(); }
+
+std::string to_text(const Spn& spn, bool indent) {
+  SPNHBM_REQUIRE(spn.has_root(), "cannot serialise an SPN without a root");
+  return Printer(spn, indent).print();
+}
+
+}  // namespace spnhbm::spn

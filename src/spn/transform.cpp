@@ -1,0 +1,200 @@
+#include "spnhbm/spn/transform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::spn {
+
+namespace {
+
+/// Rebuilds the reachable subgraph through a per-node hook that may remap
+/// children. `build(payload, remapped_children) -> NodeId`.
+template <typename BuildFn>
+Spn rebuild(const Spn& spn, BuildFn&& build) {
+  Spn result;
+  std::vector<NodeId> mapped(spn.node_count(), kInvalidNode);
+  for (const NodeId id : spn.reachable_topological()) {
+    mapped[id] = build(result, spn.node(id), mapped);
+  }
+  result.set_root(mapped[spn.root()]);
+  return result;
+}
+
+NodeId copy_leaf(Spn& out, const NodePayload& payload) {
+  if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+    return out.add_histogram(histogram->variable, histogram->breaks,
+                             histogram->densities);
+  }
+  if (const auto* gaussian = std::get_if<GaussianLeaf>(&payload)) {
+    return out.add_gaussian(gaussian->variable, gaussian->mean,
+                            gaussian->stddev);
+  }
+  const auto& categorical = std::get<CategoricalLeaf>(payload);
+  return out.add_categorical(categorical.variable, categorical.probabilities);
+}
+
+}  // namespace
+
+Spn flatten(const Spn& spn) {
+  SPNHBM_REQUIRE(spn.has_root(), "flatten needs a rooted SPN");
+  return rebuild(spn, [&spn](Spn& out, const NodePayload& payload,
+                             const std::vector<NodeId>& mapped) -> NodeId {
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      // Inline children that are themselves (already rebuilt) sums.
+      std::vector<NodeId> children;
+      std::vector<double> weights;
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        const NodeId child = mapped[sum->children[c]];
+        const auto& child_payload = out.node(child);
+        if (const auto* child_sum = std::get_if<SumNode>(&child_payload)) {
+          for (std::size_t g = 0; g < child_sum->children.size(); ++g) {
+            children.push_back(child_sum->children[g]);
+            weights.push_back(sum->weights[c] * child_sum->weights[g]);
+          }
+        } else {
+          children.push_back(child);
+          weights.push_back(sum->weights[c]);
+        }
+      }
+      return out.add_sum(std::move(children), std::move(weights));
+    }
+    if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      std::vector<NodeId> children;
+      for (const NodeId raw_child : product->children) {
+        const NodeId child = mapped[raw_child];
+        const auto& child_payload = out.node(child);
+        if (const auto* child_product =
+                std::get_if<ProductNode>(&child_payload)) {
+          children.insert(children.end(), child_product->children.begin(),
+                          child_product->children.end());
+        } else {
+          children.push_back(child);
+        }
+      }
+      return out.add_product(std::move(children));
+    }
+    return copy_leaf(out, payload);
+  });
+}
+
+Spn prune_low_weights(const Spn& spn, double threshold) {
+  SPNHBM_REQUIRE(spn.has_root(), "prune needs a rooted SPN");
+  SPNHBM_REQUIRE(threshold >= 0.0 && threshold < 1.0,
+                 "prune threshold out of range");
+  return rebuild(spn, [threshold](Spn& out, const NodePayload& payload,
+                                  const std::vector<NodeId>& mapped)
+                     -> NodeId {
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      std::vector<NodeId> children;
+      std::vector<double> weights;
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        if (sum->weights[c] >= threshold) {
+          children.push_back(mapped[sum->children[c]]);
+          weights.push_back(sum->weights[c]);
+        }
+      }
+      if (children.empty()) {
+        // Never drop everything: keep the heaviest child.
+        const std::size_t best = static_cast<std::size_t>(
+            std::max_element(sum->weights.begin(), sum->weights.end()) -
+            sum->weights.begin());
+        children.push_back(mapped[sum->children[best]]);
+        weights.push_back(1.0);
+      } else {
+        const double total =
+            std::accumulate(weights.begin(), weights.end(), 0.0);
+        for (auto& w : weights) w /= total;
+      }
+      return out.add_sum(std::move(children), std::move(weights));
+    }
+    if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      std::vector<NodeId> children;
+      for (const NodeId child : product->children) {
+        children.push_back(mapped[child]);
+      }
+      return out.add_product(std::move(children));
+    }
+    return copy_leaf(out, payload);
+  });
+}
+
+namespace {
+
+/// Stable structural key of a rebuilt node (children already canonical).
+std::string structural_key(const Spn& spn, const NodePayload& payload,
+                           NodeId id) {
+  (void)spn;
+  (void)id;
+  std::string key;
+  if (const auto* sum = std::get_if<SumNode>(&payload)) {
+    key = "S";
+    for (std::size_t c = 0; c < sum->children.size(); ++c) {
+      key += strformat("%u*%.17g,", sum->children[c], sum->weights[c]);
+    }
+  } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+    key = "P";
+    for (const NodeId child : product->children) {
+      key += strformat("%u,", child);
+    }
+  } else if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+    key = strformat("H%u|", histogram->variable);
+    for (const double b : histogram->breaks) key += strformat("%.17g,", b);
+    key += ";";
+    for (const double d : histogram->densities) key += strformat("%.17g,", d);
+  } else if (const auto* gaussian = std::get_if<GaussianLeaf>(&payload)) {
+    key = strformat("G%u|%.17g;%.17g", gaussian->variable, gaussian->mean,
+                    gaussian->stddev);
+  } else {
+    const auto& categorical = std::get<CategoricalLeaf>(payload);
+    key = strformat("C%u|", categorical.variable);
+    for (const double p : categorical.probabilities) {
+      key += strformat("%.17g,", p);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+Spn deduplicate(const Spn& spn) {
+  SPNHBM_REQUIRE(spn.has_root(), "deduplicate needs a rooted SPN");
+  Spn result;
+  std::vector<NodeId> mapped(spn.node_count(), kInvalidNode);
+  std::map<std::string, NodeId> canonical;
+  for (const NodeId id : spn.reachable_topological()) {
+    const auto& payload = spn.node(id);
+    // Build the candidate payload with remapped children (without pushing
+    // it yet), so identical subgraphs get identical keys.
+    NodePayload candidate = payload;
+    if (auto* sum = std::get_if<SumNode>(&candidate)) {
+      for (auto& child : sum->children) child = mapped[child];
+    } else if (auto* product = std::get_if<ProductNode>(&candidate)) {
+      for (auto& child : product->children) child = mapped[child];
+    }
+    const std::string key = structural_key(result, candidate, id);
+    const auto existing = canonical.find(key);
+    if (existing != canonical.end()) {
+      mapped[id] = existing->second;
+      continue;
+    }
+    NodeId fresh;
+    if (auto* sum = std::get_if<SumNode>(&candidate)) {
+      fresh = result.add_sum(sum->children, sum->weights);
+    } else if (auto* product = std::get_if<ProductNode>(&candidate)) {
+      fresh = result.add_product(product->children);
+    } else {
+      fresh = copy_leaf(result, candidate);
+    }
+    canonical.emplace(key, fresh);
+    mapped[id] = fresh;
+  }
+  result.set_root(mapped[spn.root()]);
+  return result;
+}
+
+Spn optimise(const Spn& spn) { return deduplicate(flatten(spn)); }
+
+}  // namespace spnhbm::spn

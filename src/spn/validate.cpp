@@ -1,0 +1,133 @@
+#include "spnhbm/spn/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::spn {
+
+namespace {
+
+bool scopes_equal(const std::vector<VariableId>& a,
+                  const std::vector<VariableId>& b) {
+  return a == b;  // both sorted & unique
+}
+
+bool scopes_disjoint(const std::vector<VariableId>& a,
+                     const std::vector<VariableId>& b) {
+  // Sorted-merge intersection test.
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return false;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+/// Numerically robust integral of a histogram leaf.
+double histogram_mass(const HistogramLeaf& leaf) {
+  double mass = 0.0;
+  for (std::size_t i = 0; i < leaf.densities.size(); ++i) {
+    mass += leaf.densities[i] * (leaf.breaks[i + 1] - leaf.breaks[i]);
+  }
+  return mass;
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Spn& spn,
+                                  const ValidationOptions& options) {
+  std::vector<std::string> violations;
+  if (!spn.has_root()) {
+    violations.push_back("SPN has no root");
+    return violations;
+  }
+  const auto scopes = spn.compute_scopes();
+
+  for (const NodeId id : spn.reachable_topological()) {
+    const auto& payload = spn.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      double total = 0.0;
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        if (sum->weights[c] <= 0.0) {
+          violations.push_back(strformat(
+              "sum node %u: weight %zu is non-positive (%g)", id, c,
+              sum->weights[c]));
+        }
+        total += sum->weights[c];
+        if (!scopes_equal(scopes[sum->children[0]],
+                          scopes[sum->children[c]])) {
+          violations.push_back(strformat(
+              "sum node %u violates completeness: child %u and child %u "
+              "have different scopes",
+              id, sum->children[0], sum->children[c]));
+        }
+      }
+      if (std::fabs(total - 1.0) > options.weight_tolerance) {
+        violations.push_back(strformat(
+            "sum node %u weights sum to %.12g, expected 1", id, total));
+      }
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      for (std::size_t a = 0; a < product->children.size(); ++a) {
+        for (std::size_t b = a + 1; b < product->children.size(); ++b) {
+          if (!scopes_disjoint(scopes[product->children[a]],
+                               scopes[product->children[b]])) {
+            violations.push_back(strformat(
+                "product node %u violates decomposability: children %u and "
+                "%u share scope",
+                id, product->children[a], product->children[b]));
+          }
+        }
+      }
+    } else if (const auto* histogram = std::get_if<HistogramLeaf>(&payload)) {
+      for (std::size_t b = 0; b < histogram->densities.size(); ++b) {
+        if (histogram->densities[b] < 0.0) {
+          violations.push_back(strformat(
+              "histogram leaf %u: bucket %zu density is negative", id, b));
+        }
+      }
+      if (options.require_normalised_leaves) {
+        const double mass = histogram_mass(*histogram);
+        if (std::fabs(mass - 1.0) > 1e-6) {
+          violations.push_back(strformat(
+              "histogram leaf %u integrates to %.9g, expected 1", id, mass));
+        }
+      }
+    } else if (const auto* categorical =
+                   std::get_if<CategoricalLeaf>(&payload)) {
+      double total = 0.0;
+      for (const double p : categorical->probabilities) {
+        if (p < 0.0) {
+          violations.push_back(
+              strformat("categorical leaf %u has a negative probability", id));
+        }
+        total += p;
+      }
+      if (options.require_normalised_leaves && std::fabs(total - 1.0) > 1e-6) {
+        violations.push_back(strformat(
+            "categorical leaf %u probabilities sum to %.9g, expected 1", id,
+            total));
+      }
+    }
+    // Gaussian leaves: stddev positivity is enforced at construction.
+  }
+  return violations;
+}
+
+void validate_or_throw(const Spn& spn, const ValidationOptions& options) {
+  const auto violations = validate(spn, options);
+  if (!violations.empty()) {
+    std::string message = strformat("%zu violation(s):", violations.size());
+    for (const auto& violation : violations) {
+      message += "\n  - " + violation;
+    }
+    throw ValidationError(message);
+  }
+}
+
+}  // namespace spnhbm::spn

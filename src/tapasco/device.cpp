@@ -1,0 +1,171 @@
+#include "spnhbm/tapasco/device.hpp"
+
+namespace spnhbm::tapasco {
+
+Device::Device(sim::ProcessRunner& runner,
+               const compiler::DatapathModule& module,
+               const arith::ArithBackend& backend, CompositionConfig config)
+    : runner_(runner), config_(config) {
+  SPNHBM_REQUIRE(config_.pe_count >= 1, "composition needs at least one PE");
+  if (!config_.skip_placement_check) {
+    fpga::DesignSpec spec;
+    spec.platform = config_.platform;
+    spec.pe_count = config_.pe_count;
+    spec.memory_controllers = config_.memory_channels;
+    fpga::check_placement(module, backend.kind(), spec);
+  }
+
+  auto& scheduler = runner.scheduler();
+  pcie::DmaEngineConfig dma_config =
+      pcie::dma_config_for_generation(config_.pcie_generation);
+  dma_config.failure_rate = config_.dma_failure_rate;
+  if (config_.platform == fpga::Platform::kF1) {
+    // AWS EDMA class engine: slower streaming rate than XDMA.
+    dma_config.engine_bandwidth =
+        Bandwidth::gbit_per_second(fpga::cal::kF1DmaGbps);
+  }
+  dma_ = std::make_unique<pcie::DmaEngine>(scheduler, dma_config);
+
+  fpga::AcceleratorConfig accel_config;
+  accel_config.compute_results = config_.compute_results;
+
+  if (config_.platform == fpga::Platform::kHbmXupVvh) {
+    SPNHBM_REQUIRE(config_.pe_count <= 32, "at most 32 HBM channels");
+    hbm::HbmDeviceConfig hbm_config;
+    hbm_config.crossbar_enabled = config_.hbm_crossbar;
+    hbm_ = std::make_unique<hbm::HbmDevice>(scheduler, hbm_config);
+    for (int i = 0; i < config_.pe_count; ++i) {
+      // PE -> register slice -> SmartConnect (clock/width/protocol
+      // conversion) -> dedicated HBM channel (paper §IV-A).
+      smart_connects_.push_back(std::make_unique<axi::SmartConnect>(
+          scheduler, hbm_->port(static_cast<std::size_t>(i))));
+      register_slices_.push_back(std::make_unique<axi::RegisterSlice>(
+          scheduler, *smart_connects_.back()));
+      accelerators_.push_back(std::make_unique<fpga::SpnAccelerator>(
+          runner, module, backend, *register_slices_.back(),
+          &hbm_->channel(static_cast<std::size_t>(i)), accel_config));
+    }
+  } else {
+    SPNHBM_REQUIRE(config_.memory_channels >= 1 &&
+                       config_.memory_channels <= fpga::cal::kF1MaxMemoryChannels,
+                   "F1 supports 1..4 DDR channels");
+    accel_config.clock = ClockDomain(fpga::cal::kF1PeClockHz);
+    accel_config.compute_results = false;  // DDR model is timing-only
+    for (int c = 0; c < config_.memory_channels; ++c) {
+      ddr_channels_.push_back(std::make_unique<ddr::DdrChannel>(scheduler));
+    }
+    for (int i = 0; i < config_.pe_count; ++i) {
+      auto& channel =
+          *ddr_channels_[static_cast<std::size_t>(i) % ddr_channels_.size()];
+      register_slices_.push_back(std::make_unique<axi::RegisterSlice>(
+          scheduler, channel.port()));
+      accelerators_.push_back(std::make_unique<fpga::SpnAccelerator>(
+          runner, module, backend, *register_slices_.back(), nullptr,
+          accel_config));
+    }
+  }
+}
+
+fpga::SpnAccelerator& Device::pe(std::size_t index) {
+  SPNHBM_REQUIRE(index < accelerators_.size(), "PE index out of range");
+  return *accelerators_[index];
+}
+
+hbm::HbmChannel* Device::backing_channel(std::size_t pe_index) {
+  SPNHBM_REQUIRE(pe_index < accelerators_.size(), "PE index out of range");
+  if (!hbm_) return nullptr;
+  return &hbm_->channel(pe_index);
+}
+
+std::uint64_t Device::memory_capacity_per_pe() const {
+  if (hbm_) return hbm_->channel(0).config().capacity_bytes;
+  return ddr_channels_.front()->config().capacity_bytes /
+         static_cast<std::uint64_t>(config_.pe_count);
+}
+
+sim::Task<void> Device::dma_and_channel(std::size_t pe_index,
+                                        std::uint64_t address,
+                                        std::uint64_t bytes, bool to_device) {
+  // The stream occupies the DMA engine and the destination memory channel
+  // concurrently; completion is bounded by the slower of the two. Failed
+  // transfers (injected faults) are re-queued by this driver layer, up to
+  // a bounded retry budget.
+  constexpr int kMaxDmaAttempts = 8;
+  auto& accel_port =
+      hbm_ ? hbm_->channel(pe_index).port()
+           : ddr_channels_[pe_index % ddr_channels_.size()]->port();
+  const pcie::Direction direction = to_device
+                                        ? pcie::Direction::kHostToDevice
+                                        : pcie::Direction::kDeviceToHost;
+  for (int attempt = 1;; ++attempt) {
+    sim::Process channel_side =
+        runner_.spawn([&accel_port, address, bytes, to_device]() -> sim::Process {
+          co_await axi::linear_transfer(accel_port, address, bytes, to_device);
+        });
+    std::exception_ptr failure;
+    try {
+      co_await dma_->transfer(bytes, direction);
+    } catch (const pcie::DmaError&) {
+      failure = std::current_exception();
+    }
+    co_await channel_side.join();
+    if (!failure) co_return;
+    if (attempt >= kMaxDmaAttempts) std::rethrow_exception(failure);
+  }
+}
+
+sim::Task<void> Device::copy_to_device(std::size_t pe_index,
+                                       std::uint64_t address,
+                                       std::span<const std::uint8_t> data) {
+  SPNHBM_REQUIRE(pe_index < accelerators_.size(), "PE index out of range");
+  co_await dma_and_channel(pe_index, address, data.size(), true);
+  if (hbm_) hbm_->channel(pe_index).write_backdoor(address, data);
+}
+
+sim::Task<void> Device::copy_from_device(std::size_t pe_index,
+                                         std::uint64_t address,
+                                         std::span<std::uint8_t> out) {
+  SPNHBM_REQUIRE(pe_index < accelerators_.size(), "PE index out of range");
+  co_await dma_and_channel(pe_index, address, out.size(), false);
+  if (hbm_) hbm_->channel(pe_index).read_backdoor(address, out);
+}
+
+sim::Task<void> Device::copy_to_device_timed(std::size_t pe_index,
+                                             std::uint64_t address,
+                                             std::uint64_t bytes) {
+  co_await dma_and_channel(pe_index, address, bytes, true);
+}
+
+sim::Task<void> Device::copy_from_device_timed(std::size_t pe_index,
+                                               std::uint64_t address,
+                                               std::uint64_t bytes) {
+  co_await dma_and_channel(pe_index, address, bytes, false);
+}
+
+sim::Task<void> Device::launch_inference(std::size_t pe_index,
+                                         std::uint64_t input_address,
+                                         std::uint64_t output_address,
+                                         std::uint64_t samples) {
+  auto& scheduler = runner_.scheduler();
+  fpga::SpnAccelerator& accelerator = pe(pe_index);
+  // AXI4-Lite register writes + doorbell.
+  co_await sim::delay(scheduler, fpga::cal::kJobLaunchOverhead / 2);
+  accelerator.write_register(fpga::Reg::kInputAddress, input_address);
+  accelerator.write_register(fpga::Reg::kOutputAddress, output_address);
+  accelerator.write_register(fpga::Reg::kSampleCount, samples);
+  accelerator.write_register(fpga::Reg::kControl, 1);
+  co_await accelerator.wait_done();
+  // Completion interrupt + handler.
+  co_await sim::delay(scheduler, fpga::cal::kJobLaunchOverhead / 2);
+}
+
+std::uint64_t Device::query_config(std::size_t pe_index,
+                                   fpga::ConfigQuery query) {
+  fpga::SpnAccelerator& accelerator = pe(pe_index);
+  accelerator.write_register(fpga::Reg::kSampleCount,
+                             static_cast<std::uint64_t>(query));
+  accelerator.write_register(fpga::Reg::kControl, 2);
+  return accelerator.read_register(fpga::Reg::kReturnValue);
+}
+
+}  // namespace spnhbm::tapasco

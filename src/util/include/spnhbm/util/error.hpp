@@ -1,0 +1,73 @@
+// Error types shared across the spnhbm libraries.
+//
+// The library follows the C++ Core Guidelines (E.2): errors that the caller
+// cannot reasonably recover from locally are reported via exceptions derived
+// from spnhbm::Error. Precondition violations in internal code use
+// SPNHBM_REQUIRE, which throws std::logic_error with location context so a
+// misuse is always attributable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spnhbm {
+
+/// Base class for all recoverable spnhbm errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed textual model descriptions, bad config files, etc.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Structurally invalid SPNs (violated smoothness/decomposability/weights).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validation error: " + what) {}
+};
+
+/// A design does not fit the target device (resources, channels, routing).
+class PlacementError : public Error {
+ public:
+  explicit PlacementError(const std::string& what)
+      : Error("placement error: " + what) {}
+};
+
+/// Device memory exhaustion or invalid device addresses.
+class DeviceMemoryError : public Error {
+ public:
+  explicit DeviceMemoryError(const std::string& what)
+      : Error("device memory error: " + what) {}
+};
+
+/// Misuse of a runtime API (launching an unconfigured PE, etc.).
+class RuntimeApiError : public Error {
+ public:
+  explicit RuntimeApiError(const std::string& what)
+      : Error("runtime API error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::logic_error(std::string("precondition failed: ") + cond + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace spnhbm
+
+/// Precondition check that always fires (also in release builds); internal
+/// invariants are cheap enough here that we never want them compiled out.
+#define SPNHBM_REQUIRE(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::spnhbm::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The simulator and runtime are chatty at Debug level (per-burst events);
+// benchmarks run at Warn. The level is a process-global atomic so tests can
+// flip it without synchronisation concerns.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spnhbm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line to stderr if `level` is enabled.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace spnhbm
+
+#define SPNHBM_LOG(level, component)                         \
+  if (static_cast<int>(level) < static_cast<int>(::spnhbm::log_level())) { \
+  } else                                                     \
+    ::spnhbm::detail::LogLine(level, component)
+
+#define SPNHBM_DEBUG(component) SPNHBM_LOG(::spnhbm::LogLevel::kDebug, component)
+#define SPNHBM_INFO(component) SPNHBM_LOG(::spnhbm::LogLevel::kInfo, component)
+#define SPNHBM_WARN(component) SPNHBM_LOG(::spnhbm::LogLevel::kWarn, component)
+#define SPNHBM_ERROR(component) SPNHBM_LOG(::spnhbm::LogLevel::kError, component)

@@ -1,0 +1,146 @@
+// Deterministic random number generation.
+//
+// Everything in this repository that uses randomness (dataset synthesis,
+// structure learning, property tests, traffic generators) draws from this
+// xoshiro256** generator seeded through splitmix64, so every experiment is
+// reproducible from a single integer seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm {
+
+/// xoshiro256** by Blackman & Vigna; fast, high-quality, and deterministic
+/// across platforms (unlike std::mt19937 distributions, whose output is
+/// implementation-defined for std::normal_distribution et al.).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the four lanes.
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    SPNHBM_REQUIRE(bound > 0, "bound must be positive");
+    // Lemire's multiply-shift rejection method, bias-free.
+    std::uint64_t x = next_u64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<unsigned __int128>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform in [lo, hi).
+  double next_uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double next_normal();
+
+  /// Samples an index according to `weights` (need not be normalised).
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+  /// Zipf-distributed integer in [0, n) with exponent `s`.
+  /// Used by the bag-of-words workload generator for word frequencies.
+  std::size_t next_zipf(std::size_t n, double s);
+
+  /// Derives an independent child generator (stable given the label).
+  Rng fork(std::uint64_t label) const {
+    Rng child;
+    child.reseed(s_[0] ^ (label * 0xD2B74407B1CE6E93ull));
+    return child;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+inline double Rng::next_normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = next_uniform(-1.0, 1.0);
+    v = next_uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+inline std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+  SPNHBM_REQUIRE(!weights.empty(), "weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) total += w;
+  SPNHBM_REQUIRE(total > 0.0, "weights must sum to a positive value");
+  double r = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+inline std::size_t Rng::next_zipf(std::size_t n, double s) {
+  SPNHBM_REQUIRE(n > 0, "zipf support must be non-empty");
+  // Inverse-CDF on the harmonic weights; n is small (vocabulary size), so a
+  // linear scan is fine and keeps the generator allocation-free.
+  double h = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) h += 1.0 / std::pow(static_cast<double>(k), s);
+  double r = next_double() * h;
+  for (std::size_t k = 1; k <= n; ++k) {
+    r -= 1.0 / std::pow(static_cast<double>(k), s);
+    if (r <= 0.0) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace spnhbm

@@ -1,0 +1,45 @@
+// Small statistics helpers shared by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spnhbm {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< Sample variance; 0 for fewer than 2 values.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Geometric mean; all values must be positive.
+double geometric_mean(const std::vector<double>& values);
+
+/// p-th percentile (p in [0,100]) by linear interpolation; copies & sorts.
+double percentile(std::vector<double> values, double p);
+
+/// Pearson correlation of two equally-sized vectors.
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// G-test statistic of independence over a joint count table laid out
+/// row-major with `cols` columns. Used by the structure learner.
+double g_test_statistic(const std::vector<double>& joint_counts,
+                        std::size_t rows, std::size_t cols);
+
+}  // namespace spnhbm

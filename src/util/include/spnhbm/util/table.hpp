@@ -1,0 +1,30 @@
+// ASCII table printer used by the benchmark harness to emit the paper's
+// tables and figure data series in a readable, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spnhbm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with column alignment and a header rule.
+  std::string render() const;
+
+  /// Renders as comma-separated values (for plotting scripts).
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spnhbm

@@ -1,0 +1,98 @@
+#include "spnhbm/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double geometric_mean(const std::vector<double>& values) {
+  SPNHBM_REQUIRE(!values.empty(), "geometric mean of empty set");
+  double log_sum = 0.0;
+  for (double v : values) {
+    SPNHBM_REQUIRE(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double percentile(std::vector<double> values, double p) {
+  SPNHBM_REQUIRE(!values.empty(), "percentile of empty set");
+  SPNHBM_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  SPNHBM_REQUIRE(x.size() == y.size() && x.size() >= 2,
+                 "correlation requires two equally-sized series");
+  RunningStats sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  if (denom == 0.0) return 0.0;
+  return cov / denom;
+}
+
+double g_test_statistic(const std::vector<double>& joint_counts,
+                        std::size_t rows, std::size_t cols) {
+  SPNHBM_REQUIRE(joint_counts.size() == rows * cols,
+                 "joint count table has wrong size");
+  std::vector<double> row_sum(rows, 0.0), col_sum(cols, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = joint_counts[r * cols + c];
+      row_sum[r] += v;
+      col_sum[c] += v;
+      total += v;
+    }
+  }
+  if (total <= 0.0) return 0.0;
+  double g = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double observed = joint_counts[r * cols + c];
+      if (observed <= 0.0) continue;
+      const double expected = row_sum[r] * col_sum[c] / total;
+      g += observed * std::log(observed / expected);
+    }
+  }
+  return 2.0 * g;
+}
+
+}  // namespace spnhbm

@@ -1,0 +1,36 @@
+#include "spnhbm/util/units.hpp"
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm {
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    return strformat("%llu GiB", static_cast<unsigned long long>(bytes / kGiB));
+  }
+  if (bytes >= kMiB && bytes % kMiB == 0) {
+    return strformat("%llu MiB", static_cast<unsigned long long>(bytes / kMiB));
+  }
+  if (bytes >= kKiB && bytes % kKiB == 0) {
+    return strformat("%llu KiB", static_cast<unsigned long long>(bytes / kKiB));
+  }
+  if (bytes >= kGiB) {
+    return strformat("%.2f GiB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+  }
+  if (bytes >= kMiB) {
+    return strformat("%.2f MiB", static_cast<double>(bytes) / static_cast<double>(kMiB));
+  }
+  if (bytes >= kKiB) {
+    return strformat("%.2f KiB", static_cast<double>(bytes) / static_cast<double>(kKiB));
+  }
+  return strformat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string format_rate(double per_second) {
+  if (per_second >= 1e9) return strformat("%.2f Gsamples/s", per_second / 1e9);
+  if (per_second >= 1e6) return strformat("%.2f Msamples/s", per_second / 1e6);
+  if (per_second >= 1e3) return strformat("%.2f Ksamples/s", per_second / 1e3);
+  return strformat("%.2f samples/s", per_second);
+}
+
+}  // namespace spnhbm

@@ -1,0 +1,37 @@
+// Synthetic NIPS-like bag-of-words corpus.
+//
+// The paper's benchmarks are SPNs learned over the first 10/20/.../80
+// variables of the UCI NIPS bag-of-words dataset (word counts per
+// document). The corpus itself is not redistributable here, so this module
+// synthesises a statistically similar one (see DESIGN.md substitution
+// table):
+//   * word marginals follow a Zipf law (natural-language frequency);
+//   * documents are drawn from a small number of latent topics, which
+//     induces the inter-word correlations that LearnSPN turns into sum
+//     (cluster) and product (independence) splits;
+//   * counts are clamped to a byte, matching the accelerator's
+//     single-byte-per-feature input encoding.
+//
+// Everything is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "spnhbm/spn/dataset.hpp"
+
+namespace spnhbm::workload {
+
+struct CorpusConfig {
+  std::size_t documents = 4096;
+  std::size_t vocabulary = 80;  ///< number of word features (columns)
+  std::size_t topics = 4;
+  /// Mean words drawn per document (word *tokens*, spread over features).
+  double document_length = 160.0;
+  double zipf_exponent = 1.05;
+  std::uint64_t seed = 20220530;  ///< default: paper's IPDPS 2022 week
+};
+
+/// Generates a documents x vocabulary matrix of byte-clamped word counts.
+spn::DataMatrix make_bag_of_words(const CorpusConfig& config);
+
+}  // namespace spnhbm::workload

@@ -1,0 +1,264 @@
+#include "spnhbm/arith/cfp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::arith {
+namespace {
+
+CfpFormat fmt(int e, int m, bool sign = false,
+              Rounding r = Rounding::kNearestEven) {
+  CfpFormat f;
+  f.exponent_bits = e;
+  f.mantissa_bits = m;
+  f.has_sign = sign;
+  f.rounding = r;
+  return f;
+}
+
+TEST(Cfp, ZeroRoundTrips) {
+  const auto f = fmt(8, 22);
+  EXPECT_EQ(cfp_encode(f, 0.0), 0u);
+  EXPECT_DOUBLE_EQ(cfp_decode(f, 0), 0.0);
+}
+
+TEST(Cfp, PowersOfTwoAreExact) {
+  const auto f = fmt(8, 22);
+  for (int k = -60; k <= 60; ++k) {
+    const double v = std::ldexp(1.0, k);
+    EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_encode(f, v)), v) << "k=" << k;
+  }
+}
+
+TEST(Cfp, UnsignedFormatClampsNegativeToZero) {
+  const auto f = fmt(8, 22);
+  EXPECT_EQ(cfp_encode(f, -0.5), 0u);
+}
+
+TEST(Cfp, SignedFormatRoundTripsNegative) {
+  const auto f = fmt(8, 22, /*sign=*/true);
+  EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_encode(f, -0.75)), -0.75);
+}
+
+TEST(Cfp, EncodeRoundsToNearestEven) {
+  // 2 mantissa bits: representable significands 1.00, 1.01, 1.10, 1.11.
+  const auto f = fmt(6, 2);
+  // 1.125 is exactly between 1.00 (even mantissa 00) and 1.25 (mantissa 01):
+  // ties go to even -> 1.0.
+  EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_encode(f, 1.125)), 1.0);
+  // 1.375 is between 1.25 (01) and 1.5 (10): tie to even -> 1.5.
+  EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_encode(f, 1.375)), 1.5);
+  // Non-ties round to nearest.
+  EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_encode(f, 1.2)), 1.25);
+}
+
+TEST(Cfp, EncodeTruncates) {
+  const auto f = fmt(6, 2, false, Rounding::kTruncate);
+  EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_encode(f, 1.24)), 1.0);
+  EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_encode(f, 1.99)), 1.75);
+}
+
+TEST(Cfp, OverflowSaturatesToMax) {
+  const auto f = fmt(4, 4);  // tiny range: max exp field 15, bias 7
+  const double max_val = cfp_decode(f, cfp_max_value(f));
+  EXPECT_EQ(cfp_encode(f, 1e30), cfp_max_value(f));
+  EXPECT_EQ(cfp_encode(f, max_val * 2), cfp_max_value(f));
+}
+
+TEST(Cfp, UnderflowFlushesToZero) {
+  const auto f = fmt(4, 4);
+  const double min_pos = cfp_min_positive(f);
+  EXPECT_GT(min_pos, 0.0);
+  EXPECT_EQ(cfp_encode(f, min_pos / 4), 0u);
+  EXPECT_NE(cfp_encode(f, min_pos), 0u);
+}
+
+TEST(Cfp, InfAndNanHandling) {
+  const auto f = fmt(8, 22);
+  EXPECT_EQ(cfp_encode(f, std::numeric_limits<double>::infinity()),
+            cfp_max_value(f));
+  EXPECT_EQ(cfp_encode(f, std::numeric_limits<double>::quiet_NaN()), 0u);
+}
+
+TEST(Cfp, AddIdentity) {
+  const auto f = fmt(8, 22);
+  const auto x = cfp_encode(f, 0.3125);
+  EXPECT_EQ(cfp_add(f, x, 0), x);
+  EXPECT_EQ(cfp_add(f, 0, x), x);
+}
+
+TEST(Cfp, AddExactValues) {
+  const auto f = fmt(8, 22);
+  const auto a = cfp_encode(f, 0.25);
+  const auto b = cfp_encode(f, 0.5);
+  EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_add(f, a, b)), 0.75);
+}
+
+TEST(Cfp, AddIsCommutative) {
+  const auto f = fmt(8, 22);
+  Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = cfp_encode(f, rng.next_uniform(0.0, 2.0));
+    const auto b = cfp_encode(f, rng.next_uniform(0.0, 2.0));
+    EXPECT_EQ(cfp_add(f, a, b), cfp_add(f, b, a));
+  }
+}
+
+TEST(Cfp, MulIsCommutative) {
+  const auto f = fmt(8, 22);
+  Rng rng(103);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = cfp_encode(f, rng.next_double());
+    const auto b = cfp_encode(f, rng.next_double());
+    EXPECT_EQ(cfp_mul(f, a, b), cfp_mul(f, b, a));
+  }
+}
+
+TEST(Cfp, MulByOneAndZero) {
+  const auto f = fmt(8, 22);
+  const auto one = cfp_encode(f, 1.0);
+  const auto x = cfp_encode(f, 0.613);
+  EXPECT_EQ(cfp_mul(f, x, one), x);
+  EXPECT_EQ(cfp_mul(f, x, 0), 0u);
+}
+
+TEST(Cfp, MulExactPowersOfTwo) {
+  const auto f = fmt(8, 22);
+  const auto a = cfp_encode(f, 0.25);
+  const auto b = cfp_encode(f, 0.5);
+  EXPECT_DOUBLE_EQ(cfp_decode(f, cfp_mul(f, a, b)), 0.125);
+}
+
+TEST(Cfp, SignedSubtractionCancels) {
+  const auto f = fmt(8, 22, /*sign=*/true);
+  const auto a = cfp_encode(f, 0.75);
+  const auto b = cfp_encode(f, -0.75);
+  EXPECT_EQ(cfp_add(f, a, b), 0u);
+}
+
+TEST(Cfp, SignedSubtractionNormalises) {
+  const auto f = fmt(8, 22, /*sign=*/true);
+  const auto a = cfp_encode(f, 1.0);
+  const auto b = cfp_encode(f, -0.9375);
+  EXPECT_NEAR(cfp_decode(f, cfp_add(f, a, b)), 0.0625, 1e-6);
+}
+
+// Property sweep: encoding error must be bounded by half an ulp (RNE) or a
+// full ulp (truncate) across formats; add/mul must match double arithmetic
+// to within format precision for values well inside the exponent range.
+struct CfpParam {
+  int exponent_bits;
+  int mantissa_bits;
+  Rounding rounding;
+};
+
+class CfpPropertyTest : public ::testing::TestWithParam<CfpParam> {};
+
+TEST_P(CfpPropertyTest, EncodeErrorWithinUlpBound) {
+  const auto p = GetParam();
+  const auto f = fmt(p.exponent_bits, p.mantissa_bits, false, p.rounding);
+  const double ulp_bound =
+      std::ldexp(p.rounding == Rounding::kNearestEven ? 0.5 : 1.0,
+                 -p.mantissa_bits);
+  Rng rng(202 + p.mantissa_bits);
+  // Sample log-uniformly, but strictly inside the format's exponent range
+  // (values below cfp_min_positive legitimately flush to zero).
+  const double lo = std::log(cfp_min_positive(f) * 4.0);
+  const double hi = std::log(cfp_decode(f, cfp_max_value(f)) / 4.0);
+  for (int i = 0; i < 3000; ++i) {
+    const double v = std::exp(rng.next_uniform(std::max(lo, -20.0),
+                                               std::min(hi, 5.0)));
+    const double decoded = cfp_decode(f, cfp_encode(f, v));
+    EXPECT_LE(std::fabs(decoded - v) / v, ulp_bound * (1 + 1e-12))
+        << "v=" << v << " fmt=" << f.describe();
+  }
+}
+
+TEST_P(CfpPropertyTest, MulMatchesDoubleWithinPrecision) {
+  const auto p = GetParam();
+  const auto f = fmt(p.exponent_bits, p.mantissa_bits, false, p.rounding);
+  const double tolerance = std::ldexp(4.0, -p.mantissa_bits);
+  Rng rng(404 + p.mantissa_bits);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.next_uniform(0.01, 1.0);
+    const double y = rng.next_uniform(0.01, 1.0);
+    const double got = cfp_decode(f, cfp_mul(f, cfp_encode(f, x), cfp_encode(f, y)));
+    const double want = cfp_decode(f, cfp_encode(f, x)) * cfp_decode(f, cfp_encode(f, y));
+    EXPECT_NEAR(got / want, 1.0, tolerance) << f.describe();
+  }
+}
+
+TEST_P(CfpPropertyTest, AddMatchesDoubleWithinPrecision) {
+  const auto p = GetParam();
+  const auto f = fmt(p.exponent_bits, p.mantissa_bits, false, p.rounding);
+  const double tolerance = std::ldexp(4.0, -p.mantissa_bits);
+  Rng rng(606 + p.mantissa_bits);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.next_uniform(0.01, 1.0);
+    const double y = rng.next_uniform(0.01, 1.0);
+    const double got = cfp_decode(f, cfp_add(f, cfp_encode(f, x), cfp_encode(f, y)));
+    const double want = cfp_decode(f, cfp_encode(f, x)) + cfp_decode(f, cfp_encode(f, y));
+    EXPECT_NEAR(got / want, 1.0, tolerance) << f.describe();
+  }
+}
+
+TEST_P(CfpPropertyTest, MonotoneEncoding) {
+  const auto p = GetParam();
+  const auto f = fmt(p.exponent_bits, p.mantissa_bits, false, p.rounding);
+  // Unsigned CFP bit patterns must order like the values they encode.
+  Rng rng(808);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::exp(rng.next_uniform(-10.0, 3.0));
+    const double y = std::exp(rng.next_uniform(-10.0, 3.0));
+    const auto ex = cfp_encode(f, x);
+    const auto ey = cfp_encode(f, y);
+    if (x <= y) {
+      EXPECT_LE(cfp_decode(f, ex), cfp_decode(f, ey));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, CfpPropertyTest,
+    ::testing::Values(CfpParam{8, 22, Rounding::kNearestEven},
+                      CfpParam{8, 22, Rounding::kTruncate},
+                      CfpParam{5, 10, Rounding::kNearestEven},
+                      CfpParam{8, 23, Rounding::kNearestEven},
+                      CfpParam{11, 52, Rounding::kNearestEven},
+                      CfpParam{6, 14, Rounding::kTruncate}));
+
+TEST(Cfp, ValidateRejectsBadWidths) {
+  EXPECT_THROW(fmt(1, 10).validate(), std::logic_error);
+  EXPECT_THROW(fmt(8, 0).validate(), std::logic_error);
+  EXPECT_THROW(fmt(16, 53).validate(), std::logic_error);
+}
+
+TEST(Cfp, MatchesIeeeSingleOnRandomOps) {
+  // e=8, m=23, signed, RNE is exactly IEEE binary32 (minus
+  // subnormals/inf/nan). Cross-check mul against the hardware float path.
+  const auto f = fmt(8, 23, /*sign=*/true);
+  Rng rng(909);
+  for (int i = 0; i < 3000; ++i) {
+    const float x = static_cast<float>(rng.next_uniform(0.01, 100.0));
+    const float y = static_cast<float>(rng.next_uniform(0.01, 100.0));
+    const double got = cfp_decode(f, cfp_mul(f, cfp_encode(f, x), cfp_encode(f, y)));
+    EXPECT_DOUBLE_EQ(got, static_cast<double>(x * y));
+  }
+}
+
+TEST(Cfp, MatchesIeeeSingleOnRandomAdds) {
+  const auto f = fmt(8, 23, /*sign=*/true);
+  Rng rng(910);
+  for (int i = 0; i < 3000; ++i) {
+    const float x = static_cast<float>(rng.next_uniform(0.01, 100.0));
+    const float y = static_cast<float>(rng.next_uniform(0.01, 100.0));
+    const double got = cfp_decode(f, cfp_add(f, cfp_encode(f, x), cfp_encode(f, y)));
+    EXPECT_DOUBLE_EQ(got, static_cast<double>(x + y));
+  }
+}
+
+}  // namespace
+}  // namespace spnhbm::arith

@@ -1,0 +1,175 @@
+#include "spnhbm/arith/lns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::arith {
+namespace {
+
+LnsFormat fmt(int i, int f, int lut = 11) {
+  LnsFormat format;
+  format.integer_bits = i;
+  format.fraction_bits = f;
+  format.lut_address_bits = lut;
+  return format;
+}
+
+TEST(Lns, ZeroIsReservedCode) {
+  const LnsContext ctx(fmt(8, 22));
+  EXPECT_EQ(ctx.encode(0.0), ctx.zero_code());
+  EXPECT_DOUBLE_EQ(ctx.decode(ctx.zero_code()), 0.0);
+  EXPECT_EQ(ctx.encode(-1.0), ctx.zero_code());  // negatives unrepresentable
+}
+
+TEST(Lns, PowersOfTwoAreExact) {
+  const LnsContext ctx(fmt(8, 22));
+  for (int k = -100; k <= 100; k += 7) {
+    const double v = std::ldexp(1.0, k);
+    EXPECT_DOUBLE_EQ(ctx.decode(ctx.encode(v)), v) << "k=" << k;
+  }
+}
+
+TEST(Lns, RepresentsVerySmallProbabilities) {
+  // The headline property of [11]: log-scale reaches far below double's
+  // subnormal range limit for products of many small probabilities.
+  const LnsContext ctx(fmt(10, 22));
+  const double tiny = 1e-70;
+  EXPECT_NEAR(ctx.decode(ctx.encode(tiny)) / tiny, 1.0, 1e-5);
+  EXPECT_LT(ctx.min_positive(), 1e-100);
+}
+
+TEST(Lns, MulIsExactInLogDomain) {
+  const LnsContext ctx(fmt(8, 22));
+  // Products of powers of two are exact fixed-point adds.
+  const auto a = ctx.encode(0.25);
+  const auto b = ctx.encode(0.5);
+  EXPECT_DOUBLE_EQ(ctx.decode(ctx.mul(a, b)), 0.125);
+}
+
+TEST(Lns, MulZeroAnnihilates) {
+  const LnsContext ctx(fmt(8, 22));
+  const auto x = ctx.encode(0.7);
+  EXPECT_EQ(ctx.mul(x, ctx.zero_code()), ctx.zero_code());
+  EXPECT_EQ(ctx.mul(ctx.zero_code(), x), ctx.zero_code());
+}
+
+TEST(Lns, MulUnderflowSaturatesToMinPositive) {
+  const LnsContext ctx(fmt(4, 8));
+  const auto tiny = ctx.encode(ctx.min_positive());
+  const auto result = ctx.mul(tiny, tiny);
+  EXPECT_NE(result, ctx.zero_code());
+  EXPECT_DOUBLE_EQ(ctx.decode(result), ctx.min_positive());
+}
+
+TEST(Lns, MulOverflowSaturatesToMax) {
+  const LnsContext ctx(fmt(4, 8));
+  const auto big = ctx.encode(ctx.max_value());
+  EXPECT_DOUBLE_EQ(ctx.decode(ctx.mul(big, big)), ctx.max_value());
+}
+
+TEST(Lns, AddIdentity) {
+  const LnsContext ctx(fmt(8, 22));
+  const auto x = ctx.encode(0.3);
+  EXPECT_EQ(ctx.add(x, ctx.zero_code()), x);
+  EXPECT_EQ(ctx.add(ctx.zero_code(), x), x);
+}
+
+TEST(Lns, AddIsCommutative) {
+  const LnsContext ctx(fmt(8, 22));
+  Rng rng(111);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = ctx.encode(rng.next_double());
+    const auto b = ctx.encode(rng.next_double());
+    EXPECT_EQ(ctx.add(a, b), ctx.add(b, a));
+  }
+}
+
+TEST(Lns, AddOfEqualValuesDoubles) {
+  const LnsContext ctx(fmt(8, 22));
+  // x + x = 2x: d = 0, Δ+(0) = 1 exactly.
+  const auto x = ctx.encode(0.375);
+  EXPECT_NEAR(ctx.decode(ctx.add(x, x)), 0.75, 1e-5);
+}
+
+TEST(Lns, AddWithHugeMagnitudeGapReturnsLarger) {
+  const LnsContext ctx(fmt(10, 22));
+  const auto big = ctx.encode(1.0);
+  const auto small = ctx.encode(1e-30);
+  EXPECT_EQ(ctx.add(big, small), big);
+}
+
+TEST(Lns, LutSizeFollowsAddressBits) {
+  const LnsContext ctx(fmt(8, 22, 9));
+  EXPECT_EQ(ctx.lut_entries(), (1u << 9) + 1);
+}
+
+TEST(Lns, ValidateRejectsBadWidths) {
+  EXPECT_THROW(LnsContext(fmt(1, 22)), std::logic_error);
+  EXPECT_THROW(LnsContext(fmt(8, 2)), std::logic_error);
+  EXPECT_THROW(LnsContext(fmt(8, 22, 2)), std::logic_error);
+}
+
+// Property sweep over formats: round-trip accuracy tracks fraction bits and
+// addition error tracks the LUT resolution.
+struct LnsParam {
+  int integer_bits;
+  int fraction_bits;
+  int lut_address_bits;
+};
+
+class LnsPropertyTest : public ::testing::TestWithParam<LnsParam> {};
+
+TEST_P(LnsPropertyTest, RoundTripRelativeErrorBounded) {
+  const auto p = GetParam();
+  const LnsContext ctx(fmt(p.integer_bits, p.fraction_bits, p.lut_address_bits));
+  // Half-ulp in log2 domain -> relative value error ~ ln2 * 2^-(f+1).
+  const double bound = std::ldexp(std::log(2.0), -(p.fraction_bits + 1)) * 1.01;
+  Rng rng(333 + p.fraction_bits);
+  for (int i = 0; i < 3000; ++i) {
+    const double v = std::exp(rng.next_uniform(-20.0, 2.0));
+    const double decoded = ctx.decode(ctx.encode(v));
+    EXPECT_LE(std::fabs(decoded - v) / v, bound) << ctx.format().describe();
+  }
+}
+
+TEST_P(LnsPropertyTest, MulRelativeErrorBounded) {
+  const auto p = GetParam();
+  const LnsContext ctx(fmt(p.integer_bits, p.fraction_bits, p.lut_address_bits));
+  const double bound = std::ldexp(1.0, -(p.fraction_bits - 2));
+  Rng rng(555 + p.fraction_bits);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.next_uniform(0.01, 1.0);
+    const double y = rng.next_uniform(0.01, 1.0);
+    const double got = ctx.decode(ctx.mul(ctx.encode(x), ctx.encode(y)));
+    EXPECT_NEAR(got / (x * y), 1.0, bound) << ctx.format().describe();
+  }
+}
+
+TEST_P(LnsPropertyTest, AddRelativeErrorBounded) {
+  const auto p = GetParam();
+  const LnsContext ctx(fmt(p.integer_bits, p.fraction_bits, p.lut_address_bits));
+  // LUT interpolation dominates; allow a generous but still-tight bound that
+  // scales with the LUT resolution.
+  const double bound =
+      std::ldexp(1.0, -(std::min(p.fraction_bits, 2 * p.lut_address_bits) - 4));
+  Rng rng(777 + p.lut_address_bits);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.next_uniform(0.01, 1.0);
+    const double y = rng.next_uniform(0.01, 1.0);
+    const double got = ctx.decode(ctx.add(ctx.encode(x), ctx.encode(y)));
+    EXPECT_NEAR(got / (x + y), 1.0, bound) << ctx.format().describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, LnsPropertyTest,
+                         ::testing::Values(LnsParam{8, 22, 11},
+                                           LnsParam{8, 16, 10},
+                                           LnsParam{10, 30, 12},
+                                           LnsParam{6, 12, 8},
+                                           LnsParam{8, 22, 6}));
+
+}  // namespace
+}  // namespace spnhbm::arith

@@ -1,0 +1,215 @@
+#include "spnhbm/arith/posit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/arith/backend.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::arith {
+namespace {
+
+PositFormat fmt(int width, int es) {
+  PositFormat format;
+  format.width = width;
+  format.exponent_size = es;
+  return format;
+}
+
+TEST(Posit, SpecialPatterns) {
+  const auto p32 = fmt(32, 2);
+  EXPECT_EQ(posit_zero(p32), 0u);
+  EXPECT_EQ(posit_nar(p32), 0x80000000u);
+  EXPECT_DOUBLE_EQ(posit_decode(p32, 0), 0.0);
+  EXPECT_TRUE(std::isnan(posit_decode(p32, 0x80000000u)));
+}
+
+TEST(Posit, StandardUnitEncodings) {
+  // 1.0 encodes as 01000... in every posit format.
+  EXPECT_EQ(posit_encode(fmt(32, 2), 1.0), 0x40000000u);
+  EXPECT_EQ(posit_encode(fmt(16, 1), 1.0), 0x4000u);
+  EXPECT_EQ(posit_encode(fmt(8, 0), 1.0), 0x40u);
+}
+
+TEST(Posit, KnownPosit8Values) {
+  // posit<8,0>, useed = 2:
+  //   2.0  = 0 110 00000 -> 0x60 (regime k=1, empty fraction)
+  //   0.5  = 0 01 00000  -> 0x20 (regime k=-1)
+  //   1.5  = 0 10 10000  -> 0x50 (k=0, fraction .1)
+  //   0.75 = 0 01 10000  -> 0x30 (k=-1, fraction .1)
+  const auto p8 = fmt(8, 0);
+  EXPECT_EQ(posit_encode(p8, 2.0), 0x60u);
+  EXPECT_EQ(posit_encode(p8, 0.5), 0x20u);
+  EXPECT_EQ(posit_encode(p8, 1.5), 0x50u);
+  EXPECT_EQ(posit_encode(p8, 0.75), 0x30u);
+  EXPECT_DOUBLE_EQ(posit_decode(p8, 0x60), 2.0);
+  EXPECT_DOUBLE_EQ(posit_decode(p8, 0x20), 0.5);
+  EXPECT_DOUBLE_EQ(posit_decode(p8, 0x50), 1.5);
+  EXPECT_DOUBLE_EQ(posit_decode(p8, 0x30), 0.75);
+}
+
+TEST(Posit, MaxposMinpos) {
+  const auto p16 = fmt(16, 1);
+  // maxpos(16,1) = useed^(n-2) = 4^14 = 2^28.
+  EXPECT_DOUBLE_EQ(posit_maxpos(p16), std::ldexp(1.0, 28));
+  EXPECT_DOUBLE_EQ(posit_minpos(p16), std::ldexp(1.0, -28));
+  // maxpos pattern: 0111...1; minpos pattern: 0...01.
+  EXPECT_EQ(posit_encode(p16, posit_maxpos(p16)), 0x7FFFu);
+  EXPECT_EQ(posit_encode(p16, posit_minpos(p16)), 0x0001u);
+}
+
+TEST(Posit, NoUnderflowToZeroNoOverflowToInf) {
+  const auto p16 = fmt(16, 1);
+  EXPECT_EQ(posit_encode(p16, 1e-30), 0x0001u);          // clamps to minpos
+  EXPECT_EQ(posit_encode(p16, 1e30), 0x7FFFu);           // clamps to maxpos
+  const auto tiny = posit_encode(p16, posit_minpos(p16));
+  EXPECT_NE(posit_mul(p16, tiny, tiny), 0u);             // stays minpos
+}
+
+TEST(Posit, NegativeValuesRoundTrip) {
+  const auto p32 = fmt(32, 2);
+  for (const double v : {-1.0, -0.375, -2.5, -100.0}) {
+    EXPECT_DOUBLE_EQ(posit_decode(p32, posit_encode(p32, v)), v);
+  }
+}
+
+TEST(Posit, RoundTripExactForSmallSignificands) {
+  const auto p32 = fmt(32, 2);
+  // Values with few significant bits near 1.0 are exact in posit<32,2>.
+  for (const double v : {1.0, 0.5, 0.25, 0.75, 1.5, 3.0, 0.046875}) {
+    EXPECT_DOUBLE_EQ(posit_decode(p32, posit_encode(p32, v)), v);
+  }
+}
+
+TEST(Posit, TaperedPrecisionIsHighestNearOne) {
+  const auto p16 = fmt(16, 1);
+  Rng rng(31);
+  const auto relative_error_at = [&](double center) {
+    double worst = 0.0;
+    for (int i = 0; i < 500; ++i) {
+      const double v = center * (1.0 + rng.next_uniform(-0.4, 0.4));
+      const double decoded = posit_decode(p16, posit_encode(p16, v));
+      worst = std::max(worst, std::fabs(decoded - v) / v);
+    }
+    return worst;
+  };
+  // Precision at 1.0 is far better than out at 2^20.
+  EXPECT_LT(relative_error_at(1.0) * 50, relative_error_at(1048576.0));
+}
+
+TEST(Posit, MulMatchesDoubleWithinPrecision) {
+  const auto p32 = fmt(32, 2);
+  Rng rng(33);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.next_uniform(0.01, 1.0);
+    const double y = rng.next_uniform(0.01, 1.0);
+    const double got =
+        posit_decode(p32, posit_mul(p32, posit_encode(p32, x),
+                                    posit_encode(p32, y)));
+    EXPECT_NEAR(got / (x * y), 1.0, 1e-7);
+  }
+}
+
+TEST(Posit, AddMatchesDoubleWithinPrecision) {
+  const auto p32 = fmt(32, 2);
+  Rng rng(35);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.next_uniform(0.01, 1.0);
+    const double y = rng.next_uniform(0.01, 1.0);
+    const double got =
+        posit_decode(p32, posit_add(p32, posit_encode(p32, x),
+                                    posit_encode(p32, y)));
+    EXPECT_NEAR(got / (x + y), 1.0, 1e-7);
+  }
+}
+
+TEST(Posit, AddIdentityAndCommutativity) {
+  const auto p32 = fmt(32, 2);
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = posit_encode(p32, rng.next_double());
+    const auto b = posit_encode(p32, rng.next_double());
+    EXPECT_EQ(posit_add(p32, a, 0), a);
+    EXPECT_EQ(posit_add(p32, 0, a), a);
+    EXPECT_EQ(posit_add(p32, a, b), posit_add(p32, b, a));
+    EXPECT_EQ(posit_mul(p32, a, b), posit_mul(p32, b, a));
+  }
+}
+
+TEST(Posit, SignedCancellation) {
+  const auto p32 = fmt(32, 2);
+  const auto a = posit_encode(p32, 0.75);
+  const auto b = posit_encode(p32, -0.75);
+  EXPECT_EQ(posit_add(p32, a, b), 0u);
+}
+
+TEST(Posit, NarPropagates) {
+  const auto p32 = fmt(32, 2);
+  const auto x = posit_encode(p32, 0.5);
+  EXPECT_EQ(posit_add(p32, posit_nar(p32), x), posit_nar(p32));
+  EXPECT_EQ(posit_mul(p32, posit_nar(p32), x), posit_nar(p32));
+}
+
+// Property sweep across formats: round-trip monotonicity and bounded error
+// in the "golden zone" around 1.0.
+struct PositParam {
+  int width;
+  int es;
+};
+class PositPropertyTest : public ::testing::TestWithParam<PositParam> {};
+
+TEST_P(PositPropertyTest, RoundTripBoundedInGoldenZone) {
+  const auto p = GetParam();
+  const auto format = fmt(p.width, p.es);
+  // Around 1.0 the fraction field has ~(width - 3 - es) bits.
+  const double bound = std::ldexp(1.0, -(p.width - 4 - p.es));
+  Rng rng(41 + p.width);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.next_uniform(0.5, 2.0);
+    const double decoded = posit_decode(format, posit_encode(format, v));
+    EXPECT_NEAR(decoded / v, 1.0, bound) << format.describe();
+  }
+}
+
+TEST_P(PositPropertyTest, EncodingIsMonotone) {
+  const auto p = GetParam();
+  const auto format = fmt(p.width, p.es);
+  Rng rng(43 + p.width);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::exp(rng.next_uniform(-8.0, 8.0));
+    const double y = std::exp(rng.next_uniform(-8.0, 8.0));
+    const auto ex = posit_encode(format, x);
+    const auto ey = posit_encode(format, y);
+    if (x <= y) {
+      // Positive posit patterns order like their values.
+      EXPECT_LE(ex, ey) << format.describe() << " x=" << x << " y=" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, PositPropertyTest,
+                         ::testing::Values(PositParam{32, 2}, PositParam{16, 1},
+                                           PositParam{16, 2}, PositParam{8, 0},
+                                           PositParam{24, 1}));
+
+TEST(PositBackend, PluggedIntoBackendInterface) {
+  const auto backend = make_posit_backend(paper_posit_format());
+  EXPECT_EQ(backend->kind(), FormatKind::kPosit);
+  EXPECT_EQ(backend->width_bits(), 32);
+  EXPECT_STREQ(format_kind_name(backend->kind()), "posit");
+  const auto a = backend->encode(0.25);
+  const auto b = backend->encode(0.5);
+  EXPECT_DOUBLE_EQ(backend->decode(backend->mul(a, b)), 0.125);
+  EXPECT_DOUBLE_EQ(backend->decode(backend->add(a, b)), 0.75);
+  EXPECT_GT(backend->mul_latency_cycles(), 0);
+}
+
+TEST(Posit, ValidateRejectsBadFormats) {
+  EXPECT_THROW(fmt(2, 0).validate(), std::logic_error);
+  EXPECT_THROW(fmt(33, 2).validate(), std::logic_error);
+  EXPECT_THROW(fmt(16, 4).validate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spnhbm::arith

@@ -1,0 +1,200 @@
+#include "spnhbm/compiler/datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/spn/random_spn.hpp"
+#include "spnhbm/spn/text_format.hpp"
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::compiler {
+namespace {
+
+spn::Spn mixture_spn() {
+  return spn::parse_spn(R"(
+    Sum(0.3*Product(Histogram(V0|[0,64,128,256];[0.0078125,0.0078125,0.0])
+                  * Histogram(V1|[0,128,256];[0.0078125,0.0]))
+      + 0.7*Product(Histogram(V0|[0,64,256];[0.0078125,0.00260416666666666652])
+                  * Histogram(V1|[0,128,256];[0.00390625,0.00390625])))
+  )");
+}
+
+TEST(Compiler, LowersMixtureToExpectedOps) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compile_spn(mixture_spn(), *backend);
+  EXPECT_EQ(module.count_ops(OpKind::kHistogramLookup), 4u);
+  EXPECT_EQ(module.count_ops(OpKind::kMul), 2u);       // one per product
+  EXPECT_EQ(module.count_ops(OpKind::kConstMul), 2u);  // one per sum edge
+  EXPECT_EQ(module.count_ops(OpKind::kAdd), 1u);
+  EXPECT_EQ(module.input_features(), 2u);
+  EXPECT_EQ(module.initiation_interval(), 1u);
+}
+
+TEST(Compiler, PipelineDepthCoversFullPath) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compile_spn(mixture_spn(), *backend);
+  // hist(2) -> mul(5) -> cmul(5) -> add(4) along the critical path.
+  EXPECT_EQ(module.pipeline_depth(), 2u + 5u + 5u + 4u);
+}
+
+TEST(Compiler, StagesRespectDependencies) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compile_spn(mixture_spn(), *backend);
+  for (const auto& op : module.ops()) {
+    if (op.kind == OpKind::kHistogramLookup) {
+      EXPECT_EQ(op.stage, 0u);
+      continue;
+    }
+    const auto& lhs = module.ops()[op.lhs];
+    EXPECT_GE(op.stage, lhs.stage + lhs.latency);
+    if (op.rhs != kNoOp) {
+      const auto& rhs = module.ops()[op.rhs];
+      EXPECT_GE(op.stage, rhs.stage + rhs.latency);
+      // Balance registers close exactly the stage gap.
+      EXPECT_EQ(op.stage - (rhs.stage + rhs.latency), op.rhs_delay);
+    }
+    EXPECT_EQ(op.stage - (lhs.stage + lhs.latency), op.lhs_delay);
+  }
+}
+
+TEST(Compiler, EvaluateMatchesReferenceInFloat64) {
+  const auto backend = arith::make_float64_backend();
+  spn::Spn spn = mixture_spn();
+  const auto module = compile_spn(spn, *backend);
+  spn::Evaluator reference(spn);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint8_t sample[2] = {static_cast<std::uint8_t>(rng.next_below(256)),
+                              static_cast<std::uint8_t>(rng.next_below(256))};
+    EXPECT_DOUBLE_EQ(module.evaluate(*backend, sample),
+                     reference.evaluate_bytes(sample));
+  }
+}
+
+TEST(Compiler, CfpEvaluationTracksReferenceClosely) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  spn::RandomSpnConfig config;
+  config.variables = 10;
+  config.seed = 77;
+  const spn::Spn spn = spn::make_random_spn(config);
+  const auto module = compile_spn(spn, *backend);
+  spn::Evaluator reference(spn);
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> sample(10);
+    for (auto& b : sample) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const double want = reference.evaluate_bytes(sample);
+    const double got = module.evaluate(*backend, sample);
+    if (want > 0) {
+      EXPECT_NEAR(got / want, 1.0, 1e-4);
+    }
+  }
+}
+
+TEST(Compiler, LnsEvaluationTracksReference) {
+  const auto backend = arith::make_lns_backend(arith::paper_lns_format());
+  spn::RandomSpnConfig config;
+  config.variables = 8;
+  config.seed = 78;
+  const spn::Spn spn = spn::make_random_spn(config);
+  const auto module = compile_spn(spn, *backend);
+  spn::Evaluator reference(spn);
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> sample(8);
+    for (auto& b : sample) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const double want = reference.evaluate_bytes(sample);
+    const double got = module.evaluate(*backend, sample);
+    if (want > 0) {
+      EXPECT_NEAR(got / want, 1.0, 1e-3);
+    }
+  }
+}
+
+TEST(Compiler, DeduplicatesIdenticalTables) {
+  // Two identical histogram leaves over the same variable share one LUT.
+  spn::Spn spn;
+  const auto h0 = spn.add_histogram(0, {0, 256}, {1.0 / 256});
+  const auto h1 = spn.add_histogram(1, {0, 256}, {1.0 / 256});
+  const auto h0_again = spn.add_histogram(0, {0, 256}, {1.0 / 256});
+  const auto h1_b = spn.add_histogram(1, {0, 128, 256}, {0.005, 0.0028125});
+  const auto pa = spn.add_product({h0, h1});
+  const auto pb = spn.add_product({h0_again, h1_b});
+  spn.set_root(spn.add_sum({pa, pb}, {0.5, 0.5}));
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto dedup = compile_spn(spn, *backend);
+  EXPECT_EQ(dedup.tables().size(), 3u);
+
+  CompileOptions no_dedup;
+  no_dedup.deduplicate_tables = false;
+  EXPECT_EQ(compile_spn(spn, *backend, no_dedup).tables().size(), 4u);
+}
+
+TEST(Compiler, RejectsNonHistogramLeaves) {
+  spn::Spn spn;
+  spn.set_root(spn.add_gaussian(0, 0.0, 1.0));
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  EXPECT_THROW(compile_spn(spn, *backend), Error);
+}
+
+TEST(Compiler, RejectsInvalidSpn) {
+  spn::Spn spn;
+  const auto h0 = spn.add_histogram(0, {0, 256}, {1.0 / 256});
+  const auto h1 = spn.add_histogram(1, {0, 256}, {1.0 / 256});
+  spn.set_root(spn.add_sum({h0, h1}, {0.5, 0.5}));  // incomplete sum
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  EXPECT_THROW(compile_spn(spn, *backend), ValidationError);
+}
+
+TEST(Compiler, BalancedTreesKeepDepthLogarithmic) {
+  // A product over 32 leaves must schedule as a log-depth tree.
+  spn::Spn spn;
+  std::vector<spn::NodeId> leaves;
+  for (std::uint32_t v = 0; v < 32; ++v) {
+    leaves.push_back(spn.add_histogram(v, {0, 256}, {1.0 / 256}));
+  }
+  spn.set_root(spn.add_product(leaves));
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compile_spn(spn, *backend);
+  EXPECT_EQ(module.count_ops(OpKind::kMul), 31u);
+  // Depth = hist (2) + 5 tree levels x mul (5).
+  EXPECT_EQ(module.pipeline_depth(), 2u + 5u * 5u);
+}
+
+TEST(Compiler, FullZooCompilesAndVerifies) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  for (const std::size_t size : workload::nips_benchmark_sizes()) {
+    const auto model = workload::make_nips_model(size);
+    const auto module = compile_spn(model.spn, *backend);
+    EXPECT_EQ(module.input_features(), size);
+    EXPECT_GT(module.pipeline_depth(), 0u);
+
+    spn::Evaluator reference(model.spn);
+    Rng rng(size);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<std::uint8_t> sample(size);
+      for (auto& b : sample) b = static_cast<std::uint8_t>(rng.next_below(32));
+      const double want = reference.evaluate_bytes(sample);
+      const double got = module.evaluate(*backend, sample);
+      // Joint densities below the CFP exponent range legitimately flush to
+      // zero (the published motivation for the LNS format on deep SPNs).
+      if (want > 1e-30) {
+        EXPECT_NEAR(got / want, 1.0, 1e-3) << model.name;
+      }
+    }
+  }
+}
+
+TEST(Compiler, ReportMentionsKeyFigures) {
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compile_spn(mixture_spn(), *backend);
+  const std::string report = module.report();
+  EXPECT_NE(report.find("II=1"), std::string::npos);
+  EXPECT_NE(report.find("pipeline depth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spnhbm::compiler

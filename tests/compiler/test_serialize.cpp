@@ -1,0 +1,113 @@
+#include "spnhbm/compiler/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::compiler {
+namespace {
+
+DatapathModule compile_test_module() {
+  const auto model = workload::make_nips_model(10);
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  return compile_spn(model.spn, *backend);
+}
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const auto original = compile_test_module();
+  std::stringstream stream;
+  save_design(original, stream);
+  const auto loaded = load_design(stream);
+
+  EXPECT_EQ(loaded.input_features(), original.input_features());
+  EXPECT_EQ(loaded.pipeline_depth(), original.pipeline_depth());
+  EXPECT_EQ(loaded.result_op(), original.result_op());
+  ASSERT_EQ(loaded.ops().size(), original.ops().size());
+  for (std::size_t i = 0; i < original.ops().size(); ++i) {
+    EXPECT_EQ(loaded.ops()[i].kind, original.ops()[i].kind);
+    EXPECT_EQ(loaded.ops()[i].lhs, original.ops()[i].lhs);
+    EXPECT_EQ(loaded.ops()[i].stage, original.ops()[i].stage);
+    EXPECT_EQ(loaded.ops()[i].constant, original.ops()[i].constant);
+  }
+  ASSERT_EQ(loaded.tables().size(), original.tables().size());
+  EXPECT_EQ(loaded.balance_register_stages(),
+            original.balance_register_stages());
+}
+
+TEST(Serialize, RoundTripPreservesSemantics) {
+  const auto original = compile_test_module();
+  std::stringstream stream;
+  save_design(original, stream);
+  const auto loaded = load_design(stream);
+
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> sample(10);
+    for (auto& b : sample) b = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_DOUBLE_EQ(loaded.evaluate(*backend, sample),
+                     original.evaluate(*backend, sample));
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto original = compile_test_module();
+  const std::string path = "/tmp/spnhbm_test_design.bin";
+  save_design_file(original, path);
+  const auto loaded = load_design_file(path);
+  EXPECT_EQ(loaded.ops().size(), original.ops().size());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream stream;
+  stream.write("NOPE", 4);
+  stream.write("\0\0\0\0\0\0\0\0", 8);
+  EXPECT_THROW(load_design(stream), ParseError);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  const auto original = compile_test_module();
+  std::stringstream stream;
+  save_design(original, stream);
+  const std::string full = stream.str();
+  for (const std::size_t cut :
+       {full.size() / 4, full.size() / 2, full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(load_design(truncated), ParseError) << "cut=" << cut;
+  }
+}
+
+TEST(Serialize, RejectsCorruptedOpOrder) {
+  const auto original = compile_test_module();
+  std::stringstream stream;
+  save_design(original, stream);
+  std::string bytes = stream.str();
+  // Corrupt the first non-lookup op's lhs to a forward reference. Header is
+  // 24 bytes + 8 bytes op count; each op is 9*4 + 8 = 44 bytes. Find a mul
+  // op (kind != 0) and bump its lhs to a huge id.
+  const std::size_t ops_base = 24 + 8;
+  const std::size_t op_size = 44;
+  for (std::size_t i = 0;; ++i) {
+    const std::size_t offset = ops_base + i * op_size;
+    std::uint32_t kind = 0;
+    std::memcpy(&kind, bytes.data() + offset, 4);
+    if (kind != 0) {  // not a histogram lookup
+      const std::uint32_t bogus = 0x7FFFFFFF;
+      std::memcpy(bytes.data() + offset + 4, &bogus, 4);
+      break;
+    }
+  }
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load_design(corrupted), ParseError);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_design_file("/nonexistent/path/design.bin"), Error);
+}
+
+}  // namespace
+}  // namespace spnhbm::compiler

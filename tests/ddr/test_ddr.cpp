@@ -1,0 +1,97 @@
+#include "spnhbm/ddr/ddr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/hbm/hbm.hpp"
+#include "spnhbm/sim/process.hpp"
+
+namespace spnhbm::ddr {
+namespace {
+
+double measure_linear_read(DdrChannel& channel, sim::Scheduler& scheduler,
+                           std::uint64_t total_bytes) {
+  sim::ProcessRunner runner(scheduler);
+  runner.spawn([&]() -> sim::Process {
+    co_await axi::linear_transfer(channel.port(), 0, total_bytes, false);
+  });
+  scheduler.run();
+  runner.check();
+  return static_cast<double>(total_bytes) / to_seconds(scheduler.now()) /
+         static_cast<double>(kGiB);
+}
+
+TEST(DdrChannel, RawBandwidthMatchesDdr4_2133) {
+  sim::Scheduler scheduler;
+  DdrChannel channel(scheduler);
+  EXPECT_NEAR(channel.raw_bandwidth().as_gb_per_second(), 17.064, 1e-3);
+}
+
+TEST(DdrChannel, LinearReadsLandBelowRaw) {
+  sim::Scheduler scheduler;
+  DdrChannel channel(scheduler);
+  const double gib = measure_linear_read(channel, scheduler, 64 * kMiB);
+  EXPECT_GT(gib, 12.0);
+  EXPECT_LT(gib, 15.9);  // raw is 15.89 GiB/s
+}
+
+TEST(DdrChannel, SingleSharedChannelIsSlowerThanPerPeHbm) {
+  // The architectural point of the paper: four PEs sharing one DDR channel
+  // see less bandwidth each than four PEs on private HBM channels.
+  const auto shared_ddr = [] {
+    sim::Scheduler scheduler;
+    DdrChannel channel(scheduler);
+    sim::ProcessRunner runner(scheduler);
+    for (int pe = 0; pe < 4; ++pe) {
+      runner.spawn([&channel, pe]() -> sim::Process {
+        co_await axi::linear_transfer(channel.port(), pe * 32 * kMiB,
+                                      8 * kMiB, false);
+      });
+    }
+    scheduler.run();
+    runner.check();
+    return static_cast<double>(32 * kMiB) / to_seconds(scheduler.now());
+  }();
+  const auto private_hbm = [] {
+    sim::Scheduler scheduler;
+    hbm::HbmDevice device(scheduler);
+    sim::ProcessRunner runner(scheduler);
+    for (int pe = 0; pe < 4; ++pe) {
+      runner.spawn([&device, pe]() -> sim::Process {
+        co_await axi::linear_transfer(device.port(pe), 0, 8 * kMiB, false);
+      });
+    }
+    scheduler.run();
+    runner.check();
+    return static_cast<double>(32 * kMiB) / to_seconds(scheduler.now());
+  }();
+  EXPECT_GT(private_hbm, 2.5 * shared_ddr);
+}
+
+TEST(DdrChannel, StatsAccumulate) {
+  sim::Scheduler scheduler;
+  DdrChannel channel(scheduler);
+  sim::ProcessRunner runner(scheduler);
+  runner.spawn([&]() -> sim::Process {
+    co_await channel.access(axi::BurstRequest{0, 4096, true});
+    co_await channel.access(axi::BurstRequest{4096, 2048, false});
+  });
+  scheduler.run();
+  runner.check();
+  EXPECT_EQ(channel.bytes_written(), 4096u);
+  EXPECT_EQ(channel.bytes_read(), 2048u);
+  EXPECT_GT(channel.busy_time(), 0);
+}
+
+TEST(DdrChannel, RejectsOversizedBurst) {
+  sim::Scheduler scheduler;
+  DdrChannel channel(scheduler);
+  sim::ProcessRunner runner(scheduler);
+  runner.spawn([&]() -> sim::Process {
+    co_await channel.access(axi::BurstRequest{0, 1 << 20, false});
+  });
+  scheduler.run();
+  EXPECT_THROW(runner.check(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spnhbm::ddr

@@ -1,0 +1,102 @@
+// Parameterised sweep of the accelerator's timing model: for synthetic
+// datapaths across feature widths, the steady-state rate must match the
+// analytic bound  min(clock/II, channel_bw / bytes_per_sample)  within a
+// few percent — the invariant every paper figure builds on.
+#include <gtest/gtest.h>
+
+#include "spnhbm/fpga/accelerator.hpp"
+#include "spnhbm/spn/random_spn.hpp"
+
+namespace spnhbm::fpga {
+namespace {
+
+struct SweepParam {
+  std::size_t features;
+  std::uint32_t burst_bytes;
+};
+
+class AcceleratorSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AcceleratorSweep, SteadyStateMatchesAnalyticBound) {
+  const auto param = GetParam();
+  spn::RandomSpnConfig spn_config;
+  spn_config.variables = param.features;
+  spn_config.seed = 17 + param.features;
+  const spn::Spn spn = spn::make_random_spn(spn_config);
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compiler::compile_spn(spn, *backend);
+
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  hbm::HbmChannel channel(scheduler);
+  AcceleratorConfig config;
+  config.compute_results = false;
+  config.load_burst_bytes = param.burst_bytes;
+  SpnAccelerator accelerator(runner, module, *backend, channel.port(),
+                             nullptr, config);
+
+  // Input region must fit below the output region in the 256 MiB channel.
+  const std::uint64_t samples = std::min<std::uint64_t>(
+      2'000'000, 192 * kMiB / param.features);
+  accelerator.write_register(Reg::kOutputAddress, 224 * kMiB);
+  accelerator.write_register(Reg::kSampleCount, samples);
+  const Picoseconds start = scheduler.now();
+  accelerator.write_register(Reg::kControl, 1);
+  scheduler.run();
+  runner.check();
+  const double rate =
+      static_cast<double>(samples) / to_seconds(scheduler.now() - start);
+
+  // Analytic bound: II=1 at the PE clock, or the channel's practical
+  // bandwidth over (features + 8) bytes per sample — whichever is lower.
+  const double clock_bound = config.clock.frequency_hz();
+  // 4 KiB bursts with rare read/write turnarounds: ~93% of the 14.4 GB/s
+  // raw channel rate.
+  const double channel_gibps = 12.45;
+  const double memory_bound =
+      channel_gibps * static_cast<double>(kGiB) /
+      static_cast<double>(param.features + 8);
+  const double bound = std::min(clock_bound, memory_bound);
+  EXPECT_LT(rate, bound * 1.03) << "features=" << param.features;
+  EXPECT_GT(rate, bound * 0.85) << "features=" << param.features;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FeatureWidths, AcceleratorSweep,
+    ::testing::Values(SweepParam{2, 4096}, SweepParam{10, 4096},
+                      SweepParam{40, 4096}, SweepParam{80, 4096},
+                      SweepParam{200, 4096}, SweepParam{10, 1024},
+                      SweepParam{80, 1024}),
+    [](const auto& info) {
+      return "f" + std::to_string(info.param.features) + "_b" +
+             std::to_string(info.param.burst_bytes);
+    });
+
+TEST(AcceleratorSweep, MemoryBoundKicksInForWideSamples) {
+  // 200-byte samples at 225 MHz would need 46.8 GB/s — far beyond one
+  // channel, so the accelerator must be memory-bound, not clock-bound.
+  spn::RandomSpnConfig spn_config;
+  spn_config.variables = 200;
+  spn_config.seed = 4;
+  const spn::Spn spn = spn::make_random_spn(spn_config);
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compiler::compile_spn(spn, *backend);
+
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  hbm::HbmChannel channel(scheduler);
+  AcceleratorConfig config;
+  config.compute_results = false;
+  SpnAccelerator accelerator(runner, module, *backend, channel.port(),
+                             nullptr, config);
+  accelerator.write_register(Reg::kOutputAddress, 192 * kMiB);
+  accelerator.write_register(Reg::kSampleCount, 1'000'000);
+  accelerator.write_register(Reg::kControl, 1);
+  scheduler.run();
+  runner.check();
+  const double rate = 1e6 / to_seconds(scheduler.now());
+  EXPECT_LT(rate, 0.35 * config.clock.frequency_hz());
+}
+
+}  // namespace
+}  // namespace spnhbm::fpga

@@ -1,0 +1,126 @@
+#include "spnhbm/fpga/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::fpga {
+namespace {
+
+compiler::DatapathModule compile_nips(std::size_t variables,
+                                      arith::FormatKind format) {
+  const auto model = workload::make_nips_model(variables);
+  const auto backend = format == arith::FormatKind::kFloat64
+                           ? arith::make_float64_backend()
+                           : arith::make_cfp_backend(arith::paper_cfp_format());
+  return compiler::compile_spn(model.spn, *backend);
+}
+
+TEST(ResourceVector, Arithmetic) {
+  const ResourceVector a{10, 20, 30, 40, 50};
+  const ResourceVector b{1, 2, 3, 4, 5};
+  const ResourceVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.kluts_logic, 11);
+  EXPECT_DOUBLE_EQ(sum.dsp, 55);
+  const ResourceVector scaled = b * 4.0;
+  EXPECT_DOUBLE_EQ(scaled.kregs, 12);
+  EXPECT_TRUE(b.fits_within(a));
+  EXPECT_FALSE(a.fits_within(b));
+}
+
+TEST(ResourceModel, BudgetsMatchTableIAvailableRow) {
+  EXPECT_DOUBLE_EQ(vu37p_budget().kluts_logic, 1304.0);
+  EXPECT_DOUBLE_EQ(vu37p_budget().dsp, 9024.0);
+  EXPECT_DOUBLE_EQ(f1_vu9p_budget().kluts_logic, 1182.0);
+  EXPECT_DOUBLE_EQ(f1_vu9p_budget().dsp, 6840.0);
+}
+
+TEST(ResourceModel, NewArchitectureUsesFarFewerResourcesThanPriorWork) {
+  // The headline of Table I: CFP datapaths + hardened HBM controllers cut
+  // LUTs/DSPs/registers massively vs float64 + soft DDR controllers.
+  const auto module_new = compile_nips(10, arith::FormatKind::kCfp);
+  const auto module_old = compile_nips(10, arith::FormatKind::kFloat64);
+  DesignSpec spec_new{Platform::kHbmXupVvh, 4, 1};
+  DesignSpec spec_old{Platform::kF1, 4, 4};
+  const auto new_design =
+      estimate_design(module_new, arith::FormatKind::kCfp, spec_new);
+  const auto old_design =
+      estimate_design(module_old, arith::FormatKind::kFloat64, spec_old);
+  EXPECT_LT(new_design.dsp, 0.5 * old_design.dsp);
+  EXPECT_LT(new_design.kluts_logic, 0.7 * old_design.kluts_logic);
+  EXPECT_LT(new_design.kregs, 0.7 * old_design.kregs);
+}
+
+TEST(ResourceModel, FourPeNips10LandsNearTableI) {
+  // Paper Table I (New, NIPS10, 4 PEs): 169.8 kLUT logic, 66.9 kLUT mem,
+  // 275.1 kRegs, 122 BRAM, 200 DSP. The learned structures differ from the
+  // unpublished originals, so we check a +-35% corridor (see
+  // EXPERIMENTS.md for exact numbers).
+  const auto module = compile_nips(10, arith::FormatKind::kCfp);
+  const auto design = estimate_design(module, arith::FormatKind::kCfp,
+                                      DesignSpec{Platform::kHbmXupVvh, 4, 1});
+  EXPECT_NEAR(design.kluts_logic, 169.8, 169.8 * 0.35);
+  EXPECT_NEAR(design.kluts_mem, 66.9, 66.9 * 0.35);
+  EXPECT_NEAR(design.kregs, 275.1, 275.1 * 0.35);
+  EXPECT_NEAR(design.bram36, 122.0, 122.0 * 0.35);
+  EXPECT_NEAR(design.dsp, 200.0, 200.0 * 0.35);
+}
+
+TEST(ResourceModel, ResourceUseGrowsWithModelSize) {
+  const auto small = estimate_pe(compile_nips(10, arith::FormatKind::kCfp),
+                                 arith::FormatKind::kCfp);
+  const auto large = estimate_pe(compile_nips(40, arith::FormatKind::kCfp),
+                                 arith::FormatKind::kCfp);
+  EXPECT_GT(large.dsp, 2.0 * small.dsp);
+  EXPECT_GT(large.kregs, small.kregs);
+}
+
+TEST(ResourceModel, EightNips80PesFitOnVu37p) {
+  // Paper §V-A: "fit up to eight NIPS80 accelerators on the FPGA compared
+  // to only two in [8]".
+  const auto module = compile_nips(80, arith::FormatKind::kCfp);
+  EXPECT_EQ(max_placeable_pes(module, arith::FormatKind::kCfp,
+                              Platform::kHbmXupVvh),
+            8);
+}
+
+TEST(ResourceModel, PriorWorkNips80LimitedOnF1) {
+  // [8] could not fit 4 NIPS80 accelerators with 4 controllers on F1.
+  const auto module = compile_nips(80, arith::FormatKind::kFloat64);
+  DesignSpec four{Platform::kF1, 4, 4};
+  EXPECT_THROW(check_placement(module, arith::FormatKind::kFloat64, four),
+               PlacementError);
+  DesignSpec two{Platform::kF1, 2, 2};
+  EXPECT_NO_THROW(check_placement(module, arith::FormatKind::kFloat64, two));
+}
+
+TEST(ResourceModel, RoutingCapLimitsReplication) {
+  const auto module = compile_nips(10, arith::FormatKind::kCfp);
+  DesignSpec spec{Platform::kHbmXupVvh, cal::kMaxRoutablePes + 1, 1};
+  EXPECT_THROW(check_placement(module, arith::FormatKind::kCfp, spec),
+               PlacementError);
+}
+
+TEST(ResourceModel, HbmPlatformLimitedTo32Channels) {
+  const auto module = compile_nips(10, arith::FormatKind::kCfp);
+  DesignSpec spec{Platform::kHbmXupVvh, 33, 1};
+  EXPECT_THROW(check_placement(module, arith::FormatKind::kCfp, spec),
+               std::exception);
+}
+
+TEST(ResourceModel, F1ControllerCountValidated) {
+  const auto module = compile_nips(10, arith::FormatKind::kFloat64);
+  DesignSpec spec{Platform::kF1, 2, 5};
+  EXPECT_THROW(estimate_design(module, arith::FormatKind::kFloat64, spec),
+               std::logic_error);
+}
+
+TEST(ResourceModel, DescribeIsHumanReadable) {
+  const ResourceVector v{1.5, 2.5, 3.5, 4, 5};
+  const auto text = v.describe();
+  EXPECT_NE(text.find("kLUT logic"), std::string::npos);
+  EXPECT_NE(text.find("DSP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spnhbm::fpga

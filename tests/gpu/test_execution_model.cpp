@@ -1,0 +1,81 @@
+#include "spnhbm/gpu/execution_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/baselines/reference_platforms.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::gpu {
+namespace {
+
+compiler::DatapathModule compile_nips(std::size_t variables) {
+  const auto model = workload::make_nips_model(variables);
+  const auto backend = arith::make_float64_backend();
+  return compiler::compile_spn(model.spn, *backend);
+}
+
+TEST(GpuModel, BreakdownComponentsArePositive) {
+  const GpuExecutionModel model;
+  const auto module = compile_nips(10);
+  const auto breakdown = model.batch_breakdown(module, 1 << 19);
+  EXPECT_GT(breakdown.launch_time, 0);
+  EXPECT_GT(breakdown.gather_time, 0);
+  EXPECT_GT(breakdown.elementwise_time, 0);
+  EXPECT_GT(breakdown.transfer_time, 0);
+  EXPECT_EQ(breakdown.total(),
+            breakdown.launch_time + breakdown.gather_time +
+                breakdown.elementwise_time + breakdown.transfer_time);
+}
+
+TEST(GpuModel, LargerBatchesAmortiseLaunches) {
+  const GpuExecutionModel model;
+  const auto module = compile_nips(10);
+  const double small = model.throughput(module, 1 << 14);
+  const double large = model.throughput(module, 1 << 20);
+  EXPECT_GT(large, 2.0 * small);
+}
+
+TEST(GpuModel, ThroughputSaturatesAtMemoryBound) {
+  const GpuExecutionModel model;
+  const auto module = compile_nips(10);
+  const double huge = model.throughput(module, 1ull << 26);
+  const double huger = model.throughput(module, 1ull << 28);
+  EXPECT_NEAR(huger / huge, 1.0, 0.05);  // launch cost fully amortised
+}
+
+TEST(GpuModel, BiggerGraphsAreSlower) {
+  const GpuExecutionModel model;
+  EXPECT_GT(model.throughput(compile_nips(10)),
+            2.0 * model.throughput(compile_nips(80)));
+}
+
+TEST(GpuModel, TracksReconstructedV100CurveInShape) {
+  // The mechanistic model must land within ~35% of the curve
+  // reconstructed from the paper's published speedups, across the zoo.
+  const GpuExecutionModel model;
+  const auto reference = baselines::tesla_v100_curve();
+  for (const std::size_t size : workload::nips_benchmark_sizes()) {
+    const double mechanistic = model.throughput(compile_nips(size));
+    const double reconstructed = reference.at(size);
+    EXPECT_NEAR(mechanistic / reconstructed, 1.0, 0.35)
+        << "NIPS" << size << ": model " << mechanistic / 1e6
+        << " Ms/s vs reference " << reconstructed / 1e6 << " Ms/s";
+  }
+}
+
+TEST(GpuModel, LaunchOverheadDominatesSmallBatches) {
+  const GpuExecutionModel model;
+  const auto module = compile_nips(80);
+  const auto breakdown = model.batch_breakdown(module, 1 << 12);
+  EXPECT_GT(breakdown.launch_time,
+            breakdown.gather_time + breakdown.elementwise_time);
+}
+
+TEST(GpuModel, RejectsBadConfig) {
+  GpuModelConfig config;
+  config.batch_samples = 0;
+  EXPECT_THROW(GpuExecutionModel{config}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace spnhbm::gpu

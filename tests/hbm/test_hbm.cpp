@@ -1,0 +1,167 @@
+#include "spnhbm/hbm/hbm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spnhbm/sim/process.hpp"
+
+namespace spnhbm::hbm {
+namespace {
+
+/// Drives `bytes` of linear traffic (single outstanding burst) and returns
+/// the achieved bandwidth in GiB/s.
+double measure_linear_read(HbmChannel& channel, sim::Scheduler& scheduler,
+                           std::uint64_t total_bytes) {
+  sim::ProcessRunner runner(scheduler);
+  const Picoseconds start = scheduler.now();
+  runner.spawn([&]() -> sim::Process {
+    co_await axi::linear_transfer(channel.port(), 0, total_bytes,
+                                  /*is_write=*/false);
+  });
+  scheduler.run();
+  runner.check();
+  const double seconds = to_seconds(scheduler.now() - start);
+  return static_cast<double>(total_bytes) / seconds /
+         static_cast<double>(kGiB);
+}
+
+TEST(HbmChannel, LargeLinearReadsReachCalibratedBandwidth) {
+  sim::Scheduler scheduler;
+  HbmChannel channel(scheduler);
+  // The paper's measured per-channel plateau: ~12 GiB/s for large linear
+  // transfers (out of 13.4 GiB/s raw).
+  const double gib_per_s = measure_linear_read(channel, scheduler, 64 * kMiB);
+  EXPECT_GT(gib_per_s, 11.0);
+  EXPECT_LT(gib_per_s, 13.4);
+}
+
+TEST(HbmChannel, ParallelReadWriteSharesOneChannel) {
+  sim::Scheduler scheduler;
+  HbmChannel channel(scheduler);
+  sim::ProcessRunner runner(scheduler);
+  const std::uint64_t bytes = 16 * kMiB;
+  runner.spawn([&]() -> sim::Process {
+    co_await axi::linear_transfer(channel.port(), 0, bytes, false);
+  });
+  runner.spawn([&]() -> sim::Process {
+    co_await axi::linear_transfer(channel.port(), 128 * kMiB, bytes, true);
+  });
+  scheduler.run();
+  runner.check();
+  const double combined = static_cast<double>(2 * bytes) /
+                          to_seconds(scheduler.now()) /
+                          static_cast<double>(kGiB);
+  // Combined R+W throughput still close to the plateau (Fig. 2 pattern),
+  // clearly above a single direction running at half rate.
+  EXPECT_GT(combined, 10.5);
+  EXPECT_LT(combined, 13.4);
+  EXPECT_EQ(channel.bytes_read(), bytes);
+  EXPECT_EQ(channel.bytes_written(), bytes);
+}
+
+TEST(HbmChannel, SmallBurstsLoseEfficiency) {
+  // Per-burst overhead hurts small bursts: same total bytes, different
+  // burst granularity.
+  const auto measure = [](std::uint32_t burst_bytes) {
+    sim::Scheduler scheduler;
+    HbmChannel channel(scheduler);
+    sim::ProcessRunner runner(scheduler);
+    const std::uint64_t total = 4 * kMiB;
+    runner.spawn([&channel, burst_bytes, total]() -> sim::Process {
+      for (std::uint64_t cursor = 0; cursor < total; cursor += burst_bytes) {
+        co_await channel.access(
+            axi::BurstRequest{cursor, burst_bytes, false});
+      }
+    });
+    scheduler.run();
+    runner.check();
+    return static_cast<double>(total) / to_seconds(scheduler.now());
+  };
+  EXPECT_LT(measure(256), 0.8 * measure(4096));
+}
+
+TEST(HbmChannel, BackdoorRoundTrip) {
+  sim::Scheduler scheduler;
+  HbmChannel channel(scheduler);
+  std::vector<std::uint8_t> data(200'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  // Cross page boundaries (pages are 64 KiB).
+  channel.write_backdoor(12'345, data);
+  std::vector<std::uint8_t> out(data.size());
+  channel.read_backdoor(12'345, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(HbmChannel, BackdoorReadsZeroFill) {
+  sim::Scheduler scheduler;
+  HbmChannel channel(scheduler);
+  std::vector<std::uint8_t> out(64, 0xFF);
+  channel.read_backdoor(1 * kMiB, out);
+  for (const auto byte : out) EXPECT_EQ(byte, 0);
+}
+
+TEST(HbmChannel, RejectsOutOfRangeAccess) {
+  sim::Scheduler scheduler;
+  HbmChannel channel(scheduler);
+  sim::ProcessRunner runner(scheduler);
+  runner.spawn([&]() -> sim::Process {
+    co_await channel.access(
+        axi::BurstRequest{channel.config().capacity_bytes - 16, 64, false});
+  });
+  scheduler.run();
+  EXPECT_THROW(runner.check(), std::logic_error);
+}
+
+TEST(HbmDevice, Has32IndependentChannels) {
+  sim::Scheduler scheduler;
+  HbmDevice device(scheduler);
+  EXPECT_EQ(device.channel_count(), 32u);
+  EXPECT_NEAR(HbmDevice::theoretical_peak().as_gib_per_second(), 428.4, 0.5);
+}
+
+TEST(HbmDevice, ChannelsScaleLinearly) {
+  // The paper's §II-B claim: without the crossbar, performance scales
+  // linearly with the number of channels used.
+  const auto run_with_channels = [](std::size_t n) {
+    sim::Scheduler scheduler;
+    HbmDevice device(scheduler);
+    sim::ProcessRunner runner(scheduler);
+    const std::uint64_t bytes = 8 * kMiB;
+    for (std::size_t c = 0; c < n; ++c) {
+      runner.spawn([&device, c, bytes]() -> sim::Process {
+        co_await axi::linear_transfer(device.port(c), 0, bytes, false);
+      });
+    }
+    scheduler.run();
+    runner.check();
+    return static_cast<double>(n * bytes) / to_seconds(scheduler.now());
+  };
+  const double one = run_with_channels(1);
+  const double eight = run_with_channels(8);
+  const double thirty_two = run_with_channels(32);
+  EXPECT_NEAR(eight / one, 8.0, 0.01);
+  EXPECT_NEAR(thirty_two / one, 32.0, 0.01);
+}
+
+TEST(HbmDevice, CrossbarAddsLatencyAndCostsThroughput) {
+  const auto run = [](bool crossbar) {
+    sim::Scheduler scheduler;
+    HbmDeviceConfig config;
+    config.crossbar_enabled = crossbar;
+    HbmDevice device(scheduler, config);
+    sim::ProcessRunner runner(scheduler);
+    runner.spawn([&device]() -> sim::Process {
+      co_await axi::linear_transfer(device.port(0), 0, 8 * kMiB, false);
+    });
+    scheduler.run();
+    runner.check();
+    return to_seconds(scheduler.now());
+  };
+  EXPECT_GT(run(true), run(false) * 1.15);
+}
+
+}  // namespace
+}  // namespace spnhbm::hbm

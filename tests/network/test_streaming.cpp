@@ -1,0 +1,109 @@
+#include "spnhbm/network/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::network {
+namespace {
+
+compiler::DatapathModule compile_nips(std::size_t variables) {
+  const auto model = workload::make_nips_model(variables);
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  return compiler::compile_spn(model.spn, *backend);
+}
+
+TEST(NetworkLink, GoodputMatchesSevenPaper) {
+  sim::Scheduler scheduler;
+  NetworkLink link(scheduler);
+  // [7]: 99.078 Gbit/s goodput on a 100G link with jumbo frames.
+  EXPECT_NEAR(link.goodput().as_bytes_per_second() * 8 / 1e9, 99.07, 0.05);
+}
+
+TEST(NetworkLink, TimedSendMatchesLineRate) {
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  NetworkLink link(scheduler);
+  const std::uint64_t payload = 90'000'000;  // 10k jumbo frames
+  runner.spawn([&]() -> sim::Process { co_await link.send(payload); });
+  scheduler.run();
+  runner.check();
+  const double goodput_gbps =
+      static_cast<double>(payload) * 8 / 1e9 / to_seconds(scheduler.now());
+  EXPECT_NEAR(goodput_gbps, 99.07, 0.1);
+  EXPECT_EQ(link.payload_bytes_sent(), payload);
+  EXPECT_GT(link.wire_bytes_sent(), payload);
+}
+
+TEST(NetworkLink, SmallFramesLoseGoodput) {
+  sim::Scheduler scheduler;
+  LinkConfig small;
+  small.frame_payload_bytes = 256;
+  NetworkLink link(scheduler, small);
+  EXPECT_LT(link.goodput_fraction(), 0.8);
+}
+
+TEST(StreamingPipeline, Nips80CeilingMatchesPaper) {
+  // Paper §V-D: 99.078 Gbit/s over 88 B/sample -> 140,748,580 samples/s.
+  const auto module = compile_nips(80);
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  StreamingPipeline pipeline(runner, module);
+  EXPECT_EQ(pipeline.wire_bytes_per_sample(), 88u);
+  EXPECT_NEAR(pipeline.line_rate_ceiling(), 140.7e6, 0.3e6);
+}
+
+TEST(StreamingPipeline, SimulatedRateApproachesCeiling) {
+  const auto module = compile_nips(80);
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  StreamingPipeline pipeline(runner, module);
+  const auto stats = pipeline.run(2'000'000);
+  EXPECT_GT(stats.samples_per_second, 0.97 * pipeline.line_rate_ceiling());
+  EXPECT_LE(stats.samples_per_second, pipeline.line_rate_ceiling() * 1.001);
+  EXPECT_GT(stats.ingress_utilisation, 0.95);
+}
+
+TEST(StreamingPipeline, SmallModelsNeedReplication) {
+  // NIPS10: 18 wire bytes -> link ceiling ~688 Ms/s > one 225 MHz
+  // datapath; one replica is datapath-bound, four reach line rate.
+  const auto module = compile_nips(10);
+  const auto rate_with_replicas = [&](std::size_t replicas) {
+    sim::Scheduler scheduler;
+    sim::ProcessRunner runner(scheduler);
+    StreamingConfig config;
+    config.replicas = replicas;
+    StreamingPipeline pipeline(runner, module, config);
+    return pipeline.run(2'000'000).samples_per_second;
+  };
+  const double one = rate_with_replicas(1);
+  const double four = rate_with_replicas(4);
+  EXPECT_NEAR(one, 225e6, 0.05 * 225e6);   // datapath-bound
+  EXPECT_GT(four, 600e6);                  // approaching the link ceiling
+}
+
+TEST(StreamingPipeline, BeatsHbmDesignByThePaperMargin) {
+  // Paper: the streaming architecture delivers ~17% more NIPS80
+  // throughput than the HBM design's 116.6 Ms/s (140.7 vs 116.6). Our HBM
+  // simulation lands a bit higher, so assert the ordering and a sane
+  // ratio corridor instead of the exact 17%.
+  const auto module = compile_nips(80);
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  StreamingPipeline pipeline(runner, module);
+  const double streaming = pipeline.run(2'000'000).samples_per_second;
+  EXPECT_GT(streaming, 116.6e6);  // beats the paper's HBM measurement
+  EXPECT_NEAR(streaming / 116.6e6, 1.17, 0.08);
+}
+
+TEST(StreamingPipeline, RejectsBadConfig) {
+  const auto module = compile_nips(10);
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  StreamingConfig config;
+  config.replicas = 0;
+  EXPECT_THROW(StreamingPipeline(runner, module, config), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spnhbm::network

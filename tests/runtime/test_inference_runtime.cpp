@@ -1,0 +1,172 @@
+#include "spnhbm/runtime/inference_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::runtime {
+namespace {
+
+struct Harness {
+  explicit Harness(std::size_t variables = 10, int pes = 1,
+                   bool compute_results = false)
+      : model(workload::make_nips_model(variables)),
+        backend(arith::make_cfp_backend(arith::paper_cfp_format())),
+        module(compiler::compile_spn(model.spn, *backend)) {
+    tapasco::CompositionConfig composition;
+    composition.pe_count = pes;
+    composition.compute_results = compute_results;
+    device = std::make_unique<tapasco::Device>(runner, module, *backend,
+                                               composition);
+  }
+
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner{scheduler};
+  workload::NipsModel model;
+  std::unique_ptr<arith::ArithBackend> backend;
+  compiler::DatapathModule module;
+  std::unique_ptr<tapasco::Device> device;
+};
+
+TEST(InferenceRuntime, SelfConfiguresFromAccelerator) {
+  Harness h;
+  RuntimeConfig config;
+  EXPECT_NO_THROW(InferenceRuntime(h.runner, *h.device, h.module, config));
+}
+
+TEST(InferenceRuntime, SinglePeEndToEndAnchor) {
+  // The paper's 1-PE NIPS10 anchor: 133.1 Msamples/s end-to-end with one
+  // control thread. Accept a +-15% corridor (see EXPERIMENTS.md).
+  Harness h(10, 1);
+  InferenceRuntime runtime(h.runner, *h.device, h.module);
+  const auto stats = runtime.run(4'000'000);
+  EXPECT_NEAR(stats.samples_per_second, 133.1e6, 133.1e6 * 0.15);
+}
+
+TEST(InferenceRuntime, WithoutTransfersHitsDatapathRate) {
+  // Fig. 4 left: on-device rate is the II=1 pipeline rate (~225 M/s).
+  Harness h(10, 1);
+  RuntimeConfig config;
+  config.include_transfers = false;
+  InferenceRuntime runtime(h.runner, *h.device, h.module, config);
+  const auto stats = runtime.run(4'000'000);
+  EXPECT_GT(stats.samples_per_second, 0.92 * 225e6);
+  EXPECT_LT(stats.samples_per_second, 225e6);
+  EXPECT_EQ(stats.dma_bytes, 0u);
+}
+
+TEST(InferenceRuntime, ComputeOnlyScalesNearlyLinearly) {
+  // Fig. 4 left: near-linear scaling to 8 PEs without transfers.
+  const auto rate_with_pes = [](int pes) {
+    Harness h(10, pes);
+    RuntimeConfig config;
+    config.include_transfers = false;
+    config.block_samples = 1 << 18;
+    InferenceRuntime runtime(h.runner, *h.device, h.module, config);
+    return runtime.run(static_cast<std::uint64_t>(pes) * 2'000'000).samples_per_second;
+  };
+  const double one = rate_with_pes(1);
+  const double eight = rate_with_pes(8);
+  EXPECT_GT(eight / one, 7.6);
+  EXPECT_LT(eight / one, 8.1);
+}
+
+TEST(InferenceRuntime, EndToEndScalingFlattensAtDmaBound) {
+  // Fig. 4 right: with transfers, NIPS10 stops scaling around 5 PEs; the
+  // 5-PE anchor is ~614.7 Msamples/s and 8 PEs gain little over 5.
+  const auto rate_with_pes = [](int pes) {
+    Harness h(10, pes);
+    InferenceRuntime runtime(h.runner, *h.device, h.module);
+    return runtime.run(static_cast<std::uint64_t>(pes) * 3'000'000).samples_per_second;
+  };
+  const double five = rate_with_pes(5);
+  const double eight = rate_with_pes(8);
+  EXPECT_NEAR(five, 614.7e6, 614.7e6 * 0.15);
+  EXPECT_LT(eight / five, 1.15);  // flattened
+}
+
+TEST(InferenceRuntime, DmaSaturatesAtHighPeCounts) {
+  Harness h(10, 8);
+  InferenceRuntime runtime(h.runner, *h.device, h.module);
+  const auto stats = runtime.run(16'000'000);
+  EXPECT_GT(stats.dma_utilisation, 0.85);
+}
+
+TEST(InferenceRuntime, TwoThreadsHelpAtOnePe) {
+  // Paper §V-B: >1 control thread only helps below four PEs.
+  const auto rate = [](int pes, int threads) {
+    Harness h(10, pes);
+    RuntimeConfig config;
+    config.threads_per_pe = threads;
+    InferenceRuntime runtime(h.runner, *h.device, h.module, config);
+    return runtime.run(static_cast<std::uint64_t>(pes) * 3'000'000)
+        .samples_per_second;
+  };
+  EXPECT_GT(rate(1, 2), 1.25 * rate(1, 1));   // overlap helps at 1 PE
+  EXPECT_LT(rate(8, 2), 1.10 * rate(8, 1));   // DMA-bound at 8 PEs
+}
+
+TEST(InferenceRuntime, FunctionalInferenceMatchesReference) {
+  Harness h(10, 1, /*compute_results=*/true);
+  InferenceRuntime runtime(h.runner, *h.device, h.module);
+  Rng rng(7);
+  const std::size_t count = 257;  // deliberately not burst-aligned
+  std::vector<std::uint8_t> samples(count * 10);
+  for (auto& b : samples) b = static_cast<std::uint8_t>(rng.next_below(64));
+  const auto results = runtime.infer(samples);
+  ASSERT_EQ(results.size(), count);
+
+  spn::Evaluator reference(h.model.spn);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double want = reference.evaluate_bytes(
+        std::span<const std::uint8_t>(samples).subspan(i * 10, 10));
+    if (want > 1e-30) {
+      EXPECT_NEAR(results[i] / want, 1.0, 1e-3) << "sample " << i;
+    }
+  }
+}
+
+TEST(InferenceRuntime, RunStatsDescribe) {
+  Harness h(10, 1);
+  InferenceRuntime runtime(h.runner, *h.device, h.module);
+  const auto stats = runtime.run(1 << 20);
+  EXPECT_EQ(stats.samples, 1u << 20);
+  EXPECT_GT(stats.elapsed, 0);
+  EXPECT_NE(stats.describe().find("samples"), std::string::npos);
+}
+
+TEST(InferenceRuntime, OversizedBlocksExhaustDeviceMemory) {
+  // A block larger than the 256 MiB HBM channel cannot be double-buffered;
+  // the allocator must fail loudly, not wrap around.
+  Harness h(80, 1);
+  RuntimeConfig config;
+  config.block_samples = 4u << 20;  // 4 Mi samples x 80 B > 256 MiB
+  InferenceRuntime runtime(h.runner, *h.device, h.module, config);
+  EXPECT_THROW(runtime.run(8u << 20), DeviceMemoryError);
+}
+
+TEST(InferenceRuntime, MemoryManagerBalancesAfterRuns) {
+  Harness h(10, 2);
+  InferenceRuntime runtime(h.runner, *h.device, h.module);
+  (void)runtime.run(1 << 20);
+  for (std::size_t channel = 0; channel < 2; ++channel) {
+    EXPECT_EQ(runtime.memory().bytes_allocated(channel), 0u);
+  }
+}
+
+TEST(InferenceRuntime, RejectsBadConfig) {
+  Harness h;
+  RuntimeConfig config;
+  config.block_samples = 0;
+  EXPECT_THROW(InferenceRuntime(h.runner, *h.device, h.module, config),
+               std::logic_error);
+  RuntimeConfig config2;
+  config2.threads_per_pe = 99;
+  EXPECT_THROW(InferenceRuntime(h.runner, *h.device, h.module, config2),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace spnhbm::runtime

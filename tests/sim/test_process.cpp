@@ -1,0 +1,129 @@
+#include "spnhbm/sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::sim {
+namespace {
+
+Process counting_process(Scheduler& scheduler, std::vector<Picoseconds>& times,
+                         int steps, Picoseconds dt) {
+  for (int i = 0; i < steps; ++i) {
+    co_await delay(scheduler, dt);
+    times.push_back(scheduler.now());
+  }
+}
+
+TEST(Process, AdvancesVirtualTime) {
+  Scheduler scheduler;
+  ProcessRunner runner(scheduler);
+  std::vector<Picoseconds> times;
+  runner.spawn(counting_process(scheduler, times, 3, 100));
+  scheduler.run();
+  runner.check();
+  EXPECT_EQ(times, (std::vector<Picoseconds>{100, 200, 300}));
+  EXPECT_TRUE(runner.all_done());
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically) {
+  Scheduler scheduler;
+  ProcessRunner runner(scheduler);
+  std::vector<Picoseconds> a_times, b_times;
+  runner.spawn(counting_process(scheduler, a_times, 4, 100));
+  runner.spawn(counting_process(scheduler, b_times, 2, 250));
+  scheduler.run();
+  runner.check();
+  EXPECT_EQ(a_times, (std::vector<Picoseconds>{100, 200, 300, 400}));
+  EXPECT_EQ(b_times, (std::vector<Picoseconds>{250, 500}));
+}
+
+Process joiner(Scheduler& scheduler, ProcessRunner& runner,
+               std::vector<int>& log) {
+  std::vector<Picoseconds> ignored;
+  Process child = runner.spawn(counting_process(scheduler, ignored, 1, 500));
+  log.push_back(1);
+  co_await child.join();
+  log.push_back(2);
+  EXPECT_EQ(scheduler.now(), 500);
+}
+
+TEST(Process, JoinWaitsForChild) {
+  Scheduler scheduler;
+  ProcessRunner runner(scheduler);
+  std::vector<int> log;
+  runner.spawn(joiner(scheduler, runner, log));
+  scheduler.run();
+  runner.check();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+Process throwing_process(Scheduler& scheduler) {
+  co_await delay(scheduler, 10);
+  throw Error("simulated failure");
+}
+
+TEST(Process, ExceptionSurfacesViaCheck) {
+  Scheduler scheduler;
+  ProcessRunner runner(scheduler);
+  runner.spawn(throwing_process(scheduler));
+  scheduler.run();
+  EXPECT_THROW(runner.check(), Error);
+  // A second check must not rethrow the consumed exception.
+  EXPECT_NO_THROW(runner.check());
+}
+
+Process join_rethrows(Scheduler& scheduler, ProcessRunner& runner, bool& caught) {
+  Process child = runner.spawn(throwing_process(scheduler));
+  try {
+    co_await child.join();
+  } catch (const Error&) {
+    caught = true;
+  }
+}
+
+TEST(Process, JoinRethrowsChildException) {
+  Scheduler scheduler;
+  ProcessRunner runner(scheduler);
+  bool caught = false;
+  runner.spawn(join_rethrows(scheduler, runner, caught));
+  scheduler.run();
+  runner.check();  // exception was consumed by the join
+  EXPECT_TRUE(caught);
+}
+
+Process immediate() { co_return; }
+
+TEST(Process, JoinOnFinishedProcessIsReady) {
+  Scheduler scheduler;
+  ProcessRunner runner(scheduler);
+  Process p = runner.spawn(immediate());
+  scheduler.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_FALSE(p.failed());
+}
+
+TEST(Process, ZeroDelayYieldsThroughQueue) {
+  Scheduler scheduler;
+  ProcessRunner runner(scheduler);
+  std::vector<int> order;
+  auto maker = [&](int id) -> Process {
+    co_await delay(scheduler, 0);
+    order.push_back(id);
+    co_await delay(scheduler, 0);
+    order.push_back(id + 10);
+  };
+  runner.spawn(maker(1));
+  runner.spawn(maker(2));
+  scheduler.run();
+  runner.check();
+  // Round-robin interleaving, still at time zero.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12}));
+  EXPECT_EQ(scheduler.now(), 0);
+}
+
+}  // namespace
+}  // namespace spnhbm::sim

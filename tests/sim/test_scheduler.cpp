@@ -1,0 +1,77 @@
+#include "spnhbm/sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace spnhbm::sim {
+namespace {
+
+TEST(Scheduler, CallbacksRunInTimeOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.call_at(300, [&] { order.push_back(3); });
+  scheduler.call_at(100, [&] { order.push_back(1); });
+  scheduler.call_at(200, [&] { order.push_back(2); });
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), 300);
+}
+
+TEST(Scheduler, SameTimeEventsAreFifo) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    scheduler.call_at(50, [&order, i] { order.push_back(i); });
+  }
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler scheduler;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 10) scheduler.call_at(scheduler.now() + 10, tick);
+  };
+  scheduler.call_at(0, tick);
+  scheduler.run();
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(scheduler.now(), 90);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.call_at(100, [&] { order.push_back(1); });
+  scheduler.call_at(200, [&] { order.push_back(2); });
+  scheduler.run_until(150);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(scheduler.now(), 150);
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeOnEmptyQueue) {
+  Scheduler scheduler;
+  scheduler.run_until(12345);
+  EXPECT_EQ(scheduler.now(), 12345);
+}
+
+TEST(Scheduler, RejectsSchedulingIntoThePast) {
+  Scheduler scheduler;
+  scheduler.call_at(100, [] {});
+  scheduler.run();
+  EXPECT_THROW(scheduler.call_at(50, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler scheduler;
+  EXPECT_FALSE(scheduler.step());
+  EXPECT_TRUE(scheduler.empty());
+}
+
+}  // namespace
+}  // namespace spnhbm::sim

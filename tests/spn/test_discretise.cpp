@@ -1,0 +1,136 @@
+#include "spnhbm/spn/discretise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/arith/backend.hpp"
+#include "spnhbm/compiler/datapath.hpp"
+#include "spnhbm/spn/dot_export.hpp"
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/spn/validate.hpp"
+
+namespace spnhbm::spn {
+namespace {
+
+/// The paper's Fig. 1 situation: an SPN with Gaussian leaves that must be
+/// approximated with histograms before hardware mapping.
+Spn gaussian_spn() {
+  Spn spn;
+  const auto g0a = spn.add_gaussian(0, 60.0, 15.0);
+  const auto g1a = spn.add_gaussian(1, 80.0, 20.0);
+  const auto g0b = spn.add_gaussian(0, 180.0, 25.0);
+  const auto g1b = spn.add_gaussian(1, 150.0, 10.0);
+  const auto pa = spn.add_product({g0a, g1a});
+  const auto pb = spn.add_product({g0b, g1b});
+  spn.set_root(spn.add_sum({pa, pb}, {0.45, 0.55}));
+  return spn;
+}
+
+TEST(Discretise, GaussianCdf) {
+  EXPECT_NEAR(gaussian_cdf(0.0, 0.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(gaussian_cdf(1.96, 0.0, 1.0), 0.975, 1e-3);
+  EXPECT_NEAR(gaussian_cdf(-1.96, 0.0, 1.0), 0.025, 1e-3);
+}
+
+TEST(Discretise, ReplacesEveryGaussian) {
+  const Spn mixed = discretise_gaussians(gaussian_spn());
+  const auto stats = compute_stats(mixed);
+  EXPECT_EQ(stats.gaussian_leaves, 0u);
+  EXPECT_EQ(stats.histogram_leaves, 4u);
+  EXPECT_EQ(stats.sum_nodes, 1u);
+  EXPECT_EQ(stats.product_nodes, 2u);
+  EXPECT_TRUE(validate(mixed).empty());
+}
+
+TEST(Discretise, PreservesDensityShape) {
+  const Spn original = gaussian_spn();
+  DiscretiseOptions options;
+  options.buckets = 64;
+  const Spn mixed = discretise_gaussians(original, options);
+  Evaluator exact(original);
+  Evaluator approx(mixed);
+  // At bucket centres (width 4 for 64 buckets over [0,256)) the
+  // bucket-mass average closely matches the point density; at bucket
+  // edges it deliberately does not (piecewise-constant approximation).
+  for (double v0 = 14.0; v0 < 250.0; v0 += 16.0) {
+    const double sample[] = {v0, 102.0};  // both at bucket centres
+    const double want = exact.evaluate(sample);
+    const double got = approx.evaluate(sample);
+    if (want > 1e-7) {
+      EXPECT_NEAR(got / want, 1.0, 0.15) << "v0=" << v0;
+    }
+  }
+}
+
+TEST(Discretise, MoreBucketsAreMoreAccurate) {
+  const Spn original = gaussian_spn();
+  Evaluator exact(original);
+  const auto mean_error = [&](std::size_t buckets) {
+    DiscretiseOptions options;
+    options.buckets = buckets;
+    const Spn mixed = discretise_gaussians(original, options);
+    Evaluator approx(mixed);
+    double total = 0.0;
+    int counted = 0;
+    for (double v0 = 20.0; v0 < 240.0; v0 += 8.0) {
+      for (double v1 = 60.0; v1 < 180.0; v1 += 8.0) {
+        const double sample[] = {v0, v1};
+        const double want = exact.evaluate(sample);
+        if (want < 1e-10) continue;
+        total += std::fabs(approx.evaluate(sample) - want) / want;
+        ++counted;
+      }
+    }
+    return total / counted;
+  };
+  EXPECT_LT(mean_error(128), mean_error(16));
+}
+
+TEST(Discretise, ResultCompilesToHardware) {
+  const Spn mixed = discretise_gaussians(gaussian_spn());
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  const auto module = compiler::compile_spn(mixed, *backend);
+  EXPECT_EQ(module.input_features(), 2u);
+  // Functional check through the datapath.
+  Evaluator reference(mixed);
+  const std::uint8_t sample[] = {60, 80};
+  const double want = reference.evaluate_bytes(sample);
+  EXPECT_NEAR(module.evaluate(*backend, sample) / want, 1.0, 1e-4);
+}
+
+TEST(Discretise, MassStaysNormalised) {
+  DiscretiseOptions options;
+  options.buckets = 32;
+  const Spn mixed = discretise_gaussians(gaussian_spn(), options);
+  // validate() already checks leaf normalisation; assert it explicitly.
+  EXPECT_TRUE(validate(mixed).empty());
+}
+
+TEST(Discretise, FloorKeepsTailsPositive) {
+  Spn spn;
+  spn.set_root(spn.add_gaussian(0, 128.0, 1.0));  // very narrow
+  const Spn mixed = discretise_gaussians(spn);
+  Evaluator evaluator(mixed);
+  const double tail[] = {3.0};
+  EXPECT_GT(evaluator.evaluate(tail), 0.0);
+}
+
+TEST(Discretise, RejectsBadOptions) {
+  DiscretiseOptions options;
+  options.buckets = 1;
+  EXPECT_THROW(discretise_gaussians(gaussian_spn(), options),
+               std::logic_error);
+}
+
+TEST(DotExport, EmitsAllNodeShapes) {
+  const std::string dot = to_dot(gaussian_spn());
+  EXPECT_NE(dot.find("digraph spn"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"+\""), std::string::npos);
+  EXPECT_NE(dot.find("N(60, 15)"), std::string::npos);
+  const std::string mixed_dot = to_dot(discretise_gaussians(gaussian_spn()));
+  EXPECT_NE(mixed_dot.find("hist["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

@@ -1,0 +1,180 @@
+#include "spnhbm/spn/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/spn/random_spn.hpp"
+#include "spnhbm/spn/validate.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::spn {
+namespace {
+
+Spn mixture_spn() {
+  Spn spn;
+  const auto h0a = spn.add_histogram(0, {0, 1, 2}, {0.25, 0.75});
+  const auto h1a = spn.add_histogram(1, {0, 1, 2}, {0.5, 0.5});
+  const auto h0b = spn.add_histogram(0, {0, 1, 2}, {0.9, 0.1});
+  const auto h1b = spn.add_histogram(1, {0, 1, 2}, {0.2, 0.8});
+  const auto p_a = spn.add_product({h0a, h1a});
+  const auto p_b = spn.add_product({h0b, h1b});
+  spn.set_root(spn.add_sum({p_a, p_b}, {0.3, 0.7}));
+  return spn;
+}
+
+TEST(LeafDensity, HistogramLookup) {
+  const NodePayload leaf = HistogramLeaf{0, {0, 1, 2, 4}, {0.1, 0.3, 0.15}};
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, 0.5), 0.1);
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, 1.0), 0.3);
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, 3.99), 0.15);
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, 4.0), 0.0);   // right edge exclusive
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, -0.1), 0.0);  // out of support
+}
+
+TEST(LeafDensity, GaussianPdf) {
+  const NodePayload leaf = GaussianLeaf{0, 1.0, 2.0};
+  const double at_mean = leaf_density(leaf, 1.0);
+  EXPECT_NEAR(at_mean, 1.0 / (2.0 * std::sqrt(2.0 * M_PI)), 1e-12);
+  EXPECT_LT(leaf_density(leaf, 5.0), at_mean);
+}
+
+TEST(LeafDensity, CategoricalMass) {
+  const NodePayload leaf = CategoricalLeaf{0, {0.2, 0.3, 0.5}};
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, 1.5), 0.0);  // non-integer
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, -1.0), 0.0);
+}
+
+TEST(LeafDensity, MissingValueMarginalises) {
+  const NodePayload leaf = HistogramLeaf{0, {0, 1}, {1.0}};
+  EXPECT_DOUBLE_EQ(leaf_density(leaf, missing_value()), 1.0);
+}
+
+TEST(Evaluate, MixtureByHand) {
+  Spn spn = mixture_spn();
+  Evaluator evaluator(spn);
+  // Sample (0, 1): component A = 0.25*0.5, component B = 0.9*0.8.
+  const double want = 0.3 * (0.25 * 0.5) + 0.7 * (0.9 * 0.8);
+  const double sample[] = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(sample), want);
+}
+
+TEST(Evaluate, LogDomainMatchesLinear) {
+  Spn spn = mixture_spn();
+  Evaluator evaluator(spn);
+  const double sample[] = {1.0, 0.0};
+  EXPECT_NEAR(evaluator.evaluate_log(sample),
+              std::log(evaluator.evaluate(sample)), 1e-12);
+}
+
+TEST(Evaluate, BytesPathMatchesDoublePath) {
+  Spn spn = mixture_spn();
+  Evaluator evaluator(spn);
+  const std::uint8_t bytes[] = {1, 1};
+  const double doubles[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(evaluator.evaluate_bytes(bytes),
+                   evaluator.evaluate(doubles));
+}
+
+TEST(Evaluate, MarginalisationDropsVariable) {
+  Spn spn = mixture_spn();
+  Evaluator evaluator(spn);
+  // Marginalising V1 must yield the V0 marginal: histograms over V1
+  // integrate to 1 inside each component.
+  const double sample[] = {0.0, missing_value()};
+  const double want = 0.3 * 0.25 + 0.7 * 0.9;
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(sample), want);
+}
+
+TEST(Evaluate, FullMarginalIsOne) {
+  Spn spn = mixture_spn();
+  Evaluator evaluator(spn);
+  const double sample[] = {missing_value(), missing_value()};
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(sample), 1.0);
+}
+
+TEST(Evaluate, BatchMatchesScalar) {
+  Spn spn = mixture_spn();
+  Evaluator evaluator(spn);
+  const std::vector<double> rows{0, 0, 0, 1, 1, 0, 1, 1};
+  std::vector<double> results(4);
+  evaluator.evaluate_batch(rows, 2, results);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(results[r],
+                     evaluator.evaluate(std::span(rows).subspan(r * 2, 2)));
+  }
+}
+
+TEST(Evaluate, RejectsNarrowSamples) {
+  Spn spn = mixture_spn();
+  Evaluator evaluator(spn);
+  const double sample[] = {0.0};
+  EXPECT_THROW(evaluator.evaluate(sample), std::logic_error);
+}
+
+// Property: over a random SPN, summing the joint over the full discrete
+// domain must give ~1 (the SPN is a normalised distribution), and the
+// log-domain evaluation must agree with the linear one.
+class RandomSpnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSpnProperty, NormalisedAndLogConsistent) {
+  RandomSpnConfig config;
+  config.variables = 3;
+  config.leaf_domain = 4;   // small domain so we can integrate exhaustively
+  config.histogram_buckets = 4;
+  config.seed = GetParam();
+  const Spn spn = make_random_spn(config);
+  validate_or_throw(spn);
+
+  Evaluator evaluator(spn);
+  double total = 0.0;
+  double sample[3];
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      for (int c = 0; c < 4; ++c) {
+        sample[0] = a;
+        sample[1] = b;
+        sample[2] = c;
+        const double p = evaluator.evaluate(sample);
+        EXPECT_GE(p, 0.0);
+        if (p > 0.0) {
+          EXPECT_NEAR(evaluator.evaluate_log(sample), std::log(p),
+                      1e-9 * std::fabs(std::log(p)) + 1e-12);
+        }
+        total += p;
+      }
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSpnProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Property: marginalising one variable at a time never increases the
+// probability (it integrates it out).
+TEST(Evaluate, MarginalMonotonicity) {
+  RandomSpnConfig config;
+  config.variables = 5;
+  config.leaf_domain = 256;
+  config.seed = 99;
+  const Spn spn = make_random_spn(config);
+  Evaluator evaluator(spn);
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> sample(5);
+    for (auto& v : sample) v = static_cast<double>(rng.next_below(256));
+    const double joint = evaluator.evaluate(sample);
+    for (int v = 0; v < 5; ++v) {
+      auto marginal_sample = sample;
+      marginal_sample[v] = missing_value();
+      EXPECT_GE(evaluator.evaluate(marginal_sample), joint - 1e-15);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

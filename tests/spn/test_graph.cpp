@@ -1,0 +1,124 @@
+#include "spnhbm/spn/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace spnhbm::spn {
+namespace {
+
+/// Two-variable mixture used by several tests.
+Spn small_spn() {
+  Spn spn;
+  const auto h0a = spn.add_histogram(0, {0, 1, 2}, {0.25, 0.75});
+  const auto h1a = spn.add_histogram(1, {0, 1, 2}, {0.5, 0.5});
+  const auto h0b = spn.add_histogram(0, {0, 1, 2}, {0.9, 0.1});
+  const auto h1b = spn.add_histogram(1, {0, 1, 2}, {0.2, 0.8});
+  const auto p_a = spn.add_product({h0a, h1a});
+  const auto p_b = spn.add_product({h0b, h1b});
+  const auto root = spn.add_sum({p_a, p_b}, {0.3, 0.7});
+  spn.set_root(root);
+  return spn;
+}
+
+TEST(Graph, BuilderAssignsSequentialIds) {
+  Spn spn;
+  EXPECT_EQ(spn.add_histogram(0, {0, 1}, {1.0}), 0u);
+  EXPECT_EQ(spn.add_gaussian(1, 0.0, 1.0), 1u);
+  EXPECT_EQ(spn.add_categorical(2, {0.5, 0.5}), 2u);
+  EXPECT_EQ(spn.add_product({0, 1, 2}), 3u);
+  EXPECT_EQ(spn.node_count(), 4u);
+}
+
+TEST(Graph, ChildrenMustExist) {
+  Spn spn;
+  EXPECT_THROW(spn.add_product({5}), std::logic_error);
+  EXPECT_THROW(spn.add_sum({0}, {1.0}), std::logic_error);
+}
+
+TEST(Graph, SumNeedsMatchingWeights) {
+  Spn spn;
+  spn.add_histogram(0, {0, 1}, {1.0});
+  EXPECT_THROW(spn.add_sum({0}, {0.5, 0.5}), std::logic_error);
+}
+
+TEST(Graph, HistogramShapeChecks) {
+  Spn spn;
+  EXPECT_THROW(spn.add_histogram(0, {0}, {}), std::logic_error);
+  EXPECT_THROW(spn.add_histogram(0, {0, 1}, {1.0, 2.0}), std::logic_error);
+  EXPECT_THROW(spn.add_histogram(0, {1, 0}, {1.0}), std::logic_error);
+}
+
+TEST(Graph, GaussianNeedsPositiveStddev) {
+  Spn spn;
+  EXPECT_THROW(spn.add_gaussian(0, 0.0, 0.0), std::logic_error);
+  EXPECT_THROW(spn.add_gaussian(0, 0.0, -1.0), std::logic_error);
+}
+
+TEST(Graph, RootMustExist) {
+  Spn spn;
+  EXPECT_THROW(spn.set_root(0), std::logic_error);
+  EXPECT_FALSE(spn.has_root());
+}
+
+TEST(Graph, NodeKinds) {
+  const Spn spn = small_spn();
+  EXPECT_EQ(spn.kind(0), NodeKind::kHistogram);
+  EXPECT_EQ(spn.kind(4), NodeKind::kProduct);
+  EXPECT_EQ(spn.kind(6), NodeKind::kSum);
+  EXPECT_STREQ(node_kind_name(NodeKind::kSum), "sum");
+}
+
+TEST(Graph, VariableCount) {
+  const Spn spn = small_spn();
+  EXPECT_EQ(spn.variable_count(), 2u);
+}
+
+TEST(Graph, ScopesAreSortedAndMerged) {
+  const Spn spn = small_spn();
+  const auto scopes = spn.compute_scopes();
+  EXPECT_EQ(scopes[0], (std::vector<VariableId>{0}));
+  EXPECT_EQ(scopes[4], (std::vector<VariableId>{0, 1}));
+  EXPECT_EQ(scopes[6], (std::vector<VariableId>{0, 1}));
+}
+
+TEST(Graph, ReachableTopologicalIsChildrenFirst) {
+  const Spn spn = small_spn();
+  const auto order = spn.reachable_topological();
+  EXPECT_EQ(order.size(), 7u);
+  std::vector<bool> seen(spn.node_count(), false);
+  for (const NodeId id : order) {
+    const auto& payload = spn.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      for (const NodeId child : sum->children) EXPECT_TRUE(seen[child]);
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      for (const NodeId child : product->children) EXPECT_TRUE(seen[child]);
+    }
+    seen[id] = true;
+  }
+}
+
+TEST(Graph, ReachableSkipsOrphans) {
+  Spn spn;
+  spn.add_histogram(0, {0, 1}, {1.0});          // orphan
+  const auto used = spn.add_histogram(0, {0, 1}, {1.0});
+  spn.set_root(used);
+  EXPECT_EQ(spn.reachable_topological(), (std::vector<NodeId>{used}));
+}
+
+TEST(Graph, StatsCountEverything) {
+  const Spn spn = small_spn();
+  const auto stats = compute_stats(spn);
+  EXPECT_EQ(stats.sum_nodes, 1u);
+  EXPECT_EQ(stats.product_nodes, 2u);
+  EXPECT_EQ(stats.histogram_leaves, 4u);
+  EXPECT_EQ(stats.total_nodes(), 7u);
+  EXPECT_EQ(stats.edges, 6u);
+  EXPECT_EQ(stats.depth, 2u);
+  EXPECT_EQ(stats.variables, 2u);
+  EXPECT_EQ(stats.histogram_buckets, 8u);
+  EXPECT_FALSE(stats.describe().empty());
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

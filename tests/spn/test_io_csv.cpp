@@ -1,0 +1,80 @@
+#include "spnhbm/spn/io_csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spnhbm::spn {
+namespace {
+
+TEST(IoCsv, ParsesSimpleMatrix) {
+  const DataMatrix data = parse_csv("1,2,3\n4,5,6\n");
+  EXPECT_EQ(data.rows(), 2u);
+  EXPECT_EQ(data.cols(), 3u);
+  EXPECT_DOUBLE_EQ(data.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(data.at(1, 2), 6.0);
+}
+
+TEST(IoCsv, SkipsEmptyLinesAndTrimsWhitespace) {
+  const DataMatrix data = parse_csv("\n 1 , 2 \n\n 3 ,4 \n\n");
+  EXPECT_EQ(data.rows(), 2u);
+  EXPECT_DOUBLE_EQ(data.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(data.at(1, 0), 3.0);
+}
+
+TEST(IoCsv, ParsesDecimalsAndNegatives) {
+  const DataMatrix data = parse_csv("-1.5,2.25e2\n0.125,-0\n");
+  EXPECT_DOUBLE_EQ(data.at(0, 0), -1.5);
+  EXPECT_DOUBLE_EQ(data.at(0, 1), 225.0);
+  EXPECT_DOUBLE_EQ(data.at(1, 0), 0.125);
+}
+
+TEST(IoCsv, RejectsRaggedInput) {
+  EXPECT_THROW(parse_csv("1,2\n3\n"), ParseError);
+}
+
+TEST(IoCsv, RejectsNonNumericCells) {
+  try {
+    parse_csv("1,2\n3,abc\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+}
+
+TEST(IoCsv, RejectsEmptyInput) {
+  EXPECT_THROW(parse_csv(""), ParseError);
+  EXPECT_THROW(parse_csv("\n\n"), ParseError);
+}
+
+TEST(IoCsv, RoundTripsThroughText) {
+  DataMatrix data(2, 2);
+  data.set(0, 0, 1.5);
+  data.set(0, 1, 200.0);
+  data.set(1, 0, 0.0);
+  data.set(1, 1, 42.0);
+  const DataMatrix reparsed = parse_csv(to_csv(data));
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(reparsed.at(r, c), data.at(r, c));
+    }
+  }
+}
+
+TEST(IoCsv, FileRoundTrip) {
+  DataMatrix data(1, 3);
+  data.set(0, 0, 7.0);
+  data.set(0, 1, 8.0);
+  data.set(0, 2, 9.0);
+  const std::string path = "/tmp/spnhbm_test_data.csv";
+  save_csv_file(data, path);
+  const DataMatrix loaded = load_csv_file(path);
+  EXPECT_EQ(loaded.rows(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.at(0, 2), 9.0);
+}
+
+TEST(IoCsv, MissingFileThrows) {
+  EXPECT_THROW(load_csv_file("/nonexistent/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

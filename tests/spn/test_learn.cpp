@@ -1,0 +1,141 @@
+#include "spnhbm/spn/learn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/spn/validate.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::spn {
+namespace {
+
+/// Dataset with two independent groups: {0,1} correlated, {2} independent.
+DataMatrix grouped_data(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  DataMatrix data(rows, 3);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double base = static_cast<double>(rng.next_below(128));
+    data.set(r, 0, base);
+    data.set(r, 1, std::min(255.0, base + static_cast<double>(rng.next_below(8))));
+    data.set(r, 2, static_cast<double>(rng.next_below(256)));
+  }
+  return data;
+}
+
+/// Bimodal dataset: two clearly separated clusters over both variables.
+DataMatrix clustered_data(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  DataMatrix data(rows, 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const bool high = (r % 2) == 0;
+    const double center = high ? 200.0 : 40.0;
+    data.set(r, 0, center + static_cast<double>(rng.next_below(16)));
+    data.set(r, 1, center + static_cast<double>(rng.next_below(16)));
+  }
+  return data;
+}
+
+TEST(Learn, ProducesValidSpn) {
+  const auto data = grouped_data(512, 1);
+  const Spn spn = learn_spn(data);
+  EXPECT_NO_THROW(validate_or_throw(spn));
+  EXPECT_EQ(spn.variable_count(), 3u);
+}
+
+TEST(Learn, SingleVariableYieldsLeaf) {
+  Rng rng(3);
+  DataMatrix data(256, 1);
+  for (std::size_t r = 0; r < 256; ++r) {
+    data.set(r, 0, static_cast<double>(rng.next_below(256)));
+  }
+  const Spn spn = learn_spn(data);
+  EXPECT_EQ(spn.kind(spn.root()), NodeKind::kHistogram);
+}
+
+TEST(Learn, IndependentGroupSplitsIntoProduct) {
+  const auto data = grouped_data(2048, 5);
+  LearnOptions options;
+  options.independence_threshold = 0.3;
+  const Spn spn = learn_spn(data, options);
+  // Variable 2 is independent of {0,1}: the root must be a product.
+  EXPECT_EQ(spn.kind(spn.root()), NodeKind::kProduct);
+}
+
+TEST(Learn, CorrelatedBimodalDataYieldsSum) {
+  const auto data = clustered_data(2048, 7);
+  LearnOptions options;
+  options.independence_threshold = 0.3;
+  const Spn spn = learn_spn(data, options);
+  // Both variables move together across two clusters: root must be a sum.
+  EXPECT_EQ(spn.kind(spn.root()), NodeKind::kSum);
+}
+
+TEST(Learn, ModelAssignsHigherLikelihoodToInDistributionData) {
+  const auto train = clustered_data(2048, 11);
+  const Spn spn = learn_spn(train);
+  Evaluator evaluator(spn);
+
+  // In-distribution: near a cluster centre. Out-of-distribution: far away.
+  const double in_sample[] = {205.0, 206.0};
+  const double out_sample[] = {120.0, 10.0};
+  EXPECT_GT(evaluator.evaluate(in_sample), evaluator.evaluate(out_sample));
+}
+
+TEST(Learn, SmoothingAvoidsZeroDensities) {
+  // All training mass in one spot; smoothing keeps other buckets nonzero.
+  DataMatrix data(128, 1);
+  for (std::size_t r = 0; r < 128; ++r) data.set(r, 0, 10.0);
+  const Spn spn = learn_spn(data);
+  Evaluator evaluator(spn);
+  const double far_away[] = {250.0};
+  EXPECT_GT(evaluator.evaluate(far_away), 0.0);
+}
+
+TEST(Learn, DeterministicInSeed) {
+  const auto data = grouped_data(1024, 13);
+  LearnOptions options;
+  options.seed = 99;
+  const Spn a = learn_spn(data, options);
+  const Spn b = learn_spn(data, options);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  Evaluator ea(a), eb(b);
+  const double sample[] = {64.0, 66.0, 128.0};
+  EXPECT_DOUBLE_EQ(ea.evaluate(sample), eb.evaluate(sample));
+}
+
+TEST(Learn, MinInstancesControlsGranularity) {
+  const auto data = clustered_data(4096, 17);
+  LearnOptions coarse;
+  coarse.min_instances = 8192;  // more than the dataset: never cluster
+  LearnOptions fine;
+  fine.min_instances = 64;
+  const Spn coarse_spn = learn_spn(data, coarse);
+  const Spn fine_spn = learn_spn(data, fine);
+  EXPECT_GT(fine_spn.node_count(), coarse_spn.node_count());
+}
+
+TEST(Learn, RejectsEmptyData) {
+  DataMatrix empty;
+  EXPECT_THROW(learn_spn(empty), std::logic_error);
+}
+
+TEST(Learn, LikelihoodBeatsUniformBaseline) {
+  // Average log-likelihood of the learned model on training data must beat
+  // a uniform distribution over the byte domain (sanity of the density
+  // estimate).
+  const auto data = clustered_data(2048, 23);
+  const Spn spn = learn_spn(data);
+  Evaluator evaluator(spn);
+  double avg_ll = 0.0;
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    avg_ll += evaluator.evaluate_log(data.row(r));
+  }
+  avg_ll /= static_cast<double>(data.rows());
+  const double uniform_ll = 2.0 * std::log(1.0 / 256.0);
+  EXPECT_GT(avg_ll, uniform_ll);
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

@@ -1,0 +1,161 @@
+#include "spnhbm/spn/queries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/spn/random_spn.hpp"
+#include "spnhbm/spn/text_format.hpp"
+#include "spnhbm/spn/validate.hpp"
+
+namespace spnhbm::spn {
+namespace {
+
+/// Mixture where component A prefers small V0/V1 values and B large ones.
+Spn bimodal_spn() {
+  return parse_spn(R"(
+    Sum(0.4*Product(Histogram(V0|[0,128,256];[0.0070,0.0008125])
+                  * Histogram(V1|[0,128,256];[0.0070,0.0008125]))
+      + 0.6*Product(Histogram(V0|[0,128,256];[0.0008125,0.0070])
+                  * Histogram(V1|[0,128,256];[0.0008125,0.0070])))
+  )");
+}
+
+TEST(Conditional, MatchesBayesByHand) {
+  Spn spn = bimodal_spn();
+  Evaluator evaluator(spn);
+  // P(V1 in high half | V0 = 200): component B dominates given V0 high.
+  const double query[] = {200.0, 200.0};
+  const double evidence[] = {200.0, missing_value()};
+  const double conditional =
+      conditional_probability(evaluator, query, evidence);
+  // By hand: P(v0=200) = .4*.0008125 + .6*.0070; joint adds the V1 factor.
+  const double p_e = 0.4 * 0.0008125 + 0.6 * 0.0070;
+  const double p_qe = 0.4 * 0.0008125 * 0.0008125 + 0.6 * 0.0070 * 0.0070;
+  EXPECT_NEAR(conditional, p_qe / p_e, 1e-12);
+}
+
+TEST(Conditional, ConditioningSharpensPrediction) {
+  Spn spn = bimodal_spn();
+  Evaluator evaluator(spn);
+  const double q_free[] = {missing_value(), 200.0};
+  const double e_free[] = {missing_value(), missing_value()};
+  const double prior = conditional_probability(evaluator, q_free, e_free);
+  const double q_cond[] = {200.0, 200.0};
+  const double e_cond[] = {200.0, missing_value()};
+  const double posterior = conditional_probability(evaluator, q_cond, e_cond);
+  // Observing a high V0 makes a high V1 more likely (positive coupling).
+  EXPECT_GT(posterior, prior);
+}
+
+TEST(Conditional, RejectsInconsistentQuery) {
+  Spn spn = bimodal_spn();
+  Evaluator evaluator(spn);
+  const double query[] = {10.0, 20.0};
+  const double evidence[] = {11.0, missing_value()};
+  EXPECT_THROW(conditional_probability(evaluator, query, evidence),
+               std::logic_error);
+}
+
+TEST(Mpe, CompletesTowardTheLikelyComponent) {
+  Spn spn = bimodal_spn();
+  // V0 observed high -> component B -> V1 completed in the high half.
+  std::vector<double> evidence{200.0, missing_value()};
+  const auto high = mpe_completion(spn, evidence);
+  EXPECT_DOUBLE_EQ(high[0], 200.0);  // observed values pass through
+  EXPECT_GE(high[1], 128.0);
+  // V0 observed low -> component A -> V1 completed in the low half.
+  evidence = {30.0, missing_value()};
+  const auto low = mpe_completion(spn, evidence);
+  EXPECT_LT(low[1], 128.0);
+}
+
+TEST(Mpe, FullEvidenceIsIdentity) {
+  Spn spn = bimodal_spn();
+  const std::vector<double> evidence{42.0, 77.0};
+  EXPECT_EQ(mpe_completion(spn, evidence), evidence);
+}
+
+TEST(Mpe, CompletionHasMaximalProbabilityAmongBuckets) {
+  // The MPE completion must score at least as high as any other bucket
+  // centre completion (exhaustive check over the small domain).
+  Spn spn = bimodal_spn();
+  Evaluator evaluator(spn);
+  const std::vector<double> evidence{200.0, missing_value()};
+  const auto completion = mpe_completion(spn, evidence);
+  const double best = evaluator.evaluate(completion);
+  for (const double candidate : {64.0, 192.0}) {
+    const std::vector<double> alternative{200.0, candidate};
+    EXPECT_GE(best, evaluator.evaluate(alternative) - 1e-15);
+  }
+}
+
+TEST(Mpe, GaussianLeafCompletesWithMean) {
+  Spn spn;
+  spn.set_root(spn.add_gaussian(0, 3.5, 1.0));
+  const std::vector<double> evidence{missing_value()};
+  EXPECT_DOUBLE_EQ(mpe_completion(spn, evidence)[0], 3.5);
+}
+
+TEST(Mpe, CategoricalLeafCompletesWithArgmax) {
+  Spn spn;
+  spn.set_root(spn.add_categorical(0, {0.2, 0.5, 0.3}));
+  const std::vector<double> evidence{missing_value()};
+  EXPECT_DOUBLE_EQ(mpe_completion(spn, evidence)[0], 1.0);
+}
+
+TEST(Sampling, SamplesRespectSupport) {
+  RandomSpnConfig config;
+  config.variables = 4;
+  config.seed = 5;
+  const Spn spn = make_random_spn(config);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = sample(spn, rng);
+    ASSERT_EQ(s.size(), 4u);
+    for (const double v : s) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 256.0);
+    }
+  }
+}
+
+TEST(Sampling, EmpiricalMarginalTracksModelMarginal) {
+  // Statistical oracle: the empirical frequency of V0 < 128 must match the
+  // model marginal P(V0 < 128) computed by integration.
+  Spn spn = bimodal_spn();
+  Evaluator evaluator(spn);
+  // P(V0 < 128) = integral over the low half with V1 marginalised.
+  const double low_query[] = {64.0, missing_value()};
+  const double p_low_density = evaluator.evaluate(low_query);  // density
+  const double p_low = p_low_density * 128.0;  // uniform within bucket
+
+  Rng rng(13);
+  int below = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (sample(spn, rng)[0] < 128.0) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, p_low, 0.01);
+}
+
+TEST(Sampling, BatchProducesDistinctSamples) {
+  Spn spn = bimodal_spn();
+  Rng rng(17);
+  const auto batch = sample_batch(spn, rng, 32);
+  ASSERT_EQ(batch.size(), 32u);
+  bool any_diff = false;
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    if (batch[i] != batch[0]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Sampling, DeterministicInRngState) {
+  Spn spn = bimodal_spn();
+  Rng a(21), b(21);
+  EXPECT_EQ(sample(spn, a), sample(spn, b));
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

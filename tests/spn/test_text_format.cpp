@@ -1,0 +1,126 @@
+#include "spnhbm/spn/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/spn/random_spn.hpp"
+#include "spnhbm/spn/validate.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::spn {
+namespace {
+
+TEST(TextFormat, ParsesHistogramLeaf) {
+  const Spn spn = parse_spn("Histogram(V3|[0,1,2];[0.25,0.75])");
+  EXPECT_EQ(spn.node_count(), 1u);
+  const auto& leaf = std::get<HistogramLeaf>(spn.node(spn.root()));
+  EXPECT_EQ(leaf.variable, 3u);
+  EXPECT_EQ(leaf.breaks, (std::vector<double>{0, 1, 2}));
+  EXPECT_EQ(leaf.densities, (std::vector<double>{0.25, 0.75}));
+}
+
+TEST(TextFormat, ParsesGaussianAndCategorical) {
+  const Spn g = parse_spn("Gaussian(V1|0.5;1.25)");
+  const auto& gaussian = std::get<GaussianLeaf>(g.node(g.root()));
+  EXPECT_DOUBLE_EQ(gaussian.mean, 0.5);
+  EXPECT_DOUBLE_EQ(gaussian.stddev, 1.25);
+
+  const Spn c = parse_spn("Categorical(V2|[0.2,0.8])");
+  const auto& categorical = std::get<CategoricalLeaf>(c.node(c.root()));
+  EXPECT_EQ(categorical.probabilities, (std::vector<double>{0.2, 0.8}));
+}
+
+TEST(TextFormat, ParsesNestedStructureWithWhitespace) {
+  const Spn spn = parse_spn(R"(
+    Sum( 0.3 * Product( Histogram(V0|[0,1,2];[0.25,0.75])
+                      * Histogram(V1|[0,1,2];[0.5,0.5]) )
+       + 0.7 * Product( Histogram(V0|[0,1,2];[0.9,0.1])
+                      * Histogram(V1|[0,1,2];[0.2,0.8]) ) )
+  )");
+  EXPECT_EQ(spn.node_count(), 7u);
+  EXPECT_TRUE(validate(spn).empty());
+  Evaluator evaluator(spn);
+  const double sample[] = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(sample),
+                   0.3 * (0.25 * 0.5) + 0.7 * (0.9 * 0.8));
+}
+
+TEST(TextFormat, RejectsMalformedInput) {
+  EXPECT_THROW(parse_spn(""), ParseError);
+  EXPECT_THROW(parse_spn("Blob(V0|[0,1];[1])"), ParseError);
+  EXPECT_THROW(parse_spn("Histogram(V0|[0,1];[1]) trailing"), ParseError);
+  EXPECT_THROW(parse_spn("Histogram(V0|[0,1];[1,2])"), ParseError);
+  EXPECT_THROW(parse_spn("Histogram(X0|[0,1];[1])"), ParseError);
+  EXPECT_THROW(parse_spn("Sum()"), ParseError);
+  EXPECT_THROW(parse_spn("Sum(0.5*Histogram(V0|[0,1];[1])"), ParseError);
+  EXPECT_THROW(parse_spn("Gaussian(V0|1;0)"), ParseError);
+  EXPECT_THROW(parse_spn("Sum(*Histogram(V0|[0,1];[1]))"), ParseError);
+}
+
+TEST(TextFormat, ErrorsIncludeOffset) {
+  try {
+    parse_spn("Sum(0.5*Nope)");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(TextFormat, RoundTripPreservesStructureAndSemantics) {
+  RandomSpnConfig config;
+  config.variables = 8;
+  config.seed = 4711;
+  const Spn original = make_random_spn(config);
+  const std::string text = to_text(original);
+  const Spn reparsed = parse_spn(text);
+
+  EXPECT_TRUE(validate(reparsed).empty());
+  Evaluator eval_original(original);
+  Evaluator eval_reparsed(reparsed);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> sample(8);
+    for (auto& v : sample) v = static_cast<double>(rng.next_below(256));
+    EXPECT_DOUBLE_EQ(eval_original.evaluate(sample),
+                     eval_reparsed.evaluate(sample));
+  }
+}
+
+TEST(TextFormat, SerialisationIsStable) {
+  RandomSpnConfig config;
+  config.variables = 4;
+  config.seed = 7;
+  const Spn spn = make_random_spn(config);
+  const std::string once = to_text(spn);
+  const std::string twice = to_text(parse_spn(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(TextFormat, IndentedOutputParsesBack) {
+  RandomSpnConfig config;
+  config.variables = 4;
+  config.seed = 11;
+  const Spn spn = make_random_spn(config);
+  const std::string pretty = to_text(spn, /*indent=*/true);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_NO_THROW(parse_spn(pretty));
+}
+
+TEST(TextFormat, NumbersRoundTripExactly) {
+  // 1/3 has no short decimal representation; the printer must still emit a
+  // string that parses back to the identical double.
+  Spn spn;
+  spn.set_root(spn.add_histogram(0, {0.0, 1.0 / 3.0, 1.0},
+                                 {1.5, 3.0 - 2.0 * (1.0 / 3.0) * 1.5 /
+                                            (1.0 - 1.0 / 3.0) * 0.5}));
+  ValidationOptions lax;
+  lax.require_normalised_leaves = false;
+  const Spn reparsed = parse_spn(to_text(spn));
+  const auto& a = std::get<HistogramLeaf>(spn.node(0));
+  const auto& b = std::get<HistogramLeaf>(reparsed.node(0));
+  EXPECT_EQ(a.breaks, b.breaks);
+  EXPECT_EQ(a.densities, b.densities);
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

@@ -1,0 +1,166 @@
+#include "spnhbm/spn/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/spn/random_spn.hpp"
+#include "spnhbm/spn/text_format.hpp"
+#include "spnhbm/spn/validate.hpp"
+#include "spnhbm/util/rng.hpp"
+
+namespace spnhbm::spn {
+namespace {
+
+/// Pointwise equivalence check over random samples.
+void expect_equivalent(const Spn& a, const Spn& b, double tolerance = 0.0) {
+  Evaluator eval_a(a), eval_b(b);
+  Rng rng(99);
+  const std::size_t width = std::max(a.variable_count(), b.variable_count());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> sample(width);
+    for (auto& v : sample) v = static_cast<double>(rng.next_below(256));
+    const double va = eval_a.evaluate(sample);
+    const double vb = eval_b.evaluate(sample);
+    if (tolerance == 0.0) {
+      EXPECT_DOUBLE_EQ(va, vb);
+    } else if (va > 0) {
+      EXPECT_NEAR(vb / va, 1.0, tolerance);
+    }
+  }
+}
+
+Spn nested_spn() {
+  // Sum-of-sum and product-of-product nesting to flatten.
+  return parse_spn(R"(
+    Sum(0.5*Sum(0.4*Histogram(V0|[0,256];[0.00390625])
+              + 0.6*Histogram(V0|[0,128,256];[0.005,0.0028125]))
+      + 0.5*Histogram(V0|[0,64,256];[0.01,0.001875]))
+  )");
+}
+
+TEST(Flatten, CollapsesNestedSums) {
+  const Spn original = nested_spn();
+  const Spn flat = flatten(original);
+  EXPECT_TRUE(validate(flat).empty());
+  // Root sum now has 3 direct children, no sum children.
+  const auto& root = std::get<SumNode>(flat.node(flat.root()));
+  EXPECT_EQ(root.children.size(), 3u);
+  for (const NodeId child : root.children) {
+    EXPECT_NE(flat.kind(child), NodeKind::kSum);
+  }
+  // Weights folded: 0.5*0.4, 0.5*0.6, 0.5.
+  EXPECT_DOUBLE_EQ(root.weights[0], 0.2);
+  EXPECT_DOUBLE_EQ(root.weights[1], 0.3);
+  EXPECT_DOUBLE_EQ(root.weights[2], 0.5);
+  expect_equivalent(original, flat);
+}
+
+TEST(Flatten, CollapsesNestedProducts) {
+  Spn spn;
+  const auto h0 = spn.add_histogram(0, {0, 256}, {0.00390625});
+  const auto h1 = spn.add_histogram(1, {0, 256}, {0.00390625});
+  const auto h2 = spn.add_histogram(2, {0, 256}, {0.00390625});
+  const auto inner = spn.add_product({h0, h1});
+  spn.set_root(spn.add_product({inner, h2}));
+  const Spn flat = flatten(spn);
+  const auto& root = std::get<ProductNode>(flat.node(flat.root()));
+  EXPECT_EQ(root.children.size(), 3u);
+  expect_equivalent(spn, flat);
+}
+
+TEST(Flatten, IdentityOnAlreadyFlatGraphs) {
+  RandomSpnConfig config;
+  config.variables = 6;
+  config.seed = 3;
+  const Spn spn = make_random_spn(config);
+  const Spn flat = flatten(spn);
+  expect_equivalent(spn, flat);
+  EXPECT_LE(flat.node_count(), spn.node_count());
+}
+
+TEST(Prune, DropsTinyComponentsAndRenormalises) {
+  const Spn original = parse_spn(R"(
+    Sum(0.0001*Histogram(V0|[0,256];[0.00390625])
+      + 0.4999*Histogram(V0|[0,128,256];[0.005,0.0028125])
+      + 0.5*Histogram(V0|[0,64,256];[0.01,0.001875]))
+  )");
+  const Spn pruned = prune_low_weights(original, 0.01);
+  EXPECT_TRUE(validate(pruned).empty());
+  const auto& root = std::get<SumNode>(pruned.node(pruned.root()));
+  EXPECT_EQ(root.children.size(), 2u);
+  // The distribution changes by at most the pruned mass.
+  expect_equivalent(original, pruned, 0.01);
+}
+
+TEST(Prune, NeverDropsEverything) {
+  const Spn original = parse_spn(R"(
+    Sum(0.5*Histogram(V0|[0,256];[0.00390625])
+      + 0.5*Histogram(V0|[0,128,256];[0.005,0.0028125]))
+  )");
+  const Spn pruned = prune_low_weights(original, 0.9);
+  const auto& root = std::get<SumNode>(pruned.node(pruned.root()));
+  EXPECT_EQ(root.children.size(), 1u);
+  EXPECT_DOUBLE_EQ(root.weights[0], 1.0);
+}
+
+TEST(Prune, ZeroThresholdIsIdentity) {
+  RandomSpnConfig config;
+  config.variables = 5;
+  config.seed = 7;
+  const Spn spn = make_random_spn(config);
+  expect_equivalent(spn, prune_low_weights(spn, 0.0));
+}
+
+TEST(Prune, RejectsBadThreshold) {
+  const Spn spn = nested_spn();
+  EXPECT_THROW(prune_low_weights(spn, 1.0), std::logic_error);
+  EXPECT_THROW(prune_low_weights(spn, -0.1), std::logic_error);
+}
+
+TEST(Deduplicate, SharesIdenticalSubtrees) {
+  // Text-format parsing always builds trees; two identical components
+  // must collapse into one shared subgraph.
+  const Spn tree = parse_spn(R"(
+    Sum(0.5*Product(Histogram(V0|[0,256];[0.00390625])
+                  * Histogram(V1|[0,256];[0.00390625]))
+      + 0.5*Product(Histogram(V0|[0,256];[0.00390625])
+                  * Histogram(V1|[0,256];[0.00390625])))
+  )");
+  const Spn dag = deduplicate(tree);
+  // 7 tree nodes -> 1 sum + 1 shared product + 2 shared leaves = 4.
+  EXPECT_EQ(dag.reachable_topological().size(), 4u);
+  expect_equivalent(tree, dag);
+  EXPECT_TRUE(validate(dag).empty());
+}
+
+TEST(Deduplicate, KeepsDistinctSubtreesDistinct) {
+  const Spn spn = nested_spn();
+  const Spn dag = deduplicate(spn);
+  expect_equivalent(spn, dag);
+}
+
+TEST(Optimise, PipelineShrinksLearnedModels) {
+  RandomSpnConfig config;
+  config.variables = 8;
+  config.sum_fanout = 3;
+  config.seed = 21;
+  const Spn spn = make_random_spn(config);
+  const Spn optimised = optimise(spn);
+  EXPECT_TRUE(validate(optimised).empty());
+  EXPECT_LE(optimised.reachable_topological().size(),
+            spn.reachable_topological().size());
+  expect_equivalent(spn, optimised);
+}
+
+TEST(Optimise, RandomisedEquivalenceSweep) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RandomSpnConfig config;
+    config.variables = 5;
+    config.seed = seed;
+    const Spn spn = make_random_spn(config);
+    expect_equivalent(spn, optimise(spn));
+  }
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

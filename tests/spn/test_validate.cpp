@@ -1,0 +1,120 @@
+#include "spnhbm/spn/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/spn/random_spn.hpp"
+
+namespace spnhbm::spn {
+namespace {
+
+TEST(Validate, AcceptsWellFormedMixture) {
+  Spn spn;
+  const auto h0a = spn.add_histogram(0, {0, 2}, {0.5});
+  const auto h1a = spn.add_histogram(1, {0, 2}, {0.5});
+  const auto h0b = spn.add_histogram(0, {0, 2}, {0.5});
+  const auto h1b = spn.add_histogram(1, {0, 2}, {0.5});
+  const auto pa = spn.add_product({h0a, h1a});
+  const auto pb = spn.add_product({h0b, h1b});
+  spn.set_root(spn.add_sum({pa, pb}, {0.4, 0.6}));
+  EXPECT_TRUE(validate(spn).empty());
+  EXPECT_NO_THROW(validate_or_throw(spn));
+}
+
+TEST(Validate, DetectsMissingRoot) {
+  Spn spn;
+  spn.add_histogram(0, {0, 1}, {1.0});
+  const auto violations = validate(spn);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("no root"), std::string::npos);
+}
+
+TEST(Validate, DetectsIncompleteSum) {
+  Spn spn;
+  const auto h0 = spn.add_histogram(0, {0, 1}, {1.0});
+  const auto h1 = spn.add_histogram(1, {0, 1}, {1.0});
+  spn.set_root(spn.add_sum({h0, h1}, {0.5, 0.5}));  // different scopes!
+  const auto violations = validate(spn);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("completeness"), std::string::npos);
+  EXPECT_THROW(validate_or_throw(spn), ValidationError);
+}
+
+TEST(Validate, DetectsNonDecomposableProduct) {
+  Spn spn;
+  const auto h0a = spn.add_histogram(0, {0, 1}, {1.0});
+  const auto h0b = spn.add_histogram(0, {0, 1}, {1.0});  // same variable!
+  spn.set_root(spn.add_product({h0a, h0b}));
+  const auto violations = validate(spn);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("decomposability"), std::string::npos);
+}
+
+TEST(Validate, DetectsUnnormalisedWeights) {
+  Spn spn;
+  const auto h0a = spn.add_histogram(0, {0, 1}, {1.0});
+  const auto h0b = spn.add_histogram(0, {0, 1}, {1.0});
+  spn.set_root(spn.add_sum({h0a, h0b}, {0.5, 0.6}));
+  const auto violations = validate(spn);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("sum to"), std::string::npos);
+}
+
+TEST(Validate, DetectsNonPositiveWeight) {
+  Spn spn;
+  const auto h0a = spn.add_histogram(0, {0, 1}, {1.0});
+  const auto h0b = spn.add_histogram(0, {0, 1}, {1.0});
+  spn.set_root(spn.add_sum({h0a, h0b}, {1.0, -0.0000001}));
+  const auto violations = validate(spn);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(Validate, DetectsUnnormalisedHistogram) {
+  Spn spn;
+  spn.set_root(spn.add_histogram(0, {0, 1, 2}, {0.9, 0.9}));
+  const auto violations = validate(spn);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("integrates"), std::string::npos);
+
+  ValidationOptions lax;
+  lax.require_normalised_leaves = false;
+  EXPECT_TRUE(validate(spn, lax).empty());
+}
+
+TEST(Validate, DetectsUnnormalisedCategorical) {
+  Spn spn;
+  spn.set_root(spn.add_categorical(0, {0.5, 0.2}));
+  EXPECT_FALSE(validate(spn).empty());
+}
+
+TEST(Validate, WeightToleranceIsConfigurable) {
+  Spn spn;
+  const auto h0a = spn.add_histogram(0, {0, 1}, {1.0});
+  const auto h0b = spn.add_histogram(0, {0, 1}, {1.0});
+  spn.set_root(spn.add_sum({h0a, h0b}, {0.5, 0.5001}));
+  EXPECT_FALSE(validate(spn).empty());
+  ValidationOptions lax;
+  lax.weight_tolerance = 1e-3;
+  EXPECT_TRUE(validate(spn, lax).empty());
+}
+
+TEST(Validate, RandomSpnsAreValidAcrossSizes) {
+  for (const std::size_t variables : {1u, 2u, 5u, 10u, 40u, 80u}) {
+    RandomSpnConfig config;
+    config.variables = variables;
+    config.seed = 42 + variables;
+    EXPECT_NO_THROW(validate_or_throw(make_random_spn(config)))
+        << "variables=" << variables;
+  }
+}
+
+TEST(Validate, IgnoresUnreachableGarbage) {
+  Spn spn;
+  const auto bad_a = spn.add_histogram(0, {0, 1}, {1.0});
+  const auto bad_b = spn.add_histogram(0, {0, 1}, {1.0});
+  spn.add_product({bad_a, bad_b});  // non-decomposable, but orphaned
+  spn.set_root(spn.add_histogram(1, {0, 1}, {1.0}));
+  EXPECT_TRUE(validate(spn).empty());
+}
+
+}  // namespace
+}  // namespace spnhbm::spn

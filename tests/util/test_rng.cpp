@@ -1,0 +1,97 @@
+#include "spnhbm/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spnhbm/util/stats.hpp"
+
+namespace spnhbm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversSupport) {
+  Rng rng(13);
+  std::vector<int> histogram(8, 0);
+  for (int i = 0; i < 8'000; ++i) ++histogram[rng.next_below(8)];
+  for (int count : histogram) {
+    EXPECT_GT(count, 700);  // ~1000 expected each
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.next_normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, WeightedFollowsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_weighted(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ZipfIsMonotoneDecreasing) {
+  Rng rng(23);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++histogram[rng.next_zipf(10, 1.0)];
+  // Rank-1 word must be clearly more frequent than rank-5 and rank-10.
+  EXPECT_GT(histogram[0], histogram[4]);
+  EXPECT_GT(histogram[4], histogram[9]);
+}
+
+TEST(Rng, ForkIsIndependentAndStable) {
+  Rng parent(29);
+  Rng child1 = parent.fork(1);
+  Rng child1_again = Rng(29).fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_EQ(child1.next_u64(), child1_again.next_u64());
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, RequiresPositiveBound) {
+  Rng rng(31);
+  EXPECT_THROW(rng.next_below(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace spnhbm

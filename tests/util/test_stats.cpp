@@ -1,0 +1,86 @@
+#include "spnhbm/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace spnhbm {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(GeometricMean, MatchesPaperStyleSpeedups) {
+  // Example shaped like the paper's geo-mean speedup reporting.
+  const std::vector<double> speedups{0.88, 1.21, 1.9, 2.1, 2.46};
+  const double geo = geometric_mean(speedups);
+  double expected = 1.0;
+  for (double s : speedups) expected *= s;
+  expected = std::pow(expected, 1.0 / 5.0);
+  EXPECT_NEAR(geo, expected, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::logic_error);
+  EXPECT_THROW(geometric_mean({}), std::logic_error);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 12.5), 1.5);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, c), 0.0);
+}
+
+TEST(GTest_Statistic, IndependentTableIsNearZero) {
+  // Perfectly independent 2x2 table: counts proportional to row*col sums.
+  const std::vector<double> counts{10.0, 30.0, 20.0, 60.0};
+  EXPECT_NEAR(g_test_statistic(counts, 2, 2), 0.0, 1e-9);
+}
+
+TEST(GTest_Statistic, DependentTableIsLarge) {
+  // Strong diagonal dependence.
+  const std::vector<double> counts{50.0, 1.0, 1.0, 50.0};
+  EXPECT_GT(g_test_statistic(counts, 2, 2), 50.0);
+}
+
+TEST(GTest_Statistic, EmptyTableIsZero) {
+  const std::vector<double> counts{0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(g_test_statistic(counts, 2, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace spnhbm

@@ -1,0 +1,43 @@
+#include "spnhbm/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace spnhbm {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"Example", "New", "[8]"});
+  table.add_row({"NIPS10", "169.8", "376.0"});
+  table.add_row({"NIPS20", "180.5", "467.0"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Example | New   | [8]   |"), std::string::npos);
+  EXPECT_NE(out.find("| NIPS10  | 169.8 | 376.0 |"), std::string::npos);
+}
+
+TEST(Table, RendersCsv) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::logic_error);
+}
+
+TEST(Table, CountsRows) {
+  Table table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace spnhbm

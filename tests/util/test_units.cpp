@@ -1,0 +1,63 @@
+#include "spnhbm/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spnhbm {
+namespace {
+
+TEST(Units, ClockDomainPeriods) {
+  const ClockDomain hbm(450e6);
+  const ClockDomain pe(225e6);
+  EXPECT_EQ(hbm.period(), 2222);  // truncated ps
+  EXPECT_EQ(pe.period(), 4444);
+  EXPECT_EQ(pe.cycles(2), 8888);
+}
+
+TEST(Units, ClockDomainCyclesToSeconds) {
+  const ClockDomain pe(225e6);
+  // 225e6 cycles should be very close to one second (truncation loss only).
+  EXPECT_NEAR(pe.cycles_to_seconds(225'000'000), 1.0, 1e-3);
+}
+
+TEST(Units, TimeLiterals) {
+  EXPECT_EQ(nanoseconds(1.0), 1'000);
+  EXPECT_EQ(microseconds(1.0), 1'000'000);
+  EXPECT_EQ(milliseconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kPicosecondsPerSecond), 1.0);
+}
+
+TEST(Units, BandwidthBinaryVsDecimal) {
+  // The paper's equivalence: 460 GB/s == ~428 GiB/s.
+  const auto bw = Bandwidth::gb_per_second(460.0);
+  EXPECT_NEAR(bw.as_gib_per_second(), 428.408, 0.1);
+}
+
+TEST(Units, BandwidthTransferTime) {
+  const auto bw = Bandwidth::gib_per_second(1.0);
+  EXPECT_EQ(bw.transfer_time(kGiB), kPicosecondsPerSecond);
+  EXPECT_EQ(bw.transfer_time(kGiB / 2), kPicosecondsPerSecond / 2);
+}
+
+TEST(Units, GbitPerSecond) {
+  // 100 Gb/s == 12.5 GB/s == ~11.64 GiB/s, the paper's DMA-engine class.
+  const auto bw = Bandwidth::gbit_per_second(100.0);
+  EXPECT_NEAR(bw.as_gb_per_second(), 12.5, 1e-9);
+  EXPECT_NEAR(bw.as_gib_per_second(), 11.6415, 1e-3);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4 * kKiB), "4 KiB");
+  EXPECT_EQ(format_bytes(kMiB), "1 MiB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3 GiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate(133'139'305.0), "133.14 Msamples/s");
+  EXPECT_EQ(format_rate(1.5e9), "1.50 Gsamples/s");
+  EXPECT_EQ(format_rate(10.0), "10.00 samples/s");
+}
+
+}  // namespace
+}  // namespace spnhbm

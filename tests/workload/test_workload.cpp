@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/spn/validate.hpp"
+#include "spnhbm/util/stats.hpp"
+#include "spnhbm/workload/bag_of_words.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::workload {
+namespace {
+
+TEST(BagOfWords, ShapeAndDomain) {
+  CorpusConfig config;
+  config.documents = 256;
+  config.vocabulary = 10;
+  const auto data = make_bag_of_words(config);
+  EXPECT_EQ(data.rows(), 256u);
+  EXPECT_EQ(data.cols(), 10u);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      EXPECT_GE(data.at(r, c), 0.0);
+      EXPECT_LE(data.at(r, c), 255.0);
+    }
+  }
+}
+
+TEST(BagOfWords, DeterministicInSeed) {
+  CorpusConfig config;
+  config.documents = 64;
+  config.vocabulary = 8;
+  const auto a = make_bag_of_words(config);
+  const auto b = make_bag_of_words(config);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a.at(r, c), b.at(r, c));
+    }
+  }
+  config.seed += 1;
+  const auto c = make_bag_of_words(config);
+  bool any_diff = false;
+  for (std::size_t r = 0; r < a.rows() && !any_diff; ++r) {
+    for (std::size_t col = 0; col < a.cols(); ++col) {
+      if (a.at(r, col) != c.at(r, col)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BagOfWords, FrequentWordsAreFrequent) {
+  // Zipf word marginals: the column sums must broadly decrease with rank.
+  CorpusConfig config;
+  config.documents = 2048;
+  config.vocabulary = 20;
+  const auto data = make_bag_of_words(config);
+  double head = 0.0, tail = 0.0;
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < 5; ++c) head += data.at(r, c);
+    for (std::size_t c = 15; c < 20; ++c) tail += data.at(r, c);
+  }
+  EXPECT_GT(head, 2.0 * tail);
+}
+
+TEST(BagOfWords, TopicsInduceCorrelations) {
+  // Without correlations, LearnSPN would factorise everything and the
+  // whole reproduction would degenerate. Check some pair correlates.
+  CorpusConfig config;
+  config.documents = 4096;
+  config.vocabulary = 10;
+  const auto data = make_bag_of_words(config);
+  double max_abs_corr = 0.0;
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      std::vector<double> col_a(data.rows()), col_b(data.rows());
+      for (std::size_t r = 0; r < data.rows(); ++r) {
+        col_a[r] = data.at(r, a);
+        col_b[r] = data.at(r, b);
+      }
+      max_abs_corr =
+          std::max(max_abs_corr, std::fabs(pearson_correlation(col_a, col_b)));
+    }
+  }
+  EXPECT_GT(max_abs_corr, 0.2);
+}
+
+TEST(ModelZoo, BenchmarkSizesMatchPaper) {
+  EXPECT_EQ(nips_benchmark_sizes(),
+            (std::vector<std::size_t>{10, 20, 30, 40, 80}));
+}
+
+TEST(ModelZoo, TransferSizesMatchPaperArithmetic) {
+  const auto model = make_nips_model(10);
+  // The paper: NIPS10 = 10 input bytes + 8 result bytes = 144 bits/sample.
+  EXPECT_EQ(model.input_bytes_per_sample(), 10u);
+  EXPECT_EQ(NipsModel::result_bytes_per_sample(), 8u);
+  EXPECT_EQ(model.total_bytes_per_sample() * 8, 144u);
+}
+
+TEST(ModelZoo, ModelsAreValidAndSized) {
+  const auto model = make_nips_model(20);
+  EXPECT_EQ(model.name, "NIPS20");
+  EXPECT_NO_THROW(spn::validate_or_throw(model.spn));
+  EXPECT_EQ(model.spn.variable_count(), 20u);
+  // A learned model must be a real mixture, not a trivial factorisation.
+  EXPECT_GT(compute_stats(model.spn).sum_nodes, 0u);
+}
+
+TEST(ModelZoo, StructureGrowsWithVariables) {
+  const auto small = make_nips_model(10);
+  const auto large = make_nips_model(40);
+  EXPECT_GT(compute_stats(large.spn).total_nodes(),
+            compute_stats(small.spn).total_nodes());
+}
+
+TEST(ModelZoo, DeterministicAcrossCalls) {
+  const auto a = make_nips_model(10);
+  const auto b = make_nips_model(10);
+  EXPECT_EQ(a.spn.node_count(), b.spn.node_count());
+  spn::Evaluator ea(a.spn), eb(b.spn);
+  std::vector<double> sample(10, 3.0);
+  EXPECT_DOUBLE_EQ(ea.evaluate(sample), eb.evaluate(sample));
+}
+
+TEST(ModelZoo, DeepModelNeedsLogDomain) {
+  // NIPS80 joints underflow linear double territory on unlikely inputs;
+  // the log-domain evaluator must stay finite wherever the density is
+  // nonzero — the robustness property deep SPNs require.
+  const auto model = make_nips_model(80);
+  spn::Evaluator evaluator(model.spn);
+  CorpusConfig config;
+  config.documents = 16;
+  config.vocabulary = 80;
+  config.seed = 555;
+  const auto data = make_bag_of_words(config);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const double log_p = evaluator.evaluate_log(data.row(r));
+    EXPECT_TRUE(std::isfinite(log_p)) << "row " << r;
+    EXPECT_LT(log_p, 0.0);
+    // Consistency with the linear path where it has dynamic range.
+    const double p = evaluator.evaluate(data.row(r));
+    if (p > 1e-290) {
+      EXPECT_NEAR(log_p, std::log(p), 1e-9 * std::fabs(std::log(p)));
+    }
+  }
+}
+
+TEST(ModelZoo, EvaluatesRealCorpusRows) {
+  const auto model = make_nips_model(10);
+  CorpusConfig config;
+  config.documents = 32;
+  config.vocabulary = 10;
+  const auto data = make_bag_of_words(config);
+  spn::Evaluator evaluator(model.spn);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const double p = evaluator.evaluate(data.row(r));
+    EXPECT_GE(p, 0.0);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+}  // namespace
+}  // namespace spnhbm::workload

@@ -1,0 +1,257 @@
+// spnhbm — command-line front end to the toolflow.
+//
+//   spnhbm compile <spn.txt> [--format cfp|lns|posit|f64] [--out design.bin]
+//                  [--dot graph.dot]
+//       Compile a textual SPN to a datapath; print the module report and
+//       optionally write the binary design artifact / Graphviz rendering.
+//
+//   spnhbm resources <spn.txt> [--format ...] [--pes N] [--platform hbm|f1]
+//       Estimate the design's resource vector and placement feasibility.
+//
+//   spnhbm simulate <spn.txt> [--format ...] [--pes N] [--threads N]
+//                   [--samples N] [--no-transfers] [--pcie GEN]
+//       Run the timing simulation and print end-to-end statistics.
+//
+//   spnhbm infer <spn.txt> <samples.csv>
+//       Run real samples (one CSV row of byte features per line) through
+//       the simulated accelerator; print one probability per line.
+//
+//   spnhbm learn <data.csv> [--min-instances N] [--threshold X]
+//       Learn a Mixed SPN from CSV data; print its textual description.
+//
+//   spnhbm sample <spn.txt> [--count N] [--seed S]
+//       Draw samples from the SPN's joint distribution (CSV to stdout).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spnhbm/compiler/serialize.hpp"
+#include "spnhbm/fpga/resource_model.hpp"
+#include "spnhbm/runtime/inference_runtime.hpp"
+#include "spnhbm/spn/dot_export.hpp"
+#include "spnhbm/spn/io_csv.hpp"
+#include "spnhbm/spn/learn.hpp"
+#include "spnhbm/spn/queries.hpp"
+#include "spnhbm/spn/text_format.hpp"
+#include "spnhbm/util/strings.hpp"
+
+namespace {
+
+using namespace spnhbm;
+
+[[noreturn]] void usage() {
+  std::fputs(
+      "usage: spnhbm <compile|resources|simulate|infer|learn|sample> ...\n"
+      "run with a command and -h for details (see the header of\n"
+      "tools/spnhbm_cli.cpp)\n",
+      stderr);
+  std::exit(2);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  static Args parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      std::string token = argv[i];
+      if (starts_with(token, "--")) {
+        std::string value = "true";
+        if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+          value = argv[++i];
+        }
+        args.options.emplace_back(token.substr(2), value);
+      } else {
+        args.positional.push_back(std::move(token));
+      }
+    }
+    return args;
+  }
+
+  std::string option(const std::string& name,
+                     const std::string& fallback) const {
+    for (const auto& [key, value] : options) {
+      if (key == name) return value;
+    }
+    return fallback;
+  }
+  bool flag(const std::string& name) const {
+    for (const auto& [key, value] : options) {
+      if (key == name) return value != "false";
+    }
+    return false;
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::unique_ptr<arith::ArithBackend> backend_for(const std::string& name) {
+  if (name == "cfp") return arith::make_cfp_backend(arith::paper_cfp_format());
+  if (name == "lns") return arith::make_lns_backend(arith::paper_lns_format());
+  if (name == "posit") {
+    return arith::make_posit_backend(arith::paper_posit_format());
+  }
+  if (name == "f64" || name == "float64") return arith::make_float64_backend();
+  throw Error("unknown format '" + name + "' (cfp|lns|posit|f64)");
+}
+
+int cmd_compile(const Args& args) {
+  if (args.positional.empty()) usage();
+  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
+  const auto backend = backend_for(args.option("format", "cfp"));
+  const auto module = compiler::compile_spn(model, *backend);
+  std::printf("model:   %s\n", spn::compute_stats(model).describe().c_str());
+  std::printf("format:  %s\n", backend->describe().c_str());
+  std::printf("%s\n", module.report().c_str());
+  const std::string out = args.option("out", "");
+  if (!out.empty()) {
+    compiler::save_design_file(module, out);
+    std::printf("design artifact written to %s\n", out.c_str());
+  }
+  const std::string dot = args.option("dot", "");
+  if (!dot.empty()) {
+    std::ofstream dot_file(dot);
+    dot_file << spn::to_dot(model);
+    std::printf("graphviz rendering written to %s\n", dot.c_str());
+  }
+  return 0;
+}
+
+int cmd_resources(const Args& args) {
+  if (args.positional.empty()) usage();
+  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
+  const auto backend = backend_for(args.option("format", "cfp"));
+  const auto module = compiler::compile_spn(model, *backend);
+  fpga::DesignSpec spec;
+  spec.platform = args.option("platform", "hbm") == "f1"
+                      ? fpga::Platform::kF1
+                      : fpga::Platform::kHbmXupVvh;
+  spec.pe_count = std::atoi(args.option("pes", "1").c_str());
+  spec.memory_controllers =
+      spec.platform == fpga::Platform::kF1
+          ? std::min(spec.pe_count, fpga::cal::kF1MaxMemoryChannels)
+          : 1;
+  const auto pe = fpga::estimate_pe(module, backend->kind());
+  const auto design = fpga::estimate_design(module, backend->kind(), spec);
+  std::printf("per PE:  %s\n", pe.describe().c_str());
+  std::printf("design:  %d PE(s) -> %s\n", spec.pe_count,
+              design.describe().c_str());
+  try {
+    fpga::check_placement(module, backend->kind(), spec);
+    std::printf("placement: OK\n");
+  } catch (const PlacementError& e) {
+    std::printf("placement: FAILS (%s)\n", e.what());
+  }
+  std::printf("max PEs on this platform: %d\n",
+              fpga::max_placeable_pes(module, backend->kind(), spec.platform));
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.empty()) usage();
+  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
+  const auto backend = backend_for(args.option("format", "cfp"));
+  const auto module = compiler::compile_spn(model, *backend);
+
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  tapasco::CompositionConfig composition;
+  composition.pe_count = std::atoi(args.option("pes", "1").c_str());
+  composition.pcie_generation = std::atoi(args.option("pcie", "3").c_str());
+  composition.compute_results = false;
+  tapasco::Device device(runner, module, *backend, composition);
+
+  runtime::RuntimeConfig config;
+  config.threads_per_pe = std::atoi(args.option("threads", "1").c_str());
+  config.include_transfers = !args.flag("no-transfers");
+  runtime::InferenceRuntime rt(runner, device, module, config);
+  const auto samples = static_cast<std::uint64_t>(
+      std::atoll(args.option("samples", "4000000").c_str()));
+  const auto stats = rt.run(samples);
+  std::printf("%s\n", stats.describe().c_str());
+  return 0;
+}
+
+int cmd_infer(const Args& args) {
+  if (args.positional.size() < 2) usage();
+  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
+  const auto backend = backend_for(args.option("format", "cfp"));
+  const auto module = compiler::compile_spn(model, *backend);
+  const spn::DataMatrix data = spn::load_csv_file(args.positional[1]);
+  if (data.cols() != module.input_features()) {
+    throw Error(strformat("CSV rows have %zu cells, the model expects %zu",
+                          data.cols(), module.input_features()));
+  }
+  const auto samples = data.to_bytes();
+
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  tapasco::CompositionConfig composition;
+  tapasco::Device device(runner, module, *backend, composition);
+  runtime::InferenceRuntime rt(runner, device, module);
+  for (const double p : rt.infer(samples)) {
+    std::printf("%.12e\n", p);
+  }
+  return 0;
+}
+
+int cmd_learn(const Args& args) {
+  if (args.positional.empty()) usage();
+  const spn::DataMatrix data = spn::load_csv_file(args.positional[0]);
+  spn::LearnOptions options;
+  options.min_instances = static_cast<std::size_t>(
+      std::atoll(args.option("min-instances", "64").c_str()));
+  options.independence_threshold =
+      std::strtod(args.option("threshold", "0.15").c_str(), nullptr);
+  const spn::Spn learned = spn::learn_spn(data, options);
+  std::printf("%s\n", spn::to_text(learned, /*indent=*/true).c_str());
+  return 0;
+}
+
+int cmd_sample(const Args& args) {
+  if (args.positional.empty()) usage();
+  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
+  Rng rng(static_cast<std::uint64_t>(
+      std::atoll(args.option("seed", "1").c_str())));
+  const auto count = static_cast<std::size_t>(
+      std::atoll(args.option("count", "10").c_str()));
+  for (const auto& sample : spn::sample_batch(model, rng, count)) {
+    for (std::size_t v = 0; v < sample.size(); ++v) {
+      std::printf("%s%.6g", v == 0 ? "" : ",", sample[v]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (command == "compile") return cmd_compile(args);
+    if (command == "resources") return cmd_resources(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "infer") return cmd_infer(args);
+    if (command == "learn") return cmd_learn(args);
+    if (command == "sample") return cmd_sample(args);
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spnhbm %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
