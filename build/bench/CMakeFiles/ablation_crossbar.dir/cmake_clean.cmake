@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crossbar.dir/ablation_crossbar.cpp.o"
+  "CMakeFiles/ablation_crossbar.dir/ablation_crossbar.cpp.o.d"
+  "ablation_crossbar"
+  "ablation_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

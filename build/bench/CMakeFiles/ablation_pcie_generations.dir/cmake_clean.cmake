@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pcie_generations.dir/ablation_pcie_generations.cpp.o"
+  "CMakeFiles/ablation_pcie_generations.dir/ablation_pcie_generations.cpp.o.d"
+  "ablation_pcie_generations"
+  "ablation_pcie_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pcie_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

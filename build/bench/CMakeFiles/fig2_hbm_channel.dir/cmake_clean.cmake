@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hbm_channel.dir/fig2_hbm_channel.cpp.o"
+  "CMakeFiles/fig2_hbm_channel.dir/fig2_hbm_channel.cpp.o.d"
+  "fig2_hbm_channel"
+  "fig2_hbm_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hbm_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scaling_potential.dir/fig5_scaling_potential.cpp.o"
+  "CMakeFiles/fig5_scaling_potential.dir/fig5_scaling_potential.cpp.o.d"
+  "fig5_scaling_potential"
+  "fig5_scaling_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaling_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_baseline_model.dir/gpu_baseline_model.cpp.o"
+  "CMakeFiles/gpu_baseline_model.dir/gpu_baseline_model.cpp.o.d"
+  "gpu_baseline_model"
+  "gpu_baseline_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_baseline_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_arithmetic.dir/micro_arithmetic.cpp.o"
+  "CMakeFiles/micro_arithmetic.dir/micro_arithmetic.cpp.o.d"
+  "micro_arithmetic"
+  "micro_arithmetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_arithmetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

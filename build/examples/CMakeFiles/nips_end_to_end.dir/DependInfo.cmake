@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/nips_end_to_end.cpp" "examples/CMakeFiles/nips_end_to_end.dir/nips_end_to_end.cpp.o" "gcc" "examples/CMakeFiles/nips_end_to_end.dir/nips_end_to_end.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/spnhbm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/spnhbm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spnhbm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/spnhbm_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/tapasco/CMakeFiles/spnhbm_tapasco.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddr/CMakeFiles/spnhbm_ddr.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/spnhbm_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/spnhbm_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/spnhbm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/spn/CMakeFiles/spnhbm_spn.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/spnhbm_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/hbm/CMakeFiles/spnhbm_hbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/spnhbm_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spnhbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

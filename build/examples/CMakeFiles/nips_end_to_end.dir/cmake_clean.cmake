@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nips_end_to_end.dir/nips_end_to_end.cpp.o"
+  "CMakeFiles/nips_end_to_end.dir/nips_end_to_end.cpp.o.d"
+  "nips_end_to_end"
+  "nips_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nips_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_network.dir/streaming_network.cpp.o"
+  "CMakeFiles/streaming_network.dir/streaming_network.cpp.o.d"
+  "streaming_network"
+  "streaming_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_ood.dir/uncertainty_ood.cpp.o"
+  "CMakeFiles/uncertainty_ood.dir/uncertainty_ood.cpp.o.d"
+  "uncertainty_ood"
+  "uncertainty_ood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_ood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("arith")
+subdirs("spn")
+subdirs("workload")
+subdirs("compiler")
+subdirs("axi")
+subdirs("hbm")
+subdirs("ddr")
+subdirs("pcie")
+subdirs("fpga")
+subdirs("tapasco")
+subdirs("runtime")
+subdirs("baselines")
+subdirs("network")
+subdirs("gpu")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arith/backend.cpp" "src/arith/CMakeFiles/spnhbm_arith.dir/backend.cpp.o" "gcc" "src/arith/CMakeFiles/spnhbm_arith.dir/backend.cpp.o.d"
+  "/root/repo/src/arith/cfp.cpp" "src/arith/CMakeFiles/spnhbm_arith.dir/cfp.cpp.o" "gcc" "src/arith/CMakeFiles/spnhbm_arith.dir/cfp.cpp.o.d"
+  "/root/repo/src/arith/error_analysis.cpp" "src/arith/CMakeFiles/spnhbm_arith.dir/error_analysis.cpp.o" "gcc" "src/arith/CMakeFiles/spnhbm_arith.dir/error_analysis.cpp.o.d"
+  "/root/repo/src/arith/lns.cpp" "src/arith/CMakeFiles/spnhbm_arith.dir/lns.cpp.o" "gcc" "src/arith/CMakeFiles/spnhbm_arith.dir/lns.cpp.o.d"
+  "/root/repo/src/arith/posit.cpp" "src/arith/CMakeFiles/spnhbm_arith.dir/posit.cpp.o" "gcc" "src/arith/CMakeFiles/spnhbm_arith.dir/posit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spnhbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_arith.dir/backend.cpp.o"
+  "CMakeFiles/spnhbm_arith.dir/backend.cpp.o.d"
+  "CMakeFiles/spnhbm_arith.dir/cfp.cpp.o"
+  "CMakeFiles/spnhbm_arith.dir/cfp.cpp.o.d"
+  "CMakeFiles/spnhbm_arith.dir/error_analysis.cpp.o"
+  "CMakeFiles/spnhbm_arith.dir/error_analysis.cpp.o.d"
+  "CMakeFiles/spnhbm_arith.dir/lns.cpp.o"
+  "CMakeFiles/spnhbm_arith.dir/lns.cpp.o.d"
+  "CMakeFiles/spnhbm_arith.dir/posit.cpp.o"
+  "CMakeFiles/spnhbm_arith.dir/posit.cpp.o.d"
+  "libspnhbm_arith.a"
+  "libspnhbm_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axi/port.cpp" "src/axi/CMakeFiles/spnhbm_axi.dir/port.cpp.o" "gcc" "src/axi/CMakeFiles/spnhbm_axi.dir/port.cpp.o.d"
+  "/root/repo/src/axi/smart_connect.cpp" "src/axi/CMakeFiles/spnhbm_axi.dir/smart_connect.cpp.o" "gcc" "src/axi/CMakeFiles/spnhbm_axi.dir/smart_connect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spnhbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_axi.dir/port.cpp.o"
+  "CMakeFiles/spnhbm_axi.dir/port.cpp.o.d"
+  "CMakeFiles/spnhbm_axi.dir/smart_connect.cpp.o"
+  "CMakeFiles/spnhbm_axi.dir/smart_connect.cpp.o.d"
+  "libspnhbm_axi.a"
+  "libspnhbm_axi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

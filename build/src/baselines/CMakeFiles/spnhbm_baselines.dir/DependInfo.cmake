@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu_engine.cpp" "src/baselines/CMakeFiles/spnhbm_baselines.dir/cpu_engine.cpp.o" "gcc" "src/baselines/CMakeFiles/spnhbm_baselines.dir/cpu_engine.cpp.o.d"
+  "/root/repo/src/baselines/reference_platforms.cpp" "src/baselines/CMakeFiles/spnhbm_baselines.dir/reference_platforms.cpp.o" "gcc" "src/baselines/CMakeFiles/spnhbm_baselines.dir/reference_platforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/spnhbm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spnhbm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spn/CMakeFiles/spnhbm_spn.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/spnhbm_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_baselines.dir/cpu_engine.cpp.o"
+  "CMakeFiles/spnhbm_baselines.dir/cpu_engine.cpp.o.d"
+  "CMakeFiles/spnhbm_baselines.dir/reference_platforms.cpp.o"
+  "CMakeFiles/spnhbm_baselines.dir/reference_platforms.cpp.o.d"
+  "libspnhbm_baselines.a"
+  "libspnhbm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_compiler.dir/datapath.cpp.o"
+  "CMakeFiles/spnhbm_compiler.dir/datapath.cpp.o.d"
+  "CMakeFiles/spnhbm_compiler.dir/serialize.cpp.o"
+  "CMakeFiles/spnhbm_compiler.dir/serialize.cpp.o.d"
+  "libspnhbm_compiler.a"
+  "libspnhbm_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_ddr.dir/ddr.cpp.o"
+  "CMakeFiles/spnhbm_ddr.dir/ddr.cpp.o.d"
+  "libspnhbm_ddr.a"
+  "libspnhbm_ddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_ddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

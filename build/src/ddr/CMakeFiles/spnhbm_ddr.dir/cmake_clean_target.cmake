@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspnhbm_ddr.a"
+)

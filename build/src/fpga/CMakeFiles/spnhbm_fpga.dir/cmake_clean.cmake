@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_fpga.dir/accelerator.cpp.o"
+  "CMakeFiles/spnhbm_fpga.dir/accelerator.cpp.o.d"
+  "CMakeFiles/spnhbm_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/spnhbm_fpga.dir/resource_model.cpp.o.d"
+  "libspnhbm_fpga.a"
+  "libspnhbm_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

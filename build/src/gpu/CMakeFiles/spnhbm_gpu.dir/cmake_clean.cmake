@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_gpu.dir/execution_model.cpp.o"
+  "CMakeFiles/spnhbm_gpu.dir/execution_model.cpp.o.d"
+  "libspnhbm_gpu.a"
+  "libspnhbm_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

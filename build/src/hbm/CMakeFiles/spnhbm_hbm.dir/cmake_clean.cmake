@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_hbm.dir/hbm.cpp.o"
+  "CMakeFiles/spnhbm_hbm.dir/hbm.cpp.o.d"
+  "libspnhbm_hbm.a"
+  "libspnhbm_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_network.dir/streaming.cpp.o"
+  "CMakeFiles/spnhbm_network.dir/streaming.cpp.o.d"
+  "libspnhbm_network.a"
+  "libspnhbm_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

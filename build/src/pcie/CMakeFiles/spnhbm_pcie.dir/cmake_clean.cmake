@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_pcie.dir/pcie.cpp.o"
+  "CMakeFiles/spnhbm_pcie.dir/pcie.cpp.o.d"
+  "libspnhbm_pcie.a"
+  "libspnhbm_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

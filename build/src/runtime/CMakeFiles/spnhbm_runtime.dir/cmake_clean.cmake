@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_runtime.dir/inference_runtime.cpp.o"
+  "CMakeFiles/spnhbm_runtime.dir/inference_runtime.cpp.o.d"
+  "CMakeFiles/spnhbm_runtime.dir/memory_manager.cpp.o"
+  "CMakeFiles/spnhbm_runtime.dir/memory_manager.cpp.o.d"
+  "libspnhbm_runtime.a"
+  "libspnhbm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spn/dataset.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/dataset.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/dataset.cpp.o.d"
+  "/root/repo/src/spn/discretise.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/discretise.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/discretise.cpp.o.d"
+  "/root/repo/src/spn/dot_export.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/dot_export.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/dot_export.cpp.o.d"
+  "/root/repo/src/spn/evaluate.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/evaluate.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/evaluate.cpp.o.d"
+  "/root/repo/src/spn/graph.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/graph.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/graph.cpp.o.d"
+  "/root/repo/src/spn/io_csv.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/io_csv.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/io_csv.cpp.o.d"
+  "/root/repo/src/spn/learn.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/learn.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/learn.cpp.o.d"
+  "/root/repo/src/spn/queries.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/queries.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/queries.cpp.o.d"
+  "/root/repo/src/spn/random_spn.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/random_spn.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/random_spn.cpp.o.d"
+  "/root/repo/src/spn/text_format.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/text_format.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/text_format.cpp.o.d"
+  "/root/repo/src/spn/transform.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/transform.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/transform.cpp.o.d"
+  "/root/repo/src/spn/validate.cpp" "src/spn/CMakeFiles/spnhbm_spn.dir/validate.cpp.o" "gcc" "src/spn/CMakeFiles/spnhbm_spn.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spnhbm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/spnhbm_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_spn.dir/dataset.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/dataset.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/discretise.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/discretise.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/dot_export.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/dot_export.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/evaluate.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/evaluate.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/graph.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/graph.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/io_csv.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/io_csv.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/learn.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/learn.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/queries.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/queries.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/random_spn.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/random_spn.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/text_format.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/text_format.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/transform.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/transform.cpp.o.d"
+  "CMakeFiles/spnhbm_spn.dir/validate.cpp.o"
+  "CMakeFiles/spnhbm_spn.dir/validate.cpp.o.d"
+  "libspnhbm_spn.a"
+  "libspnhbm_spn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_spn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spnhbm_spn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_tapasco.dir/device.cpp.o"
+  "CMakeFiles/spnhbm_tapasco.dir/device.cpp.o.d"
+  "libspnhbm_tapasco.a"
+  "libspnhbm_tapasco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_tapasco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

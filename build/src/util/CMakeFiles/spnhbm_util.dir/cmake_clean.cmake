@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_util.dir/log.cpp.o"
+  "CMakeFiles/spnhbm_util.dir/log.cpp.o.d"
+  "CMakeFiles/spnhbm_util.dir/stats.cpp.o"
+  "CMakeFiles/spnhbm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/spnhbm_util.dir/strings.cpp.o"
+  "CMakeFiles/spnhbm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/spnhbm_util.dir/table.cpp.o"
+  "CMakeFiles/spnhbm_util.dir/table.cpp.o.d"
+  "CMakeFiles/spnhbm_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/spnhbm_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/spnhbm_util.dir/units.cpp.o"
+  "CMakeFiles/spnhbm_util.dir/units.cpp.o.d"
+  "libspnhbm_util.a"
+  "libspnhbm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bag_of_words.cpp" "src/workload/CMakeFiles/spnhbm_workload.dir/bag_of_words.cpp.o" "gcc" "src/workload/CMakeFiles/spnhbm_workload.dir/bag_of_words.cpp.o.d"
+  "/root/repo/src/workload/model_zoo.cpp" "src/workload/CMakeFiles/spnhbm_workload.dir/model_zoo.cpp.o" "gcc" "src/workload/CMakeFiles/spnhbm_workload.dir/model_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spn/CMakeFiles/spnhbm_spn.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/spnhbm_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spnhbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

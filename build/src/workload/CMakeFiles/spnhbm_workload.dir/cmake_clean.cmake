@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_workload.dir/bag_of_words.cpp.o"
+  "CMakeFiles/spnhbm_workload.dir/bag_of_words.cpp.o.d"
+  "CMakeFiles/spnhbm_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/spnhbm_workload.dir/model_zoo.cpp.o.d"
+  "libspnhbm_workload.a"
+  "libspnhbm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

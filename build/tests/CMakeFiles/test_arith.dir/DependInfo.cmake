@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arith/test_backend.cpp" "tests/CMakeFiles/test_arith.dir/arith/test_backend.cpp.o" "gcc" "tests/CMakeFiles/test_arith.dir/arith/test_backend.cpp.o.d"
+  "/root/repo/tests/arith/test_cfp.cpp" "tests/CMakeFiles/test_arith.dir/arith/test_cfp.cpp.o" "gcc" "tests/CMakeFiles/test_arith.dir/arith/test_cfp.cpp.o.d"
+  "/root/repo/tests/arith/test_lns.cpp" "tests/CMakeFiles/test_arith.dir/arith/test_lns.cpp.o" "gcc" "tests/CMakeFiles/test_arith.dir/arith/test_lns.cpp.o.d"
+  "/root/repo/tests/arith/test_posit.cpp" "tests/CMakeFiles/test_arith.dir/arith/test_posit.cpp.o" "gcc" "tests/CMakeFiles/test_arith.dir/arith/test_posit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arith/CMakeFiles/spnhbm_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spnhbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arith.dir/arith/test_backend.cpp.o"
+  "CMakeFiles/test_arith.dir/arith/test_backend.cpp.o.d"
+  "CMakeFiles/test_arith.dir/arith/test_cfp.cpp.o"
+  "CMakeFiles/test_arith.dir/arith/test_cfp.cpp.o.d"
+  "CMakeFiles/test_arith.dir/arith/test_lns.cpp.o"
+  "CMakeFiles/test_arith.dir/arith/test_lns.cpp.o.d"
+  "CMakeFiles/test_arith.dir/arith/test_posit.cpp.o"
+  "CMakeFiles/test_arith.dir/arith/test_posit.cpp.o.d"
+  "test_arith"
+  "test_arith.pdb"
+  "test_arith[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddr.dir/ddr/test_ddr.cpp.o"
+  "CMakeFiles/test_ddr.dir/ddr/test_ddr.cpp.o.d"
+  "test_ddr"
+  "test_ddr.pdb"
+  "test_ddr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

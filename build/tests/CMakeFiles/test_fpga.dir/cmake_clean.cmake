@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga.dir/fpga/test_accelerator.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/test_accelerator.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/test_accelerator_sweep.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/test_accelerator_sweep.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/test_resource_model.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/test_resource_model.cpp.o.d"
+  "test_fpga"
+  "test_fpga.pdb"
+  "test_fpga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbm.dir/hbm/test_hbm.cpp.o"
+  "CMakeFiles/test_hbm.dir/hbm/test_hbm.cpp.o.d"
+  "test_hbm"
+  "test_hbm.pdb"
+  "test_hbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_inference_runtime.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_inference_runtime.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_memory_manager.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_memory_manager.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_channel.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_channel.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_process.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_process.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scheduler.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sim_properties.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sim_properties.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spn/test_discretise.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_discretise.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_discretise.cpp.o.d"
+  "/root/repo/tests/spn/test_evaluate.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_evaluate.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_evaluate.cpp.o.d"
+  "/root/repo/tests/spn/test_graph.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_graph.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_graph.cpp.o.d"
+  "/root/repo/tests/spn/test_io_csv.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_io_csv.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_io_csv.cpp.o.d"
+  "/root/repo/tests/spn/test_learn.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_learn.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_learn.cpp.o.d"
+  "/root/repo/tests/spn/test_queries.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_queries.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_queries.cpp.o.d"
+  "/root/repo/tests/spn/test_text_format.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_text_format.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_text_format.cpp.o.d"
+  "/root/repo/tests/spn/test_transform.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_transform.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_transform.cpp.o.d"
+  "/root/repo/tests/spn/test_validate.cpp" "tests/CMakeFiles/test_spn.dir/spn/test_validate.cpp.o" "gcc" "tests/CMakeFiles/test_spn.dir/spn/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spn/CMakeFiles/spnhbm_spn.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/spnhbm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/spnhbm_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spnhbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

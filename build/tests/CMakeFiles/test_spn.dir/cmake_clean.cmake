@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spn.dir/spn/test_discretise.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_discretise.cpp.o.d"
+  "CMakeFiles/test_spn.dir/spn/test_evaluate.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_evaluate.cpp.o.d"
+  "CMakeFiles/test_spn.dir/spn/test_graph.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_graph.cpp.o.d"
+  "CMakeFiles/test_spn.dir/spn/test_io_csv.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_io_csv.cpp.o.d"
+  "CMakeFiles/test_spn.dir/spn/test_learn.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_learn.cpp.o.d"
+  "CMakeFiles/test_spn.dir/spn/test_queries.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_queries.cpp.o.d"
+  "CMakeFiles/test_spn.dir/spn/test_text_format.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_text_format.cpp.o.d"
+  "CMakeFiles/test_spn.dir/spn/test_transform.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_transform.cpp.o.d"
+  "CMakeFiles/test_spn.dir/spn/test_validate.cpp.o"
+  "CMakeFiles/test_spn.dir/spn/test_validate.cpp.o.d"
+  "test_spn"
+  "test_spn.pdb"
+  "test_spn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

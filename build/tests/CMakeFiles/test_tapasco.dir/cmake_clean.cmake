@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tapasco.dir/tapasco/test_device.cpp.o"
+  "CMakeFiles/test_tapasco.dir/tapasco/test_device.cpp.o.d"
+  "test_tapasco"
+  "test_tapasco.pdb"
+  "test_tapasco[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tapasco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnhbm_cli.dir/spnhbm_cli.cpp.o"
+  "CMakeFiles/spnhbm_cli.dir/spnhbm_cli.cpp.o.d"
+  "spnhbm"
+  "spnhbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnhbm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
