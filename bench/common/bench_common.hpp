@@ -10,6 +10,7 @@
 
 #include "spnhbm/arith/backend.hpp"
 #include "spnhbm/compiler/datapath.hpp"
+#include "spnhbm/engine/fpga_engine.hpp"
 #include "spnhbm/runtime/inference_runtime.hpp"
 #include "spnhbm/tapasco/device.hpp"
 #include "spnhbm/util/strings.hpp"
@@ -30,47 +31,40 @@ inline void print_table(const Table& table) {
 }
 
 /// End-to-end (or compute-only) throughput of an N-PE HBM design, timed on
-/// the simulator. `samples_per_pe` controls simulation effort.
+/// the simulator through the unified engine interface. `samples_per_pe`
+/// controls simulation effort.
 inline double simulate_hbm_throughput(const compiler::DatapathModule& module,
                                       const arith::ArithBackend& backend,
                                       int pe_count, int threads_per_pe,
                                       bool include_transfers,
                                       std::uint64_t samples_per_pe = 3'000'000,
                                       bool skip_placement = false) {
-  sim::Scheduler scheduler;
-  sim::ProcessRunner runner(scheduler);
-  tapasco::CompositionConfig composition;
-  composition.pe_count = pe_count;
-  composition.compute_results = false;
-  composition.skip_placement_check = skip_placement;
-  tapasco::Device device(runner, module, backend, composition);
-  runtime::RuntimeConfig config;
+  engine::FpgaEngineConfig config;
+  config.pe_count = pe_count;
   config.threads_per_pe = threads_per_pe;
   config.include_transfers = include_transfers;
-  runtime::InferenceRuntime rt(runner, device, module, config);
-  return rt.run(static_cast<std::uint64_t>(pe_count) * samples_per_pe)
-      .samples_per_second;
+  config.compute_results = false;
+  config.skip_placement_check = skip_placement;
+  engine::FpgaSimEngine fpga(module, backend, config);
+  return fpga.measure_throughput(static_cast<std::uint64_t>(pe_count) *
+                                 samples_per_pe);
 }
 
 /// Simulated prior-work F1 throughput ([8]'s architecture: float64
-/// datapaths, shared DDR4, EDMA-class DMA).
+/// datapaths, shared DDR4, EDMA-class DMA), through the same interface.
 inline double simulate_f1_throughput(const compiler::DatapathModule& module,
                                      const arith::ArithBackend& backend,
                                      int pe_count, int memory_channels,
                                      std::uint64_t samples_per_pe = 2'000'000) {
-  sim::Scheduler scheduler;
-  sim::ProcessRunner runner(scheduler);
-  tapasco::CompositionConfig composition;
-  composition.platform = fpga::Platform::kF1;
-  composition.pe_count = pe_count;
-  composition.memory_channels = memory_channels;
-  composition.compute_results = false;
-  tapasco::Device device(runner, module, backend, composition);
-  runtime::RuntimeConfig config;
+  engine::FpgaEngineConfig config;
+  config.platform = fpga::Platform::kF1;
+  config.pe_count = pe_count;
+  config.memory_channels = memory_channels;
   config.threads_per_pe = 2;  // [8] overlapped with multiple threads
-  runtime::InferenceRuntime rt(runner, device, module, config);
-  return rt.run(static_cast<std::uint64_t>(pe_count) * samples_per_pe)
-      .samples_per_second;
+  config.compute_results = false;
+  engine::FpgaSimEngine fpga(module, backend, config);
+  return fpga.measure_throughput(static_cast<std::uint64_t>(pe_count) *
+                                 samples_per_pe);
 }
 
 inline std::string msamples(double per_second) {

@@ -13,10 +13,8 @@
 // extra informational row.
 #include "bench_common.hpp"
 
-#include <thread>
-
-#include "spnhbm/baselines/cpu_engine.hpp"
 #include "spnhbm/baselines/reference_platforms.hpp"
+#include "spnhbm/engine/cpu_engine.hpp"
 #include "spnhbm/util/stats.hpp"
 
 int main() {
@@ -59,9 +57,8 @@ int main() {
     const double f1 = simulate_f1_throughput(module_f64, *f64, f1_pes, f1_pes,
                                              1'000'000);
 
-    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
-    baselines::CpuInferenceEngine engine(module_f64, cores);
-    const double native_cpu = engine.measure_throughput(200'000);
+    engine::CpuEngine cpu(module_f64);
+    const double native_cpu = cpu.measure_throughput(200'000);
 
     table.add_row({model.name, msamples(hbm), msamples(hbm_ref.at(size)),
                    msamples(f1), msamples(f1_ref.at(size)),

@@ -1,11 +1,11 @@
 // Micro-benchmarks (google-benchmark) of the host-side runtime components:
-// the device memory manager (hot allocate/free path taken per sub-job) and
-// the native CPU inference engine (baseline throughput on this machine).
+// the device memory manager (hot allocate/free path taken per sub-job), the
+// native CPU inference engine driven through the unified InferenceEngine
+// interface, and the InferenceServer's batching/dispatch overhead.
 #include <benchmark/benchmark.h>
 
-#include <thread>
-
-#include "spnhbm/baselines/cpu_engine.hpp"
+#include "spnhbm/engine/cpu_engine.hpp"
+#include "spnhbm/engine/server.hpp"
 #include "spnhbm/runtime/memory_manager.hpp"
 #include "spnhbm/spn/evaluate.hpp"
 #include "spnhbm/util/rng.hpp"
@@ -59,21 +59,51 @@ void BM_CpuEngineBatch(benchmark::State& state) {
       workload::make_nips_model(static_cast<std::size_t>(state.range(0)));
   const auto backend = arith::make_float64_backend();
   const auto module = compiler::compile_spn(model.spn, *backend);
-  baselines::CpuInferenceEngine engine(
-      module, std::max(1u, std::thread::hardware_concurrency()));
+  engine::CpuEngine cpu(module);
   Rng rng(5);
   const std::size_t count = 8192;
   std::vector<std::uint8_t> samples(count * model.variables);
   for (auto& b : samples) b = static_cast<std::uint8_t>(rng.next_below(256));
   std::vector<double> results(count);
   for (auto _ : state) {
-    engine.infer(samples, results);
+    cpu.wait(cpu.submit(samples, results));
     benchmark::DoNotOptimize(results.data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(count));
 }
 BENCHMARK(BM_CpuEngineBatch)->Arg(10)->Arg(80);
+
+// Full server path: small independent requests coalesced into engine
+// batches — measures the scheduler's per-request overhead, not the math.
+void BM_ServerSmallRequests(benchmark::State& state) {
+  const auto model = workload::make_nips_model(10);
+  const auto backend = arith::make_float64_backend();
+  const auto module = compiler::compile_spn(model.spn, *backend);
+  engine::ServerConfig config;
+  config.batch_samples = 1024;
+  config.max_latency = std::chrono::microseconds(200);
+  engine::InferenceServer server(config);
+  server.register_engine(std::make_shared<engine::CpuEngine>(module));
+  server.start();
+  Rng rng(5);
+  const std::size_t requests = 64;
+  const std::size_t request_samples = 16;
+  std::vector<std::uint8_t> sample(request_samples * model.variables);
+  for (auto& b : sample) b = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto _ : state) {
+    std::vector<std::future<std::vector<double>>> futures;
+    futures.reserve(requests);
+    for (std::size_t r = 0; r < requests; ++r) {
+      futures.push_back(server.submit(sample));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests));
+  server.stop();
+}
+BENCHMARK(BM_ServerSmallRequests);
 
 }  // namespace
 

@@ -6,11 +6,10 @@
 //   ./build/examples/nips_end_to_end [variables=20]
 #include <cstdio>
 #include <cstdlib>
-#include <thread>
 
-#include "spnhbm/baselines/cpu_engine.hpp"
+#include "spnhbm/engine/cpu_engine.hpp"
+#include "spnhbm/engine/fpga_engine.hpp"
 #include "spnhbm/fpga/resource_model.hpp"
-#include "spnhbm/runtime/inference_runtime.hpp"
 #include "spnhbm/workload/bag_of_words.hpp"
 #include "spnhbm/workload/model_zoo.hpp"
 
@@ -34,21 +33,22 @@ int main(int argc, char** argv) {
       fpga::DesignSpec{fpga::Platform::kHbmXupVvh, max_pes, 1});
   std::printf("design: %d PEs, %s\n", max_pes, design.describe().c_str());
 
-  // 3. Simulated HBM run (end-to-end, transfers included).
+  // 3. Simulated HBM run (end-to-end, transfers included) through the
+  //    unified engine interface.
   {
-    sim::Scheduler scheduler;
-    sim::ProcessRunner runner(scheduler);
-    tapasco::CompositionConfig composition;
-    composition.pe_count = max_pes;
-    composition.compute_results = false;
-    tapasco::Device device(runner, module, *backend, composition);
-    runtime::InferenceRuntime rt(runner, device, module);
-    const auto stats = rt.run(static_cast<std::uint64_t>(max_pes) * 2'000'000);
-    std::printf("HBM x%d (simulated): %s\n", max_pes,
-                stats.describe().c_str());
+    engine::FpgaEngineConfig config;
+    config.pe_count = max_pes;
+    config.compute_results = false;
+    engine::FpgaSimEngine hbm(module, *backend, config);
+    const double rate =
+        hbm.measure_throughput(static_cast<std::uint64_t>(max_pes) *
+                               2'000'000);
+    std::printf("HBM x%d (simulated): %s -> %s\n", max_pes,
+                hbm.stats().describe().c_str(), format_rate(rate).c_str());
   }
 
-  // 4. Prior-work F1 configuration for contrast.
+  // 4. Prior-work F1 configuration for contrast — same interface, other
+  //    platform config.
   {
     const auto f64 = arith::make_float64_backend();
     const auto module_f64 = compiler::compile_spn(model.spn, *f64);
@@ -56,30 +56,27 @@ int main(int argc, char** argv) {
         fpga::max_placeable_pes(module_f64, arith::FormatKind::kFloat64,
                                 fpga::Platform::kF1),
         4);
-    sim::Scheduler scheduler;
-    sim::ProcessRunner runner(scheduler);
-    tapasco::CompositionConfig composition;
-    composition.platform = fpga::Platform::kF1;
-    composition.pe_count = f1_pes;
-    composition.memory_channels = f1_pes;
-    tapasco::Device device(runner, module_f64, *f64, composition);
-    runtime::RuntimeConfig config;
+    engine::FpgaEngineConfig config;
+    config.platform = fpga::Platform::kF1;
+    config.pe_count = f1_pes;
+    config.memory_channels = f1_pes;
     config.threads_per_pe = 2;
-    runtime::InferenceRuntime rt(runner, device, module_f64, config);
-    const auto stats = rt.run(static_cast<std::uint64_t>(f1_pes) * 1'000'000);
+    config.compute_results = false;
+    engine::FpgaSimEngine f1(module_f64, *f64, config);
+    const double rate =
+        f1.measure_throughput(static_cast<std::uint64_t>(f1_pes) * 1'000'000);
     std::printf("F1 x%d [8] (simulated): %s\n", f1_pes,
-                stats.describe().c_str());
+                format_rate(rate).c_str());
   }
 
   // 5. Native CPU baseline, measured for real on this machine.
   {
     const auto f64 = arith::make_float64_backend();
     const auto module_f64 = compiler::compile_spn(model.spn, *f64);
-    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
-    baselines::CpuInferenceEngine engine(module_f64, cores);
-    const double rate = engine.measure_throughput(200'000);
-    std::printf("CPU x%u threads (native, this machine): %s\n", cores,
-                format_rate(rate).c_str());
+    engine::CpuEngine cpu(module_f64);
+    const double rate = cpu.measure_throughput(200'000);
+    std::printf("CPU x%zu threads (native, this machine): %s\n",
+                cpu.threads(), format_rate(rate).c_str());
   }
 
   // 6. Functional spot check on real corpus documents.
@@ -88,12 +85,8 @@ int main(int argc, char** argv) {
     corpus.documents = 4;
     corpus.vocabulary = variables;
     const auto docs = workload::make_bag_of_words(corpus);
-    sim::Scheduler scheduler;
-    sim::ProcessRunner runner(scheduler);
-    tapasco::CompositionConfig composition;
-    tapasco::Device device(runner, module, *backend, composition);
-    runtime::InferenceRuntime rt(runner, device, module);
-    const auto results = rt.infer(docs.to_bytes());
+    engine::FpgaSimEngine accelerator(module, *backend);
+    const auto results = accelerator.infer(docs.to_bytes());
     std::printf("\njoint probabilities of %zu real documents:\n",
                 results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {

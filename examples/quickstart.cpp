@@ -1,16 +1,16 @@
 // Quickstart: build a small Mixed SPN, compile it to an accelerator
-// datapath, compose a 1-PE HBM device in simulation, and run inference on
-// it end-to-end — the complete toolflow of the paper in ~80 lines.
+// datapath, stand up the simulated 1-PE HBM card behind the unified
+// InferenceEngine interface, and run inference on it end-to-end — the
+// complete toolflow of the paper in ~80 lines.
 //
 //   ./build/examples/quickstart
 #include <cstdio>
 
 #include "spnhbm/arith/backend.hpp"
 #include "spnhbm/compiler/datapath.hpp"
-#include "spnhbm/runtime/inference_runtime.hpp"
+#include "spnhbm/engine/fpga_engine.hpp"
 #include "spnhbm/spn/evaluate.hpp"
 #include "spnhbm/spn/text_format.hpp"
-#include "spnhbm/tapasco/device.hpp"
 
 int main() {
   using namespace spnhbm;
@@ -30,14 +30,13 @@ int main() {
   const auto module = compiler::compile_spn(model, *backend);
   std::printf("%s\n", module.report().c_str());
 
-  // 3. Compose a 1-PE design on the simulated XUP-VVH (PE -> SmartConnect
-  //    -> dedicated HBM channel) and attach the host runtime.
-  sim::Scheduler scheduler;
-  sim::ProcessRunner runner(scheduler);
-  tapasco::CompositionConfig composition;
-  composition.pe_count = 1;
-  tapasco::Device device(runner, module, *backend, composition);
-  runtime::InferenceRuntime runtime(runner, device, module);
+  // 3. Stand up the simulated accelerator card behind the unified engine
+  //    interface. The engine owns the whole stack: DES scheduler, TaPaSCo
+  //    composition (PE -> SmartConnect -> dedicated HBM channel) and the
+  //    §IV-B host runtime. Swapping in engine::CpuEngine or
+  //    engine::GpuModelEngine here changes the backend, nothing else.
+  engine::FpgaSimEngine accelerator(module, *backend);
+  std::printf("engine: %s\n", accelerator.capabilities().name.c_str());
 
   // 4. Run real samples through the accelerator (copy -> launch -> read
   //    back) and compare against the reference evaluator.
@@ -46,7 +45,7 @@ int main() {
       100, 30,   // component A territory
       70, 140,   // mixed
   };
-  const auto results = runtime.infer(samples);
+  const auto results = accelerator.infer(samples);
 
   spn::Evaluator reference(model);
   std::printf("\n%-14s %-22s %-22s\n", "sample", "accelerator", "reference");
@@ -57,6 +56,6 @@ int main() {
                 samples[i * 2 + 1], results[i], want);
   }
   std::printf("\nvirtual time elapsed: %.2f us\n",
-              to_seconds(scheduler.now()) * 1e6);
+              to_seconds(accelerator.virtual_now()) * 1e6);
   return 0;
 }

@@ -15,8 +15,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "spnhbm/engine/fpga_engine.hpp"
 #include "spnhbm/network/streaming.hpp"
-#include "spnhbm/runtime/inference_runtime.hpp"
 #include "spnhbm/util/strings.hpp"
 #include "spnhbm/util/table.hpp"
 #include "spnhbm/workload/model_zoo.hpp"
@@ -54,18 +54,14 @@ int main() {
         pipeline.run(2'000'000).samples_per_second;
     const double ceiling = pipeline.line_rate_ceiling();
 
-    // Simulated HBM design (largest placeable).
-    const int pes = fpga::max_placeable_pes(module, arith::FormatKind::kCfp,
-                                            fpga::Platform::kHbmXupVvh);
-    sim::Scheduler scheduler;
-    sim::ProcessRunner runner(scheduler);
-    tapasco::CompositionConfig composition;
-    composition.pe_count = pes;
-    composition.compute_results = false;
-    tapasco::Device device(runner, module, *backend, composition);
-    runtime::InferenceRuntime rt(runner, device, module);
-    const double hbm =
-        rt.run(static_cast<std::uint64_t>(pes) * 1'500'000).samples_per_second;
+    // Simulated HBM design (largest placeable), via the engine interface.
+    engine::FpgaEngineConfig hbm_config;
+    hbm_config.pe_count = 0;  // largest placeable
+    hbm_config.compute_results = false;
+    engine::FpgaSimEngine hbm_engine(module, *backend, hbm_config);
+    const int pes = hbm_engine.pe_count();
+    const double hbm = hbm_engine.measure_throughput(
+        static_cast<std::uint64_t>(pes) * 1'500'000);
 
     table.add_row({model.name,
                    strformat("%llu", static_cast<unsigned long long>(

@@ -16,7 +16,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "spnhbm/runtime/inference_runtime.hpp"
+#include "spnhbm/engine/fpga_engine.hpp"
 #include "spnhbm/spn/evaluate.hpp"
 #include "spnhbm/util/rng.hpp"
 #include "spnhbm/util/stats.hpp"
@@ -32,11 +32,7 @@ int main() {
   const auto backend = arith::make_lns_backend(arith::paper_lns_format());
   const auto module = compiler::compile_spn(model.spn, *backend);
 
-  sim::Scheduler scheduler;
-  sim::ProcessRunner runner(scheduler);
-  tapasco::CompositionConfig composition;
-  tapasco::Device device(runner, module, *backend, composition);
-  runtime::InferenceRuntime rt(runner, device, module);
+  engine::FpgaSimEngine rt(module, *backend);
 
   // In-domain: fresh documents from the same corpus distribution.
   workload::CorpusConfig corpus;

@@ -1,0 +1,64 @@
+#include "spnhbm/engine/cpu_engine.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::engine {
+
+namespace {
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+}  // namespace
+
+CpuEngine::CpuEngine(const compiler::DatapathModule& module,
+                     CpuEngineConfig config)
+    : native_(module, resolve_threads(config.threads)) {
+  capabilities_.name = strformat("cpu-native x%zu", native_.threads());
+  capabilities_.input_features = module.input_features();
+  capabilities_.functional = true;
+  // Unknown until measured: the host's real speed depends on the machine.
+  capabilities_.nominal_throughput = 0.0;
+  // Big enough to amortise thread-pool dispatch, small enough to keep the
+  // struct-of-arrays working set in cache.
+  capabilities_.preferred_batch_samples = 8192;
+}
+
+BatchHandle CpuEngine::submit(std::span<const std::uint8_t> samples,
+                              std::span<double> results) {
+  const std::size_t count = check_batch(samples, results);
+  const BatchHandle handle = next_handle_++;
+  pending_.emplace(handle,
+                   std::async(std::launch::async, [this, samples, results] {
+                     const auto start = std::chrono::steady_clock::now();
+                     native_.infer(samples, results);
+                     return std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                         .count();
+                   }));
+  stats_.batches += 1;
+  stats_.samples += count;
+  return handle;
+}
+
+void CpuEngine::wait(BatchHandle handle) {
+  const auto it = pending_.find(handle);
+  SPNHBM_REQUIRE(it != pending_.end(),
+                 "wait on unknown or already-completed batch handle");
+  stats_.busy_seconds += it->second.get();
+  pending_.erase(it);
+}
+
+double CpuEngine::measure_throughput(std::uint64_t sample_count) {
+  const double rate =
+      native_.measure_throughput(static_cast<std::size_t>(sample_count));
+  stats_.batches += 1;
+  stats_.samples += sample_count;
+  stats_.busy_seconds += static_cast<double>(sample_count) / rate;
+  return rate;
+}
+
+}  // namespace spnhbm::engine

@@ -1,0 +1,39 @@
+#include "spnhbm/engine/engine.hpp"
+
+#include "spnhbm/util/strings.hpp"
+#include "spnhbm/util/units.hpp"
+
+namespace spnhbm::engine {
+
+std::string EngineStats::describe() const {
+  return strformat(
+      "%llu batches, %llu samples, %.3f ms busy -> %s",
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(samples), busy_seconds * 1e3,
+      format_rate(samples_per_second()).c_str());
+}
+
+std::size_t InferenceEngine::check_batch(std::span<const std::uint8_t> samples,
+                                         std::span<double> results) const {
+  const auto& caps = capabilities();
+  SPNHBM_REQUIRE(caps.functional,
+                 "engine '" + caps.name +
+                     "' is configured timing-only and cannot run functional "
+                     "batches");
+  SPNHBM_REQUIRE(caps.input_features > 0 &&
+                     samples.size() == results.size() * caps.input_features,
+                 "samples/results size mismatch");
+  return results.size();
+}
+
+std::vector<double> InferenceEngine::infer(
+    std::span<const std::uint8_t> samples) {
+  const std::size_t features = capabilities().input_features;
+  SPNHBM_REQUIRE(features > 0 && samples.size() % features == 0,
+                 "input is not a whole number of samples");
+  std::vector<double> results(samples.size() / features);
+  wait(submit(samples, results));
+  return results;
+}
+
+}  // namespace spnhbm::engine

@@ -1,0 +1,86 @@
+#include "spnhbm/engine/fpga_engine.hpp"
+
+#include "spnhbm/fpga/resource_model.hpp"
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::engine {
+
+namespace {
+
+tapasco::CompositionConfig make_composition(
+    const compiler::DatapathModule& module, const arith::ArithBackend& backend,
+    const FpgaEngineConfig& config) {
+  tapasco::CompositionConfig composition;
+  composition.platform = config.platform;
+  composition.pe_count =
+      config.pe_count > 0
+          ? config.pe_count
+          : fpga::max_placeable_pes(module, backend.kind(), config.platform);
+  composition.memory_channels = config.memory_channels;
+  composition.pcie_generation = config.pcie_generation;
+  composition.compute_results = config.compute_results;
+  composition.skip_placement_check = config.skip_placement_check;
+  composition.dma_failure_rate = config.dma_failure_rate;
+  return composition;
+}
+
+runtime::RuntimeConfig make_runtime_config(const FpgaEngineConfig& config) {
+  runtime::RuntimeConfig rc;
+  rc.threads_per_pe = config.threads_per_pe;
+  rc.include_transfers = config.include_transfers;
+  return rc;
+}
+
+}  // namespace
+
+FpgaSimEngine::FpgaSimEngine(const compiler::DatapathModule& module,
+                             const arith::ArithBackend& backend,
+                             FpgaEngineConfig config)
+    : runner_(scheduler_),
+      device_(runner_, module, backend, make_composition(module, backend,
+                                                         config)),
+      runtime_(runner_, device_, module, make_runtime_config(config)) {
+  capabilities_.name = strformat(
+      "fpga-sim/%s x%zu",
+      config.platform == fpga::Platform::kF1 ? "f1" : "hbm",
+      device_.pe_count());
+  capabilities_.input_features = module.input_features();
+  capabilities_.functional = config.compute_results;
+  // Compute ceiling of the composed design: one sample per PE clock per PE
+  // (II = 1). The server replaces this with measured throughput as soon as
+  // batches complete.
+  capabilities_.nominal_throughput =
+      static_cast<double>(device_.pe_count()) * fpga::cal::kPeClockHz /
+      compiler::DatapathModule::initiation_interval();
+  capabilities_.preferred_batch_samples = runtime_.config().block_samples;
+}
+
+BatchHandle FpgaSimEngine::submit(std::span<const std::uint8_t> samples,
+                                  std::span<double> results) {
+  const std::size_t count = check_batch(samples, results);
+  // The DES completes the job inside submit; wait() is the barrier that
+  // hands the handle back.
+  const Picoseconds before = scheduler_.now();
+  const auto probabilities = runtime_.infer(samples);
+  std::copy(probabilities.begin(), probabilities.end(), results.begin());
+  stats_.batches += 1;
+  stats_.samples += count;
+  stats_.busy_seconds += to_seconds(scheduler_.now() - before);
+  return next_handle_++;
+}
+
+void FpgaSimEngine::wait(BatchHandle handle) {
+  SPNHBM_REQUIRE(handle > last_completed_ && handle < next_handle_,
+                 "wait on unknown or already-completed batch handle");
+  last_completed_ = handle;
+}
+
+double FpgaSimEngine::measure_throughput(std::uint64_t sample_count) {
+  const auto stats = runtime_.run(sample_count);
+  stats_.batches += stats.blocks;
+  stats_.samples += stats.samples;
+  stats_.busy_seconds += to_seconds(stats.elapsed);
+  return stats.samples_per_second;
+}
+
+}  // namespace spnhbm::engine

@@ -1,0 +1,47 @@
+#include "spnhbm/engine/gpu_engine.hpp"
+
+namespace spnhbm::engine {
+
+GpuModelEngine::GpuModelEngine(const compiler::DatapathModule& module,
+                               gpu::GpuModelConfig config)
+    : module_(module),
+      model_(std::move(config)),
+      f64_(arith::make_float64_backend()) {
+  capabilities_.name = "gpu-model/" + model_.config().name;
+  capabilities_.input_features = module.input_features();
+  capabilities_.functional = true;
+  capabilities_.nominal_throughput = model_.throughput(module);
+  capabilities_.preferred_batch_samples =
+      static_cast<std::size_t>(model_.config().batch_samples);
+}
+
+BatchHandle GpuModelEngine::submit(std::span<const std::uint8_t> samples,
+                                   std::span<double> results) {
+  const std::size_t count = check_batch(samples, results);
+  const std::size_t features = capabilities_.input_features;
+  for (std::size_t i = 0; i < count; ++i) {
+    results[i] = module_.evaluate(*f64_, samples.subspan(i * features,
+                                                         features));
+  }
+  stats_.batches += 1;
+  stats_.samples += count;
+  stats_.busy_seconds += to_seconds(
+      model_.batch_breakdown(module_, count).total());
+  return next_handle_++;
+}
+
+void GpuModelEngine::wait(BatchHandle handle) {
+  SPNHBM_REQUIRE(handle > last_completed_ && handle < next_handle_,
+                 "wait on unknown or already-completed batch handle");
+  last_completed_ = handle;
+}
+
+double GpuModelEngine::measure_throughput(std::uint64_t sample_count) {
+  const double rate = model_.throughput(module_, sample_count);
+  stats_.batches += 1;
+  stats_.samples += sample_count;
+  stats_.busy_seconds += static_cast<double>(sample_count) / rate;
+  return rate;
+}
+
+}  // namespace spnhbm::engine

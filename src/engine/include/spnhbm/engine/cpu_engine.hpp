@@ -1,0 +1,50 @@
+// InferenceEngine adapter over the native vectorised CPU baseline.
+//
+// submit() hands the batch to a helper thread (std::async), so a driver
+// can overlap staging of the next batch with compute of the current one —
+// the same overlap idea the FPGA runtime gets from its control threads.
+// wait() joins the helper and charges the measured wall time to the
+// engine's stats.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+
+#include "spnhbm/baselines/cpu_engine.hpp"
+#include "spnhbm/engine/engine.hpp"
+
+namespace spnhbm::engine {
+
+struct CpuEngineConfig {
+  /// 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+};
+
+class CpuEngine : public InferenceEngine {
+ public:
+  /// `module` must outlive the engine.
+  explicit CpuEngine(const compiler::DatapathModule& module,
+                     CpuEngineConfig config = {});
+
+  const EngineCapabilities& capabilities() const override {
+    return capabilities_;
+  }
+  BatchHandle submit(std::span<const std::uint8_t> samples,
+                     std::span<double> results) override;
+  void wait(BatchHandle handle) override;
+  double measure_throughput(std::uint64_t sample_count) override;
+  EngineStats stats() const override { return stats_; }
+
+  std::size_t threads() const { return native_.threads(); }
+
+ private:
+  baselines::CpuInferenceEngine native_;
+  EngineCapabilities capabilities_;
+  EngineStats stats_;
+  BatchHandle next_handle_ = 1;
+  /// In-flight batches: handle -> wall-seconds future.
+  std::map<BatchHandle, std::future<double>> pending_;
+};
+
+}  // namespace spnhbm::engine

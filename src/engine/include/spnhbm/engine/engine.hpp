@@ -1,0 +1,96 @@
+// The unified inference-engine abstraction (the serving seam).
+//
+// Every execution path in this repo — the simulated HBM FPGA card driven
+// by the §IV-B host runtime, the prior-work F1 configuration, the native
+// vectorised CPU baseline and the analytic V100 execution model — is an
+// implementation of this one interface:
+//
+//   capabilities()         what the backend is and how fast it claims
+//                          to be (used for dispatch weighting),
+//   submit() / wait()      batch inference with an explicit completion
+//                          barrier (engines may complete synchronously;
+//                          wait() is the only guarantee),
+//   measure_throughput()   the fair cross-platform timing probe behind
+//                          paper Fig. 6,
+//   stats()                cumulative per-engine accounting.
+//
+// Engine instances are deliberately NOT thread-safe: one engine is owned
+// by exactly one driver thread (the InferenceServer dedicates a worker
+// thread per registered engine). Asynchrony, batching, dispatch and
+// backpressure live one level up, in InferenceServer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::engine {
+
+using BatchHandle = std::uint64_t;
+
+struct EngineCapabilities {
+  /// Human-readable backend identifier ("fpga-sim/hbm", "cpu-native", ...).
+  std::string name;
+  /// Bytes per input sample the compiled module expects.
+  std::size_t input_features = 0;
+  /// Whether submit() computes real probabilities. Timing-only
+  /// configurations (compute_results disabled) reject functional batches.
+  bool functional = true;
+  /// The backend's own steady-state samples/s estimate; the server prefers
+  /// measured throughput once batches have completed. 0 = unknown.
+  double nominal_throughput = 0.0;
+  /// Batch size that amortises the backend's per-batch overhead.
+  std::size_t preferred_batch_samples = 4096;
+};
+
+struct EngineStats {
+  std::uint64_t batches = 0;
+  std::uint64_t samples = 0;
+  /// Time attributed to the backend: virtual device time for the FPGA
+  /// simulation, modelled batch time for the GPU model, wall time for the
+  /// native CPU engine.
+  double busy_seconds = 0.0;
+
+  double samples_per_second() const {
+    return busy_seconds > 0.0 ? static_cast<double>(samples) / busy_seconds
+                              : 0.0;
+  }
+  std::string describe() const;
+};
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  virtual const EngineCapabilities& capabilities() const = 0;
+
+  /// Starts one batch: `samples` holds rows of capabilities().input_features
+  /// bytes each, `results` receives one joint probability per row. Both
+  /// spans must stay valid until wait() returns on the handle.
+  virtual BatchHandle submit(std::span<const std::uint8_t> samples,
+                             std::span<double> results) = 0;
+
+  /// Blocks until the batch behind `handle` has completed. Each handle
+  /// must be waited on exactly once.
+  virtual void wait(BatchHandle handle) = 0;
+
+  /// Fair cross-platform timing probe: steady-state samples/s over a
+  /// synthetic load of `sample_count` samples.
+  virtual double measure_throughput(std::uint64_t sample_count) = 0;
+
+  virtual EngineStats stats() const = 0;
+
+  /// Convenience synchronous path: submit + wait, returning the results.
+  std::vector<double> infer(std::span<const std::uint8_t> samples);
+
+ protected:
+  /// Validates a submit() call against the capabilities and returns the
+  /// sample count.
+  std::size_t check_batch(std::span<const std::uint8_t> samples,
+                          std::span<double> results) const;
+};
+
+}  // namespace spnhbm::engine

@@ -1,0 +1,72 @@
+// InferenceEngine adapter over the simulated TaPaSCo FPGA card.
+//
+// Each FpgaSimEngine owns a complete simulation stack — DES scheduler,
+// platform composition (HBM XUP-VVH or prior-work F1) and the §IV-B host
+// runtime — so one engine models one card plus its driver, and registering
+// N engines with the InferenceServer models sharding across N independent
+// cards.
+//
+// Functional batches run through the full copy/launch/readback path of
+// InferenceRuntime::infer; measure_throughput drives the block-pipelined
+// timing path (InferenceRuntime::run), which is exactly how the Fig. 4/5/6
+// benchmarks measured before this layer existed — the numbers are
+// unchanged by construction.
+#pragma once
+
+#include "spnhbm/engine/engine.hpp"
+#include "spnhbm/runtime/inference_runtime.hpp"
+
+namespace spnhbm::engine {
+
+struct FpgaEngineConfig {
+  fpga::Platform platform = fpga::Platform::kHbmXupVvh;
+  /// 0 = the largest placeable design on the platform.
+  int pe_count = 1;
+  /// F1 only: DDR channels/controllers composed in.
+  int memory_channels = 1;
+  int threads_per_pe = 1;
+  int pcie_generation = 3;
+  /// Include host<->device transfers in timing runs (paper Fig. 4 right).
+  bool include_transfers = true;
+  /// Evaluate samples functionally. Disable for timing-only sweeps: the
+  /// engine then rejects submit() but measure_throughput still works.
+  bool compute_results = true;
+  bool skip_placement_check = false;
+  double dma_failure_rate = 0.0;
+};
+
+class FpgaSimEngine : public InferenceEngine {
+ public:
+  /// Composes the design; throws PlacementError if it does not fit.
+  /// `module` and `backend` must outlive the engine.
+  FpgaSimEngine(const compiler::DatapathModule& module,
+                const arith::ArithBackend& backend,
+                FpgaEngineConfig config = {});
+
+  const EngineCapabilities& capabilities() const override {
+    return capabilities_;
+  }
+  BatchHandle submit(std::span<const std::uint8_t> samples,
+                     std::span<double> results) override;
+  void wait(BatchHandle handle) override;
+  double measure_throughput(std::uint64_t sample_count) override;
+  EngineStats stats() const override { return stats_; }
+
+  int pe_count() const { return static_cast<int>(device_.pe_count()); }
+  /// Escape hatch for sweeps that need RunStats beyond samples/s.
+  runtime::InferenceRuntime& runtime() { return runtime_; }
+  /// Virtual time the simulated card has accumulated.
+  Picoseconds virtual_now() const { return scheduler_.now(); }
+
+ private:
+  sim::Scheduler scheduler_;
+  sim::ProcessRunner runner_;
+  tapasco::Device device_;
+  runtime::InferenceRuntime runtime_;
+  EngineCapabilities capabilities_;
+  EngineStats stats_;
+  BatchHandle next_handle_ = 1;
+  BatchHandle last_completed_ = 0;
+};
+
+}  // namespace spnhbm::engine

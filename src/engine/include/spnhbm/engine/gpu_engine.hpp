@@ -1,0 +1,44 @@
+// InferenceEngine adapter over the analytic V100 execution model.
+//
+// Timing comes from the mechanistic model (kernel launches, DRAM
+// round-trips, PCIe transfers — see gpu/execution_model.hpp); functional
+// results are computed host-side in double precision through the same
+// compiled operator program, which mirrors the real baseline: SPFlow's
+// TensorFlow backend also evaluates the graph in IEEE floating point.
+#pragma once
+
+#include <memory>
+
+#include "spnhbm/engine/engine.hpp"
+#include "spnhbm/gpu/execution_model.hpp"
+
+namespace spnhbm::engine {
+
+class GpuModelEngine : public InferenceEngine {
+ public:
+  /// `module` must outlive the engine.
+  explicit GpuModelEngine(const compiler::DatapathModule& module,
+                          gpu::GpuModelConfig config = {});
+
+  const EngineCapabilities& capabilities() const override {
+    return capabilities_;
+  }
+  BatchHandle submit(std::span<const std::uint8_t> samples,
+                     std::span<double> results) override;
+  void wait(BatchHandle handle) override;
+  double measure_throughput(std::uint64_t sample_count) override;
+  EngineStats stats() const override { return stats_; }
+
+  const gpu::GpuExecutionModel& model() const { return model_; }
+
+ private:
+  const compiler::DatapathModule& module_;
+  gpu::GpuExecutionModel model_;
+  std::unique_ptr<arith::ArithBackend> f64_;
+  EngineCapabilities capabilities_;
+  EngineStats stats_;
+  BatchHandle next_handle_ = 1;
+  BatchHandle last_completed_ = 0;
+};
+
+}  // namespace spnhbm::engine

@@ -1,0 +1,183 @@
+// Async batching request scheduler over N registered inference engines.
+//
+// Clients submit() independent requests of any sample count; the server
+//   * queues them, bounded: once queued + in-flight samples reach
+//     ServerConfig::max_queue_samples, submit() blocks (backpressure) and
+//     try_submit() rejects,
+//   * coalesces adjacent requests into engine batches of up to
+//     batch_samples, flushing a partial batch once the oldest queued
+//     request has waited max_latency (the tail-latency bound),
+//   * dispatches batches across the registered engines round-robin or by
+//     least expected completion time (outstanding work divided by
+//     measured throughput, falling back to the engine's nominal claim),
+//   * scatters batch results back into per-request futures; a request
+//     split across batches — possibly landing on different engines —
+//     resolves when its last slice completes.
+//
+// Threading model: one dispatcher thread forms batches; one worker thread
+// per engine drives submit()/wait(), so an engine never sees concurrent
+// calls. Requests may be queued before start(); they are dispatched as
+// soon as the threads run, which also gives tests a deterministic
+// coalescing path (queue everything, then start + stop).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "spnhbm/engine/engine.hpp"
+
+namespace spnhbm::engine {
+
+enum class DispatchPolicy {
+  kRoundRobin,
+  /// Least expected completion time: (outstanding + batch) / throughput.
+  kLeastLoaded,
+};
+
+struct ServerConfig {
+  /// Coalescing target per dispatched batch. 0 = the smallest
+  /// preferred_batch_samples over the registered engines.
+  std::size_t batch_samples = 0;
+  /// Backpressure bound on queued + in-flight samples.
+  std::size_t max_queue_samples = 1 << 16;
+  /// A partial batch is flushed once its oldest request has waited this
+  /// long.
+  std::chrono::microseconds max_latency{1000};
+  DispatchPolicy policy = DispatchPolicy::kRoundRobin;
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t samples = 0;
+  /// Batches flushed below the coalescing target by the latency deadline.
+  std::uint64_t deadline_flushes = 0;
+  std::size_t peak_outstanding_samples = 0;
+
+  /// Average samples per dispatched batch (the coalescing payoff).
+  double mean_batch_samples() const {
+    return batches > 0 ? static_cast<double>(samples) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+  std::string describe() const;
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerConfig config = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Registers a backend. All engines must be functional, agree on
+  /// input_features, and be registered before start().
+  void register_engine(std::shared_ptr<InferenceEngine> engine);
+
+  std::size_t engine_count() const { return workers_.size(); }
+  const InferenceEngine& engine(std::size_t index) const {
+    return *workers_[index]->engine;
+  }
+  /// Samples dispatched to engine `index` so far.
+  std::uint64_t dispatched_samples(std::size_t index) const;
+
+  void start();
+  /// Drains every queued request, then stops all threads. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Blocking submit: applies backpressure by waiting for queue space.
+  /// `samples` is rows of input_features bytes; the future resolves to one
+  /// probability per row (or rethrows the engine's failure).
+  std::future<std::vector<double>> submit(std::vector<std::uint8_t> samples);
+
+  /// Non-blocking submit: returns std::nullopt when the queue bound would
+  /// be exceeded.
+  std::optional<std::future<std::vector<double>>> try_submit(
+      std::vector<std::uint8_t> samples);
+
+  /// Queued + in-flight samples (the backpressure quantity).
+  std::size_t outstanding_samples() const;
+  std::size_t input_features() const { return input_features_; }
+  std::size_t batch_samples() const { return batch_samples_; }
+  ServerStats stats() const;
+
+ private:
+  struct PendingRequest {
+    std::vector<std::uint8_t> samples;
+    std::vector<double> results;
+    std::promise<std::vector<double>> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+    std::size_t count = 0;      ///< total samples in the request
+    std::size_t cursor = 0;     ///< next sample to dispatch
+    std::size_t remaining = 0;  ///< samples not yet completed
+    std::exception_ptr error;
+  };
+
+  struct BatchSlice {
+    std::shared_ptr<PendingRequest> request;
+    std::size_t request_offset = 0;
+    std::size_t batch_offset = 0;
+    std::size_t count = 0;
+  };
+
+  struct Batch {
+    std::vector<std::uint8_t> samples;
+    std::vector<double> results;
+    std::vector<BatchSlice> slices;
+    std::size_t sample_count = 0;
+  };
+
+  struct Worker {
+    std::shared_ptr<InferenceEngine> engine;
+    std::thread thread;
+    std::deque<Batch> queue;
+    std::condition_variable cv;
+    /// Dispatch accounting, guarded by the server mutex (the worker is the
+    /// only thread that calls into the engine itself).
+    std::size_t outstanding_samples = 0;
+    std::uint64_t dispatched_samples = 0;
+    std::uint64_t completed_samples = 0;
+    double busy_seconds = 0.0;
+    double nominal_throughput = 0.0;
+  };
+
+  std::future<std::vector<double>> enqueue_locked(
+      std::unique_lock<std::mutex>& lock, std::vector<std::uint8_t> samples);
+  Batch form_batch_locked();
+  std::size_t pick_engine_locked(std::size_t batch_sample_count);
+  void dispatch_batch_locked(Batch batch);
+  void complete_slice_locked(const BatchSlice& slice);
+  void dispatcher_loop();
+  void worker_loop(Worker& worker);
+
+  ServerConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_dispatch_;
+  std::condition_variable cv_space_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::deque<std::shared_ptr<PendingRequest>> queue_;
+  std::thread dispatcher_;
+  ServerStats stats_;
+  std::size_t input_features_ = 0;
+  std::size_t batch_samples_ = 0;
+  std::size_t queued_samples_ = 0;
+  std::size_t outstanding_samples_ = 0;
+  std::size_t round_robin_next_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool workers_stopping_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace spnhbm::engine

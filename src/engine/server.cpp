@@ -1,0 +1,309 @@
+#include "spnhbm/engine/server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::engine {
+
+std::string ServerStats::describe() const {
+  return strformat(
+      "%llu requests (%llu rejected) -> %llu batches / %llu samples "
+      "(%.1f samples/batch, %llu deadline flushes, peak %zu outstanding)",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(samples), mean_batch_samples(),
+      static_cast<unsigned long long>(deadline_flushes),
+      peak_outstanding_samples);
+}
+
+InferenceServer::InferenceServer(ServerConfig config)
+    : config_(config) {
+  SPNHBM_REQUIRE(config_.max_queue_samples > 0, "queue bound must be positive");
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine) {
+  SPNHBM_REQUIRE(engine != nullptr, "null engine");
+  std::lock_guard<std::mutex> lock(mutex_);
+  SPNHBM_REQUIRE(!started_, "register_engine after start");
+  const auto& caps = engine->capabilities();
+  SPNHBM_REQUIRE(caps.functional,
+                 "engine '" + caps.name + "' is timing-only; the server needs "
+                 "functional backends");
+  if (workers_.empty()) {
+    input_features_ = caps.input_features;
+  } else {
+    SPNHBM_REQUIRE(caps.input_features == input_features_,
+                   "engine '" + caps.name +
+                       "' expects a different input width than the engines "
+                       "already registered");
+  }
+  auto worker = std::make_unique<Worker>();
+  worker->engine = std::move(engine);
+  worker->nominal_throughput = caps.nominal_throughput;
+  if (config_.batch_samples == 0) {
+    batch_samples_ = batch_samples_ == 0
+                         ? caps.preferred_batch_samples
+                         : std::min(batch_samples_,
+                                    caps.preferred_batch_samples);
+  } else {
+    batch_samples_ = config_.batch_samples;
+  }
+  workers_.push_back(std::move(worker));
+}
+
+void InferenceServer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SPNHBM_REQUIRE(!workers_.empty(), "no engines registered");
+  SPNHBM_REQUIRE(!started_, "server already started");
+  SPNHBM_REQUIRE(batch_samples_ > 0, "batch size must be positive");
+  started_ = true;
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, &worker = *worker] {
+      worker_loop(worker);
+    });
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void InferenceServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stopped_) return;
+    stopping_ = true;
+    cv_dispatch_.notify_all();
+  }
+  dispatcher_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers_stopping_ = true;
+    for (auto& worker : workers_) worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) worker->thread.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+  cv_space_.notify_all();
+}
+
+std::future<std::vector<double>> InferenceServer::enqueue_locked(
+    std::unique_lock<std::mutex>& lock, std::vector<std::uint8_t> samples) {
+  (void)lock;
+  auto request = std::make_shared<PendingRequest>();
+  request->count = samples.size() / input_features_;
+  request->remaining = request->count;
+  request->samples = std::move(samples);
+  request->results.resize(request->count);
+  request->enqueue_time = std::chrono::steady_clock::now();
+  auto future = request->promise.get_future();
+  queued_samples_ += request->count;
+  outstanding_samples_ += request->count;
+  stats_.requests += 1;
+  stats_.peak_outstanding_samples =
+      std::max(stats_.peak_outstanding_samples, outstanding_samples_);
+  queue_.push_back(std::move(request));
+  cv_dispatch_.notify_one();
+  return future;
+}
+
+std::future<std::vector<double>> InferenceServer::submit(
+    std::vector<std::uint8_t> samples) {
+  SPNHBM_REQUIRE(input_features_ > 0, "no engines registered");
+  SPNHBM_REQUIRE(!samples.empty() && samples.size() % input_features_ == 0,
+                 "input is not a whole number of samples");
+  const std::size_t count = samples.size() / input_features_;
+  SPNHBM_REQUIRE(count <= config_.max_queue_samples,
+                 "request larger than the whole queue bound");
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_space_.wait(lock, [&] {
+    return stopped_ ||
+           outstanding_samples_ + count <= config_.max_queue_samples;
+  });
+  SPNHBM_REQUIRE(!stopped_, "submit on a stopped server");
+  return enqueue_locked(lock, std::move(samples));
+}
+
+std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
+    std::vector<std::uint8_t> samples) {
+  SPNHBM_REQUIRE(input_features_ > 0, "no engines registered");
+  SPNHBM_REQUIRE(!samples.empty() && samples.size() % input_features_ == 0,
+                 "input is not a whole number of samples");
+  const std::size_t count = samples.size() / input_features_;
+  std::unique_lock<std::mutex> lock(mutex_);
+  SPNHBM_REQUIRE(!stopped_, "submit on a stopped server");
+  if (outstanding_samples_ + count > config_.max_queue_samples) {
+    stats_.rejected += 1;
+    return std::nullopt;
+  }
+  return enqueue_locked(lock, std::move(samples));
+}
+
+std::size_t InferenceServer::outstanding_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outstanding_samples_;
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t InferenceServer::dispatched_samples(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_[index]->dispatched_samples;
+}
+
+InferenceServer::Batch InferenceServer::form_batch_locked() {
+  Batch batch;
+  batch.samples.reserve(std::min(queued_samples_, batch_samples_) *
+                        input_features_);
+  while (batch.sample_count < batch_samples_ && !queue_.empty()) {
+    auto& request = queue_.front();
+    const std::size_t take =
+        std::min(batch_samples_ - batch.sample_count,
+                 request->count - request->cursor);
+    const auto* begin =
+        request->samples.data() + request->cursor * input_features_;
+    batch.samples.insert(batch.samples.end(), begin,
+                         begin + take * input_features_);
+    batch.slices.push_back(
+        {request, request->cursor, batch.sample_count, take});
+    request->cursor += take;
+    batch.sample_count += take;
+    queued_samples_ -= take;
+    if (request->cursor == request->count) queue_.pop_front();
+  }
+  batch.results.resize(batch.sample_count);
+  stats_.batches += 1;
+  stats_.samples += batch.sample_count;
+  return batch;
+}
+
+std::size_t InferenceServer::pick_engine_locked(
+    std::size_t batch_sample_count) {
+  if (config_.policy == DispatchPolicy::kRoundRobin || workers_.size() == 1) {
+    const std::size_t index = round_robin_next_;
+    round_robin_next_ = (round_robin_next_ + 1) % workers_.size();
+    return index;
+  }
+  // Least expected completion time of this batch per engine, using the
+  // measured rate once available and the engine's nominal claim before.
+  // An engine with neither gets probed optimistically while idle (cold
+  // start), but never accumulates a backlog before its first measurement.
+  std::size_t best = 0;
+  double best_eta = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const auto& worker = *workers_[i];
+    const double rate = worker.busy_seconds > 0.0
+                            ? static_cast<double>(worker.completed_samples) /
+                                  worker.busy_seconds
+                            : worker.nominal_throughput;
+    double eta;
+    if (rate > 0.0) {
+      eta = static_cast<double>(worker.outstanding_samples +
+                                batch_sample_count) /
+            rate;
+    } else {
+      eta = worker.outstanding_samples == 0
+                ? 0.0
+                : std::numeric_limits<double>::infinity();
+    }
+    if (eta < best_eta) {
+      best_eta = eta;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void InferenceServer::dispatch_batch_locked(Batch batch) {
+  const std::size_t target = pick_engine_locked(batch.sample_count);
+  auto& worker = *workers_[target];
+  worker.outstanding_samples += batch.sample_count;
+  worker.dispatched_samples += batch.sample_count;
+  worker.queue.push_back(std::move(batch));
+  worker.cv.notify_one();
+}
+
+void InferenceServer::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (stopping_) return;
+      cv_dispatch_.wait(lock);
+      continue;
+    }
+    if (queued_samples_ < batch_samples_ && !stopping_) {
+      // Partial batch: hold it open for more coalescing until the oldest
+      // request's latency budget runs out.
+      const auto deadline = queue_.front()->enqueue_time + config_.max_latency;
+      if (std::chrono::steady_clock::now() < deadline) {
+        cv_dispatch_.wait_until(lock, deadline);
+        continue;  // re-evaluate: new requests, stop, or deadline hit
+      }
+      stats_.deadline_flushes += 1;
+    }
+    dispatch_batch_locked(form_batch_locked());
+  }
+}
+
+void InferenceServer::complete_slice_locked(const BatchSlice& slice) {
+  auto& request = *slice.request;
+  request.remaining -= slice.count;
+  if (request.remaining > 0) return;
+  if (request.error) {
+    request.promise.set_exception(request.error);
+  } else {
+    request.promise.set_value(std::move(request.results));
+  }
+}
+
+void InferenceServer::worker_loop(Worker& worker) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (worker.queue.empty()) {
+      if (workers_stopping_) return;
+      worker.cv.wait(lock);
+      continue;
+    }
+    Batch batch = std::move(worker.queue.front());
+    worker.queue.pop_front();
+    lock.unlock();
+
+    std::exception_ptr error;
+    double busy_before = 0.0;
+    try {
+      busy_before = worker.engine->stats().busy_seconds;
+      worker.engine->wait(
+          worker.engine->submit(batch.samples, batch.results));
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double busy_delta =
+        error ? 0.0 : worker.engine->stats().busy_seconds - busy_before;
+    if (!error) {
+      // Scatter outside the lock: every slice targets a distinct result
+      // range of its request.
+      for (const auto& slice : batch.slices) {
+        std::copy_n(batch.results.data() + slice.batch_offset, slice.count,
+                    slice.request->results.data() + slice.request_offset);
+      }
+    }
+
+    lock.lock();
+    for (const auto& slice : batch.slices) {
+      if (error) slice.request->error = error;
+      complete_slice_locked(slice);
+    }
+    worker.outstanding_samples -= batch.sample_count;
+    worker.completed_samples += batch.sample_count;
+    worker.busy_seconds += busy_delta;
+    outstanding_samples_ -= batch.sample_count;
+    cv_space_.notify_all();
+  }
+}
+
+}  // namespace spnhbm::engine

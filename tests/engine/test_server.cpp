@@ -1,0 +1,337 @@
+// InferenceServer tests: dynamic-batching coalescing, the latency-deadline
+// flush, backpressure at the queue bound, result routing for requests split
+// across batches/engines, dispatch policies and failure propagation.
+//
+// A deterministic MockEngine stands in for the real backends so batch
+// boundaries and dispatch decisions are exactly checkable.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "spnhbm/engine/server.hpp"
+
+namespace spnhbm {
+namespace {
+
+constexpr std::size_t kFeatures = 4;
+
+/// Deterministic per-sample "probability": a checksum of the input row, so
+/// a result landing in the wrong slot is always detected.
+double encode(std::span<const std::uint8_t> row) {
+  double value = 1.0;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    value += static_cast<double>(row[j]) * static_cast<double>(j + 1);
+  }
+  return value;
+}
+
+class MockEngine : public engine::InferenceEngine {
+ public:
+  struct Config {
+    bool functional = true;
+    double nominal_throughput = 0.0;
+    /// Virtual seconds charged per sample (0 = never "measured").
+    double busy_per_sample = 0.0;
+    /// Every submit throws.
+    bool fail = false;
+    /// submit blocks until release() — for backpressure tests.
+    bool gated = false;
+    std::size_t preferred_batch_samples = 64;
+  };
+
+  MockEngine() : MockEngine(Config()) {}
+  explicit MockEngine(Config config) : config_(config) {
+    capabilities_.name = "mock";
+    capabilities_.input_features = kFeatures;
+    capabilities_.functional = config.functional;
+    capabilities_.nominal_throughput = config.nominal_throughput;
+    capabilities_.preferred_batch_samples = config.preferred_batch_samples;
+  }
+
+  const engine::EngineCapabilities& capabilities() const override {
+    return capabilities_;
+  }
+
+  engine::BatchHandle submit(std::span<const std::uint8_t> samples,
+                             std::span<double> results) override {
+    const std::size_t count = check_batch(samples, results);
+    if (config_.gated) {
+      std::unique_lock<std::mutex> lock(gate_mutex_);
+      gate_cv_.wait(lock, [&] { return released_; });
+    }
+    if (config_.fail) throw Error("mock backend failure");
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = encode(samples.subspan(i * kFeatures, kFeatures));
+    }
+    batch_sizes_.push_back(count);
+    stats_.batches += 1;
+    stats_.samples += count;
+    stats_.busy_seconds += static_cast<double>(count) * config_.busy_per_sample;
+    return next_handle_++;
+  }
+
+  void wait(engine::BatchHandle handle) override {
+    SPNHBM_REQUIRE(handle > last_completed_ && handle < next_handle_,
+                   "wait on unknown batch handle");
+    last_completed_ = handle;
+  }
+
+  double measure_throughput(std::uint64_t) override {
+    return capabilities_.nominal_throughput;
+  }
+
+  engine::EngineStats stats() const override { return stats_; }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+    released_ = true;
+    gate_cv_.notify_all();
+  }
+
+  /// Only read after InferenceServer::stop() (the join orders the access).
+  const std::vector<std::size_t>& batch_sizes() const { return batch_sizes_; }
+
+ private:
+  Config config_;
+  engine::EngineCapabilities capabilities_;
+  engine::EngineStats stats_;
+  std::vector<std::size_t> batch_sizes_;
+  engine::BatchHandle next_handle_ = 1;
+  engine::BatchHandle last_completed_ = 0;
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool released_ = false;
+};
+
+std::vector<std::uint8_t> make_request(std::size_t count,
+                                       std::uint8_t tag) {
+  std::vector<std::uint8_t> samples(count * kFeatures);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  return samples;
+}
+
+void expect_encoded(const std::vector<std::uint8_t>& request,
+                    const std::vector<double>& results) {
+  ASSERT_EQ(results.size(), request.size() / kFeatures);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i],
+                     encode(std::span<const std::uint8_t>(request).subspan(
+                         i * kFeatures, kFeatures)))
+        << "sample " << i;
+  }
+}
+
+TEST(Server, CoalescesSmallRequestsIntoBlockSizedBatches) {
+  // k requests of n samples queued before start must dispatch in exactly
+  // ceil(k*n / B) batches — the dynamic-batching guarantee.
+  auto mock = std::make_shared<MockEngine>();
+  engine::ServerConfig config;
+  config.batch_samples = 8;
+  config.max_latency = std::chrono::milliseconds(1000);  // flush via stop()
+  engine::InferenceServer server(config);
+  server.register_engine(mock);
+
+  const std::size_t k = 10, n = 3;  // 30 samples -> ceil(30/8) = 4 batches
+  std::vector<std::vector<std::uint8_t>> requests;
+  std::vector<std::future<std::vector<double>>> futures;
+  for (std::size_t r = 0; r < k; ++r) {
+    requests.push_back(make_request(n, static_cast<std::uint8_t>(r * 16)));
+    futures.push_back(server.submit(requests.back()));
+  }
+  server.start();
+  server.stop();
+
+  for (std::size_t r = 0; r < k; ++r) {
+    expect_encoded(requests[r], futures[r].get());
+  }
+  const auto sizes = mock->batch_sizes();
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 8u);
+  EXPECT_EQ(sizes[1], 8u);
+  EXPECT_EQ(sizes[2], 8u);
+  EXPECT_EQ(sizes[3], 6u);
+  EXPECT_EQ(server.stats().batches, 4u);
+  EXPECT_EQ(server.stats().samples, 30u);
+  EXPECT_EQ(server.stats().requests, 10u);
+}
+
+TEST(Server, DeadlineFlushBoundsTailLatency) {
+  // A partial batch far below the coalescing target must still be flushed
+  // once the oldest request has waited max_latency — without stop().
+  auto mock = std::make_shared<MockEngine>();
+  engine::ServerConfig config;
+  config.batch_samples = 1024;
+  config.max_latency = std::chrono::milliseconds(20);
+  engine::InferenceServer server(config);
+  server.register_engine(mock);
+  server.start();
+
+  const auto request_a = make_request(3, 1);
+  const auto request_b = make_request(3, 101);
+  auto future_a = server.submit(request_a);
+  auto future_b = server.submit(request_b);
+  expect_encoded(request_a, future_a.get());
+  expect_encoded(request_b, future_b.get());
+  server.stop();
+
+  EXPECT_GE(server.stats().deadline_flushes, 1u);
+  EXPECT_LE(server.stats().batches, 2u);
+}
+
+TEST(Server, BackpressureBlocksAndTrySubmitRejectsAtTheBound) {
+  MockEngine::Config mock_config;
+  mock_config.gated = true;
+  auto mock = std::make_shared<MockEngine>(mock_config);
+  engine::ServerConfig config;
+  config.batch_samples = 4;
+  config.max_queue_samples = 8;
+  config.max_latency = std::chrono::milliseconds(1);
+  engine::InferenceServer server(config);
+  server.register_engine(mock);
+  server.start();
+
+  // Fill the bound exactly; the gated engine holds everything in flight.
+  const auto big = make_request(8, 7);
+  auto big_future = server.submit(big);
+  // Wait until the whole request is dispatched or queued against the bound.
+  while (server.outstanding_samples() < 8) {
+    std::this_thread::yield();
+  }
+
+  EXPECT_FALSE(server.try_submit(make_request(1, 50)).has_value());
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.outstanding_samples(), 8u);
+
+  // A blocking submit must park, not throw or drop.
+  const auto extra = make_request(4, 90);
+  auto parked = std::async(std::launch::async,
+                           [&] { return server.submit(extra).get(); });
+  EXPECT_EQ(parked.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+
+  mock->release();
+  expect_encoded(big, big_future.get());
+  expect_encoded(extra, parked.get());
+  server.stop();
+  EXPECT_EQ(server.outstanding_samples(), 0u);
+  EXPECT_EQ(server.stats().peak_outstanding_samples, 8u);
+}
+
+TEST(Server, RequestSplitAcrossEnginesResolvesWithOrderedResults) {
+  // One 8-sample request over two round-robin engines with batch size 4:
+  // each engine computes half, and the scatter must reassemble the results
+  // in request order.
+  auto mock_a = std::make_shared<MockEngine>();
+  auto mock_b = std::make_shared<MockEngine>();
+  engine::ServerConfig config;
+  config.batch_samples = 4;
+  config.policy = engine::DispatchPolicy::kRoundRobin;
+  engine::InferenceServer server(config);
+  server.register_engine(mock_a);
+  server.register_engine(mock_b);
+
+  const auto request = make_request(8, 23);
+  auto future = server.submit(request);
+  server.start();
+  server.stop();
+
+  expect_encoded(request, future.get());
+  EXPECT_EQ(server.dispatched_samples(0), 4u);
+  EXPECT_EQ(server.dispatched_samples(1), 4u);
+}
+
+TEST(Server, LeastLoadedProbesUnknownEnginesThenPrefersTheFastOne) {
+  // Engine A claims 1e9 samples/s; engine B is unmeasured (nominal 0,
+  // like a cold CPU engine). The policy probes B once while it is idle,
+  // then routes everything else to A.
+  MockEngine::Config fast_config;
+  fast_config.nominal_throughput = 1e9;
+  fast_config.busy_per_sample = 1e-9;
+  MockEngine::Config cold_config;
+  cold_config.nominal_throughput = 0.0;
+  cold_config.busy_per_sample = 1.0;  // measures as 1 sample/s
+  auto fast = std::make_shared<MockEngine>(fast_config);
+  auto cold = std::make_shared<MockEngine>(cold_config);
+
+  engine::ServerConfig config;
+  config.batch_samples = 4;
+  config.policy = engine::DispatchPolicy::kLeastLoaded;
+  engine::InferenceServer server(config);
+  server.register_engine(fast);
+  server.register_engine(cold);
+
+  std::vector<std::future<std::vector<double>>> futures;
+  std::vector<std::vector<std::uint8_t>> requests;
+  for (std::size_t r = 0; r < 5; ++r) {
+    requests.push_back(make_request(4, static_cast<std::uint8_t>(r * 8)));
+    futures.push_back(server.submit(requests.back()));
+  }
+  server.start();
+  server.stop();
+  for (std::size_t r = 0; r < 5; ++r) {
+    expect_encoded(requests[r], futures[r].get());
+  }
+  EXPECT_EQ(server.dispatched_samples(1), 4u);   // exactly one probe batch
+  EXPECT_EQ(server.dispatched_samples(0), 16u);  // everything else
+}
+
+TEST(Server, EngineFailurePropagatesToTheRequestFuture) {
+  MockEngine::Config mock_config;
+  mock_config.fail = true;
+  auto mock = std::make_shared<MockEngine>(mock_config);
+  engine::InferenceServer server;
+  server.register_engine(mock);
+
+  auto future = server.submit(make_request(2, 3));
+  server.start();
+  server.stop();
+  EXPECT_THROW(future.get(), Error);
+}
+
+TEST(Server, RegistrationValidatesEngines) {
+  engine::InferenceServer server;
+  MockEngine::Config timing_only;
+  timing_only.functional = false;
+  EXPECT_THROW(server.register_engine(std::make_shared<MockEngine>(timing_only)),
+               std::logic_error);
+  EXPECT_THROW(server.register_engine(nullptr), std::logic_error);
+  server.register_engine(std::make_shared<MockEngine>());
+}
+
+TEST(Server, SubmitValidatesRequests) {
+  engine::InferenceServer server(
+      {.batch_samples = 4, .max_queue_samples = 16});
+  server.register_engine(std::make_shared<MockEngine>());
+
+  // Not a whole number of rows.
+  EXPECT_THROW(server.submit(std::vector<std::uint8_t>(kFeatures + 1, 0)),
+               std::logic_error);
+  // A single request larger than the whole queue bound can never fit.
+  EXPECT_THROW(server.submit(make_request(17, 0)), std::logic_error);
+
+  server.start();
+  server.stop();
+  EXPECT_THROW(server.submit(make_request(1, 0)), std::logic_error);
+}
+
+TEST(Server, DefaultBatchSizeIsTheSmallestEnginePreference) {
+  MockEngine::Config small;
+  small.preferred_batch_samples = 32;
+  MockEngine::Config large;
+  large.preferred_batch_samples = 64;
+  engine::InferenceServer server;  // batch_samples = 0 -> derive
+  server.register_engine(std::make_shared<MockEngine>(large));
+  server.register_engine(std::make_shared<MockEngine>(small));
+  EXPECT_EQ(server.batch_samples(), 32u);
+}
+
+}  // namespace
+}  // namespace spnhbm

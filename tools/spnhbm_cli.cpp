@@ -12,9 +12,18 @@
 //                   [--samples N] [--no-transfers] [--pcie GEN]
 //       Run the timing simulation and print end-to-end statistics.
 //
-//   spnhbm infer <spn.txt> <samples.csv>
+//   spnhbm infer <spn.txt> <samples.csv> [--engine fpga|cpu|gpu]
 //       Run real samples (one CSV row of byte features per line) through
-//       the simulated accelerator; print one probability per line.
+//       the unified inference-engine interface (default: the simulated
+//       accelerator); print one probability per line.
+//
+//   spnhbm serve <spn.txt> --requests <samples.csv>
+//                [--engines fpga,cpu,gpu] [--format ...] [--pes N]
+//                [--batch N] [--max-latency-us U] [--queue-bound N]
+//                [--policy rr|load]
+//       Replay each CSV row as an independent single-sample request
+//       through the async batching InferenceServer; print one probability
+//       per line plus the server/engine statistics.
 //
 //   spnhbm learn <data.csv> [--min-instances N] [--threshold X]
 //       Learn a Mixed SPN from CSV data; print its textual description.
@@ -31,6 +40,10 @@
 #include <vector>
 
 #include "spnhbm/compiler/serialize.hpp"
+#include "spnhbm/engine/cpu_engine.hpp"
+#include "spnhbm/engine/fpga_engine.hpp"
+#include "spnhbm/engine/gpu_engine.hpp"
+#include "spnhbm/engine/server.hpp"
 #include "spnhbm/fpga/resource_model.hpp"
 #include "spnhbm/runtime/inference_runtime.hpp"
 #include "spnhbm/spn/dot_export.hpp"
@@ -46,7 +59,8 @@ using namespace spnhbm;
 
 [[noreturn]] void usage() {
   std::fputs(
-      "usage: spnhbm <compile|resources|simulate|infer|learn|sample> ...\n"
+      "usage: spnhbm <compile|resources|simulate|infer|serve|learn|sample> "
+      "...\n"
       "run with a command and -h for details (see the header of\n"
       "tools/spnhbm_cli.cpp)\n",
       stderr);
@@ -184,6 +198,19 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+std::unique_ptr<engine::InferenceEngine> engine_for(
+    const std::string& name, const compiler::DatapathModule& module,
+    const arith::ArithBackend& backend, int pe_count) {
+  if (name == "fpga") {
+    engine::FpgaEngineConfig config;
+    config.pe_count = pe_count;
+    return std::make_unique<engine::FpgaSimEngine>(module, backend, config);
+  }
+  if (name == "cpu") return std::make_unique<engine::CpuEngine>(module);
+  if (name == "gpu") return std::make_unique<engine::GpuModelEngine>(module);
+  throw Error("unknown engine '" + name + "' (fpga|cpu|gpu)");
+}
+
 int cmd_infer(const Args& args) {
   if (args.positional.size() < 2) usage();
   const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
@@ -196,13 +223,68 @@ int cmd_infer(const Args& args) {
   }
   const auto samples = data.to_bytes();
 
-  sim::Scheduler scheduler;
-  sim::ProcessRunner runner(scheduler);
-  tapasco::CompositionConfig composition;
-  tapasco::Device device(runner, module, *backend, composition);
-  runtime::InferenceRuntime rt(runner, device, module);
-  for (const double p : rt.infer(samples)) {
+  const auto engine =
+      engine_for(args.option("engine", "fpga"), module, *backend, 1);
+  for (const double p : engine->infer(samples)) {
     std::printf("%.12e\n", p);
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.positional.empty()) usage();
+  const std::string requests_path = args.option("requests", "");
+  if (requests_path.empty()) usage();
+  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
+  const auto backend = backend_for(args.option("format", "cfp"));
+  const auto module = compiler::compile_spn(model, *backend);
+  const spn::DataMatrix data = spn::load_csv_file(requests_path);
+  if (data.cols() != module.input_features()) {
+    throw Error(strformat("CSV rows have %zu cells, the model expects %zu",
+                          data.cols(), module.input_features()));
+  }
+  const auto samples = data.to_bytes();
+  const std::size_t features = module.input_features();
+  const std::size_t count = samples.size() / features;
+
+  engine::ServerConfig config;
+  config.batch_samples = static_cast<std::size_t>(
+      std::atoll(args.option("batch", "64").c_str()));
+  config.max_latency = std::chrono::microseconds(
+      std::atoll(args.option("max-latency-us", "500").c_str()));
+  config.max_queue_samples = static_cast<std::size_t>(
+      std::atoll(args.option("queue-bound", "65536").c_str()));
+  const std::string policy = args.option("policy", "rr");
+  if (policy != "rr" && policy != "load") {
+    throw Error("unknown policy '" + policy + "' (rr|load)");
+  }
+  config.policy = policy == "load" ? engine::DispatchPolicy::kLeastLoaded
+                                   : engine::DispatchPolicy::kRoundRobin;
+  engine::InferenceServer server(config);
+  const int pes = std::atoi(args.option("pes", "1").c_str());
+  for (const auto& name : split(args.option("engines", "fpga,cpu"), ',')) {
+    server.register_engine(engine_for(name, module, *backend, pes));
+  }
+  server.start();
+
+  // Replay: every CSV row is one independent request.
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(server.submit(std::vector<std::uint8_t>(
+        samples.begin() + static_cast<std::ptrdiff_t>(i * features),
+        samples.begin() + static_cast<std::ptrdiff_t>((i + 1) * features))));
+  }
+  for (auto& future : futures) {
+    std::printf("%.12e\n", future.get().front());
+  }
+  server.stop();
+
+  std::printf("server: %s\n", server.stats().describe().c_str());
+  for (std::size_t i = 0; i < server.engine_count(); ++i) {
+    std::printf("engine %s: %s\n",
+                server.engine(i).capabilities().name.c_str(),
+                server.engine(i).stats().describe().c_str());
   }
   return 0;
 }
@@ -247,6 +329,7 @@ int main(int argc, char** argv) {
     if (command == "resources") return cmd_resources(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "infer") return cmd_infer(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "learn") return cmd_learn(args);
     if (command == "sample") return cmd_sample(args);
     usage();
