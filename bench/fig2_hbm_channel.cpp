@@ -12,6 +12,7 @@
 #include "spnhbm/axi/smart_connect.hpp"
 #include "spnhbm/hbm/hbm.hpp"
 #include "spnhbm/sim/process.hpp"
+#include "spnhbm/telemetry/bench_report.hpp"
 
 namespace spnhbm::bench {
 namespace {
@@ -63,6 +64,7 @@ int main() {
 
   Table table({"request size", "native 450MHz/256b [GiB/s]",
                "SmartConnect 225MHz/512b [GiB/s]", "delta"});
+  telemetry::BenchReport report("fig2_hbm_channel");
   for (const std::uint64_t request :
        {4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB}) {
     const double native = measure(request, false);
@@ -70,8 +72,15 @@ int main() {
     table.add_row({format_bytes(request), strformat("%.2f", native),
                    strformat("%.2f", converted),
                    strformat("%+.1f%%", (converted / native - 1.0) * 100)});
+    report.add()
+        .field("request_bytes", static_cast<double>(request))
+        .field("native_gib_per_s", native)
+        .field("smart_connect_gib_per_s", converted);
   }
   print_table(table);
+  report.write();
+  std::printf("\nmachine-readable records written to %s\n",
+              report.output_path().c_str());
   std::printf(
       "\npaper reference: plateau ~12 GiB/s reached at 1 MiB requests; the\n"
       "half-clock/double-width SmartConnect attachment matches the native\n"

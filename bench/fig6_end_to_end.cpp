@@ -15,6 +15,7 @@
 
 #include "spnhbm/baselines/reference_platforms.hpp"
 #include "spnhbm/engine/cpu_engine.hpp"
+#include "spnhbm/telemetry/bench_report.hpp"
 #include "spnhbm/util/stats.hpp"
 
 int main() {
@@ -32,6 +33,7 @@ int main() {
 
   Table table({"benchmark", "HBM sim [Ms/s]", "HBM paper", "F1 sim",
                "F1 paper[8]", "Xeon ref", "V100 ref", "native CPU here"});
+  telemetry::BenchReport report("fig6_end_to_end");
   std::vector<double> vs_cpu, vs_gpu, vs_f1_sim, vs_f1_ref;
   double max_cpu = 0, max_gpu = 0, max_f1 = 0;
   bool cpu_wins_nips10 = false;
@@ -65,6 +67,17 @@ int main() {
                    msamples(cpu_ref.at(size)), msamples(gpu_ref.at(size)),
                    msamples(native_cpu)});
 
+    report.add()
+        .field("benchmark", model.name)
+        .field("nips_size", static_cast<double>(size))
+        .field("hbm_sim_samples_per_s", hbm)
+        .field("hbm_paper_samples_per_s", hbm_ref.at(size))
+        .field("f1_sim_samples_per_s", f1)
+        .field("f1_paper_samples_per_s", f1_ref.at(size))
+        .field("xeon_ref_samples_per_s", cpu_ref.at(size))
+        .field("v100_ref_samples_per_s", gpu_ref.at(size))
+        .field("native_cpu_samples_per_s", native_cpu);
+
     vs_cpu.push_back(hbm / cpu_ref.at(size));
     vs_gpu.push_back(hbm / gpu_ref.at(size));
     vs_f1_sim.push_back(hbm / f1);
@@ -95,5 +108,19 @@ int main() {
   print_table(speedups);
   std::printf("CPU outperforms HBM on NIPS10 (paper: yes): %s\n",
               cpu_wins_nips10 ? "yes" : "no");
+
+  report.add()
+      .field("benchmark", "speedup_summary")
+      .field("geo_mean_vs_xeon", geometric_mean(vs_cpu))
+      .field("max_vs_xeon", max_cpu)
+      .field("geo_mean_vs_v100", geometric_mean(vs_gpu))
+      .field("max_vs_v100", max_gpu)
+      .field("geo_mean_vs_f1_ref", geometric_mean(vs_f1_ref))
+      .field("max_vs_f1_ref", max_f1)
+      .field("geo_mean_vs_f1_sim", geometric_mean(vs_f1_sim))
+      .field("cpu_wins_nips10", cpu_wins_nips10 ? 1.0 : 0.0);
+  report.write();
+  std::printf("machine-readable records written to %s\n",
+              report.output_path().c_str());
   return 0;
 }

@@ -4,6 +4,11 @@
 // interface, and the InferenceServer's batching/dispatch overhead.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "spnhbm/engine/cpu_engine.hpp"
 #include "spnhbm/engine/server.hpp"
 #include "spnhbm/runtime/memory_manager.hpp"
@@ -107,4 +112,35 @@ BENCHMARK(BM_ServerSmallRequests);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to the same
+// BENCH_<name>.json location the fig benches use (overridable via
+// SPNHBM_BENCH_JSON_DIR), unless the caller passed their own --benchmark_out.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    std::string path = "BENCH_micro_runtime.json";
+    if (const char* dir = std::getenv("SPNHBM_BENCH_JSON_DIR");
+        dir != nullptr && *dir != '\0') {
+      path = std::string(dir) + "/" + path;
+    }
+    out_flag = "--benchmark_out=" + path;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

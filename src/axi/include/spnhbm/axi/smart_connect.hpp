@@ -10,8 +10,11 @@
 // leaving occupancy to the downstream port.
 #pragma once
 
+#include <memory>
+
 #include "spnhbm/axi/port.hpp"
 #include "spnhbm/sim/scheduler.hpp"
+#include "spnhbm/telemetry/metrics.hpp"
 
 namespace spnhbm::axi {
 
@@ -38,6 +41,8 @@ class SmartConnect final : public AxiPort {
   sim::Scheduler& scheduler_;
   AxiPort& downstream_;
   SmartConnectConfig config_;
+  std::shared_ptr<telemetry::Counter> ctr_bursts_;
+  std::shared_ptr<telemetry::Counter> ctr_bytes_;
 };
 
 struct RegisterSliceConfig {

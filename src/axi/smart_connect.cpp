@@ -9,11 +9,16 @@ SmartConnect::SmartConnect(sim::Scheduler& scheduler, AxiPort& downstream,
     : scheduler_(scheduler), downstream_(downstream), config_(config) {
   config_.max_burst_bytes =
       std::min(config_.max_burst_bytes, downstream.max_burst_bytes());
+  auto& registry = telemetry::metrics();
+  ctr_bursts_ = registry.counter("axi.smart_connect.bursts");
+  ctr_bytes_ = registry.counter("axi.smart_connect.bytes");
 }
 
 sim::Task<void> SmartConnect::transfer(BurstRequest request) {
   SPNHBM_REQUIRE(request.bytes <= config_.max_burst_bytes,
                  "burst exceeds SmartConnect cap");
+  ctr_bursts_->add(1);
+  ctr_bytes_->add(request.bytes);
   // Width/clock/protocol conversion pipeline: latency only. The token rate
   // is conserved by construction (512 b x 225 MHz == 256 b x 450 MHz), so
   // occupancy is wholly determined by the downstream port.

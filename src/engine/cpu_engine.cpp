@@ -48,7 +48,9 @@ void CpuEngine::wait(BatchHandle handle) {
   const auto it = pending_.find(handle);
   SPNHBM_REQUIRE(it != pending_.end(),
                  "wait on unknown or already-completed batch handle");
-  stats_.busy_seconds += it->second.get();
+  const double batch_seconds = it->second.get();
+  stats_.busy_seconds += batch_seconds;
+  batch_latency_us_.record(batch_seconds * 1e6);
   pending_.erase(it);
 }
 

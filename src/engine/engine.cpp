@@ -6,11 +6,18 @@
 namespace spnhbm::engine {
 
 std::string EngineStats::describe() const {
-  return strformat(
+  std::string text = strformat(
       "%llu batches, %llu samples, %.3f ms busy -> %s",
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(samples), busy_seconds * 1e3,
       format_rate(samples_per_second()).c_str());
+  if (batch_latency_us.count > 0) {
+    text += strformat(
+        ", batch latency us p50/p95/p99=%.1f/%.1f/%.1f",
+        batch_latency_us.p50(), batch_latency_us.p95(),
+        batch_latency_us.p99());
+  }
+  return text;
 }
 
 std::size_t InferenceEngine::check_batch(std::span<const std::uint8_t> samples,

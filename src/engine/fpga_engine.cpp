@@ -65,7 +65,9 @@ BatchHandle FpgaSimEngine::submit(std::span<const std::uint8_t> samples,
   std::copy(probabilities.begin(), probabilities.end(), results.begin());
   stats_.batches += 1;
   stats_.samples += count;
-  stats_.busy_seconds += to_seconds(scheduler_.now() - before);
+  const double batch_seconds = to_seconds(scheduler_.now() - before);
+  stats_.busy_seconds += batch_seconds;
+  batch_latency_us_.record(batch_seconds * 1e6);
   return next_handle_++;
 }
 

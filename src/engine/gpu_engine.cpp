@@ -25,8 +25,10 @@ BatchHandle GpuModelEngine::submit(std::span<const std::uint8_t> samples,
   }
   stats_.batches += 1;
   stats_.samples += count;
-  stats_.busy_seconds += to_seconds(
-      model_.batch_breakdown(module_, count).total());
+  const double batch_seconds =
+      to_seconds(model_.batch_breakdown(module_, count).total());
+  stats_.busy_seconds += batch_seconds;
+  batch_latency_us_.record(batch_seconds * 1e6);
   return next_handle_++;
 }
 

@@ -34,7 +34,11 @@ class CpuEngine : public InferenceEngine {
                      std::span<double> results) override;
   void wait(BatchHandle handle) override;
   double measure_throughput(std::uint64_t sample_count) override;
-  EngineStats stats() const override { return stats_; }
+  EngineStats stats() const override {
+    EngineStats stats = stats_;
+    stats.batch_latency_us = batch_latency_us_.snapshot();
+    return stats;
+  }
 
   std::size_t threads() const { return native_.threads(); }
 
@@ -42,6 +46,7 @@ class CpuEngine : public InferenceEngine {
   baselines::CpuInferenceEngine native_;
   EngineCapabilities capabilities_;
   EngineStats stats_;
+  telemetry::Histogram batch_latency_us_;
   BatchHandle next_handle_ = 1;
   /// In-flight batches: handle -> wall-seconds future.
   std::map<BatchHandle, std::future<double>> pending_;

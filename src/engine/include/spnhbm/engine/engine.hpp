@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/util/error.hpp"
 
 namespace spnhbm::engine {
@@ -53,6 +54,9 @@ struct EngineStats {
   /// simulation, modelled batch time for the GPU model, wall time for the
   /// native CPU engine.
   double busy_seconds = 0.0;
+  /// Distribution of per-batch busy time in microseconds (same time base
+  /// as busy_seconds).
+  telemetry::HistogramSnapshot batch_latency_us;
 
   double samples_per_second() const {
     return busy_seconds > 0.0 ? static_cast<double>(samples) / busy_seconds

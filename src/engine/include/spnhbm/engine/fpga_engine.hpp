@@ -50,7 +50,11 @@ class FpgaSimEngine : public InferenceEngine {
                      std::span<double> results) override;
   void wait(BatchHandle handle) override;
   double measure_throughput(std::uint64_t sample_count) override;
-  EngineStats stats() const override { return stats_; }
+  EngineStats stats() const override {
+    EngineStats stats = stats_;
+    stats.batch_latency_us = batch_latency_us_.snapshot();
+    return stats;
+  }
 
   int pe_count() const { return static_cast<int>(device_.pe_count()); }
   /// Escape hatch for sweeps that need RunStats beyond samples/s.
@@ -65,6 +69,7 @@ class FpgaSimEngine : public InferenceEngine {
   runtime::InferenceRuntime runtime_;
   EngineCapabilities capabilities_;
   EngineStats stats_;
+  telemetry::Histogram batch_latency_us_;
   BatchHandle next_handle_ = 1;
   BatchHandle last_completed_ = 0;
 };

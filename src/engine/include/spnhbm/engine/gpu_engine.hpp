@@ -27,7 +27,11 @@ class GpuModelEngine : public InferenceEngine {
                      std::span<double> results) override;
   void wait(BatchHandle handle) override;
   double measure_throughput(std::uint64_t sample_count) override;
-  EngineStats stats() const override { return stats_; }
+  EngineStats stats() const override {
+    EngineStats stats = stats_;
+    stats.batch_latency_us = batch_latency_us_.snapshot();
+    return stats;
+  }
 
   const gpu::GpuExecutionModel& model() const { return model_; }
 
@@ -37,6 +41,7 @@ class GpuModelEngine : public InferenceEngine {
   std::unique_ptr<arith::ArithBackend> f64_;
   EngineCapabilities capabilities_;
   EngineStats stats_;
+  telemetry::Histogram batch_latency_us_;
   BatchHandle next_handle_ = 1;
   BatchHandle last_completed_ = 0;
 };

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "spnhbm/engine/engine.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 
 namespace spnhbm::engine {
 
@@ -62,6 +63,13 @@ struct ServerStats {
   /// Batches flushed below the coalescing target by the latency deadline.
   std::uint64_t deadline_flushes = 0;
   std::size_t peak_outstanding_samples = 0;
+  /// Wall time a request spends queued before its first slice dispatches.
+  telemetry::HistogramSnapshot queue_wait_us;
+  /// Wall time from enqueue to the last slice completing (end-to-end).
+  telemetry::HistogramSnapshot request_latency_us;
+  /// Samples per dispatched batch (the coalescing payoff, as a
+  /// distribution; mean_batch_samples() is its mean).
+  telemetry::HistogramSnapshot batch_fill_samples;
 
   /// Average samples per dispatched batch (the coalescing payoff).
   double mean_batch_samples() const {
@@ -150,6 +158,7 @@ class InferenceServer {
     std::uint64_t completed_samples = 0;
     double busy_seconds = 0.0;
     double nominal_throughput = 0.0;
+    telemetry::TrackId track = 0;
   };
 
   std::future<std::vector<double>> enqueue_locked(
@@ -169,6 +178,17 @@ class InferenceServer {
   std::deque<std::shared_ptr<PendingRequest>> queue_;
   std::thread dispatcher_;
   ServerStats stats_;
+  /// Owned latency histograms; also published into the global registry via
+  /// attach_histogram, so --metrics-out always shows the live server.
+  std::shared_ptr<telemetry::Histogram> queue_wait_us_;
+  std::shared_ptr<telemetry::Histogram> request_latency_us_;
+  std::shared_ptr<telemetry::Histogram> batch_fill_samples_;
+  std::shared_ptr<telemetry::Counter> ctr_requests_;
+  std::shared_ptr<telemetry::Counter> ctr_rejected_;
+  std::shared_ptr<telemetry::Counter> ctr_batches_;
+  std::shared_ptr<telemetry::Counter> ctr_samples_;
+  std::shared_ptr<telemetry::Counter> ctr_deadline_flushes_;
+  telemetry::TrackId dispatcher_track_ = 0;
   std::size_t input_features_ = 0;
   std::size_t batch_samples_ = 0;
   std::size_t queued_samples_ = 0;

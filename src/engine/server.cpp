@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::engine {
 
+namespace {
+
+/// Wall-clock delta in microseconds (for the latency histograms).
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
 std::string ServerStats::describe() const {
-  return strformat(
+  std::string text = strformat(
       "%llu requests (%llu rejected) -> %llu batches / %llu samples "
       "(%.1f samples/batch, %llu deadline flushes, peak %zu outstanding)",
       static_cast<unsigned long long>(requests),
@@ -17,11 +29,31 @@ std::string ServerStats::describe() const {
       static_cast<unsigned long long>(samples), mean_batch_samples(),
       static_cast<unsigned long long>(deadline_flushes),
       peak_outstanding_samples);
+  if (request_latency_us.count > 0) {
+    text += strformat(
+        "; latency us p50/p95/p99=%.1f/%.1f/%.1f, queue wait us "
+        "p50/p99=%.1f/%.1f",
+        request_latency_us.p50(), request_latency_us.p95(),
+        request_latency_us.p99(), queue_wait_us.p50(), queue_wait_us.p99());
+  }
+  return text;
 }
 
 InferenceServer::InferenceServer(ServerConfig config)
     : config_(config) {
   SPNHBM_REQUIRE(config_.max_queue_samples > 0, "queue bound must be positive");
+  queue_wait_us_ = std::make_shared<telemetry::Histogram>();
+  request_latency_us_ = std::make_shared<telemetry::Histogram>();
+  batch_fill_samples_ = std::make_shared<telemetry::Histogram>();
+  auto& registry = telemetry::metrics();
+  registry.attach_histogram("server.queue_wait_us", queue_wait_us_);
+  registry.attach_histogram("server.request_latency_us", request_latency_us_);
+  registry.attach_histogram("server.batch_fill_samples", batch_fill_samples_);
+  ctr_requests_ = registry.counter("server.requests");
+  ctr_rejected_ = registry.counter("server.rejected");
+  ctr_batches_ = registry.counter("server.batches");
+  ctr_samples_ = registry.counter("server.samples");
+  ctr_deadline_flushes_ = registry.counter("server.deadline_flushes");
 }
 
 InferenceServer::~InferenceServer() { stop(); }
@@ -62,6 +94,13 @@ void InferenceServer::start() {
   SPNHBM_REQUIRE(!started_, "server already started");
   SPNHBM_REQUIRE(batch_samples_ > 0, "batch size must be positive");
   started_ = true;
+  auto& tracer = telemetry::tracer();
+  dispatcher_track_ =
+      tracer.register_track("server/dispatcher", telemetry::TraceClock::kWall);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->track = tracer.register_track(
+        "server/worker" + std::to_string(i), telemetry::TraceClock::kWall);
+  }
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, &worker = *worker] {
       worker_loop(worker);
@@ -102,6 +141,7 @@ std::future<std::vector<double>> InferenceServer::enqueue_locked(
   queued_samples_ += request->count;
   outstanding_samples_ += request->count;
   stats_.requests += 1;
+  ctr_requests_->add(1);
   stats_.peak_outstanding_samples =
       std::max(stats_.peak_outstanding_samples, outstanding_samples_);
   queue_.push_back(std::move(request));
@@ -136,6 +176,7 @@ std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
   SPNHBM_REQUIRE(!stopped_, "submit on a stopped server");
   if (outstanding_samples_ + count > config_.max_queue_samples) {
     stats_.rejected += 1;
+    ctr_rejected_->add(1);
     return std::nullopt;
   }
   return enqueue_locked(lock, std::move(samples));
@@ -148,7 +189,11 @@ std::size_t InferenceServer::outstanding_samples() const {
 
 ServerStats InferenceServer::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServerStats stats = stats_;
+  stats.queue_wait_us = queue_wait_us_->snapshot();
+  stats.request_latency_us = request_latency_us_->snapshot();
+  stats.batch_fill_samples = batch_fill_samples_->snapshot();
+  return stats;
 }
 
 std::uint64_t InferenceServer::dispatched_samples(std::size_t index) const {
@@ -162,6 +207,10 @@ InferenceServer::Batch InferenceServer::form_batch_locked() {
                         input_features_);
   while (batch.sample_count < batch_samples_ && !queue_.empty()) {
     auto& request = queue_.front();
+    if (request->cursor == 0) {
+      // First slice of this request leaves the queue: its queue wait ends.
+      queue_wait_us_->record(elapsed_us(request->enqueue_time));
+    }
     const std::size_t take =
         std::min(batch_samples_ - batch.sample_count,
                  request->count - request->cursor);
@@ -179,6 +228,9 @@ InferenceServer::Batch InferenceServer::form_batch_locked() {
   batch.results.resize(batch.sample_count);
   stats_.batches += 1;
   stats_.samples += batch.sample_count;
+  ctr_batches_->add(1);
+  ctr_samples_->add(batch.sample_count);
+  batch_fill_samples_->record(static_cast<double>(batch.sample_count));
   return batch;
 }
 
@@ -245,7 +297,10 @@ void InferenceServer::dispatcher_loop() {
         continue;  // re-evaluate: new requests, stop, or deadline hit
       }
       stats_.deadline_flushes += 1;
+      ctr_deadline_flushes_->add(1);
+      telemetry::tracer().instant_wall(dispatcher_track_, "deadline_flush");
     }
+    telemetry::tracer().instant_wall(dispatcher_track_, "dispatch");
     dispatch_batch_locked(form_batch_locked());
   }
 }
@@ -254,6 +309,7 @@ void InferenceServer::complete_slice_locked(const BatchSlice& slice) {
   auto& request = *slice.request;
   request.remaining -= slice.count;
   if (request.remaining > 0) return;
+  request_latency_us_->record(elapsed_us(request.enqueue_time));
   if (request.error) {
     request.promise.set_exception(request.error);
   } else {
@@ -276,6 +332,8 @@ void InferenceServer::worker_loop(Worker& worker) {
     std::exception_ptr error;
     double busy_before = 0.0;
     try {
+      const telemetry::Tracer::WallSpan span(telemetry::tracer(), worker.track,
+                                             "batch");
       busy_before = worker.engine->stats().busy_seconds;
       worker.engine->wait(
           worker.engine->submit(batch.samples, batch.results));

@@ -33,6 +33,11 @@ SpnAccelerator::SpnAccelerator(sim::ProcessRunner& runner,
                                                            sample_tokens);
   result_buffer_ = std::make_unique<sim::Fifo<BurstToken>>(runner.scheduler(),
                                                            result_tokens);
+  track_ = telemetry::tracer().register_track(config_.label,
+                                              telemetry::TraceClock::kVirtual);
+  auto& registry = telemetry::metrics();
+  ctr_jobs_ = registry.counter("accelerator.jobs");
+  ctr_samples_ = registry.counter("accelerator.samples");
 }
 
 void SpnAccelerator::write_register(Reg reg, std::uint64_t value) {
@@ -107,6 +112,7 @@ sim::Process SpnAccelerator::job_process() {
   const std::uint64_t samples = sample_count_;
   const std::uint64_t input_address = input_address_;
   const std::uint64_t output_address = output_address_;
+  const Picoseconds job_start = runner_.scheduler().now();
 
   sim::Process load = runner_.spawn(load_unit(input_address, samples));
   sim::Process datapath = runner_.spawn(datapath_unit(samples));
@@ -119,6 +125,10 @@ sim::Process SpnAccelerator::job_process() {
     evaluate_block(input_address, output_address, samples);
   }
   samples_processed_ += samples;
+  ctr_jobs_->add(1);
+  ctr_samples_->add(samples);
+  telemetry::tracer().complete_virtual(track_, "job", job_start,
+                                       runner_.scheduler().now());
   busy_ = false;
   done_ = true;
   done_notify_.notify_all();
@@ -159,8 +169,11 @@ sim::Process SpnAccelerator::datapath_unit(std::uint64_t samples) {
     if (first && token.samples > 0) {
       // Pipeline fill: the first result trails the first sample by the
       // datapath depth.
+      const Picoseconds fill_start = scheduler.now();
       co_await sim::delay(scheduler,
                           config_.clock.cycles(module_.pipeline_depth()));
+      telemetry::tracer().complete_virtual(track_, "pipeline_fill", fill_start,
+                                           scheduler.now());
       first = false;
     }
     co_await sim::delay(

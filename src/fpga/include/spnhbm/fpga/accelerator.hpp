@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "spnhbm/axi/port.hpp"
 #include "spnhbm/compiler/datapath.hpp"
@@ -31,6 +32,8 @@
 #include "spnhbm/hbm/hbm.hpp"
 #include "spnhbm/sim/channel.hpp"
 #include "spnhbm/sim/process.hpp"
+#include "spnhbm/telemetry/metrics.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 
 namespace spnhbm::fpga {
 
@@ -60,6 +63,8 @@ struct AcceleratorConfig {
   std::size_t result_fifo_results = cal::kResultFifoResults;
   /// Evaluate samples functionally (off for timing-only sweeps).
   bool compute_results = true;
+  /// Telemetry label (trace track name); TapascoDevice sets "pe<i>".
+  std::string label = "pe";
 };
 
 class SpnAccelerator {
@@ -120,6 +125,9 @@ class SpnAccelerator {
   std::unique_ptr<sim::Fifo<BurstToken>> result_buffer_;
   sim::Notify done_notify_;
   std::uint64_t samples_processed_ = 0;
+  telemetry::TrackId track_ = 0;
+  std::shared_ptr<telemetry::Counter> ctr_jobs_;
+  std::shared_ptr<telemetry::Counter> ctr_samples_;
 };
 
 }  // namespace spnhbm::fpga

@@ -2,16 +2,26 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
+#include <utility>
 
 namespace spnhbm::hbm {
 
 HbmChannel::HbmChannel(sim::Scheduler& scheduler, HbmChannelConfig config)
     : scheduler_(scheduler),
-      config_(config),
+      config_(std::move(config)),
       occupancy_(scheduler, 1),
       port_(*this) {
   SPNHBM_REQUIRE(config_.bytes_per_cycle > 0, "channel width must be positive");
   SPNHBM_REQUIRE(config_.max_burst_bytes > 0, "burst cap must be positive");
+  track_ = telemetry::tracer().register_track(config_.label,
+                                              telemetry::TraceClock::kVirtual);
+  auto& registry = telemetry::metrics();
+  ctr_bytes_read_ = registry.counter("hbm.bytes_read");
+  ctr_bytes_written_ = registry.counter("hbm.bytes_written");
+  ctr_bursts_ = registry.counter("hbm.bursts");
+  ctr_row_hits_ = registry.counter("hbm.row_hits");
+  ctr_row_misses_ = registry.counter("hbm.row_misses");
 }
 
 Picoseconds HbmChannel::service_time(const axi::BurstRequest& request) {
@@ -38,16 +48,32 @@ sim::Task<void> HbmChannel::access(axi::BurstRequest request,
                  "access beyond channel capacity");
   SPNHBM_REQUIRE(service_stretch >= 1.0, "stretch must be >= 1");
   co_await occupancy_.acquire();
+  const Picoseconds start = scheduler_.now();
   const Picoseconds time = static_cast<Picoseconds>(
       static_cast<double>(service_time(request)) * service_stretch);
   busy_time_ += time;
   if (request.is_write) {
     bytes_written_ += request.bytes;
+    ctr_bytes_written_->add(request.bytes);
   } else {
     bytes_read_ += request.bytes;
+    ctr_bytes_read_->add(request.bytes);
   }
+  ctr_bursts_->add(1);
+  // Row-buffer locality bookkeeping: metrics only, no timing influence.
+  const std::uint64_t row = request.address >> 10;
+  if (row == last_row_) {
+    ++row_hits_;
+    ctr_row_hits_->add(1);
+  } else {
+    ++row_misses_;
+    ctr_row_misses_->add(1);
+  }
+  last_row_ = row;
   co_await sim::delay(scheduler_, time);
   occupancy_.release();
+  telemetry::tracer().complete_virtual(track_, request.is_write ? "wr" : "rd",
+                                       start, scheduler_.now());
 }
 
 std::uint8_t* HbmChannel::page_for(std::uint64_t address) {
@@ -98,9 +124,12 @@ HbmDevice::HbmDevice(sim::Scheduler& scheduler, HbmDeviceConfig config)
   SPNHBM_REQUIRE(total > 0, "HBM device needs at least one channel");
   channels_.reserve(total);
   for (std::size_t i = 0; i < total; ++i) {
+    HbmChannelConfig channel_config = config_.channel;
+    channel_config.label = "hbm/ch" + std::to_string(i);
     channels_.push_back(
-        std::make_unique<HbmChannel>(scheduler, config_.channel));
+        std::make_unique<HbmChannel>(scheduler, std::move(channel_config)));
   }
+  ctr_crossbar_routed_ = telemetry::metrics().counter("hbm.crossbar_routed");
   if (config_.crossbar_enabled) {
     crossbar_ports_.reserve(total);
     for (std::size_t i = 0; i < total; ++i) {
@@ -123,6 +152,7 @@ axi::AxiPort& HbmDevice::port(std::size_t index) {
 sim::Task<void> HbmDevice::CrossbarPort::transfer(axi::BurstRequest request) {
   // Crossbar routing: added latency plus a throughput penalty encoded as a
   // service-time stretch (modelled with a longer synthetic burst).
+  device_.ctr_crossbar_routed_->add(1);
   co_await sim::delay(device_.scheduler_, device_.config_.crossbar_latency);
   co_await device_.channels_[index_]->access(
       request, 1.0 + device_.config_.crossbar_throughput_penalty);

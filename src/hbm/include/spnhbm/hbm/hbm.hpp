@@ -20,12 +20,15 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "spnhbm/axi/port.hpp"
 #include "spnhbm/sim/channel.hpp"
 #include "spnhbm/sim/scheduler.hpp"
+#include "spnhbm/telemetry/metrics.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 
 namespace spnhbm::hbm {
 
@@ -40,6 +43,8 @@ struct HbmChannelConfig {
   Picoseconds turnaround = nanoseconds(15);
   /// Refresh share (tRFC / tREFI), applied as a service-time stretch.
   double refresh_overhead = 0.039;
+  /// Telemetry label (trace track name); HbmDevice sets "hbm/ch<i>".
+  std::string label = "hbm/ch";
 };
 
 class HbmChannel {
@@ -64,6 +69,10 @@ class HbmChannel {
   std::uint64_t bytes_read() const { return bytes_read_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
   Picoseconds busy_time() const { return busy_time_; }
+  /// Row-buffer locality (metrics only; does not influence timing). A burst
+  /// hitting the same 1 KiB row as its predecessor counts as a hit.
+  std::uint64_t row_hits() const { return row_hits_; }
+  std::uint64_t row_misses() const { return row_misses_; }
 
  private:
   class PortAdapter final : public axi::AxiPort {
@@ -94,6 +103,15 @@ class HbmChannel {
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;
   Picoseconds busy_time_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+  std::uint64_t last_row_ = ~0ull;
+  telemetry::TrackId track_ = 0;
+  std::shared_ptr<telemetry::Counter> ctr_bytes_read_;
+  std::shared_ptr<telemetry::Counter> ctr_bytes_written_;
+  std::shared_ptr<telemetry::Counter> ctr_bursts_;
+  std::shared_ptr<telemetry::Counter> ctr_row_hits_;
+  std::shared_ptr<telemetry::Counter> ctr_row_misses_;
   mutable std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
 };
 
@@ -143,6 +161,7 @@ class HbmDevice {
   HbmDeviceConfig config_;
   std::vector<std::unique_ptr<HbmChannel>> channels_;
   std::vector<std::unique_ptr<CrossbarPort>> crossbar_ports_;
+  std::shared_ptr<telemetry::Counter> ctr_crossbar_routed_;
 };
 
 }  // namespace spnhbm::hbm

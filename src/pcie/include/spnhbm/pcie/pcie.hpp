@@ -18,6 +18,8 @@
 #include "spnhbm/sim/channel.hpp"
 #include "spnhbm/sim/scheduler.hpp"
 #include "spnhbm/sim/task.hpp"
+#include "spnhbm/telemetry/metrics.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 #include "spnhbm/util/error.hpp"
 #include "spnhbm/util/rng.hpp"
 #include "spnhbm/util/units.hpp"
@@ -90,6 +92,11 @@ class DmaEngine {
   DmaEngineConfig config_;
   sim::Resource engine_;
   Rng failure_rng_;
+  telemetry::TrackId track_ = 0;
+  std::shared_ptr<telemetry::Counter> ctr_transfers_;
+  std::shared_ptr<telemetry::Counter> ctr_bytes_h2d_;
+  std::shared_ptr<telemetry::Counter> ctr_bytes_d2h_;
+  std::shared_ptr<telemetry::Counter> ctr_failures_;
   std::uint64_t bytes_to_device_ = 0;
   std::uint64_t bytes_to_host_ = 0;
   Picoseconds busy_time_ = 0;

@@ -34,6 +34,13 @@ DmaEngine::DmaEngine(sim::Scheduler& scheduler, DmaEngineConfig config)
       failure_rng_(config.failure_seed) {
   SPNHBM_REQUIRE(config_.failure_rate >= 0.0 && config_.failure_rate < 1.0,
                  "failure rate must be in [0, 1)");
+  track_ = telemetry::tracer().register_track("pcie/dma",
+                                              telemetry::TraceClock::kVirtual);
+  auto& registry = telemetry::metrics();
+  ctr_transfers_ = registry.counter("pcie.transfers");
+  ctr_bytes_h2d_ = registry.counter("pcie.bytes_h2d");
+  ctr_bytes_d2h_ = registry.counter("pcie.bytes_d2h");
+  ctr_failures_ = registry.counter("pcie.failed_transfers");
 }
 
 sim::Task<void> DmaEngine::transfer(std::uint64_t bytes, Direction direction) {
@@ -42,23 +49,31 @@ sim::Task<void> DmaEngine::transfer(std::uint64_t bytes, Direction direction) {
   // transfers.
   co_await sim::delay(scheduler_, config_.setup_latency);
   co_await engine_.acquire();
+  const Picoseconds start = scheduler_.now();
   const Picoseconds occupancy =
       config_.engine_bandwidth.transfer_time(bytes) +
       config_.per_transfer_overhead;
   busy_time_ += occupancy;
   ++transfers_;
+  ctr_transfers_->add(1);
   if (direction == Direction::kHostToDevice) {
     bytes_to_device_ += bytes;
+    ctr_bytes_h2d_->add(bytes);
   } else {
     bytes_to_host_ += bytes;
+    ctr_bytes_d2h_->add(bytes);
   }
   co_await sim::delay(scheduler_, occupancy);
   engine_.release();
+  telemetry::tracer().complete_virtual(
+      track_, direction == Direction::kHostToDevice ? "h2d" : "d2h", start,
+      scheduler_.now());
   if (config_.failure_rate > 0.0 &&
       failure_rng_.next_double() < config_.failure_rate) {
     // The transfer consumed engine time but delivered a CRC/abort error;
     // the host driver must re-queue it.
     ++failed_transfers_;
+    ctr_failures_->add(1);
     throw DmaError("transfer aborted (injected fault)");
   }
 }

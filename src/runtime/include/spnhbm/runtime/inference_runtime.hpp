@@ -24,6 +24,7 @@
 #include "spnhbm/fpga/calibration.hpp"
 #include "spnhbm/runtime/memory_manager.hpp"
 #include "spnhbm/tapasco/device.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 
 namespace spnhbm::runtime {
 
@@ -77,7 +78,8 @@ class InferenceRuntime {
   };
 
   sim::Process control_thread(std::size_t pe_index, BlockCursor& cursor,
-                              sim::Resource& pe_lock);
+                              sim::Resource& pe_lock,
+                              telemetry::TrackId track);
 
   sim::ProcessRunner& runner_;
   tapasco::Device& device_;

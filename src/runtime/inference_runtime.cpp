@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "spnhbm/util/strings.hpp"
 
@@ -43,7 +44,8 @@ InferenceRuntime::InferenceRuntime(sim::ProcessRunner& runner,
 
 sim::Process InferenceRuntime::control_thread(std::size_t pe_index,
                                               BlockCursor& cursor,
-                                              sim::Resource& pe_lock) {
+                                              sim::Resource& pe_lock,
+                                              telemetry::TrackId track) {
   auto& scheduler = runner_.scheduler();
   const std::uint64_t features = module_.input_features();
   constexpr std::uint64_t kResultBytes = 8;
@@ -64,22 +66,29 @@ sim::Process InferenceRuntime::control_thread(std::size_t pe_index,
     const std::uint64_t in_bytes = samples * features;
     const std::uint64_t out_bytes = samples * kResultBytes;
 
+    auto& tracer = telemetry::tracer();
     if (config_.include_transfers) {
       if (config_.model_host_staging) {
         // Host memcpy into the pinned DMA buffer.
+        const Picoseconds span_start = scheduler.now();
         co_await sim::delay(
             scheduler, static_cast<Picoseconds>(
                            static_cast<double>(in_bytes) /
                            fpga::cal::kHostStagingBytesPerSecond *
                            static_cast<double>(kPicosecondsPerSecond)));
+        tracer.complete_virtual(track, "stage_in", span_start,
+                                scheduler.now());
       }
+      const Picoseconds span_start = scheduler.now();
       co_await device_.copy_to_device_timed(pe_index, input_buffer.address(),
                                             in_bytes);
+      tracer.complete_virtual(track, "h2d", span_start, scheduler.now());
     }
 
     // The PE runs one job at a time; with >1 control threads the launch
     // serialises here while the other thread's transfers overlap.
     co_await pe_lock.acquire();
+    const Picoseconds compute_start = scheduler.now();
     try {
       co_await device_.launch_inference(pe_index, input_buffer.address(),
                                         output_buffer.address(), samples);
@@ -88,16 +97,22 @@ sim::Process InferenceRuntime::control_thread(std::size_t pe_index,
       throw;
     }
     pe_lock.release();
+    tracer.complete_virtual(track, "compute", compute_start, scheduler.now());
 
     if (config_.include_transfers) {
+      const Picoseconds span_start = scheduler.now();
       co_await device_.copy_from_device_timed(
           pe_index, output_buffer.address(), out_bytes);
+      tracer.complete_virtual(track, "d2h", span_start, scheduler.now());
       if (config_.model_host_staging) {
+        const Picoseconds unstage_start = scheduler.now();
         co_await sim::delay(
             scheduler, static_cast<Picoseconds>(
                            static_cast<double>(out_bytes) /
                            fpga::cal::kHostStagingBytesPerSecond *
                            static_cast<double>(kPicosecondsPerSecond)));
+        tracer.complete_virtual(track, "stage_out", unstage_start,
+                                scheduler.now());
       }
     }
   }
@@ -121,8 +136,11 @@ RunStats InferenceRuntime::run(std::uint64_t total_samples) {
   for (std::size_t pe = 0; pe < device_.pe_count(); ++pe) {
     pe_locks.push_back(std::make_unique<sim::Resource>(scheduler, 1));
     for (int t = 0; t < config_.threads_per_pe; ++t) {
+      const telemetry::TrackId track = telemetry::tracer().register_track(
+          "runtime/pe" + std::to_string(pe) + ".t" + std::to_string(t),
+          telemetry::TraceClock::kVirtual);
       threads.push_back(
-          runner_.spawn(control_thread(pe, cursor, *pe_locks.back())));
+          runner_.spawn(control_thread(pe, cursor, *pe_locks.back(), track)));
     }
   }
   scheduler.run();

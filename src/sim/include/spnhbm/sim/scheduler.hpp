@@ -46,6 +46,7 @@ class Scheduler {
     Entry entry = queue_.top();
     queue_.pop();
     now_ = entry.time;
+    ++events_processed_;
     if (entry.handle) {
       entry.handle.resume();
     } else {
@@ -70,7 +71,10 @@ class Scheduler {
   }
 
   bool empty() const { return queue_.empty(); }
-  std::uint64_t events_processed() const { return next_seq_; }
+  /// Number of events actually executed (not merely scheduled).
+  std::uint64_t events_processed() const { return events_processed_; }
+  /// Number of events ever scheduled, including those still queued.
+  std::uint64_t events_scheduled() const { return next_seq_; }
 
  private:
   struct Entry {
@@ -87,6 +91,7 @@ class Scheduler {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   Picoseconds now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
 };
 
 /// Awaitable produced by `delay()`: suspends the process for `dt` of

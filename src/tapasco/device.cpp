@@ -1,5 +1,7 @@
 #include "spnhbm/tapasco/device.hpp"
 
+#include <string>
+
 namespace spnhbm::tapasco {
 
 Device::Device(sim::ProcessRunner& runner,
@@ -41,6 +43,7 @@ Device::Device(sim::ProcessRunner& runner,
           scheduler, hbm_->port(static_cast<std::size_t>(i))));
       register_slices_.push_back(std::make_unique<axi::RegisterSlice>(
           scheduler, *smart_connects_.back()));
+      accel_config.label = "pe" + std::to_string(i);
       accelerators_.push_back(std::make_unique<fpga::SpnAccelerator>(
           runner, module, backend, *register_slices_.back(),
           &hbm_->channel(static_cast<std::size_t>(i)), accel_config));
@@ -59,6 +62,7 @@ Device::Device(sim::ProcessRunner& runner,
           *ddr_channels_[static_cast<std::size_t>(i) % ddr_channels_.size()];
       register_slices_.push_back(std::make_unique<axi::RegisterSlice>(
           scheduler, channel.port()));
+      accel_config.label = "pe" + std::to_string(i);
       accelerators_.push_back(std::make_unique<fpga::SpnAccelerator>(
           runner, module, backend, *register_slices_.back(), nullptr,
           accel_config));

@@ -1,0 +1,76 @@
+#include "spnhbm/telemetry/bench_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "spnhbm/telemetry/json.hpp"
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::telemetry {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  SPNHBM_REQUIRE(!name_.empty(), "bench report needs a name");
+}
+
+BenchReport::Record& BenchReport::Record::field(const std::string& name,
+                                                double value) {
+  Field f;
+  f.name = name;
+  f.is_number = true;
+  f.number = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+BenchReport::Record& BenchReport::Record::field(const std::string& name,
+                                                const std::string& value) {
+  Field f;
+  f.name = name;
+  f.string = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+BenchReport::Record& BenchReport::add() {
+  records_.emplace_back();
+  return records_.back();
+}
+
+std::string BenchReport::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(name_);
+  w.key("records").begin_array();
+  for (const auto& record : records_) {
+    w.begin_object();
+    for (const auto& field : record.fields_) {
+      w.key(field.name);
+      if (field.is_number) {
+        w.value(field.number);
+      } else {
+        w.value(field.string);
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string BenchReport::output_path() const {
+  std::string dir;
+  if (const char* env = std::getenv("SPNHBM_BENCH_JSON_DIR")) dir = env;
+  if (!dir.empty() && dir.back() != '/') dir.push_back('/');
+  return dir + "BENCH_" + name_ + ".json";
+}
+
+void BenchReport::write() const {
+  const std::string path = output_path();
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open bench report file: " + path);
+  out << json() << "\n";
+  if (!out) throw Error("failed writing bench report file: " + path);
+}
+
+}  // namespace spnhbm::telemetry

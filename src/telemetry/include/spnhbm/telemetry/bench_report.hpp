@@ -1,0 +1,56 @@
+// Machine-readable benchmark records (BENCH_<name>.json).
+//
+// The fig*/table* report generators print human tables; BenchReport emits
+// the same numbers as a flat JSON record stream so the perf trajectory can
+// be tracked across commits without scraping stdout. Records are free-form
+// name -> number/string field lists; `write()` produces
+//
+//   {"bench": "<name>", "records": [{...}, {...}, ...]}
+//
+// in the current directory (or $SPNHBM_BENCH_JSON_DIR when set).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spnhbm::telemetry {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  class Record {
+   public:
+    Record& field(const std::string& name, double value);
+    Record& field(const std::string& name, const std::string& value);
+    Record& field(const std::string& name, const char* value) {
+      return field(name, std::string(value));
+    }
+
+   private:
+    friend class BenchReport;
+    struct Field {
+      std::string name;
+      bool is_number = false;
+      double number = 0.0;
+      std::string string;
+    };
+    std::vector<Field> fields_;
+  };
+
+  /// Appends a record; the reference stays valid until the next add().
+  Record& add();
+
+  std::string json() const;
+  /// Path the report will be written to (BENCH_<name>.json).
+  std::string output_path() const;
+  /// Writes the report; throws on I/O failure.
+  void write() const;
+
+ private:
+  std::string name_;
+  std::vector<Record> records_;
+};
+
+}  // namespace spnhbm::telemetry

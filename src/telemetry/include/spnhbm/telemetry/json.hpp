@@ -1,0 +1,77 @@
+// Minimal JSON writer and parser used by the telemetry layer.
+//
+// The writer is a streaming emitter (no DOM) for the metrics dump, the
+// Chrome trace file and the BENCH_*.json records; the parser builds a small
+// DOM and exists so tests and tools can validate that everything the
+// telemetry layer writes is well-formed and can be read back. Neither aims
+// to be a general-purpose JSON library: strings are UTF-8 passed through
+// with escaping of control characters, numbers are doubles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spnhbm::telemetry {
+
+/// Escapes a string for embedding in a JSON document (adds the quotes).
+std::string json_quote(const std::string& s);
+
+/// Formats a double the way JSON expects (no inf/nan; round-trippable).
+std::string json_number(double value);
+
+/// Streaming JSON emitter with automatic comma placement.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// Small JSON DOM node (null/bool/number/string/array/object).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool has(const std::string& name) const {
+    return kind == Kind::kObject && object.count(name) > 0;
+  }
+  const JsonValue& at(const std::string& name) const { return object.at(name); }
+};
+
+/// Parses a complete JSON document; throws spnhbm::Error on malformed input
+/// (including trailing garbage).
+JsonValue parse_json(const std::string& text);
+
+}  // namespace spnhbm::telemetry

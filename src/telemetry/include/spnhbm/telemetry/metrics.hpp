@@ -1,0 +1,140 @@
+// Thread-safe metrics registry: named counters, gauges and
+// exponential-bucket histograms with percentile estimation.
+//
+// The registry is the machine-readable side of the repo's statistics
+// story: hot components (HBM channels, the PCIe DMA engine, accelerator
+// cores, the inference server) hold shared_ptr handles to their metrics and
+// update them with relaxed atomics — safe from DES coroutines and from real
+// threads alike — and `spnhbm ... --metrics-out` dumps the whole registry
+// as JSON (or Prometheus text exposition) at the end of a run.
+//
+// Lifetime: handles returned by the registry are shared_ptr-backed, so
+// `reset()` (tests) detaches the registry without invalidating holders.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spnhbm::telemetry {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+struct HistogramOptions {
+  /// Upper bound of the first bucket.
+  double first_bucket = 1.0;
+  /// Geometric growth factor between bucket upper bounds.
+  double growth = 2.0;
+  /// Number of finite buckets; one implicit overflow bucket follows.
+  std::size_t bucket_count = 40;
+};
+
+/// Point-in-time copy of a histogram, with percentiles estimated by linear
+/// interpolation inside the containing bucket (the estimate's error is
+/// bounded by the bucket's relative width, i.e. the growth factor).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Bucket upper bounds and counts; the final entry is the overflow
+  /// bucket with an infinite upper bound.
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> bucket_counts;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// p in [0, 100].
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+  /// "n=…, mean=…, p50/p95/p99=…/…/…" (empty histogram: "n=0").
+  std::string summary() const;
+};
+
+/// Exponential-bucket histogram; record() is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void record(double value);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  const HistogramOptions& options() const { return options_; }
+  /// Upper bound of finite bucket `index`.
+  double upper_bound(std::size_t index) const;
+  HistogramSnapshot snapshot() const;
+
+ private:
+  HistogramOptions options_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< + overflow at back
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< double, CAS-accumulated
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+/// Named metric store. Get-or-create accessors are thread-safe and return
+/// stable shared handles; attach_* replaces an entry with an
+/// externally-owned instance (used by per-object stats like the inference
+/// server's latency histograms, so the registry always exposes the live
+/// instance).
+class MetricsRegistry {
+ public:
+  std::shared_ptr<Counter> counter(const std::string& name);
+  std::shared_ptr<Gauge> gauge(const std::string& name);
+  std::shared_ptr<Histogram> histogram(const std::string& name,
+                                       HistogramOptions options = {});
+
+  void attach_histogram(const std::string& name,
+                        std::shared_ptr<Histogram> histogram);
+
+  /// JSON document {"counters": {...}, "gauges": {...}, "histograms": ...}.
+  std::string json_dump() const;
+  /// Prometheus text exposition (names are sanitised to [a-zA-Z0-9_:]).
+  std::string prometheus_text() const;
+  /// Writes json_dump() to `path`; throws on I/O failure.
+  void write_json(const std::string& path) const;
+
+  /// Detaches every metric (holders keep theirs). Intended for tests.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Counter>> counters_;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges_;
+  std::map<std::string, std::shared_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry.
+MetricsRegistry& metrics();
+
+}  // namespace spnhbm::telemetry

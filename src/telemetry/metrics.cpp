@@ -1,0 +1,268 @@
+#include "spnhbm/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "spnhbm/telemetry/json.hpp"
+#include "spnhbm/util/error.hpp"
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::telemetry {
+
+namespace {
+
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = std::bit_cast<double>(expected) + delta;
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(updated),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void atomic_min_double(std::atomic<std::uint64_t>& bits, double value) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (value < std::bit_cast<double>(expected)) {
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(value),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void atomic_max_double(std::atomic<std::uint64_t>& bits, double value) {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (value > std::bit_cast<double>(expected)) {
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(value),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "spnhbm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // The overflow bucket has no finite upper edge: report the observed
+      // maximum. Also clamp interpolation to the observed min/max so tiny
+      // histograms do not report values outside the data.
+      if (i + 1 == bucket_counts.size()) return max;
+      const double lo = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double hi = upper_bounds[i];
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return std::clamp(lo + fraction * (hi - lo), min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+std::string HistogramSnapshot::summary() const {
+  if (count == 0) return "n=0";
+  return strformat("n=%llu, mean=%.1f, p50/p95/p99=%.1f/%.1f/%.1f",
+                   static_cast<unsigned long long>(count), mean(), p50(), p95(),
+                   p99());
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : options_(options),
+      buckets_(options.bucket_count + 1),
+      min_bits_(std::bit_cast<std::uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<std::uint64_t>(
+          -std::numeric_limits<double>::infinity())) {
+  SPNHBM_REQUIRE(options_.first_bucket > 0.0, "first bucket must be positive");
+  SPNHBM_REQUIRE(options_.growth > 1.0, "growth factor must exceed 1");
+  SPNHBM_REQUIRE(options_.bucket_count >= 1, "need at least one bucket");
+}
+
+double Histogram::upper_bound(std::size_t index) const {
+  return options_.first_bucket *
+         std::pow(options_.growth, static_cast<double>(index));
+}
+
+void Histogram::record(double value) {
+  // Bucket index by logarithm: first bucket catches (-inf, first_bucket].
+  std::size_t index = 0;
+  if (value > options_.first_bucket) {
+    index = static_cast<std::size_t>(
+        std::ceil(std::log(value / options_.first_bucket) /
+                  std::log(options_.growth)));
+    index = std::min(index, buckets_.size() - 1);
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, value);
+  atomic_min_double(min_bits_, value);
+  atomic_max_double(max_bits_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  if (snap.count > 0) {
+    snap.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+    snap.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  }
+  snap.upper_bounds.reserve(buckets_.size());
+  snap.bucket_counts.reserve(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    snap.upper_bounds.push_back(
+        i + 1 == buckets_.size() ? std::numeric_limits<double>::infinity()
+                                 : upper_bound(i));
+    snap.bucket_counts.push_back(buckets_[i].load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_shared<Counter>();
+  return slot;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_shared<Gauge>();
+  return slot;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::histogram(const std::string& name,
+                                                      HistogramOptions options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_shared<Histogram>(options);
+  return slot;
+}
+
+void MetricsRegistry::attach_histogram(const std::string& name,
+                                       std::shared_ptr<Histogram> histogram) {
+  SPNHBM_REQUIRE(histogram != nullptr, "attach of null histogram");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[name] = std::move(histogram);
+}
+
+std::string MetricsRegistry::json_dump() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, counter] : counters_) {
+    w.key(name).value(counter->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, gauge] : gauges_) {
+    w.key(name).value(gauge->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->snapshot();
+    w.key(name).begin_object();
+    w.key("count").value(snap.count);
+    w.key("sum").value(snap.sum);
+    w.key("min").value(snap.min);
+    w.key("max").value(snap.max);
+    w.key("mean").value(snap.mean());
+    w.key("p50").value(snap.p50());
+    w.key("p95").value(snap.p95());
+    w.key("p99").value(snap.p99());
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      if (snap.bucket_counts[i] == 0) continue;  // sparse: skip empty buckets
+      w.begin_object();
+      w.key("le").value(snap.upper_bounds[i]);
+      w.key("count").value(snap.bucket_counts[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string id = prometheus_name(name);
+    out += "# TYPE " + id + " counter\n";
+    out += id + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string id = prometheus_name(name);
+    out += "# TYPE " + id + " gauge\n";
+    out += id + " " + json_number(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string id = prometheus_name(name);
+    const HistogramSnapshot snap = histogram->snapshot();
+    out += "# TYPE " + id + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      cumulative += snap.bucket_counts[i];
+      if (snap.bucket_counts[i] == 0 && i + 1 != snap.bucket_counts.size()) {
+        continue;
+      }
+      const std::string le = i + 1 == snap.bucket_counts.size()
+                                 ? std::string("+Inf")
+                                 : json_number(snap.upper_bounds[i]);
+      out += id + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += id + "_sum " + json_number(snap.sum) + "\n";
+    out += id + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open metrics output file: " + path);
+  out << json_dump() << "\n";
+  if (!out) throw Error("failed writing metrics output file: " + path);
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace spnhbm::telemetry

@@ -2,9 +2,18 @@
 //
 // The simulator and runtime are chatty at Debug level (per-burst events);
 // benchmarks run at Warn. The level is a process-global atomic so tests can
-// flip it without synchronisation concerns.
+// flip it without synchronisation concerns. Each line carries the wall-clock
+// time and emitting thread so interleaved server/runtime output stays
+// attributable:
+//
+//   2026-08-05T12:34:56.789 [INFO] (t=140215) server: listening
+//
+// The initial level comes from the SPNHBM_LOG_LEVEL environment variable
+// when set (debug|info|warn|error|off, case-insensitive; numeric 0-4 also
+// accepted) and defaults to Warn otherwise.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -15,9 +24,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Parses "debug"/"info"/"warn"/"error"/"off" (any case) or "0".."4".
+/// Returns nullopt for anything else. Used for SPNHBM_LOG_LEVEL.
+std::optional<LogLevel> parse_log_level(const std::string& text);
+
 /// Emits one formatted line to stderr if `level` is enabled.
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
+
+/// Formats the prefix of a log line (timestamp, level, thread id,
+/// component) without emitting it; exposed for tests.
+std::string format_log_prefix(LogLevel level, const std::string& component);
 
 namespace detail {
 class LogLine {

@@ -1,13 +1,32 @@
 #include "spnhbm/util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
 #include <mutex>
+#include <thread>
 
 namespace spnhbm {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("SPNHBM_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+    std::fprintf(stderr, "spnhbm: ignoring invalid SPNHBM_LOG_LEVEL=%s\n", env);
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& level_atomic() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
 std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
@@ -20,20 +39,69 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Short stable id for the calling thread (dense counter, not the opaque
+/// std::thread::id hash) so log lines stay readable.
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 }  // namespace
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() {
+  return level_atomic().load(std::memory_order_relaxed);
+}
 
 void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+  level_atomic().store(level, std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2")
+    return LogLevel::kWarn;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::string format_log_prefix(LogLevel level, const std::string& component) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  localtime_s(&tm, &seconds);
+#else
+  localtime_r(&seconds, &tm);
+#endif
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &tm);
+  char prefix[160];
+  std::snprintf(prefix, sizeof(prefix), "%s.%03d [%s] (t=%u) %s", stamp,
+                static_cast<int>(millis), level_name(level), thread_ordinal(),
+                component.c_str());
+  return prefix;
 }
 
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const std::string prefix = format_log_prefix(level, component);
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
-               message.c_str());
+  std::fprintf(stderr, "%s: %s\n", prefix.c_str(), message.c_str());
 }
 
 }  // namespace spnhbm

@@ -322,6 +322,49 @@ TEST(Server, SubmitValidatesRequests) {
   EXPECT_THROW(server.submit(make_request(1, 0)), std::logic_error);
 }
 
+TEST(Server, StatsCarryLatencyAndQueueWaitDistributions) {
+  auto mock = std::make_shared<MockEngine>();
+  engine::ServerConfig config;
+  config.batch_samples = 8;
+  engine::InferenceServer server(config);
+  server.register_engine(mock);
+  server.start();
+
+  const std::size_t k = 6;
+  std::vector<std::vector<std::uint8_t>> requests;
+  std::vector<std::future<std::vector<double>>> futures;
+  for (std::size_t r = 0; r < k; ++r) {
+    requests.push_back(make_request(2, static_cast<std::uint8_t>(r)));
+    futures.push_back(server.submit(requests.back()));
+  }
+  for (auto& f : futures) f.get();
+  server.stop();
+
+  const engine::ServerStats stats = server.stats();
+  // One latency sample per completed request, one queue-wait sample per
+  // request whose first slice dispatched, one fill sample per batch.
+  EXPECT_EQ(stats.request_latency_us.count, k);
+  EXPECT_EQ(stats.queue_wait_us.count, k);
+  EXPECT_EQ(stats.batch_fill_samples.count, stats.batches);
+  EXPECT_GT(stats.request_latency_us.max, 0.0);
+  EXPECT_GE(stats.request_latency_us.p99(), stats.request_latency_us.p50());
+  // Queue wait is a prefix of the end-to-end latency.
+  EXPECT_LE(stats.queue_wait_us.p50(), stats.request_latency_us.max);
+  EXPECT_DOUBLE_EQ(stats.batch_fill_samples.sum,
+                   static_cast<double>(stats.samples));
+
+  const std::string description = stats.describe();
+  EXPECT_NE(description.find("latency us p50/p95/p99="), std::string::npos);
+  EXPECT_NE(description.find("queue wait us p50/p99="), std::string::npos);
+}
+
+TEST(Server, EmptyStatsDescribeOmitsLatencySection) {
+  engine::InferenceServer server;
+  server.register_engine(std::make_shared<MockEngine>());
+  const std::string description = server.stats().describe();
+  EXPECT_EQ(description.find("latency us"), std::string::npos);
+}
+
 TEST(Server, DefaultBatchSizeIsTheSmallestEnginePreference) {
   MockEngine::Config small;
   small.preferred_batch_samples = 32;

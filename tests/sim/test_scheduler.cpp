@@ -73,5 +73,31 @@ TEST(Scheduler, StepReturnsFalseWhenEmpty) {
   EXPECT_TRUE(scheduler.empty());
 }
 
+// Regression: events_processed() used to report the number of events ever
+// *scheduled* (the FIFO tie-break sequence), not the number executed.
+TEST(Scheduler, CountsProcessedEventsNotScheduledOnes) {
+  Scheduler scheduler;
+  for (int i = 0; i < 5; ++i) {
+    scheduler.call_at(100 * (i + 1), [] {});
+  }
+  EXPECT_EQ(scheduler.events_scheduled(), 5u);
+  EXPECT_EQ(scheduler.events_processed(), 0u);  // nothing has run yet
+
+  scheduler.run_until(250);
+  EXPECT_EQ(scheduler.events_processed(), 2u);
+
+  scheduler.run();
+  EXPECT_EQ(scheduler.events_processed(), 5u);
+  EXPECT_EQ(scheduler.events_scheduled(), 5u);
+
+  // Events scheduled from inside callbacks count once executed.
+  scheduler.call_at(scheduler.now() + 1, [&scheduler] {
+    scheduler.call_at(scheduler.now() + 1, [] {});
+  });
+  scheduler.run();
+  EXPECT_EQ(scheduler.events_processed(), 7u);
+  EXPECT_EQ(scheduler.events_scheduled(), 7u);
+}
+
 }  // namespace
 }  // namespace spnhbm::sim

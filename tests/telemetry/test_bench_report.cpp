@@ -1,0 +1,64 @@
+#include "spnhbm/telemetry/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "spnhbm/telemetry/json.hpp"
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::telemetry {
+namespace {
+
+TEST(BenchReport, JsonStructureParsesBack) {
+  BenchReport report("fig_test");
+  report.add()
+      .field("request_bytes", 4096.0)
+      .field("config", "native")
+      .field("gib_per_s", 3.25);
+  report.add().field("request_bytes", 65536.0);
+
+  const JsonValue doc = parse_json(report.json());
+  EXPECT_EQ(doc.at("bench").string, "fig_test");
+  ASSERT_TRUE(doc.at("records").is_array());
+  ASSERT_EQ(doc.at("records").array.size(), 2u);
+  const JsonValue& first = doc.at("records").array[0];
+  EXPECT_DOUBLE_EQ(first.at("request_bytes").number, 4096.0);
+  EXPECT_EQ(first.at("config").string, "native");
+  EXPECT_DOUBLE_EQ(first.at("gib_per_s").number, 3.25);
+  EXPECT_FALSE(doc.at("records").array[1].has("config"));
+}
+
+TEST(BenchReport, EmptyReportIsValid) {
+  BenchReport report("empty");
+  const JsonValue doc = parse_json(report.json());
+  EXPECT_EQ(doc.at("records").array.size(), 0u);
+}
+
+TEST(BenchReport, OutputPathHonoursEnvironmentOverride) {
+  ::unsetenv("SPNHBM_BENCH_JSON_DIR");
+  BenchReport report("micro");
+  EXPECT_EQ(report.output_path(), "BENCH_micro.json");
+
+  ::setenv("SPNHBM_BENCH_JSON_DIR", "/tmp/bench-out", 1);
+  EXPECT_EQ(report.output_path(), "/tmp/bench-out/BENCH_micro.json");
+  ::setenv("SPNHBM_BENCH_JSON_DIR", "/tmp/bench-out/", 1);
+  EXPECT_EQ(report.output_path(), "/tmp/bench-out/BENCH_micro.json");
+  ::unsetenv("SPNHBM_BENCH_JSON_DIR");
+}
+
+TEST(BenchReport, RejectsEmptyName) {
+  EXPECT_THROW(BenchReport(""), std::logic_error);
+}
+
+TEST(BenchReport, WriteFailureThrows) {
+  ::setenv("SPNHBM_BENCH_JSON_DIR", "/nonexistent-dir-for-test", 1);
+  BenchReport report("unwritable");
+  report.add().field("x", 1.0);
+  EXPECT_THROW(report.write(), Error);
+  ::unsetenv("SPNHBM_BENCH_JSON_DIR");
+}
+
+}  // namespace
+}  // namespace spnhbm::telemetry

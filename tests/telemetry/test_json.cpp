@@ -1,0 +1,81 @@
+#include "spnhbm/telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::telemetry {
+namespace {
+
+TEST(JsonQuote, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+}
+
+TEST(JsonWriter, PlacesCommasAutomatically) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array().value(2).value(3).end_array();
+  w.key("c").begin_object().key("d").value(true).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,3],"c":{"d":true}})");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("bench");
+  w.key("values").begin_array().value(1.5).value(-2.0).end_array();
+  w.key("empty").begin_object().end_object();
+  w.end_object();
+
+  const JsonValue doc = parse_json(w.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").string, "bench");
+  ASSERT_TRUE(doc.at("values").is_array());
+  ASSERT_EQ(doc.at("values").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("values").array[0].number, 1.5);
+  EXPECT_DOUBLE_EQ(doc.at("values").array[1].number, -2.0);
+  EXPECT_TRUE(doc.at("empty").is_object());
+}
+
+TEST(JsonParse, HandlesEscapesAndLiterals) {
+  const JsonValue doc =
+      parse_json(R"({"s": "a\"\\\n\tb", "t": true, "f": false, "n": null})");
+  EXPECT_EQ(doc.at("s").string, "a\"\\\n\tb");
+  EXPECT_TRUE(doc.at("t").boolean);
+  EXPECT_FALSE(doc.at("f").boolean);
+  EXPECT_EQ(doc.at("n").kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("[1, 2,]"), Error);
+  EXPECT_THROW(parse_json("{\"a\": 1} trailing"), Error);
+  EXPECT_THROW(parse_json("{'a': 1}"), Error);
+}
+
+TEST(JsonNumber, AvoidsNonFiniteTokens) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  // Infinities and NaN have no JSON number representation and must map to a
+  // token that still parses (null).
+  const JsonValue parsed =
+      parse_json("[" + json_number(std::numeric_limits<double>::infinity()) +
+                 "]");
+  ASSERT_EQ(parsed.array.size(), 1u);
+  // Non-integers round-trip exactly.
+  const double pi = 3.141592653589793;
+  EXPECT_DOUBLE_EQ(parse_json(json_number(pi)).number, pi);
+}
+
+}  // namespace
+}  // namespace spnhbm::telemetry

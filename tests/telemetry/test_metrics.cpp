@@ -1,0 +1,213 @@
+#include "spnhbm/telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <limits>
+#include <vector>
+
+#include "spnhbm/telemetry/json.hpp"
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/util/stats.hpp"
+#include "spnhbm/util/thread_pool.hpp"
+
+namespace spnhbm::telemetry {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  Counter counter;
+  ThreadPool pool(4);
+  constexpr std::uint64_t kPerTask = 10'000;
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.submit([&counter] {
+      for (std::uint64_t i = 0; i < kPerTask; ++i) counter.add();
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.value(), 8 * kPerTask);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(Histogram, BucketBoundariesGrowGeometrically) {
+  Histogram histogram({.first_bucket = 1.0, .growth = 2.0, .bucket_count = 8});
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(histogram.upper_bound(i), std::pow(2.0, double(i)));
+  }
+
+  // A value exactly on a bucket's upper bound lands in that bucket; one just
+  // above it lands in the next.
+  histogram.record(1.0);
+  histogram.record(1.0001);
+  histogram.record(4.0);
+  histogram.record(1e9);  // overflow bucket
+  const HistogramSnapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 9u);  // 8 finite + overflow
+  EXPECT_EQ(snap.bucket_counts[0], 1u);
+  EXPECT_EQ(snap.bucket_counts[1], 1u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_EQ(snap.bucket_counts.back(), 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.min, 1.0);
+  EXPECT_EQ(snap.max, 1e9);
+  EXPECT_TRUE(std::isinf(snap.upper_bounds.back()));
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  Histogram histogram;
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.percentile(50.0), 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.summary(), "n=0");
+}
+
+// The histogram's percentile estimate interpolates inside exponential
+// buckets, so its error against the exact (sorted-sample) percentile is
+// bounded by one bucket's relative width — a factor of `growth`.
+TEST(Histogram, PercentilesMatchExactWithinBucketResolution) {
+  Histogram histogram(
+      {.first_bucket = 1.0, .growth = 1.5, .bucket_count = 64});
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) {
+    // Log-uniform over ~[1, 8e3] to exercise many buckets.
+    const double u = static_cast<double>(rng.next_below(1'000'000)) / 1e6;
+    values.push_back(std::exp(u * 9.0));
+    histogram.record(values.back());
+  }
+  const HistogramSnapshot snap = histogram.snapshot();
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const double exact = percentile(values, p);
+    const double estimated = snap.percentile(p);
+    EXPECT_GE(estimated, exact / 1.5) << "p" << p;
+    EXPECT_LE(estimated, exact * 1.5) << "p" << p;
+  }
+  EXPECT_NEAR(snap.mean(),
+              snap.sum / static_cast<double>(snap.count), 1e-9);
+}
+
+TEST(Histogram, PercentileClampedToObservedRange) {
+  Histogram histogram;
+  histogram.record(100.0);
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.percentile(0.0), 100.0);
+  EXPECT_EQ(snap.percentile(50.0), 100.0);
+  EXPECT_EQ(snap.percentile(100.0), 100.0);
+}
+
+TEST(Histogram, ConcurrentRecordsAreLossless) {
+  Histogram histogram;
+  ThreadPool pool(4);
+  constexpr int kPerTask = 5'000;
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.submit([&histogram, t] {
+      for (int i = 0; i < kPerTask; ++i) {
+        histogram.record(static_cast<double>(t + 1));
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 8u * kPerTask);
+  // Sum accumulates via CAS, so it is exact for these integer values:
+  // 5000 * (1 + 2 + ... + 8).
+  EXPECT_DOUBLE_EQ(snap.sum, kPerTask * 36.0);
+  EXPECT_EQ(snap.min, 1.0);
+  EXPECT_EQ(snap.max, 8.0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  const auto a = registry.counter("requests");
+  const auto b = registry.counter("requests");
+  EXPECT_EQ(a, b);
+  a->add(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_NE(registry.counter("other"), a);
+}
+
+TEST(MetricsRegistry, AttachHistogramReplacesEntry) {
+  MetricsRegistry registry;
+  const auto original = registry.histogram("latency");
+  original->record(1.0);
+  const auto replacement = std::make_shared<Histogram>();
+  replacement->record(2.0);
+  replacement->record(3.0);
+  registry.attach_histogram("latency", replacement);
+  EXPECT_EQ(registry.histogram("latency")->count(), 2u);
+  // The original holder's handle stays valid.
+  EXPECT_EQ(original->count(), 1u);
+}
+
+TEST(MetricsRegistry, JsonDumpParsesBack) {
+  MetricsRegistry registry;
+  registry.counter("hbm.bursts")->add(7);
+  registry.gauge("sim.virtual_seconds")->set(0.125);
+  const auto histogram = registry.histogram("latency_us");
+  histogram->record(10.0);
+  histogram->record(1000.0);
+
+  const JsonValue doc = parse_json(registry.json_dump());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("hbm.bursts").number, 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("sim.virtual_seconds").number, 0.125);
+  const JsonValue& latency = doc.at("histograms").at("latency_us");
+  EXPECT_DOUBLE_EQ(latency.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(latency.at("sum").number, 1010.0);
+  EXPECT_DOUBLE_EQ(latency.at("min").number, 10.0);
+  EXPECT_DOUBLE_EQ(latency.at("max").number, 1000.0);
+  ASSERT_TRUE(latency.at("buckets").is_array());
+  // Sparse bucket encoding: only the two non-empty buckets appear.
+  EXPECT_EQ(latency.at("buckets").array.size(), 2u);
+}
+
+TEST(MetricsRegistry, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.counter("pcie.bytes-h2d")->add(64);
+  registry.gauge("queue.depth")->set(3.0);
+  registry.histogram("wait_us")->record(5.0);
+
+  const std::string text = registry.prometheus_text();
+  // Names are sanitised to the Prometheus character set.
+  EXPECT_NE(text.find("# TYPE spnhbm_pcie_bytes_h2d counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("spnhbm_pcie_bytes_h2d 64"), std::string::npos);
+  EXPECT_NE(text.find("spnhbm_queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("spnhbm_wait_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("spnhbm_wait_us_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetDetachesWithoutInvalidatingHolders) {
+  MetricsRegistry registry;
+  const auto counter = registry.counter("c");
+  counter->add(5);
+  registry.reset();
+  EXPECT_EQ(counter->value(), 5u);           // holder unaffected
+  EXPECT_EQ(registry.counter("c")->value(), 0u);  // registry starts fresh
+}
+
+TEST(GlobalMetrics, IsASingleton) {
+  EXPECT_EQ(&metrics(), &metrics());
+}
+
+}  // namespace
+}  // namespace spnhbm::telemetry

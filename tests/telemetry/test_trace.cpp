@@ -1,0 +1,141 @@
+#include "spnhbm/telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "spnhbm/telemetry/json.hpp"
+
+namespace spnhbm::telemetry {
+namespace {
+
+TEST(Trace, DisabledPathAllocatesNothingAndDropsEverything) {
+  Tracer t;
+  ASSERT_FALSE(t.enabled());
+
+  const TrackId track = t.register_track("hbm/ch0", TraceClock::kVirtual);
+  EXPECT_EQ(track, 0u);  // null track while disabled
+
+  t.complete_virtual(track, "rd", 0, 100);
+  t.instant_virtual(track, "evt", 50);
+  t.counter_virtual(track, "depth", 10, 3.0);
+  t.complete_wall(track, "batch", Tracer::wall_now(), Tracer::wall_now());
+  { const Tracer::WallSpan span(t, track, "scoped"); }
+
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_EQ(t.track_count(), 0u);
+  // The zero-allocation guarantee: the event buffer was never touched.
+  EXPECT_EQ(t.event_buffer_capacity(), 0u);
+}
+
+TEST(Trace, CollectsSpansInstantsAndCounters) {
+  Tracer t;
+  t.enable();
+  const TrackId hbm = t.register_track("hbm/ch0", TraceClock::kVirtual);
+  const TrackId pcie = t.register_track("pcie/dma", TraceClock::kVirtual);
+  ASSERT_NE(hbm, 0u);
+  ASSERT_NE(pcie, 0u);
+  EXPECT_NE(hbm, pcie);
+
+  t.complete_virtual(hbm, "rd", 1'000'000, 3'000'000);  // 1us..3us
+  t.instant_virtual(pcie, "irq", 2'000'000);
+  t.counter_virtual(hbm, "depth", 2'500'000, 4.0);
+  EXPECT_EQ(t.event_count(), 3u);
+  EXPECT_EQ(t.track_count(), 2u);
+}
+
+TEST(Trace, ChromeTraceJsonParsesBackWithTrackMetadata) {
+  Tracer t;
+  t.enable();
+  const TrackId hbm = t.register_track("hbm/ch0", TraceClock::kVirtual);
+  const TrackId worker = t.register_track("server/worker0", TraceClock::kWall);
+  t.complete_virtual(hbm, "rd", 1'000'000, 3'000'000);
+  {
+    const Tracer::WallSpan span(t, worker, "batch");
+  }
+
+  const JsonValue doc = parse_json(t.chrome_trace_json());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  const auto& events = doc.at("traceEvents").array;
+
+  bool saw_hbm_name = false, saw_worker_name = false;
+  bool saw_span = false, saw_wall_span = false;
+  for (const JsonValue& e : events) {
+    const std::string ph = e.at("ph").string;
+    if (ph == "M" && e.at("name").string == "thread_name") {
+      const std::string name = e.at("args").at("name").string;
+      if (name == "hbm/ch0") {
+        saw_hbm_name = true;
+        // Virtual-clock tracks live in the virtual-time "process".
+        EXPECT_DOUBLE_EQ(e.at("pid").number, 2.0);
+      }
+      if (name == "server/worker0") {
+        saw_worker_name = true;
+        EXPECT_DOUBLE_EQ(e.at("pid").number, 1.0);
+      }
+    }
+    if (ph == "X" && e.at("name").string == "rd") {
+      saw_span = true;
+      EXPECT_DOUBLE_EQ(e.at("ts").number, 1.0);  // microseconds
+      EXPECT_DOUBLE_EQ(e.at("dur").number, 2.0);
+      EXPECT_DOUBLE_EQ(e.at("tid").number, static_cast<double>(hbm));
+      EXPECT_EQ(e.at("cat").string, "sim");
+    }
+    if (ph == "X" && e.at("name").string == "batch") {
+      saw_wall_span = true;
+      EXPECT_GE(e.at("dur").number, 0.0);
+      EXPECT_EQ(e.at("cat").string, "wall");
+    }
+  }
+  EXPECT_TRUE(saw_hbm_name);
+  EXPECT_TRUE(saw_worker_name);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_wall_span);
+}
+
+TEST(Trace, ReenableClearsPreviousRunAndDropsStaleTracks) {
+  Tracer t;
+  t.enable();
+  const TrackId stale = t.register_track("old/track", TraceClock::kVirtual);
+  t.complete_virtual(stale, "old", 0, 10);
+  EXPECT_EQ(t.event_count(), 1u);
+
+  t.enable();  // restart
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_EQ(t.track_count(), 0u);
+  // Events on a track id from the previous run are dropped, not misfiled.
+  t.complete_virtual(stale, "zombie", 0, 10);
+  EXPECT_EQ(t.event_count(), 0u);
+
+  const TrackId fresh = t.register_track("new/track", TraceClock::kVirtual);
+  t.complete_virtual(fresh, "live", 0, 10);
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST(Trace, DisableStopsCollectionButKeepsCollectedEvents) {
+  Tracer t;
+  t.enable();
+  const TrackId track = t.register_track("a", TraceClock::kVirtual);
+  t.complete_virtual(track, "kept", 0, 10);
+  t.disable();
+  t.complete_virtual(track, "dropped", 20, 30);
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST(Trace, EmptyTraceIsStillValidJson) {
+  Tracer t;
+  t.enable();
+  const JsonValue doc = parse_json(t.chrome_trace_json());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+}
+
+TEST(Trace, GlobalTracerIsASingleton) {
+  EXPECT_EQ(&tracer(), &tracer());
+  // The build's default: tracing off unless a CLI flag enables it. Other
+  // tests here only use local tracers, so the global must still be off.
+  EXPECT_FALSE(tracer().enabled());
+}
+
+}  // namespace
+}  // namespace spnhbm::telemetry

@@ -1,0 +1,55 @@
+#include "spnhbm/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spnhbm {
+namespace {
+
+TEST(ParseLogLevel, AcceptsNamesAnyCase) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST(ParseLogLevel, AcceptsNumericLevels) {
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("1"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("2"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("4"), LogLevel::kOff);
+}
+
+TEST(ParseLogLevel, RejectsGarbage) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("5"), std::nullopt);
+  EXPECT_EQ(parse_log_level("-1"), std::nullopt);
+  EXPECT_EQ(parse_log_level("1x"), std::nullopt);
+}
+
+TEST(LogPrefix, CarriesTimestampLevelThreadAndComponent) {
+  const std::string prefix = format_log_prefix(LogLevel::kInfo, "server");
+  // 2026-08-05T12:34:56.789 [INFO] (t=0) server
+  EXPECT_NE(prefix.find("[INFO]"), std::string::npos);
+  EXPECT_NE(prefix.find("(t="), std::string::npos);
+  EXPECT_NE(prefix.find("server"), std::string::npos);
+  EXPECT_NE(prefix.find("T"), std::string::npos);   // ISO date/time separator
+  EXPECT_NE(prefix.find('.'), std::string::npos);   // millisecond part
+  EXPECT_NE(format_log_prefix(LogLevel::kError, "x").find("[ERROR]"),
+            std::string::npos);
+}
+
+TEST(LogLevelControl, SetAndGetRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+  EXPECT_EQ(log_level(), before);
+}
+
+}  // namespace
+}  // namespace spnhbm

@@ -10,7 +10,11 @@
 //
 //   spnhbm simulate <spn.txt> [--format ...] [--pes N] [--threads N]
 //                   [--samples N] [--no-transfers] [--pcie GEN]
+//                   [--metrics-out FILE] [--trace-out FILE]
 //       Run the timing simulation and print end-to-end statistics.
+//       --metrics-out dumps the metrics registry as JSON; --trace-out
+//       writes a Chrome trace-event JSON (virtual-time swim lanes per HBM
+//       channel, PCIe DMA, PE and control thread) for Perfetto.
 //
 //   spnhbm infer <spn.txt> <samples.csv> [--engine fpga|cpu|gpu]
 //       Run real samples (one CSV row of byte features per line) through
@@ -20,7 +24,7 @@
 //   spnhbm serve <spn.txt> --requests <samples.csv>
 //                [--engines fpga,cpu,gpu] [--format ...] [--pes N]
 //                [--batch N] [--max-latency-us U] [--queue-bound N]
-//                [--policy rr|load]
+//                [--policy rr|load] [--metrics-out FILE] [--trace-out FILE]
 //       Replay each CSV row as an independent single-sample request
 //       through the async batching InferenceServer; print one probability
 //       per line plus the server/engine statistics.
@@ -51,6 +55,8 @@
 #include "spnhbm/spn/learn.hpp"
 #include "spnhbm/spn/queries.hpp"
 #include "spnhbm/spn/text_format.hpp"
+#include "spnhbm/telemetry/metrics.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace {
@@ -110,6 +116,35 @@ std::string read_file(const std::string& path) {
   buffer << in.rdbuf();
   return buffer.str();
 }
+
+/// Handles --metrics-out / --trace-out. Tracing must be switched on before
+/// the instrumented stack is constructed (tracks register only while the
+/// tracer is enabled), so commands call enable_telemetry() first and
+/// write_telemetry() after the run.
+struct TelemetryOutputs {
+  std::string metrics_path;
+  std::string trace_path;
+
+  static TelemetryOutputs from_args(const Args& args) {
+    TelemetryOutputs outputs;
+    outputs.metrics_path = args.option("metrics-out", "");
+    outputs.trace_path = args.option("trace-out", "");
+    if (!outputs.trace_path.empty()) telemetry::tracer().enable();
+    return outputs;
+  }
+
+  void write() const {
+    if (!metrics_path.empty()) {
+      telemetry::metrics().write_json(metrics_path);
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      telemetry::tracer().write_chrome_trace(trace_path);
+      std::fprintf(stderr, "trace written to %s (load in ui.perfetto.dev)\n",
+                   trace_path.c_str());
+    }
+  }
+};
 
 std::unique_ptr<arith::ArithBackend> backend_for(const std::string& name) {
   if (name == "cfp") return arith::make_cfp_backend(arith::paper_cfp_format());
@@ -175,6 +210,7 @@ int cmd_resources(const Args& args) {
 
 int cmd_simulate(const Args& args) {
   if (args.positional.empty()) usage();
+  const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
   const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
   const auto backend = backend_for(args.option("format", "cfp"));
   const auto module = compiler::compile_spn(model, *backend);
@@ -195,6 +231,13 @@ int cmd_simulate(const Args& args) {
       std::atoll(args.option("samples", "4000000").c_str()));
   const auto stats = rt.run(samples);
   std::printf("%s\n", stats.describe().c_str());
+
+  auto& registry = telemetry::metrics();
+  registry.gauge("sim.virtual_seconds")->set(to_seconds(scheduler.now()));
+  registry.gauge("sim.events_processed")
+      ->set(static_cast<double>(scheduler.events_processed()));
+  registry.gauge("sim.samples_per_second")->set(stats.samples_per_second);
+  telemetry_outputs.write();
   return 0;
 }
 
@@ -233,6 +276,7 @@ int cmd_infer(const Args& args) {
 
 int cmd_serve(const Args& args) {
   if (args.positional.empty()) usage();
+  const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
   const std::string requests_path = args.option("requests", "");
   if (requests_path.empty()) usage();
   const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
@@ -286,6 +330,7 @@ int cmd_serve(const Args& args) {
                 server.engine(i).capabilities().name.c_str(),
                 server.engine(i).stats().describe().c_str());
   }
+  telemetry_outputs.write();
   return 0;
 }
 
