@@ -1,0 +1,69 @@
+#include "spnhbm/engine/chaos_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "spnhbm/fault/fault.hpp"
+
+namespace spnhbm::engine {
+
+namespace {
+// Hard cap on injected wall-clock sleeps: long enough to trip any
+// realistic request deadline, short enough that server shutdown joins
+// the worker thread promptly. A "hang" is a bounded stall, not a real
+// wedge — the server's deadline/quarantine machinery is what turns it
+// into a client-visible behaviour.
+constexpr double kMaxSleepUs = 500'000.0;
+}  // namespace
+
+ChaosEngine::ChaosEngine(std::unique_ptr<InferenceEngine> inner)
+    : inner_(std::move(inner)) {
+  SPNHBM_REQUIRE(inner_ != nullptr, "chaos engine needs an inner engine");
+}
+
+const EngineCapabilities& ChaosEngine::capabilities() const {
+  return inner_->capabilities();
+}
+
+void ChaosEngine::apply(const char* site) {
+  if (!fault::injector().armed()) return;
+  const fault::FaultDecision decision =
+      fault::injector().decide(site, inner_->capabilities().name);
+  switch (decision.kind) {
+    case fault::FaultKind::kFail:
+    case fault::FaultKind::kCorrupt:
+      throw EngineFaultError(inner_->capabilities().name + " " + site +
+                             " (injected)");
+    case fault::FaultKind::kStall:
+    case fault::FaultKind::kDelay:
+    case fault::FaultKind::kHang: {
+      const double sleep_us = std::min(decision.duration_us, kMaxSleepUs);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(sleep_us));
+      break;
+    }
+    case fault::FaultKind::kNone:
+      break;
+  }
+}
+
+BatchHandle ChaosEngine::submit(std::span<const std::uint8_t> samples,
+                                std::span<double> results) {
+  apply("engine.submit");
+  return inner_->submit(samples, results);
+}
+
+void ChaosEngine::wait(BatchHandle handle) {
+  apply("engine.wait");
+  inner_->wait(handle);
+}
+
+double ChaosEngine::measure_throughput(std::uint64_t sample_count) {
+  return inner_->measure_throughput(sample_count);
+}
+
+EngineStats ChaosEngine::stats() const { return inner_->stats(); }
+
+}  // namespace spnhbm::engine

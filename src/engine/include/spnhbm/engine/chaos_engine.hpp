@@ -1,0 +1,49 @@
+// Chaos decorator for inference engines.
+//
+// Wraps any InferenceEngine and consults the global fault::FaultInjector
+// at the submit()/wait() boundary — the seam the InferenceServer drives —
+// so fault plans can make a *whole engine* misbehave (reject batches,
+// respond slowly, appear hung) without the underlying backend knowing.
+// Substrate-level faults (HBM, DMA, PE launch) are injected inside the
+// simulation instead; this decorator is for host-side failure modes and
+// for backends (native CPU, GPU model) that have no simulated substrate.
+//
+// Sites: "engine.submit" and "engine.wait", instance = the wrapped
+// engine's capabilities().name.
+#pragma once
+
+#include <memory>
+
+#include "spnhbm/engine/engine.hpp"
+
+namespace spnhbm::engine {
+
+/// The engine rejected or aborted a batch (injected fault). Retryable:
+/// the batch state lives entirely in the caller's buffers.
+class EngineFaultError : public Error {
+ public:
+  explicit EngineFaultError(const std::string& what)
+      : Error("engine fault: " + what) {}
+};
+
+class ChaosEngine final : public InferenceEngine {
+ public:
+  explicit ChaosEngine(std::unique_ptr<InferenceEngine> inner);
+
+  const EngineCapabilities& capabilities() const override;
+  BatchHandle submit(std::span<const std::uint8_t> samples,
+                     std::span<double> results) override;
+  void wait(BatchHandle handle) override;
+  double measure_throughput(std::uint64_t sample_count) override;
+  EngineStats stats() const override;
+
+  InferenceEngine& inner() { return *inner_; }
+
+ private:
+  /// Consults the injector for `site`; throws / sleeps as decided.
+  void apply(const char* site);
+
+  std::unique_ptr<InferenceEngine> inner_;
+};
+
+}  // namespace spnhbm::engine

@@ -1,4 +1,5 @@
-// Async batching request scheduler over N registered inference engines.
+// Async batching request scheduler over N registered inference engines,
+// with self-healing dispatch.
 //
 // Clients submit() independent requests of any sample count; the server
 //   * queues them, bounded: once queued + in-flight samples reach
@@ -14,11 +15,35 @@
 //     split across batches — possibly landing on different engines —
 //     resolves when its last slice completes.
 //
-// Threading model: one dispatcher thread forms batches; one worker thread
-// per engine drives submit()/wait(), so an engine never sees concurrent
-// calls. Requests may be queued before start(); they are dispatched as
-// soon as the threads run, which also gives tests a deterministic
-// coalescing path (queue everything, then start + stop).
+// Self-healing (the fault-tolerance layer over the same machinery):
+//   * a failed batch is retried up to RetryPolicy::max_attempts times with
+//     capped exponential backoff and deterministic jitter, preferring a
+//     *different* engine on the retry (failover); only when the budget is
+//     exhausted does the failure reach the affected request futures — and
+//     only those futures (per-slice error tracking),
+//   * every engine runs a health state machine healthy -> degraded ->
+//     quarantined driven by consecutive failures; a quarantined engine
+//     receives no regular traffic but is re-tried with single
+//     circuit-breaker probe batches at growing intervals, and one probe
+//     success readmits it,
+//   * engines register with a priority tier: dispatch uses the best
+//     (lowest) tier with a non-quarantined engine, so quarantining every
+//     preferred engine degrades gracefully onto the fallback tier,
+//   * with ServerConfig::request_timeout set, every request carries a
+//     deadline; an expired request resolves its future with
+//     DeadlineExceededError (undispatched samples are cancelled, in-flight
+//     work completes and is discarded),
+//   * when every engine is quarantined and no probe can run yet,
+//     submit()/try_submit() fail fast with NoHealthyEngineError instead of
+//     queueing work that cannot be served.
+//
+// Threading model: one dispatcher thread forms batches, re-dispatches
+// retries and expires deadlines; one worker thread per engine drives
+// submit()/wait(), so an engine never sees concurrent calls. Requests may
+// be queued before start(); they are dispatched as soon as the threads
+// run, which also gives tests a deterministic coalescing path (queue
+// everything, then start + stop). stop() drains every queued request —
+// including pending retries — before joining the threads.
 #pragma once
 
 #include <chrono>
@@ -34,13 +59,71 @@
 
 #include "spnhbm/engine/engine.hpp"
 #include "spnhbm/telemetry/trace.hpp"
+#include "spnhbm/util/rng.hpp"
 
 namespace spnhbm::engine {
+
+/// A request's deadline passed before its results were ready. The samples
+/// may still be processed (in-flight work is not interrupted); only the
+/// future resolves early.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : Error("deadline exceeded: " + what) {}
+};
+
+/// Every registered engine is quarantined and no circuit-breaker probe is
+/// due, so newly submitted work could not be served. Fail-fast signal:
+/// the client should back off and retry.
+class NoHealthyEngineError : public Error {
+ public:
+  explicit NoHealthyEngineError(const std::string& what)
+      : Error("no healthy engine: " + what) {}
+};
 
 enum class DispatchPolicy {
   kRoundRobin,
   /// Least expected completion time: (outstanding + batch) / throughput.
   kLeastLoaded,
+};
+
+/// Per-engine health as seen by the dispatcher.
+enum class EngineHealth {
+  kHealthy,
+  /// Recent consecutive failures, still in the dispatch rotation (with an
+  /// ETA penalty under kLeastLoaded).
+  kDegraded,
+  /// Out of the rotation; only periodic probe batches reach it until one
+  /// succeeds.
+  kQuarantined,
+};
+std::string to_string(EngineHealth health);
+
+/// Per-batch retry behaviour on engine failure.
+struct RetryPolicy {
+  /// Total executions per batch (1 = no retry).
+  int max_attempts = 3;
+  /// Backoff before retry k is base * multiplier^(k-1), capped, then
+  /// jittered deterministically into [delay*(1-jitter), delay).
+  std::chrono::microseconds backoff_base{100};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds backoff_cap{5000};
+  double jitter = 0.25;
+  /// Seed of the jitter stream (no wall-clock entropy anywhere).
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Health state machine thresholds and circuit-breaker probe cadence.
+struct HealthPolicy {
+  /// Consecutive failures before an engine is marked degraded.
+  int degraded_after = 1;
+  /// Consecutive failures before an engine is quarantined.
+  int quarantine_after = 3;
+  /// Delay before the first probe of a quarantined engine; each failed
+  /// probe multiplies the interval, up to the cap.
+  std::chrono::microseconds probe_interval{5000};
+  double probe_backoff_multiplier = 2.0;
+  std::chrono::microseconds probe_interval_cap{500000};
 };
 
 struct ServerConfig {
@@ -53,6 +136,10 @@ struct ServerConfig {
   /// long.
   std::chrono::microseconds max_latency{1000};
   DispatchPolicy policy = DispatchPolicy::kRoundRobin;
+  /// Per-request deadline from enqueue to completion; 0 = no deadline.
+  std::chrono::microseconds request_timeout{0};
+  RetryPolicy retry;
+  HealthPolicy health;
 };
 
 struct ServerStats {
@@ -63,6 +150,21 @@ struct ServerStats {
   /// Batches flushed below the coalescing target by the latency deadline.
   std::uint64_t deadline_flushes = 0;
   std::size_t peak_outstanding_samples = 0;
+  // --- Self-healing accounting -------------------------------------------
+  /// Batch executions that failed and were re-dispatched.
+  std::uint64_t batch_retries = 0;
+  /// Retries that landed on a different engine than the failed attempt.
+  std::uint64_t failovers = 0;
+  /// healthy/degraded -> quarantined transitions.
+  std::uint64_t quarantines = 0;
+  /// Circuit-breaker probe batches sent to quarantined engines.
+  std::uint64_t probes = 0;
+  /// Quarantined engines readmitted after a successful batch.
+  std::uint64_t readmissions = 0;
+  /// Requests resolved with DeadlineExceededError.
+  std::uint64_t deadline_expirations = 0;
+  /// Requests resolved with an engine error after the retry budget.
+  std::uint64_t failed_requests = 0;
   /// Wall time a request spends queued before its first slice dispatches.
   telemetry::HistogramSnapshot queue_wait_us;
   /// Wall time from enqueue to the last slice completing (end-to-end).
@@ -89,46 +191,60 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Registers a backend. All engines must be functional, agree on
-  /// input_features, and be registered before start().
-  void register_engine(std::shared_ptr<InferenceEngine> engine);
+  /// input_features, and be registered before start(). `priority` is the
+  /// failover tier: dispatch prefers the lowest tier that still has a
+  /// non-quarantined engine (0 = most preferred).
+  void register_engine(std::shared_ptr<InferenceEngine> engine,
+                       int priority = 0);
 
   std::size_t engine_count() const { return workers_.size(); }
   const InferenceEngine& engine(std::size_t index) const {
     return *workers_[index]->engine;
   }
-  /// Samples dispatched to engine `index` so far.
+  /// Samples dispatched to engine `index` so far (retries re-count).
   std::uint64_t dispatched_samples(std::size_t index) const;
+  /// Current health of engine `index`.
+  EngineHealth engine_health(std::size_t index) const;
 
   void start();
-  /// Drains every queued request, then stops all threads. Idempotent; the
-  /// destructor calls it.
+  /// Drains every queued request — retrying/failing over as configured —
+  /// then stops all threads. Idempotent; the destructor calls it.
   void stop();
 
   /// Blocking submit: applies backpressure by waiting for queue space.
   /// `samples` is rows of input_features bytes; the future resolves to one
-  /// probability per row (or rethrows the engine's failure).
+  /// probability per row (or rethrows the engine's failure / a deadline
+  /// error). Throws RuntimeApiError before any engine is registered or
+  /// after stop(), NoHealthyEngineError while every engine is quarantined.
   std::future<std::vector<double>> submit(std::vector<std::uint8_t> samples);
 
   /// Non-blocking submit: returns std::nullopt when the queue bound would
-  /// be exceeded.
+  /// be exceeded. Same fail-fast errors as submit().
   std::optional<std::future<std::vector<double>>> try_submit(
       std::vector<std::uint8_t> samples);
 
   /// Queued + in-flight samples (the backpressure quantity).
   std::size_t outstanding_samples() const;
-  std::size_t input_features() const { return input_features_; }
+  std::size_t input_features() const;
   std::size_t batch_samples() const { return batch_samples_; }
   ServerStats stats() const;
 
  private:
+  static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
   struct PendingRequest {
     std::vector<std::uint8_t> samples;
     std::vector<double> results;
     std::promise<std::vector<double>> promise;
     std::chrono::steady_clock::time_point enqueue_time;
+    std::chrono::steady_clock::time_point deadline;  ///< if request_timeout
     std::size_t count = 0;      ///< total samples in the request
     std::size_t cursor = 0;     ///< next sample to dispatch
     std::size_t remaining = 0;  ///< samples not yet completed
+    /// Promise resolved (completion or deadline); nothing more may touch it.
+    bool settled = false;
+    /// Set only when a slice's batch fails permanently (satellite of the
+    /// retry design: transient failures never reach the request).
     std::exception_ptr error;
   };
 
@@ -144,6 +260,12 @@ class InferenceServer {
     std::vector<double> results;
     std::vector<BatchSlice> slices;
     std::size_t sample_count = 0;
+    /// Completed (failed) executions so far.
+    int attempts = 0;
+    /// Engine of the last failed attempt, avoided on retry when possible.
+    std::size_t last_worker = kNoWorker;
+    /// Earliest re-dispatch time (backoff) for a batch in retry_queue_.
+    std::chrono::steady_clock::time_point not_before;
   };
 
   struct Worker {
@@ -151,6 +273,8 @@ class InferenceServer {
     std::thread thread;
     std::deque<Batch> queue;
     std::condition_variable cv;
+    std::size_t index = 0;
+    int priority = 0;
     /// Dispatch accounting, guarded by the server mutex (the worker is the
     /// only thread that calls into the engine itself).
     std::size_t outstanding_samples = 0;
@@ -158,15 +282,31 @@ class InferenceServer {
     std::uint64_t completed_samples = 0;
     double busy_seconds = 0.0;
     double nominal_throughput = 0.0;
+    // --- Health state machine (guarded by the server mutex) --------------
+    EngineHealth health = EngineHealth::kHealthy;
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point quarantined_until;
+    std::chrono::microseconds probe_interval{0};
+    bool probe_in_flight = false;
     telemetry::TrackId track = 0;
   };
 
   std::future<std::vector<double>> enqueue_locked(
       std::unique_lock<std::mutex>& lock, std::vector<std::uint8_t> samples);
+  /// Throws NoHealthyEngineError if a started server cannot serve new work.
+  void require_admissible_locked() const;
   Batch form_batch_locked();
-  std::size_t pick_engine_locked(std::size_t batch_sample_count);
-  void dispatch_batch_locked(Batch batch);
+  std::size_t pick_engine_locked(const Batch& batch);
+  /// False when no engine is currently eligible (batch untouched).
+  bool dispatch_batch_locked(Batch& batch);
+  bool any_engine_available_locked(
+      std::chrono::steady_clock::time_point now) const;
   void complete_slice_locked(const BatchSlice& slice);
+  void expire_request_locked(PendingRequest& request);
+  void finish_batch_locked(const Batch& batch);
+  void note_worker_success_locked(Worker& worker);
+  void note_worker_failure_locked(Worker& worker);
+  std::chrono::steady_clock::time_point retry_time_locked(int attempts);
   void dispatcher_loop();
   void worker_loop(Worker& worker);
 
@@ -176,8 +316,14 @@ class InferenceServer {
   std::condition_variable cv_space_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::deque<std::shared_ptr<PendingRequest>> queue_;
+  /// Failed batches awaiting their backoff before re-dispatch.
+  std::deque<Batch> retry_queue_;
+  /// Deadline watchlist, in expiry order (one config-wide timeout + FIFO
+  /// enqueue means front() always expires first).
+  std::deque<std::shared_ptr<PendingRequest>> live_requests_;
   std::thread dispatcher_;
   ServerStats stats_;
+  Rng jitter_rng_;
   /// Owned latency histograms; also published into the global registry via
   /// attach_histogram, so --metrics-out always shows the live server.
   std::shared_ptr<telemetry::Histogram> queue_wait_us_;
@@ -188,11 +334,21 @@ class InferenceServer {
   std::shared_ptr<telemetry::Counter> ctr_batches_;
   std::shared_ptr<telemetry::Counter> ctr_samples_;
   std::shared_ptr<telemetry::Counter> ctr_deadline_flushes_;
+  std::shared_ptr<telemetry::Counter> ctr_batch_retries_;
+  std::shared_ptr<telemetry::Counter> ctr_failovers_;
+  std::shared_ptr<telemetry::Counter> ctr_quarantines_;
+  std::shared_ptr<telemetry::Counter> ctr_probes_;
+  std::shared_ptr<telemetry::Counter> ctr_readmissions_;
+  std::shared_ptr<telemetry::Counter> ctr_deadline_expirations_;
+  std::shared_ptr<telemetry::Counter> ctr_failed_requests_;
   telemetry::TrackId dispatcher_track_ = 0;
   std::size_t input_features_ = 0;
   std::size_t batch_samples_ = 0;
   std::size_t queued_samples_ = 0;
   std::size_t outstanding_samples_ = 0;
+  /// Batches formed but not yet permanently finished (in a worker queue,
+  /// executing, or awaiting retry). stop() drains until this reaches 0.
+  std::size_t pending_batches_ = 0;
   std::size_t round_robin_next_ = 0;
   bool started_ = false;
   bool stopping_ = false;

@@ -19,6 +19,18 @@ double elapsed_us(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+std::string to_string(EngineHealth health) {
+  switch (health) {
+    case EngineHealth::kHealthy:
+      return "healthy";
+    case EngineHealth::kDegraded:
+      return "degraded";
+    case EngineHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
 std::string ServerStats::describe() const {
   std::string text = strformat(
       "%llu requests (%llu rejected) -> %llu batches / %llu samples "
@@ -29,6 +41,20 @@ std::string ServerStats::describe() const {
       static_cast<unsigned long long>(samples), mean_batch_samples(),
       static_cast<unsigned long long>(deadline_flushes),
       peak_outstanding_samples);
+  if (batch_retries || failovers || quarantines || probes || readmissions ||
+      deadline_expirations || failed_requests) {
+    text += strformat(
+        "; recovery: %llu retries, %llu failovers, %llu quarantines, "
+        "%llu probes, %llu readmissions, %llu deadline expirations, "
+        "%llu failed requests",
+        static_cast<unsigned long long>(batch_retries),
+        static_cast<unsigned long long>(failovers),
+        static_cast<unsigned long long>(quarantines),
+        static_cast<unsigned long long>(probes),
+        static_cast<unsigned long long>(readmissions),
+        static_cast<unsigned long long>(deadline_expirations),
+        static_cast<unsigned long long>(failed_requests));
+  }
   if (request_latency_us.count > 0) {
     text += strformat(
         "; latency us p50/p95/p99=%.1f/%.1f/%.1f, queue wait us "
@@ -40,8 +66,20 @@ std::string ServerStats::describe() const {
 }
 
 InferenceServer::InferenceServer(ServerConfig config)
-    : config_(config) {
+    : config_(config), jitter_rng_(config.retry.seed) {
   SPNHBM_REQUIRE(config_.max_queue_samples > 0, "queue bound must be positive");
+  SPNHBM_REQUIRE(config_.retry.max_attempts >= 1,
+                 "retry budget must allow at least one attempt");
+  SPNHBM_REQUIRE(config_.retry.backoff_multiplier >= 1.0,
+                 "backoff multiplier must be >= 1");
+  SPNHBM_REQUIRE(config_.retry.jitter >= 0.0 && config_.retry.jitter < 1.0,
+                 "jitter must be in [0, 1)");
+  SPNHBM_REQUIRE(config_.health.degraded_after >= 1 &&
+                     config_.health.quarantine_after >=
+                         config_.health.degraded_after,
+                 "health thresholds must satisfy 1 <= degraded <= quarantine");
+  SPNHBM_REQUIRE(config_.health.probe_backoff_multiplier >= 1.0,
+                 "probe backoff multiplier must be >= 1");
   queue_wait_us_ = std::make_shared<telemetry::Histogram>();
   request_latency_us_ = std::make_shared<telemetry::Histogram>();
   batch_fill_samples_ = std::make_shared<telemetry::Histogram>();
@@ -54,12 +92,22 @@ InferenceServer::InferenceServer(ServerConfig config)
   ctr_batches_ = registry.counter("server.batches");
   ctr_samples_ = registry.counter("server.samples");
   ctr_deadline_flushes_ = registry.counter("server.deadline_flushes");
+  ctr_batch_retries_ = registry.counter("server.batch_retries");
+  ctr_failovers_ = registry.counter("server.failovers");
+  ctr_quarantines_ = registry.counter("server.quarantines");
+  ctr_probes_ = registry.counter("server.probes");
+  ctr_readmissions_ = registry.counter("server.readmissions");
+  ctr_deadline_expirations_ =
+      registry.counter("server.deadline_expirations");
+  ctr_failed_requests_ = registry.counter("server.failed_requests");
 }
 
 InferenceServer::~InferenceServer() { stop(); }
 
-void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine) {
+void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine,
+                                      int priority) {
   SPNHBM_REQUIRE(engine != nullptr, "null engine");
+  SPNHBM_REQUIRE(priority >= 0, "priority tier must be >= 0");
   std::lock_guard<std::mutex> lock(mutex_);
   SPNHBM_REQUIRE(!started_, "register_engine after start");
   const auto& caps = engine->capabilities();
@@ -76,7 +124,10 @@ void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine) {
   }
   auto worker = std::make_unique<Worker>();
   worker->engine = std::move(engine);
+  worker->index = workers_.size();
+  worker->priority = priority;
   worker->nominal_throughput = caps.nominal_throughput;
+  worker->probe_interval = config_.health.probe_interval;
   if (config_.batch_samples == 0) {
     batch_samples_ = batch_samples_ == 0
                          ? caps.preferred_batch_samples
@@ -137,6 +188,10 @@ std::future<std::vector<double>> InferenceServer::enqueue_locked(
   request->samples = std::move(samples);
   request->results.resize(request->count);
   request->enqueue_time = std::chrono::steady_clock::now();
+  if (config_.request_timeout.count() > 0) {
+    request->deadline = request->enqueue_time + config_.request_timeout;
+    live_requests_.push_back(request);
+  }
   auto future = request->promise.get_future();
   queued_samples_ += request->count;
   outstanding_samples_ += request->count;
@@ -149,31 +204,57 @@ std::future<std::vector<double>> InferenceServer::enqueue_locked(
   return future;
 }
 
+void InferenceServer::require_admissible_locked() const {
+  if (!started_) return;  // queue-before-start is a supported pattern
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& worker : workers_) {
+    if (worker->health != EngineHealth::kQuarantined) return;
+    // A quarantined engine still admits work if a probe is running or due:
+    // the submitted batch is (or follows) the recovery traffic.
+    if (worker->probe_in_flight || now >= worker->quarantined_until) return;
+  }
+  throw NoHealthyEngineError(
+      "all engines quarantined; back off until a probe readmits one");
+}
+
 std::future<std::vector<double>> InferenceServer::submit(
     std::vector<std::uint8_t> samples) {
-  SPNHBM_REQUIRE(input_features_ > 0, "no engines registered");
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (input_features_ == 0) {
+    throw RuntimeApiError("submit before any engine is registered");
+  }
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
   SPNHBM_REQUIRE(!samples.empty() && samples.size() % input_features_ == 0,
                  "input is not a whole number of samples");
   const std::size_t count = samples.size() / input_features_;
   SPNHBM_REQUIRE(count <= config_.max_queue_samples,
                  "request larger than the whole queue bound");
-  std::unique_lock<std::mutex> lock(mutex_);
+  require_admissible_locked();
   cv_space_.wait(lock, [&] {
     return stopped_ ||
            outstanding_samples_ + count <= config_.max_queue_samples;
   });
-  SPNHBM_REQUIRE(!stopped_, "submit on a stopped server");
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
   return enqueue_locked(lock, std::move(samples));
 }
 
 std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
     std::vector<std::uint8_t> samples) {
-  SPNHBM_REQUIRE(input_features_ > 0, "no engines registered");
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (input_features_ == 0) {
+    throw RuntimeApiError("submit before any engine is registered");
+  }
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
   SPNHBM_REQUIRE(!samples.empty() && samples.size() % input_features_ == 0,
                  "input is not a whole number of samples");
   const std::size_t count = samples.size() / input_features_;
-  std::unique_lock<std::mutex> lock(mutex_);
-  SPNHBM_REQUIRE(!stopped_, "submit on a stopped server");
+  require_admissible_locked();
   if (outstanding_samples_ + count > config_.max_queue_samples) {
     stats_.rejected += 1;
     ctr_rejected_->add(1);
@@ -185,6 +266,11 @@ std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
 std::size_t InferenceServer::outstanding_samples() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return outstanding_samples_;
+}
+
+std::size_t InferenceServer::input_features() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return input_features_;
 }
 
 ServerStats InferenceServer::stats() const {
@@ -199,6 +285,12 @@ ServerStats InferenceServer::stats() const {
 std::uint64_t InferenceServer::dispatched_samples(std::size_t index) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return workers_[index]->dispatched_samples;
+}
+
+EngineHealth InferenceServer::engine_health(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SPNHBM_REQUIRE(index < workers_.size(), "engine index out of range");
+  return workers_[index]->health;
 }
 
 InferenceServer::Batch InferenceServer::form_batch_locked() {
@@ -231,23 +323,87 @@ InferenceServer::Batch InferenceServer::form_batch_locked() {
   ctr_batches_->add(1);
   ctr_samples_->add(batch.sample_count);
   batch_fill_samples_->record(static_cast<double>(batch.sample_count));
+  pending_batches_ += 1;
   return batch;
 }
 
-std::size_t InferenceServer::pick_engine_locked(
-    std::size_t batch_sample_count) {
+bool InferenceServer::any_engine_available_locked(
+    std::chrono::steady_clock::time_point now) const {
+  for (const auto& worker : workers_) {
+    if (worker->health != EngineHealth::kQuarantined) return true;
+    if (!worker->probe_in_flight && now >= worker->quarantined_until) {
+      return true;  // a probe slot is open
+    }
+  }
+  return false;
+}
+
+std::size_t InferenceServer::pick_engine_locked(const Batch& batch) {
+  const auto now = std::chrono::steady_clock::now();
+  // Circuit-breaker probes take precedence: a due probe is the only way a
+  // quarantined engine can prove itself again, and one batch of delay on
+  // the happy path is the price of detecting recovery.
+  std::size_t probe = kNoWorker;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const auto& worker = *workers_[i];
+    if (worker.health != EngineHealth::kQuarantined ||
+        worker.probe_in_flight || now < worker.quarantined_until) {
+      continue;
+    }
+    if (probe == kNoWorker ||
+        worker.quarantined_until < workers_[probe]->quarantined_until) {
+      probe = i;
+    }
+  }
+  if (probe != kNoWorker) {
+    workers_[probe]->probe_in_flight = true;
+    stats_.probes += 1;
+    ctr_probes_->add(1);
+    telemetry::tracer().instant_wall(workers_[probe]->track, "probe");
+    return probe;
+  }
+  // Regular dispatch: best (lowest) priority tier that still has a
+  // non-quarantined engine. Quarantining a whole tier degrades onto the
+  // next one.
+  int best_tier = std::numeric_limits<int>::max();
+  for (const auto& worker : workers_) {
+    if (worker->health != EngineHealth::kQuarantined) {
+      best_tier = std::min(best_tier, worker->priority);
+    }
+  }
+  if (best_tier == std::numeric_limits<int>::max()) return kNoWorker;
+  const auto eligible = [&](std::size_t i) {
+    const auto& worker = *workers_[i];
+    return worker.health != EngineHealth::kQuarantined &&
+           worker.priority == best_tier;
+  };
+  // Failover: a retried batch avoids the engine it just failed on when
+  // another eligible engine exists.
+  bool have_other = false;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (eligible(i) && i != batch.last_worker) have_other = true;
+  }
+  const bool exclude_last = batch.attempts > 0 && have_other;
+  const auto allowed = [&](std::size_t i) {
+    return eligible(i) && !(exclude_last && i == batch.last_worker);
+  };
   if (config_.policy == DispatchPolicy::kRoundRobin || workers_.size() == 1) {
-    const std::size_t index = round_robin_next_;
-    round_robin_next_ = (round_robin_next_ + 1) % workers_.size();
-    return index;
+    for (std::size_t step = 0; step < workers_.size(); ++step) {
+      const std::size_t index = (round_robin_next_ + step) % workers_.size();
+      if (!allowed(index)) continue;
+      round_robin_next_ = (index + 1) % workers_.size();
+      return index;
+    }
+    return kNoWorker;
   }
   // Least expected completion time of this batch per engine, using the
   // measured rate once available and the engine's nominal claim before.
   // An engine with neither gets probed optimistically while idle (cold
   // start), but never accumulates a backlog before its first measurement.
-  std::size_t best = 0;
+  std::size_t best = kNoWorker;
   double best_eta = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!allowed(i)) continue;
     const auto& worker = *workers_[i];
     const double rate = worker.busy_seconds > 0.0
                             ? static_cast<double>(worker.completed_samples) /
@@ -256,14 +412,17 @@ std::size_t InferenceServer::pick_engine_locked(
     double eta;
     if (rate > 0.0) {
       eta = static_cast<double>(worker.outstanding_samples +
-                                batch_sample_count) /
+                                batch.sample_count) /
             rate;
     } else {
       eta = worker.outstanding_samples == 0
                 ? 0.0
                 : std::numeric_limits<double>::infinity();
     }
-    if (eta < best_eta) {
+    // A degraded engine is still in rotation but pays an ETA penalty (its
+    // recent failures predict retries).
+    if (worker.health == EngineHealth::kDegraded) eta *= 2.0;
+    if (best == kNoWorker || eta < best_eta) {
       best_eta = eta;
       best = i;
     }
@@ -271,50 +430,214 @@ std::size_t InferenceServer::pick_engine_locked(
   return best;
 }
 
-void InferenceServer::dispatch_batch_locked(Batch batch) {
-  const std::size_t target = pick_engine_locked(batch.sample_count);
+bool InferenceServer::dispatch_batch_locked(Batch& batch) {
+  const std::size_t target = pick_engine_locked(batch);
+  if (target == kNoWorker) return false;
+  if (batch.attempts > 0 && batch.last_worker != target) {
+    stats_.failovers += 1;
+    ctr_failovers_->add(1);
+  }
   auto& worker = *workers_[target];
   worker.outstanding_samples += batch.sample_count;
   worker.dispatched_samples += batch.sample_count;
   worker.queue.push_back(std::move(batch));
   worker.cv.notify_one();
+  return true;
+}
+
+void InferenceServer::expire_request_locked(PendingRequest& request) {
+  request.settled = true;
+  stats_.deadline_expirations += 1;
+  ctr_deadline_expirations_->add(1);
+  telemetry::tracer().instant_wall(dispatcher_track_, "deadline_expired");
+  request.promise.set_exception(std::make_exception_ptr(DeadlineExceededError(
+      strformat("request expired after %lld us",
+                static_cast<long long>(config_.request_timeout.count())))));
+  if (request.cursor < request.count) {
+    // Cancel the samples that never dispatched; in-flight slices complete
+    // normally and are discarded against the settled promise.
+    const std::size_t cancelled = request.count - request.cursor;
+    request.cursor = request.count;
+    request.remaining -= cancelled;
+    queued_samples_ -= cancelled;
+    outstanding_samples_ -= cancelled;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->get() == &request) {
+        queue_.erase(it);
+        break;
+      }
+    }
+    cv_space_.notify_all();
+  }
+}
+
+std::chrono::steady_clock::time_point InferenceServer::retry_time_locked(
+    int attempts) {
+  const auto& retry = config_.retry;
+  double delay_us =
+      std::chrono::duration<double, std::micro>(retry.backoff_base).count();
+  for (int i = 1; i < attempts; ++i) delay_us *= retry.backoff_multiplier;
+  delay_us = std::min(
+      delay_us,
+      std::chrono::duration<double, std::micro>(retry.backoff_cap).count());
+  // Deterministic jitter: a seeded stream, not wall-clock entropy, so a
+  // given failure sequence always produces the same backoff sequence.
+  delay_us *= (1.0 - retry.jitter) + retry.jitter * jitter_rng_.next_double();
+  return std::chrono::steady_clock::now() +
+         std::chrono::microseconds(static_cast<std::int64_t>(delay_us));
+}
+
+void InferenceServer::note_worker_failure_locked(Worker& worker) {
+  worker.consecutive_failures += 1;
+  const auto now = std::chrono::steady_clock::now();
+  const auto& policy = config_.health;
+  if (worker.health == EngineHealth::kQuarantined) {
+    // Failed probe (or a straggler batch dispatched before quarantine):
+    // extend the quarantine with a longer interval, capped.
+    worker.probe_in_flight = false;
+    const auto grown = std::chrono::microseconds(static_cast<std::int64_t>(
+        static_cast<double>(worker.probe_interval.count()) *
+        policy.probe_backoff_multiplier));
+    worker.probe_interval = std::min(grown, policy.probe_interval_cap);
+    worker.quarantined_until = now + worker.probe_interval;
+    return;
+  }
+  if (worker.consecutive_failures >= policy.quarantine_after) {
+    worker.health = EngineHealth::kQuarantined;
+    worker.probe_in_flight = false;
+    worker.probe_interval = policy.probe_interval;
+    worker.quarantined_until = now + worker.probe_interval;
+    stats_.quarantines += 1;
+    ctr_quarantines_->add(1);
+    telemetry::tracer().instant_wall(worker.track, "quarantined");
+  } else if (worker.consecutive_failures >= policy.degraded_after) {
+    worker.health = EngineHealth::kDegraded;
+  }
+}
+
+void InferenceServer::note_worker_success_locked(Worker& worker) {
+  worker.consecutive_failures = 0;
+  if (worker.health == EngineHealth::kQuarantined) {
+    stats_.readmissions += 1;
+    ctr_readmissions_->add(1);
+    telemetry::tracer().instant_wall(worker.track, "readmitted");
+  }
+  worker.health = EngineHealth::kHealthy;
+  worker.probe_in_flight = false;
+  worker.probe_interval = config_.health.probe_interval;
 }
 
 void InferenceServer::dispatcher_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    if (queue_.empty()) {
-      if (stopping_) return;
-      cv_dispatch_.wait(lock);
-      continue;
-    }
-    if (queued_samples_ < batch_samples_ && !stopping_) {
-      // Partial batch: hold it open for more coalescing until the oldest
-      // request's latency budget runs out.
-      const auto deadline = queue_.front()->enqueue_time + config_.max_latency;
-      if (std::chrono::steady_clock::now() < deadline) {
-        cv_dispatch_.wait_until(lock, deadline);
-        continue;  // re-evaluate: new requests, stop, or deadline hit
+    const auto now = std::chrono::steady_clock::now();
+
+    // 1. Request deadlines. live_requests_ is in expiry order (one
+    //    config-wide timeout + FIFO enqueue), so only the front can be due.
+    while (!live_requests_.empty()) {
+      auto& front = live_requests_.front();
+      if (front->settled) {
+        live_requests_.pop_front();
+        continue;
       }
-      stats_.deadline_flushes += 1;
-      ctr_deadline_flushes_->add(1);
-      telemetry::tracer().instant_wall(dispatcher_track_, "deadline_flush");
+      if (front->deadline <= now) {
+        expire_request_locked(*front);
+        live_requests_.pop_front();
+        continue;
+      }
+      break;
     }
-    telemetry::tracer().instant_wall(dispatcher_track_, "dispatch");
-    dispatch_batch_locked(form_batch_locked());
+
+    // 2. Failed batches whose backoff has elapsed: re-dispatch (failover).
+    bool engines_blocked = false;
+    for (auto it = retry_queue_.begin();
+         it != retry_queue_.end() && !engines_blocked;) {
+      if (it->not_before > now) {
+        ++it;
+        continue;
+      }
+      if (dispatch_batch_locked(*it)) {
+        it = retry_queue_.erase(it);
+      } else {
+        engines_blocked = true;
+      }
+    }
+
+    // 3. Fresh batches: full ones immediately, partial ones on the flush
+    //    deadline (or unconditionally while draining for stop()).
+    while (!engines_blocked && !queue_.empty()) {
+      const bool full = queued_samples_ >= batch_samples_;
+      const bool flush_due =
+          now >= queue_.front()->enqueue_time + config_.max_latency;
+      if (!full && !flush_due && !stopping_) break;
+      if (!any_engine_available_locked(now)) {
+        engines_blocked = true;
+        break;
+      }
+      if (!full && !stopping_) {
+        stats_.deadline_flushes += 1;
+        ctr_deadline_flushes_->add(1);
+        telemetry::tracer().instant_wall(dispatcher_track_, "deadline_flush");
+      }
+      telemetry::tracer().instant_wall(dispatcher_track_, "dispatch");
+      Batch batch = form_batch_locked();
+      const bool dispatched = dispatch_batch_locked(batch);
+      SPNHBM_REQUIRE(dispatched, "available engine vanished under the lock");
+    }
+
+    // 4. Shutdown: everything queued has been drained to a terminal state.
+    if (stopping_ && queue_.empty() && retry_queue_.empty() &&
+        pending_batches_ == 0) {
+      return;
+    }
+
+    // 5. Sleep until the next timed event (or a notify).
+    std::optional<std::chrono::steady_clock::time_point> wake;
+    const auto consider = [&](std::chrono::steady_clock::time_point t) {
+      if (!wake || t < *wake) wake = t;
+    };
+    if (!live_requests_.empty()) consider(live_requests_.front()->deadline);
+    for (const auto& batch : retry_queue_) consider(batch.not_before);
+    if (!queue_.empty() && !engines_blocked && !stopping_) {
+      consider(queue_.front()->enqueue_time + config_.max_latency);
+    }
+    if (engines_blocked) {
+      // Work is pending but every engine is quarantined: wake when the
+      // earliest probe window opens.
+      for (const auto& worker : workers_) {
+        if (worker->health == EngineHealth::kQuarantined &&
+            !worker->probe_in_flight) {
+          consider(worker->quarantined_until);
+        }
+      }
+    }
+    if (wake) {
+      cv_dispatch_.wait_until(lock, *wake);
+    } else {
+      cv_dispatch_.wait(lock);
+    }
   }
 }
 
 void InferenceServer::complete_slice_locked(const BatchSlice& slice) {
   auto& request = *slice.request;
   request.remaining -= slice.count;
-  if (request.remaining > 0) return;
+  if (request.remaining > 0 || request.settled) return;
+  request.settled = true;
   request_latency_us_->record(elapsed_us(request.enqueue_time));
   if (request.error) {
+    stats_.failed_requests += 1;
+    ctr_failed_requests_->add(1);
     request.promise.set_exception(request.error);
   } else {
     request.promise.set_value(std::move(request.results));
   }
+}
+
+void InferenceServer::finish_batch_locked(const Batch& batch) {
+  outstanding_samples_ -= batch.sample_count;
+  pending_batches_ -= 1;
+  cv_space_.notify_all();
 }
 
 void InferenceServer::worker_loop(Worker& worker) {
@@ -352,15 +675,36 @@ void InferenceServer::worker_loop(Worker& worker) {
     }
 
     lock.lock();
-    for (const auto& slice : batch.slices) {
-      if (error) slice.request->error = error;
-      complete_slice_locked(slice);
-    }
     worker.outstanding_samples -= batch.sample_count;
-    worker.completed_samples += batch.sample_count;
-    worker.busy_seconds += busy_delta;
-    outstanding_samples_ -= batch.sample_count;
-    cv_space_.notify_all();
+    if (!error) {
+      note_worker_success_locked(worker);
+      worker.completed_samples += batch.sample_count;
+      worker.busy_seconds += busy_delta;
+      for (const auto& slice : batch.slices) complete_slice_locked(slice);
+      finish_batch_locked(batch);
+    } else {
+      note_worker_failure_locked(worker);
+      if (batch.attempts + 1 >= config_.retry.max_attempts) {
+        // Retry budget exhausted: the failure becomes permanent, but only
+        // for the requests actually sliced into this batch.
+        for (const auto& slice : batch.slices) {
+          slice.request->error = error;
+          complete_slice_locked(slice);
+        }
+        finish_batch_locked(batch);
+      } else {
+        batch.attempts += 1;
+        batch.last_worker = worker.index;
+        batch.not_before = retry_time_locked(batch.attempts);
+        stats_.batch_retries += 1;
+        ctr_batch_retries_->add(1);
+        telemetry::tracer().instant_wall(worker.track, "batch_retry");
+        retry_queue_.push_back(std::move(batch));
+      }
+    }
+    // The dispatcher owns retries, probe windows and the drain condition;
+    // every completion can change one of them.
+    cv_dispatch_.notify_one();
   }
 }
 

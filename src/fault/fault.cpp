@@ -1,0 +1,226 @@
+#include "spnhbm/fault/fault.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "spnhbm/telemetry/json.hpp"
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::fault {
+
+namespace {
+
+/// FNV-1a, used to fork one deterministic RNG stream per
+/// (rule, site, instance) independent of evaluation order.
+std::uint64_t hash_label(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kHang: return "hang";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_string(const std::string& name) {
+  if (name == "fail") return FaultKind::kFail;
+  if (name == "stall") return FaultKind::kStall;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  if (name == "delay") return FaultKind::kDelay;
+  if (name == "hang") return FaultKind::kHang;
+  throw ParseError("unknown fault kind '" + name +
+                   "' (fail|stall|corrupt|delay|hang)");
+}
+
+FaultPlan FaultPlan::from_json(const std::string& text) {
+  const telemetry::JsonValue doc = telemetry::parse_json(text);
+  if (!doc.is_object()) throw ParseError("fault plan must be a JSON object");
+  FaultPlan plan;
+  if (doc.has("seed")) {
+    plan.seed = static_cast<std::uint64_t>(doc.at("seed").number);
+  }
+  if (!doc.has("faults") || !doc.at("faults").is_array()) {
+    throw ParseError("fault plan needs a 'faults' array");
+  }
+  for (const auto& entry : doc.at("faults").array) {
+    if (!entry.is_object()) throw ParseError("fault rule must be an object");
+    FaultRule rule;
+    if (!entry.has("site") || !entry.at("site").is_string()) {
+      throw ParseError("fault rule needs a 'site' string");
+    }
+    rule.site = entry.at("site").string;
+    if (entry.has("instance")) rule.instance = entry.at("instance").string;
+    if (entry.has("kind")) {
+      rule.kind = fault_kind_from_string(entry.at("kind").string);
+    }
+    int triggers = 0;
+    if (entry.has("probability")) {
+      rule.probability = entry.at("probability").number;
+      if (rule.probability <= 0.0 || rule.probability > 1.0) {
+        throw ParseError("fault probability must be in (0, 1]");
+      }
+      ++triggers;
+    }
+    if (entry.has("every")) {
+      rule.every = static_cast<std::uint64_t>(entry.at("every").number);
+      if (rule.every == 0) throw ParseError("'every' must be positive");
+      ++triggers;
+    }
+    if (entry.has("from") || entry.has("until")) {
+      rule.has_window = true;
+      if (entry.has("from")) {
+        rule.from = static_cast<std::uint64_t>(entry.at("from").number);
+      }
+      if (entry.has("until")) {
+        rule.until = static_cast<std::uint64_t>(entry.at("until").number);
+        if (rule.until <= rule.from) {
+          throw ParseError("'until' must be greater than 'from'");
+        }
+      }
+      ++triggers;
+    }
+    if (triggers != 1) {
+      throw ParseError(
+          "fault rule for site '" + rule.site +
+          "' needs exactly one trigger (probability | every | from/until)");
+    }
+    if (entry.has("duration_us")) {
+      rule.duration_us = entry.at("duration_us").number;
+      if (rule.duration_us < 0.0) throw ParseError("negative fault duration");
+    }
+    if (entry.has("corrupt_mask")) {
+      rule.corrupt_mask =
+          static_cast<std::uint8_t>(entry.at("corrupt_mask").number);
+    }
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open fault plan: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+std::string FaultPlan::to_json() const {
+  telemetry::JsonWriter writer;
+  writer.begin_object();
+  writer.key("seed").value(static_cast<std::uint64_t>(seed));
+  writer.key("faults").begin_array();
+  for (const auto& rule : rules) {
+    writer.begin_object();
+    writer.key("site").value(rule.site);
+    if (!rule.instance.empty()) writer.key("instance").value(rule.instance);
+    writer.key("kind").value(to_string(rule.kind));
+    if (rule.probability > 0.0) {
+      writer.key("probability").value(rule.probability);
+    }
+    if (rule.every > 0) writer.key("every").value(rule.every);
+    if (rule.has_window) {
+      writer.key("from").value(rule.from);
+      if (rule.until > 0) writer.key("until").value(rule.until);
+    }
+    if (rule.duration_us > 0.0) {
+      writer.key("duration_us").value(rule.duration_us);
+    }
+    if (rule.kind == FaultKind::kCorrupt) {
+      writer.key("corrupt_mask")
+          .value(static_cast<std::uint64_t>(rule.corrupt_mask));
+    }
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return writer.str();
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  op_counts_.clear();
+  rule_rngs_.clear();
+  log_.clear();
+  injected_ = 0;
+  ctr_injected_ = telemetry::metrics().counter("fault.injected");
+  armed_.store(!plan_.rules.empty(), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+  plan_.rules.clear();
+  op_counts_.clear();
+  rule_rngs_.clear();
+}
+
+FaultDecision FaultInjector::decide(const std::string& site,
+                                    const std::string& instance) {
+  if (!armed_.load(std::memory_order_acquire)) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plan_.rules.empty()) return {};
+  const auto key = std::make_pair(site, instance);
+  const std::uint64_t op = op_counts_[key]++;
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.site != site) continue;
+    if (!rule.instance.empty() && rule.instance != instance) continue;
+    bool fire = false;
+    if (rule.probability > 0.0) {
+      auto [it, inserted] = rule_rngs_.try_emplace(std::make_pair(r, key));
+      if (inserted) {
+        it->second = Rng(plan_.seed).fork(
+            (r + 1) * 0x9E3779B97F4A7C15ull ^ hash_label(site + "|" + instance));
+      }
+      fire = it->second.next_double() < rule.probability;
+    } else if (rule.every > 0) {
+      fire = (op + 1) % rule.every == 0;
+    } else if (rule.has_window) {
+      fire = op >= rule.from && (rule.until == 0 || op < rule.until);
+    }
+    if (!fire) continue;
+    ++injected_;
+    if (ctr_injected_) ctr_injected_->add(1);
+    if (log_.size() < kLogCap) {
+      log_.push_back({site, instance, op, rule.kind});
+    }
+    FaultDecision decision;
+    decision.kind = rule.kind;
+    decision.duration_us = rule.duration_us;
+    decision.corrupt_mask = rule.corrupt_mask;
+    return decision;
+  }
+  return {};
+}
+
+std::uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+std::vector<InjectedFault> FaultInjector::log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_;
+}
+
+FaultInjector& injector() {
+  static FaultInjector instance;
+  return instance;
+}
+
+}  // namespace spnhbm::fault

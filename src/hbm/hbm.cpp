@@ -5,6 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "spnhbm/fault/fault.hpp"
+#include "spnhbm/util/strings.hpp"
+
 namespace spnhbm::hbm {
 
 HbmChannel::HbmChannel(sim::Scheduler& scheduler, HbmChannelConfig config)
@@ -47,10 +50,45 @@ sim::Task<void> HbmChannel::access(axi::BurstRequest request,
   SPNHBM_REQUIRE(request.address + request.bytes <= config_.capacity_bytes,
                  "access beyond channel capacity");
   SPNHBM_REQUIRE(service_stretch >= 1.0, "stretch must be >= 1");
+  Picoseconds injected_stall = 0;
+  if (fault::injector().armed()) {
+    const fault::FaultDecision decision =
+        fault::injector().decide("hbm.access", config_.label);
+    switch (decision.kind) {
+      case fault::FaultKind::kStall:
+      case fault::FaultKind::kDelay:
+      case fault::FaultKind::kHang:
+        // The burst succeeds but the channel is held longer (controller
+        // retraining, refresh storm, throttling).
+        injected_stall = microseconds(decision.duration_us);
+        break;
+      case fault::FaultKind::kCorrupt: {
+        // Flip bits in the backing store, which the ECC machinery detects:
+        // the access fails instead of returning bad data.
+        std::uint8_t byte = 0;
+        read_backdoor(request.address, {&byte, 1});
+        byte ^= decision.corrupt_mask;
+        write_backdoor(request.address, {&byte, 1});
+        throw HbmEccError(strformat(
+            "uncorrectable corruption at %s+0x%llx (injected)",
+            config_.label.c_str(),
+            static_cast<unsigned long long>(request.address)));
+      }
+      case fault::FaultKind::kFail:
+        throw HbmEccError(strformat("access fault at %s+0x%llx (injected)",
+                                    config_.label.c_str(),
+                                    static_cast<unsigned long long>(
+                                        request.address)));
+      case fault::FaultKind::kNone:
+        break;
+    }
+  }
   co_await occupancy_.acquire();
   const Picoseconds start = scheduler_.now();
-  const Picoseconds time = static_cast<Picoseconds>(
-      static_cast<double>(service_time(request)) * service_stretch);
+  const Picoseconds time =
+      static_cast<Picoseconds>(static_cast<double>(service_time(request)) *
+                               service_stretch) +
+      injected_stall;
   busy_time_ += time;
   if (request.is_write) {
     bytes_written_ += request.bytes;

@@ -29,8 +29,19 @@
 #include "spnhbm/sim/scheduler.hpp"
 #include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/telemetry/trace.hpp"
+#include "spnhbm/util/error.hpp"
 
 namespace spnhbm::hbm {
+
+/// Detected-uncorrectable memory error: the modelled ECC machinery catches
+/// a corruption (fault injection) and fails the access instead of silently
+/// returning bad data. The host driver treats it like a DMA abort and
+/// retries the transfer.
+class HbmEccError : public Error {
+ public:
+  explicit HbmEccError(const std::string& what)
+      : Error("HBM ECC error: " + what) {}
+};
 
 struct HbmChannelConfig {
   ClockDomain clock{450e6};

@@ -1,5 +1,7 @@
 #include "spnhbm/pcie/pcie.hpp"
 
+#include "spnhbm/fault/fault.hpp"
+
 namespace spnhbm::pcie {
 
 PcieGeneration pcie_generation(int generation) {
@@ -45,6 +47,13 @@ DmaEngine::DmaEngine(sim::Scheduler& scheduler, DmaEngineConfig config)
 
 sim::Task<void> DmaEngine::transfer(std::uint64_t bytes, Direction direction) {
   SPNHBM_REQUIRE(bytes > 0, "empty DMA transfer");
+  // Injected transfer faults: decided up front (so the op index is the
+  // transfer's issue order), applied after the engine time is consumed —
+  // a failed transfer still burnt its descriptor slot and link time.
+  fault::FaultDecision injected;
+  if (fault::injector().armed()) {
+    injected = fault::injector().decide("pcie.dma", "dma");
+  }
   // Setup (descriptor + doorbell): latency only, overlappable across
   // transfers.
   co_await sim::delay(scheduler_, config_.setup_latency);
@@ -52,7 +61,12 @@ sim::Task<void> DmaEngine::transfer(std::uint64_t bytes, Direction direction) {
   const Picoseconds start = scheduler_.now();
   const Picoseconds occupancy =
       config_.engine_bandwidth.transfer_time(bytes) +
-      config_.per_transfer_overhead;
+      config_.per_transfer_overhead +
+      (injected.kind == fault::FaultKind::kStall ||
+               injected.kind == fault::FaultKind::kDelay ||
+               injected.kind == fault::FaultKind::kHang
+           ? microseconds(injected.duration_us)
+           : 0);
   busy_time_ += occupancy;
   ++transfers_;
   ctr_transfers_->add(1);
@@ -68,8 +82,10 @@ sim::Task<void> DmaEngine::transfer(std::uint64_t bytes, Direction direction) {
   telemetry::tracer().complete_virtual(
       track_, direction == Direction::kHostToDevice ? "h2d" : "d2h", start,
       scheduler_.now());
-  if (config_.failure_rate > 0.0 &&
-      failure_rng_.next_double() < config_.failure_rate) {
+  if (injected.kind == fault::FaultKind::kFail ||
+      injected.kind == fault::FaultKind::kCorrupt ||
+      (config_.failure_rate > 0.0 &&
+       failure_rng_.next_double() < config_.failure_rate)) {
     // The transfer consumed engine time but delivered a CRC/abort error;
     // the host driver must re-queue it.
     ++failed_transfers_;

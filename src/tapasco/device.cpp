@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "spnhbm/fault/fault.hpp"
+
 namespace spnhbm::tapasco {
 
 Device::Device(sim::ProcessRunner& runner,
@@ -112,7 +114,16 @@ sim::Task<void> Device::dma_and_channel(std::size_t pe_index,
     } catch (const pcie::DmaError&) {
       failure = std::current_exception();
     }
-    co_await channel_side.join();
+    try {
+      co_await channel_side.join();
+    } catch (const hbm::HbmEccError&) {
+      // ECC-detected corruption on the memory side. A write stream can be
+      // re-queued here — the data is re-sent and overwrites the corrupted
+      // line. A read cannot: only re-running the producing job recomputes
+      // the data, so read-side ECC errors propagate to the host runtime.
+      if (!to_device) throw;
+      if (!failure) failure = std::current_exception();
+    }
     if (!failure) co_return;
     if (attempt >= kMaxDmaAttempts) std::rethrow_exception(failure);
   }
@@ -152,6 +163,25 @@ sim::Task<void> Device::launch_inference(std::size_t pe_index,
                                          std::uint64_t samples) {
   auto& scheduler = runner_.scheduler();
   fpga::SpnAccelerator& accelerator = pe(pe_index);
+  if (fault::injector().armed()) {
+    const fault::FaultDecision decision = fault::injector().decide(
+        "pe.launch", "pe" + std::to_string(pe_index));
+    switch (decision.kind) {
+      case fault::FaultKind::kFail:
+      case fault::FaultKind::kCorrupt:
+        // Rejected before any register is touched: nothing to clean up.
+        throw PeLaunchError("pe" + std::to_string(pe_index) +
+                            " rejected job launch (injected)");
+      case fault::FaultKind::kStall:
+      case fault::FaultKind::kDelay:
+      case fault::FaultKind::kHang:
+        // Slow doorbell path (interrupt storm / driver contention).
+        co_await sim::delay(scheduler, microseconds(decision.duration_us));
+        break;
+      case fault::FaultKind::kNone:
+        break;
+    }
+  }
   // AXI4-Lite register writes + doorbell.
   co_await sim::delay(scheduler, fpga::cal::kJobLaunchOverhead / 2);
   accelerator.write_register(fpga::Reg::kInputAddress, input_address);

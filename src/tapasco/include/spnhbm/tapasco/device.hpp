@@ -24,6 +24,15 @@
 
 namespace spnhbm::tapasco {
 
+/// A PE refused its job launch (injected fault): the control register write
+/// was rejected before the accelerator touched any data, so the job can be
+/// retried on the same or another device without cleanup.
+class PeLaunchError : public Error {
+ public:
+  explicit PeLaunchError(const std::string& what)
+      : Error("PE launch error: " + what) {}
+};
+
 struct CompositionConfig {
   fpga::Platform platform = fpga::Platform::kHbmXupVvh;
   int pe_count = 1;

@@ -1,0 +1,146 @@
+// Deterministic mock backend shared by the InferenceServer test suites
+// (batching, recovery, backpressure). Results are a checksum of the input
+// row, so a result landing in the wrong slot is always detected; failures
+// are scripted per submit call, so retry / failover / quarantine timelines
+// are exactly reproducible.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spnhbm/engine/engine.hpp"
+
+namespace spnhbm::engine_test {
+
+constexpr std::size_t kFeatures = 4;
+
+/// Deterministic per-sample "probability": a checksum of the input row.
+inline double encode(std::span<const std::uint8_t> row) {
+  double value = 1.0;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    value += static_cast<double>(row[j]) * static_cast<double>(j + 1);
+  }
+  return value;
+}
+
+class MockEngine : public engine::InferenceEngine {
+ public:
+  struct Config {
+    bool functional = true;
+    double nominal_throughput = 0.0;
+    /// Virtual seconds charged per sample (0 = never "measured").
+    double busy_per_sample = 0.0;
+    /// Every submit throws.
+    bool fail = false;
+    /// The first N submit calls throw; later ones succeed. Scripts
+    /// transient failures for the retry / circuit-breaker tests.
+    int fail_first_n = 0;
+    /// Throw whenever the batch's first sample byte equals this value
+    /// (-1 = never). Content-addressed poison: deterministic regardless of
+    /// how batches interleave with retries.
+    int poison_first_byte = -1;
+    /// submit blocks until release() — for backpressure tests.
+    bool gated = false;
+    std::size_t preferred_batch_samples = 64;
+    std::string name = "mock";
+  };
+
+  MockEngine() : MockEngine(Config()) {}
+  explicit MockEngine(Config config) : config_(config) {
+    capabilities_.name = config.name;
+    capabilities_.input_features = kFeatures;
+    capabilities_.functional = config.functional;
+    capabilities_.nominal_throughput = config.nominal_throughput;
+    capabilities_.preferred_batch_samples = config.preferred_batch_samples;
+  }
+
+  const engine::EngineCapabilities& capabilities() const override {
+    return capabilities_;
+  }
+
+  engine::BatchHandle submit(std::span<const std::uint8_t> samples,
+                             std::span<double> results) override {
+    const std::size_t count = check_batch(samples, results);
+    const std::size_t call = ++submit_calls_;
+    if (config_.gated) {
+      std::unique_lock<std::mutex> lock(gate_mutex_);
+      gate_cv_.wait(lock, [&] { return released_; });
+    }
+    if (config_.fail ||
+        call <= static_cast<std::size_t>(config_.fail_first_n) ||
+        (config_.poison_first_byte >= 0 && !samples.empty() &&
+         samples[0] == static_cast<std::uint8_t>(config_.poison_first_byte))) {
+      throw Error("mock backend failure");
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = encode(samples.subspan(i * kFeatures, kFeatures));
+    }
+    batch_sizes_.push_back(count);
+    stats_.batches += 1;
+    stats_.samples += count;
+    stats_.busy_seconds += static_cast<double>(count) * config_.busy_per_sample;
+    return next_handle_++;
+  }
+
+  void wait(engine::BatchHandle handle) override {
+    SPNHBM_REQUIRE(handle > last_completed_ && handle < next_handle_,
+                   "wait on unknown batch handle");
+    last_completed_ = handle;
+  }
+
+  double measure_throughput(std::uint64_t) override {
+    return capabilities_.nominal_throughput;
+  }
+
+  engine::EngineStats stats() const override { return stats_; }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+    released_ = true;
+    gate_cv_.notify_all();
+  }
+
+  /// Only read after InferenceServer::stop() (the join orders the access).
+  const std::vector<std::size_t>& batch_sizes() const { return batch_sizes_; }
+  std::size_t submit_calls() const { return submit_calls_; }
+
+ private:
+  Config config_;
+  engine::EngineCapabilities capabilities_;
+  engine::EngineStats stats_;
+  std::vector<std::size_t> batch_sizes_;
+  std::size_t submit_calls_ = 0;
+  engine::BatchHandle next_handle_ = 1;
+  engine::BatchHandle last_completed_ = 0;
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool released_ = false;
+};
+
+inline std::vector<std::uint8_t> make_request(std::size_t count,
+                                              std::uint8_t tag) {
+  std::vector<std::uint8_t> samples(count * kFeatures);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  return samples;
+}
+
+inline void expect_encoded(const std::vector<std::uint8_t>& request,
+                           const std::vector<double>& results) {
+  ASSERT_EQ(results.size(), request.size() / kFeatures);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i],
+                     encode(std::span<const std::uint8_t>(request).subspan(
+                         i * kFeatures, kFeatures)))
+        << "sample " << i;
+  }
+}
+
+}  // namespace spnhbm::engine_test

@@ -7,127 +7,21 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <condition_variable>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "mock_engine.hpp"
 #include "spnhbm/engine/server.hpp"
 
 namespace spnhbm {
 namespace {
 
-constexpr std::size_t kFeatures = 4;
-
-/// Deterministic per-sample "probability": a checksum of the input row, so
-/// a result landing in the wrong slot is always detected.
-double encode(std::span<const std::uint8_t> row) {
-  double value = 1.0;
-  for (std::size_t j = 0; j < row.size(); ++j) {
-    value += static_cast<double>(row[j]) * static_cast<double>(j + 1);
-  }
-  return value;
-}
-
-class MockEngine : public engine::InferenceEngine {
- public:
-  struct Config {
-    bool functional = true;
-    double nominal_throughput = 0.0;
-    /// Virtual seconds charged per sample (0 = never "measured").
-    double busy_per_sample = 0.0;
-    /// Every submit throws.
-    bool fail = false;
-    /// submit blocks until release() — for backpressure tests.
-    bool gated = false;
-    std::size_t preferred_batch_samples = 64;
-  };
-
-  MockEngine() : MockEngine(Config()) {}
-  explicit MockEngine(Config config) : config_(config) {
-    capabilities_.name = "mock";
-    capabilities_.input_features = kFeatures;
-    capabilities_.functional = config.functional;
-    capabilities_.nominal_throughput = config.nominal_throughput;
-    capabilities_.preferred_batch_samples = config.preferred_batch_samples;
-  }
-
-  const engine::EngineCapabilities& capabilities() const override {
-    return capabilities_;
-  }
-
-  engine::BatchHandle submit(std::span<const std::uint8_t> samples,
-                             std::span<double> results) override {
-    const std::size_t count = check_batch(samples, results);
-    if (config_.gated) {
-      std::unique_lock<std::mutex> lock(gate_mutex_);
-      gate_cv_.wait(lock, [&] { return released_; });
-    }
-    if (config_.fail) throw Error("mock backend failure");
-    for (std::size_t i = 0; i < count; ++i) {
-      results[i] = encode(samples.subspan(i * kFeatures, kFeatures));
-    }
-    batch_sizes_.push_back(count);
-    stats_.batches += 1;
-    stats_.samples += count;
-    stats_.busy_seconds += static_cast<double>(count) * config_.busy_per_sample;
-    return next_handle_++;
-  }
-
-  void wait(engine::BatchHandle handle) override {
-    SPNHBM_REQUIRE(handle > last_completed_ && handle < next_handle_,
-                   "wait on unknown batch handle");
-    last_completed_ = handle;
-  }
-
-  double measure_throughput(std::uint64_t) override {
-    return capabilities_.nominal_throughput;
-  }
-
-  engine::EngineStats stats() const override { return stats_; }
-
-  void release() {
-    std::lock_guard<std::mutex> lock(gate_mutex_);
-    released_ = true;
-    gate_cv_.notify_all();
-  }
-
-  /// Only read after InferenceServer::stop() (the join orders the access).
-  const std::vector<std::size_t>& batch_sizes() const { return batch_sizes_; }
-
- private:
-  Config config_;
-  engine::EngineCapabilities capabilities_;
-  engine::EngineStats stats_;
-  std::vector<std::size_t> batch_sizes_;
-  engine::BatchHandle next_handle_ = 1;
-  engine::BatchHandle last_completed_ = 0;
-  std::mutex gate_mutex_;
-  std::condition_variable gate_cv_;
-  bool released_ = false;
-};
-
-std::vector<std::uint8_t> make_request(std::size_t count,
-                                       std::uint8_t tag) {
-  std::vector<std::uint8_t> samples(count * kFeatures);
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    samples[i] = static_cast<std::uint8_t>(tag + i);
-  }
-  return samples;
-}
-
-void expect_encoded(const std::vector<std::uint8_t>& request,
-                    const std::vector<double>& results) {
-  ASSERT_EQ(results.size(), request.size() / kFeatures);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    EXPECT_DOUBLE_EQ(results[i],
-                     encode(std::span<const std::uint8_t>(request).subspan(
-                         i * kFeatures, kFeatures)))
-        << "sample " << i;
-  }
-}
+using engine_test::MockEngine;
+using engine_test::expect_encoded;
+using engine_test::kFeatures;
+using engine_test::make_request;
 
 TEST(Server, CoalescesSmallRequestsIntoBlockSizedBatches) {
   // k requests of n samples queued before start must dispatch in exactly
@@ -307,8 +201,10 @@ TEST(Server, RegistrationValidatesEngines) {
 }
 
 TEST(Server, SubmitValidatesRequests) {
-  engine::InferenceServer server(
-      {.batch_samples = 4, .max_queue_samples = 16});
+  engine::ServerConfig validate_config;
+  validate_config.batch_samples = 4;
+  validate_config.max_queue_samples = 16;
+  engine::InferenceServer server(validate_config);
   server.register_engine(std::make_shared<MockEngine>());
 
   // Not a whole number of rows.
@@ -319,7 +215,8 @@ TEST(Server, SubmitValidatesRequests) {
 
   server.start();
   server.stop();
-  EXPECT_THROW(server.submit(make_request(1, 0)), std::logic_error);
+  // Lifecycle misuse is a runtime API error, not a validation failure.
+  EXPECT_THROW(server.submit(make_request(1, 0)), RuntimeApiError);
 }
 
 TEST(Server, StatsCarryLatencyAndQueueWaitDistributions) {

@@ -1,0 +1,252 @@
+// FaultPlan / FaultInjector tests: JSON round-trips, trigger semantics
+// (window / every / probability), instance filters, determinism of the
+// injected sequence, the disarmed fast path, and malformed-plan errors.
+#include "spnhbm/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::fault {
+namespace {
+
+TEST(FaultPlan, ParsesTheFullRuleSchema) {
+  const FaultPlan plan = FaultPlan::from_json(R"({
+    "seed": 42,
+    "faults": [
+      {"site": "hbm.access", "instance": "hbm/ch0", "kind": "stall",
+       "every": 5, "duration_us": 20},
+      {"site": "pcie.dma", "kind": "fail", "from": 2, "until": 4},
+      {"site": "engine.submit", "kind": "corrupt", "probability": 0.25,
+       "corrupt_mask": 8}
+    ]
+  })");
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].site, "hbm.access");
+  EXPECT_EQ(plan.rules[0].instance, "hbm/ch0");
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kStall);
+  EXPECT_EQ(plan.rules[0].every, 5u);
+  EXPECT_DOUBLE_EQ(plan.rules[0].duration_us, 20.0);
+  EXPECT_TRUE(plan.rules[1].has_window);
+  EXPECT_EQ(plan.rules[1].from, 2u);
+  EXPECT_EQ(plan.rules[1].until, 4u);
+  EXPECT_DOUBLE_EQ(plan.rules[2].probability, 0.25);
+  EXPECT_EQ(plan.rules[2].corrupt_mask, 8);
+}
+
+TEST(FaultPlan, JsonRoundTripPreservesEveryField) {
+  const std::string text = R"({
+    "seed": 7,
+    "faults": [
+      {"site": "pe.launch", "instance": "pe1", "kind": "delay",
+       "from": 1, "until": 3, "duration_us": 12.5},
+      {"site": "engine.wait", "kind": "hang", "every": 2,
+       "duration_us": 100}
+    ]
+  })";
+  const FaultPlan first = FaultPlan::from_json(text);
+  const FaultPlan second = FaultPlan::from_json(first.to_json());
+  EXPECT_EQ(second.seed, first.seed);
+  ASSERT_EQ(second.rules.size(), first.rules.size());
+  for (std::size_t i = 0; i < first.rules.size(); ++i) {
+    EXPECT_EQ(second.rules[i].site, first.rules[i].site);
+    EXPECT_EQ(second.rules[i].instance, first.rules[i].instance);
+    EXPECT_EQ(second.rules[i].kind, first.rules[i].kind);
+    EXPECT_DOUBLE_EQ(second.rules[i].probability, first.rules[i].probability);
+    EXPECT_EQ(second.rules[i].every, first.rules[i].every);
+    EXPECT_EQ(second.rules[i].from, first.rules[i].from);
+    EXPECT_EQ(second.rules[i].until, first.rules[i].until);
+    EXPECT_EQ(second.rules[i].has_window, first.rules[i].has_window);
+    EXPECT_DOUBLE_EQ(second.rules[i].duration_us, first.rules[i].duration_us);
+    EXPECT_EQ(second.rules[i].corrupt_mask, first.rules[i].corrupt_mask);
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedDocuments) {
+  EXPECT_THROW(FaultPlan::from_json("[]"), ParseError);
+  EXPECT_THROW(FaultPlan::from_json(R"({"seed": 1})"), ParseError);
+  // Missing site.
+  EXPECT_THROW(FaultPlan::from_json(R"({"faults": [{"every": 2}]})"),
+               ParseError);
+  // Unknown kind.
+  EXPECT_THROW(FaultPlan::from_json(
+                   R"({"faults": [{"site": "x", "kind": "melt", "every": 2}]})"),
+               ParseError);
+  // No trigger.
+  EXPECT_THROW(FaultPlan::from_json(R"({"faults": [{"site": "x"}]})"),
+               ParseError);
+  // Two triggers.
+  EXPECT_THROW(
+      FaultPlan::from_json(
+          R"({"faults": [{"site": "x", "every": 2, "probability": 0.5}]})"),
+      ParseError);
+  // Degenerate window and probability.
+  EXPECT_THROW(FaultPlan::from_json(
+                   R"({"faults": [{"site": "x", "from": 3, "until": 3}]})"),
+               ParseError);
+  EXPECT_THROW(FaultPlan::from_json(
+                   R"({"faults": [{"site": "x", "probability": 1.5}]})"),
+               ParseError);
+  EXPECT_THROW(FaultPlan::from_json(R"({"faults": [{"site": "x", "every": 0}]})"),
+               ParseError);
+}
+
+TEST(FaultKindNames, RoundTrip) {
+  for (const FaultKind kind :
+       {FaultKind::kFail, FaultKind::kStall, FaultKind::kCorrupt,
+        FaultKind::kDelay, FaultKind::kHang}) {
+    EXPECT_EQ(fault_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(fault_kind_from_string("bogus"), ParseError);
+}
+
+TEST(FaultInjector, EveryTriggerFiresOnEveryNthOp) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = "site";
+  rule.kind = FaultKind::kFail;
+  rule.every = 3;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan armed(plan);
+  std::vector<std::size_t> fired;
+  for (std::size_t op = 0; op < 9; ++op) {
+    if (injector().decide("site", "a")) fired.push_back(op);
+  }
+  EXPECT_EQ(fired, (std::vector<std::size_t>{2, 5, 8}));
+  EXPECT_EQ(injector().injected(), 3u);
+}
+
+TEST(FaultInjector, WindowTriggerFiresOnHalfOpenRange) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = "site";
+  rule.kind = FaultKind::kStall;
+  rule.has_window = true;
+  rule.from = 1;
+  rule.until = 3;
+  rule.duration_us = 5.0;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan armed(plan);
+  std::vector<std::size_t> fired;
+  for (std::size_t op = 0; op < 6; ++op) {
+    const FaultDecision decision = injector().decide("site", "a");
+    if (decision) {
+      EXPECT_EQ(decision.kind, FaultKind::kStall);
+      EXPECT_DOUBLE_EQ(decision.duration_us, 5.0);
+      fired.push_back(op);
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(FaultInjector, InstanceFilterKeepsIndependentOpCounters) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = "site";
+  rule.instance = "b";
+  rule.kind = FaultKind::kFail;
+  rule.has_window = true;
+  rule.from = 0;
+  rule.until = 1;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan armed(plan);
+  // Ops on instance "a" never fire and never advance "b"'s counter.
+  EXPECT_FALSE(injector().decide("site", "a"));
+  EXPECT_FALSE(injector().decide("site", "a"));
+  EXPECT_TRUE(injector().decide("site", "b"));   // b's op 0
+  EXPECT_FALSE(injector().decide("site", "b"));  // b's op 1
+}
+
+TEST(FaultInjector, ProbabilityTriggerIsDeterministicInTheSeed) {
+  FaultPlan plan;
+  plan.seed = 99;
+  FaultRule rule;
+  rule.site = "site";
+  rule.kind = FaultKind::kFail;
+  rule.probability = 0.5;
+  plan.rules.push_back(rule);
+
+  const auto run = [&plan] {
+    ScopedFaultPlan armed(plan);
+    std::vector<bool> outcomes;
+    for (std::size_t op = 0; op < 64; ++op) {
+      outcomes.push_back(static_cast<bool>(injector().decide("site", "a")));
+    }
+    return outcomes;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // Not degenerate: some ops fire, some do not.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+
+  // A different seed produces a different (still deterministic) sequence.
+  plan.seed = 100;
+  EXPECT_NE(run(), first);
+}
+
+TEST(FaultInjector, LogRecordsTheInjectedSequence) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = "site";
+  rule.kind = FaultKind::kCorrupt;
+  rule.every = 2;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan armed(plan);
+  for (std::size_t op = 0; op < 4; ++op) injector().decide("site", "chan");
+  const std::vector<InjectedFault> log = injector().log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].site, "site");
+  EXPECT_EQ(log[0].instance, "chan");
+  EXPECT_EQ(log[0].op_index, 1u);
+  EXPECT_EQ(log[0].kind, FaultKind::kCorrupt);
+  EXPECT_EQ(log[1].op_index, 3u);
+}
+
+TEST(FaultInjector, DisarmedDecidesNothing) {
+  injector().disarm();
+  EXPECT_FALSE(injector().armed());
+  EXPECT_FALSE(injector().decide("site", "a"));
+  {
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = "site";
+    rule.kind = FaultKind::kFail;
+    rule.every = 1;
+    plan.rules.push_back(rule);
+    ScopedFaultPlan armed(plan);
+    EXPECT_TRUE(injector().armed());
+    EXPECT_TRUE(injector().decide("site", "a"));
+  }
+  // ScopedFaultPlan disarms on scope exit.
+  EXPECT_FALSE(injector().armed());
+  EXPECT_FALSE(injector().decide("site", "a"));
+}
+
+TEST(FaultInjector, RearmResetsCountersAndLog) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = "site";
+  rule.kind = FaultKind::kFail;
+  rule.has_window = true;
+  rule.from = 0;
+  rule.until = 1;
+  plan.rules.push_back(rule);
+  ScopedFaultPlan armed(plan);
+  EXPECT_TRUE(injector().decide("site", "a"));
+  EXPECT_FALSE(injector().decide("site", "a"));
+  injector().arm(plan);  // op counters restart: op 0 fires again
+  EXPECT_TRUE(injector().decide("site", "a"));
+  EXPECT_EQ(injector().injected(), 1u);
+  EXPECT_EQ(injector().log().size(), 1u);
+}
+
+}  // namespace
+}  // namespace spnhbm::fault

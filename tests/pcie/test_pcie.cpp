@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "spnhbm/fault/fault.hpp"
 #include "spnhbm/sim/process.hpp"
 
 namespace spnhbm::pcie {
@@ -116,6 +119,64 @@ TEST(DmaEngine, RejectsEmptyTransfer) {
   });
   scheduler.run();
   EXPECT_THROW(runner.check(), std::logic_error);
+}
+
+TEST(DmaEngineFaults, InjectedFailAbortsExactlyTheTargetedTransfers) {
+  // "every 2" fires on ops 1 and 3: of four transfers, the second and
+  // fourth abort with DmaError and are counted as failed.
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = "pcie.dma";
+  rule.kind = fault::FaultKind::kFail;
+  rule.every = 2;
+  plan.rules.push_back(rule);
+  fault::ScopedFaultPlan armed(plan);
+
+  sim::Scheduler scheduler;
+  DmaEngine dma(scheduler);
+  sim::ProcessRunner runner(scheduler);
+  int failures = 0;
+  runner.spawn([&]() -> sim::Process {
+    for (int i = 0; i < 4; ++i) {
+      try {
+        co_await dma.transfer(kMiB, Direction::kHostToDevice);
+      } catch (const DmaError&) {
+        ++failures;
+      }
+    }
+  });
+  scheduler.run();
+  runner.check();
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(dma.failed_transfers(), 2u);
+}
+
+TEST(DmaEngineFaults, InjectedStallDelaysCompletionExactly) {
+  const auto run = [](bool inject) {
+    std::unique_ptr<fault::ScopedFaultPlan> armed;
+    if (inject) {
+      fault::FaultPlan plan;
+      fault::FaultRule rule;
+      rule.site = "pcie.dma";
+      rule.kind = fault::FaultKind::kStall;
+      rule.every = 1;
+      rule.duration_us = 100.0;
+      plan.rules.push_back(rule);
+      armed = std::make_unique<fault::ScopedFaultPlan>(plan);
+    }
+    sim::Scheduler scheduler;
+    DmaEngine dma(scheduler);
+    sim::ProcessRunner runner(scheduler);
+    runner.spawn([&]() -> sim::Process {
+      co_await dma.transfer(4 * kMiB, Direction::kDeviceToHost);
+    });
+    scheduler.run();
+    runner.check();
+    return scheduler.now();
+  };
+  const Picoseconds baseline = run(false);
+  const Picoseconds stalled = run(true);
+  EXPECT_EQ(stalled - baseline, microseconds(100.0));
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "spnhbm/fault/fault.hpp"
 #include "spnhbm/workload/model_zoo.hpp"
 
 namespace spnhbm::tapasco {
@@ -110,6 +114,185 @@ TEST(Device, F1UsesSlowerDma) {
   Device f1_device(runner2, f1_module, *f64, f1_config);
   EXPECT_LT(f1_device.dma().config().engine_bandwidth.as_gib_per_second(),
             hbm_device.dma().config().engine_bandwidth.as_gib_per_second());
+}
+
+TEST(DeviceFaults, WriteSideEccErrorIsHealedByDriverRetry) {
+  // Corrupting the first HBM burst of a host->device stream trips the ECC
+  // check; the driver layer re-queues the write (the retried stream
+  // re-sends the data), so the copy still succeeds and the backing store
+  // ends up with the intended bytes.
+  Harness h;
+  CompositionConfig config;
+  Device device(h.runner, h.module, *h.backend, config);
+
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = "hbm.access";
+  rule.instance = "hbm/ch0";
+  rule.kind = fault::FaultKind::kCorrupt;
+  rule.has_window = true;
+  rule.from = 0;
+  rule.until = 1;
+  plan.rules.push_back(rule);
+  fault::ScopedFaultPlan armed(plan);
+
+  std::vector<std::uint8_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  std::vector<std::uint8_t> readback(data.size());
+  h.runner.spawn([&]() -> sim::Process {
+    co_await device.copy_to_device(0, 8192, data);
+    co_await device.copy_from_device(0, 8192, readback);
+  });
+  h.scheduler.run();
+  h.runner.check();
+  EXPECT_EQ(readback, data);
+  EXPECT_EQ(fault::injector().injected(), 1u);
+}
+
+TEST(DeviceFaults, ReadSideEccErrorPropagatesToTheHost) {
+  // A read stream cannot be healed by re-queueing — only re-running the
+  // producing job recomputes the data — so the ECC error must reach the
+  // caller (where the serving layer's batch retry takes over).
+  Harness h;
+  CompositionConfig config;
+  Device device(h.runner, h.module, *h.backend, config);
+
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = "hbm.access";
+  rule.instance = "hbm/ch0";
+  rule.kind = fault::FaultKind::kCorrupt;
+  rule.has_window = true;
+  rule.from = 0;
+  rule.until = 1;
+  plan.rules.push_back(rule);
+  fault::ScopedFaultPlan armed(plan);
+
+  std::vector<std::uint8_t> out(4096);
+  h.runner.spawn([&]() -> sim::Process {
+    co_await device.copy_from_device(0, 8192, out);
+  });
+  h.scheduler.run();
+  EXPECT_THROW(h.runner.check(), hbm::HbmEccError);
+}
+
+TEST(DeviceFaults, TransientDmaFaultIsRetriedToCompletion) {
+  Harness h;
+  CompositionConfig config;
+  Device device(h.runner, h.module, *h.backend, config);
+
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = "pcie.dma";
+  rule.kind = fault::FaultKind::kFail;
+  rule.has_window = true;
+  rule.from = 0;
+  rule.until = 1;
+  plan.rules.push_back(rule);
+  fault::ScopedFaultPlan armed(plan);
+
+  std::vector<std::uint8_t> data(2048, 0x5A);
+  std::vector<std::uint8_t> readback(data.size());
+  h.runner.spawn([&]() -> sim::Process {
+    co_await device.copy_to_device(0, 0, data);
+    co_await device.copy_from_device(0, 0, readback);
+  });
+  h.scheduler.run();
+  h.runner.check();
+  EXPECT_EQ(readback, data);
+  EXPECT_EQ(device.dma().failed_transfers(), 1u);
+  // First transfer burnt by the fault + its retry + the read-back.
+  EXPECT_EQ(device.dma().transfers(), 3u);
+}
+
+TEST(DeviceFaults, PersistentDmaFaultExhaustsTheRetryBudget) {
+  Harness h;
+  CompositionConfig config;
+  Device device(h.runner, h.module, *h.backend, config);
+
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = "pcie.dma";
+  rule.kind = fault::FaultKind::kFail;
+  rule.every = 1;  // every transfer aborts
+  plan.rules.push_back(rule);
+  fault::ScopedFaultPlan armed(plan);
+
+  std::vector<std::uint8_t> data(1024, 1);
+  h.runner.spawn([&]() -> sim::Process {
+    co_await device.copy_to_device(0, 0, data);
+  });
+  h.scheduler.run();
+  EXPECT_THROW(h.runner.check(), pcie::DmaError);
+  // The driver's bounded budget: 8 attempts, all failed.
+  EXPECT_EQ(device.dma().failed_transfers(), 8u);
+}
+
+TEST(DeviceFaults, PeLaunchFaultRejectsTheJobThenRecovers) {
+  Harness h;
+  CompositionConfig config;
+  config.compute_results = false;
+  Device device(h.runner, h.module, *h.backend, config);
+
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = "pe.launch";
+  rule.instance = "pe0";
+  rule.kind = fault::FaultKind::kFail;
+  rule.has_window = true;
+  rule.from = 0;
+  rule.until = 1;
+  plan.rules.push_back(rule);
+  fault::ScopedFaultPlan armed(plan);
+
+  h.runner.spawn([&]() -> sim::Process {
+    co_await device.launch_inference(0, 0, 16 * kMiB, 100);
+  });
+  h.scheduler.run();
+  EXPECT_THROW(h.runner.check(), PeLaunchError);
+
+  // The next launch (op 1, outside the window) proceeds normally.
+  h.runner.spawn([&]() -> sim::Process {
+    co_await device.launch_inference(0, 0, 16 * kMiB, 100);
+  });
+  h.scheduler.run();
+  h.runner.check();
+  EXPECT_GE(h.scheduler.now(), fpga::cal::kJobLaunchOverhead);
+}
+
+TEST(DeviceFaults, PeLaunchStallDelaysTheDoorbell) {
+  Harness h;
+  CompositionConfig config;
+  config.compute_results = false;
+  Device device(h.runner, h.module, *h.backend, config);
+  const auto run = [&](bool inject) {
+    std::unique_ptr<fault::ScopedFaultPlan> armed;
+    if (inject) {
+      fault::FaultPlan plan;
+      fault::FaultRule rule;
+      rule.site = "pe.launch";
+      rule.kind = fault::FaultKind::kStall;
+      rule.every = 1;
+      rule.duration_us = 250.0;
+      plan.rules.push_back(rule);
+      armed = std::make_unique<fault::ScopedFaultPlan>(plan);
+    }
+    const Picoseconds start = h.scheduler.now();
+    h.runner.spawn([&]() -> sim::Process {
+      co_await device.launch_inference(0, 0, 16 * kMiB, 100);
+    });
+    h.scheduler.run();
+    h.runner.check();
+    return h.scheduler.now() - start;
+  };
+  const Picoseconds baseline = run(false);
+  const Picoseconds stalled = run(true);
+  // Consecutive launches differ by a few ns of register-file state, so
+  // bound the injected delay instead of demanding exact equality.
+  EXPECT_GE(stalled - baseline, microseconds(250.0));
+  EXPECT_LT(stalled - baseline, microseconds(251.0));
 }
 
 TEST(Device, RejectsBadIndices) {

@@ -11,10 +11,13 @@
 //   spnhbm simulate <spn.txt> [--format ...] [--pes N] [--threads N]
 //                   [--samples N] [--no-transfers] [--pcie GEN]
 //                   [--metrics-out FILE] [--trace-out FILE]
+//                   [--fault-plan plan.json]
 //       Run the timing simulation and print end-to-end statistics.
 //       --metrics-out dumps the metrics registry as JSON; --trace-out
 //       writes a Chrome trace-event JSON (virtual-time swim lanes per HBM
 //       channel, PCIe DMA, PE and control thread) for Perfetto.
+//       --fault-plan arms the deterministic fault injector (HBM stalls /
+//       ECC corruption, DMA aborts, PE launch faults) for the run.
 //
 //   spnhbm infer <spn.txt> <samples.csv> [--engine fpga|cpu|gpu]
 //       Run real samples (one CSV row of byte features per line) through
@@ -25,29 +28,42 @@
 //                [--engines fpga,cpu,gpu] [--format ...] [--pes N]
 //                [--batch N] [--max-latency-us U] [--queue-bound N]
 //                [--policy rr|load] [--metrics-out FILE] [--trace-out FILE]
+//                [--fault-plan plan.json] [--request-timeout US]
 //       Replay each CSV row as an independent single-sample request
 //       through the async batching InferenceServer; print one probability
-//       per line plus the server/engine statistics.
+//       per line plus the server/engine statistics. Engines may carry a
+//       failover tier as name:prio (e.g. fpga:0,cpu:1 — the CPU only
+//       serves while every tier-0 engine is quarantined). --fault-plan
+//       arms the deterministic fault injector and wraps every engine in
+//       the chaos decorator; the self-healing server (retries, failover,
+//       quarantine + probes, deadlines) then recovers where it can, and
+//       rows that still fail print an "error:" line instead of a
+//       probability. --request-timeout sets the per-request deadline.
 //
 //   spnhbm learn <data.csv> [--min-instances N] [--threshold X]
 //       Learn a Mixed SPN from CSV data; print its textual description.
 //
 //   spnhbm sample <spn.txt> [--count N] [--seed S]
 //       Draw samples from the SPN's joint distribution (CSV to stdout).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "spnhbm/compiler/serialize.hpp"
+#include "spnhbm/engine/chaos_engine.hpp"
 #include "spnhbm/engine/cpu_engine.hpp"
 #include "spnhbm/engine/fpga_engine.hpp"
 #include "spnhbm/engine/gpu_engine.hpp"
 #include "spnhbm/engine/server.hpp"
+#include "spnhbm/fault/fault.hpp"
 #include "spnhbm/fpga/resource_model.hpp"
 #include "spnhbm/runtime/inference_runtime.hpp"
 #include "spnhbm/spn/dot_export.hpp"
@@ -146,6 +162,32 @@ struct TelemetryOutputs {
   }
 };
 
+/// --fault-plan FILE: arms the global injector for this process. Returns
+/// true when a plan is active (chaos mode).
+bool arm_fault_plan(const Args& args) {
+  const std::string path = args.option("fault-plan", "");
+  if (path.empty()) return false;
+  const fault::FaultPlan plan = fault::FaultPlan::from_json_file(path);
+  fault::injector().arm(plan);
+  std::fprintf(stderr, "fault plan armed: %zu rule(s), seed %llu\n",
+               plan.rules.size(), static_cast<unsigned long long>(plan.seed));
+  return true;
+}
+
+void print_fault_summary() {
+  std::printf("faults injected: %llu\n",
+              static_cast<unsigned long long>(fault::injector().injected()));
+  std::map<std::string, std::uint64_t> by_site;
+  for (const auto& entry : fault::injector().log()) {
+    by_site[entry.site + "/" + entry.instance + " " +
+            fault::to_string(entry.kind)] += 1;
+  }
+  for (const auto& [label, count] : by_site) {
+    std::printf("  %s x%llu\n", label.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+}
+
 std::unique_ptr<arith::ArithBackend> backend_for(const std::string& name) {
   if (name == "cfp") return arith::make_cfp_backend(arith::paper_cfp_format());
   if (name == "lns") return arith::make_lns_backend(arith::paper_lns_format());
@@ -211,6 +253,7 @@ int cmd_resources(const Args& args) {
 int cmd_simulate(const Args& args) {
   if (args.positional.empty()) usage();
   const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
+  const bool chaos = arm_fault_plan(args);
   const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
   const auto backend = backend_for(args.option("format", "cfp"));
   const auto module = compiler::compile_spn(model, *backend);
@@ -237,6 +280,7 @@ int cmd_simulate(const Args& args) {
   registry.gauge("sim.events_processed")
       ->set(static_cast<double>(scheduler.events_processed()));
   registry.gauge("sim.samples_per_second")->set(stats.samples_per_second);
+  if (chaos) print_fault_summary();
   telemetry_outputs.write();
   return 0;
 }
@@ -277,6 +321,7 @@ int cmd_infer(const Args& args) {
 int cmd_serve(const Args& args) {
   if (args.positional.empty()) usage();
   const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
+  const bool chaos = arm_fault_plan(args);
   const std::string requests_path = args.option("requests", "");
   if (requests_path.empty()) usage();
   const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
@@ -304,32 +349,68 @@ int cmd_serve(const Args& args) {
   }
   config.policy = policy == "load" ? engine::DispatchPolicy::kLeastLoaded
                                    : engine::DispatchPolicy::kRoundRobin;
+  const long long timeout_us =
+      std::atoll(args.option("request-timeout", "0").c_str());
+  config.request_timeout = std::chrono::microseconds(timeout_us);
   engine::InferenceServer server(config);
   const int pes = std::atoi(args.option("pes", "1").c_str());
-  for (const auto& name : split(args.option("engines", "fpga,cpu"), ',')) {
-    server.register_engine(engine_for(name, module, *backend, pes));
+  for (const auto& spec : split(args.option("engines", "fpga,cpu"), ',')) {
+    // Engine spec "name" or "name:prio" (failover tier, 0 = preferred).
+    std::string name = spec;
+    int priority = 0;
+    if (const auto colon = spec.find(':'); colon != std::string::npos) {
+      name = spec.substr(0, colon);
+      priority = std::atoi(spec.c_str() + colon + 1);
+    }
+    auto engine = engine_for(name, module, *backend, pes);
+    if (chaos) {
+      engine = std::make_unique<engine::ChaosEngine>(std::move(engine));
+    }
+    server.register_engine(std::move(engine), priority);
   }
   server.start();
 
-  // Replay: every CSV row is one independent request.
+  // Replay: every CSV row is one independent request. Under chaos, a
+  // fail-fast NoHealthyEngineError is handled the way a real client
+  // would: back off and resubmit until a probe readmits an engine.
+  const bool soft_errors = chaos || timeout_us > 0;
   std::vector<std::future<std::vector<double>>> futures;
   futures.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(server.submit(std::vector<std::uint8_t>(
+    std::vector<std::uint8_t> row(
         samples.begin() + static_cast<std::ptrdiff_t>(i * features),
-        samples.begin() + static_cast<std::ptrdiff_t>((i + 1) * features))));
+        samples.begin() + static_cast<std::ptrdiff_t>((i + 1) * features));
+    for (int backoff = 0;; ++backoff) {
+      try {
+        futures.push_back(server.submit(std::move(row)));
+        break;
+      } catch (const engine::NoHealthyEngineError& e) {
+        if (!soft_errors || backoff >= 2000) throw;
+        if (backoff == 0) {
+          std::fprintf(stderr, "serve: %s (backing off)\n", e.what());
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
   }
   for (auto& future : futures) {
-    std::printf("%.12e\n", future.get().front());
+    try {
+      std::printf("%.12e\n", future.get().front());
+    } catch (const std::exception& e) {
+      if (!soft_errors) throw;
+      std::printf("error: %s\n", e.what());
+    }
   }
   server.stop();
 
   std::printf("server: %s\n", server.stats().describe().c_str());
   for (std::size_t i = 0; i < server.engine_count(); ++i) {
-    std::printf("engine %s: %s\n",
+    std::printf("engine %s [%s]: %s\n",
                 server.engine(i).capabilities().name.c_str(),
+                engine::to_string(server.engine_health(i)).c_str(),
                 server.engine(i).stats().describe().c_str());
   }
+  if (chaos) print_fault_summary();
   telemetry_outputs.write();
   return 0;
 }
