@@ -26,4 +26,9 @@ DatapathModule load_design(std::istream& in);
 void save_design_file(const DatapathModule& module, const std::string& path);
 DatapathModule load_design_file(const std::string& path);
 
+/// True when `path` starts with the design-file magic ("SPND"), i.e. it
+/// holds a serialised design rather than a textual SPN description.
+/// Throws Error when the file cannot be opened.
+bool is_design_file(const std::string& path);
+
 }  // namespace spnhbm::compiler

@@ -153,4 +153,12 @@ DatapathModule load_design_file(const std::string& path) {
   return load_design(in);
 }
 
+bool is_design_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open file: " + path);
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return in.gcount() == sizeof(magic) && magic == kMagic;
+}
+
 }  // namespace spnhbm::compiler

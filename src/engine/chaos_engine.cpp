@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "spnhbm/fault/fault.hpp"
 
@@ -25,6 +26,15 @@ ChaosEngine::ChaosEngine(std::unique_ptr<InferenceEngine> inner)
 
 const EngineCapabilities& ChaosEngine::capabilities() const {
   return inner_->capabilities();
+}
+
+const ModelHandle& ChaosEngine::loaded_model() const {
+  return inner_->loaded_model();
+}
+
+void ChaosEngine::activate(ModelHandle next) {
+  apply("engine.activate");
+  inner_->activate(std::move(next));
 }
 
 void ChaosEngine::apply(const char* site) {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "spnhbm/util/strings.hpp"
 
@@ -14,17 +15,40 @@ std::size_t resolve_threads(std::size_t requested) {
 }
 }  // namespace
 
+CpuEngine::CpuEngine(ModelHandle model, CpuEngineConfig config)
+    : model_(std::move(model)), config_(config) {
+  SPNHBM_REQUIRE(model_ != nullptr, "CpuEngine requires a model");
+  native_ = std::make_unique<baselines::CpuInferenceEngine>(
+      model_->module(), resolve_threads(config_.threads));
+  refresh_capabilities();
+}
+
 CpuEngine::CpuEngine(const compiler::DatapathModule& module,
                      CpuEngineConfig config)
-    : native_(module, resolve_threads(config.threads)) {
-  capabilities_.name = strformat("cpu-native x%zu", native_.threads());
-  capabilities_.input_features = module.input_features();
+    : CpuEngine(model::ModelArtifact::wrap("default", module,
+                                           arith::make_float64_backend()),
+                config) {}
+
+void CpuEngine::refresh_capabilities() {
+  capabilities_.name = strformat("cpu-native x%zu", native_->threads());
+  capabilities_.input_features = model_->module().input_features();
   capabilities_.functional = true;
   // Unknown until measured: the host's real speed depends on the machine.
   capabilities_.nominal_throughput = 0.0;
   // Big enough to amortise thread-pool dispatch, small enough to keep the
   // struct-of-arrays working set in cache.
   capabilities_.preferred_batch_samples = 8192;
+}
+
+void CpuEngine::activate(ModelHandle next) {
+  SPNHBM_REQUIRE(next != nullptr, "activate requires a model");
+  SPNHBM_REQUIRE(pending_.empty(), "activate with batches in flight");
+  auto native = std::make_unique<baselines::CpuInferenceEngine>(
+      next->module(), resolve_threads(config_.threads));
+  native_ = std::move(native);
+  model_ = std::move(next);
+  refresh_capabilities();
+  stats_.reconfigurations += 1;  // host-side swap: no device time charged
 }
 
 BatchHandle CpuEngine::submit(std::span<const std::uint8_t> samples,
@@ -34,7 +58,7 @@ BatchHandle CpuEngine::submit(std::span<const std::uint8_t> samples,
   pending_.emplace(handle,
                    std::async(std::launch::async, [this, samples, results] {
                      const auto start = std::chrono::steady_clock::now();
-                     native_.infer(samples, results);
+                     native_->infer(samples, results);
                      return std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - start)
                          .count();
@@ -56,7 +80,7 @@ void CpuEngine::wait(BatchHandle handle) {
 
 double CpuEngine::measure_throughput(std::uint64_t sample_count) {
   const double rate =
-      native_.measure_throughput(static_cast<std::size_t>(sample_count));
+      native_->measure_throughput(static_cast<std::size_t>(sample_count));
   stats_.batches += 1;
   stats_.samples += sample_count;
   stats_.busy_seconds += static_cast<double>(sample_count) / rate;

@@ -17,6 +17,11 @@ std::string EngineStats::describe() const {
         batch_latency_us.p50(), batch_latency_us.p95(),
         batch_latency_us.p99());
   }
+  if (reconfigurations > 0) {
+    text += strformat(", %llu reconfigurations (%.3f ms)",
+                      static_cast<unsigned long long>(reconfigurations),
+                      reconfiguration_seconds * 1e3);
+  }
   return text;
 }
 

@@ -1,5 +1,7 @@
 #include "spnhbm/engine/fpga_engine.hpp"
 
+#include <utility>
+
 #include "spnhbm/fpga/resource_model.hpp"
 #include "spnhbm/util/strings.hpp"
 
@@ -31,28 +33,97 @@ runtime::RuntimeConfig make_runtime_config(const FpgaEngineConfig& config) {
   return rc;
 }
 
+/// Device bytes of one PE's lookup-table image in the artifact's format.
+std::uint64_t table_image_bytes(const model::ModelArtifact& artifact) {
+  const std::uint64_t value_bytes =
+      (static_cast<std::uint64_t>(artifact.backend().width_bits()) + 7) / 8;
+  std::uint64_t bytes = 0;
+  for (const auto& table : artifact.module().tables()) {
+    bytes += table.probability_by_byte.size() * value_bytes;
+  }
+  return bytes;
+}
+
 }  // namespace
+
+FpgaSimEngine::FpgaSimEngine(ModelHandle model, FpgaEngineConfig config)
+    : model_(std::move(model)), config_(config), runner_(scheduler_) {
+  SPNHBM_REQUIRE(model_ != nullptr, "FpgaSimEngine requires a model");
+  device_ = std::make_unique<tapasco::Device>(
+      runner_, model_->module(), model_->backend(),
+      make_composition(model_->module(), model_->backend(), config_));
+  runtime_ = std::make_unique<runtime::InferenceRuntime>(
+      runner_, *device_, model_->module(), make_runtime_config(config_));
+  refresh_capabilities();
+}
 
 FpgaSimEngine::FpgaSimEngine(const compiler::DatapathModule& module,
                              const arith::ArithBackend& backend,
                              FpgaEngineConfig config)
-    : runner_(scheduler_),
-      device_(runner_, module, backend, make_composition(module, backend,
-                                                         config)),
-      runtime_(runner_, device_, module, make_runtime_config(config)) {
+    : FpgaSimEngine(model::ModelArtifact::wrap("default", module, backend),
+                    config) {}
+
+void FpgaSimEngine::refresh_capabilities() {
   capabilities_.name = strformat(
       "fpga-sim/%s x%zu",
-      config.platform == fpga::Platform::kF1 ? "f1" : "hbm",
-      device_.pe_count());
-  capabilities_.input_features = module.input_features();
-  capabilities_.functional = config.compute_results;
+      config_.platform == fpga::Platform::kF1 ? "f1" : "hbm",
+      device_->pe_count());
+  capabilities_.input_features = model_->module().input_features();
+  capabilities_.functional = config_.compute_results;
   // Compute ceiling of the composed design: one sample per PE clock per PE
   // (II = 1). The server replaces this with measured throughput as soon as
   // batches complete.
   capabilities_.nominal_throughput =
-      static_cast<double>(device_.pe_count()) * fpga::cal::kPeClockHz /
+      static_cast<double>(device_->pe_count()) * fpga::cal::kPeClockHz /
       compiler::DatapathModule::initiation_interval();
-  capabilities_.preferred_batch_samples = runtime_.config().block_samples;
+  capabilities_.preferred_batch_samples = runtime_->config().block_samples;
+}
+
+void FpgaSimEngine::activate(ModelHandle next) {
+  SPNHBM_REQUIRE(next != nullptr, "activate requires a model");
+  // Compose the next design first: a placement (or composition) failure
+  // must leave the current model serving untouched.
+  auto device = std::make_unique<tapasco::Device>(
+      runner_, next->module(), next->backend(),
+      make_composition(next->module(), next->backend(), config_));
+  auto staged_runtime = std::make_unique<runtime::InferenceRuntime>(
+      runner_, *device, next->module(), make_runtime_config(config_));
+
+  // Reprogram the card in virtual time: the full bitstream streams through
+  // the ICAP, then every PE's lookup-table image is staged into its memory
+  // channel over the real DMA path (same dma_and_channel pipeline batches
+  // use, so the cost scales with the artifact, not a constant).
+  const Picoseconds before = scheduler_.now();
+  const double bitstream_bytes = config_.platform == fpga::Platform::kF1
+                                     ? fpga::cal::kBitstreamBytesF1
+                                     : fpga::cal::kBitstreamBytesHbm;
+  const Picoseconds program_time = static_cast<Picoseconds>(
+      bitstream_bytes / fpga::cal::kIcapBytesPerSecond *
+      static_cast<double>(kPicosecondsPerSecond));
+  const std::uint64_t table_bytes = table_image_bytes(*next);
+  tapasco::Device* staged_device = device.get();
+  runtime::InferenceRuntime* staged = staged_runtime.get();
+  runner_.spawn([this, staged_device, staged, program_time,
+                 table_bytes]() -> sim::Process {
+    co_await sim::delay(scheduler_, program_time);
+    for (std::size_t pe = 0; pe < staged_device->pe_count(); ++pe) {
+      if (table_bytes == 0) continue;
+      runtime::DeviceBuffer image(staged->memory(), pe, table_bytes);
+      co_await staged_device->copy_to_device_timed(pe, image.address(),
+                                                   table_bytes);
+    }
+  });
+  scheduler_.run();
+  runner_.check();
+  const Picoseconds reconfiguration = scheduler_.now() - before;
+
+  // Swap: the old runtime (which references the old device) dies first.
+  runtime_ = std::move(staged_runtime);
+  device_ = std::move(device);
+  model_ = std::move(next);
+  refresh_capabilities();
+  stats_.reconfigurations += 1;
+  stats_.reconfiguration_seconds += to_seconds(reconfiguration);
 }
 
 BatchHandle FpgaSimEngine::submit(std::span<const std::uint8_t> samples,
@@ -61,7 +132,7 @@ BatchHandle FpgaSimEngine::submit(std::span<const std::uint8_t> samples,
   // The DES completes the job inside submit; wait() is the barrier that
   // hands the handle back.
   const Picoseconds before = scheduler_.now();
-  const auto probabilities = runtime_.infer(samples);
+  const auto probabilities = runtime_->infer(samples);
   std::copy(probabilities.begin(), probabilities.end(), results.begin());
   stats_.batches += 1;
   stats_.samples += count;
@@ -78,7 +149,7 @@ void FpgaSimEngine::wait(BatchHandle handle) {
 }
 
 double FpgaSimEngine::measure_throughput(std::uint64_t sample_count) {
-  const auto stats = runtime_.run(sample_count);
+  const auto stats = runtime_->run(sample_count);
   stats_.batches += stats.blocks;
   stats_.samples += stats.samples;
   stats_.busy_seconds += to_seconds(stats.elapsed);

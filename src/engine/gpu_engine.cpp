@@ -1,32 +1,54 @@
 #include "spnhbm/engine/gpu_engine.hpp"
 
+#include <utility>
+
 namespace spnhbm::engine {
+
+GpuModelEngine::GpuModelEngine(ModelHandle artifact, gpu::GpuModelConfig config)
+    : artifact_(std::move(artifact)),
+      model_(std::move(config)),
+      f64_(arith::make_float64_backend()) {
+  SPNHBM_REQUIRE(artifact_ != nullptr, "GpuModelEngine requires a model");
+  refresh_capabilities();
+}
 
 GpuModelEngine::GpuModelEngine(const compiler::DatapathModule& module,
                                gpu::GpuModelConfig config)
-    : module_(module),
-      model_(std::move(config)),
-      f64_(arith::make_float64_backend()) {
+    : GpuModelEngine(model::ModelArtifact::wrap("default", module,
+                                                arith::make_float64_backend()),
+                     std::move(config)) {}
+
+void GpuModelEngine::refresh_capabilities() {
   capabilities_.name = "gpu-model/" + model_.config().name;
-  capabilities_.input_features = module.input_features();
+  capabilities_.input_features = artifact_->module().input_features();
   capabilities_.functional = true;
-  capabilities_.nominal_throughput = model_.throughput(module);
+  capabilities_.nominal_throughput = model_.throughput(artifact_->module());
   capabilities_.preferred_batch_samples =
       static_cast<std::size_t>(model_.config().batch_samples);
+}
+
+void GpuModelEngine::activate(ModelHandle next) {
+  SPNHBM_REQUIRE(next != nullptr, "activate requires a model");
+  SPNHBM_REQUIRE(last_completed_ + 1 == next_handle_,
+                 "activate with batches in flight");
+  artifact_ = std::move(next);
+  refresh_capabilities();
+  stats_.reconfigurations += 1;  // host-side swap: no device time charged
 }
 
 BatchHandle GpuModelEngine::submit(std::span<const std::uint8_t> samples,
                                    std::span<double> results) {
   const std::size_t count = check_batch(samples, results);
   const std::size_t features = capabilities_.input_features;
+  const compiler::DatapathModule& module = artifact_->module();
   for (std::size_t i = 0; i < count; ++i) {
-    results[i] = module_.evaluate(*f64_, samples.subspan(i * features,
-                                                         features));
+    results[i] = module.evaluate(*f64_, samples.subspan(i * features,
+                                                        features));
   }
   stats_.batches += 1;
   stats_.samples += count;
   const double batch_seconds =
-      to_seconds(model_.batch_breakdown(module_, count).total());
+      to_seconds(model_.batch_breakdown(module, count).total());
   stats_.busy_seconds += batch_seconds;
   batch_latency_us_.record(batch_seconds * 1e6);
   return next_handle_++;
@@ -39,7 +61,7 @@ void GpuModelEngine::wait(BatchHandle handle) {
 }
 
 double GpuModelEngine::measure_throughput(std::uint64_t sample_count) {
-  const double rate = model_.throughput(module_, sample_count);
+  const double rate = model_.throughput(artifact_->module(), sample_count);
   stats_.batches += 1;
   stats_.samples += sample_count;
   stats_.busy_seconds += static_cast<double>(sample_count) / rate;

@@ -8,8 +8,8 @@
 // simulation instead; this decorator is for host-side failure modes and
 // for backends (native CPU, GPU model) that have no simulated substrate.
 //
-// Sites: "engine.submit" and "engine.wait", instance = the wrapped
-// engine's capabilities().name.
+// Sites: "engine.submit", "engine.wait" and "engine.activate", instance =
+// the wrapped engine's capabilities().name.
 #pragma once
 
 #include <memory>
@@ -31,6 +31,8 @@ class ChaosEngine final : public InferenceEngine {
   explicit ChaosEngine(std::unique_ptr<InferenceEngine> inner);
 
   const EngineCapabilities& capabilities() const override;
+  const ModelHandle& loaded_model() const override;
+  void activate(ModelHandle next) override;
   BatchHandle submit(std::span<const std::uint8_t> samples,
                      std::span<double> results) override;
   void wait(BatchHandle handle) override;

@@ -23,13 +23,20 @@ struct CpuEngineConfig {
 
 class CpuEngine : public InferenceEngine {
  public:
-  /// `module` must outlive the engine.
+  explicit CpuEngine(ModelHandle model, CpuEngineConfig config = {});
+
+  /// Legacy single-model constructor: wraps `module` into an anonymous
+  /// artifact ("default@0"). `module` must outlive the engine.
   explicit CpuEngine(const compiler::DatapathModule& module,
                      CpuEngineConfig config = {});
 
   const EngineCapabilities& capabilities() const override {
     return capabilities_;
   }
+  const ModelHandle& loaded_model() const override { return model_; }
+  /// Cheap swap: rebuilds the native evaluator over the next artifact.
+  /// No batch may be pending.
+  void activate(ModelHandle next) override;
   BatchHandle submit(std::span<const std::uint8_t> samples,
                      std::span<double> results) override;
   void wait(BatchHandle handle) override;
@@ -40,10 +47,14 @@ class CpuEngine : public InferenceEngine {
     return stats;
   }
 
-  std::size_t threads() const { return native_.threads(); }
+  std::size_t threads() const { return native_->threads(); }
 
  private:
-  baselines::CpuInferenceEngine native_;
+  void refresh_capabilities();
+
+  ModelHandle model_;
+  CpuEngineConfig config_;
+  std::unique_ptr<baselines::CpuInferenceEngine> native_;
   EngineCapabilities capabilities_;
   EngineStats stats_;
   telemetry::Histogram batch_latency_us_;

@@ -25,12 +25,15 @@
 #include <string>
 #include <vector>
 
+#include "spnhbm/model/artifact.hpp"
 #include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/util/error.hpp"
 
 namespace spnhbm::engine {
 
 using BatchHandle = std::uint64_t;
+/// Shared pin on an immutable model artifact (see spnhbm/model/artifact.hpp).
+using ModelHandle = model::ModelHandle;
 
 struct EngineCapabilities {
   /// Human-readable backend identifier ("fpga-sim/hbm", "cpu-native", ...).
@@ -57,6 +60,11 @@ struct EngineStats {
   /// Distribution of per-batch busy time in microseconds (same time base
   /// as busy_seconds).
   telemetry::HistogramSnapshot batch_latency_us;
+  /// Completed activate() calls and the time they cost (virtual
+  /// reconfiguration time for the FPGA simulation, ~0 for CPU/GPU swaps).
+  /// Kept separate from busy_seconds so throughput stays a compute rate.
+  std::uint64_t reconfigurations = 0;
+  double reconfiguration_seconds = 0.0;
 
   double samples_per_second() const {
     return busy_seconds > 0.0 ? static_cast<double>(samples) / busy_seconds
@@ -70,6 +78,17 @@ class InferenceEngine {
   virtual ~InferenceEngine() = default;
 
   virtual const EngineCapabilities& capabilities() const = 0;
+
+  /// The artifact the engine currently serves. Never null.
+  virtual const ModelHandle& loaded_model() const = 0;
+
+  /// Swaps the engine onto `next`. No batch may be in flight. CPU/GPU
+  /// engines swap cheaply; the FPGA simulation models reconfiguration
+  /// mechanistically (datapath re-composition, placement re-check, charged
+  /// reconfiguration time, lookup tables re-staged over the DMA path). On
+  /// failure (e.g. PlacementError) the previous model stays active.
+  /// capabilities() may change (input_features, nominal_throughput).
+  virtual void activate(ModelHandle next) = 0;
 
   /// Starts one batch: `samples` holds rows of capabilities().input_features
   /// bytes each, `results` receives one joint probability per row. Both

@@ -11,7 +11,15 @@
 // timing path (InferenceRuntime::run), which is exactly how the Fig. 4/5/6
 // benchmarks measured before this layer existed — the numbers are
 // unchanged by construction.
+//
+// activate() models a real model swap: the next design is composed (and
+// placement-checked) first, the card is reprogrammed (full bitstream over
+// the ICAP, charged in virtual time), and the new design's lookup tables
+// are staged into each PE's memory channel through the real DMA path. On
+// any failure the previous model keeps serving.
 #pragma once
+
+#include <memory>
 
 #include "spnhbm/engine/engine.hpp"
 #include "spnhbm/runtime/inference_runtime.hpp"
@@ -38,7 +46,10 @@ struct FpgaEngineConfig {
 class FpgaSimEngine : public InferenceEngine {
  public:
   /// Composes the design; throws PlacementError if it does not fit.
-  /// `module` and `backend` must outlive the engine.
+  explicit FpgaSimEngine(ModelHandle model, FpgaEngineConfig config = {});
+
+  /// Legacy single-model constructor: wraps `module`/`backend` into an
+  /// anonymous artifact ("default@0"). Both must outlive the engine.
   FpgaSimEngine(const compiler::DatapathModule& module,
                 const arith::ArithBackend& backend,
                 FpgaEngineConfig config = {});
@@ -46,6 +57,8 @@ class FpgaSimEngine : public InferenceEngine {
   const EngineCapabilities& capabilities() const override {
     return capabilities_;
   }
+  const ModelHandle& loaded_model() const override { return model_; }
+  void activate(ModelHandle next) override;
   BatchHandle submit(std::span<const std::uint8_t> samples,
                      std::span<double> results) override;
   void wait(BatchHandle handle) override;
@@ -56,17 +69,21 @@ class FpgaSimEngine : public InferenceEngine {
     return stats;
   }
 
-  int pe_count() const { return static_cast<int>(device_.pe_count()); }
+  int pe_count() const { return static_cast<int>(device_->pe_count()); }
   /// Escape hatch for sweeps that need RunStats beyond samples/s.
-  runtime::InferenceRuntime& runtime() { return runtime_; }
+  runtime::InferenceRuntime& runtime() { return *runtime_; }
   /// Virtual time the simulated card has accumulated.
   Picoseconds virtual_now() const { return scheduler_.now(); }
 
  private:
+  void refresh_capabilities();
+
+  ModelHandle model_;
+  FpgaEngineConfig config_;
   sim::Scheduler scheduler_;
   sim::ProcessRunner runner_;
-  tapasco::Device device_;
-  runtime::InferenceRuntime runtime_;
+  std::unique_ptr<tapasco::Device> device_;
+  std::unique_ptr<runtime::InferenceRuntime> runtime_;
   EngineCapabilities capabilities_;
   EngineStats stats_;
   telemetry::Histogram batch_latency_us_;

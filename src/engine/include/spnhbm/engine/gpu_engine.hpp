@@ -16,13 +16,20 @@ namespace spnhbm::engine {
 
 class GpuModelEngine : public InferenceEngine {
  public:
-  /// `module` must outlive the engine.
+  explicit GpuModelEngine(ModelHandle artifact, gpu::GpuModelConfig config = {});
+
+  /// Legacy single-model constructor: wraps `module` into an anonymous
+  /// artifact ("default@0"). `module` must outlive the engine.
   explicit GpuModelEngine(const compiler::DatapathModule& module,
                           gpu::GpuModelConfig config = {});
 
   const EngineCapabilities& capabilities() const override {
     return capabilities_;
   }
+  const ModelHandle& loaded_model() const override { return artifact_; }
+  /// Cheap swap: the analytic model is model-independent, only the
+  /// compiled operator program changes. No batch may be in flight.
+  void activate(ModelHandle next) override;
   BatchHandle submit(std::span<const std::uint8_t> samples,
                      std::span<double> results) override;
   void wait(BatchHandle handle) override;
@@ -36,7 +43,9 @@ class GpuModelEngine : public InferenceEngine {
   const gpu::GpuExecutionModel& model() const { return model_; }
 
  private:
-  const compiler::DatapathModule& module_;
+  void refresh_capabilities();
+
+  ModelHandle artifact_;
   gpu::GpuExecutionModel model_;
   std::unique_ptr<arith::ArithBackend> f64_;
   EngineCapabilities capabilities_;

@@ -1,49 +1,64 @@
 // Async batching request scheduler over N registered inference engines,
-// with self-healing dispatch.
+// with self-healing, model-routed dispatch.
 //
-// Clients submit() independent requests of any sample count; the server
-//   * queues them, bounded: once queued + in-flight samples reach
-//     ServerConfig::max_queue_samples, submit() blocks (backpressure) and
-//     try_submit() rejects,
-//   * coalesces adjacent requests into engine batches of up to
-//     batch_samples, flushing a partial batch once the oldest queued
-//     request has waited max_latency (the tail-latency bound),
-//   * dispatches batches across the registered engines round-robin or by
-//     least expected completion time (outstanding work divided by
-//     measured throughput, falling back to the engine's nominal claim),
+// Clients submit() independent requests of any sample count against a
+// named model; the server
+//   * queues them per model (a "lane"), bounded: once queued + in-flight
+//     samples reach ServerConfig::max_queue_samples, submit() blocks
+//     (backpressure) and try_submit() rejects,
+//   * coalesces adjacent same-model requests into engine batches of up to
+//     batch_samples — batches never mix models — flushing a partial batch
+//     once the oldest queued request of its lane has waited max_latency
+//     (the tail-latency bound),
+//   * dispatches batches across the engines currently serving that model,
+//     round-robin or by least expected completion time (outstanding work
+//     divided by measured throughput, falling back to the engine's
+//     nominal claim),
 //   * scatters batch results back into per-request futures; a request
 //     split across batches — possibly landing on different engines —
 //     resolves when its last slice completes.
 //
+// Multi-model serving: every engine announces the ModelArtifact it hosts
+// (InferenceEngine::loaded_model()); registering engines for different
+// artifacts makes the server host several models at once, each with its
+// own input width, queue lane, stats and telemetry counters. activate()
+// hot-swaps one engine onto another artifact: the worker finishes its
+// in-flight batches, then runs the engine's own reconfiguration (the FPGA
+// simulation charges virtual bitstream + table-staging time and re-checks
+// placement) while the rest of the fleet keeps serving. Work queued for a
+// model whose last engine leaves resolves with RuntimeApiError.
+//
 // Self-healing (the fault-tolerance layer over the same machinery):
 //   * a failed batch is retried up to RetryPolicy::max_attempts times with
 //     capped exponential backoff and deterministic jitter, preferring a
-//     *different* engine on the retry (failover); only when the budget is
-//     exhausted does the failure reach the affected request futures — and
-//     only those futures (per-slice error tracking),
+//     *different* engine of the same model on the retry (failover); only
+//     when the budget is exhausted does the failure reach the affected
+//     request futures — and only those futures (per-slice error tracking),
 //   * every engine runs a health state machine healthy -> degraded ->
 //     quarantined driven by consecutive failures; a quarantined engine
 //     receives no regular traffic but is re-tried with single
 //     circuit-breaker probe batches at growing intervals, and one probe
 //     success readmits it,
 //   * engines register with a priority tier: dispatch uses the best
-//     (lowest) tier with a non-quarantined engine, so quarantining every
-//     preferred engine degrades gracefully onto the fallback tier,
+//     (lowest) tier with a non-quarantined engine of the batch's model,
+//     so quarantining every preferred engine degrades gracefully onto the
+//     fallback tier,
 //   * with ServerConfig::request_timeout set, every request carries a
 //     deadline; an expired request resolves its future with
 //     DeadlineExceededError (undispatched samples are cancelled, in-flight
 //     work completes and is discarded),
-//   * when every engine is quarantined and no probe can run yet,
-//     submit()/try_submit() fail fast with NoHealthyEngineError instead of
-//     queueing work that cannot be served.
+//   * when every engine of the addressed model is quarantined and no probe
+//     can run yet, submit()/try_submit() fail fast with
+//     NoHealthyEngineError instead of queueing work that cannot be served.
 //
 // Threading model: one dispatcher thread forms batches, re-dispatches
 // retries and expires deadlines; one worker thread per engine drives
-// submit()/wait(), so an engine never sees concurrent calls. Requests may
-// be queued before start(); they are dispatched as soon as the threads
-// run, which also gives tests a deterministic coalescing path (queue
-// everything, then start + stop). stop() drains every queued request —
-// including pending retries — before joining the threads.
+// submit()/wait()/activate(), so an engine never sees concurrent calls.
+// Requests may be queued before start(); they are dispatched as soon as
+// the threads run, which also gives tests a deterministic coalescing path
+// (queue everything, then start + stop). stop() drains every queued
+// request — including pending retries and activations — before joining
+// the threads.
 #pragma once
 
 #include <chrono>
@@ -51,6 +66,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -72,9 +88,9 @@ class DeadlineExceededError : public Error {
       : Error("deadline exceeded: " + what) {}
 };
 
-/// Every registered engine is quarantined and no circuit-breaker probe is
-/// due, so newly submitted work could not be served. Fail-fast signal:
-/// the client should back off and retry.
+/// Every engine of the addressed model is quarantined and no
+/// circuit-breaker probe is due, so newly submitted work could not be
+/// served. Fail-fast signal: the client should back off and retry.
 class NoHealthyEngineError : public Error {
  public:
   explicit NoHealthyEngineError(const std::string& what)
@@ -130,7 +146,7 @@ struct ServerConfig {
   /// Coalescing target per dispatched batch. 0 = the smallest
   /// preferred_batch_samples over the registered engines.
   std::size_t batch_samples = 0;
-  /// Backpressure bound on queued + in-flight samples.
+  /// Backpressure bound on queued + in-flight samples (across all models).
   std::size_t max_queue_samples = 1 << 16;
   /// A partial batch is flushed once its oldest request has waited this
   /// long.
@@ -140,6 +156,14 @@ struct ServerConfig {
   std::chrono::microseconds request_timeout{0};
   RetryPolicy retry;
   HealthPolicy health;
+};
+
+/// Per-model serving totals (one entry per model id ever served).
+struct ModelServingStats {
+  std::uint64_t requests = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t failed_requests = 0;
 };
 
 struct ServerStats {
@@ -163,8 +187,15 @@ struct ServerStats {
   std::uint64_t readmissions = 0;
   /// Requests resolved with DeadlineExceededError.
   std::uint64_t deadline_expirations = 0;
-  /// Requests resolved with an engine error after the retry budget.
+  /// Requests resolved with an engine error after the retry budget (or a
+  /// dead model lane).
   std::uint64_t failed_requests = 0;
+  // --- Multi-model accounting --------------------------------------------
+  /// Completed engine hot-swaps (InferenceServer::activate).
+  std::uint64_t activations = 0;
+  /// Hot-swaps that failed (e.g. placement); the engine kept its model.
+  std::uint64_t failed_activations = 0;
+  std::map<std::string, ModelServingStats> per_model;
   /// Wall time a request spends queued before its first slice dispatches.
   telemetry::HistogramSnapshot queue_wait_us;
   /// Wall time from enqueue to the last slice completing (end-to-end).
@@ -190,42 +221,74 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Registers a backend. All engines must be functional, agree on
-  /// input_features, and be registered before start(). `priority` is the
+  /// Registers a backend for the model it has loaded. All engines must be
+  /// functional and be registered before start(); engines serving the
+  /// same model id must agree on input_features. `priority` is the
   /// failover tier: dispatch prefers the lowest tier that still has a
-  /// non-quarantined engine (0 = most preferred).
+  /// non-quarantined engine of the batch's model (0 = most preferred).
   void register_engine(std::shared_ptr<InferenceEngine> engine,
                        int priority = 0);
 
   std::size_t engine_count() const { return workers_.size(); }
-  const InferenceEngine& engine(std::size_t index) const {
-    return *workers_[index]->engine;
-  }
+  /// Throws RuntimeApiError when `index` is out of range.
+  const InferenceEngine& engine(std::size_t index) const;
   /// Samples dispatched to engine `index` so far (retries re-count).
+  /// Throws RuntimeApiError when `index` is out of range.
   std::uint64_t dispatched_samples(std::size_t index) const;
-  /// Current health of engine `index`.
+  /// Current health of engine `index`. Throws RuntimeApiError when
+  /// `index` is out of range.
   EngineHealth engine_health(std::size_t index) const;
+  /// Model id engine `index` currently serves (or is activating towards).
+  /// Throws RuntimeApiError when `index` is out of range.
+  std::string engine_model(std::size_t index) const;
 
   void start();
   /// Drains every queued request — retrying/failing over as configured —
   /// then stops all threads. Idempotent; the destructor calls it.
   void stop();
 
-  /// Blocking submit: applies backpressure by waiting for queue space.
-  /// `samples` is rows of input_features bytes; the future resolves to one
-  /// probability per row (or rethrows the engine's failure / a deadline
-  /// error). Throws RuntimeApiError before any engine is registered or
-  /// after stop(), NoHealthyEngineError while every engine is quarantined.
+  /// Blocking submit against the server's sole model: applies backpressure
+  /// by waiting for queue space. `samples` is rows of the model's
+  /// input_features bytes; the future resolves to one probability per row
+  /// (or rethrows the engine's failure / a deadline error). Throws
+  /// RuntimeApiError before any engine is registered, after stop(), or
+  /// when more than one model is served (use the model overload), and
+  /// NoHealthyEngineError while every engine of the model is quarantined.
   std::future<std::vector<double>> submit(std::vector<std::uint8_t> samples);
 
-  /// Non-blocking submit: returns std::nullopt when the queue bound would
+  /// Blocking submit against a named model ("name@version", bare name when
+  /// unambiguous). Throws RuntimeApiError for unknown/ambiguous models.
+  std::future<std::vector<double>> submit(const std::string& model,
+                                          std::vector<std::uint8_t> samples);
+
+  /// Non-blocking submits: return std::nullopt when the queue bound would
   /// be exceeded. Same fail-fast errors as submit().
   std::optional<std::future<std::vector<double>>> try_submit(
       std::vector<std::uint8_t> samples);
+  std::optional<std::future<std::vector<double>>> try_submit(
+      const std::string& model, std::vector<std::uint8_t> samples);
+
+  /// Hot-swaps engine `index` onto `next`: the worker finishes its queued
+  /// batches, then runs InferenceEngine::activate on its own thread (an
+  /// FPGA engine charges simulated reconfiguration time there). Requests
+  /// for the incoming model may be submitted immediately — they queue in
+  /// its lane until the swap completes. The returned future resolves when
+  /// the swap finished, or carries the engine's error (the old model then
+  /// keeps serving). Throws RuntimeApiError for a bad index, a null
+  /// handle, a swap already pending on the engine, or a server that is
+  /// not running.
+  std::future<void> activate(std::size_t index, ModelHandle next);
+
+  /// Model ids currently served (including activation targets), sorted.
+  std::vector<std::string> served_models() const;
 
   /// Queued + in-flight samples (the backpressure quantity).
   std::size_t outstanding_samples() const;
+  /// Input width of the server's sole model (0 before registration).
+  /// Throws RuntimeApiError when more than one model is served.
   std::size_t input_features() const;
+  /// Input width of a named model; throws RuntimeApiError when unknown.
+  std::size_t input_features(const std::string& model) const;
   std::size_t batch_samples() const { return batch_samples_; }
   ServerStats stats() const;
 
@@ -233,6 +296,7 @@ class InferenceServer {
   static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
 
   struct PendingRequest {
+    std::string model;  ///< lane id ("name@version")
     std::vector<std::uint8_t> samples;
     std::vector<double> results;
     std::promise<std::vector<double>> promise;
@@ -256,6 +320,7 @@ class InferenceServer {
   };
 
   struct Batch {
+    std::string model;  ///< lane id; batches never mix models
     std::vector<std::uint8_t> samples;
     std::vector<double> results;
     std::vector<BatchSlice> slices;
@@ -268,6 +333,16 @@ class InferenceServer {
     std::chrono::steady_clock::time_point not_before;
   };
 
+  /// Per-model request queue + accounting (one lane per served model id).
+  struct ModelLane {
+    std::deque<std::shared_ptr<PendingRequest>> queue;
+    std::size_t queued_samples = 0;
+    std::size_t input_features = 0;
+    std::shared_ptr<telemetry::Counter> ctr_requests;
+    std::shared_ptr<telemetry::Counter> ctr_samples;
+    std::shared_ptr<telemetry::Counter> ctr_batches;
+  };
+
   struct Worker {
     std::shared_ptr<InferenceEngine> engine;
     std::thread thread;
@@ -275,6 +350,13 @@ class InferenceServer {
     std::condition_variable cv;
     std::size_t index = 0;
     int priority = 0;
+    /// Lane id of the engine's loaded model (updated on activation).
+    std::string model_id;
+    std::size_t input_features = 0;
+    /// Requested hot-swap target; the worker runs it once its queue
+    /// drains. While set, the dispatcher hands the worker no new batches.
+    ModelHandle pending_activation;
+    std::shared_ptr<std::promise<void>> activation_promise;
     /// Dispatch accounting, guarded by the server mutex (the worker is the
     /// only thread that calls into the engine itself).
     std::size_t outstanding_samples = 0;
@@ -291,22 +373,47 @@ class InferenceServer {
     telemetry::TrackId track = 0;
   };
 
+  ModelLane& ensure_lane_locked(const std::string& model,
+                                std::size_t input_features);
+  /// Resolves a model reference (lane id or unambiguous bare name) to a
+  /// lane id; throws RuntimeApiError for unknown/ambiguous references.
+  std::string resolve_model_locked(const std::string& ref) const;
+  /// The sole served model id; throws RuntimeApiError when ambiguous.
+  std::string default_model_locked() const;
+  /// True when a worker serves `model` or is activating towards it.
+  bool lane_served_locked(const std::string& model) const;
+  std::future<std::vector<double>> submit_locked(
+      std::unique_lock<std::mutex>& lock, const std::string& model,
+      std::vector<std::uint8_t> samples);
+  std::optional<std::future<std::vector<double>>> try_submit_locked(
+      std::unique_lock<std::mutex>& lock, const std::string& model,
+      std::vector<std::uint8_t> samples);
   std::future<std::vector<double>> enqueue_locked(
-      std::unique_lock<std::mutex>& lock, std::vector<std::uint8_t> samples);
-  /// Throws NoHealthyEngineError if a started server cannot serve new work.
-  void require_admissible_locked() const;
-  Batch form_batch_locked();
+      std::unique_lock<std::mutex>& lock, const std::string& model,
+      std::vector<std::uint8_t> samples);
+  /// Throws NoHealthyEngineError if a started server cannot serve new work
+  /// for `model`; RuntimeApiError when no engine hosts it at all.
+  void require_admissible_locked(const std::string& model) const;
+  Batch form_batch_locked(const std::string& model, ModelLane& lane);
   std::size_t pick_engine_locked(const Batch& batch);
-  /// False when no engine is currently eligible (batch untouched).
+  /// False when no engine of the batch's model is currently eligible
+  /// (batch untouched).
   bool dispatch_batch_locked(Batch& batch);
-  bool any_engine_available_locked(
-      std::chrono::steady_clock::time_point now) const;
+  bool any_engine_available_locked(std::chrono::steady_clock::time_point now,
+                                   const std::string& model) const;
   void complete_slice_locked(const BatchSlice& slice);
   void expire_request_locked(PendingRequest& request);
   void finish_batch_locked(const Batch& batch);
+  /// Permanently fails every slice of the batch with `error`.
+  void fail_batch_locked(Batch& batch, const std::exception_ptr& error);
+  /// Fails queued work of models no engine serves any more and removes
+  /// their lanes.
+  void drain_dead_lanes_locked();
   void note_worker_success_locked(Worker& worker);
   void note_worker_failure_locked(Worker& worker);
   std::chrono::steady_clock::time_point retry_time_locked(int attempts);
+  /// Runs the engine's activate() off-lock on the worker thread.
+  void perform_activation(std::unique_lock<std::mutex>& lock, Worker& worker);
   void dispatcher_loop();
   void worker_loop(Worker& worker);
 
@@ -315,7 +422,8 @@ class InferenceServer {
   std::condition_variable cv_dispatch_;
   std::condition_variable cv_space_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::deque<std::shared_ptr<PendingRequest>> queue_;
+  /// Per-model request lanes, keyed by lane id ("name@version").
+  std::map<std::string, ModelLane> lanes_;
   /// Failed batches awaiting their backoff before re-dispatch.
   std::deque<Batch> retry_queue_;
   /// Deadline watchlist, in expiry order (one config-wide timeout + FIFO
@@ -341,10 +449,10 @@ class InferenceServer {
   std::shared_ptr<telemetry::Counter> ctr_readmissions_;
   std::shared_ptr<telemetry::Counter> ctr_deadline_expirations_;
   std::shared_ptr<telemetry::Counter> ctr_failed_requests_;
+  std::shared_ptr<telemetry::Counter> ctr_activations_;
+  std::shared_ptr<telemetry::Counter> ctr_failed_activations_;
   telemetry::TrackId dispatcher_track_ = 0;
-  std::size_t input_features_ = 0;
   std::size_t batch_samples_ = 0;
-  std::size_t queued_samples_ = 0;
   std::size_t outstanding_samples_ = 0;
   /// Batches formed but not yet permanently finished (in a worker queue,
   /// executing, or awaiting retry). stop() drains until this reaches 0.

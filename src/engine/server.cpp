@@ -55,6 +55,21 @@ std::string ServerStats::describe() const {
         static_cast<unsigned long long>(deadline_expirations),
         static_cast<unsigned long long>(failed_requests));
   }
+  if (activations || failed_activations) {
+    text += strformat("; %llu activations (%llu failed)",
+                      static_cast<unsigned long long>(activations),
+                      static_cast<unsigned long long>(failed_activations));
+  }
+  if (per_model.size() > 1) {
+    text += "; models:";
+    for (const auto& [id, model] : per_model) {
+      text += strformat(" %s=%llu req/%llu samples/%llu batches",
+                        id.c_str(),
+                        static_cast<unsigned long long>(model.requests),
+                        static_cast<unsigned long long>(model.samples),
+                        static_cast<unsigned long long>(model.batches));
+    }
+  }
   if (request_latency_us.count > 0) {
     text += strformat(
         "; latency us p50/p95/p99=%.1f/%.1f/%.1f, queue wait us "
@@ -100,9 +115,29 @@ InferenceServer::InferenceServer(ServerConfig config)
   ctr_deadline_expirations_ =
       registry.counter("server.deadline_expirations");
   ctr_failed_requests_ = registry.counter("server.failed_requests");
+  ctr_activations_ = registry.counter("server.activations");
+  ctr_failed_activations_ = registry.counter("server.failed_activations");
 }
 
 InferenceServer::~InferenceServer() { stop(); }
+
+InferenceServer::ModelLane& InferenceServer::ensure_lane_locked(
+    const std::string& model, std::size_t input_features) {
+  auto it = lanes_.find(model);
+  if (it != lanes_.end()) {
+    SPNHBM_REQUIRE(it->second.input_features == input_features,
+                   "engines serving model '" + model +
+                       "' disagree on its input width");
+    return it->second;
+  }
+  ModelLane lane;
+  lane.input_features = input_features;
+  auto& registry = telemetry::metrics();
+  lane.ctr_requests = registry.counter("server.model." + model + ".requests");
+  lane.ctr_samples = registry.counter("server.model." + model + ".samples");
+  lane.ctr_batches = registry.counter("server.model." + model + ".batches");
+  return lanes_.emplace(model, std::move(lane)).first->second;
+}
 
 void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine,
                                       int priority) {
@@ -114,18 +149,19 @@ void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine,
   SPNHBM_REQUIRE(caps.functional,
                  "engine '" + caps.name + "' is timing-only; the server needs "
                  "functional backends");
-  if (workers_.empty()) {
-    input_features_ = caps.input_features;
-  } else {
-    SPNHBM_REQUIRE(caps.input_features == input_features_,
-                   "engine '" + caps.name +
-                       "' expects a different input width than the engines "
-                       "already registered");
-  }
+  SPNHBM_REQUIRE(caps.input_features > 0,
+                 "engine '" + caps.name + "' announces zero input features");
+  const ModelHandle& model = engine->loaded_model();
+  SPNHBM_REQUIRE(model != nullptr,
+                 "engine '" + caps.name + "' has no loaded model");
+  const std::string model_id = model->id();
+  ensure_lane_locked(model_id, caps.input_features);
   auto worker = std::make_unique<Worker>();
   worker->engine = std::move(engine);
   worker->index = workers_.size();
   worker->priority = priority;
+  worker->model_id = model_id;
+  worker->input_features = caps.input_features;
   worker->nominal_throughput = caps.nominal_throughput;
   worker->probe_interval = config_.health.probe_interval;
   if (config_.batch_samples == 0) {
@@ -179,11 +215,68 @@ void InferenceServer::stop() {
   cv_space_.notify_all();
 }
 
+std::string InferenceServer::resolve_model_locked(
+    const std::string& ref) const {
+  if (lanes_.count(ref) > 0) return ref;
+  // Bare model name: unique match over "name@version" lane ids.
+  std::string found;
+  int matches = 0;
+  for (const auto& [id, lane] : lanes_) {
+    (void)lane;
+    const std::size_t at = id.rfind('@');
+    if (at != std::string::npos && id.substr(0, at) == ref) {
+      found = id;
+      matches += 1;
+    }
+  }
+  if (matches == 1) return found;
+  if (matches > 1) {
+    throw RuntimeApiError("model reference '" + ref +
+                          "' is ambiguous; use name@version");
+  }
+  throw RuntimeApiError("unknown model: " + ref);
+}
+
+std::string InferenceServer::default_model_locked() const {
+  std::string sole;
+  for (const auto& worker : workers_) {
+    const std::string& id = worker->model_id;
+    if (sole.empty()) {
+      sole = id;
+    } else if (id != sole) {
+      throw RuntimeApiError(
+          "server hosts multiple models; submit with an explicit model");
+    }
+    if (worker->pending_activation &&
+        worker->pending_activation->id() != sole) {
+      throw RuntimeApiError(
+          "server hosts multiple models; submit with an explicit model");
+    }
+  }
+  return sole;
+}
+
+bool InferenceServer::lane_served_locked(const std::string& model) const {
+  for (const auto& worker : workers_) {
+    if (worker->pending_activation) {
+      // Mid-swap the worker serves neither model; it counts only towards
+      // its activation target.
+      if (worker->pending_activation->id() == model) return true;
+      continue;
+    }
+    if (worker->model_id == model) return true;
+  }
+  return false;
+}
+
 std::future<std::vector<double>> InferenceServer::enqueue_locked(
-    std::unique_lock<std::mutex>& lock, std::vector<std::uint8_t> samples) {
+    std::unique_lock<std::mutex>& lock, const std::string& model,
+    std::vector<std::uint8_t> samples) {
   (void)lock;
+  ModelLane& lane = lanes_.at(model);
   auto request = std::make_shared<PendingRequest>();
-  request->count = samples.size() / input_features_;
+  request->model = model;
+  request->count = samples.size() / lane.input_features;
   request->remaining = request->count;
   request->samples = std::move(samples);
   request->results.resize(request->count);
@@ -193,45 +286,57 @@ std::future<std::vector<double>> InferenceServer::enqueue_locked(
     live_requests_.push_back(request);
   }
   auto future = request->promise.get_future();
-  queued_samples_ += request->count;
+  lane.queued_samples += request->count;
   outstanding_samples_ += request->count;
   stats_.requests += 1;
+  stats_.per_model[model].requests += 1;
   ctr_requests_->add(1);
+  lane.ctr_requests->add(1);
   stats_.peak_outstanding_samples =
       std::max(stats_.peak_outstanding_samples, outstanding_samples_);
-  queue_.push_back(std::move(request));
+  lane.queue.push_back(std::move(request));
   cv_dispatch_.notify_one();
   return future;
 }
 
-void InferenceServer::require_admissible_locked() const {
+void InferenceServer::require_admissible_locked(
+    const std::string& model) const {
   if (!started_) return;  // queue-before-start is a supported pattern
   const auto now = std::chrono::steady_clock::now();
+  bool any_worker = false;
   for (const auto& worker : workers_) {
+    if (worker->pending_activation) {
+      // The incoming engine: requests for its target model queue in the
+      // lane until the swap completes.
+      if (worker->pending_activation->id() == model) return;
+      continue;
+    }
+    if (worker->model_id != model) continue;
+    any_worker = true;
     if (worker->health != EngineHealth::kQuarantined) return;
     // A quarantined engine still admits work if a probe is running or due:
     // the submitted batch is (or follows) the recovery traffic.
     if (worker->probe_in_flight || now >= worker->quarantined_until) return;
   }
+  if (!any_worker) {
+    throw RuntimeApiError("model '" + model +
+                          "' is not served by any engine");
+  }
   throw NoHealthyEngineError(
-      "all engines quarantined; back off until a probe readmits one");
+      "all engines serving model '" + model +
+      "' quarantined; back off until a probe readmits one");
 }
 
-std::future<std::vector<double>> InferenceServer::submit(
+std::future<std::vector<double>> InferenceServer::submit_locked(
+    std::unique_lock<std::mutex>& lock, const std::string& model,
     std::vector<std::uint8_t> samples) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (input_features_ == 0) {
-    throw RuntimeApiError("submit before any engine is registered");
-  }
-  if (stopping_ || stopped_) {
-    throw RuntimeApiError("submit on a stopped server");
-  }
-  SPNHBM_REQUIRE(!samples.empty() && samples.size() % input_features_ == 0,
+  const std::size_t features = lanes_.at(model).input_features;
+  SPNHBM_REQUIRE(!samples.empty() && samples.size() % features == 0,
                  "input is not a whole number of samples");
-  const std::size_t count = samples.size() / input_features_;
+  const std::size_t count = samples.size() / features;
   SPNHBM_REQUIRE(count <= config_.max_queue_samples,
                  "request larger than the whole queue bound");
-  require_admissible_locked();
+  require_admissible_locked(model);
   cv_space_.wait(lock, [&] {
     return stopped_ ||
            outstanding_samples_ + count <= config_.max_queue_samples;
@@ -239,28 +344,117 @@ std::future<std::vector<double>> InferenceServer::submit(
   if (stopping_ || stopped_) {
     throw RuntimeApiError("submit on a stopped server");
   }
-  return enqueue_locked(lock, std::move(samples));
+  // The lane can vanish while we wait for space (last engine swapped away).
+  if (lanes_.find(model) == lanes_.end()) {
+    throw RuntimeApiError("model '" + model + "' is no longer served");
+  }
+  return enqueue_locked(lock, model, std::move(samples));
 }
 
-std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
-    std::vector<std::uint8_t> samples) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (input_features_ == 0) {
-    throw RuntimeApiError("submit before any engine is registered");
-  }
-  if (stopping_ || stopped_) {
-    throw RuntimeApiError("submit on a stopped server");
-  }
-  SPNHBM_REQUIRE(!samples.empty() && samples.size() % input_features_ == 0,
+std::optional<std::future<std::vector<double>>>
+InferenceServer::try_submit_locked(std::unique_lock<std::mutex>& lock,
+                                   const std::string& model,
+                                   std::vector<std::uint8_t> samples) {
+  const std::size_t features = lanes_.at(model).input_features;
+  SPNHBM_REQUIRE(!samples.empty() && samples.size() % features == 0,
                  "input is not a whole number of samples");
-  const std::size_t count = samples.size() / input_features_;
-  require_admissible_locked();
+  const std::size_t count = samples.size() / features;
+  require_admissible_locked(model);
   if (outstanding_samples_ + count > config_.max_queue_samples) {
     stats_.rejected += 1;
     ctr_rejected_->add(1);
     return std::nullopt;
   }
-  return enqueue_locked(lock, std::move(samples));
+  return enqueue_locked(lock, model, std::move(samples));
+}
+
+std::future<std::vector<double>> InferenceServer::submit(
+    std::vector<std::uint8_t> samples) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (workers_.empty()) {
+    throw RuntimeApiError("submit before any engine is registered");
+  }
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
+  return submit_locked(lock, default_model_locked(), std::move(samples));
+}
+
+std::future<std::vector<double>> InferenceServer::submit(
+    const std::string& model, std::vector<std::uint8_t> samples) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (workers_.empty()) {
+    throw RuntimeApiError("submit before any engine is registered");
+  }
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
+  return submit_locked(lock, resolve_model_locked(model), std::move(samples));
+}
+
+std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
+    std::vector<std::uint8_t> samples) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (workers_.empty()) {
+    throw RuntimeApiError("submit before any engine is registered");
+  }
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
+  return try_submit_locked(lock, default_model_locked(), std::move(samples));
+}
+
+std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
+    const std::string& model, std::vector<std::uint8_t> samples) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (workers_.empty()) {
+    throw RuntimeApiError("submit before any engine is registered");
+  }
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
+  return try_submit_locked(lock, resolve_model_locked(model),
+                           std::move(samples));
+}
+
+std::future<void> InferenceServer::activate(std::size_t index,
+                                            ModelHandle next) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= workers_.size()) {
+    throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
+                                    index, workers_.size()));
+  }
+  if (next == nullptr) {
+    throw RuntimeApiError("activate requires a model");
+  }
+  if (!started_ || stopping_ || stopped_) {
+    throw RuntimeApiError("activate on a server that is not running");
+  }
+  Worker& worker = *workers_[index];
+  if (worker.pending_activation) {
+    throw RuntimeApiError("engine " + std::to_string(index) +
+                          " already has a pending activation");
+  }
+  // Open the target lane now: requests for the incoming model queue while
+  // the engine reconfigures.
+  ensure_lane_locked(next->id(), next->input_features());
+  worker.pending_activation = std::move(next);
+  worker.activation_promise = std::make_shared<std::promise<void>>();
+  auto future = worker.activation_promise->get_future();
+  worker.cv.notify_one();
+  cv_dispatch_.notify_one();
+  return future;
+}
+
+std::vector<std::string> InferenceServer::served_models() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(lanes_.size());
+  for (const auto& [id, lane] : lanes_) {
+    (void)lane;
+    ids.push_back(id);
+  }
+  return ids;  // sorted: lanes_ is an ordered map
 }
 
 std::size_t InferenceServer::outstanding_samples() const {
@@ -270,7 +464,17 @@ std::size_t InferenceServer::outstanding_samples() const {
 
 std::size_t InferenceServer::input_features() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return input_features_;
+  if (lanes_.empty()) return 0;
+  if (lanes_.size() > 1) {
+    throw RuntimeApiError(
+        "multiple models served; use input_features(model)");
+  }
+  return lanes_.begin()->second.input_features;
+}
+
+std::size_t InferenceServer::input_features(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_.at(resolve_model_locked(model)).input_features;
 }
 
 ServerStats InferenceServer::stats() const {
@@ -282,23 +486,52 @@ ServerStats InferenceServer::stats() const {
   return stats;
 }
 
+const InferenceEngine& InferenceServer::engine(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= workers_.size()) {
+    throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
+                                    index, workers_.size()));
+  }
+  return *workers_[index]->engine;
+}
+
 std::uint64_t InferenceServer::dispatched_samples(std::size_t index) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= workers_.size()) {
+    throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
+                                    index, workers_.size()));
+  }
   return workers_[index]->dispatched_samples;
 }
 
 EngineHealth InferenceServer::engine_health(std::size_t index) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  SPNHBM_REQUIRE(index < workers_.size(), "engine index out of range");
+  if (index >= workers_.size()) {
+    throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
+                                    index, workers_.size()));
+  }
   return workers_[index]->health;
 }
 
-InferenceServer::Batch InferenceServer::form_batch_locked() {
+std::string InferenceServer::engine_model(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= workers_.size()) {
+    throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
+                                    index, workers_.size()));
+  }
+  const Worker& worker = *workers_[index];
+  return worker.pending_activation ? worker.pending_activation->id()
+                                   : worker.model_id;
+}
+
+InferenceServer::Batch InferenceServer::form_batch_locked(
+    const std::string& model, ModelLane& lane) {
   Batch batch;
-  batch.samples.reserve(std::min(queued_samples_, batch_samples_) *
-                        input_features_);
-  while (batch.sample_count < batch_samples_ && !queue_.empty()) {
-    auto& request = queue_.front();
+  batch.model = model;
+  batch.samples.reserve(std::min(lane.queued_samples, batch_samples_) *
+                        lane.input_features);
+  while (batch.sample_count < batch_samples_ && !lane.queue.empty()) {
+    auto& request = lane.queue.front();
     if (request->cursor == 0) {
       // First slice of this request leaves the queue: its queue wait ends.
       queue_wait_us_->record(elapsed_us(request->enqueue_time));
@@ -307,29 +540,36 @@ InferenceServer::Batch InferenceServer::form_batch_locked() {
         std::min(batch_samples_ - batch.sample_count,
                  request->count - request->cursor);
     const auto* begin =
-        request->samples.data() + request->cursor * input_features_;
+        request->samples.data() + request->cursor * lane.input_features;
     batch.samples.insert(batch.samples.end(), begin,
-                         begin + take * input_features_);
+                         begin + take * lane.input_features);
     batch.slices.push_back(
         {request, request->cursor, batch.sample_count, take});
     request->cursor += take;
     batch.sample_count += take;
-    queued_samples_ -= take;
-    if (request->cursor == request->count) queue_.pop_front();
+    lane.queued_samples -= take;
+    if (request->cursor == request->count) lane.queue.pop_front();
   }
   batch.results.resize(batch.sample_count);
   stats_.batches += 1;
   stats_.samples += batch.sample_count;
+  auto& model_stats = stats_.per_model[model];
+  model_stats.batches += 1;
+  model_stats.samples += batch.sample_count;
   ctr_batches_->add(1);
   ctr_samples_->add(batch.sample_count);
+  lane.ctr_batches->add(1);
+  lane.ctr_samples->add(batch.sample_count);
   batch_fill_samples_->record(static_cast<double>(batch.sample_count));
   pending_batches_ += 1;
   return batch;
 }
 
 bool InferenceServer::any_engine_available_locked(
-    std::chrono::steady_clock::time_point now) const {
+    std::chrono::steady_clock::time_point now,
+    const std::string& model) const {
   for (const auto& worker : workers_) {
+    if (worker->pending_activation || worker->model_id != model) continue;
     if (worker->health != EngineHealth::kQuarantined) return true;
     if (!worker->probe_in_flight && now >= worker->quarantined_until) {
       return true;  // a probe slot is open
@@ -340,11 +580,18 @@ bool InferenceServer::any_engine_available_locked(
 
 std::size_t InferenceServer::pick_engine_locked(const Batch& batch) {
   const auto now = std::chrono::steady_clock::now();
+  // Only engines currently hosting the batch's model (and not mid-swap)
+  // are candidates; batches never cross models.
+  const auto serves = [&](std::size_t i) {
+    const auto& worker = *workers_[i];
+    return !worker.pending_activation && worker.model_id == batch.model;
+  };
   // Circuit-breaker probes take precedence: a due probe is the only way a
   // quarantined engine can prove itself again, and one batch of delay on
   // the happy path is the price of detecting recovery.
   std::size_t probe = kNoWorker;
   for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!serves(i)) continue;
     const auto& worker = *workers_[i];
     if (worker.health != EngineHealth::kQuarantined ||
         worker.probe_in_flight || now < worker.quarantined_until) {
@@ -363,18 +610,19 @@ std::size_t InferenceServer::pick_engine_locked(const Batch& batch) {
     return probe;
   }
   // Regular dispatch: best (lowest) priority tier that still has a
-  // non-quarantined engine. Quarantining a whole tier degrades onto the
-  // next one.
+  // non-quarantined engine of this model. Quarantining a whole tier
+  // degrades onto the next one.
   int best_tier = std::numeric_limits<int>::max();
-  for (const auto& worker : workers_) {
-    if (worker->health != EngineHealth::kQuarantined) {
-      best_tier = std::min(best_tier, worker->priority);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!serves(i)) continue;
+    if (workers_[i]->health != EngineHealth::kQuarantined) {
+      best_tier = std::min(best_tier, workers_[i]->priority);
     }
   }
   if (best_tier == std::numeric_limits<int>::max()) return kNoWorker;
   const auto eligible = [&](std::size_t i) {
     const auto& worker = *workers_[i];
-    return worker.health != EngineHealth::kQuarantined &&
+    return serves(i) && worker.health != EngineHealth::kQuarantined &&
            worker.priority == best_tier;
   };
   // Failover: a retried batch avoids the engine it just failed on when
@@ -459,12 +707,16 @@ void InferenceServer::expire_request_locked(PendingRequest& request) {
     const std::size_t cancelled = request.count - request.cursor;
     request.cursor = request.count;
     request.remaining -= cancelled;
-    queued_samples_ -= cancelled;
     outstanding_samples_ -= cancelled;
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->get() == &request) {
-        queue_.erase(it);
-        break;
+    auto lane_it = lanes_.find(request.model);
+    if (lane_it != lanes_.end()) {
+      ModelLane& lane = lane_it->second;
+      lane.queued_samples -= cancelled;
+      for (auto it = lane.queue.begin(); it != lane.queue.end(); ++it) {
+        if (it->get() == &request) {
+          lane.queue.erase(it);
+          break;
+        }
       }
     }
     cv_space_.notify_all();
@@ -527,6 +779,47 @@ void InferenceServer::note_worker_success_locked(Worker& worker) {
   worker.probe_interval = config_.health.probe_interval;
 }
 
+void InferenceServer::fail_batch_locked(Batch& batch,
+                                        const std::exception_ptr& error) {
+  for (auto& slice : batch.slices) {
+    slice.request->error = error;
+    complete_slice_locked(slice);
+  }
+  finish_batch_locked(batch);
+}
+
+void InferenceServer::drain_dead_lanes_locked() {
+  for (auto it = lanes_.begin(); it != lanes_.end();) {
+    const std::string& model = it->first;
+    ModelLane& lane = it->second;
+    if (lane_served_locked(model)) {
+      ++it;
+      continue;
+    }
+    if (!lane.queue.empty()) {
+      const auto error = std::make_exception_ptr(
+          RuntimeApiError("model '" + model + "' is no longer served"));
+      while (!lane.queue.empty()) {
+        auto request = std::move(lane.queue.front());
+        lane.queue.pop_front();
+        if (request->settled) continue;
+        request->settled = true;
+        stats_.failed_requests += 1;
+        ctr_failed_requests_->add(1);
+        stats_.per_model[model].failed_requests += 1;
+        request->promise.set_exception(error);
+        const std::size_t cancelled = request->count - request->cursor;
+        request->cursor = request->count;
+        request->remaining -= cancelled;
+        outstanding_samples_ -= cancelled;
+      }
+      lane.queued_samples = 0;
+      cv_space_.notify_all();
+    }
+    it = lanes_.erase(it);
+  }
+}
+
 void InferenceServer::dispatcher_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -548,63 +841,96 @@ void InferenceServer::dispatcher_loop() {
       break;
     }
 
-    // 2. Failed batches whose backoff has elapsed: re-dispatch (failover).
-    bool engines_blocked = false;
-    for (auto it = retry_queue_.begin();
-         it != retry_queue_.end() && !engines_blocked;) {
+    // 2. Models that lost their last engine (hot-swap away): fail their
+    //    queued work fast instead of letting it sit forever.
+    drain_dead_lanes_locked();
+
+    // 3. Failed batches whose backoff has elapsed: re-dispatch (failover),
+    //    or fail permanently when nothing serves their model any more. A
+    //    model whose engines are all quarantined blocks only its own
+    //    batches.
+    std::vector<std::string> blocked;
+    for (auto it = retry_queue_.begin(); it != retry_queue_.end();) {
       if (it->not_before > now) {
         ++it;
+        continue;
+      }
+      if (!lane_served_locked(it->model)) {
+        fail_batch_locked(*it, std::make_exception_ptr(RuntimeApiError(
+                                   "model '" + it->model +
+                                   "' is no longer served")));
+        it = retry_queue_.erase(it);
         continue;
       }
       if (dispatch_batch_locked(*it)) {
         it = retry_queue_.erase(it);
       } else {
-        engines_blocked = true;
+        blocked.push_back(it->model);
+        ++it;
+      }
+    }
+    const auto is_blocked = [&](const std::string& model) {
+      return std::find(blocked.begin(), blocked.end(), model) !=
+             blocked.end();
+    };
+
+    // 4. Fresh batches, per model lane: full ones immediately, partial
+    //    ones on the flush deadline (or unconditionally while draining
+    //    for stop()). Lanes with a blocked retry wait behind it.
+    for (auto& [model, lane] : lanes_) {
+      if (is_blocked(model)) continue;
+      while (!lane.queue.empty()) {
+        const bool full = lane.queued_samples >= batch_samples_;
+        const bool flush_due =
+            now >= lane.queue.front()->enqueue_time + config_.max_latency;
+        if (!full && !flush_due && !stopping_) break;
+        if (!any_engine_available_locked(now, model)) {
+          blocked.push_back(model);
+          break;
+        }
+        if (!full && !stopping_) {
+          stats_.deadline_flushes += 1;
+          ctr_deadline_flushes_->add(1);
+          telemetry::tracer().instant_wall(dispatcher_track_,
+                                           "deadline_flush");
+        }
+        telemetry::tracer().instant_wall(dispatcher_track_, "dispatch");
+        Batch batch = form_batch_locked(model, lane);
+        const bool dispatched = dispatch_batch_locked(batch);
+        SPNHBM_REQUIRE(dispatched, "available engine vanished under the lock");
       }
     }
 
-    // 3. Fresh batches: full ones immediately, partial ones on the flush
-    //    deadline (or unconditionally while draining for stop()).
-    while (!engines_blocked && !queue_.empty()) {
-      const bool full = queued_samples_ >= batch_samples_;
-      const bool flush_due =
-          now >= queue_.front()->enqueue_time + config_.max_latency;
-      if (!full && !flush_due && !stopping_) break;
-      if (!any_engine_available_locked(now)) {
-        engines_blocked = true;
+    // 5. Shutdown: everything queued has been drained to a terminal state.
+    bool lanes_empty = true;
+    for (const auto& [model, lane] : lanes_) {
+      (void)model;
+      if (!lane.queue.empty()) {
+        lanes_empty = false;
         break;
       }
-      if (!full && !stopping_) {
-        stats_.deadline_flushes += 1;
-        ctr_deadline_flushes_->add(1);
-        telemetry::tracer().instant_wall(dispatcher_track_, "deadline_flush");
-      }
-      telemetry::tracer().instant_wall(dispatcher_track_, "dispatch");
-      Batch batch = form_batch_locked();
-      const bool dispatched = dispatch_batch_locked(batch);
-      SPNHBM_REQUIRE(dispatched, "available engine vanished under the lock");
     }
-
-    // 4. Shutdown: everything queued has been drained to a terminal state.
-    if (stopping_ && queue_.empty() && retry_queue_.empty() &&
+    if (stopping_ && lanes_empty && retry_queue_.empty() &&
         pending_batches_ == 0) {
       return;
     }
 
-    // 5. Sleep until the next timed event (or a notify).
+    // 6. Sleep until the next timed event (or a notify).
     std::optional<std::chrono::steady_clock::time_point> wake;
     const auto consider = [&](std::chrono::steady_clock::time_point t) {
       if (!wake || t < *wake) wake = t;
     };
     if (!live_requests_.empty()) consider(live_requests_.front()->deadline);
     for (const auto& batch : retry_queue_) consider(batch.not_before);
-    if (!queue_.empty() && !engines_blocked && !stopping_) {
-      consider(queue_.front()->enqueue_time + config_.max_latency);
+    for (const auto& [model, lane] : lanes_) {
+      if (lane.queue.empty() || stopping_ || is_blocked(model)) continue;
+      consider(lane.queue.front()->enqueue_time + config_.max_latency);
     }
-    if (engines_blocked) {
-      // Work is pending but every engine is quarantined: wake when the
-      // earliest probe window opens.
+    // Blocked models: wake when the earliest probe window of one of their
+    // engines opens (activation completions notify the cv directly).
+    for (const auto& model : blocked) {
       for (const auto& worker : workers_) {
+        if (worker->pending_activation || worker->model_id != model) continue;
         if (worker->health == EngineHealth::kQuarantined &&
             !worker->probe_in_flight) {
           consider(worker->quarantined_until);
@@ -628,6 +954,7 @@ void InferenceServer::complete_slice_locked(const BatchSlice& slice) {
   if (request.error) {
     stats_.failed_requests += 1;
     ctr_failed_requests_->add(1);
+    stats_.per_model[request.model].failed_requests += 1;
     request.promise.set_exception(request.error);
   } else {
     request.promise.set_value(std::move(request.results));
@@ -640,10 +967,58 @@ void InferenceServer::finish_batch_locked(const Batch& batch) {
   cv_space_.notify_all();
 }
 
+void InferenceServer::perform_activation(std::unique_lock<std::mutex>& lock,
+                                         Worker& worker) {
+  // pending_activation stays set while the engine reconfigures: the
+  // dispatcher treats the worker as serving neither the outgoing nor the
+  // incoming model until the swap resolves, so no batch can land on a
+  // half-configured engine.
+  ModelHandle target = worker.pending_activation;
+  auto promise = worker.activation_promise;
+  lock.unlock();
+  std::exception_ptr error;
+  try {
+    const telemetry::Tracer::WallSpan span(telemetry::tracer(), worker.track,
+                                           "activate");
+    worker.engine->activate(target);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  worker.pending_activation = nullptr;
+  worker.activation_promise = nullptr;
+  if (!error) {
+    const auto& caps = worker.engine->capabilities();
+    worker.model_id = worker.engine->loaded_model()->id();
+    worker.input_features = caps.input_features;
+    worker.nominal_throughput = caps.nominal_throughput;
+    // The measured rate belonged to the outgoing model; start fresh.
+    worker.completed_samples = 0;
+    worker.busy_seconds = 0.0;
+    stats_.activations += 1;
+    ctr_activations_->add(1);
+    telemetry::tracer().instant_wall(worker.track, "activated");
+    promise->set_value();
+  } else {
+    // The engine kept its old model (activate is strong-exception-safe in
+    // every backend); the failure reaches only the activation future.
+    stats_.failed_activations += 1;
+    ctr_failed_activations_->add(1);
+    promise->set_exception(error);
+  }
+  cv_dispatch_.notify_one();
+}
+
 void InferenceServer::worker_loop(Worker& worker) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (worker.queue.empty()) {
+      // Hot-swaps run once the queue drains — after in-flight batches,
+      // before shutdown, so a stop() never strands the activation future.
+      if (worker.pending_activation) {
+        perform_activation(lock, worker);
+        continue;
+      }
       if (workers_stopping_) return;
       worker.cv.wait(lock);
       continue;
@@ -687,11 +1062,7 @@ void InferenceServer::worker_loop(Worker& worker) {
       if (batch.attempts + 1 >= config_.retry.max_attempts) {
         // Retry budget exhausted: the failure becomes permanent, but only
         // for the requests actually sliced into this batch.
-        for (const auto& slice : batch.slices) {
-          slice.request->error = error;
-          complete_slice_locked(slice);
-        }
-        finish_batch_locked(batch);
+        fail_batch_locked(batch, error);
       } else {
         batch.attempts += 1;
         batch.last_worker = worker.index;

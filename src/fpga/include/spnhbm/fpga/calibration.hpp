@@ -123,4 +123,14 @@ inline constexpr double kRoutableUtilisation = 0.8;
 /// (paper: eight accelerators was the largest routable design).
 inline constexpr int kMaxRoutablePes = 8;
 
+// --- Reconfiguration ---------------------------------------------------------
+/// ICAP configuration port throughput: 32 bits per cycle at 100 MHz. [V]
+inline constexpr double kIcapBytesPerSecond = 400e6;
+/// Full-device bitstream sizes. [V] VU37P (XUP-VVH) / VU9P (F1) config
+/// bitstreams; swapping a served model reprograms the whole shell in this
+/// flow (no partial reconfiguration), so an activate() charges
+/// bitstream / ICAP-rate (~0.45 s) before the new design answers.
+inline constexpr double kBitstreamBytesHbm = 180e6;
+inline constexpr double kBitstreamBytesF1 = 170e6;
+
 }  // namespace spnhbm::fpga::cal

@@ -1,0 +1,69 @@
+// Thread-safe, refcounted model registry.
+//
+// The registry is the serving stack's catalogue: artifacts are added under
+// their "name@version" id, looked up by id, by bare name (highest version
+// wins) or by alias, and unloaded. Unload is *deferred* when the artifact
+// is still pinned elsewhere — an engine serving in-flight batches holds a
+// ModelHandle, so the registry merely drops its own pin and remembers the
+// artifact as pending; the memory is reclaimed when the last engine pin
+// drops, never under a live batch. `pending_unload_count()` reports how
+// many unloaded-but-still-pinned artifacts remain.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "spnhbm/model/artifact.hpp"
+
+namespace spnhbm::model {
+
+class ModelRegistry {
+ public:
+  /// Registers the artifact under its id. Throws ModelError when the id is
+  /// already taken or the handle is null. Returns the handle for chaining.
+  ModelHandle add(ModelHandle artifact);
+
+  /// Resolves `ref` — an alias, an exact "name@version" id, or a bare name
+  /// (highest version by numeric-aware comparison). Throws ModelError when
+  /// nothing matches.
+  ModelHandle get(const std::string& ref) const;
+
+  /// Like get(), but returns nullptr instead of throwing.
+  ModelHandle try_get(const std::string& ref) const;
+
+  /// Points `alias` at the model `ref` resolves to (re-pointing an existing
+  /// alias is allowed). Throws ModelError when `ref` is unknown or `alias`
+  /// collides with a registered id.
+  void alias(const std::string& alias, const std::string& ref);
+
+  /// Unregisters the model `ref` resolves to and removes aliases pointing
+  /// at it. Returns true when the artifact was freed immediately, false
+  /// when external pins (engines with in-flight batches) defer the free.
+  bool unload(const std::string& ref);
+
+  /// Artifacts unloaded from the registry but still pinned externally.
+  /// Expired entries are pruned as a side effect.
+  std::size_t pending_unload_count() const;
+
+  /// Registered ids, sorted.
+  std::vector<std::string> ids() const;
+  std::size_t size() const;
+
+ private:
+  ModelHandle resolve_locked(const std::string& ref) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ModelHandle> by_id_;
+  std::map<std::string, std::string> aliases_;  ///< alias -> id
+  mutable std::vector<std::weak_ptr<const ModelArtifact>> pending_unloads_;
+};
+
+/// Numeric-aware version ordering: "2" < "10", "1.2" < "1.10", and ties
+/// fall back to lexicographic comparison.
+bool version_less(const std::string& a, const std::string& b);
+
+}  // namespace spnhbm::model

@@ -1,0 +1,152 @@
+#include "spnhbm/model/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace spnhbm::model {
+
+namespace {
+
+/// Splits a version string into maximal digit / non-digit chunks.
+std::vector<std::string> version_chunks(const std::string& version) {
+  std::vector<std::string> chunks;
+  std::size_t i = 0;
+  while (i < version.size()) {
+    const bool digits = std::isdigit(static_cast<unsigned char>(version[i]));
+    std::size_t j = i;
+    while (j < version.size() &&
+           std::isdigit(static_cast<unsigned char>(version[j])) == digits) {
+      ++j;
+    }
+    chunks.push_back(version.substr(i, j - i));
+    i = j;
+  }
+  return chunks;
+}
+
+bool all_digits(const std::string& chunk) {
+  return !chunk.empty() &&
+         std::all_of(chunk.begin(), chunk.end(), [](char c) {
+           return std::isdigit(static_cast<unsigned char>(c));
+         });
+}
+
+}  // namespace
+
+bool version_less(const std::string& a, const std::string& b) {
+  const auto chunks_a = version_chunks(a);
+  const auto chunks_b = version_chunks(b);
+  const std::size_t n = std::min(chunks_a.size(), chunks_b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& ca = chunks_a[i];
+    const std::string& cb = chunks_b[i];
+    if (ca == cb) continue;
+    if (all_digits(ca) && all_digits(cb)) {
+      // Compare as numbers: strip leading zeros, then by length, then
+      // lexicographically (equal-length digit strings compare correctly).
+      const std::string na = ca.substr(std::min(ca.find_first_not_of('0'),
+                                                ca.size() - 1));
+      const std::string nb = cb.substr(std::min(cb.find_first_not_of('0'),
+                                                cb.size() - 1));
+      if (na.size() != nb.size()) return na.size() < nb.size();
+      if (na != nb) return na < nb;
+      continue;  // numerically equal (e.g. "07" vs "7"): keep scanning
+    }
+    return ca < cb;
+  }
+  return chunks_a.size() < chunks_b.size();
+}
+
+ModelHandle ModelRegistry::add(ModelHandle artifact) {
+  if (!artifact) throw ModelError("cannot register a null model artifact");
+  const std::string id = artifact->id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (by_id_.count(id) != 0) {
+    throw ModelError("model " + id + " is already registered");
+  }
+  if (aliases_.count(id) != 0) {
+    throw ModelError("model id " + id + " collides with an alias");
+  }
+  by_id_.emplace(id, artifact);
+  return artifact;
+}
+
+ModelHandle ModelRegistry::resolve_locked(const std::string& ref) const {
+  const auto alias_it = aliases_.find(ref);
+  const std::string& id = alias_it != aliases_.end() ? alias_it->second : ref;
+  const auto exact = by_id_.find(id);
+  if (exact != by_id_.end()) return exact->second;
+  // Bare-name lookup: pick the highest version among "ref@*".
+  ModelHandle best;
+  for (const auto& [key, handle] : by_id_) {
+    if (handle->name() != ref) continue;
+    if (!best || version_less(best->version(), handle->version())) {
+      best = handle;
+    }
+  }
+  return best;
+}
+
+ModelHandle ModelRegistry::get(const std::string& ref) const {
+  ModelHandle handle = try_get(ref);
+  if (!handle) throw ModelError("unknown model: " + ref);
+  return handle;
+}
+
+ModelHandle ModelRegistry::try_get(const std::string& ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resolve_locked(ref);
+}
+
+void ModelRegistry::alias(const std::string& alias, const std::string& ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ModelHandle target = resolve_locked(ref);
+  if (!target) throw ModelError("unknown model: " + ref);
+  if (by_id_.count(alias) != 0) {
+    throw ModelError("alias " + alias + " collides with a registered id");
+  }
+  aliases_[alias] = target->id();
+}
+
+bool ModelRegistry::unload(const std::string& ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ModelHandle handle = resolve_locked(ref);
+  if (!handle) throw ModelError("unknown model: " + ref);
+  const std::string id = handle->id();
+  by_id_.erase(id);
+  for (auto it = aliases_.begin(); it != aliases_.end();) {
+    it = it->second == id ? aliases_.erase(it) : std::next(it);
+  }
+  // `handle` is now the only registry-side pin. use_count == 1 means no
+  // engine or caller still holds the artifact: it dies right here.
+  if (handle.use_count() == 1) return true;
+  pending_unloads_.push_back(handle);
+  return false;
+}
+
+std::size_t ModelRegistry::pending_unload_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_unloads_.erase(
+      std::remove_if(pending_unloads_.begin(), pending_unloads_.end(),
+                     [](const std::weak_ptr<const ModelArtifact>& weak) {
+                       return weak.expired();
+                     }),
+      pending_unloads_.end());
+  return pending_unloads_.size();
+}
+
+std::vector<std::string> ModelRegistry::ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, handle] : by_id_) out.push_back(id);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_id_.size();
+}
+
+}  // namespace spnhbm::model

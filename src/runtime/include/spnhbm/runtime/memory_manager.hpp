@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/util/error.hpp"
 
 namespace spnhbm::runtime {
@@ -44,6 +46,9 @@ class DeviceMemoryManager {
     std::map<std::uint64_t, std::uint64_t> free_blocks;
     // live allocations: address -> size
     std::map<std::uint64_t, std::uint64_t> allocations;
+    // running total of free_blocks (also published as a telemetry gauge)
+    std::uint64_t free_bytes = 0;
+    std::shared_ptr<telemetry::Gauge> gauge_free;
   };
 
   Arena& arena(std::size_t channel);

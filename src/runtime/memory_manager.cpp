@@ -11,8 +11,16 @@ DeviceMemoryManager::DeviceMemoryManager(std::size_t channels,
     : capacity_(capacity_per_channel), arenas_(channels) {
   SPNHBM_REQUIRE(channels > 0, "need at least one channel");
   SPNHBM_REQUIRE(capacity_per_channel >= kAlignment, "capacity too small");
-  for (auto& arena : arenas_) {
+  for (std::size_t channel = 0; channel < arenas_.size(); ++channel) {
+    Arena& arena = arenas_[channel];
     arena.free_blocks.emplace(0, capacity_per_channel);
+    arena.free_bytes = capacity_per_channel;
+    // Gauge names are per channel index; when several managers coexist
+    // (e.g. across an engine hot-swap) the newest writer wins, which is
+    // the manager actually serving traffic.
+    arena.gauge_free = telemetry::metrics().gauge(
+        strformat("runtime.devmem.ch%zu.bytes_free", channel));
+    arena.gauge_free->set(static_cast<double>(arena.free_bytes));
   }
 }
 
@@ -43,6 +51,8 @@ std::uint64_t DeviceMemoryManager::allocate(std::size_t channel,
       a.free_blocks.emplace(address + size, leftover);
     }
     a.allocations.emplace(address, size);
+    a.free_bytes -= size;
+    a.gauge_free->set(static_cast<double>(a.free_bytes));
     return address;
   }
   throw DeviceMemoryError(strformat(
@@ -59,6 +69,8 @@ void DeviceMemoryManager::free(std::size_t channel, std::uint64_t address) {
   }
   std::uint64_t size = allocation->second;
   a.allocations.erase(allocation);
+  a.free_bytes += size;
+  a.gauge_free->set(static_cast<double>(a.free_bytes));
 
   // Coalesce with the following free block.
   auto next = a.free_blocks.lower_bound(address);
@@ -79,9 +91,7 @@ void DeviceMemoryManager::free(std::size_t channel, std::uint64_t address) {
 
 std::uint64_t DeviceMemoryManager::bytes_free(std::size_t channel) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::uint64_t total = 0;
-  for (const auto& [address, size] : arena(channel).free_blocks) total += size;
-  return total;
+  return arena(channel).free_bytes;
 }
 
 std::uint64_t DeviceMemoryManager::bytes_allocated(std::size_t channel) const {

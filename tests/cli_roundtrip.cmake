@@ -1,0 +1,33 @@
+# Design round-trip smoke test (run via `cmake -P`): compiling a model to
+# a serialised design file, loading it back and inferring must be
+# byte-identical with inferring straight from the textual description.
+#
+# Inputs: -DCLI=<spnhbm_cli> -DMODEL=<model.spn> -DSAMPLES=<samples.csv>
+#         -DWORK_DIR=<scratch dir>
+set(design "${WORK_DIR}/roundtrip_design.bin")
+
+execute_process(COMMAND ${CLI} compile ${MODEL} --out ${design}
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "compile --out failed with ${rc}")
+endif()
+
+execute_process(COMMAND ${CLI} infer ${MODEL} ${SAMPLES}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE from_text)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "infer from text failed with ${rc}")
+endif()
+
+execute_process(COMMAND ${CLI} infer ${design} ${SAMPLES}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE from_binary)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "infer from design file failed with ${rc}")
+endif()
+
+if(from_text STREQUAL "")
+  message(FATAL_ERROR "infer produced no output")
+endif()
+if(NOT from_text STREQUAL from_binary)
+  message(FATAL_ERROR "round trip diverged:\n--- text ---\n${from_text}"
+                      "\n--- binary ---\n${from_binary}")
+endif()

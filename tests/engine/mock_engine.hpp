@@ -12,13 +12,31 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "spnhbm/arith/backend.hpp"
 #include "spnhbm/engine/engine.hpp"
+#include "spnhbm/spn/random_spn.hpp"
 
 namespace spnhbm::engine_test {
 
 constexpr std::size_t kFeatures = 4;
+
+/// One shared artifact for every MockEngine instance: the server routes
+/// batches by model id, so all mocks serving "mock@1" share a lane — which
+/// is exactly what the single-model test suites assume.
+inline engine::ModelHandle mock_artifact() {
+  static const engine::ModelHandle artifact = [] {
+    spn::RandomSpnConfig config;
+    config.variables = kFeatures;
+    config.seed = 7;
+    return model::ModelArtifact::compile("mock", "1",
+                                         spn::make_random_spn(config),
+                                         arith::make_float64_backend());
+  }();
+  return artifact;
+}
 
 /// Deterministic per-sample "probability": a checksum of the input row.
 inline double encode(std::span<const std::uint8_t> row) {
@@ -62,6 +80,15 @@ class MockEngine : public engine::InferenceEngine {
 
   const engine::EngineCapabilities& capabilities() const override {
     return capabilities_;
+  }
+
+  const engine::ModelHandle& loaded_model() const override { return model_; }
+
+  void activate(engine::ModelHandle next) override {
+    SPNHBM_REQUIRE(next != nullptr, "activate requires a model");
+    model_ = std::move(next);
+    capabilities_.input_features = model_->input_features();
+    stats_.reconfigurations += 1;
   }
 
   engine::BatchHandle submit(std::span<const std::uint8_t> samples,
@@ -112,6 +139,7 @@ class MockEngine : public engine::InferenceEngine {
 
  private:
   Config config_;
+  engine::ModelHandle model_ = mock_artifact();
   engine::EngineCapabilities capabilities_;
   engine::EngineStats stats_;
   std::vector<std::size_t> batch_sizes_;

@@ -273,5 +273,21 @@ TEST(Server, DefaultBatchSizeIsTheSmallestEnginePreference) {
   EXPECT_EQ(server.batch_samples(), 32u);
 }
 
+TEST(Server, PerEngineAccessorsRejectOutOfRangeIndices) {
+  // Regression: these used to index the worker vector unchecked; a bad
+  // index must surface as a RuntimeApiError, not undefined behaviour.
+  engine::InferenceServer server;
+  EXPECT_THROW(server.engine(0), RuntimeApiError);  // no engines at all
+  server.register_engine(std::make_shared<MockEngine>());
+  EXPECT_NO_THROW(server.engine(0));
+  EXPECT_NO_THROW(server.engine_health(0));
+  EXPECT_NO_THROW(server.dispatched_samples(0));
+  EXPECT_NO_THROW(server.engine_model(0));
+  EXPECT_THROW(server.engine(1), RuntimeApiError);
+  EXPECT_THROW(server.engine_health(1), RuntimeApiError);
+  EXPECT_THROW(server.dispatched_samples(1), RuntimeApiError);
+  EXPECT_THROW(server.engine_model(1), RuntimeApiError);
+}
+
 }  // namespace
 }  // namespace spnhbm

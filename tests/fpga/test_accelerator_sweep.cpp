@@ -68,8 +68,11 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{200, 4096}, SweepParam{10, 1024},
                       SweepParam{80, 1024}),
     [](const auto& info) {
-      return "f" + std::to_string(info.param.features) + "_b" +
-             std::to_string(info.param.burst_bytes);
+      std::string name = "f";
+      name += std::to_string(info.param.features);
+      name += "_b";
+      name += std::to_string(info.param.burst_bytes);
+      return name;
     });
 
 TEST(AcceleratorSweep, MemoryBoundKicksInForWideSamples) {

@@ -1,0 +1,183 @@
+// ModelArtifact / ModelRegistry tests: content-addressed hashing, the
+// text-vs-binary load_file sniff, version-aware lookup, aliasing and the
+// deferred-unload refcounting that keeps artifacts alive under live pins.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "spnhbm/arith/backend.hpp"
+#include "spnhbm/compiler/serialize.hpp"
+#include "spnhbm/model/artifact.hpp"
+#include "spnhbm/model/registry.hpp"
+#include "spnhbm/spn/random_spn.hpp"
+
+namespace spnhbm {
+namespace {
+
+spn::Spn test_spn(std::uint64_t seed, std::size_t variables = 5) {
+  spn::RandomSpnConfig config;
+  config.variables = variables;
+  config.seed = seed;
+  return spn::make_random_spn(config);
+}
+
+model::ModelHandle compiled(std::string name, std::string version,
+                            std::uint64_t seed = 11) {
+  return model::ModelArtifact::compile(std::move(name), std::move(version),
+                                       test_spn(seed),
+                                       arith::make_float64_backend());
+}
+
+/// RAII temp file in the test working directory.
+struct TempFile {
+  explicit TempFile(std::string path_in, const std::string& contents = "")
+      : path(std::move(path_in)) {
+    if (!contents.empty()) {
+      std::ofstream out(path, std::ios::binary);
+      out << contents;
+    }
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+constexpr const char* kTextSpn =
+    "Sum(0.25*Product(Histogram(V0|[0,128,256];[0.005,0.0028125])\n"
+    "               * Histogram(V1|[0,64,256];[0.0078125,0.00260416666666666652]))\n"
+    "  + 0.75*Product(Histogram(V0|[0,64,128,256];[0.0078125,0.0078125,0.0])\n"
+    "               * Histogram(V1|[0,128,256];[0.0078125,0.0])))\n";
+
+TEST(ModelArtifact, CompileIsContentAddressed) {
+  const auto a = compiled("a", "1");
+  const auto b = compiled("b", "2");  // same bits, different identity
+  EXPECT_EQ(a->content_hash(), b->content_hash());
+  EXPECT_EQ(a->content_hash_hex().size(), 16u);
+  EXPECT_EQ(a->content_hash_hex(), b->content_hash_hex());
+
+  const auto other_graph = compiled("a", "1", /*seed=*/12);
+  EXPECT_NE(a->content_hash(), other_graph->content_hash());
+
+  const auto other_backend = model::ModelArtifact::compile(
+      "a", "1", test_spn(11), model::make_backend("lns"));
+  EXPECT_NE(a->content_hash(), other_backend->content_hash());
+}
+
+TEST(ModelArtifact, IdentityAndDescribe) {
+  const auto artifact = compiled("nips10", "3");
+  EXPECT_EQ(artifact->name(), "nips10");
+  EXPECT_EQ(artifact->version(), "3");
+  EXPECT_EQ(artifact->id(), "nips10@3");
+  EXPECT_TRUE(artifact->has_spn());
+  EXPECT_EQ(artifact->input_features(), 5u);
+  const std::string text = artifact->describe();
+  EXPECT_NE(text.find("nips10@3"), std::string::npos);
+  EXPECT_NE(text.find(artifact->content_hash_hex()), std::string::npos);
+}
+
+TEST(ModelArtifact, WrapMatchesCompileHash) {
+  // Wrapping an already-compiled module must be recognisably the *same*
+  // model as compiling it through the artifact layer.
+  const auto via_compile = compiled("m", "1");
+  const auto backend = arith::make_float64_backend();
+  const auto module = compiler::compile_spn(test_spn(11), *backend);
+  const auto via_wrap = model::ModelArtifact::wrap("legacy", module, *backend);
+  EXPECT_EQ(via_wrap->id(), "legacy@0");
+  EXPECT_EQ(via_wrap->content_hash(), via_compile->content_hash());
+}
+
+TEST(ModelArtifact, LoadFileSniffsTextVersusBinary) {
+  TempFile text("test_model_text.spn", kTextSpn);
+  const auto from_text = model::ModelArtifact::load_file(
+      "demo", "1", text.path, arith::make_float64_backend());
+  EXPECT_TRUE(from_text->has_spn());
+  EXPECT_EQ(from_text->input_features(), 2u);
+
+  TempFile binary("test_model_design.bin");
+  compiler::save_design_file(from_text->module(), binary.path);
+  const auto from_binary = model::ModelArtifact::load_file(
+      "demo", "2", binary.path, arith::make_float64_backend());
+  EXPECT_FALSE(from_binary->has_spn());
+
+  // The round trip preserves the compiled bits and the functional result.
+  EXPECT_EQ(from_text->content_hash(), from_binary->content_hash());
+  const std::vector<std::uint8_t> row = {100, 30};
+  EXPECT_DOUBLE_EQ(from_text->module().evaluate(from_text->backend(), row),
+                   from_binary->module().evaluate(from_binary->backend(), row));
+}
+
+TEST(ModelArtifact, LoadFileMissingPathThrows) {
+  EXPECT_THROW(model::ModelArtifact::load_file(
+                   "x", "1", "does_not_exist.spn",
+                   arith::make_float64_backend()),
+               model::ModelError);
+}
+
+TEST(ModelArtifact, MakeBackendKnowsThePaperFormats) {
+  for (const char* format : {"f64", "cfp", "lns", "posit"}) {
+    EXPECT_NE(model::make_backend(format), nullptr) << format;
+  }
+  EXPECT_THROW(model::make_backend("fp8"), model::ModelError);
+}
+
+TEST(ModelRegistry, AddGetAndDuplicateRejection) {
+  model::ModelRegistry registry;
+  const auto artifact = registry.add(compiled("m", "1"));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.get("m@1"), artifact);
+  EXPECT_EQ(registry.get("m"), artifact);  // bare name
+  EXPECT_THROW(registry.add(compiled("m", "1")), model::ModelError);
+  EXPECT_THROW(registry.add(nullptr), model::ModelError);
+  EXPECT_THROW(registry.get("unknown"), model::ModelError);
+  EXPECT_EQ(registry.try_get("unknown"), nullptr);
+}
+
+TEST(ModelRegistry, BareNameResolvesHighestVersionNumerically) {
+  model::ModelRegistry registry;
+  registry.add(compiled("m", "2"));
+  const auto v10 = registry.add(compiled("m", "10"));
+  EXPECT_EQ(registry.get("m"), v10);  // "10" > "2" numerically
+  EXPECT_EQ(registry.ids(), (std::vector<std::string>{"m@10", "m@2"}));
+}
+
+TEST(ModelRegistry, AliasesFollowRepointing) {
+  model::ModelRegistry registry;
+  const auto v1 = registry.add(compiled("m", "1"));
+  const auto v2 = registry.add(compiled("m", "2"));
+  registry.alias("prod", "m@1");
+  EXPECT_EQ(registry.get("prod"), v1);
+  registry.alias("prod", "m@2");  // re-pointing is allowed
+  EXPECT_EQ(registry.get("prod"), v2);
+  EXPECT_THROW(registry.alias("m@1", "m@2"), model::ModelError);  // id clash
+  EXPECT_THROW(registry.alias("broken", "nothing"), model::ModelError);
+}
+
+TEST(ModelRegistry, UnloadIsDeferredWhileExternallyPinned) {
+  model::ModelRegistry registry;
+  model::ModelHandle pin = registry.add(compiled("m", "1"));
+  registry.add(compiled("free", "1"));
+
+  // An unpinned model frees immediately.
+  EXPECT_TRUE(registry.unload("free"));
+  EXPECT_EQ(registry.pending_unload_count(), 0u);
+
+  // A pinned model (an engine mid-batch in real life) defers.
+  EXPECT_FALSE(registry.unload("m@1"));
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.pending_unload_count(), 1u);
+  EXPECT_THROW(registry.get("m@1"), model::ModelError);
+  pin.reset();  // last pin drops -> reclaimed
+  EXPECT_EQ(registry.pending_unload_count(), 0u);
+}
+
+TEST(ModelRegistry, VersionLessIsNumericAware) {
+  EXPECT_TRUE(model::version_less("2", "10"));
+  EXPECT_FALSE(model::version_less("10", "2"));
+  EXPECT_TRUE(model::version_less("1.2", "1.10"));
+  EXPECT_FALSE(model::version_less("3", "3"));
+}
+
+}  // namespace
+}  // namespace spnhbm

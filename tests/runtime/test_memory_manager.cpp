@@ -121,5 +121,57 @@ TEST(MemoryManager, RejectsBadArguments) {
   EXPECT_THROW(manager.allocate(5, 64), std::logic_error);
 }
 
+TEST(MemoryManager, FragmentationShrinksLargestBlockNotFreeTotal) {
+  // Alternating free pattern: half the capacity is free but no block is
+  // larger than one slot — the classic fragmentation signature the
+  // bytes_free / largest_free_block pair is meant to expose.
+  DeviceMemoryManager manager(1, 64 * 16);
+  std::vector<std::uint64_t> addresses;
+  for (int i = 0; i < 16; ++i) addresses.push_back(manager.allocate(0, 64));
+  for (int i = 0; i < 16; i += 2) manager.free(0, addresses[i]);
+
+  EXPECT_EQ(manager.bytes_free(0), 64u * 8u);
+  EXPECT_EQ(manager.largest_free_block(0), 64u);
+  // Half the arena is free, yet a 2-slot request cannot be placed.
+  EXPECT_THROW(manager.allocate(0, 128), DeviceMemoryError);
+  // Singles still fit (first fit lands in the lowest hole).
+  EXPECT_EQ(manager.allocate(0, 64), addresses[0]);
+
+  // Freeing the interleaved survivors coalesces everything back into one
+  // block and the 2-slot request succeeds.
+  for (int i = 1; i < 16; i += 2) manager.free(0, addresses[i]);
+  manager.free(0, addresses[0]);
+  EXPECT_EQ(manager.bytes_free(0), 64u * 16u);
+  EXPECT_EQ(manager.largest_free_block(0), 64u * 16u);
+  EXPECT_NO_THROW(manager.allocate(0, 128));
+}
+
+TEST(MemoryManager, FreeBytesTracksAllocationsExactly) {
+  DeviceMemoryManager manager(2, 1 << 12);
+  EXPECT_EQ(manager.bytes_free(0), 1u << 12);
+  const auto a = manager.allocate(0, 100);  // rounds up to 128
+  EXPECT_EQ(manager.bytes_free(0), (1u << 12) - 128u);
+  EXPECT_EQ(manager.bytes_free(1), 1u << 12);  // other channel untouched
+  manager.free(0, a);
+  EXPECT_EQ(manager.bytes_free(0), 1u << 12);
+}
+
+TEST(MemoryManager, PublishesPerChannelFreeBytesGauge) {
+  DeviceMemoryManager manager(2, 1 << 12);
+  const auto gauge0 = telemetry::metrics().gauge("runtime.devmem.ch0.bytes_free");
+  const auto gauge1 = telemetry::metrics().gauge("runtime.devmem.ch1.bytes_free");
+  EXPECT_EQ(gauge0->value(), static_cast<double>(1 << 12));
+
+  const auto a = manager.allocate(0, 256);
+  EXPECT_EQ(gauge0->value(), static_cast<double>((1 << 12) - 256));
+  EXPECT_EQ(gauge1->value(), static_cast<double>(1 << 12));
+  manager.free(0, a);
+  EXPECT_EQ(gauge0->value(), static_cast<double>(1 << 12));
+
+  // A newer manager takes over the gauge names (newest writer wins).
+  DeviceMemoryManager successor(2, 1 << 10);
+  EXPECT_EQ(gauge0->value(), static_cast<double>(1 << 10));
+}
+
 }  // namespace
 }  // namespace spnhbm::runtime

@@ -68,9 +68,10 @@ TEST(JsonNumber, AvoidsNonFiniteTokens) {
   EXPECT_EQ(json_number(42.0), "42");
   // Infinities and NaN have no JSON number representation and must map to a
   // token that still parses (null).
-  const JsonValue parsed =
-      parse_json("[" + json_number(std::numeric_limits<double>::infinity()) +
-                 "]");
+  std::string wrapped = "[";
+  wrapped += json_number(std::numeric_limits<double>::infinity());
+  wrapped += "]";
+  const JsonValue parsed = parse_json(wrapped);
   ASSERT_EQ(parsed.array.size(), 1u);
   // Non-integers round-trip exactly.
   const double pi = 3.141592653589793;

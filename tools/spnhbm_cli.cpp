@@ -19,10 +19,12 @@
 //       --fault-plan arms the deterministic fault injector (HBM stalls /
 //       ECC corruption, DMA aborts, PE launch faults) for the run.
 //
-//   spnhbm infer <spn.txt> <samples.csv> [--engine fpga|cpu|gpu]
+//   spnhbm infer <spn.txt|design.bin> <samples.csv> [--engine fpga|cpu|gpu]
 //       Run real samples (one CSV row of byte features per line) through
 //       the unified inference-engine interface (default: the simulated
-//       accelerator); print one probability per line.
+//       accelerator); print one probability per line. The model may be a
+//       textual SPN or a binary design artifact from `compile --out`
+//       (recognised by its magic).
 //
 //   spnhbm serve <spn.txt> --requests <samples.csv>
 //                [--engines fpga,cpu,gpu] [--format ...] [--pes N]
@@ -39,6 +41,15 @@
 //       quarantine + probes, deadlines) then recovers where it can, and
 //       rows that still fail print an "error:" line instead of a
 //       probability. --request-timeout sets the per-request deadline.
+//
+//   spnhbm serve --model name=path[@version] [--model ...]
+//                --requests name=samples.csv [--requests ...]
+//                [--engines fpga,cpu,gpu] [--format ...] [common flags]
+//       Multi-model serving: each --model loads an artifact (textual SPN
+//       or binary design) into the model registry and registers one
+//       engine per --engines entry for it; each --requests replays a CSV
+//       against the named model through the same server. Batches never
+//       mix models; per-model stats are printed at the end.
 //
 //   spnhbm learn <data.csv> [--min-instances N] [--threshold X]
 //       Learn a Mixed SPN from CSV data; print its textual description.
@@ -65,6 +76,8 @@
 #include "spnhbm/engine/server.hpp"
 #include "spnhbm/fault/fault.hpp"
 #include "spnhbm/fpga/resource_model.hpp"
+#include "spnhbm/model/artifact.hpp"
+#include "spnhbm/model/registry.hpp"
 #include "spnhbm/runtime/inference_runtime.hpp"
 #include "spnhbm/spn/dot_export.hpp"
 #include "spnhbm/spn/io_csv.hpp"
@@ -116,6 +129,14 @@ struct Args {
       if (key == name) return value;
     }
     return fallback;
+  }
+  /// Every value of a repeatable option, in command-line order.
+  std::vector<std::string> option_all(const std::string& name) const {
+    std::vector<std::string> values;
+    for (const auto& [key, value] : options) {
+      if (key == name) values.push_back(value);
+    }
+    return values;
   }
   bool flag(const std::string& name) const {
     for (const auto& [key, value] : options) {
@@ -285,57 +306,43 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
-std::unique_ptr<engine::InferenceEngine> engine_for(
-    const std::string& name, const compiler::DatapathModule& module,
-    const arith::ArithBackend& backend, int pe_count) {
+std::unique_ptr<engine::InferenceEngine> engine_for(const std::string& name,
+                                                    engine::ModelHandle model,
+                                                    int pe_count) {
   if (name == "fpga") {
     engine::FpgaEngineConfig config;
     config.pe_count = pe_count;
-    return std::make_unique<engine::FpgaSimEngine>(module, backend, config);
+    return std::make_unique<engine::FpgaSimEngine>(std::move(model), config);
   }
-  if (name == "cpu") return std::make_unique<engine::CpuEngine>(module);
-  if (name == "gpu") return std::make_unique<engine::GpuModelEngine>(module);
+  if (name == "cpu") {
+    return std::make_unique<engine::CpuEngine>(std::move(model));
+  }
+  if (name == "gpu") {
+    return std::make_unique<engine::GpuModelEngine>(std::move(model));
+  }
   throw Error("unknown engine '" + name + "' (fpga|cpu|gpu)");
 }
 
 int cmd_infer(const Args& args) {
   if (args.positional.size() < 2) usage();
-  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
-  const auto backend = backend_for(args.option("format", "cfp"));
-  const auto module = compiler::compile_spn(model, *backend);
+  const auto artifact = model::ModelArtifact::load_file(
+      "model", "1", args.positional[0],
+      backend_for(args.option("format", "cfp")));
   const spn::DataMatrix data = spn::load_csv_file(args.positional[1]);
-  if (data.cols() != module.input_features()) {
+  if (data.cols() != artifact->input_features()) {
     throw Error(strformat("CSV rows have %zu cells, the model expects %zu",
-                          data.cols(), module.input_features()));
+                          data.cols(), artifact->input_features()));
   }
   const auto samples = data.to_bytes();
 
-  const auto engine =
-      engine_for(args.option("engine", "fpga"), module, *backend, 1);
+  const auto engine = engine_for(args.option("engine", "fpga"), artifact, 1);
   for (const double p : engine->infer(samples)) {
     std::printf("%.12e\n", p);
   }
   return 0;
 }
 
-int cmd_serve(const Args& args) {
-  if (args.positional.empty()) usage();
-  const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
-  const bool chaos = arm_fault_plan(args);
-  const std::string requests_path = args.option("requests", "");
-  if (requests_path.empty()) usage();
-  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
-  const auto backend = backend_for(args.option("format", "cfp"));
-  const auto module = compiler::compile_spn(model, *backend);
-  const spn::DataMatrix data = spn::load_csv_file(requests_path);
-  if (data.cols() != module.input_features()) {
-    throw Error(strformat("CSV rows have %zu cells, the model expects %zu",
-                          data.cols(), module.input_features()));
-  }
-  const auto samples = data.to_bytes();
-  const std::size_t features = module.input_features();
-  const std::size_t count = samples.size() / features;
-
+engine::ServerConfig server_config_from_args(const Args& args) {
   engine::ServerConfig config;
   config.batch_samples = static_cast<std::size_t>(
       std::atoll(args.option("batch", "64").c_str()));
@@ -349,25 +356,169 @@ int cmd_serve(const Args& args) {
   }
   config.policy = policy == "load" ? engine::DispatchPolicy::kLeastLoaded
                                    : engine::DispatchPolicy::kRoundRobin;
-  const long long timeout_us =
-      std::atoll(args.option("request-timeout", "0").c_str());
-  config.request_timeout = std::chrono::microseconds(timeout_us);
-  engine::InferenceServer server(config);
+  config.request_timeout = std::chrono::microseconds(
+      std::atoll(args.option("request-timeout", "0").c_str()));
+  return config;
+}
+
+/// Registers one engine per --engines entry ("name" or "name:prio") for
+/// `model`, wrapped in the chaos decorator when a fault plan is armed.
+void register_engines_for(engine::InferenceServer& server, const Args& args,
+                          const engine::ModelHandle& model, bool chaos) {
   const int pes = std::atoi(args.option("pes", "1").c_str());
   for (const auto& spec : split(args.option("engines", "fpga,cpu"), ',')) {
-    // Engine spec "name" or "name:prio" (failover tier, 0 = preferred).
     std::string name = spec;
     int priority = 0;
     if (const auto colon = spec.find(':'); colon != std::string::npos) {
       name = spec.substr(0, colon);
       priority = std::atoi(spec.c_str() + colon + 1);
     }
-    auto engine = engine_for(name, module, *backend, pes);
+    auto engine = engine_for(name, model, pes);
     if (chaos) {
       engine = std::make_unique<engine::ChaosEngine>(std::move(engine));
     }
     server.register_engine(std::move(engine), priority);
   }
+}
+
+void print_server_report(const engine::InferenceServer& server) {
+  std::printf("server: %s\n", server.stats().describe().c_str());
+  for (std::size_t i = 0; i < server.engine_count(); ++i) {
+    std::printf("engine %s [%s]: %s\n",
+                server.engine(i).capabilities().name.c_str(),
+                engine::to_string(server.engine_health(i)).c_str(),
+                server.engine(i).stats().describe().c_str());
+  }
+}
+
+/// "--model name=path[@version]": the version suffix is only recognised
+/// after the last path separator, so directories with '@' stay intact.
+struct ModelSpec {
+  std::string name;
+  std::string version = "1";
+  std::string path;
+
+  static ModelSpec parse(const std::string& spec) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw Error("--model expects name=path[@version], got '" + spec + "'");
+    }
+    ModelSpec out;
+    out.name = spec.substr(0, eq);
+    std::string rest = spec.substr(eq + 1);
+    const auto slash = rest.find_last_of('/');
+    const auto at = rest.rfind('@');
+    if (at != std::string::npos &&
+        (slash == std::string::npos || at > slash)) {
+      out.version = rest.substr(at + 1);
+      rest.resize(at);
+    }
+    out.path = rest;
+    return out;
+  }
+};
+
+int cmd_serve_multi(const Args& args,
+                    const std::vector<std::string>& model_specs) {
+  const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
+  const bool chaos = arm_fault_plan(args);
+  const auto format = args.option("format", "cfp");
+
+  model::ModelRegistry registry;
+  std::vector<std::string> ids;  // command-line order
+  for (const auto& raw : model_specs) {
+    const ModelSpec spec = ModelSpec::parse(raw);
+    const auto artifact = model::ModelArtifact::load_file(
+        spec.name, spec.version, spec.path, backend_for(format));
+    registry.add(artifact);
+    ids.push_back(artifact->id());
+    std::fprintf(stderr, "loaded %s\n", artifact->describe().c_str());
+  }
+
+  engine::InferenceServer server(server_config_from_args(args));
+  for (const auto& id : ids) {
+    register_engines_for(server, args, registry.get(id), chaos);
+  }
+  server.start();
+
+  // Replay each --requests name=path CSV against its model; rows become
+  // independent single-sample requests, so batches of different models
+  // interleave through the one server.
+  struct Replay {
+    std::string id;
+    std::size_t rows = 0;
+    std::vector<std::future<std::vector<double>>> futures;
+  };
+  std::vector<Replay> replays;
+  for (const auto& raw : args.option_all("requests")) {
+    const auto eq = raw.find('=');
+    if (eq == std::string::npos) {
+      throw Error("with --model, --requests expects name=path");
+    }
+    const auto artifact = registry.get(raw.substr(0, eq));
+    const spn::DataMatrix data = spn::load_csv_file(raw.substr(eq + 1));
+    if (data.cols() != artifact->input_features()) {
+      throw Error(strformat(
+          "CSV rows have %zu cells, model %s expects %zu", data.cols(),
+          artifact->id().c_str(), artifact->input_features()));
+    }
+    const auto samples = data.to_bytes();
+    const std::size_t features = artifact->input_features();
+    Replay replay;
+    replay.id = artifact->id();
+    replay.rows = samples.size() / features;
+    for (std::size_t i = 0; i < replay.rows; ++i) {
+      std::vector<std::uint8_t> row(
+          samples.begin() + static_cast<std::ptrdiff_t>(i * features),
+          samples.begin() + static_cast<std::ptrdiff_t>((i + 1) * features));
+      replay.futures.push_back(server.submit(replay.id, std::move(row)));
+    }
+    replays.push_back(std::move(replay));
+  }
+  for (auto& replay : replays) {
+    std::printf("== model %s (%zu requests)\n", replay.id.c_str(),
+                replay.rows);
+    for (auto& future : replay.futures) {
+      try {
+        std::printf("%.12e\n", future.get().front());
+      } catch (const std::exception& e) {
+        if (!chaos) throw;
+        std::printf("error: %s\n", e.what());
+      }
+    }
+  }
+  server.stop();
+
+  print_server_report(server);
+  if (chaos) print_fault_summary();
+  telemetry_outputs.write();
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  const auto model_specs = args.option_all("model");
+  if (!model_specs.empty()) return cmd_serve_multi(args, model_specs);
+  if (args.positional.empty()) usage();
+  const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
+  const bool chaos = arm_fault_plan(args);
+  const std::string requests_path = args.option("requests", "");
+  if (requests_path.empty()) usage();
+  const auto artifact = model::ModelArtifact::load_file(
+      "model", "1", args.positional[0],
+      backend_for(args.option("format", "cfp")));
+  const spn::DataMatrix data = spn::load_csv_file(requests_path);
+  if (data.cols() != artifact->input_features()) {
+    throw Error(strformat("CSV rows have %zu cells, the model expects %zu",
+                          data.cols(), artifact->input_features()));
+  }
+  const auto samples = data.to_bytes();
+  const std::size_t features = artifact->input_features();
+  const std::size_t count = samples.size() / features;
+
+  const long long timeout_us =
+      std::atoll(args.option("request-timeout", "0").c_str());
+  engine::InferenceServer server(server_config_from_args(args));
+  register_engines_for(server, args, artifact, chaos);
   server.start();
 
   // Replay: every CSV row is one independent request. Under chaos, a
@@ -403,13 +554,7 @@ int cmd_serve(const Args& args) {
   }
   server.stop();
 
-  std::printf("server: %s\n", server.stats().describe().c_str());
-  for (std::size_t i = 0; i < server.engine_count(); ++i) {
-    std::printf("engine %s [%s]: %s\n",
-                server.engine(i).capabilities().name.c_str(),
-                engine::to_string(server.engine_health(i)).c_str(),
-                server.engine(i).stats().describe().c_str());
-  }
+  print_server_report(server);
   if (chaos) print_fault_summary();
   telemetry_outputs.write();
   return 0;
