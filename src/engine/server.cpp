@@ -219,20 +219,23 @@ std::string InferenceServer::resolve_model_locked(
     const std::string& ref) const {
   if (lanes_.count(ref) > 0) return ref;
   // Bare model name: unique match over "name@version" lane ids.
-  std::string found;
-  int matches = 0;
+  std::vector<std::string> matches;
   for (const auto& [id, lane] : lanes_) {
     (void)lane;
     const std::size_t at = id.rfind('@');
     if (at != std::string::npos && id.substr(0, at) == ref) {
-      found = id;
-      matches += 1;
+      matches.push_back(id);  // lanes_ is ordered: candidates come sorted
     }
   }
-  if (matches == 1) return found;
-  if (matches > 1) {
+  if (matches.size() == 1) return matches.front();
+  if (matches.size() > 1) {
+    std::string candidates;
+    for (const std::string& id : matches) {
+      candidates += candidates.empty() ? id : ", " + id;
+    }
     throw RuntimeApiError("model reference '" + ref +
-                          "' is ambiguous; use name@version");
+                          "' is ambiguous; use name@version (candidates: " +
+                          candidates + ")");
   }
   throw RuntimeApiError("unknown model: " + ref);
 }

@@ -29,10 +29,14 @@ class ModelRegistry {
 
   /// Resolves `ref` — an alias, an exact "name@version" id, or a bare name
   /// (highest version by numeric-aware comparison). Throws ModelError when
-  /// nothing matches.
+  /// nothing matches, or when the bare name's highest version is tied
+  /// between several ids (the message lists the candidate name@version
+  /// ids to disambiguate with).
   ModelHandle get(const std::string& ref) const;
 
-  /// Like get(), but returns nullptr instead of throwing.
+  /// Like get(), but returns nullptr instead of throwing on no match
+  /// (an ambiguous bare name still throws — it is a caller error, not a
+  /// missing model).
   ModelHandle try_get(const std::string& ref) const;
 
   /// Points `alias` at the model `ref` resolves to (re-pointing an existing

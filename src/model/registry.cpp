@@ -85,6 +85,26 @@ ModelHandle ModelRegistry::resolve_locked(const std::string& ref) const {
       best = handle;
     }
   }
+  if (!best) return best;
+  // Versions can tie under the numeric-aware ordering while having
+  // distinct ids (e.g. "7" vs "07"). Picking one silently would make the
+  // lookup depend on registration order; refuse and name the candidates.
+  std::vector<std::string> tied;
+  for (const auto& [key, handle] : by_id_) {
+    if (handle->name() != ref) continue;
+    if (!version_less(handle->version(), best->version())) {
+      tied.push_back(handle->id());  // by_id_ is ordered: ids come sorted
+    }
+  }
+  if (tied.size() > 1) {
+    std::string candidates;
+    for (const std::string& candidate : tied) {
+      candidates += candidates.empty() ? candidate : ", " + candidate;
+    }
+    throw ModelError("model name '" + ref +
+                     "' is ambiguous; use an exact id (candidates: " +
+                     candidates + ")");
+  }
   return best;
 }
 

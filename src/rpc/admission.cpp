@@ -1,0 +1,30 @@
+#include "spnhbm/rpc/admission.hpp"
+
+#include <algorithm>
+
+namespace spnhbm::rpc {
+
+TokenBucket::TokenBucket(double rate_per_second, double burst)
+    : rate_(rate_per_second),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_) {}
+
+bool TokenBucket::try_acquire(Clock::time_point now) {
+  if (rate_ <= 0.0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!primed_) {
+    // The first call anchors the refill clock; the bucket starts full.
+    last_refill_ = now;
+    primed_ = true;
+  }
+  const std::chrono::duration<double> elapsed = now - last_refill_;
+  if (elapsed.count() > 0.0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed.count() * rate_);
+    last_refill_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace spnhbm::rpc

@@ -1,0 +1,197 @@
+#include "spnhbm/rpc/client.hpp"
+
+#include <utility>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::rpc {
+
+std::uint32_t ServerInfo::input_features(const std::string& ref) const {
+  const ModelInfo* match = nullptr;
+  for (const ModelInfo& model : models) {
+    if (model.id == ref) return model.input_features;
+    const std::size_t at = model.id.rfind('@');
+    if (at != std::string::npos && model.id.substr(0, at) == ref) {
+      if (match != nullptr) {
+        throw RpcError("model reference '" + ref + "' is ambiguous");
+      }
+      match = &model;
+    }
+  }
+  if (match == nullptr) throw RpcError("server hosts no model '" + ref + "'");
+  return match->input_features;
+}
+
+std::unique_ptr<RpcClient> RpcClient::connect(const std::string& host,
+                                              std::uint16_t port) {
+  Socket socket = Socket::connect(host, port);
+  // The hello is the first frame on every connection.
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!socket.recv_exact(header, sizeof(header))) {
+    throw RpcError("server closed the connection before the handshake");
+  }
+  FrameType type;
+  const std::uint32_t body_length = decode_frame_header(header, type);
+  if (type != FrameType::kHello) {
+    throw WireError("expected a hello frame, got type " +
+                    std::to_string(static_cast<unsigned>(type)));
+  }
+  std::vector<std::uint8_t> body(body_length);
+  if (body_length > 0 && !socket.recv_exact(body.data(), body_length)) {
+    throw RpcError("server closed the connection mid-handshake");
+  }
+  const HelloFrame hello = decode_hello(body);
+  if (hello.protocol_version > kProtocolVersion) {
+    throw RpcError(strformat(
+        "server speaks protocol v%u, this client understands up to v%u",
+        hello.protocol_version, kProtocolVersion));
+  }
+  ServerInfo info;
+  info.protocol_version = hello.protocol_version;
+  info.build_version = hello.build_version;
+  info.models = hello.models;
+  return std::unique_ptr<RpcClient>(
+      new RpcClient(std::move(socket), std::move(info)));
+}
+
+RpcClient::RpcClient(Socket socket, ServerInfo info)
+    : socket_(std::move(socket)), info_(std::move(info)) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+RpcClient::~RpcClient() { close(); }
+
+std::uint64_t RpcClient::send_request(const std::string& model,
+                                      std::vector<std::uint8_t> samples,
+                                      std::uint64_t deadline_us) {
+  RequestFrame request;
+  request.model = model.empty() && !info_.models.empty()
+                      ? info_.models.front().id
+                      : model;
+  request.deadline_us = deadline_us;
+  request.samples = std::move(samples);
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (closed_) throw RpcError("client is closed");
+  request.request_id = next_request_id_++;
+  const std::vector<std::uint8_t> wire =
+      encode_frame(encode_request(request));
+  socket_.send_all(wire.data(), wire.size());
+  return request.request_id;
+}
+
+void RpcClient::submit_with_callback(const std::string& model,
+                                     std::vector<std::uint8_t> samples,
+                                     std::uint64_t deadline_us,
+                                     ResponseCallback callback) {
+  // pending_mutex_ is held across the send, so the reader thread cannot
+  // look a response up before its callback is registered, however fast
+  // the server answers. (Lock order is always pending -> send; the
+  // reader only ever takes pending.)
+  std::unique_lock<std::mutex> pending_lock(pending_mutex_);
+  if (reader_done_) {
+    throw RpcError("connection lost; request not sent");
+  }
+  const std::uint64_t id =
+      send_request(model, std::move(samples), deadline_us);
+  pending_.emplace(id, std::move(callback));
+}
+
+std::future<std::vector<double>> RpcClient::submit(
+    const std::string& model, std::vector<std::uint8_t> samples,
+    std::uint64_t deadline_us) {
+  auto promise = std::make_shared<std::promise<std::vector<double>>>();
+  std::future<std::vector<double>> future = promise->get_future();
+  submit_with_callback(
+      model, std::move(samples), deadline_us,
+      [promise](Status status, const std::vector<double>& results,
+                const std::string& error) {
+        if (status == Status::kOk) {
+          promise->set_value(results);
+        } else {
+          promise->set_exception(
+              std::make_exception_ptr(RpcStatusError(status, error)));
+        }
+      });
+  return future;
+}
+
+std::vector<double> RpcClient::infer(const std::string& model,
+                                     std::vector<std::uint8_t> samples,
+                                     std::uint64_t deadline_us) {
+  return submit(model, std::move(samples), deadline_us).get();
+}
+
+void RpcClient::request_shutdown() {
+  const std::vector<std::uint8_t> wire = encode_frame(encode_shutdown());
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (closed_) throw RpcError("client is closed");
+  socket_.send_all(wire.data(), wire.size());
+}
+
+std::size_t RpcClient::outstanding() const {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  return pending_.size();
+}
+
+void RpcClient::reader_loop() {
+  std::string failure = "connection closed";
+  try {
+    for (;;) {
+      std::uint8_t header[kFrameHeaderBytes];
+      if (!socket_.recv_exact(header, sizeof(header))) break;
+      FrameType type;
+      const std::uint32_t body_length = decode_frame_header(header, type);
+      std::vector<std::uint8_t> body(body_length);
+      if (body_length > 0 && !socket_.recv_exact(body.data(), body_length)) {
+        throw RpcError("server closed mid-frame");
+      }
+      if (type != FrameType::kResponse) {
+        throw WireError("unexpected server frame type " +
+                        std::to_string(static_cast<unsigned>(type)));
+      }
+      const ResponseFrame response = decode_response(body);
+      ResponseCallback callback;
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        const auto it = pending_.find(response.request_id);
+        if (it == pending_.end()) {
+          throw WireError(strformat(
+              "response for unknown request id %llu",
+              static_cast<unsigned long long>(response.request_id)));
+        }
+        callback = std::move(it->second);
+        pending_.erase(it);
+      }
+      callback(response.status, response.results, response.error);
+    }
+  } catch (const std::exception& e) {
+    failure = e.what();
+  }
+  fail_outstanding(failure);
+}
+
+void RpcClient::fail_outstanding(const std::string& reason) {
+  std::map<std::uint64_t, ResponseCallback> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    reader_done_ = true;  // later submits fail instead of hanging forever
+    orphaned.swap(pending_);
+  }
+  for (auto& [id, callback] : orphaned) {
+    (void)id;
+    callback(Status::kInternalError, {}, "rpc error: " + reason);
+  }
+}
+
+void RpcClient::close() {
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  socket_.shutdown();
+  if (reader_.joinable()) reader_.join();
+  socket_.close();
+}
+
+}  // namespace spnhbm::rpc

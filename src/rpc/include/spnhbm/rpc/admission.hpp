@@ -1,0 +1,51 @@
+// Admission control for the RPC front-end.
+//
+// Two independent gates sit between the socket reader and the
+// InferenceServer, and a request must pass both to be submitted:
+//
+//   1. a token bucket bounding the *accepted request rate* (capacity
+//      `burst`, refill `rate_per_second`), absorbing short bursts while
+//      holding the long-run admission rate;
+//   2. a queue-depth bound on the backing server's outstanding samples
+//      (checked by the RpcServer via try_submit / outstanding_samples).
+//
+// A request failing either gate is shed with the retryable OVERLOADED
+// status instead of blocking the socket thread — under overload the
+// server keeps answering quickly rather than stalling every connection
+// behind a full queue (open-loop clients would otherwise pile up
+// unbounded kernel-buffer backlog).
+//
+// The bucket takes explicit timestamps so tests can drive it with a
+// synthetic clock; the RpcServer feeds it std::chrono::steady_clock.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+
+namespace spnhbm::rpc {
+
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `rate_per_second` <= 0 disables the limit (try_acquire always
+  /// succeeds). `burst` < 1 is clamped to 1 token of capacity.
+  TokenBucket(double rate_per_second, double burst);
+
+  /// Takes one token if available (refilling for the time elapsed since
+  /// the last call); false = shed. `now` must be monotone.
+  bool try_acquire(Clock::time_point now);
+
+  double rate_per_second() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  const double rate_;
+  const double burst_;
+  std::mutex mutex_;
+  double tokens_;
+  Clock::time_point last_refill_{};
+  bool primed_ = false;
+};
+
+}  // namespace spnhbm::rpc

@@ -1,0 +1,128 @@
+// RpcClient: the library a remote caller links against.
+//
+// connect() performs the TCP connect and consumes the server's hello
+// handshake, so server_info() (protocol version, build string, loaded
+// models) is available before the first request. The client refuses to
+// talk to a server speaking a newer protocol than it understands.
+//
+// Requests are fully pipelined: submit() assigns a request id, writes the
+// frame (serialised by a send mutex — safe from any thread) and returns a
+// future; a background reader thread matches response frames back to
+// their promises. A non-OK response resolves the future with
+// RpcStatusError carrying the typed wire status, so callers can
+// distinguish retryable sheds (OVERLOADED, NO_HEALTHY_ENGINE) from hard
+// failures. A dropped connection fails every outstanding future with
+// RpcError.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "spnhbm/rpc/socket.hpp"
+#include "spnhbm/rpc/wire.hpp"
+
+namespace spnhbm::rpc {
+
+/// A response with a non-OK wire status, as a typed exception.
+class RpcStatusError : public Error {
+ public:
+  RpcStatusError(Status status, const std::string& message)
+      : Error(to_string(status) + ": " + message), status_(status) {}
+
+  Status status() const { return status_; }
+  /// True for sheds the caller should back off and resend.
+  bool retryable() const { return is_retryable(status_); }
+
+ private:
+  Status status_;
+};
+
+/// Server identity learned from the hello handshake.
+struct ServerInfo {
+  std::uint16_t protocol_version = 0;
+  std::string build_version;
+  std::vector<ModelInfo> models;
+
+  /// Input width of model `ref` ("name@version" id or bare name when it
+  /// uniquely prefixes one id). Throws RpcError when unknown.
+  std::uint32_t input_features(const std::string& ref) const;
+};
+
+/// Completion callback: status, results (kOk only), error text (other
+/// statuses). Invoked on the client's reader thread — keep it cheap.
+using ResponseCallback = std::function<void(
+    Status, const std::vector<double>&, const std::string&)>;
+
+class RpcClient {
+ public:
+  /// Connects and blocks until the hello handshake arrives.
+  static std::unique_ptr<RpcClient> connect(const std::string& host,
+                                            std::uint16_t port);
+
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  const ServerInfo& server_info() const { return info_; }
+
+  /// Pipelined asynchronous request. `model` empty = the server's first
+  /// advertised model. `deadline_us` 0 = no per-request deadline. The
+  /// future carries one probability per sample row, or RpcStatusError /
+  /// RpcError.
+  std::future<std::vector<double>> submit(const std::string& model,
+                                          std::vector<std::uint8_t> samples,
+                                          std::uint64_t deadline_us = 0);
+
+  /// As submit(), but delivers the raw response via `callback` (on the
+  /// reader thread) instead of a future — the open-loop load generator's
+  /// path, where thousands of outstanding futures would be pure overhead.
+  void submit_with_callback(const std::string& model,
+                            std::vector<std::uint8_t> samples,
+                            std::uint64_t deadline_us,
+                            ResponseCallback callback);
+
+  /// Synchronous convenience wrapper around submit().get().
+  std::vector<double> infer(const std::string& model,
+                            std::vector<std::uint8_t> samples,
+                            std::uint64_t deadline_us = 0);
+
+  /// Asks the serving process to drain and exit (admin/CI path).
+  void request_shutdown();
+
+  /// Requests not yet answered.
+  std::size_t outstanding() const;
+
+  /// Closes the connection; outstanding futures fail with RpcError.
+  /// Idempotent; the destructor calls it.
+  void close();
+
+ private:
+  RpcClient(Socket socket, ServerInfo info);
+
+  std::uint64_t send_request(const std::string& model,
+                             std::vector<std::uint8_t> samples,
+                             std::uint64_t deadline_us);
+  void reader_loop();
+  void fail_outstanding(const std::string& reason);
+
+  Socket socket_;
+  ServerInfo info_;
+  std::thread reader_;
+  std::mutex send_mutex_;
+  mutable std::mutex pending_mutex_;
+  std::map<std::uint64_t, ResponseCallback> pending_;
+  /// Set by the reader on exit (guarded by pending_mutex_); submits after
+  /// a lost connection fail fast instead of leaving a future hanging.
+  bool reader_done_ = false;
+  std::uint64_t next_request_id_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace spnhbm::rpc

@@ -1,0 +1,91 @@
+// Open-loop load generator for the RPC serving stack.
+//
+// "Open loop" means arrivals follow a precomputed schedule and do NOT
+// wait for responses: if the server slows down, requests keep arriving
+// at the configured rate and queueing delay becomes visible in the
+// measured latency — the honest way to measure a serving system
+// (closed-loop generators coordinate with the server and hide overload).
+//
+// The schedule is derived deterministically from (seed, arrival process,
+// rate, count) via the repo-wide xoshiro generator, so a loadgen run is
+// reproducible in *schedule*; wall-clock latencies of course vary with
+// the machine. make_schedule() is exposed separately so tests can assert
+// schedule determinism without opening sockets.
+//
+// Every response lands in one bucket of `by_status`, so the report
+// satisfies sent == sum(by_status): nothing the generator fired can
+// escape the accounting, mirroring the server-side conservation law.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spnhbm/telemetry/metrics.hpp"
+
+namespace spnhbm::rpc {
+
+enum class ArrivalProcess : std::uint8_t {
+  kFixed = 0,    ///< evenly spaced, period 1/rate
+  kPoisson = 1,  ///< exponential inter-arrivals, mean 1/rate
+  kBursty = 2,   ///< back-to-back bursts of `burst_size`, same mean rate
+};
+
+/// "fixed" / "poisson" / "bursty"; throws util Error on anything else.
+ArrivalProcess parse_arrival_process(const std::string& name);
+const char* to_string(ArrivalProcess process);
+
+struct LoadgenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Model reference sent with every request; empty = the server's first
+  /// advertised model.
+  std::string model;
+  /// Request payloads, cycled round-robin across the run. Must be
+  /// non-empty and each payload a multiple of the model's input width.
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::size_t request_count = 100;
+  /// Mean offered rate in requests/second.
+  double rate_rps = 1000.0;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// Burst size for ArrivalProcess::kBursty.
+  std::size_t burst_size = 8;
+  /// Client connections; requests are dealt round-robin across them.
+  std::size_t connections = 1;
+  std::uint64_t seed = 42;
+  /// Per-request deadline forwarded on the wire; 0 = none.
+  std::uint64_t deadline_us = 0;
+  /// Send a kShutdown frame when done (CI teardown path).
+  bool shutdown_server_after = false;
+};
+
+struct LoadgenReport {
+  /// Requests handed to the wire (== request_count unless the connection
+  /// died mid-run; transport failures still land in by_status).
+  std::uint64_t sent = 0;
+  /// Responses per wire status, indexed by static_cast<size_t>(Status).
+  std::array<std::uint64_t, 8> by_status{};
+  double wall_seconds = 0.0;
+  /// The rate the schedule asked for vs. OK responses per wall second.
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  /// Wall-clock latency of OK responses, send -> callback, microseconds.
+  telemetry::HistogramSnapshot latency_us;
+
+  std::uint64_t ok() const;
+  std::uint64_t retryable() const;  ///< OVERLOADED + NO_HEALTHY_ENGINE + SHUTTING_DOWN
+  /// sent == sum(by_status): every request got exactly one outcome.
+  bool conserved() const;
+  std::string describe() const;
+};
+
+/// Arrival offsets from run start, in microseconds, sorted ascending.
+/// Deterministic in (seed, arrival, rate_rps, burst_size, request_count).
+std::vector<std::uint64_t> make_schedule(const LoadgenConfig& config);
+
+/// Connects, replays the schedule, waits for every response. Throws
+/// RpcError when the initial connections cannot be established.
+LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+}  // namespace spnhbm::rpc

@@ -1,0 +1,199 @@
+// RpcServer: the TCP front door of the serving stack.
+//
+// Accepts up to `max_connections` concurrent clients on a loopback
+// listener and bridges wire-protocol frames into an existing (already
+// started) engine::InferenceServer. Per connection the server runs
+//
+//   * a reader thread — parses frames, runs admission control and
+//     submits accepted requests (always via the non-blocking
+//     try_submit, so a full queue can never stall the socket), and
+//   * a writer thread — sends the hello handshake, then resolves each
+//     accepted request's future and streams responses back in request
+//     order (TCP delivers in order anyway; per-request deadlines bound
+//     head-of-line waits).
+//
+// Admission control (see rpc/admission.hpp): a token bucket on the
+// accepted-request rate plus a queue-depth bound on the backing server's
+// outstanding samples. A request failing either gate is answered
+// immediately with the retryable OVERLOADED status. Typed engine errors
+// map onto wire statuses: DeadlineExceededError -> DEADLINE_EXCEEDED,
+// NoHealthyEngineError -> NO_HEALTHY_ENGINE, model resolution failures ->
+// UNKNOWN_MODEL, submit-after-stop -> SHUTTING_DOWN.
+//
+// Accounting invariants (asserted by tests and printed by describe()):
+//   received = accepted + rejected + shed
+//   accepted = completed + failed
+// so no request can vanish between the socket and the engine fleet.
+//
+// The virtual-time simulation below the engines is untouched: everything
+// here runs in wall time, on real threads, and registers wall-clock
+// telemetry lanes ("rpc/conn<N>") plus rpc.* counters.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "spnhbm/engine/server.hpp"
+#include "spnhbm/rpc/admission.hpp"
+#include "spnhbm/rpc/socket.hpp"
+#include "spnhbm/rpc/wire.hpp"
+#include "spnhbm/telemetry/metrics.hpp"
+#include "spnhbm/telemetry/trace.hpp"
+#include "spnhbm/util/version.hpp"
+
+namespace spnhbm::rpc {
+
+struct AdmissionConfig {
+  /// Token-bucket rate limit on accepted requests; <= 0 disables it.
+  double rate_limit_rps = 0.0;
+  /// Bucket capacity; <= 0 defaults to max(rate_limit_rps, 1).
+  double burst = 0.0;
+  /// Shed once the backing server's outstanding samples reach this bound
+  /// (0 = rely on the server's own queue bound via try_submit).
+  std::size_t max_outstanding_samples = 0;
+};
+
+struct RpcServerConfig {
+  /// 0 = ephemeral port; read the bound one back via port().
+  std::uint16_t port = 0;
+  std::size_t max_connections = 64;
+  AdmissionConfig admission;
+  /// Advertised in the handshake.
+  std::string build_version = kVersionString;
+};
+
+struct RpcServerStats {
+  std::uint64_t connections_accepted = 0;
+  /// Connections closed immediately because max_connections was reached.
+  std::uint64_t connections_rejected = 0;
+  /// Request frames read off all sockets.
+  std::uint64_t received = 0;
+  /// Requests submitted into the InferenceServer (got a future).
+  std::uint64_t accepted = 0;
+  /// Pre-admission rejects: malformed payloads + unknown model refs.
+  std::uint64_t rejected = 0;
+  /// Retryable sheds, by gate.
+  std::uint64_t shed_rate_limit = 0;
+  std::uint64_t shed_queue_depth = 0;
+  std::uint64_t shed_no_healthy_engine = 0;
+  std::uint64_t shed_shutting_down = 0;
+  /// Accepted requests that resolved OK / with an error status.
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  /// Of `failed`: deadline expirations (rpc- or engine-level).
+  std::uint64_t deadline_exceeded = 0;
+  /// Wall-clock request latency, frame receipt -> response sent.
+  telemetry::HistogramSnapshot request_latency_us;
+
+  std::uint64_t shed() const {
+    return shed_rate_limit + shed_queue_depth + shed_no_healthy_engine +
+           shed_shutting_down;
+  }
+  /// Both conservation identities hold.
+  bool conserved() const {
+    return received == accepted + rejected + shed() &&
+           accepted == completed + failed;
+  }
+  std::string describe() const;
+};
+
+class RpcServer {
+ public:
+  /// `server` must outlive the RpcServer and must already be start()ed
+  /// (or be started before the first client connects). Binds the listener
+  /// right here — throws RpcError when the port is taken — so port() is
+  /// valid immediately; no client is accepted before start().
+  RpcServer(engine::InferenceServer& server, RpcServerConfig config = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Starts the accept thread.
+  void start();
+  /// Stops accepting, shuts every connection down, resolves all in-flight
+  /// requests (counting them, even when the response can no longer be
+  /// delivered) and joins all threads. Idempotent.
+  void stop();
+
+  /// The bound port (resolves a port-0 request to the kernel's pick).
+  std::uint16_t port() const { return port_; }
+
+  /// True once a client sent a kShutdown frame.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+  /// Blocks until a kShutdown frame arrives or stop() is called.
+  void wait_for_shutdown_request();
+
+  std::size_t active_connections() const;
+  RpcServerStats stats() const;
+
+ private:
+  struct Outgoing {
+    /// Pre-encoded frame (handshake or immediate reject)…
+    std::vector<std::uint8_t> wire;
+    /// …or an accepted request still resolving.
+    std::optional<std::future<std::vector<double>>> future;
+    std::uint64_t request_id = 0;
+    std::uint64_t deadline_us = 0;
+    std::chrono::steady_clock::time_point received;
+  };
+
+  struct Connection {
+    Socket socket;
+    std::uint64_t id = 0;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Outgoing> outbox;
+    bool reader_done = false;
+    bool writer_done = false;
+    telemetry::TrackId track = 0;
+  };
+
+  void accept_loop();
+  void reader_loop(Connection& connection);
+  void writer_loop(Connection& connection);
+  /// Admission + submit; returns the outbox entry for the request.
+  Outgoing handle_request(RequestFrame request);
+  ResponseFrame resolve(Outgoing& outgoing);
+  void enqueue(Connection& connection, Outgoing outgoing);
+  HelloFrame make_hello() const;
+
+  engine::InferenceServer& server_;
+  RpcServerConfig config_;
+  TokenBucket bucket_;
+  Listener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  mutable std::mutex mutex_;  ///< connections_ + stats_ + shutdown cv
+  std::condition_variable cv_shutdown_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_connection_id_ = 0;
+  RpcServerStats stats_;
+  std::shared_ptr<telemetry::Histogram> latency_us_;
+  std::shared_ptr<telemetry::Counter> ctr_connections_;
+  std::shared_ptr<telemetry::Counter> ctr_received_;
+  std::shared_ptr<telemetry::Counter> ctr_accepted_;
+  std::shared_ptr<telemetry::Counter> ctr_rejected_;
+  std::shared_ptr<telemetry::Counter> ctr_shed_rate_limit_;
+  std::shared_ptr<telemetry::Counter> ctr_shed_queue_depth_;
+  std::shared_ptr<telemetry::Counter> ctr_completed_;
+  std::shared_ptr<telemetry::Counter> ctr_failed_;
+};
+
+}  // namespace spnhbm::rpc

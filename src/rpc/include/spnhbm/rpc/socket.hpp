@@ -1,0 +1,90 @@
+// Minimal RAII wrappers over POSIX TCP sockets (the only platform this
+// repo targets). Loopback-friendly: Listener binds 127.0.0.1 by default
+// and port 0 asks the kernel for an ephemeral port, so CI jobs never
+// collide on a fixed number.
+//
+// Blocking I/O throughout — the RPC layer dedicates a reader and a writer
+// thread per connection, so nothing here needs to be non-blocking. All
+// sends use MSG_NOSIGNAL: a peer hanging up surfaces as an RpcError, not
+// a SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::rpc {
+
+/// Transport-level failures (connect refused, peer reset, short read).
+class RpcError : public Error {
+ public:
+  explicit RpcError(const std::string& what) : Error("rpc error: " + what) {}
+};
+
+/// A connected TCP stream. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1") with
+  /// TCP_NODELAY set. Throws RpcError on failure.
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes exactly `size` bytes (handling partial sends and EINTR);
+  /// throws RpcError when the peer is gone.
+  void send_all(const void* data, std::size_t size);
+
+  /// Reads exactly `size` bytes. Returns false on a clean EOF *before the
+  /// first byte* (orderly peer close between frames); throws RpcError on
+  /// mid-read EOF or any other error.
+  bool recv_exact(void* data, std::size_t size);
+
+  /// Shuts down both directions, waking any thread blocked in recv/send
+  /// on this socket. The fd stays open until destruction, so concurrent
+  /// readers never race a file-descriptor reuse.
+  void shutdown();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to the loopback interface.
+class Listener {
+ public:
+  /// Binds and listens; `port` 0 picks an ephemeral port. Throws RpcError.
+  explicit Listener(std::uint16_t port, int backlog = 64);
+  ~Listener() { close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The actually-bound port (resolves port 0 requests).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection (TCP_NODELAY set). Returns an invalid
+  /// Socket once shutdown() was called; throws RpcError on other errors.
+  Socket accept();
+
+  /// Wakes a blocked accept(); subsequent accepts return invalid sockets.
+  void shutdown();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace spnhbm::rpc

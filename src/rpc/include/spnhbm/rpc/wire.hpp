@@ -1,0 +1,131 @@
+// The spnhbm remote-serving wire protocol (length-prefixed binary frames).
+//
+// Every frame on the TCP stream is
+//
+//   | u32 magic "SPNR" | u8 type | u32 body_length | body ... |
+//
+// with all integers little-endian. The magic on every frame makes stream
+// desynchronisation detectable immediately instead of after a garbage
+// length. Frame types:
+//
+//   kHello     server -> client, once per connection, immediately after
+//              accept: protocol version, server build string, and the
+//              list of loaded models (id + input width), so a client can
+//              validate payload widths without a round trip.
+//   kRequest   client -> server: caller-chosen request id (echoed in the
+//              response), model reference ("name@version" or unambiguous
+//              bare name), optional per-request deadline in microseconds
+//              (0 = none), and the sample payload (rows of the model's
+//              input_features bytes).
+//   kResponse  server -> client: echoed request id, a Status byte, and —
+//              on kOk — one f64 probability per sample row, otherwise a
+//              human-readable error message.
+//   kShutdown  client -> server: asks the serving process to drain and
+//              exit (the loopback admin path used by CI smoke runs).
+//
+// Strings are u16 length + bytes; payloads are u32 length + bytes. Frame
+// bodies are capped at kMaxBodyBytes — a peer announcing more is treated
+// as a protocol violation, not an allocation request.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::rpc {
+
+/// Version of the frame layout described above. Bumped on any
+/// incompatible change; the client refuses to talk to a newer server.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+inline constexpr std::uint32_t kFrameMagic = 0x52'4E'50'53;  // "SPNR"
+inline constexpr std::uint32_t kMaxBodyBytes = 64u << 20;
+/// Bytes before the body: magic + type + body length.
+inline constexpr std::size_t kFrameHeaderBytes = 9;
+
+/// Malformed or protocol-violating bytes on the wire.
+class WireError : public Error {
+ public:
+  explicit WireError(const std::string& what)
+      : Error("wire error: " + what) {}
+};
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kRequest = 2,
+  kResponse = 3,
+  kShutdown = 4,
+};
+
+/// Response status. kOverloaded and kNoHealthyEngine are *retryable*: the
+/// request was never executed and the client should back off and resend.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// Malformed request (payload not a multiple of the input width, ...).
+  kInvalidRequest = 1,
+  /// The model reference matched nothing (or was ambiguous).
+  kUnknownModel = 2,
+  kDeadlineExceeded = 3,
+  /// Every engine of the model is quarantined; retryable.
+  kNoHealthyEngine = 4,
+  /// Shed by admission control (rate limit or queue depth); retryable.
+  kOverloaded = 5,
+  /// The server is draining; retryable against a replacement instance.
+  kShuttingDown = 6,
+  kInternalError = 7,
+};
+std::string to_string(Status status);
+bool is_retryable(Status status);
+
+struct ModelInfo {
+  std::string id;  ///< "name@version"
+  std::uint32_t input_features = 0;
+};
+
+struct HelloFrame {
+  std::uint16_t protocol_version = kProtocolVersion;
+  std::string build_version;
+  std::vector<ModelInfo> models;
+};
+
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  std::string model;
+  /// Relative per-request deadline in microseconds; 0 = none.
+  std::uint64_t deadline_us = 0;
+  std::vector<std::uint8_t> samples;
+};
+
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  std::vector<double> results;  ///< kOk only
+  std::string error;            ///< non-kOk only
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> body;
+};
+
+/// Serialises a frame (header + body) into contiguous wire bytes.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Parses and validates a frame header (magic, type, body length).
+/// Returns the body length still to be read off the stream.
+std::uint32_t decode_frame_header(
+    const std::uint8_t (&header)[kFrameHeaderBytes], FrameType& type);
+
+Frame encode_hello(const HelloFrame& hello);
+Frame encode_request(const RequestFrame& request);
+Frame encode_response(const ResponseFrame& response);
+Frame encode_shutdown();
+
+/// Body decoders; throw WireError on truncated or trailing bytes.
+HelloFrame decode_hello(const std::vector<std::uint8_t>& body);
+RequestFrame decode_request(const std::vector<std::uint8_t>& body);
+ResponseFrame decode_response(const std::vector<std::uint8_t>& body);
+
+}  // namespace spnhbm::rpc

@@ -1,0 +1,210 @@
+#include "spnhbm/rpc/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "spnhbm/rpc/client.hpp"
+#include "spnhbm/util/error.hpp"
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::rpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t to_us(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+}  // namespace
+
+ArrivalProcess parse_arrival_process(const std::string& name) {
+  if (name == "fixed") return ArrivalProcess::kFixed;
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "bursty" || name == "burst") return ArrivalProcess::kBursty;
+  throw ParseError("unknown arrival process '" + name +
+                   "' (expected fixed, poisson or bursty)");
+}
+
+const char* to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kFixed: return "fixed";
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> make_schedule(const LoadgenConfig& config) {
+  SPNHBM_REQUIRE(config.rate_rps > 0.0, "loadgen rate must be positive");
+  const double period = 1.0 / config.rate_rps;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(config.request_count);
+  Rng rng(config.seed);
+  double now = 0.0;
+  switch (config.arrival) {
+    case ArrivalProcess::kFixed:
+      for (std::size_t i = 0; i < config.request_count; ++i) {
+        offsets.push_back(to_us(static_cast<double>(i) * period));
+      }
+      break;
+    case ArrivalProcess::kPoisson:
+      for (std::size_t i = 0; i < config.request_count; ++i) {
+        offsets.push_back(to_us(now));
+        // Exponential inter-arrival; 1 - u avoids log(0).
+        now += -std::log(1.0 - rng.next_double()) * period;
+      }
+      break;
+    case ArrivalProcess::kBursty: {
+      const std::size_t burst = std::max<std::size_t>(config.burst_size, 1);
+      // A whole burst lands at one instant; bursts are spaced so the
+      // mean rate still matches rate_rps.
+      const double burst_period = period * static_cast<double>(burst);
+      for (std::size_t i = 0; i < config.request_count; ++i) {
+        const std::size_t burst_index = i / burst;
+        offsets.push_back(
+            to_us(static_cast<double>(burst_index) * burst_period));
+      }
+      break;
+    }
+  }
+  return offsets;
+}
+
+LoadgenReport run_loadgen(const LoadgenConfig& config) {
+  SPNHBM_REQUIRE(!config.payloads.empty(), "loadgen needs at least one payload");
+  SPNHBM_REQUIRE(config.connections > 0, "loadgen needs at least one connection");
+
+  std::vector<std::unique_ptr<RpcClient>> clients;
+  clients.reserve(config.connections);
+  for (std::size_t i = 0; i < config.connections; ++i) {
+    clients.push_back(RpcClient::connect(config.host, config.port));
+  }
+
+  const std::vector<std::uint64_t> schedule = make_schedule(config);
+
+  // Shared completion state; callbacks run on the clients' reader threads.
+  auto latency = std::make_shared<telemetry::Histogram>(
+      telemetry::HistogramOptions{/*first_bucket=*/1.0, /*growth=*/1.5,
+                                  /*bucket_count=*/64});
+  telemetry::metrics().attach_histogram("rpc.loadgen_latency_us", latency);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::array<std::uint64_t, 8> by_status{};
+  std::uint64_t outstanding = 0;
+
+  const Clock::time_point start = Clock::now();
+  std::uint64_t sent = 0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    // Open loop: sleep to the scheduled instant no matter how the server
+    // is doing, then fire. A late wakeup just fires immediately.
+    std::this_thread::sleep_until(start + std::chrono::microseconds(schedule[i]));
+    RpcClient& client = *clients[i % clients.size()];
+    const Clock::time_point fired = Clock::now();
+    const auto on_response = [&, fired](Status status,
+                                        const std::vector<double>&,
+                                        const std::string&) {
+      if (status == Status::kOk) {
+        const double us = std::chrono::duration<double, std::micro>(
+                              Clock::now() - fired)
+                              .count();
+        latency->record(us);
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      ++by_status[static_cast<std::size_t>(status) % by_status.size()];
+      --outstanding;
+      cv.notify_all();
+    };
+    try {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++outstanding;
+      }
+      client.submit_with_callback(config.model, config.payloads[i % config.payloads.size()],
+                                  config.deadline_us, on_response);
+      ++sent;
+    } catch (const Error&) {
+      // The connection died under us; the request never left, but it must
+      // still land in exactly one accounting bucket.
+      ++sent;
+      std::lock_guard<std::mutex> lock(mutex);
+      ++by_status[static_cast<std::size_t>(Status::kInternalError)];
+      --outstanding;
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (config.shutdown_server_after) {
+    try {
+      clients.front()->request_shutdown();
+    } catch (const Error&) {
+      // Server already gone — that is what shutdown wanted anyway.
+    }
+  }
+  for (auto& client : clients) client->close();
+
+  LoadgenReport report;
+  report.sent = sent;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    report.by_status = by_status;
+  }
+  report.wall_seconds = wall;
+  report.offered_rps = config.rate_rps;
+  report.achieved_rps =
+      wall > 0.0 ? static_cast<double>(report.ok()) / wall : 0.0;
+  report.latency_us = latency->snapshot();
+  return report;
+}
+
+std::uint64_t LoadgenReport::ok() const {
+  return by_status[static_cast<std::size_t>(Status::kOk)];
+}
+
+std::uint64_t LoadgenReport::retryable() const {
+  return by_status[static_cast<std::size_t>(Status::kOverloaded)] +
+         by_status[static_cast<std::size_t>(Status::kNoHealthyEngine)] +
+         by_status[static_cast<std::size_t>(Status::kShuttingDown)];
+}
+
+bool LoadgenReport::conserved() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : by_status) total += n;
+  return total == sent;
+}
+
+std::string LoadgenReport::describe() const {
+  std::string out;
+  out += strformat("loadgen: sent=%llu ok=%llu retryable=%llu wall=%.3fs\n",
+                   static_cast<unsigned long long>(sent),
+                   static_cast<unsigned long long>(ok()),
+                   static_cast<unsigned long long>(retryable()), wall_seconds);
+  out += strformat("  offered %.1f req/s, achieved %.1f req/s (ok only)\n",
+                   offered_rps, achieved_rps);
+  for (std::size_t i = 0; i < by_status.size(); ++i) {
+    if (by_status[i] == 0) continue;
+    out += strformat("  status %-17s %llu\n",
+                     to_string(static_cast<Status>(i)).c_str(),
+                     static_cast<unsigned long long>(by_status[i]));
+  }
+  out += "  latency_us: " + latency_us.summary() + "\n";
+  out += strformat("  conservation (sent == sum over statuses): %s\n",
+                   conserved() ? "ok" : "VIOLATED");
+  return out;
+}
+
+}  // namespace spnhbm::rpc

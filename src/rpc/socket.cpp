@@ -1,0 +1,158 @@
+#include "spnhbm/rpc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::rpc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw RpcError(what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket socket(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw RpcError("not a numeric IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno(strformat("connect to %s:%u", host.c_str(), port));
+  }
+  set_nodelay(fd);
+  return socket;
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t sent = ::send(fd_, bytes, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    bytes += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+}
+
+bool Socket::recv_exact(void* data, std::size_t size) {
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd_, bytes + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (received == 0) return false;  // clean EOF at a frame boundary
+      throw RpcError(strformat("peer closed mid-frame (%zu of %zu bytes)",
+                               received, size));
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno(strformat("bind 127.0.0.1:%u", port));
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // shutdown() turns a blocked accept into EINVAL (Linux); both it and
+    // a closed fd mean "stop accepting", not an error.
+    if (errno == EINVAL || errno == EBADF) return Socket();
+    throw_errno("accept");
+  }
+}
+
+void Listener::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace spnhbm::rpc

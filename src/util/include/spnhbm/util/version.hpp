@@ -1,0 +1,10 @@
+// Build identity reported by `spnhbm --version` and carried in the RPC
+// handshake, so a remote client can always tell which build it talks to.
+#pragma once
+
+namespace spnhbm {
+
+/// Human-readable build version of the spnhbm libraries and tools.
+inline constexpr const char* kVersionString = "0.5.0";
+
+}  // namespace spnhbm

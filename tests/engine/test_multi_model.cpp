@@ -142,9 +142,19 @@ TEST(MultiModelServer, ModelResolutionHandlesBareAmbiguousAndUnknown) {
   // the single-model overload refuses to guess between two models.
   auto ok = server.submit("NIPS10@2", row);
   expect_reference(*v2, row, ok.get());
-  EXPECT_THROW(server.submit("NIPS10", row), RuntimeApiError);
   EXPECT_THROW(server.submit(row), RuntimeApiError);
   EXPECT_THROW(server.submit("missing@1", row), RuntimeApiError);
+  // The ambiguity error must list the candidate ids, so a remote caller
+  // seeing only the message can immediately retry with an exact id.
+  try {
+    server.submit("NIPS10", row);
+    FAIL() << "expected RuntimeApiError for the ambiguous bare name";
+  } catch (const RuntimeApiError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ambiguous"), std::string::npos) << what;
+    EXPECT_NE(what.find("NIPS10@1"), std::string::npos) << what;
+    EXPECT_NE(what.find("NIPS10@2"), std::string::npos) << what;
+  }
   server.stop();
 }
 

@@ -142,6 +142,31 @@ TEST(ModelRegistry, BareNameResolvesHighestVersionNumerically) {
   EXPECT_EQ(registry.ids(), (std::vector<std::string>{"m@10", "m@2"}));
 }
 
+TEST(ModelRegistry, AmbiguousBareNameListsCandidates) {
+  // "07" and "7" are numerically equal, so neither version wins the
+  // bare-name lookup — the error must name both ids so the caller can
+  // disambiguate without listing the registry.
+  model::ModelRegistry registry;
+  registry.add(compiled("m", "07"));
+  registry.add(compiled("m", "7"));
+  registry.add(compiled("m", "2"));  // a clear loser; must not appear
+  try {
+    registry.get("m");
+    FAIL() << "expected ModelError for the version tie";
+  } catch (const model::ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ambiguous"), std::string::npos) << what;
+    EXPECT_NE(what.find("m@07"), std::string::npos) << what;
+    EXPECT_NE(what.find("m@7"), std::string::npos) << what;
+    EXPECT_EQ(what.find("m@2"), std::string::npos) << what;
+  }
+  // try_get treats ambiguity as a caller error too, not as "missing".
+  EXPECT_THROW(registry.try_get("m"), model::ModelError);
+  // Exact ids still resolve either artifact.
+  EXPECT_EQ(registry.get("m@7")->version(), "7");
+  EXPECT_EQ(registry.get("m@07")->version(), "07");
+}
+
 TEST(ModelRegistry, AliasesFollowRepointing) {
   model::ModelRegistry registry;
   const auto v1 = registry.add(compiled("m", "1"));

@@ -35,6 +35,53 @@ TEST(NetworkLink, TimedSendMatchesLineRate) {
   EXPECT_GT(link.wire_bytes_sent(), payload);
 }
 
+TEST(NetworkLink, FrameOverheadChargedPerFrame) {
+  // Payloads that are not a multiple of frame_payload_bytes still pay the
+  // full per-frame overhead on the final partial frame: wire bytes must be
+  // payload + ceil(payload / frame_payload) * overhead, never a
+  // pro-rated fraction of it.
+  const auto wire_bytes_for = [](std::uint64_t payload) {
+    sim::Scheduler scheduler;
+    sim::ProcessRunner runner(scheduler);
+    NetworkLink link(scheduler);
+    runner.spawn([&]() -> sim::Process { co_await link.send(payload); });
+    scheduler.run();
+    runner.check();
+    EXPECT_EQ(link.payload_bytes_sent(), payload);
+    return link.wire_bytes_sent();
+  };
+  const LinkConfig defaults;
+  const std::uint64_t frame = defaults.frame_payload_bytes;    // 9000
+  const std::uint64_t overhead = defaults.frame_overhead_bytes;  // 84
+
+  // Exact multiple: k full frames.
+  EXPECT_EQ(wire_bytes_for(3 * frame), 3 * frame + 3 * overhead);
+  // Partial tail frame: the 1234 trailing bytes cost a whole overhead.
+  EXPECT_EQ(wire_bytes_for(2 * frame + 1234),
+            2 * frame + 1234 + 3 * overhead);
+  // Sub-frame payload: one frame, one overhead.
+  EXPECT_EQ(wire_bytes_for(1), 1 + overhead);
+  // One byte over a full frame spills into a second frame.
+  EXPECT_EQ(wire_bytes_for(frame + 1), frame + 1 + 2 * overhead);
+}
+
+TEST(NetworkLink, PartialFrameCostsTimeProportionalToWireBytes) {
+  // The occupancy model must charge the wire for overhead bytes too: a
+  // send of half a frame takes (payload + overhead) / line_rate seconds.
+  sim::Scheduler scheduler;
+  sim::ProcessRunner runner(scheduler);
+  NetworkLink link(scheduler);
+  const std::uint64_t payload = 4500;
+  runner.spawn([&]() -> sim::Process { co_await link.send(payload); });
+  scheduler.run();
+  runner.check();
+  const double expected_seconds =
+      static_cast<double>(payload + link.config().frame_overhead_bytes) /
+      link.config().line_rate.as_bytes_per_second();
+  EXPECT_NEAR(to_seconds(scheduler.now()), expected_seconds,
+              expected_seconds * 1e-9);
+}
+
 TEST(NetworkLink, SmallFramesLoseGoodput) {
   sim::Scheduler scheduler;
   LinkConfig small;

@@ -1,0 +1,270 @@
+// End-to-end RPC tests over real loopback sockets: handshake content,
+// concurrent-client correctness (the checksum results prove byte-exact
+// delivery), typed error mapping, admission-control shedding that never
+// stalls the socket, the shutdown frame, and the conservation law
+// received = accepted + rejected + shed, accepted = completed + failed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../engine/mock_engine.hpp"
+#include "spnhbm/engine/server.hpp"
+#include "spnhbm/rpc/client.hpp"
+#include "spnhbm/rpc/server.hpp"
+
+namespace spnhbm::rpc {
+namespace {
+
+using engine_test::kFeatures;
+using engine_test::MockEngine;
+using engine_test::expect_encoded;
+using engine_test::make_request;
+
+/// A full serving stack on an ephemeral loopback port.
+struct Harness {
+  explicit Harness(MockEngine::Config mock_config = {},
+                   AdmissionConfig admission = {},
+                   std::size_t max_connections = 64) {
+    engine::ServerConfig config;
+    config.batch_samples = 8;
+    config.max_latency = std::chrono::microseconds(200);
+    server = std::make_unique<engine::InferenceServer>(config);
+    mock = std::make_shared<MockEngine>(mock_config);
+    server->register_engine(mock);
+    server->start();
+
+    RpcServerConfig rpc_config;
+    rpc_config.port = 0;  // ephemeral
+    rpc_config.max_connections = max_connections;
+    rpc_config.admission = admission;
+    rpc_config.build_version = "test-build";
+    front = std::make_unique<RpcServer>(*server, rpc_config);
+    front->start();
+  }
+
+  ~Harness() {
+    mock->release();  // harmless when the engine is not gated
+    front->stop();
+    server->stop();
+  }
+
+  std::unique_ptr<RpcClient> connect() {
+    return RpcClient::connect("127.0.0.1", front->port());
+  }
+
+  std::shared_ptr<MockEngine> mock;
+  std::unique_ptr<engine::InferenceServer> server;
+  std::unique_ptr<RpcServer> front;
+};
+
+TEST(RpcServer, HandshakeCarriesBuildAndModels) {
+  Harness harness;
+  const auto client = harness.connect();
+  const ServerInfo& info = client->server_info();
+  EXPECT_EQ(info.protocol_version, kProtocolVersion);
+  EXPECT_EQ(info.build_version, "test-build");
+  ASSERT_EQ(info.models.size(), 1u);
+  EXPECT_EQ(info.models[0].id, "mock@1");
+  EXPECT_EQ(info.models[0].input_features, kFeatures);
+  EXPECT_EQ(info.input_features("mock@1"), kFeatures);
+  EXPECT_EQ(info.input_features("mock"), kFeatures);  // unique bare name
+  EXPECT_THROW(info.input_features("other"), RpcError);
+}
+
+TEST(RpcServer, ConcurrentClientsGetTheirOwnResults) {
+  // The acceptance shape of the tentpole: >= 4 concurrent connections,
+  // every response byte-identical to the engine's local computation.
+  constexpr std::size_t kClients = 5;
+  constexpr std::size_t kRequestsPerClient = 20;
+  Harness harness;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const auto client = harness.connect();
+      std::vector<std::vector<std::uint8_t>> requests;
+      std::vector<std::future<std::vector<double>>> futures;
+      for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+        // Distinct rows per (client, request): a response routed to the
+        // wrong request or connection changes the checksum.
+        const auto tag =
+            static_cast<std::uint8_t>(c * kRequestsPerClient + r);
+        const std::size_t rows = 1 + (c + r) % 3;
+        requests.push_back(make_request(rows, tag));
+        futures.push_back(client->submit("mock@1", requests.back()));
+      }
+      for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+        expect_encoded(requests[r], futures[r].get());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_EQ(stats.received, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.accepted, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.completed, kClients * kRequestsPerClient);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+  EXPECT_EQ(stats.request_latency_us.count, kClients * kRequestsPerClient);
+}
+
+TEST(RpcServer, TypedErrorsForBadRequests) {
+  Harness harness;
+  const auto client = harness.connect();
+
+  try {
+    client->infer("absent@1", make_request(1, 1));
+    FAIL() << "expected kUnknownModel";
+  } catch (const RpcStatusError& e) {
+    EXPECT_EQ(e.status(), Status::kUnknownModel);
+    EXPECT_FALSE(e.retryable());
+  }
+
+  try {
+    client->infer("mock@1", {1, 2, 3});  // not a multiple of kFeatures
+    FAIL() << "expected kInvalidRequest";
+  } catch (const RpcStatusError& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidRequest);
+    EXPECT_FALSE(e.retryable());
+  }
+
+  // Rejections count toward conservation, on the `rejected` side.
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.received, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+TEST(RpcServer, RateLimitShedsWithRetryableOverloaded) {
+  AdmissionConfig admission;
+  admission.rate_limit_rps = 0.001;  // one token, then dry for the test
+  admission.burst = 1.0;
+  Harness harness({}, admission);
+  const auto client = harness.connect();
+
+  const auto request = make_request(1, 3);
+  expect_encoded(request, client->infer("mock@1", request));  // the token
+  try {
+    client->infer("mock@1", make_request(1, 4));
+    FAIL() << "expected kOverloaded";
+  } catch (const RpcStatusError& e) {
+    EXPECT_EQ(e.status(), Status::kOverloaded);
+    EXPECT_TRUE(e.retryable());
+  }
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.shed_rate_limit, 1u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+TEST(RpcServer, QueueDepthShedRespondsWhileEngineIsWedged) {
+  // The "overload never stalls the socket" guarantee: with the engine
+  // blocked and the queue-depth gate closed, a shed response must come
+  // back promptly — the reader thread answers from admission control
+  // without ever waiting on queue space. The probe uses its own
+  // connection: on the first client's connection the shed response would
+  // (correctly) queue behind the wedged in-flight request, because the
+  // writer delivers in request order.
+  MockEngine::Config mock_config;
+  mock_config.gated = true;
+  AdmissionConfig admission;
+  admission.max_outstanding_samples = 1;
+  Harness harness(mock_config, admission);
+  const auto client = harness.connect();
+  const auto prober = harness.connect();
+
+  const auto first = make_request(1, 10);
+  auto first_future = client->submit("mock@1", first);  // fills the bound
+  // Make sure the wedged request reached the engine before probing, so
+  // outstanding_samples() actually reflects it.
+  while (harness.server->outstanding_samples() == 0) {
+    std::this_thread::yield();
+  }
+
+  auto shed_future = prober->submit("mock@1", make_request(1, 11));
+  ASSERT_EQ(shed_future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "shed response stalled behind the wedged engine";
+  try {
+    shed_future.get();
+    FAIL() << "expected kOverloaded";
+  } catch (const RpcStatusError& e) {
+    EXPECT_EQ(e.status(), Status::kOverloaded);
+    EXPECT_TRUE(e.retryable());
+  }
+
+  harness.mock->release();
+  expect_encoded(first, first_future.get());
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.shed_queue_depth, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+TEST(RpcServer, PerRequestDeadlineMapsToDeadlineExceeded) {
+  MockEngine::Config mock_config;
+  mock_config.gated = true;
+  Harness harness(mock_config);
+  const auto client = harness.connect();
+
+  auto future =
+      client->submit("mock@1", make_request(1, 20), /*deadline_us=*/10'000);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  try {
+    future.get();
+    FAIL() << "expected kDeadlineExceeded";
+  } catch (const RpcStatusError& e) {
+    EXPECT_EQ(e.status(), Status::kDeadlineExceeded);
+  }
+  harness.mock->release();
+  // The deadline-expired request still counts exactly once, as failed.
+  // (stats() is read after release; the writer already counted it when it
+  // sent the response.)
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+}
+
+TEST(RpcServer, ShutdownFrameSignalsTheServer) {
+  Harness harness;
+  const auto client = harness.connect();
+  EXPECT_FALSE(harness.front->shutdown_requested());
+  client->request_shutdown();
+  // The frame travels asynchronously; wait_for_shutdown_request blocks
+  // until the reader thread has seen it.
+  harness.front->wait_for_shutdown_request();
+  EXPECT_TRUE(harness.front->shutdown_requested());
+}
+
+TEST(RpcServer, ConnectionLimitClosesExtraClients) {
+  Harness harness({}, {}, /*max_connections=*/1);
+  const auto first = harness.connect();  // hello received => registered
+  EXPECT_THROW(harness.connect(), RpcError);
+  EXPECT_EQ(harness.front->stats().connections_rejected, 1u);
+  // The surviving client still works.
+  const auto request = make_request(1, 30);
+  expect_encoded(request, first->infer("mock@1", request));
+}
+
+TEST(RpcServer, StopResolvesInFlightRequestsAndClientSeesClosure) {
+  Harness harness;
+  const auto client = harness.connect();
+  const auto request = make_request(2, 40);
+  expect_encoded(request, client->infer("mock@1", request));
+  harness.front->stop();
+  // The connection is gone; new submits fail with a transport error, not
+  // a hang.
+  EXPECT_THROW(client->infer("mock@1", make_request(1, 41)), Error);
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+}  // namespace
+}  // namespace spnhbm::rpc

@@ -1,0 +1,187 @@
+// Wire-protocol unit tests: frame layout, codec roundtrips, protocol
+// violation handling, and the token bucket (with injected time, so the
+// refill arithmetic is tested deterministically).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "spnhbm/rpc/admission.hpp"
+#include "spnhbm/rpc/wire.hpp"
+
+namespace spnhbm::rpc {
+namespace {
+
+TEST(Wire, FrameLayoutIsMagicTypeLength) {
+  RequestFrame request;
+  request.request_id = 7;
+  request.model = "m@1";
+  request.samples = {1, 2, 3, 4};
+  const auto wire = encode_frame(encode_request(request));
+  ASSERT_GE(wire.size(), kFrameHeaderBytes);
+  // The magic is the ASCII bytes "SPNR" on the wire (0x52'4E'50'53
+  // little-endian), so a desynchronised stream is caught on sight.
+  EXPECT_EQ(wire[0], 'S');
+  EXPECT_EQ(wire[1], 'P');
+  EXPECT_EQ(wire[2], 'N');
+  EXPECT_EQ(wire[3], 'R');
+  EXPECT_EQ(wire[4], static_cast<std::uint8_t>(FrameType::kRequest));
+  const std::uint32_t body_length =
+      static_cast<std::uint32_t>(wire[5]) |
+      (static_cast<std::uint32_t>(wire[6]) << 8) |
+      (static_cast<std::uint32_t>(wire[7]) << 16) |
+      (static_cast<std::uint32_t>(wire[8]) << 24);
+  EXPECT_EQ(body_length, wire.size() - kFrameHeaderBytes);
+}
+
+TEST(Wire, HelloRoundtrip) {
+  HelloFrame hello;
+  hello.build_version = "0.5.0-test";
+  hello.models = {{"nips5@1", 5}, {"nips80@2", 80}};
+  const Frame frame = encode_hello(hello);
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  const HelloFrame decoded = decode_hello(frame.body);
+  EXPECT_EQ(decoded.protocol_version, kProtocolVersion);
+  EXPECT_EQ(decoded.build_version, "0.5.0-test");
+  ASSERT_EQ(decoded.models.size(), 2u);
+  EXPECT_EQ(decoded.models[0].id, "nips5@1");
+  EXPECT_EQ(decoded.models[0].input_features, 5u);
+  EXPECT_EQ(decoded.models[1].id, "nips80@2");
+  EXPECT_EQ(decoded.models[1].input_features, 80u);
+}
+
+TEST(Wire, RequestRoundtrip) {
+  RequestFrame request;
+  request.request_id = 0xDEADBEEFCAFEull;
+  request.model = "mock@1";
+  request.deadline_us = 250'000;
+  request.samples = {0, 1, 2, 255, 254, 253};
+  const Frame frame = encode_request(request);
+  EXPECT_EQ(frame.type, FrameType::kRequest);
+  const RequestFrame decoded = decode_request(frame.body);
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.model, request.model);
+  EXPECT_EQ(decoded.deadline_us, request.deadline_us);
+  EXPECT_EQ(decoded.samples, request.samples);
+}
+
+TEST(Wire, ResponseRoundtripOk) {
+  ResponseFrame response;
+  response.request_id = 42;
+  response.status = Status::kOk;
+  response.results = {1.0, 0.25, 6.02214076e23, -0.0};
+  const ResponseFrame decoded =
+      decode_response(encode_response(response).body);
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.status, Status::kOk);
+  ASSERT_EQ(decoded.results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    // Bit-exact: f64 results travel as raw IEEE bits.
+    EXPECT_EQ(decoded.results[i], response.results[i]) << i;
+  }
+  EXPECT_TRUE(decoded.error.empty());
+}
+
+TEST(Wire, ResponseRoundtripError) {
+  ResponseFrame response;
+  response.request_id = 9;
+  response.status = Status::kOverloaded;
+  response.error = "shed by rate limit (retryable)";
+  const ResponseFrame decoded =
+      decode_response(encode_response(response).body);
+  EXPECT_EQ(decoded.status, Status::kOverloaded);
+  EXPECT_EQ(decoded.error, response.error);
+  EXPECT_TRUE(decoded.results.empty());
+}
+
+TEST(Wire, ShutdownFrameHasEmptyBody) {
+  const Frame frame = encode_shutdown();
+  EXPECT_EQ(frame.type, FrameType::kShutdown);
+  EXPECT_TRUE(frame.body.empty());
+}
+
+TEST(Wire, HeaderRejectsBadMagicTypeAndOversizedBody) {
+  const auto wire = encode_frame(encode_shutdown());
+  std::uint8_t header[kFrameHeaderBytes];
+  FrameType type;
+
+  std::copy(wire.begin(), wire.begin() + kFrameHeaderBytes, header);
+  EXPECT_NO_THROW(decode_frame_header(header, type));
+
+  auto corrupted = header[0];
+  header[0] = 'X';
+  EXPECT_THROW(decode_frame_header(header, type), WireError);
+  header[0] = corrupted;
+
+  header[4] = 99;  // unknown frame type
+  EXPECT_THROW(decode_frame_header(header, type), WireError);
+  header[4] = static_cast<std::uint8_t>(FrameType::kShutdown);
+
+  // body_length past kMaxBodyBytes is a violation, not an allocation.
+  const std::uint32_t huge = kMaxBodyBytes + 1;
+  header[5] = static_cast<std::uint8_t>(huge);
+  header[6] = static_cast<std::uint8_t>(huge >> 8);
+  header[7] = static_cast<std::uint8_t>(huge >> 16);
+  header[8] = static_cast<std::uint8_t>(huge >> 24);
+  EXPECT_THROW(decode_frame_header(header, type), WireError);
+}
+
+TEST(Wire, DecodersRejectTruncatedAndTrailingBytes) {
+  RequestFrame request;
+  request.model = "m@1";
+  request.samples = {1, 2, 3};
+  Frame frame = encode_request(request);
+
+  std::vector<std::uint8_t> truncated(frame.body.begin(),
+                                      frame.body.end() - 1);
+  EXPECT_THROW(decode_request(truncated), WireError);
+
+  std::vector<std::uint8_t> trailing = frame.body;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_request(trailing), WireError);
+}
+
+TEST(Wire, RetryableStatuses) {
+  EXPECT_TRUE(is_retryable(Status::kOverloaded));
+  EXPECT_TRUE(is_retryable(Status::kNoHealthyEngine));
+  EXPECT_TRUE(is_retryable(Status::kShuttingDown));
+  EXPECT_FALSE(is_retryable(Status::kOk));
+  EXPECT_FALSE(is_retryable(Status::kInvalidRequest));
+  EXPECT_FALSE(is_retryable(Status::kUnknownModel));
+  EXPECT_FALSE(is_retryable(Status::kDeadlineExceeded));
+  EXPECT_FALSE(is_retryable(Status::kInternalError));
+}
+
+TEST(TokenBucket, DisabledRateAlwaysAdmits) {
+  TokenBucket bucket(0.0, 0.0);
+  const auto now = TokenBucket::Clock::now();
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.try_acquire(now));
+}
+
+TEST(TokenBucket, BurstBoundsInstantaneousAdmissions) {
+  TokenBucket bucket(10.0, 3.0);  // 10 rps, burst of 3, starts full
+  const auto now = TokenBucket::Clock::now();
+  EXPECT_TRUE(bucket.try_acquire(now));
+  EXPECT_TRUE(bucket.try_acquire(now));
+  EXPECT_TRUE(bucket.try_acquire(now));
+  EXPECT_FALSE(bucket.try_acquire(now));  // bucket drained, no time passed
+}
+
+TEST(TokenBucket, RefillsAtTheConfiguredRate) {
+  TokenBucket bucket(10.0, 1.0);
+  const auto start = TokenBucket::Clock::now();
+  EXPECT_TRUE(bucket.try_acquire(start));
+  EXPECT_FALSE(bucket.try_acquire(start));
+  // 10 rps = one token per 100 ms. 50 ms in: still dry.
+  EXPECT_FALSE(bucket.try_acquire(start + std::chrono::milliseconds(50)));
+  EXPECT_TRUE(bucket.try_acquire(start + std::chrono::milliseconds(101)));
+  // The refill is capped at the burst: a long idle stretch does not bank
+  // more than one token.
+  const auto later = start + std::chrono::seconds(10);
+  EXPECT_TRUE(bucket.try_acquire(later));
+  EXPECT_FALSE(bucket.try_acquire(later));
+}
+
+}  // namespace
+}  // namespace spnhbm::rpc

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Loopback end-to-end smoke for the remote serving front end:
+#
+#   1. start `spnhbm serve --listen 0` in the background and read the
+#      ephemeral port from --port-file,
+#   2. run remote inference over the wire and diff it against the local
+#      engine path — the transcripts must be byte-identical,
+#   3. replay an open-loop load with 4 connections and check both the
+#      client and server conservation summaries,
+#   4. shut the server down via the wire shutdown frame and verify it
+#      exits cleanly with the admission line in its report.
+#
+# With the optional second model, a multi-model fleet is smoked too:
+# both models served from one `serve --listen` process, each stream
+# diffed against its local inference.
+#
+# Usage: rpc_smoke.sh <spnhbm-cli> <model.spn> <samples.csv> <work-dir> \
+#                     [<model2.spn> <samples2.csv>]
+set -euo pipefail
+
+CLI=$1
+MODEL=$2
+SAMPLES=$3
+WORK=$4
+MODEL2=${5:-}
+SAMPLES2=${6:-}
+
+mkdir -p "$WORK"
+PORT_FILE=$WORK/rpc_smoke.port
+SERVER_OUT=$WORK/rpc_smoke.server.out
+rm -f "$PORT_FILE"
+
+"$CLI" serve "$MODEL" --engines cpu --batch 8 --max-latency-us 500 \
+  --listen 0 --port-file "$PORT_FILE" > "$SERVER_OUT" 2>&1 &
+SERVER_PID=$!
+cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "server died before binding:"; cat "$SERVER_OUT"; exit 1; }
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "server never wrote the port file"; exit 1; }
+PORT=$(cat "$PORT_FILE")
+echo "server listening on port $PORT"
+
+"$CLI" --version
+
+# Remote vs local inference: byte-identical transcripts.
+"$CLI" infer "$MODEL" "$SAMPLES" --engine cpu > "$WORK/rpc_smoke.local.out"
+"$CLI" infer --connect "127.0.0.1:$PORT" "$SAMPLES" \
+  > "$WORK/rpc_smoke.remote.out"
+diff "$WORK/rpc_smoke.local.out" "$WORK/rpc_smoke.remote.out"
+echo "remote inference matches local inference"
+
+# Open-loop load across 4 connections, then ask the server to drain.
+"$CLI" loadgen --connect "127.0.0.1:$PORT" --requests "$SAMPLES" \
+  --count 200 --rate 5000 --arrival poisson --connections 4 --seed 7 \
+  --shutdown > "$WORK/rpc_smoke.loadgen.out"
+cat "$WORK/rpc_smoke.loadgen.out"
+grep -q "conservation (sent == sum over statuses): ok" \
+  "$WORK/rpc_smoke.loadgen.out"
+
+# The shutdown frame must drain the server (bounded wait, no kill).
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "server ignored the shutdown frame:"; cat "$SERVER_OUT"; exit 1
+fi
+wait "$SERVER_PID" || { echo "server exited non-zero:"; cat "$SERVER_OUT"; exit 1; }
+trap - EXIT
+
+# The end-of-run report carries the unconditional admission line and the
+# RPC conservation summary.
+grep -q "admission:" "$SERVER_OUT"
+grep -q "conservation ok" "$SERVER_OUT"
+
+# Phase 2 (optional): the same loop against a multi-model fleet.
+if [ -n "$MODEL2" ]; then
+  rm -f "$PORT_FILE"
+  "$CLI" serve --model a="$MODEL" --model b="$MODEL2" --engines cpu \
+    --batch 8 --max-latency-us 500 --listen 0 --port-file "$PORT_FILE" \
+    > "$WORK/rpc_smoke.mm_server.out" 2>&1 &
+  SERVER_PID=$!
+  trap cleanup EXIT
+  for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+  done
+  PORT=$(cat "$PORT_FILE")
+  "$CLI" infer "$MODEL2" "$SAMPLES2" --engine cpu \
+    > "$WORK/rpc_smoke.local2.out"
+  "$CLI" infer --connect "127.0.0.1:$PORT" "$SAMPLES" --model a \
+    > "$WORK/rpc_smoke.remote_a.out"
+  "$CLI" infer --connect "127.0.0.1:$PORT" "$SAMPLES2" --model b \
+    > "$WORK/rpc_smoke.remote_b.out"
+  diff "$WORK/rpc_smoke.local.out" "$WORK/rpc_smoke.remote_a.out"
+  diff "$WORK/rpc_smoke.local2.out" "$WORK/rpc_smoke.remote_b.out"
+  echo "multi-model remote inference matches local inference"
+  "$CLI" loadgen --connect "127.0.0.1:$PORT" --requests "$SAMPLES2" \
+    --model b --count 100 --rate 5000 --connections 4 --seed 7 \
+    --shutdown > "$WORK/rpc_smoke.mm_loadgen.out"
+  grep -q "conservation (sent == sum over statuses): ok" \
+    "$WORK/rpc_smoke.mm_loadgen.out"
+  for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  wait "$SERVER_PID" || {
+    echo "multi-model server exited non-zero:"
+    cat "$WORK/rpc_smoke.mm_server.out"; exit 1; }
+  trap - EXIT
+  grep -q "conservation ok" "$WORK/rpc_smoke.mm_server.out"
+fi
+echo "rpc smoke: OK"

@@ -51,12 +51,42 @@
 //       against the named model through the same server. Batches never
 //       mix models; per-model stats are printed at the end.
 //
+//   spnhbm serve ... --listen PORT [--port-file FILE] [--rate-limit RPS]
+//                [--burst N] [--max-inflight-samples N] [--max-connections N]
+//       Remote serving: instead of replaying a local CSV, expose the
+//       server over the length-prefixed TCP wire protocol (loopback).
+//       PORT 0 picks an ephemeral port; --port-file writes the bound
+//       port for scripts. Admission control (token bucket + queue-depth
+//       shedding) answers overload with the retryable OVERLOADED status.
+//       Runs until a client sends the shutdown frame (loadgen
+//       --shutdown) or SIGINT/SIGTERM, then drains and prints the usual
+//       per-engine report plus the RPC conservation summary.
+//
+//   spnhbm loadgen --connect HOST:PORT --requests <samples.csv>
+//                  [--model name[@version]] [--count N] [--rate RPS]
+//                  [--arrival fixed|poisson|bursty] [--burst N]
+//                  [--connections N] [--seed S] [--deadline-us U]
+//                  [--shutdown] [--metrics-out FILE]
+//       Open-loop load generator: replays CSV rows as requests on a
+//       deterministic, seeded arrival schedule (arrivals never wait for
+//       responses) and reports achieved throughput plus wall-clock
+//       latency percentiles. --shutdown asks the server to drain and
+//       exit afterwards (CI teardown).
+//
+//   spnhbm infer --connect HOST:PORT <samples.csv> [--model name[@version]]
+//       Remote inference against a `serve --listen` process; prints one
+//       probability per row, byte-identical to the local engine path.
+//
 //   spnhbm learn <data.csv> [--min-instances N] [--threshold X]
 //       Learn a Mixed SPN from CSV data; print its textual description.
 //
 //   spnhbm sample <spn.txt> [--count N] [--seed S]
 //       Draw samples from the SPN's joint distribution (CSV to stdout).
+//
+//   spnhbm version
+//       Print the build version and wire-protocol version.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +108,9 @@
 #include "spnhbm/fpga/resource_model.hpp"
 #include "spnhbm/model/artifact.hpp"
 #include "spnhbm/model/registry.hpp"
+#include "spnhbm/rpc/client.hpp"
+#include "spnhbm/rpc/loadgen.hpp"
+#include "spnhbm/rpc/server.hpp"
 #include "spnhbm/runtime/inference_runtime.hpp"
 #include "spnhbm/spn/dot_export.hpp"
 #include "spnhbm/spn/io_csv.hpp"
@@ -87,6 +120,7 @@
 #include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/telemetry/trace.hpp"
 #include "spnhbm/util/strings.hpp"
+#include "spnhbm/util/version.hpp"
 
 namespace {
 
@@ -94,7 +128,8 @@ using namespace spnhbm;
 
 [[noreturn]] void usage() {
   std::fputs(
-      "usage: spnhbm <compile|resources|simulate|infer|serve|learn|sample> "
+      "usage: spnhbm "
+      "<compile|resources|simulate|infer|serve|loadgen|learn|sample|version> "
       "...\n"
       "run with a command and -h for details (see the header of\n"
       "tools/spnhbm_cli.cpp)\n",
@@ -152,6 +187,21 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// "HOST:PORT" (numeric IPv4 host, loopback in practice).
+std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    throw Error("expected HOST:PORT, got '" + spec + "'");
+  }
+  const long port = std::atol(spec.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    throw Error("port out of range in '" + spec + "'");
+  }
+  return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
 }
 
 /// Handles --metrics-out / --trace-out. Tracing must be switched on before
@@ -323,7 +373,49 @@ std::unique_ptr<engine::InferenceEngine> engine_for(const std::string& name,
   throw Error("unknown engine '" + name + "' (fpga|cpu|gpu)");
 }
 
+/// Splits a CSV's byte matrix into per-row request payloads.
+std::vector<std::vector<std::uint8_t>> rows_as_payloads(
+    const spn::DataMatrix& data) {
+  const auto bytes = data.to_bytes();
+  const std::size_t features = data.cols();
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    payloads.emplace_back(
+        bytes.begin() + static_cast<std::ptrdiff_t>(i * features),
+        bytes.begin() + static_cast<std::ptrdiff_t>((i + 1) * features));
+  }
+  return payloads;
+}
+
+/// `infer --connect`: one request carrying the whole CSV, so the output
+/// is byte-identical to the local engine path (one probability per row).
+int cmd_infer_remote(const Args& args) {
+  if (args.positional.empty()) usage();
+  const auto [host, port] = parse_host_port(args.option("connect", ""));
+  const auto client = rpc::RpcClient::connect(host, port);
+  const rpc::ServerInfo& info = client->server_info();
+  if (info.models.empty()) {
+    throw Error("server hosts no models");
+  }
+  const std::string model = args.option("model", "");
+  const std::uint32_t features =
+      info.input_features(model.empty() ? info.models.front().id : model);
+  const spn::DataMatrix data = spn::load_csv_file(args.positional[0]);
+  if (data.cols() != features) {
+    throw Error(strformat("CSV rows have %zu cells, the model expects %u",
+                          data.cols(), features));
+  }
+  const auto deadline_us = static_cast<std::uint64_t>(
+      std::atoll(args.option("deadline-us", "0").c_str()));
+  for (const double p : client->infer(model, data.to_bytes(), deadline_us)) {
+    std::printf("%.12e\n", p);
+  }
+  return 0;
+}
+
 int cmd_infer(const Args& args) {
+  if (!args.option("connect", "").empty()) return cmd_infer_remote(args);
   if (args.positional.size() < 2) usage();
   const auto artifact = model::ModelArtifact::load_file(
       "model", "1", args.positional[0],
@@ -381,14 +473,73 @@ void register_engines_for(engine::InferenceServer& server, const Args& args,
   }
 }
 
-void print_server_report(const engine::InferenceServer& server) {
-  std::printf("server: %s\n", server.stats().describe().c_str());
+void print_server_report(const engine::InferenceServer& server,
+                         const rpc::RpcServerStats* rpc_stats = nullptr) {
+  const engine::ServerStats stats = server.stats();
+  std::printf("server: %s\n", stats.describe().c_str());
+  // Always printed, even when all counts are zero: these are exactly the
+  // numbers an operator grep-checks after a run, and the engine stats
+  // line above only mentions them when recovery machinery fired.
+  std::printf("admission: %llu rejected, %llu deadline-exceeded, "
+              "%llu failed\n",
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.deadline_expirations),
+              static_cast<unsigned long long>(stats.failed_requests));
+  if (rpc_stats != nullptr) {
+    std::printf("rpc: %s\n", rpc_stats->describe().c_str());
+  }
   for (std::size_t i = 0; i < server.engine_count(); ++i) {
     std::printf("engine %s [%s]: %s\n",
                 server.engine(i).capabilities().name.c_str(),
                 engine::to_string(server.engine_health(i)).c_str(),
                 server.engine(i).stats().describe().c_str());
   }
+}
+
+// --- Remote serving front end ---------------------------------------------
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void handle_signal(int) { g_interrupted = 1; }
+
+/// Runs the TCP front end on an already-started InferenceServer until a
+/// client requests shutdown or SIGINT/SIGTERM arrives; returns the final
+/// RPC statistics (after the drain, so the conservation law is closed).
+rpc::RpcServerStats run_rpc_front_end(engine::InferenceServer& server,
+                                      const Args& args) {
+  rpc::RpcServerConfig config;
+  config.port = static_cast<std::uint16_t>(
+      std::atoi(args.option("listen", "0").c_str()));
+  config.max_connections = static_cast<std::size_t>(
+      std::atoll(args.option("max-connections", "64").c_str()));
+  config.admission.rate_limit_rps =
+      std::strtod(args.option("rate-limit", "0").c_str(), nullptr);
+  config.admission.burst =
+      std::strtod(args.option("burst", "0").c_str(), nullptr);
+  config.admission.max_outstanding_samples = static_cast<std::size_t>(
+      std::atoll(args.option("max-inflight-samples", "0").c_str()));
+  rpc::RpcServer front(server, config);
+  front.start();
+  std::fprintf(stderr,
+               "rpc: listening on 127.0.0.1:%u (build %s, protocol v%u)\n",
+               static_cast<unsigned>(front.port()), kVersionString,
+               static_cast<unsigned>(rpc::kProtocolVersion));
+  const std::string port_file = args.option("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    if (!out) throw Error("cannot write port file: " + port_file);
+    out << front.port() << "\n";
+  }
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  // Poll instead of blocking in wait_for_shutdown_request() so a signal
+  // can end the loop too.
+  while (g_interrupted == 0 && !front.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::fprintf(stderr, "rpc: %s, draining\n",
+               g_interrupted != 0 ? "signal received" : "shutdown requested");
+  front.stop();
+  return front.stats();
 }
 
 /// "--model name=path[@version]": the version suffix is only recognised
@@ -440,6 +591,15 @@ int cmd_serve_multi(const Args& args,
     register_engines_for(server, args, registry.get(id), chaos);
   }
   server.start();
+
+  if (!args.option("listen", "").empty()) {
+    const rpc::RpcServerStats rpc_stats = run_rpc_front_end(server, args);
+    server.stop();
+    print_server_report(server, &rpc_stats);
+    if (chaos) print_fault_summary();
+    telemetry_outputs.write();
+    return 0;
+  }
 
   // Replay each --requests name=path CSV against its model; rows become
   // independent single-sample requests, so batches of different models
@@ -502,10 +662,27 @@ int cmd_serve(const Args& args) {
   const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
   const bool chaos = arm_fault_plan(args);
   const std::string requests_path = args.option("requests", "");
-  if (requests_path.empty()) usage();
+  const bool listen = !args.option("listen", "").empty();
+  if (requests_path.empty() && !listen) usage();
   const auto artifact = model::ModelArtifact::load_file(
       "model", "1", args.positional[0],
       backend_for(args.option("format", "cfp")));
+
+  const long long timeout_us =
+      std::atoll(args.option("request-timeout", "0").c_str());
+  engine::InferenceServer server(server_config_from_args(args));
+  register_engines_for(server, args, artifact, chaos);
+  server.start();
+
+  if (listen) {
+    const rpc::RpcServerStats rpc_stats = run_rpc_front_end(server, args);
+    server.stop();
+    print_server_report(server, &rpc_stats);
+    if (chaos) print_fault_summary();
+    telemetry_outputs.write();
+    return 0;
+  }
+
   const spn::DataMatrix data = spn::load_csv_file(requests_path);
   if (data.cols() != artifact->input_features()) {
     throw Error(strformat("CSV rows have %zu cells, the model expects %zu",
@@ -514,12 +691,6 @@ int cmd_serve(const Args& args) {
   const auto samples = data.to_bytes();
   const std::size_t features = artifact->input_features();
   const std::size_t count = samples.size() / features;
-
-  const long long timeout_us =
-      std::atoll(args.option("request-timeout", "0").c_str());
-  engine::InferenceServer server(server_config_from_args(args));
-  register_engines_for(server, args, artifact, chaos);
-  server.start();
 
   // Replay: every CSV row is one independent request. Under chaos, a
   // fail-fast NoHealthyEngineError is handled the way a real client
@@ -557,6 +728,43 @@ int cmd_serve(const Args& args) {
   print_server_report(server);
   if (chaos) print_fault_summary();
   telemetry_outputs.write();
+  return 0;
+}
+
+int cmd_loadgen(const Args& args) {
+  const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
+  const std::string requests_path = args.option("requests", "");
+  if (requests_path.empty()) usage();
+
+  rpc::LoadgenConfig config;
+  std::tie(config.host, config.port) =
+      parse_host_port(args.option("connect", ""));
+  config.model = args.option("model", "");
+  config.payloads = rows_as_payloads(spn::load_csv_file(requests_path));
+  config.request_count = static_cast<std::size_t>(std::atoll(
+      args.option("count", std::to_string(config.payloads.size())).c_str()));
+  config.rate_rps = std::strtod(args.option("rate", "1000").c_str(), nullptr);
+  config.arrival =
+      rpc::parse_arrival_process(args.option("arrival", "poisson"));
+  config.burst_size = static_cast<std::size_t>(
+      std::atoll(args.option("burst", "8").c_str()));
+  config.connections = static_cast<std::size_t>(
+      std::atoll(args.option("connections", "1").c_str()));
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(args.option("seed", "42").c_str()));
+  config.deadline_us = static_cast<std::uint64_t>(
+      std::atoll(args.option("deadline-us", "0").c_str()));
+  config.shutdown_server_after = args.flag("shutdown");
+
+  const rpc::LoadgenReport report = rpc::run_loadgen(config);
+  std::printf("%s", report.describe().c_str());
+  telemetry_outputs.write();
+  return report.conserved() ? 0 : 1;
+}
+
+int cmd_version() {
+  std::printf("spnhbm %s (wire protocol v%u)\n", kVersionString,
+              static_cast<unsigned>(rpc::kProtocolVersion));
   return 0;
 }
 
@@ -601,6 +809,8 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "infer") return cmd_infer(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "loadgen") return cmd_loadgen(args);
+    if (command == "version" || command == "--version") return cmd_version();
     if (command == "learn") return cmd_learn(args);
     if (command == "sample") return cmd_sample(args);
     usage();
