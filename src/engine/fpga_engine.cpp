@@ -49,11 +49,18 @@ std::uint64_t table_image_bytes(const model::ModelArtifact& artifact) {
 FpgaSimEngine::FpgaSimEngine(ModelHandle model, FpgaEngineConfig config)
     : model_(std::move(model)), config_(config), runner_(scheduler_) {
   SPNHBM_REQUIRE(model_ != nullptr, "FpgaSimEngine requires a model");
+  SPNHBM_REQUIRE(config_.partition_bitstream_fraction <= 1.0,
+                 "partition cannot exceed the whole bitstream");
   device_ = std::make_unique<tapasco::Device>(
       runner_, model_->module(), model_->backend(),
       make_composition(model_->module(), model_->backend(), config_));
   runtime_ = std::make_unique<runtime::InferenceRuntime>(
       runner_, *device_, model_->module(), make_runtime_config(config_));
+  if (config_.charge_initial_program) {
+    const Picoseconds charged = program_and_stage(*device_, *runtime_, *model_);
+    stats_.reconfigurations += 1;
+    stats_.reconfiguration_seconds += to_seconds(charged);
+  }
   refresh_capabilities();
 }
 
@@ -68,6 +75,9 @@ void FpgaSimEngine::refresh_capabilities() {
       "fpga-sim/%s x%zu",
       config_.platform == fpga::Platform::kF1 ? "f1" : "hbm",
       device_->pe_count());
+  if (!config_.partition_label.empty()) {
+    capabilities_.name += " @" + config_.partition_label;
+  }
   capabilities_.input_features = model_->module().input_features();
   capabilities_.functional = config_.compute_results;
   // Compute ceiling of the composed design: one sample per PE clock per PE
@@ -79,30 +89,28 @@ void FpgaSimEngine::refresh_capabilities() {
   capabilities_.preferred_batch_samples = runtime_->config().block_samples;
 }
 
-void FpgaSimEngine::activate(ModelHandle next) {
-  SPNHBM_REQUIRE(next != nullptr, "activate requires a model");
-  // Compose the next design first: a placement (or composition) failure
-  // must leave the current model serving untouched.
-  auto device = std::make_unique<tapasco::Device>(
-      runner_, next->module(), next->backend(),
-      make_composition(next->module(), next->backend(), config_));
-  auto staged_runtime = std::make_unique<runtime::InferenceRuntime>(
-      runner_, *device, next->module(), make_runtime_config(config_));
-
-  // Reprogram the card in virtual time: the full bitstream streams through
-  // the ICAP, then every PE's lookup-table image is staged into its memory
-  // channel over the real DMA path (same dma_and_channel pipeline batches
-  // use, so the cost scales with the artifact, not a constant).
+Picoseconds FpgaSimEngine::program_and_stage(
+    tapasco::Device& device, runtime::InferenceRuntime& runtime,
+    const model::ModelArtifact& artifact) {
+  // Reprogram in virtual time: the bitstream streams through the ICAP —
+  // the whole device's, or only this tenant's partition share when the
+  // engine is partitioned (partial reconfiguration) — then every PE's
+  // lookup-table image is staged into its memory channel over the real
+  // DMA path (same dma_and_channel pipeline batches use, so the cost
+  // scales with the artifact, not a constant).
   const Picoseconds before = scheduler_.now();
-  const double bitstream_bytes = config_.platform == fpga::Platform::kF1
-                                     ? fpga::cal::kBitstreamBytesF1
-                                     : fpga::cal::kBitstreamBytesHbm;
+  double bitstream_bytes = config_.platform == fpga::Platform::kF1
+                               ? fpga::cal::kBitstreamBytesF1
+                               : fpga::cal::kBitstreamBytesHbm;
+  if (config_.partition_bitstream_fraction > 0.0) {
+    bitstream_bytes *= config_.partition_bitstream_fraction;
+  }
   const Picoseconds program_time = static_cast<Picoseconds>(
       bitstream_bytes / fpga::cal::kIcapBytesPerSecond *
       static_cast<double>(kPicosecondsPerSecond));
-  const std::uint64_t table_bytes = table_image_bytes(*next);
-  tapasco::Device* staged_device = device.get();
-  runtime::InferenceRuntime* staged = staged_runtime.get();
+  const std::uint64_t table_bytes = table_image_bytes(artifact);
+  tapasco::Device* staged_device = &device;
+  runtime::InferenceRuntime* staged = &runtime;
   runner_.spawn([this, staged_device, staged, program_time,
                  table_bytes]() -> sim::Process {
     co_await sim::delay(scheduler_, program_time);
@@ -115,7 +123,21 @@ void FpgaSimEngine::activate(ModelHandle next) {
   });
   scheduler_.run();
   runner_.check();
-  const Picoseconds reconfiguration = scheduler_.now() - before;
+  return scheduler_.now() - before;
+}
+
+void FpgaSimEngine::activate(ModelHandle next) {
+  SPNHBM_REQUIRE(next != nullptr, "activate requires a model");
+  // Compose the next design first: a placement (or composition) failure
+  // must leave the current model serving untouched.
+  auto device = std::make_unique<tapasco::Device>(
+      runner_, next->module(), next->backend(),
+      make_composition(next->module(), next->backend(), config_));
+  auto staged_runtime = std::make_unique<runtime::InferenceRuntime>(
+      runner_, *device, next->module(), make_runtime_config(config_));
+
+  const Picoseconds reconfiguration =
+      program_and_stage(*device, *staged_runtime, *next);
 
   // Swap: the old runtime (which references the old device) dies first.
   runtime_ = std::move(staged_runtime);

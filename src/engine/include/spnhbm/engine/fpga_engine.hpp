@@ -13,10 +13,19 @@
 // unchanged by construction.
 //
 // activate() models a real model swap: the next design is composed (and
-// placement-checked) first, the card is reprogrammed (full bitstream over
-// the ICAP, charged in virtual time), and the new design's lookup tables
-// are staged into each PE's memory channel through the real DMA path. On
-// any failure the previous model keeps serving.
+// placement-checked) first, the card is reprogrammed (charged in virtual
+// time), and the new design's lookup tables are staged into each PE's
+// memory channel through the real DMA path. On any failure the previous
+// model keeps serving.
+//
+// Partitioned tenants (FpgaSimDevice): when the engine is one tenant of a
+// spatially partitioned device, reconfiguration is *partial* — only the
+// tenant's partition streams through the ICAP, so the charge is
+// partition_bitstream_fraction of the full bitstream and the device's
+// other tenants keep serving throughout. Spatial isolation (disjoint PE
+// slots + disjoint HBM channels, see fpga/partition.hpp) is what makes
+// the per-tenant simulation honest: partitions share no queue, so each
+// tenant owns an independent virtual timeline.
 #pragma once
 
 #include <memory>
@@ -41,6 +50,17 @@ struct FpgaEngineConfig {
   bool compute_results = true;
   bool skip_placement_check = false;
   double dma_failure_rate = 0.0;
+  // --- Partitioned-tenant context (set by FpgaSimDevice) -------------------
+  /// Fraction of the full-device bitstream this engine's partition covers.
+  /// In (0, 1]: reconfiguration is partial (charge scales with the
+  /// fraction); 0 = the engine owns the whole device (full bitstream).
+  double partition_bitstream_fraction = 0.0;
+  /// Display label ("device/partition") appended to capabilities().name.
+  std::string partition_label;
+  /// Charge the initial partition programming + table staging in virtual
+  /// time at construction (adding a tenant reconfigures its partition;
+  /// a whole-device engine is assumed pre-programmed, as before).
+  bool charge_initial_program = false;
 };
 
 class FpgaSimEngine : public InferenceEngine {
@@ -77,6 +97,12 @@ class FpgaSimEngine : public InferenceEngine {
 
  private:
   void refresh_capabilities();
+  /// Streams the (partial or full) bitstream through the ICAP and stages
+  /// `artifact`'s lookup tables into each PE's channel over the DMA path,
+  /// all in virtual time; returns the reconfiguration charge.
+  Picoseconds program_and_stage(tapasco::Device& device,
+                                runtime::InferenceRuntime& runtime,
+                                const model::ModelArtifact& artifact);
 
   ModelHandle model_;
   FpgaEngineConfig config_;

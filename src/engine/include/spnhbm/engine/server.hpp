@@ -51,6 +51,16 @@
 //     can run yet, submit()/try_submit() fail fast with
 //     NoHealthyEngineError instead of queueing work that cannot be served.
 //
+// Dynamic membership (the spatial-multi-tenancy hook): engines can be
+// registered while the server runs — the worker thread spawns on the
+// spot and the model's lane opens immediately — and retired again with
+// retire_engine(), which drains the engine's in-flight batches and hands
+// the engine back (so a fleet can evict the corresponding device tenant).
+// Several co-registered engines may live on the *same* physical device in
+// different partitions (FpgaSimDevice tenants): each still gets its own
+// worker thread, so contention is per-partition, not per-device, exactly
+// matching the disjoint-channel hardware model underneath.
+//
 // Threading model: one dispatcher thread forms batches, re-dispatches
 // retries and expires deadlines; one worker thread per engine drives
 // submit()/wait()/activate(), so an engine never sees concurrent calls.
@@ -74,6 +84,7 @@
 #include <vector>
 
 #include "spnhbm/engine/engine.hpp"
+#include "spnhbm/engine/service.hpp"
 #include "spnhbm/telemetry/trace.hpp"
 #include "spnhbm/util/rng.hpp"
 
@@ -213,23 +224,47 @@ struct ServerStats {
   std::string describe() const;
 };
 
-class InferenceServer {
+class InferenceServer : public InferenceService {
  public:
   explicit InferenceServer(ServerConfig config = {});
-  ~InferenceServer();
+  ~InferenceServer() override;
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Registers a backend for the model it has loaded. All engines must be
-  /// functional and be registered before start(); engines serving the
-  /// same model id must agree on input_features. `priority` is the
+  /// Registers a backend for the model it has loaded and returns its
+  /// stable engine index. All engines must be functional; engines serving
+  /// the same model id must agree on input_features. `priority` is the
   /// failover tier: dispatch prefers the lowest tier that still has a
   /// non-quarantined engine of the batch's model (0 = most preferred).
-  void register_engine(std::shared_ptr<InferenceEngine> engine,
-                       int priority = 0);
+  /// `device` labels the physical device (or device/partition) the engine
+  /// lives on, for grouping in stats and fleet bookkeeping. Engines may
+  /// be registered while the server is running: the worker thread spawns
+  /// immediately and the engine's model lane opens for traffic.
+  std::size_t register_engine(std::shared_ptr<InferenceEngine> engine,
+                              int priority = 0, std::string device = "");
 
+  /// Removes engine `index` from dispatch, drains its in-flight batches
+  /// on its own worker thread, joins the thread and returns the engine
+  /// (so the caller can evict its device tenant). Indices stay stable:
+  /// the slot remains, marked retired. Queued work of a model whose last
+  /// engine retires fails with RuntimeApiError (same as hot-swapping the
+  /// last engine away). Throws RuntimeApiError for a bad index, an
+  /// already-retired engine, or one with a pending activation.
+  /// Control-plane calls (register_engine/retire_engine/activate/stop)
+  /// must be serialised by the caller; the data plane (submit/try_submit/
+  /// stats) may run concurrently with them.
+  std::shared_ptr<InferenceEngine> retire_engine(std::size_t index);
+
+  /// Registered engine slots, including retired ones (indices are stable
+  /// across retire_engine).
   std::size_t engine_count() const { return workers_.size(); }
+  /// True when engine `index` has been retired. Throws RuntimeApiError
+  /// when `index` is out of range.
+  bool engine_retired(std::size_t index) const;
+  /// Device label given at registration ("" when none). Throws
+  /// RuntimeApiError when `index` is out of range.
+  std::string engine_device(std::size_t index) const;
   /// Throws RuntimeApiError when `index` is out of range.
   const InferenceEngine& engine(std::size_t index) const;
   /// Samples dispatched to engine `index` so far (retries re-count).
@@ -266,7 +301,7 @@ class InferenceServer {
   std::optional<std::future<std::vector<double>>> try_submit(
       std::vector<std::uint8_t> samples);
   std::optional<std::future<std::vector<double>>> try_submit(
-      const std::string& model, std::vector<std::uint8_t> samples);
+      const std::string& model, std::vector<std::uint8_t> samples) override;
 
   /// Hot-swaps engine `index` onto `next`: the worker finishes its queued
   /// batches, then runs InferenceEngine::activate on its own thread (an
@@ -280,15 +315,15 @@ class InferenceServer {
   std::future<void> activate(std::size_t index, ModelHandle next);
 
   /// Model ids currently served (including activation targets), sorted.
-  std::vector<std::string> served_models() const;
+  std::vector<std::string> served_models() const override;
 
   /// Queued + in-flight samples (the backpressure quantity).
-  std::size_t outstanding_samples() const;
+  std::size_t outstanding_samples() const override;
   /// Input width of the server's sole model (0 before registration).
   /// Throws RuntimeApiError when more than one model is served.
   std::size_t input_features() const;
   /// Input width of a named model; throws RuntimeApiError when unknown.
-  std::size_t input_features(const std::string& model) const;
+  std::size_t input_features(const std::string& model) const override;
   std::size_t batch_samples() const { return batch_samples_; }
   ServerStats stats() const;
 
@@ -350,6 +385,14 @@ class InferenceServer {
     std::condition_variable cv;
     std::size_t index = 0;
     int priority = 0;
+    /// Device (or device/partition) label for fleet bookkeeping.
+    std::string device;
+    /// retire_engine was called: the dispatcher hands the worker no new
+    /// batches; the worker drains its queue and exits.
+    bool retiring = false;
+    /// The worker exited and its engine was handed back; the slot stays
+    /// to keep indices stable.
+    bool retired = false;
     /// Lane id of the engine's loaded model (updated on activation).
     std::string model_id;
     std::size_t input_features = 0;
@@ -414,6 +457,12 @@ class InferenceServer {
   std::chrono::steady_clock::time_point retry_time_locked(int attempts);
   /// Runs the engine's activate() off-lock on the worker thread.
   void perform_activation(std::unique_lock<std::mutex>& lock, Worker& worker);
+  /// Registers the worker's telemetry track and starts its thread.
+  void spawn_worker_locked(Worker& worker);
+  /// True when the worker takes part in dispatch (not retiring/retired).
+  static bool worker_active(const Worker& worker) {
+    return !worker.retiring && !worker.retired;
+  }
   void dispatcher_loop();
   void worker_loop(Worker& worker);
 
@@ -421,6 +470,8 @@ class InferenceServer {
   mutable std::mutex mutex_;
   std::condition_variable cv_dispatch_;
   std::condition_variable cv_space_;
+  /// Signalled by a worker the moment it finishes retiring.
+  std::condition_variable cv_retire_;
   std::vector<std::unique_ptr<Worker>> workers_;
   /// Per-model request lanes, keyed by lane id ("name@version").
   std::map<std::string, ModelLane> lanes_;

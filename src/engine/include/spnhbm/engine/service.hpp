@@ -1,0 +1,49 @@
+// InferenceService: the minimal serving surface a front end needs.
+//
+// The RPC front door (rpc::RpcServer), the CLI drivers and the load
+// generator do not care whether requests land on one InferenceServer or
+// are routed across a fleet of devices — they need exactly four things:
+// which models are served, each model's input width, the current
+// backpressure quantity, and a non-blocking submit. This interface is
+// that seam. engine::InferenceServer implements it directly (one device
+// group, local dispatch); fleet::FleetRouter implements it by routing
+// each request to one of its member servers.
+//
+// Contract notes, shared by every implementation:
+//   * try_submit never blocks: a full queue returns std::nullopt (the
+//     caller sheds or retries), typed failures throw (RuntimeApiError
+//     for unknown/ambiguous models or a stopped service,
+//     NoHealthyEngineError when the model is temporarily unservable).
+//   * served_models() returns sorted "name@version" ids; a model ref
+//     passed to input_features/try_submit may be a bare name when it is
+//     unambiguous.
+//   * outstanding_samples() is advisory (admission control); it may be
+//     stale by the time the caller acts on it.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spnhbm::engine {
+
+class InferenceService {
+ public:
+  virtual ~InferenceService() = default;
+
+  /// Model ids currently served, sorted.
+  virtual std::vector<std::string> served_models() const = 0;
+  /// Input width (bytes per sample) of a named model; throws
+  /// RuntimeApiError when unknown or ambiguous.
+  virtual std::size_t input_features(const std::string& model) const = 0;
+  /// Queued + in-flight samples across the service (advisory).
+  virtual std::size_t outstanding_samples() const = 0;
+  /// Non-blocking submit: std::nullopt when the queue bound would be
+  /// exceeded; otherwise a future resolving to one probability per row.
+  virtual std::optional<std::future<std::vector<double>>> try_submit(
+      const std::string& model, std::vector<std::uint8_t> samples) = 0;
+};
+
+}  // namespace spnhbm::engine

@@ -139,12 +139,14 @@ InferenceServer::ModelLane& InferenceServer::ensure_lane_locked(
   return lanes_.emplace(model, std::move(lane)).first->second;
 }
 
-void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine,
-                                      int priority) {
+std::size_t InferenceServer::register_engine(
+    std::shared_ptr<InferenceEngine> engine, int priority,
+    std::string device) {
   SPNHBM_REQUIRE(engine != nullptr, "null engine");
   SPNHBM_REQUIRE(priority >= 0, "priority tier must be >= 0");
   std::lock_guard<std::mutex> lock(mutex_);
-  SPNHBM_REQUIRE(!started_, "register_engine after start");
+  SPNHBM_REQUIRE(!stopping_ && !stopped_,
+                 "register_engine on a stopped server");
   const auto& caps = engine->capabilities();
   SPNHBM_REQUIRE(caps.functional,
                  "engine '" + caps.name + "' is timing-only; the server needs "
@@ -160,6 +162,7 @@ void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine,
   worker->engine = std::move(engine);
   worker->index = workers_.size();
   worker->priority = priority;
+  worker->device = std::move(device);
   worker->model_id = model_id;
   worker->input_features = caps.input_features;
   worker->nominal_throughput = caps.nominal_throughput;
@@ -172,7 +175,79 @@ void InferenceServer::register_engine(std::shared_ptr<InferenceEngine> engine,
   } else {
     batch_samples_ = config_.batch_samples;
   }
+  const std::size_t index = workers_.size();
   workers_.push_back(std::move(worker));
+  if (started_) {
+    // Dynamic membership: the engine joins a running fleet. Its lane is
+    // open already (ensure_lane_locked above); spawn the worker now and
+    // wake the dispatcher in case work is queued for its model.
+    spawn_worker_locked(*workers_[index]);
+    cv_dispatch_.notify_one();
+  }
+  return index;
+}
+
+void InferenceServer::spawn_worker_locked(Worker& worker) {
+  worker.track = telemetry::tracer().register_track(
+      "server/worker" + std::to_string(worker.index),
+      telemetry::TraceClock::kWall);
+  worker.thread = std::thread([this, &worker] { worker_loop(worker); });
+}
+
+std::shared_ptr<InferenceEngine> InferenceServer::retire_engine(
+    std::size_t index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (index >= workers_.size()) {
+    throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
+                                    index, workers_.size()));
+  }
+  Worker& worker = *workers_[index];
+  if (worker.retiring || worker.retired) {
+    throw RuntimeApiError("engine " + std::to_string(index) +
+                          " is already retired");
+  }
+  if (worker.pending_activation) {
+    throw RuntimeApiError("engine " + std::to_string(index) +
+                          " has a pending activation; retire after it");
+  }
+  worker.retiring = true;
+  if (!started_ || stopped_) {
+    // No thread exists (or it is already joined): retire in place.
+    worker.retiring = false;
+    worker.retired = true;
+    return std::move(worker.engine);
+  }
+  // The worker drains its in-flight batches, then flags retired and
+  // exits; the dispatcher stops handing it work immediately.
+  worker.cv.notify_all();
+  cv_dispatch_.notify_one();
+  cv_retire_.wait(lock, [&] { return worker.retired; });
+  std::thread thread = std::move(worker.thread);
+  auto engine = std::move(worker.engine);
+  // A model whose last engine just left needs its queued work failed;
+  // the dispatcher's drain_dead_lanes pass handles it.
+  cv_dispatch_.notify_one();
+  lock.unlock();
+  thread.join();
+  return engine;
+}
+
+bool InferenceServer::engine_retired(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= workers_.size()) {
+    throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
+                                    index, workers_.size()));
+  }
+  return workers_[index]->retired;
+}
+
+std::string InferenceServer::engine_device(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= workers_.size()) {
+    throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
+                                    index, workers_.size()));
+  }
+  return workers_[index]->device;
 }
 
 void InferenceServer::start() {
@@ -181,17 +256,11 @@ void InferenceServer::start() {
   SPNHBM_REQUIRE(!started_, "server already started");
   SPNHBM_REQUIRE(batch_samples_ > 0, "batch size must be positive");
   started_ = true;
-  auto& tracer = telemetry::tracer();
-  dispatcher_track_ =
-      tracer.register_track("server/dispatcher", telemetry::TraceClock::kWall);
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    workers_[i]->track = tracer.register_track(
-        "server/worker" + std::to_string(i), telemetry::TraceClock::kWall);
-  }
+  dispatcher_track_ = telemetry::tracer().register_track(
+      "server/dispatcher", telemetry::TraceClock::kWall);
   for (auto& worker : workers_) {
-    worker->thread = std::thread([this, &worker = *worker] {
-      worker_loop(worker);
-    });
+    if (worker->retired) continue;
+    spawn_worker_locked(*worker);
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
@@ -209,7 +278,9 @@ void InferenceServer::stop() {
     workers_stopping_ = true;
     for (auto& worker : workers_) worker->cv.notify_all();
   }
-  for (auto& worker : workers_) worker->thread.join();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   stopped_ = true;
   cv_space_.notify_all();
@@ -243,6 +314,7 @@ std::string InferenceServer::resolve_model_locked(
 std::string InferenceServer::default_model_locked() const {
   std::string sole;
   for (const auto& worker : workers_) {
+    if (!worker_active(*worker)) continue;
     const std::string& id = worker->model_id;
     if (sole.empty()) {
       sole = id;
@@ -261,6 +333,7 @@ std::string InferenceServer::default_model_locked() const {
 
 bool InferenceServer::lane_served_locked(const std::string& model) const {
   for (const auto& worker : workers_) {
+    if (!worker_active(*worker)) continue;
     if (worker->pending_activation) {
       // Mid-swap the worker serves neither model; it counts only towards
       // its activation target.
@@ -308,6 +381,7 @@ void InferenceServer::require_admissible_locked(
   const auto now = std::chrono::steady_clock::now();
   bool any_worker = false;
   for (const auto& worker : workers_) {
+    if (!worker_active(*worker)) continue;
     if (worker->pending_activation) {
       // The incoming engine: requests for its target model queue in the
       // lane until the swap completes.
@@ -434,6 +508,9 @@ std::future<void> InferenceServer::activate(std::size_t index,
     throw RuntimeApiError("activate on a server that is not running");
   }
   Worker& worker = *workers_[index];
+  if (!worker_active(worker)) {
+    throw RuntimeApiError("engine " + std::to_string(index) + " is retired");
+  }
   if (worker.pending_activation) {
     throw RuntimeApiError("engine " + std::to_string(index) +
                           " already has a pending activation");
@@ -494,6 +571,9 @@ const InferenceEngine& InferenceServer::engine(std::size_t index) const {
   if (index >= workers_.size()) {
     throw RuntimeApiError(strformat("engine index %zu out of range (%zu)",
                                     index, workers_.size()));
+  }
+  if (workers_[index]->retired) {
+    throw RuntimeApiError("engine " + std::to_string(index) + " is retired");
   }
   return *workers_[index]->engine;
 }
@@ -572,7 +652,10 @@ bool InferenceServer::any_engine_available_locked(
     std::chrono::steady_clock::time_point now,
     const std::string& model) const {
   for (const auto& worker : workers_) {
-    if (worker->pending_activation || worker->model_id != model) continue;
+    if (!worker_active(*worker) || worker->pending_activation ||
+        worker->model_id != model) {
+      continue;
+    }
     if (worker->health != EngineHealth::kQuarantined) return true;
     if (!worker->probe_in_flight && now >= worker->quarantined_until) {
       return true;  // a probe slot is open
@@ -587,7 +670,8 @@ std::size_t InferenceServer::pick_engine_locked(const Batch& batch) {
   // are candidates; batches never cross models.
   const auto serves = [&](std::size_t i) {
     const auto& worker = *workers_[i];
-    return !worker.pending_activation && worker.model_id == batch.model;
+    return worker_active(worker) && !worker.pending_activation &&
+           worker.model_id == batch.model;
   };
   // Circuit-breaker probes take precedence: a due probe is the only way a
   // quarantined engine can prove itself again, and one batch of delay on
@@ -933,7 +1017,10 @@ void InferenceServer::dispatcher_loop() {
     // engines opens (activation completions notify the cv directly).
     for (const auto& model : blocked) {
       for (const auto& worker : workers_) {
-        if (worker->pending_activation || worker->model_id != model) continue;
+        if (!worker_active(*worker) || worker->pending_activation ||
+            worker->model_id != model) {
+          continue;
+        }
         if (worker->health == EngineHealth::kQuarantined &&
             !worker->probe_in_flight) {
           consider(worker->quarantined_until);
@@ -1021,6 +1108,15 @@ void InferenceServer::worker_loop(Worker& worker) {
       if (worker.pending_activation) {
         perform_activation(lock, worker);
         continue;
+      }
+      // Retirement: the queue is drained, hand the slot back. The
+      // retire_engine caller joins this thread and takes the engine.
+      if (worker.retiring) {
+        worker.retiring = false;
+        worker.retired = true;
+        cv_retire_.notify_all();
+        cv_dispatch_.notify_one();
+        return;
       }
       if (workers_stopping_) return;
       worker.cv.wait(lock);

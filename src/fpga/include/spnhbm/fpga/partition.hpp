@@ -1,0 +1,108 @@
+// Spatial partitioning of one device among co-resident SPN datapaths.
+//
+// The paper's Table I shows a single VU37P has room for ~8 NIPS80
+// datapaths, yet the classic flow hosts exactly one model per bitstream.
+// A PartitionTable divides the device's reconfigurable fabric into named
+// partitions — disjoint PE slots and disjoint HBM channels — so several
+// compiled datapaths can be resident at once and one tenant can be added
+// or evicted by partial reconfiguration of only its partition while the
+// others keep serving.
+//
+// Resource accounting: the platform infrastructure (TaPaSCo shell,
+// PCIe/DMA, hardened HBM attachment) is resident once and shared; each
+// partition then costs its PEs (estimate_pe x pe_slots) plus the per-PE
+// interconnect share (SmartConnect + register slices). reserve() admits a
+// tenant only when
+//
+//   infra + sum(partition costs) <= Table I budget x routable utilisation,
+//   sum(PE slots)               <= the replication limit (8 on the VU37P),
+//   sum(HBM channels)           <= the 32 independent channels,
+//
+// and a failure reports the per-resource deficit (required vs available)
+// via PlacementDeficitError — never a bare boolean.
+//
+// Spatial isolation is what makes per-partition contention models honest:
+// disjoint PE slots and disjoint HBM channels share no queue, so one
+// tenant's load never appears in another tenant's latency (the crossbar
+// is not used; §II-B's independent-channel property).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spnhbm/fpga/resource_model.hpp"
+
+namespace spnhbm::fpga {
+
+/// One named partition: a tenant's slice of the device.
+struct Partition {
+  std::string name;
+  int pe_slots = 0;
+  /// The HBM channel indices backing this partition's PEs (one channel
+  /// per PE, disjoint across partitions).
+  std::vector<int> hbm_channels;
+  /// The partition's fabric cost: PEs + per-PE interconnect share.
+  ResourceVector resources;
+};
+
+/// Discrete device budgets the table partitions. Defaults model the
+/// XUP-VVH: the paper's 8-PE routable replication limit and the 32
+/// independent HBM channels. Tests and what-if studies shrink them.
+struct PartitionBudget {
+  int pe_slots = cal::kMaxRoutablePes;
+  int hbm_channels = 32;
+  /// Fabric fraction usable before routing fails.
+  double utilisation = cal::kRoutableUtilisation;
+};
+
+class PartitionTable {
+ public:
+  /// Spatial multi-tenancy needs per-PE channel isolation, so only the
+  /// HBM platform is supported (F1 shares soft DDR controllers).
+  explicit PartitionTable(PartitionBudget budget = {});
+
+  /// Admits a tenant of `pe_slots` PEs of the compiled datapath: checks
+  /// the combined fabric budget plus the PE-slot and channel limits,
+  /// assigns the lowest free HBM channels (one per PE) and records the
+  /// partition. Throws PlacementDeficitError (with required-vs-available
+  /// per resource) when the tenant does not fit, PlacementError when
+  /// `name` is already taken or `pe_slots` < 1.
+  const Partition& reserve(const std::string& name,
+                           const compiler::DatapathModule& module,
+                           arith::FormatKind format, int pe_slots);
+
+  /// Frees the partition's PE slots and channels. Throws PlacementError
+  /// for an unknown name.
+  void release(const std::string& name);
+
+  bool contains(const std::string& name) const;
+  /// Throws PlacementError for an unknown name.
+  const Partition& at(const std::string& name) const;
+  /// All partitions, sorted by name.
+  std::vector<Partition> partitions() const;
+  std::size_t size() const { return partitions_.size(); }
+
+  const PartitionBudget& budget() const { return budget_; }
+  int free_pe_slots() const;
+  int free_channels() const;
+  /// Platform infrastructure + all partitions (what is on the fabric now).
+  ResourceVector reserved() const;
+  /// The routable fabric budget (Table I "Available" x utilisation).
+  ResourceVector routable_budget() const;
+
+  /// This partition's share of a full-device bitstream — the partial
+  /// reconfiguration cost model: reprogramming one partition streams
+  /// pe_slots / total-PE-slots of the full bitstream through the ICAP.
+  double bitstream_fraction(const std::string& name) const;
+
+  /// One line per partition: name, PE slots, channels, resources.
+  std::string describe() const;
+
+ private:
+  PartitionBudget budget_;
+  std::map<std::string, Partition> partitions_;
+  std::vector<bool> channel_used_;
+};
+
+}  // namespace spnhbm::fpga

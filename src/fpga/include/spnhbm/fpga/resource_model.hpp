@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "spnhbm/compiler/datapath.hpp"
 #include "spnhbm/fpga/calibration.hpp"
@@ -32,6 +33,40 @@ struct ResourceVector {
 /// Device budgets — the "Available" row of Table I.
 ResourceVector vu37p_budget();   ///< Bittware XUP-VVH (this work)
 ResourceVector f1_vu9p_budget(); ///< AWS F1 (prior work [8])
+
+/// One over-budget resource of a failed placement: what the design needs
+/// vs what the device offers (after the routable-utilisation margin).
+/// `resource` also covers the discrete budgets ("PE slots",
+/// "HBM channels") that have no ResourceVector component.
+struct ResourceDeficit {
+  std::string resource;
+  double required = 0.0;
+  double available = 0.0;
+  double deficit() const { return required - available; }
+  /// "kLUT logic: 812.3 required vs 643.2 available (short 169.1)"
+  std::string describe() const;
+};
+
+/// The over-budget components of `required` against `budget`, one entry
+/// per Table I resource that does not fit (empty = the design places).
+std::vector<ResourceDeficit> resource_deficits(const ResourceVector& required,
+                                               const ResourceVector& budget);
+
+/// One line per deficit, '\n'-joined (empty for an empty list).
+std::string describe_deficits(const std::vector<ResourceDeficit>& deficits);
+
+/// PlacementError that carries the per-resource breakdown: every placement
+/// failure in this module reports required vs available for each
+/// over-budget resource instead of a bare "does not fit".
+class PlacementDeficitError : public PlacementError {
+ public:
+  PlacementDeficitError(const std::string& context,
+                        std::vector<ResourceDeficit> deficits);
+  const std::vector<ResourceDeficit>& deficits() const { return deficits_; }
+
+ private:
+  std::vector<ResourceDeficit> deficits_;
+};
 
 enum class Platform { kHbmXupVvh, kF1 };
 

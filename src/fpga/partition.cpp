@@ -1,0 +1,176 @@
+#include "spnhbm/fpga/partition.hpp"
+
+#include <algorithm>
+
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::fpga {
+
+namespace {
+
+/// Fabric cost of one tenant: its PEs plus the per-PE interconnect share
+/// (SmartConnect + register slices). The shell itself is shared and
+/// accounted once, in reserved().
+ResourceVector tenant_cost(const compiler::DatapathModule& module,
+                           arith::FormatKind format, int pe_slots) {
+  const auto& infra = cal::kInfraHbm;
+  ResourceVector cost =
+      estimate_pe(module, format) * static_cast<double>(pe_slots);
+  cost.kluts_logic += infra.kluts_per_pe * static_cast<double>(pe_slots);
+  cost.kregs += infra.kregs_per_pe * static_cast<double>(pe_slots);
+  return cost;
+}
+
+ResourceVector shared_infrastructure() {
+  const auto& infra = cal::kInfraHbm;
+  return ResourceVector{infra.kluts_logic, infra.kluts_mem, infra.kregs,
+                        infra.bram, infra.dsp};
+}
+
+}  // namespace
+
+PartitionTable::PartitionTable(PartitionBudget budget) : budget_(budget) {
+  SPNHBM_REQUIRE(budget_.pe_slots >= 0 && budget_.hbm_channels >= 0,
+                 "partition budget must be non-negative");
+  SPNHBM_REQUIRE(budget_.utilisation > 0.0 && budget_.utilisation <= 1.0,
+                 "utilisation must be in (0, 1]");
+  channel_used_.assign(static_cast<std::size_t>(budget_.hbm_channels), false);
+}
+
+const Partition& PartitionTable::reserve(
+    const std::string& name, const compiler::DatapathModule& module,
+    arith::FormatKind format, int pe_slots) {
+  if (pe_slots < 1) {
+    throw PlacementError("partition '" + name + "' needs at least one PE slot");
+  }
+  if (partitions_.count(name) > 0) {
+    throw PlacementError("partition '" + name + "' already exists");
+  }
+  // Discrete budgets first: PE slots and one HBM channel per PE.
+  std::vector<ResourceDeficit> deficits;
+  const int used_slots = budget_.pe_slots - free_pe_slots();
+  if (used_slots + pe_slots > budget_.pe_slots) {
+    deficits.push_back({"PE slots",
+                        static_cast<double>(used_slots + pe_slots),
+                        static_cast<double>(budget_.pe_slots)});
+  }
+  const int used_channels = budget_.hbm_channels - free_channels();
+  if (used_channels + pe_slots > budget_.hbm_channels) {
+    deficits.push_back({"HBM channels",
+                        static_cast<double>(used_channels + pe_slots),
+                        static_cast<double>(budget_.hbm_channels)});
+  }
+  // Fabric budget: shell + every resident tenant + the incoming one.
+  const ResourceVector occupied =
+      reserved() + tenant_cost(module, format, pe_slots);
+  for (auto& deficit : resource_deficits(occupied, routable_budget())) {
+    deficits.push_back(std::move(deficit));
+  }
+  if (!deficits.empty()) {
+    throw PlacementDeficitError(
+        strformat("tenant '%s' (%d PE slot(s)) does not fit next to %zu "
+                  "resident partition(s)",
+                  name.c_str(), pe_slots, partitions_.size()),
+        std::move(deficits));
+  }
+
+  Partition partition;
+  partition.name = name;
+  partition.pe_slots = pe_slots;
+  partition.resources = tenant_cost(module, format, pe_slots);
+  for (int channel = 0;
+       channel < budget_.hbm_channels &&
+       partition.hbm_channels.size() < static_cast<std::size_t>(pe_slots);
+       ++channel) {
+    if (channel_used_[static_cast<std::size_t>(channel)]) continue;
+    channel_used_[static_cast<std::size_t>(channel)] = true;
+    partition.hbm_channels.push_back(channel);
+  }
+  return partitions_.emplace(name, std::move(partition)).first->second;
+}
+
+void PartitionTable::release(const std::string& name) {
+  auto it = partitions_.find(name);
+  if (it == partitions_.end()) {
+    throw PlacementError("unknown partition: " + name);
+  }
+  for (const int channel : it->second.hbm_channels) {
+    channel_used_[static_cast<std::size_t>(channel)] = false;
+  }
+  partitions_.erase(it);
+}
+
+bool PartitionTable::contains(const std::string& name) const {
+  return partitions_.count(name) > 0;
+}
+
+const Partition& PartitionTable::at(const std::string& name) const {
+  auto it = partitions_.find(name);
+  if (it == partitions_.end()) {
+    throw PlacementError("unknown partition: " + name);
+  }
+  return it->second;
+}
+
+std::vector<Partition> PartitionTable::partitions() const {
+  std::vector<Partition> all;
+  all.reserve(partitions_.size());
+  for (const auto& [name, partition] : partitions_) {
+    (void)name;
+    all.push_back(partition);  // map order: sorted by name
+  }
+  return all;
+}
+
+int PartitionTable::free_pe_slots() const {
+  int used = 0;
+  for (const auto& [name, partition] : partitions_) {
+    (void)name;
+    used += partition.pe_slots;
+  }
+  return budget_.pe_slots - used;
+}
+
+int PartitionTable::free_channels() const {
+  return budget_.hbm_channels -
+         static_cast<int>(std::count(channel_used_.begin(),
+                                     channel_used_.end(), true));
+}
+
+ResourceVector PartitionTable::reserved() const {
+  ResourceVector total = shared_infrastructure();
+  for (const auto& [name, partition] : partitions_) {
+    (void)name;
+    total += partition.resources;
+  }
+  return total;
+}
+
+ResourceVector PartitionTable::routable_budget() const {
+  return vu37p_budget() * budget_.utilisation;
+}
+
+double PartitionTable::bitstream_fraction(const std::string& name) const {
+  const Partition& partition = at(name);
+  return static_cast<double>(partition.pe_slots) /
+         static_cast<double>(budget_.pe_slots);
+}
+
+std::string PartitionTable::describe() const {
+  std::string text = strformat(
+      "%zu partition(s), %d/%d PE slots free, %d/%d channels free",
+      partitions_.size(), free_pe_slots(), budget_.pe_slots, free_channels(),
+      budget_.hbm_channels);
+  for (const auto& [name, partition] : partitions_) {
+    std::string channels;
+    for (const int channel : partition.hbm_channels) {
+      channels += (channels.empty() ? "" : ",") + std::to_string(channel);
+    }
+    text += strformat("\n  %s: %d PE(s) on channel(s) %s — %s", name.c_str(),
+                      partition.pe_slots, channels.c_str(),
+                      partition.resources.describe().c_str());
+  }
+  return text;
+}
+
+}  // namespace spnhbm::fpga

@@ -38,6 +38,52 @@ std::string ResourceVector::describe() const {
       kluts_logic, kluts_mem, kregs, bram36, dsp);
 }
 
+std::string ResourceDeficit::describe() const {
+  return strformat("%s: %.1f required vs %.1f available (short %.1f)",
+                   resource.c_str(), required, available, deficit());
+}
+
+std::vector<ResourceDeficit> resource_deficits(const ResourceVector& required,
+                                               const ResourceVector& budget) {
+  std::vector<ResourceDeficit> deficits;
+  const auto check = [&](const char* name, double need, double have) {
+    if (need > have) deficits.push_back({name, need, have});
+  };
+  check("kLUT logic", required.kluts_logic, budget.kluts_logic);
+  check("kLUT mem", required.kluts_mem, budget.kluts_mem);
+  check("kRegs", required.kregs, budget.kregs);
+  check("BRAM36", required.bram36, budget.bram36);
+  check("DSP48", required.dsp, budget.dsp);
+  return deficits;
+}
+
+std::string describe_deficits(const std::vector<ResourceDeficit>& deficits) {
+  std::string text;
+  for (const auto& deficit : deficits) {
+    if (!text.empty()) text += "\n";
+    text += deficit.describe();
+  }
+  return text;
+}
+
+namespace {
+
+std::string deficit_message(const std::string& context,
+                            const std::vector<ResourceDeficit>& deficits) {
+  std::string message = context;
+  for (const auto& deficit : deficits) {
+    message += "\n  " + deficit.describe();
+  }
+  return message;
+}
+
+}  // namespace
+
+PlacementDeficitError::PlacementDeficitError(
+    const std::string& context, std::vector<ResourceDeficit> deficits)
+    : PlacementError(deficit_message(context, deficits)),
+      deficits_(std::move(deficits)) {}
+
 ResourceVector vu37p_budget() {
   // "Available" row of Table I (New columns).
   return ResourceVector{1304.0, 601.0, 2607.0, 2016.0, 9024.0};
@@ -132,20 +178,19 @@ void check_placement(const compiler::DatapathModule& module,
       (spec.platform == Platform::kF1 ? f1_vu9p_budget() : vu37p_budget()) *
       cal::kRoutableUtilisation;
   const ResourceVector design = estimate_design(module, format, spec);
-  if (!design.fits_within(budget)) {
-    throw PlacementError(strformat(
-        "%d PE(s) need %s but only %s is routable on this device",
-        spec.pe_count, design.describe().c_str(), budget.describe().c_str()));
-  }
+  auto deficits = resource_deficits(design, budget);
   if (spec.platform == Platform::kHbmXupVvh) {
     SPNHBM_REQUIRE(spec.pe_count <= 32,
                    "HBM platform has 32 channels (one per PE)");
     if (spec.pe_count > cal::kMaxRoutablePes) {
-      throw PlacementError(strformat(
-          "%d PEs exceed the routable replication limit of %d on the "
-          "XUP-VVH composition",
-          spec.pe_count, cal::kMaxRoutablePes));
+      deficits.push_back({"PE slots", static_cast<double>(spec.pe_count),
+                          static_cast<double>(cal::kMaxRoutablePes)});
     }
+  }
+  if (!deficits.empty()) {
+    throw PlacementDeficitError(
+        strformat("%d PE(s) do not place on this device", spec.pe_count),
+        std::move(deficits));
   }
 }
 

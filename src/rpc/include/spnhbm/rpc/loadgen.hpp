@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,17 @@ enum class ArrivalProcess : std::uint8_t {
 ArrivalProcess parse_arrival_process(const std::string& name);
 const char* to_string(ArrivalProcess process);
 
+/// One model's share of a mixed-model load.
+struct ModelTraffic {
+  /// Model reference sent on the wire (empty = the server's default).
+  std::string model;
+  /// Relative share of the request stream; must be positive.
+  double weight = 1.0;
+  /// Request payloads for this model, cycled round-robin over its
+  /// requests. Must be non-empty, each a multiple of the model's width.
+  std::vector<std::vector<std::uint8_t>> payloads;
+};
+
 struct LoadgenConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
@@ -45,6 +57,10 @@ struct LoadgenConfig {
   /// Request payloads, cycled round-robin across the run. Must be
   /// non-empty and each payload a multiple of the model's input width.
   std::vector<std::vector<std::uint8_t>> payloads;
+  /// Mixed-model traffic (the fleet-serving path): when non-empty,
+  /// `model`/`payloads` above are ignored and every request draws its
+  /// model from this weighted mix, deterministically in `seed`.
+  std::vector<ModelTraffic> traffic;
   std::size_t request_count = 100;
   /// Mean offered rate in requests/second.
   double rate_rps = 1000.0;
@@ -70,6 +86,9 @@ struct LoadgenReport {
   /// The rate the schedule asked for vs. OK responses per wall second.
   double offered_rps = 0.0;
   double achieved_rps = 0.0;
+  /// Requests sent per model reference (single-model runs have one
+  /// entry); sums to `sent`.
+  std::map<std::string, std::uint64_t> sent_by_model;
   /// Wall-clock latency of OK responses, send -> callback, microseconds.
   telemetry::HistogramSnapshot latency_us;
 
@@ -83,6 +102,11 @@ struct LoadgenReport {
 /// Arrival offsets from run start, in microseconds, sorted ascending.
 /// Deterministic in (seed, arrival, rate_rps, burst_size, request_count).
 std::vector<std::uint64_t> make_schedule(const LoadgenConfig& config);
+
+/// Traffic-mix index (into config.traffic) per request, drawn from the
+/// weighted mix on an independent deterministic stream of `seed`. Empty
+/// when config.traffic is empty (single-model run).
+std::vector<std::size_t> make_model_picks(const LoadgenConfig& config);
 
 /// Connects, replays the schedule, waits for every response. Throws
 /// RpcError when the initial connections cannot be established.

@@ -2,7 +2,8 @@
 //
 // Accepts up to `max_connections` concurrent clients on a loopback
 // listener and bridges wire-protocol frames into an existing (already
-// started) engine::InferenceServer. Per connection the server runs
+// started) engine::InferenceService — a local InferenceServer or a
+// fleet router spanning several devices. Per connection the server runs
 //
 //   * a reader thread — parses frames, runs admission control and
 //     submits accepted requests (always via the non-blocking
@@ -42,7 +43,7 @@
 #include <thread>
 #include <vector>
 
-#include "spnhbm/engine/server.hpp"
+#include "spnhbm/engine/service.hpp"
 #include "spnhbm/rpc/admission.hpp"
 #include "spnhbm/rpc/socket.hpp"
 #include "spnhbm/rpc/wire.hpp"
@@ -108,11 +109,13 @@ struct RpcServerStats {
 
 class RpcServer {
  public:
-  /// `server` must outlive the RpcServer and must already be start()ed
-  /// (or be started before the first client connects). Binds the listener
-  /// right here — throws RpcError when the port is taken — so port() is
-  /// valid immediately; no client is accepted before start().
-  RpcServer(engine::InferenceServer& server, RpcServerConfig config = {});
+  /// `server` is any InferenceService — a local InferenceServer or a
+  /// fleet::FleetRouter spanning several devices. It must outlive the
+  /// RpcServer and must already be start()ed (or be started before the
+  /// first client connects). Binds the listener right here — throws
+  /// RpcError when the port is taken — so port() is valid immediately;
+  /// no client is accepted before start().
+  RpcServer(engine::InferenceService& server, RpcServerConfig config = {});
   ~RpcServer();
 
   RpcServer(const RpcServer&) = delete;
@@ -171,7 +174,7 @@ class RpcServer {
   void enqueue(Connection& connection, Outgoing outgoing);
   HelloFrame make_hello() const;
 
-  engine::InferenceServer& server_;
+  engine::InferenceService& server_;
   RpcServerConfig config_;
   TokenBucket bucket_;
   Listener listener_;

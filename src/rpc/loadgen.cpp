@@ -79,8 +79,43 @@ std::vector<std::uint64_t> make_schedule(const LoadgenConfig& config) {
   return offsets;
 }
 
+std::vector<std::size_t> make_model_picks(const LoadgenConfig& config) {
+  if (config.traffic.empty()) return {};
+  double total_weight = 0.0;
+  for (const auto& traffic : config.traffic) {
+    SPNHBM_REQUIRE(traffic.weight > 0.0, "traffic weights must be positive");
+    total_weight += traffic.weight;
+  }
+  // An independent stream from the arrival schedule's, so adding a model
+  // to the mix never perturbs the arrival instants.
+  Rng rng(config.seed ^ 0x6d6f64656c6dULL);
+  std::vector<std::size_t> picks;
+  picks.reserve(config.request_count);
+  for (std::size_t i = 0; i < config.request_count; ++i) {
+    double draw = rng.next_double() * total_weight;
+    std::size_t pick = config.traffic.size() - 1;
+    for (std::size_t t = 0; t < config.traffic.size(); ++t) {
+      draw -= config.traffic[t].weight;
+      if (draw < 0.0) {
+        pick = t;
+        break;
+      }
+    }
+    picks.push_back(pick);
+  }
+  return picks;
+}
+
 LoadgenReport run_loadgen(const LoadgenConfig& config) {
-  SPNHBM_REQUIRE(!config.payloads.empty(), "loadgen needs at least one payload");
+  if (config.traffic.empty()) {
+    SPNHBM_REQUIRE(!config.payloads.empty(),
+                   "loadgen needs at least one payload");
+  } else {
+    for (const auto& traffic : config.traffic) {
+      SPNHBM_REQUIRE(!traffic.payloads.empty(),
+                     "every traffic entry needs at least one payload");
+    }
+  }
   SPNHBM_REQUIRE(config.connections > 0, "loadgen needs at least one connection");
 
   std::vector<std::unique_ptr<RpcClient>> clients;
@@ -90,6 +125,11 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   }
 
   const std::vector<std::uint64_t> schedule = make_schedule(config);
+  const std::vector<std::size_t> picks = make_model_picks(config);
+  // Per-model payload cursors, so each model cycles its own payloads no
+  // matter how the mix interleaves.
+  std::vector<std::size_t> payload_cursor(config.traffic.size(), 0);
+  std::map<std::string, std::uint64_t> sent_by_model;
 
   // Shared completion state; callbacks run on the clients' reader threads.
   auto latency = std::make_shared<telemetry::Histogram>(
@@ -108,6 +148,17 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     // is doing, then fire. A late wakeup just fires immediately.
     std::this_thread::sleep_until(start + std::chrono::microseconds(schedule[i]));
     RpcClient& client = *clients[i % clients.size()];
+    const std::string* model;
+    const std::vector<std::uint8_t>* payload;
+    if (picks.empty()) {
+      model = &config.model;
+      payload = &config.payloads[i % config.payloads.size()];
+    } else {
+      const ModelTraffic& traffic = config.traffic[picks[i]];
+      model = &traffic.model;
+      payload = &traffic.payloads[payload_cursor[picks[i]]++ %
+                                  traffic.payloads.size()];
+    }
     const Clock::time_point fired = Clock::now();
     const auto on_response = [&, fired](Status status,
                                         const std::vector<double>&,
@@ -128,13 +179,15 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
         std::lock_guard<std::mutex> lock(mutex);
         ++outstanding;
       }
-      client.submit_with_callback(config.model, config.payloads[i % config.payloads.size()],
-                                  config.deadline_us, on_response);
+      client.submit_with_callback(*model, *payload, config.deadline_us,
+                                  on_response);
       ++sent;
+      ++sent_by_model[*model];
     } catch (const Error&) {
       // The connection died under us; the request never left, but it must
       // still land in exactly one accounting bucket.
       ++sent;
+      ++sent_by_model[*model];
       std::lock_guard<std::mutex> lock(mutex);
       ++by_status[static_cast<std::size_t>(Status::kInternalError)];
       --outstanding;
@@ -164,6 +217,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     report.by_status = by_status;
   }
   report.wall_seconds = wall;
+  report.sent_by_model = std::move(sent_by_model);
   report.offered_rps = config.rate_rps;
   report.achieved_rps =
       wall > 0.0 ? static_cast<double>(report.ok()) / wall : 0.0;
@@ -195,6 +249,13 @@ std::string LoadgenReport::describe() const {
                    static_cast<unsigned long long>(retryable()), wall_seconds);
   out += strformat("  offered %.1f req/s, achieved %.1f req/s (ok only)\n",
                    offered_rps, achieved_rps);
+  if (sent_by_model.size() > 1) {
+    for (const auto& [model, count] : sent_by_model) {
+      out += strformat("  model %-24s %llu requests\n",
+                       (model.empty() ? "<default>" : model.c_str()),
+                       static_cast<unsigned long long>(count));
+    }
+  }
   for (std::size_t i = 0; i < by_status.size(); ++i) {
     if (by_status[i] == 0) continue;
     out += strformat("  status %-17s %llu\n",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "spnhbm/engine/server.hpp"
 #include "spnhbm/util/log.hpp"
 #include "spnhbm/util/strings.hpp"
 
@@ -44,7 +45,7 @@ std::string RpcServerStats::describe() const {
   return text;
 }
 
-RpcServer::RpcServer(engine::InferenceServer& server, RpcServerConfig config)
+RpcServer::RpcServer(engine::InferenceService& server, RpcServerConfig config)
     : server_(server),
       config_(std::move(config)),
       bucket_(config_.admission.rate_limit_rps,

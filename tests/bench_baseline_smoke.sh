@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Perf-trajectory smoke: the fig2/fig6 report generators must reproduce
+# the committed bench/baselines/ records on this machine (the simulated
+# numbers are deterministic), and bench_compare must actually catch a
+# planted regression in --strict mode.
+#
+# Usage: bench_baseline_smoke.sh <bench-dir> <bench-compare> \
+#                                <baselines-dir> <work-dir>
+set -euo pipefail
+
+BENCH_DIR=$1
+COMPARE=$2
+BASELINES=$3
+WORK=$4
+
+mkdir -p "$WORK"
+
+SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/fig2_hbm_channel" > /dev/null
+SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/fig6_end_to_end" > /dev/null
+
+# Fresh runs vs committed baselines: strict is safe here because every
+# compared field is simulated (the host-dependent CPU reference in fig6
+# is ignored).
+"$COMPARE" "$BASELINES/BENCH_fig2_hbm_channel.json" \
+  "$WORK/BENCH_fig2_hbm_channel.json" --strict
+"$COMPARE" "$BASELINES/BENCH_fig6_end_to_end.json" \
+  "$WORK/BENCH_fig6_end_to_end.json" --strict \
+  --ignore native_cpu_samples_per_s
+echo "fresh runs reproduce the committed baselines"
+
+# A planted 50% throughput drop must warn by default and fail --strict.
+cat > "$WORK/planted.json" <<'EOF'
+{"bench":"planted","records":[{"series":"a","x_samples_per_s":100.0}]}
+EOF
+cat > "$WORK/planted_regressed.json" <<'EOF'
+{"bench":"planted","records":[{"series":"a","x_samples_per_s":50.0}]}
+EOF
+OUT=$("$COMPARE" "$WORK/planted.json" "$WORK/planted_regressed.json")
+echo "$OUT" | grep -q "REGRESSION"
+echo "$OUT" | grep -q "1 regression"
+if "$COMPARE" "$WORK/planted.json" "$WORK/planted_regressed.json" \
+    --strict > /dev/null; then
+  echo "bench_compare --strict missed a planted regression"; exit 1
+fi
+echo "bench_compare catches planted regressions"
+echo "bench baseline smoke: OK"

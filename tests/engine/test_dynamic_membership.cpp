@@ -1,0 +1,209 @@
+// Dynamic engine membership: engines join a *running* InferenceServer
+// (register_engine spawns the worker on the spot) and leave it again
+// (retire_engine drains, joins and hands the engine back) — the server
+// half of spatial multi-tenancy, where a fleet adds and evicts device
+// tenants while everything keeps serving.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mock_engine.hpp"
+#include "spnhbm/engine/fpga_device.hpp"
+#include "spnhbm/engine/server.hpp"
+#include "spnhbm/model/artifact.hpp"
+#include "spnhbm/spn/random_spn.hpp"
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm {
+namespace {
+
+using engine_test::expect_encoded;
+using engine_test::kFeatures;
+using engine_test::make_request;
+using engine_test::MockEngine;
+
+model::ModelHandle random_artifact(std::string name, std::size_t variables,
+                                   std::uint64_t seed) {
+  spn::RandomSpnConfig config;
+  config.variables = variables;
+  config.seed = seed;
+  return model::ModelArtifact::compile(std::move(name), "1",
+                                       spn::make_random_spn(config),
+                                       arith::make_float64_backend());
+}
+
+engine::ServerConfig quick_config() {
+  engine::ServerConfig config;
+  config.batch_samples = 8;
+  config.max_latency = std::chrono::microseconds(200);
+  return config;
+}
+
+TEST(DynamicMembership, RegisterEngineWhileRunningOpensItsModelLane) {
+  engine::InferenceServer server(quick_config());
+  server.register_engine(std::make_shared<MockEngine>(), 0, "dev0/p0");
+  server.start();
+
+  std::vector<std::vector<std::uint8_t>> requests;
+  std::vector<std::future<std::vector<double>>> futures;
+  requests.push_back(make_request(3, 10));
+  futures.push_back(server.submit("mock", requests.back()));
+
+  // A second model joins mid-flight; its lane must serve immediately.
+  auto other = std::make_shared<MockEngine>();
+  other->activate(random_artifact("other", kFeatures, 99));
+  const std::size_t index = server.register_engine(other, 0, "dev0/p1");
+  EXPECT_EQ(index, 1u);
+  EXPECT_EQ(server.engine_device(1), "dev0/p1");
+  EXPECT_EQ(server.served_models(),
+            (std::vector<std::string>{"mock@1", "other@1"}));
+
+  for (std::size_t r = 0; r < 6; ++r) {
+    requests.push_back(make_request(2, static_cast<std::uint8_t>(40 + 8 * r)));
+    futures.push_back(
+        server.submit(r % 2 == 0 ? "other" : "mock", requests.back()));
+  }
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    expect_encoded(requests[r], futures[r].get());
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().failed_requests, 0u);
+}
+
+TEST(DynamicMembership, RetireEngineDrainsAndHandsTheEngineBack) {
+  engine::InferenceServer server(quick_config());
+  auto first = std::make_shared<MockEngine>();
+  auto second = std::make_shared<MockEngine>();
+  server.register_engine(first, 0, "dev0/p0");
+  server.register_engine(second, 0, "dev0/p1");
+  server.start();
+
+  std::vector<std::vector<std::uint8_t>> requests;
+  std::vector<std::future<std::vector<double>>> futures;
+  for (std::size_t r = 0; r < 10; ++r) {
+    requests.push_back(make_request(2, static_cast<std::uint8_t>(r * 16)));
+    futures.push_back(server.submit("mock", requests.back()));
+  }
+
+  auto retired = server.retire_engine(0);
+  EXPECT_EQ(retired.get(), first.get());
+  EXPECT_TRUE(server.engine_retired(0));
+  EXPECT_FALSE(server.engine_retired(1));
+  EXPECT_EQ(server.engine_count(), 2u);  // indices stay stable
+  EXPECT_THROW(server.engine(0), RuntimeApiError);
+
+  // The survivor keeps the lane alive; nothing was dropped.
+  for (std::size_t r = 0; r < 5; ++r) {
+    requests.push_back(make_request(2, static_cast<std::uint8_t>(100 + r * 8)));
+    futures.push_back(server.submit("mock", requests.back()));
+  }
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    expect_encoded(requests[r], futures[r].get());
+  }
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_EQ(stats.requests, 15u);
+  // Every sample the fleet accepted was served by one of the two engines.
+  EXPECT_EQ(first->stats().samples + second->stats().samples, 30u);
+}
+
+TEST(DynamicMembership, RetiringTheLastEngineOfAModelClosesItsLane) {
+  engine::InferenceServer server(quick_config());
+  auto mock = std::make_shared<MockEngine>();
+  auto other = std::make_shared<MockEngine>();
+  other->activate(random_artifact("other", kFeatures, 99));
+  server.register_engine(mock);
+  const std::size_t other_index = server.register_engine(other);
+  server.start();
+
+  server.retire_engine(other_index);
+  // The lane is gone: new submits fail fast, the surviving model serves.
+  EXPECT_THROW(server.submit("other", make_request(1, 0)), RuntimeApiError);
+  auto request = make_request(2, 50);
+  auto future = server.submit("mock", request);
+  expect_encoded(request, future.get());
+  server.stop();
+}
+
+TEST(DynamicMembership, RetireValidatesItsArguments) {
+  engine::InferenceServer server(quick_config());
+  server.register_engine(std::make_shared<MockEngine>());
+  server.register_engine(std::make_shared<MockEngine>());
+  server.start();
+  EXPECT_THROW(server.retire_engine(9), RuntimeApiError);
+  server.retire_engine(1);
+  EXPECT_THROW(server.retire_engine(1), RuntimeApiError);  // already retired
+  EXPECT_THROW(server.engine_device(9), RuntimeApiError);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// The full multi-tenant serving path: one simulated device, several
+// partitions, one server worker per tenant — contention is per-partition.
+
+TEST(DynamicMembership, ServerDrivesCoResidentTenantsOfOneDevice) {
+  auto nips10 = model::ModelArtifact::compile(
+      "NIPS10", "1", workload::make_nips_model(10).spn,
+      arith::make_float64_backend());
+  auto nips20 = model::ModelArtifact::compile(
+      "NIPS20", "1", workload::make_nips_model(20).spn,
+      arith::make_float64_backend());
+
+  engine::FpgaSimDevice device;
+  device.add_tenant("p0", nips10, 1);
+  device.add_tenant("p1", nips20, 1);
+
+  engine::InferenceServer server(quick_config());
+  server.register_engine(device.tenant_engine("p0"), 0, "fpga0/p0");
+  server.register_engine(device.tenant_engine("p1"), 0, "fpga0/p1");
+  server.start();
+
+  Rng rng(17);
+  auto rows = [&](std::size_t count, std::size_t features) {
+    std::vector<std::uint8_t> samples(count * features);
+    for (auto& byte : samples) {
+      byte = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    return samples;
+  };
+  std::vector<std::future<std::vector<double>>> futures;
+  std::vector<std::pair<model::ModelHandle, std::vector<std::uint8_t>>> sent;
+  for (std::size_t r = 0; r < 12; ++r) {
+    const auto& artifact = r % 2 == 0 ? nips10 : nips20;
+    auto samples = rows(2, artifact->input_features());
+    futures.push_back(server.submit(artifact->id(), samples));
+    sent.emplace_back(artifact, std::move(samples));
+  }
+  for (std::size_t r = 0; r < sent.size(); ++r) {
+    const auto& [artifact, samples] = sent[r];
+    const auto results = futures[r].get();
+    const std::size_t features = artifact->input_features();
+    ASSERT_EQ(results.size(), samples.size() / features);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const double want = artifact->module().evaluate(
+          artifact->backend(),
+          std::span<const std::uint8_t>(samples).subspan(i * features,
+                                                         features));
+      EXPECT_DOUBLE_EQ(results[i], want);
+    }
+  }
+
+  // Retire tenant p1's engine, then evict the tenant: p0 serves on.
+  server.retire_engine(1);
+  device.evict_tenant("p1");
+  auto samples = rows(3, 10);
+  auto future = server.submit("NIPS10", samples);
+  EXPECT_EQ(future.get().size(), 3u);
+  server.stop();
+  EXPECT_EQ(server.stats().failed_requests, 0u);
+  EXPECT_EQ(device.tenant_count(), 1u);
+}
+
+}  // namespace
+}  // namespace spnhbm

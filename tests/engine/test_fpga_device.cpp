@@ -1,0 +1,190 @@
+// Spatial multi-tenancy on one simulated card: a FpgaSimDevice co-hosts
+// several models in disjoint partitions, adds/evicts tenants by partial
+// reconfiguration of only the affected partition, and reports structured
+// per-resource deficits when a tenant does not fit.
+#include "spnhbm/engine/fpga_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spnhbm/fpga/calibration.hpp"
+#include "spnhbm/model/artifact.hpp"
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm {
+namespace {
+
+model::ModelHandle nips_artifact(std::size_t variables,
+                                 std::string version = "1") {
+  auto model = workload::make_nips_model(variables);
+  return model::ModelArtifact::compile(model.name, std::move(version),
+                                       std::move(model.spn),
+                                       arith::make_float64_backend());
+}
+
+std::vector<std::uint8_t> random_rows(Rng& rng, std::size_t rows,
+                                      std::size_t features) {
+  std::vector<std::uint8_t> samples(rows * features);
+  for (auto& byte : samples) {
+    byte = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return samples;
+}
+
+/// Virtual seconds to stream the whole HBM-platform bitstream.
+double full_program_seconds() {
+  return fpga::cal::kBitstreamBytesHbm / fpga::cal::kIcapBytesPerSecond;
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance headline: one VU37P co-hosts four NIPS80 models in
+// disjoint partitions, and every tenant's results are byte-identical to
+// the classic single-tenant engine serving the same model alone.
+
+TEST(FpgaSimDevice, CoHostsFourNips80TenantsByteIdenticalToSingleTenant) {
+  engine::FpgaSimDevice device;
+  std::vector<model::ModelHandle> models;
+  for (int i = 0; i < 4; ++i) {
+    models.push_back(nips_artifact(80, std::to_string(i + 1)));
+    device.add_tenant("p" + std::to_string(i), models.back(), 1);
+  }
+  EXPECT_EQ(device.tenant_count(), 4u);
+  EXPECT_EQ(device.free_pe_slots(), fpga::cal::kMaxRoutablePes - 4);
+  EXPECT_EQ(device.free_channels(), 32 - 4);
+
+  Rng rng(11);
+  for (int i = 0; i < 4; ++i) {
+    auto& tenant = device.tenant("p" + std::to_string(i));
+    EXPECT_EQ(tenant.loaded_model()->id(), models[i]->id());
+    const auto samples = random_rows(rng, 6, 80);
+
+    // The single-tenant path: one whole-device engine, same model, same
+    // PE count. Results must match bit for bit.
+    engine::FpgaEngineConfig single;
+    single.pe_count = 1;
+    engine::FpgaSimEngine reference(models[i], single);
+    const auto got = tenant.infer(samples);
+    const auto want = reference.infer(samples);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      EXPECT_EQ(got[s], want[s]) << "tenant " << i << " sample " << s;
+    }
+  }
+
+  // Partition identity is visible in the tenant's capabilities.
+  EXPECT_NE(device.tenant("p0").capabilities().name.find("fpga0/p0"),
+            std::string::npos);
+  EXPECT_EQ(device.tenant_partitions(),
+            (std::vector<std::string>{"p0", "p1", "p2", "p3"}));
+}
+
+// ---------------------------------------------------------------------------
+// Partial reconfiguration: adding a tenant charges only its partition's
+// bitstream share, not the whole device's.
+
+TEST(FpgaSimDevice, AddTenantChargesPartialBitstreamOnly) {
+  engine::FpgaSimDevice device;
+  auto& tenant = device.add_tenant("one", nips_artifact(20), 1);
+
+  const auto stats = tenant.stats();
+  EXPECT_EQ(stats.reconfigurations, 1u);
+  // 1 of 8 PE slots: the ICAP charge is 1/8 of the full bitstream plus
+  // table staging — far below a whole-device reprogram.
+  EXPECT_GT(stats.reconfiguration_seconds,
+            full_program_seconds() / fpga::cal::kMaxRoutablePes);
+  EXPECT_LT(stats.reconfiguration_seconds, full_program_seconds());
+  // The charge is on the tenant's virtual timeline, not just a counter.
+  EXPECT_GT(tenant.virtual_now(), 0);
+  EXPECT_DOUBLE_EQ(device.stats().reconfiguration_seconds,
+                   stats.reconfiguration_seconds);
+}
+
+TEST(FpgaSimDevice, OtherTenantsServeThroughAddAndEvict) {
+  engine::FpgaSimDevice device;
+  const auto nips10 = nips_artifact(10);
+  const auto nips20 = nips_artifact(20);
+  const auto nips40 = nips_artifact(40);
+  auto& a = device.add_tenant("a", nips10, 2);
+  device.add_tenant("b", nips20, 1);
+
+  Rng rng(3);
+  const auto samples = random_rows(rng, 5, 10);
+  const auto before = a.infer(samples);
+
+  // Adding and evicting other tenants must not touch partition "a":
+  // same engine, same virtual device state, identical results.
+  device.add_tenant("c", nips40, 2);
+  const auto during = a.infer(samples);
+  device.evict_tenant("b");
+  const auto after = a.infer(samples);
+  for (std::size_t s = 0; s < before.size(); ++s) {
+    EXPECT_EQ(before[s], during[s]);
+    EXPECT_EQ(before[s], after[s]);
+  }
+  // "a" was never reconfigured again — only its initial program shows.
+  EXPECT_EQ(a.stats().reconfigurations, 1u);
+
+  EXPECT_FALSE(device.has_tenant("b"));
+  EXPECT_TRUE(device.has_tenant("a"));
+  const auto stats = device.stats();
+  EXPECT_EQ(stats.tenants_added, 3u);
+  EXPECT_EQ(stats.tenants_evicted, 1u);
+  // Evicting "b" freed its PE slot and channel for the next tenant.
+  device.add_tenant("d", nips20, 1);
+  EXPECT_EQ(device.tenant_count(), 3u);
+}
+
+TEST(FpgaSimDevice, EvictionChargesTheBlankingBitstream) {
+  engine::FpgaSimDevice device;
+  device.add_tenant("t", nips_artifact(10), 2);
+  const double after_add = device.stats().reconfiguration_seconds;
+  device.evict_tenant("t");
+  // Blanking streams the partition's share of the bitstream (2 of 8
+  // slots), without the table staging the add charged on top.
+  const double blanking =
+      device.stats().reconfiguration_seconds - after_add;
+  EXPECT_DOUBLE_EQ(blanking, full_program_seconds() * 2.0 /
+                                 fpga::cal::kMaxRoutablePes);
+}
+
+// ---------------------------------------------------------------------------
+// Admission failures are structured and leave the device untouched.
+
+TEST(FpgaSimDevice, OversubscribedDeviceReportsPeSlotDeficit) {
+  engine::FpgaSimDevice device;
+  const auto model = nips_artifact(10);
+  for (int i = 0; i < 4; ++i) {
+    device.add_tenant("p" + std::to_string(i), model, 2);
+  }
+  EXPECT_EQ(device.free_pe_slots(), 0);
+  try {
+    device.add_tenant("over", model, 1);
+    FAIL() << "expected PlacementDeficitError";
+  } catch (const fpga::PlacementDeficitError& e) {
+    ASSERT_FALSE(e.deficits().empty());
+    EXPECT_EQ(e.deficits().front().resource, "PE slots");
+    EXPECT_DOUBLE_EQ(e.deficits().front().deficit(), 1.0);
+  }
+  // The failed add must not leak a partition or an engine.
+  EXPECT_EQ(device.tenant_count(), 4u);
+  EXPECT_FALSE(device.has_tenant("over"));
+  EXPECT_EQ(device.stats().tenants_added, 4u);
+}
+
+TEST(FpgaSimDevice, UnknownPartitionAndDuplicateNamesThrow) {
+  engine::FpgaSimDevice device;
+  device.add_tenant("p0", nips_artifact(10), 1);
+  EXPECT_THROW(device.tenant("nope"), PlacementError);
+  EXPECT_THROW(device.evict_tenant("nope"), PlacementError);
+  EXPECT_THROW(device.add_tenant("p0", nips_artifact(20), 1),
+               PlacementError);
+  EXPECT_EQ(device.tenant_count(), 1u);
+  EXPECT_NE(device.describe().find("p0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spnhbm

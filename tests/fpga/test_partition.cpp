@@ -1,0 +1,195 @@
+#include "spnhbm/fpga/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spnhbm/workload/model_zoo.hpp"
+
+namespace spnhbm::fpga {
+namespace {
+
+compiler::DatapathModule compile_nips(std::size_t variables) {
+  const auto model = workload::make_nips_model(variables);
+  const auto backend = arith::make_cfp_backend(arith::paper_cfp_format());
+  return compiler::compile_spn(model.spn, *backend);
+}
+
+TEST(ResourceDeficits, ReportRequiredVsAvailablePerResource) {
+  const ResourceVector required{100, 10, 300, 50, 40};
+  const ResourceVector budget{80, 20, 300, 10, 50};
+  const auto deficits = resource_deficits(required, budget);
+  ASSERT_EQ(deficits.size(), 2u);
+  EXPECT_EQ(deficits[0].resource, "kLUT logic");
+  EXPECT_DOUBLE_EQ(deficits[0].required, 100);
+  EXPECT_DOUBLE_EQ(deficits[0].available, 80);
+  EXPECT_DOUBLE_EQ(deficits[0].deficit(), 20);
+  EXPECT_EQ(deficits[1].resource, "BRAM36");
+  EXPECT_NE(deficits[0].describe().find("required vs"), std::string::npos);
+}
+
+TEST(ResourceDeficits, FittingDesignHasNone) {
+  const ResourceVector fits{1, 2, 3, 4, 5};
+  const ResourceVector budget{10, 10, 10, 10, 10};
+  EXPECT_TRUE(resource_deficits(fits, budget).empty());
+}
+
+TEST(CheckPlacement, FailureCarriesStructuredDeficits) {
+  const auto module = compile_nips(10);
+  DesignSpec spec;
+  spec.pe_count = cal::kMaxRoutablePes + 4;  // beyond the replication limit
+  try {
+    check_placement(module, arith::FormatKind::kCfp, spec);
+    FAIL() << "expected PlacementDeficitError";
+  } catch (const PlacementDeficitError& e) {
+    ASSERT_FALSE(e.deficits().empty());
+    bool saw_pe_slots = false;
+    for (const auto& deficit : e.deficits()) {
+      if (deficit.resource == "PE slots") {
+        saw_pe_slots = true;
+        EXPECT_DOUBLE_EQ(deficit.required, spec.pe_count);
+        EXPECT_DOUBLE_EQ(deficit.available, cal::kMaxRoutablePes);
+      }
+    }
+    EXPECT_TRUE(saw_pe_slots);
+    EXPECT_NE(std::string(e.what()).find("PE slots"), std::string::npos);
+  }
+}
+
+TEST(PartitionTable, ReservesDisjointChannelsAndSlots) {
+  const auto module = compile_nips(10);
+  PartitionTable table;
+  const auto& a = table.reserve("a", module, arith::FormatKind::kCfp, 2);
+  const auto& b = table.reserve("b", module, arith::FormatKind::kCfp, 3);
+  EXPECT_EQ(a.pe_slots, 2);
+  ASSERT_EQ(a.hbm_channels.size(), 2u);
+  ASSERT_EQ(b.hbm_channels.size(), 3u);
+  // Lowest free channels, disjoint between partitions.
+  EXPECT_EQ(a.hbm_channels, (std::vector<int>{0, 1}));
+  EXPECT_EQ(b.hbm_channels, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(table.free_pe_slots(), cal::kMaxRoutablePes - 5);
+  EXPECT_EQ(table.free_channels(), 32 - 5);
+  EXPECT_TRUE(table.contains("a"));
+  EXPECT_FALSE(table.contains("c"));
+}
+
+TEST(PartitionTable, ReleaseFreesAndChannelsAreReassigned) {
+  const auto module = compile_nips(10);
+  PartitionTable table;
+  table.reserve("a", module, arith::FormatKind::kCfp, 2);
+  table.reserve("b", module, arith::FormatKind::kCfp, 2);
+  table.release("a");
+  EXPECT_FALSE(table.contains("a"));
+  // The freed low channels go to the next tenant.
+  const auto& c = table.reserve("c", module, arith::FormatKind::kCfp, 2);
+  EXPECT_EQ(c.hbm_channels, (std::vector<int>{0, 1}));
+  EXPECT_THROW(table.release("a"), PlacementError);
+  EXPECT_THROW(table.at("nope"), PlacementError);
+}
+
+TEST(PartitionTable, OversubscribedPeSlotsReportDeficit) {
+  const auto module = compile_nips(10);
+  PartitionTable table;
+  table.reserve("a", module, arith::FormatKind::kCfp,
+                cal::kMaxRoutablePes - 1);
+  try {
+    table.reserve("b", module, arith::FormatKind::kCfp, 2);
+    FAIL() << "expected PlacementDeficitError";
+  } catch (const PlacementDeficitError& e) {
+    ASSERT_FALSE(e.deficits().empty());
+    EXPECT_EQ(e.deficits().front().resource, "PE slots");
+    EXPECT_DOUBLE_EQ(e.deficits().front().required, cal::kMaxRoutablePes + 1);
+    EXPECT_DOUBLE_EQ(e.deficits().front().available, cal::kMaxRoutablePes);
+  }
+  // The failed reserve must not leak channels or slots.
+  EXPECT_EQ(table.free_pe_slots(), 1);
+  table.reserve("b", module, arith::FormatKind::kCfp, 1);  // exact fit now
+}
+
+TEST(PartitionTable, ZeroChannelBudgetRejectsEveryTenant) {
+  const auto module = compile_nips(10);
+  PartitionBudget budget;
+  budget.hbm_channels = 0;
+  PartitionTable table(budget);
+  try {
+    table.reserve("a", module, arith::FormatKind::kCfp, 1);
+    FAIL() << "expected PlacementDeficitError";
+  } catch (const PlacementDeficitError& e) {
+    bool saw_channels = false;
+    for (const auto& deficit : e.deficits()) {
+      if (deficit.resource == "HBM channels") {
+        saw_channels = true;
+        EXPECT_DOUBLE_EQ(deficit.required, 1);
+        EXPECT_DOUBLE_EQ(deficit.available, 0);
+      }
+    }
+    EXPECT_TRUE(saw_channels);
+  }
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(PartitionTable, ExactFitFillsEveryPeSlot) {
+  const auto module = compile_nips(10);
+  PartitionTable table;
+  // NIPS10 PEs are small: the replication limit binds, not the fabric.
+  for (int i = 0; i < cal::kMaxRoutablePes; ++i) {
+    table.reserve("t" + std::to_string(i), module, arith::FormatKind::kCfp, 1);
+  }
+  EXPECT_EQ(table.free_pe_slots(), 0);
+  EXPECT_THROW(
+      table.reserve("over", module, arith::FormatKind::kCfp, 1),
+      PlacementDeficitError);
+  table.release("t0");
+  table.reserve("again", module, arith::FormatKind::kCfp, 1);  // refills
+  EXPECT_EQ(table.free_pe_slots(), 0);
+}
+
+TEST(PartitionTable, FabricBudgetBindsBeforeSlotsForLargeTenants) {
+  // A partition table with a tiny utilisation cap: even one small tenant
+  // exceeds the fabric, and the error names the over-budget resources.
+  const auto module = compile_nips(20);
+  PartitionBudget budget;
+  budget.utilisation = 0.12;  // shell alone nearly fills this
+  PartitionTable table(budget);
+  try {
+    table.reserve("big", module, arith::FormatKind::kCfp, 4);
+    FAIL() << "expected PlacementDeficitError";
+  } catch (const PlacementDeficitError& e) {
+    ASSERT_FALSE(e.deficits().empty());
+    for (const auto& deficit : e.deficits()) {
+      EXPECT_GT(deficit.required, deficit.available);
+    }
+  }
+}
+
+TEST(PartitionTable, BitstreamFractionIsPeSlotShare) {
+  const auto module = compile_nips(10);
+  PartitionTable table;
+  table.reserve("a", module, arith::FormatKind::kCfp, 2);
+  EXPECT_DOUBLE_EQ(table.bitstream_fraction("a"),
+                   2.0 / cal::kMaxRoutablePes);
+}
+
+TEST(PartitionTable, DescribeListsPartitions) {
+  const auto module = compile_nips(10);
+  PartitionTable table;
+  table.reserve("alpha", module, arith::FormatKind::kCfp, 1);
+  const std::string text = table.describe();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("PE slots free"), std::string::npos);
+}
+
+TEST(PartitionTable, TableISupportsFourNips80Tenants) {
+  // The motivating headline: Table I leaves room for >= 4 NIPS80
+  // datapaths next to the shared shell (the paper routed 8).
+  const auto module = compile_nips(80);
+  PartitionTable table;
+  for (int i = 0; i < 4; ++i) {
+    table.reserve("nips80-" + std::to_string(i), module,
+                  arith::FormatKind::kCfp, 1);
+  }
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_TRUE(
+      resource_deficits(table.reserved(), table.routable_budget()).empty());
+}
+
+}  // namespace
+}  // namespace spnhbm::fpga

@@ -1,0 +1,116 @@
+// ModelRegistry under concurrency (run under TSan in CI): alias
+// re-pointing races against lookups, and deferred refcounted unload
+// races against acquire/release — the registry must stay consistent and
+// never free an artifact that a reader still pins.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "spnhbm/arith/backend.hpp"
+#include "spnhbm/model/artifact.hpp"
+#include "spnhbm/model/registry.hpp"
+#include "spnhbm/spn/random_spn.hpp"
+
+namespace spnhbm {
+namespace {
+
+model::ModelHandle compiled(std::string name, std::string version,
+                            std::uint64_t seed = 17) {
+  spn::RandomSpnConfig config;
+  config.variables = 5;
+  config.seed = seed;
+  return model::ModelArtifact::compile(std::move(name), std::move(version),
+                                       spn::make_random_spn(config),
+                                       arith::make_float64_backend());
+}
+
+TEST(ModelRegistryConcurrency, AliasRepointingRacesAgainstLookups) {
+  model::ModelRegistry registry;
+  constexpr int kVersions = 4;
+  for (int v = 1; v <= kVersions; ++v) {
+    registry.add(compiled("m", std::to_string(v)));
+  }
+  registry.alias("prod", "m@1");
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lookups{0};
+  // One writer cycles the alias across every version for as long as the
+  // readers resolve it. Every resolution must land on *some* valid
+  // version — never a torn id, never a null handle, never a throw.
+  std::thread writer([&] {
+    for (int i = 0; !stop.load(); ++i) {
+      registry.alias("prod", "m@" + std::to_string(1 + i % kVersions));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        const model::ModelHandle handle = registry.get("prod");
+        ASSERT_NE(handle, nullptr);
+        EXPECT_EQ(handle->name(), "m");
+        lookups.fetch_add(1);
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(lookups.load(), 4u * 500u);
+  // Re-pointing still works once the dust settles, and the alias resolves
+  // to exactly what it was last pointed at.
+  registry.alias("prod", "m@3");
+  EXPECT_EQ(registry.get("prod")->id(), "m@3");
+}
+
+TEST(ModelRegistryConcurrency, DeferredUnloadRacesAgainstAcquireRelease) {
+  model::ModelRegistry registry;
+  constexpr int kGenerations = 12;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> acquisitions{0};
+  // Acquirers continuously pin and release whatever "u" currently is
+  // (any generation, or nothing between unload and re-add). A held
+  // handle must stay fully usable even when the model is unloaded under
+  // it — that is the deferred-unload contract.
+  std::vector<std::thread> acquirers;
+  for (int r = 0; r < 4; ++r) {
+    acquirers.emplace_back([&] {
+      while (!stop.load()) {
+        model::ModelHandle handle = registry.try_get("u");
+        if (handle != nullptr) {
+          EXPECT_EQ(handle->name(), "u");
+          EXPECT_GT(handle->input_features(), 0u);
+          acquisitions.fetch_add(1);
+          handle.reset();  // the release half of the churn
+        }
+      }
+    });
+  }
+  // The control plane cycles generations: add, let the acquirers pin it,
+  // unload (deferred while any acquirer still holds its handle), repeat.
+  for (int generation = 1; generation <= kGenerations; ++generation) {
+    registry.add(compiled("u", std::to_string(generation)));
+    // Give the acquirers a window to actually pin this generation.
+    while (acquisitions.load() <
+           static_cast<std::uint64_t>(generation) * 50) {
+      std::this_thread::yield();
+    }
+    registry.unload("u");  // immediate or deferred, both are legal here
+  }
+  stop.store(true);
+  for (auto& acquirer : acquirers) acquirer.join();
+
+  // Every acquirer handle is gone: nothing may remain pending.
+  EXPECT_EQ(registry.pending_unload_count(), 0u);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.try_get("u"), nullptr);
+  EXPECT_GT(acquisitions.load(),
+            static_cast<std::uint64_t>(kGenerations) * 50);
+}
+
+}  // namespace
+}  // namespace spnhbm

@@ -5,6 +5,7 @@
 // the sent == sum(by_status) conservation law.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -12,8 +13,10 @@
 
 #include "../engine/mock_engine.hpp"
 #include "spnhbm/engine/server.hpp"
+#include "spnhbm/model/artifact.hpp"
 #include "spnhbm/rpc/loadgen.hpp"
 #include "spnhbm/rpc/server.hpp"
+#include "spnhbm/spn/random_spn.hpp"
 
 namespace spnhbm::rpc {
 namespace {
@@ -78,6 +81,32 @@ TEST(LoadgenSchedule, PoissonIsSeedDeterministicWithPlausibleMean) {
       static_cast<double>(schedule.size() - 1);
   EXPECT_GT(mean_us, 900.0);
   EXPECT_LT(mean_us, 1100.0);
+}
+
+TEST(LoadgenSchedule, ModelPicksAreSeedDeterministicAndWeighted) {
+  LoadgenConfig config;
+  config.request_count = 4000;
+  config.seed = 11;
+  EXPECT_TRUE(make_model_picks(config).empty());  // single-model run
+
+  config.traffic.push_back({"hot@1", 3.0, {}});
+  config.traffic.push_back({"cold@1", 1.0, {}});
+  const auto picks = make_model_picks(config);
+  ASSERT_EQ(picks.size(), 4000u);
+  EXPECT_EQ(picks, make_model_picks(config));  // same seed, same mix
+
+  config.seed = 12;
+  EXPECT_NE(picks, make_model_picks(config));  // the seed feeds the draw
+
+  // The empirical split tracks the 3:1 weights.
+  const auto hot = static_cast<double>(
+      std::count(picks.begin(), picks.end(), std::size_t{0}));
+  EXPECT_GT(hot / 4000.0, 0.70);
+  EXPECT_LT(hot / 4000.0, 0.80);
+
+  LoadgenConfig bad = config;
+  bad.traffic[0].weight = 0.0;
+  EXPECT_THROW(make_model_picks(bad), std::logic_error);
 }
 
 /// Serving stack on an ephemeral port for the e2e runs.
@@ -156,6 +185,51 @@ TEST(Loadgen, OverloadShowsUpAsRetryableShedsNotHangs) {
   EXPECT_TRUE(report.conserved()) << report.describe();
   EXPECT_GE(report.retryable(), 49u);
   EXPECT_EQ(report.ok() + report.retryable(), 50u);
+  EXPECT_TRUE(stack.front->stats().conserved());
+}
+
+TEST(Loadgen, MixedModelTrafficSplitsByWeightAndConserves) {
+  Stack stack;
+  // A second model joins the running server, so the stack serves two
+  // lanes through one wire endpoint.
+  auto other = std::make_shared<MockEngine>();
+  other->activate(model::ModelArtifact::compile(
+      "other", "1",
+      spn::make_random_spn([] {
+        spn::RandomSpnConfig config;
+        config.variables = engine_test::kFeatures;
+        config.seed = 99;
+        return config;
+      }()),
+      arith::make_float64_backend()));
+  stack.server->register_engine(other);
+
+  LoadgenConfig config;
+  config.port = stack.front->port();
+  config.traffic.push_back(
+      {"mock@1", 3.0, {make_request(1, 1), make_request(2, 9)}});
+  config.traffic.push_back({"other@1", 1.0, {make_request(1, 30)}});
+  config.request_count = 200;
+  config.rate_rps = 20'000.0;
+  config.connections = 2;
+  config.seed = 5;
+
+  const LoadgenReport report = run_loadgen(config);
+  EXPECT_EQ(report.sent, 200u);
+  EXPECT_EQ(report.ok(), 200u);
+  EXPECT_TRUE(report.conserved()) << report.describe();
+
+  // Per-model accounting sums to the total and tracks the 3:1 mix.
+  ASSERT_EQ(report.sent_by_model.size(), 2u);
+  const std::uint64_t hot = report.sent_by_model.at("mock@1");
+  const std::uint64_t cold = report.sent_by_model.at("other@1");
+  EXPECT_EQ(hot + cold, report.sent);
+  EXPECT_GT(hot, cold);
+
+  // The server saw exactly the same split, lane by lane.
+  const engine::ServerStats stats = stack.server->stats();
+  EXPECT_EQ(stats.per_model.at("mock@1").requests, hot);
+  EXPECT_EQ(stats.per_model.at("other@1").requests, cold);
   EXPECT_TRUE(stack.front->stats().conserved());
 }
 

@@ -1,0 +1,184 @@
+// Compares a freshly produced BENCH_*.json against a committed baseline
+// (bench/baselines/) so perf-sensitive refactors land against a recorded
+// trajectory instead of a reviewer's memory.
+//
+//   bench_compare <baseline.json> <current.json>
+//       [--threshold PCT] [--strict] [--ignore FIELD]...
+//
+// Records are matched by position; every numeric field present in both
+// sides is compared. The direction of "worse" is inferred from the field
+// name: throughput-style fields (…per_s, …rps, …gib…) regress when they
+// drop, latency-style fields (…latency…, …_us, …seconds…) regress when
+// they rise, and anything else is flagged when it moves at all beyond the
+// threshold. Default is warn-only (always exits 0, prints the deviations);
+// --strict turns regressions into exit 1 for opt-in gating. Host-dependent
+// fields (wall-clock CPU baselines) are skipped with --ignore.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spnhbm/telemetry/json.hpp"
+#include "spnhbm/util/error.hpp"
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm {
+namespace {
+
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kNeutral };
+
+bool contains_any(const std::string& name,
+                  std::initializer_list<const char*> needles) {
+  for (const char* needle : needles) {
+    if (name.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+Direction field_direction(const std::string& name) {
+  if (contains_any(name, {"per_s", "rps", "throughput", "gib", "gops"})) {
+    return Direction::kHigherIsBetter;
+  }
+  if (contains_any(name, {"latency", "_us", "seconds", "cycles", "_ns"})) {
+    return Direction::kLowerIsBetter;
+  }
+  return Direction::kNeutral;
+}
+
+telemetry::JsonValue load_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("bench_compare: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  telemetry::JsonValue doc = telemetry::parse_json(text.str());
+  if (!doc.is_object() || !doc.has("bench") || !doc.has("records") ||
+      !doc.at("records").is_array()) {
+    throw Error("bench_compare: " + path + " is not a BENCH_*.json report");
+  }
+  return doc;
+}
+
+struct Deviation {
+  std::size_t record = 0;
+  std::string field;
+  double baseline = 0.0;
+  double current = 0.0;
+  double change = 0.0;  ///< relative, signed
+  bool is_regression = false;
+};
+
+int run(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::set<std::string> ignored;
+  double threshold = 0.10;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::stod(argv[++i]) / 100.0;
+    } else if (arg == "--ignore" && i + 1 < argc) {
+      ignored.insert(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw Error("bench_compare: unknown option " + arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> "
+                 "[--threshold PCT] [--strict] [--ignore FIELD]...\n");
+    return 2;
+  }
+
+  const telemetry::JsonValue baseline = load_report(paths[0]);
+  const telemetry::JsonValue current = load_report(paths[1]);
+  const std::string bench = baseline.at("bench").string;
+  if (current.at("bench").string != bench) {
+    throw Error("bench_compare: reports disagree on the bench name: " +
+                bench + " vs " + current.at("bench").string);
+  }
+
+  const auto& base_records = baseline.at("records").array;
+  const auto& cur_records = current.at("records").array;
+  std::vector<Deviation> deviations;
+  bool shape_mismatch = base_records.size() != cur_records.size();
+
+  const std::size_t common = std::min(base_records.size(), cur_records.size());
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    const auto& base = base_records[i];
+    const auto& cur = cur_records[i];
+    if (!base.is_object() || !cur.is_object()) continue;
+    for (const auto& [name, base_value] : base.object) {
+      if (ignored.count(name) || !cur.has(name)) continue;
+      const auto& cur_value = cur.at(name);
+      if (base_value.is_string() && cur_value.is_string()) {
+        // Identity fields (benchmark names): any drift is a shape problem.
+        if (base_value.string != cur_value.string) shape_mismatch = true;
+        continue;
+      }
+      if (!base_value.is_number() || !cur_value.is_number()) continue;
+      ++compared;
+      const double from = base_value.number;
+      const double to = cur_value.number;
+      const double change =
+          from == 0.0 ? (to == 0.0 ? 0.0 : 1.0) : (to - from) / std::fabs(from);
+      if (std::fabs(change) <= threshold) continue;
+      Deviation deviation{i, name, from, to, change, false};
+      switch (field_direction(name)) {
+        case Direction::kHigherIsBetter:
+          deviation.is_regression = change < 0.0;
+          break;
+        case Direction::kLowerIsBetter:
+          deviation.is_regression = change > 0.0;
+          break;
+        case Direction::kNeutral:
+          deviation.is_regression = true;  // unexplained drift is suspect
+          break;
+      }
+      deviations.push_back(deviation);
+    }
+  }
+
+  std::size_t regressions = 0;
+  for (const auto& deviation : deviations) {
+    regressions += deviation.is_regression ? 1 : 0;
+    std::printf("%s record %zu %-32s %14.4g -> %14.4g  %+7.1f%%  %s\n",
+                deviation.is_regression ? "REGRESSION " : "improvement",
+                deviation.record, deviation.field.c_str(), deviation.baseline,
+                deviation.current, deviation.change * 100.0,
+                deviation.is_regression ? "(worse than baseline)" : "");
+  }
+  if (shape_mismatch) {
+    std::printf("SHAPE MISMATCH: %zu baseline records vs %zu current — the\n"
+                "baseline is stale; regenerate bench/baselines/ (see its "
+                "README).\n",
+                base_records.size(), cur_records.size());
+  }
+  std::printf("bench_compare %s: %zu field(s) compared at ±%.0f%%, "
+              "%zu regression(s), %zu improvement(s)%s\n",
+              bench.c_str(), compared, threshold * 100.0, regressions,
+              deviations.size() - regressions,
+              strict ? " [strict]" : " [warn-only]");
+  const bool failed = regressions > 0 || shape_mismatch;
+  return strict && failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace spnhbm
+
+int main(int argc, char** argv) {
+  try {
+    return spnhbm::run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.what());
+    return 2;
+  }
+}

@@ -62,6 +62,18 @@
 //       --shutdown) or SIGINT/SIGTERM, then drains and prints the usual
 //       per-engine report plus the RPC conservation summary.
 //
+//   spnhbm serve --model ... --fleet-devices N --listen PORT
+//                [--fleet-replicas R] [--fleet-pe-slots S]
+//                [--rebalance-ms MS] [common flags]
+//       Fleet serving: N simulated FPGA cards behind one router. Every
+//       --model is deployed as R spatial tenants (disjoint partitions,
+//       placed on the least-loaded card; adding one is a partial
+//       reconfiguration that leaves co-resident tenants serving), and the
+//       RPC front end routes each request to a replica, failing over when
+//       a member's queue is full. --rebalance-ms periodically runs the
+//       telemetry-driven rebalancer: models taking a hot share of the
+//       traffic gain a replica, cold ones shrink (never below one).
+//
 //   spnhbm loadgen --connect HOST:PORT --requests <samples.csv>
 //                  [--model name[@version]] [--count N] [--rate RPS]
 //                  [--arrival fixed|poisson|bursty] [--burst N]
@@ -72,6 +84,13 @@
 //       responses) and reports achieved throughput plus wall-clock
 //       latency percentiles. --shutdown asks the server to drain and
 //       exit afterwards (CI teardown).
+//
+//   spnhbm loadgen --connect HOST:PORT --model a[:weight] --model b[:weight]
+//                  --requests a=a.csv --requests b=b.csv [...]
+//       Mixed-model traffic: every request draws its model from the
+//       weighted mix (deterministic in --seed); each model cycles its own
+//       payload CSV (--requests name=path, or one pathless --requests CSV
+//       shared by all). The report breaks sent counts down per model.
 //
 //   spnhbm infer --connect HOST:PORT <samples.csv> [--model name[@version]]
 //       Remote inference against a `serve --listen` process; prints one
@@ -85,6 +104,8 @@
 //
 //   spnhbm version
 //       Print the build version and wire-protocol version.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -105,6 +126,7 @@
 #include "spnhbm/engine/gpu_engine.hpp"
 #include "spnhbm/engine/server.hpp"
 #include "spnhbm/fault/fault.hpp"
+#include "spnhbm/fleet/router.hpp"
 #include "spnhbm/fpga/resource_model.hpp"
 #include "spnhbm/model/artifact.hpp"
 #include "spnhbm/model/registry.hpp"
@@ -313,6 +335,17 @@ int cmd_resources(const Args& args) {
   try {
     fpga::check_placement(module, backend->kind(), spec);
     std::printf("placement: OK\n");
+  } catch (const fpga::PlacementDeficitError& e) {
+    // Structured failure: one row per over-budget resource, so the
+    // operator sees exactly which budget to shrink the design towards.
+    std::printf("placement: FAILS\n");
+    std::printf("  %-16s %12s %12s %12s\n", "resource", "required",
+                "available", "deficit");
+    for (const auto& deficit : e.deficits()) {
+      std::printf("  %-16s %12.1f %12.1f %12.1f\n",
+                  deficit.resource.c_str(), deficit.required,
+                  deficit.available, deficit.deficit());
+    }
   } catch (const PlacementError& e) {
     std::printf("placement: FAILS (%s)\n", e.what());
   }
@@ -501,10 +534,11 @@ void print_server_report(const engine::InferenceServer& server,
 volatile std::sig_atomic_t g_interrupted = 0;
 void handle_signal(int) { g_interrupted = 1; }
 
-/// Runs the TCP front end on an already-started InferenceServer until a
-/// client requests shutdown or SIGINT/SIGTERM arrives; returns the final
-/// RPC statistics (after the drain, so the conservation law is closed).
-rpc::RpcServerStats run_rpc_front_end(engine::InferenceServer& server,
+/// Runs the TCP front end on an already-started InferenceService — a
+/// local InferenceServer or a whole FleetRouter — until a client requests
+/// shutdown or SIGINT/SIGTERM arrives; returns the final RPC statistics
+/// (after the drain, so the conservation law is closed).
+rpc::RpcServerStats run_rpc_front_end(engine::InferenceService& server,
                                       const Args& args) {
   rpc::RpcServerConfig config;
   config.port = static_cast<std::uint16_t>(
@@ -655,8 +689,88 @@ int cmd_serve_multi(const Args& args,
   return 0;
 }
 
+/// `serve --fleet-devices N`: N simulated cards behind one FleetRouter,
+/// each --model deployed as --fleet-replicas spatial tenants, the whole
+/// fleet exposed over the RPC wire. --rebalance-ms runs the
+/// telemetry-driven rebalancer periodically while serving.
+int cmd_serve_fleet(const Args& args,
+                    const std::vector<std::string>& model_specs,
+                    std::size_t devices) {
+  const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
+  if (args.option("listen", "").empty()) {
+    throw Error("--fleet-devices requires --listen (a fleet serves over RPC)");
+  }
+  const auto format = args.option("format", "cfp");
+  const int replicas =
+      std::max(1, std::atoi(args.option("fleet-replicas", "1").c_str()));
+  const int pe_slots =
+      std::max(1, std::atoi(args.option("fleet-pe-slots", "1").c_str()));
+
+  fleet::FleetConfig config;
+  config.devices = devices;
+  config.server = server_config_from_args(args);
+  config.default_pe_slots = pe_slots;
+  fleet::FleetRouter router(config);
+  for (const auto& raw : model_specs) {
+    const ModelSpec spec = ModelSpec::parse(raw);
+    const auto artifact = model::ModelArtifact::load_file(
+        spec.name, spec.version, spec.path, backend_for(format));
+    for (int r = 0; r < replicas; ++r) {
+      const auto location = router.deploy(artifact);
+      std::fprintf(stderr, "deployed %s -> %s/%s\n", artifact->id().c_str(),
+                   router.device(location.member).name().c_str(),
+                   location.partition.c_str());
+    }
+  }
+  router.start();
+
+  // The rebalancer is control-plane; it may run concurrently with the
+  // RPC data plane, but must be joined before stop().
+  std::atomic<bool> quit{false};
+  std::thread rebalancer;
+  const long long rebalance_ms =
+      std::atoll(args.option("rebalance-ms", "0").c_str());
+  if (rebalance_ms > 0) {
+    rebalancer = std::thread([&] {
+      fleet::RebalancePolicy policy;
+      policy.pe_slots = pe_slots;
+      while (!quit.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(rebalance_ms));
+        if (quit.load()) break;
+        const fleet::RebalanceReport report = router.rebalance(policy);
+        if (report.changed()) {
+          std::fprintf(stderr, "fleet %s\n", report.describe().c_str());
+        }
+      }
+    });
+  }
+
+  const rpc::RpcServerStats rpc_stats = run_rpc_front_end(router, args);
+  quit.store(true);
+  if (rebalancer.joinable()) rebalancer.join();
+  router.stop();
+
+  std::printf("%s", router.describe().c_str());
+  std::printf("%s\n", router.stats().describe().c_str());
+  std::printf("rpc: %s\n", rpc_stats.describe().c_str());
+  for (std::size_t m = 0; m < router.member_count(); ++m) {
+    std::printf("member %s: %s\n", router.device(m).name().c_str(),
+                router.server(m).stats().describe().c_str());
+  }
+  telemetry_outputs.write();
+  return 0;
+}
+
 int cmd_serve(const Args& args) {
   const auto model_specs = args.option_all("model");
+  const auto fleet_devices = static_cast<std::size_t>(
+      std::atoll(args.option("fleet-devices", "0").c_str()));
+  if (fleet_devices > 0) {
+    if (model_specs.empty()) {
+      throw Error("--fleet-devices requires --model name=path specs");
+    }
+    return cmd_serve_fleet(args, model_specs, fleet_devices);
+  }
   if (!model_specs.empty()) return cmd_serve_multi(args, model_specs);
   if (args.positional.empty()) usage();
   const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
@@ -731,18 +845,71 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+/// Loadgen "--model name[:weight]" entries plus "--requests [name=]path"
+/// entries -> a weighted ModelTraffic mix. A pathless --requests CSV is
+/// the shared fallback payload source for models without their own.
+std::vector<rpc::ModelTraffic> parse_traffic_mix(const Args& args) {
+  const auto model_specs = args.option_all("model");
+  std::map<std::string, std::string> csv_by_model;
+  std::string shared_csv;
+  for (const auto& raw : args.option_all("requests")) {
+    const auto eq = raw.find('=');
+    if (eq == std::string::npos) {
+      shared_csv = raw;
+    } else {
+      csv_by_model[raw.substr(0, eq)] = raw.substr(eq + 1);
+    }
+  }
+  std::vector<rpc::ModelTraffic> mix;
+  for (const auto& spec : model_specs) {
+    rpc::ModelTraffic traffic;
+    traffic.model = spec;
+    // "name[:weight]" — model refs ("name@version") never contain ':'.
+    if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+      traffic.model = spec.substr(0, colon);
+      traffic.weight = std::strtod(spec.c_str() + colon + 1, nullptr);
+      if (traffic.weight <= 0.0) {
+        throw Error("--model " + spec + ": weight must be positive");
+      }
+    }
+    const auto it = csv_by_model.find(traffic.model);
+    const std::string path = it != csv_by_model.end() ? it->second
+                                                      : shared_csv;
+    if (path.empty()) {
+      throw Error("no --requests CSV for model '" + traffic.model + "'");
+    }
+    traffic.payloads = rows_as_payloads(spn::load_csv_file(path));
+    mix.push_back(std::move(traffic));
+  }
+  return mix;
+}
+
 int cmd_loadgen(const Args& args) {
   const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
-  const std::string requests_path = args.option("requests", "");
-  if (requests_path.empty()) usage();
+  if (args.option_all("requests").empty()) usage();
 
   rpc::LoadgenConfig config;
   std::tie(config.host, config.port) =
       parse_host_port(args.option("connect", ""));
-  config.model = args.option("model", "");
-  config.payloads = rows_as_payloads(spn::load_csv_file(requests_path));
+  const auto model_specs = args.option_all("model");
+  std::size_t default_count = 0;
+  if (model_specs.size() > 1 ||
+      (model_specs.size() == 1 &&
+       model_specs[0].rfind(':') != std::string::npos)) {
+    // Mixed-model traffic: every request draws its model from the
+    // weighted mix; per-model payloads cycle independently.
+    config.traffic = parse_traffic_mix(args);
+    for (const auto& traffic : config.traffic) {
+      default_count += traffic.payloads.size();
+    }
+  } else {
+    config.model = args.option("model", "");
+    config.payloads =
+        rows_as_payloads(spn::load_csv_file(args.option("requests", "")));
+    default_count = config.payloads.size();
+  }
   config.request_count = static_cast<std::size_t>(std::atoll(
-      args.option("count", std::to_string(config.payloads.size())).c_str()));
+      args.option("count", std::to_string(default_count)).c_str()));
   config.rate_rps = std::strtod(args.option("rate", "1000").c_str(), nullptr);
   config.arrival =
       rpc::parse_arrival_process(args.option("arrival", "poisson"));
