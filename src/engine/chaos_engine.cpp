@@ -22,6 +22,8 @@ constexpr double kMaxSleepUs = 500'000.0;
 ChaosEngine::ChaosEngine(std::unique_ptr<InferenceEngine> inner)
     : inner_(std::move(inner)) {
   SPNHBM_REQUIRE(inner_ != nullptr, "chaos engine needs an inner engine");
+  track_ = telemetry::tracer().register_track(
+      "chaos/" + inner_->capabilities().name, telemetry::TraceClock::kWall);
 }
 
 const EngineCapabilities& ChaosEngine::capabilities() const {
@@ -41,6 +43,11 @@ void ChaosEngine::apply(const char* site) {
   if (!fault::injector().armed()) return;
   const fault::FaultDecision decision =
       fault::injector().decide(site, inner_->capabilities().name);
+  if (decision.kind != fault::FaultKind::kNone) {
+    // Mark the fired fault on the chaos lane before acting on it, so a
+    // fail/corrupt throw still leaves its annotation in the trace.
+    telemetry::tracer().instant_wall(track_, fault::trace_label(decision.kind));
+  }
   switch (decision.kind) {
     case fault::FaultKind::kFail:
     case fault::FaultKind::kCorrupt:

@@ -1,8 +1,10 @@
 #include "spnhbm/engine/fpga_engine.hpp"
 
+#include <atomic>
 #include <utility>
 
 #include "spnhbm/fpga/resource_model.hpp"
+#include "spnhbm/util/log.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::engine {
@@ -51,6 +53,17 @@ FpgaSimEngine::FpgaSimEngine(ModelHandle model, FpgaEngineConfig config)
   SPNHBM_REQUIRE(model_ != nullptr, "FpgaSimEngine requires a model");
   SPNHBM_REQUIRE(config_.partition_bitstream_fraction <= 1.0,
                  "partition cannot exceed the whole bitstream");
+  // One virtual-clock track per card instance: engine-level infer windows
+  // and reconfiguration stalls land here, between the server's wall-clock
+  // batch span above and the HBM/DMA spans below.
+  static std::atomic<std::uint64_t> next_engine_ordinal{0};
+  std::string track_label =
+      "fpga/e" + std::to_string(next_engine_ordinal.fetch_add(1));
+  if (!config_.partition_label.empty()) {
+    track_label += " @" + config_.partition_label;
+  }
+  track_ = telemetry::tracer().register_track(track_label,
+                                              telemetry::TraceClock::kVirtual);
   device_ = std::make_unique<tapasco::Device>(
       runner_, model_->module(), model_->backend(),
       make_composition(model_->module(), model_->backend(), config_));
@@ -123,6 +136,10 @@ Picoseconds FpgaSimEngine::program_and_stage(
   });
   scheduler_.run();
   runner_.check();
+  // The reconfiguration stall is a first-class span: requests queued
+  // behind a hot-swap show matching lane_queue growth on the wall clock.
+  telemetry::tracer().complete_virtual(track_, "reconfigure", before,
+                                       scheduler_.now());
   return scheduler_.now() - before;
 }
 
@@ -156,6 +173,11 @@ BatchHandle FpgaSimEngine::submit(std::span<const std::uint8_t> samples,
   const Picoseconds before = scheduler_.now();
   const auto probabilities = runtime_->infer(samples);
   std::copy(probabilities.begin(), probabilities.end(), results.begin());
+  telemetry::tracer().complete_virtual(track_, "infer", before,
+                                       scheduler_.now());
+  if (const std::uint64_t trace_id = current_trace_id()) {
+    telemetry::tracer().flow_virtual(track_, "request", 't', trace_id, before);
+  }
   stats_.batches += 1;
   stats_.samples += count;
   const double batch_seconds = to_seconds(scheduler_.now() - before);

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "spnhbm/engine/engine.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 
 namespace spnhbm::engine {
 
@@ -43,9 +44,12 @@ class ChaosEngine final : public InferenceEngine {
 
  private:
   /// Consults the injector for `site`; throws / sleeps as decided.
+  /// Fired decisions are annotated onto the chaos lane as wall-clock
+  /// instants ("fault.<kind>") next to the owning request's spans.
   void apply(const char* site);
 
   std::unique_ptr<InferenceEngine> inner_;
+  telemetry::TrackId track_ = 0;
 };
 
 }  // namespace spnhbm::engine

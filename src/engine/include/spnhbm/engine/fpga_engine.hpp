@@ -32,6 +32,7 @@
 
 #include "spnhbm/engine/engine.hpp"
 #include "spnhbm/runtime/inference_runtime.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 
 namespace spnhbm::engine {
 
@@ -106,6 +107,9 @@ class FpgaSimEngine : public InferenceEngine {
 
   ModelHandle model_;
   FpgaEngineConfig config_;
+  /// Virtual-clock telemetry track of this card ("fpga/eN[ @partition]");
+  /// 0 while tracing is disabled.
+  telemetry::TrackId track_ = 0;
   sim::Scheduler scheduler_;
   sim::ProcessRunner runner_;
   std::unique_ptr<tapasco::Device> device_;

@@ -302,6 +302,15 @@ class InferenceServer : public InferenceService {
       std::vector<std::uint8_t> samples);
   std::optional<std::future<std::vector<double>>> try_submit(
       const std::string& model, std::vector<std::uint8_t> samples) override;
+  /// Trace-carrying variant: the context is attached to the pending
+  /// request, stamped on its lane-queue/batch spans and published to the
+  /// engine thread while the batch executes.
+  std::optional<std::future<std::vector<double>>> try_submit(
+      const std::string& model, std::vector<std::uint8_t> samples,
+      const telemetry::TraceContext& trace) override;
+
+  /// Per-engine health lines for the admin plane.
+  std::string health_text() const override;
 
   /// Hot-swaps engine `index` onto `next`: the worker finishes its queued
   /// batches, then runs InferenceEngine::activate on its own thread (an
@@ -345,6 +354,8 @@ class InferenceServer : public InferenceService {
     /// Set only when a slice's batch fails permanently (satellite of the
     /// retry design: transient failures never reach the request).
     std::exception_ptr error;
+    /// Distributed-tracing context; invalid (trace_id 0) when untraced.
+    telemetry::TraceContext trace;
   };
 
   struct BatchSlice {
@@ -366,6 +377,10 @@ class InferenceServer : public InferenceService {
     std::size_t last_worker = kNoWorker;
     /// Earliest re-dispatch time (backoff) for a batch in retry_queue_.
     std::chrono::steady_clock::time_point not_before;
+    /// Context of the first traced request in the batch (a batch-level
+    /// representative: the batch span and the engine's virtual-time
+    /// spans join that request's flow chain).
+    telemetry::TraceContext trace;
   };
 
   /// Per-model request queue + accounting (one lane per served model id).
@@ -430,10 +445,12 @@ class InferenceServer : public InferenceService {
       std::vector<std::uint8_t> samples);
   std::optional<std::future<std::vector<double>>> try_submit_locked(
       std::unique_lock<std::mutex>& lock, const std::string& model,
-      std::vector<std::uint8_t> samples);
+      std::vector<std::uint8_t> samples,
+      const telemetry::TraceContext& trace = {});
   std::future<std::vector<double>> enqueue_locked(
       std::unique_lock<std::mutex>& lock, const std::string& model,
-      std::vector<std::uint8_t> samples);
+      std::vector<std::uint8_t> samples,
+      const telemetry::TraceContext& trace = {});
   /// Throws NoHealthyEngineError if a started server cannot serve new work
   /// for `model`; RuntimeApiError when no engine hosts it at all.
   void require_admissible_locked(const std::string& model) const;

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "spnhbm/telemetry/trace_context.hpp"
+
 namespace spnhbm::engine {
 
 class InferenceService {
@@ -44,6 +46,25 @@ class InferenceService {
   /// exceeded; otherwise a future resolving to one probability per row.
   virtual std::optional<std::future<std::vector<double>>> try_submit(
       const std::string& model, std::vector<std::uint8_t> samples) = 0;
+
+  /// Trace-carrying submit: same contract, but the request's
+  /// TraceContext rides along so the service's spans join the request's
+  /// flow chain. The default drops the context (services predating the
+  /// tracing layer keep working unchanged).
+  virtual std::optional<std::future<std::vector<double>>> try_submit(
+      const std::string& model, std::vector<std::uint8_t> samples,
+      const telemetry::TraceContext& trace) {
+    (void)trace;
+    return try_submit(model, std::move(samples));
+  }
+
+  // --- Live-introspection hooks (the ADMIN plane) ------------------------
+  /// Per-engine health lines ("engine 0 [fpga0] model=a@1 health=healthy
+  /// ..."); empty when the service has nothing to report.
+  virtual std::string health_text() const { return ""; }
+  /// Replica-map lines for routed services (model -> member/partition);
+  /// empty for a single-server service.
+  virtual std::string replicas_text() const { return ""; }
 };
 
 }  // namespace spnhbm::engine

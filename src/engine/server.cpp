@@ -347,11 +347,12 @@ bool InferenceServer::lane_served_locked(const std::string& model) const {
 
 std::future<std::vector<double>> InferenceServer::enqueue_locked(
     std::unique_lock<std::mutex>& lock, const std::string& model,
-    std::vector<std::uint8_t> samples) {
+    std::vector<std::uint8_t> samples, const telemetry::TraceContext& trace) {
   (void)lock;
   ModelLane& lane = lanes_.at(model);
   auto request = std::make_shared<PendingRequest>();
   request->model = model;
+  request->trace = trace;
   request->count = samples.size() / lane.input_features;
   request->remaining = request->count;
   request->samples = std::move(samples);
@@ -431,7 +432,8 @@ std::future<std::vector<double>> InferenceServer::submit_locked(
 std::optional<std::future<std::vector<double>>>
 InferenceServer::try_submit_locked(std::unique_lock<std::mutex>& lock,
                                    const std::string& model,
-                                   std::vector<std::uint8_t> samples) {
+                                   std::vector<std::uint8_t> samples,
+                                   const telemetry::TraceContext& trace) {
   const std::size_t features = lanes_.at(model).input_features;
   SPNHBM_REQUIRE(!samples.empty() && samples.size() % features == 0,
                  "input is not a whole number of samples");
@@ -442,7 +444,7 @@ InferenceServer::try_submit_locked(std::unique_lock<std::mutex>& lock,
     ctr_rejected_->add(1);
     return std::nullopt;
   }
-  return enqueue_locked(lock, model, std::move(samples));
+  return enqueue_locked(lock, model, std::move(samples), trace);
 }
 
 std::future<std::vector<double>> InferenceServer::submit(
@@ -492,6 +494,44 @@ std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
   }
   return try_submit_locked(lock, resolve_model_locked(model),
                            std::move(samples));
+}
+
+std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
+    const std::string& model, std::vector<std::uint8_t> samples,
+    const telemetry::TraceContext& trace) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (workers_.empty()) {
+    throw RuntimeApiError("submit before any engine is registered");
+  }
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
+  return try_submit_locked(lock, resolve_model_locked(model),
+                           std::move(samples), trace);
+}
+
+std::string InferenceServer::health_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string text;
+  for (const auto& worker : workers_) {
+    if (worker->retired) {
+      text += strformat("engine %zu retired\n", worker->index);
+      continue;
+    }
+    const std::string model = worker->pending_activation
+                                  ? worker->pending_activation->id()
+                                  : worker->model_id;
+    text += strformat(
+        "engine %zu%s%s%s model=%s tier=%d health=%s dispatched=%llu "
+        "outstanding=%zu\n",
+        worker->index, worker->device.empty() ? "" : " [",
+        worker->device.c_str(), worker->device.empty() ? "" : "]",
+        model.c_str(), worker->priority,
+        engine::to_string(worker->health).c_str(),
+        static_cast<unsigned long long>(worker->dispatched_samples),
+        worker->outstanding_samples);
+  }
+  return text;
 }
 
 std::future<void> InferenceServer::activate(std::size_t index,
@@ -618,6 +658,17 @@ InferenceServer::Batch InferenceServer::form_batch_locked(
     if (request->cursor == 0) {
       // First slice of this request leaves the queue: its queue wait ends.
       queue_wait_us_->record(elapsed_us(request->enqueue_time));
+      if (request->trace.valid()) {
+        auto& tracer = telemetry::tracer();
+        tracer.complete_wall(dispatcher_track_, "lane_queue",
+                             request->enqueue_time,
+                             telemetry::Tracer::wall_now());
+        tracer.flow_wall(dispatcher_track_, "request", 't',
+                         request->trace.trace_id, request->enqueue_time);
+      }
+    }
+    if (!batch.trace.valid() && request->trace.valid()) {
+      batch.trace = request->trace;
     }
     const std::size_t take =
         std::min(batch_samples_ - batch.sample_count,
@@ -1128,14 +1179,28 @@ void InferenceServer::worker_loop(Worker& worker) {
 
     std::exception_ptr error;
     double busy_before = 0.0;
+    const telemetry::Tracer::WallTime exec_start =
+        telemetry::Tracer::wall_now();
     try {
-      const telemetry::Tracer::WallSpan span(telemetry::tracer(), worker.track,
-                                             "batch");
+      // Publish the batch's trace id to this thread while the engine runs:
+      // the DES coroutines underneath (HBM bursts, DMA transfers) and any
+      // log lines pick it up, so virtual-time spans and logs join the
+      // traced request's flow chain.
+      const telemetry::TraceContextScope trace_scope(batch.trace);
       busy_before = worker.engine->stats().busy_seconds;
       worker.engine->wait(
           worker.engine->submit(batch.samples, batch.results));
     } catch (...) {
       error = std::current_exception();
+    }
+    {
+      auto& tracer = telemetry::tracer();
+      tracer.complete_wall(worker.track, "batch", exec_start,
+                           telemetry::Tracer::wall_now());
+      if (batch.trace.valid()) {
+        tracer.flow_wall(worker.track, "request", 't', batch.trace.trace_id,
+                         exec_start);
+      }
     }
     const double busy_delta =
         error ? 0.0 : worker.engine->stats().busy_seconds - busy_before;

@@ -45,6 +45,18 @@ FaultKind fault_kind_from_string(const std::string& name) {
                    "' (fail|stall|corrupt|delay|hang)");
 }
 
+const char* trace_label(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "fault.none";
+    case FaultKind::kFail: return "fault.fail";
+    case FaultKind::kStall: return "fault.stall";
+    case FaultKind::kCorrupt: return "fault.corrupt";
+    case FaultKind::kDelay: return "fault.delay";
+    case FaultKind::kHang: return "fault.hang";
+  }
+  return "fault.?";
+}
+
 FaultPlan FaultPlan::from_json(const std::string& text) {
   const telemetry::JsonValue doc = telemetry::parse_json(text);
   if (!doc.is_object()) throw ParseError("fault plan must be a JSON object");

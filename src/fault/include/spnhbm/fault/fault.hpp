@@ -52,6 +52,10 @@ enum class FaultKind {
 const char* to_string(FaultKind kind);
 FaultKind fault_kind_from_string(const std::string& name);
 
+/// Static "fault.<kind>" label for annotating an injected fault onto the
+/// owning trace span (instant events keep the trace allocation-free).
+const char* trace_label(FaultKind kind);
+
 /// What an instrumented site is told to do for the current operation.
 struct FaultDecision {
   FaultKind kind = FaultKind::kNone;

@@ -136,6 +136,15 @@ class FleetRouter : public engine::InferenceService {
   std::size_t outstanding_samples() const override;
   std::optional<std::future<std::vector<double>>> try_submit(
       const std::string& model, std::vector<std::uint8_t> samples) override;
+  /// Trace-carrying routing: the context rides into the chosen member's
+  /// InferenceServer, so a fleet-routed request traces end to end.
+  std::optional<std::future<std::vector<double>>> try_submit(
+      const std::string& model, std::vector<std::uint8_t> samples,
+      const telemetry::TraceContext& trace) override;
+  /// Per-engine health of every member, one block per member.
+  std::string health_text() const override;
+  /// The replica map: model -> member/partition/engine, one line each.
+  std::string replicas_text() const override;
 
   // --- Introspection -------------------------------------------------------
   std::size_t member_count() const { return members_.size(); }

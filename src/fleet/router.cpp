@@ -225,6 +225,12 @@ std::size_t FleetRouter::outstanding_samples() const {
 
 std::optional<std::future<std::vector<double>>> FleetRouter::try_submit(
     const std::string& model, std::vector<std::uint8_t> samples) {
+  return try_submit(model, std::move(samples), telemetry::TraceContext{});
+}
+
+std::optional<std::future<std::vector<double>>> FleetRouter::try_submit(
+    const std::string& model, std::vector<std::uint8_t> samples,
+    const telemetry::TraceContext& trace) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::string id = resolve_model_locked(model);
   const auto& locations = replicas_.at(id);
@@ -243,7 +249,7 @@ std::optional<std::future<std::vector<double>>> FleetRouter::try_submit(
     // member; a copy is offered so a rejection leaves `samples` intact
     // for the next replica.
     auto future =
-        members_[location.member].server->try_submit(id, samples);
+        members_[location.member].server->try_submit(id, samples, trace);
     if (future.has_value()) {
       cursor = (cursor + attempt + 1) % locations.size();
       stats_.accepted_requests += 1;
@@ -256,6 +262,30 @@ std::optional<std::future<std::vector<double>>> FleetRouter::try_submit(
   stats_.rejected_requests += 1;
   telemetry::metrics().counter("fleet.rejected")->add();
   return std::nullopt;
+}
+
+std::string FleetRouter::health_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string text;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    text += strformat("member %zu [%s%zu]\n", i, config_.device_prefix.c_str(),
+                      i);
+    text += members_[i].server->health_text();
+  }
+  return text;
+}
+
+std::string FleetRouter::replicas_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string text;
+  for (const auto& [model, locations] : replicas_) {
+    for (const ReplicaLocation& location : locations) {
+      text += strformat("%s -> member %zu partition %s engine %zu\n",
+                        model.c_str(), location.member,
+                        location.partition.c_str(), location.engine_index);
+    }
+  }
+  return text;
 }
 
 engine::FpgaSimDevice& FleetRouter::device(std::size_t member) {

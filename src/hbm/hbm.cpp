@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "spnhbm/fault/fault.hpp"
+#include "spnhbm/util/log.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::hbm {
@@ -54,6 +55,13 @@ sim::Task<void> HbmChannel::access(axi::BurstRequest request,
   if (fault::injector().armed()) {
     const fault::FaultDecision decision =
         fault::injector().decide("hbm.access", config_.label);
+    if (decision.kind != fault::FaultKind::kNone) {
+      // Annotate the fault onto the owning channel lane before acting on
+      // it, so even aborted accesses (corrupt/fail throw below) leave a
+      // mark next to the rd/wr span they would have produced.
+      telemetry::tracer().instant_virtual(
+          track_, fault::trace_label(decision.kind), scheduler_.now());
+    }
     switch (decision.kind) {
       case fault::FaultKind::kStall:
       case fault::FaultKind::kDelay:
@@ -112,6 +120,12 @@ sim::Task<void> HbmChannel::access(axi::BurstRequest request,
   occupancy_.release();
   telemetry::tracer().complete_virtual(track_, request.is_write ? "wr" : "rd",
                                        start, scheduler_.now());
+  // DES coroutines run on the thread that drives the scheduler, so the
+  // per-thread trace id set by the server worker is visible here: a
+  // traced request's flow chain continues into its HBM bursts.
+  if (const std::uint64_t trace_id = current_trace_id()) {
+    telemetry::tracer().flow_virtual(track_, "request", 't', trace_id, start);
+  }
 }
 
 std::uint8_t* HbmChannel::page_for(std::uint64_t address) {

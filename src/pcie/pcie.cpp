@@ -1,6 +1,7 @@
 #include "spnhbm/pcie/pcie.hpp"
 
 #include "spnhbm/fault/fault.hpp"
+#include "spnhbm/util/log.hpp"
 
 namespace spnhbm::pcie {
 
@@ -53,6 +54,13 @@ sim::Task<void> DmaEngine::transfer(std::uint64_t bytes, Direction direction) {
   fault::FaultDecision injected;
   if (fault::injector().armed()) {
     injected = fault::injector().decide("pcie.dma", "dma");
+    if (injected.kind != fault::FaultKind::kNone) {
+      // Annotate the fault onto the DMA lane at issue time: stalls show
+      // up ahead of the stretched h2d/d2h span, fail/corrupt ahead of the
+      // aborted transfer's DmaError.
+      telemetry::tracer().instant_virtual(
+          track_, fault::trace_label(injected.kind), scheduler_.now());
+    }
   }
   // Setup (descriptor + doorbell): latency only, overlappable across
   // transfers.
@@ -82,6 +90,11 @@ sim::Task<void> DmaEngine::transfer(std::uint64_t bytes, Direction direction) {
   telemetry::tracer().complete_virtual(
       track_, direction == Direction::kHostToDevice ? "h2d" : "d2h", start,
       scheduler_.now());
+  // Continue a traced request's flow chain through its DMA transfers
+  // (the worker thread driving the DES publishes the trace id).
+  if (const std::uint64_t trace_id = current_trace_id()) {
+    telemetry::tracer().flow_virtual(track_, "request", 't', trace_id, start);
+  }
   if (injected.kind == fault::FaultKind::kFail ||
       injected.kind == fault::FaultKind::kCorrupt ||
       (config_.failure_rate > 0.0 &&

@@ -1,7 +1,9 @@
 #include "spnhbm/rpc/client.hpp"
 
+#include <atomic>
 #include <utility>
 
+#include "spnhbm/telemetry/trace_context.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::rpc {
@@ -56,27 +58,49 @@ std::unique_ptr<RpcClient> RpcClient::connect(const std::string& host,
 
 RpcClient::RpcClient(Socket socket, ServerInfo info)
     : socket_(std::move(socket)), info_(std::move(info)) {
+  if (telemetry::tracer().enabled()) {
+    static std::atomic<std::uint64_t> next_client_ordinal{0};
+    track_ = telemetry::tracer().register_track(
+        "rpc/client" + std::to_string(next_client_ordinal.fetch_add(1)),
+        telemetry::TraceClock::kWall);
+  }
   reader_ = std::thread([this] { reader_loop(); });
 }
 
 RpcClient::~RpcClient() { close(); }
 
-std::uint64_t RpcClient::send_request(const std::string& model,
-                                      std::vector<std::uint8_t> samples,
-                                      std::uint64_t deadline_us) {
+RpcClient::SentRequest RpcClient::send_request(
+    const std::string& model, std::vector<std::uint8_t> samples,
+    std::uint64_t deadline_us) {
   RequestFrame request;
   request.model = model.empty() && !info_.models.empty()
                       ? info_.models.front().id
                       : model;
   request.deadline_us = deadline_us;
   request.samples = std::move(samples);
+  // Mint a trace context for head-sampled requests — only when tracing is
+  // on and the server speaks a protocol that carries the trace block (an
+  // old peer would reject the longer REQUEST body).
+  if (track_ != 0 && info_.protocol_version >= kTraceProtocolVersion &&
+      telemetry::head_sampler().sample()) {
+    request.trace.trace_id = telemetry::mint_trace_id();
+  }
   std::lock_guard<std::mutex> lock(send_mutex_);
   if (closed_) throw RpcError("client is closed");
   request.request_id = next_request_id_++;
+  const telemetry::Tracer::WallTime send_start = telemetry::Tracer::wall_now();
   const std::vector<std::uint8_t> wire =
       encode_frame(encode_request(request));
   socket_.send_all(wire.data(), wire.size());
-  return request.request_id;
+  if (request.trace.valid()) {
+    auto& tracer = telemetry::tracer();
+    tracer.complete_wall(track_, "send", send_start,
+                         telemetry::Tracer::wall_now());
+    // Flow start: the arrow chain every downstream span joins.
+    tracer.flow_wall(track_, "request", 's', request.trace.trace_id,
+                     send_start);
+  }
+  return {request.request_id, request.trace};
 }
 
 void RpcClient::submit_with_callback(const std::string& model,
@@ -91,9 +115,10 @@ void RpcClient::submit_with_callback(const std::string& model,
   if (reader_done_) {
     throw RpcError("connection lost; request not sent");
   }
-  const std::uint64_t id =
+  const SentRequest sent =
       send_request(model, std::move(samples), deadline_us);
-  pending_.emplace(id, std::move(callback));
+  pending_.emplace(sent.request_id,
+                   PendingEntry{std::move(callback), sent.trace});
 }
 
 std::future<std::vector<double>> RpcClient::submit(
@@ -149,8 +174,10 @@ void RpcClient::reader_loop() {
         throw WireError("unexpected server frame type " +
                         std::to_string(static_cast<unsigned>(type)));
       }
+      const telemetry::Tracer::WallTime recv_time =
+          telemetry::Tracer::wall_now();
       const ResponseFrame response = decode_response(body);
-      ResponseCallback callback;
+      PendingEntry entry;
       {
         std::lock_guard<std::mutex> lock(pending_mutex_);
         const auto it = pending_.find(response.request_id);
@@ -159,10 +186,18 @@ void RpcClient::reader_loop() {
               "response for unknown request id %llu",
               static_cast<unsigned long long>(response.request_id)));
         }
-        callback = std::move(it->second);
+        entry = std::move(it->second);
         pending_.erase(it);
       }
-      callback(response.status, response.results, response.error);
+      entry.callback(response.status, response.results, response.error);
+      if (entry.trace.valid()) {
+        auto& tracer = telemetry::tracer();
+        tracer.complete_wall(track_, "response", recv_time,
+                             telemetry::Tracer::wall_now());
+        // Flow end: terminates the request's arrow chain at the client.
+        tracer.flow_wall(track_, "request", 'f', entry.trace.trace_id,
+                         recv_time);
+      }
     }
   } catch (const std::exception& e) {
     failure = e.what();
@@ -171,15 +206,15 @@ void RpcClient::reader_loop() {
 }
 
 void RpcClient::fail_outstanding(const std::string& reason) {
-  std::map<std::uint64_t, ResponseCallback> orphaned;
+  std::map<std::uint64_t, PendingEntry> orphaned;
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     reader_done_ = true;  // later submits fail instead of hanging forever
     orphaned.swap(pending_);
   }
-  for (auto& [id, callback] : orphaned) {
+  for (auto& [id, entry] : orphaned) {
     (void)id;
-    callback(Status::kInternalError, {}, "rpc error: " + reason);
+    entry.callback(Status::kInternalError, {}, "rpc error: " + reason);
   }
 }
 

@@ -27,6 +27,7 @@
 
 #include "spnhbm/rpc/socket.hpp"
 #include "spnhbm/rpc/wire.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 
 namespace spnhbm::rpc {
 
@@ -106,9 +107,22 @@ class RpcClient {
  private:
   RpcClient(Socket socket, ServerInfo info);
 
-  std::uint64_t send_request(const std::string& model,
-                             std::vector<std::uint8_t> samples,
-                             std::uint64_t deadline_us);
+  /// A request awaiting its response: the completion callback plus the
+  /// trace context minted at send time (invalid when unsampled), so the
+  /// reader thread can close the request's flow chain on the response.
+  struct PendingEntry {
+    ResponseCallback callback;
+    telemetry::TraceContext trace;
+  };
+
+  struct SentRequest {
+    std::uint64_t request_id = 0;
+    telemetry::TraceContext trace;
+  };
+
+  SentRequest send_request(const std::string& model,
+                           std::vector<std::uint8_t> samples,
+                           std::uint64_t deadline_us);
   void reader_loop();
   void fail_outstanding(const std::string& reason);
 
@@ -117,7 +131,10 @@ class RpcClient {
   std::thread reader_;
   std::mutex send_mutex_;
   mutable std::mutex pending_mutex_;
-  std::map<std::uint64_t, ResponseCallback> pending_;
+  std::map<std::uint64_t, PendingEntry> pending_;
+  /// Wall-clock telemetry track of this connection ("rpc/clientN"); 0
+  /// while tracing is disabled.
+  telemetry::TrackId track_ = 0;
   /// Set by the reader on exit (guarded by pending_mutex_); submits after
   /// a lost connection fail fast instead of leaving a future hanging.
   bool reader_done_ = false;

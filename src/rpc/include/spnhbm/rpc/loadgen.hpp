@@ -91,12 +91,19 @@ struct LoadgenReport {
   std::map<std::string, std::uint64_t> sent_by_model;
   /// Wall-clock latency of OK responses, send -> callback, microseconds.
   telemetry::HistogramSnapshot latency_us;
+  /// Same latency, split per model reference (keys match sent_by_model),
+  /// so a mixed-model run shows each model's own percentiles.
+  std::map<std::string, telemetry::HistogramSnapshot> latency_by_model;
 
   std::uint64_t ok() const;
   std::uint64_t retryable() const;  ///< OVERLOADED + NO_HEALTHY_ENGINE + SHUTTING_DOWN
   /// sent == sum(by_status): every request got exactly one outcome.
   bool conserved() const;
   std::string describe() const;
+  /// BENCH_*.json document ("bench": "loadgen"): an "overall" record plus
+  /// one record per model, each carrying the latency percentiles — the
+  /// shape tools/bench_compare consumes.
+  std::string bench_json() const;
 };
 
 /// Arrival offsets from run start, in microseconds, sorted ascending.

@@ -49,6 +49,7 @@
 #include "spnhbm/rpc/wire.hpp"
 #include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/telemetry/trace.hpp"
+#include "spnhbm/telemetry/trace_context.hpp"
 #include "spnhbm/util/version.hpp"
 
 namespace spnhbm::rpc {
@@ -70,6 +71,8 @@ struct RpcServerConfig {
   AdmissionConfig admission;
   /// Advertised in the handshake.
   std::string build_version = kVersionString;
+  /// Slowest traced requests retained for the ADMIN plane (ring bound).
+  std::size_t tail_sample_capacity = 64;
 };
 
 struct RpcServerStats {
@@ -140,6 +143,8 @@ class RpcServer {
 
   std::size_t active_connections() const;
   RpcServerStats stats() const;
+  /// Slowest retained traced requests (the ADMIN plane's tail view).
+  const telemetry::TailSampler& tail_sampler() const { return tail_; }
 
  private:
   struct Outgoing {
@@ -150,6 +155,13 @@ class RpcServer {
     std::uint64_t request_id = 0;
     std::uint64_t deadline_us = 0;
     std::chrono::steady_clock::time_point received;
+    /// Trace context of the request (invalid when untraced).
+    telemetry::TraceContext trace;
+    /// Lane id + sample count, kept for the tail sampler's records.
+    std::string model;
+    std::uint64_t sample_count = 0;
+    /// ADMIN replies skip the request-latency accounting.
+    bool admin = false;
   };
 
   struct Connection {
@@ -169,7 +181,9 @@ class RpcServer {
   void reader_loop(Connection& connection);
   void writer_loop(Connection& connection);
   /// Admission + submit; returns the outbox entry for the request.
-  Outgoing handle_request(RequestFrame request);
+  Outgoing handle_request(Connection& connection, RequestFrame request);
+  /// Snapshot of the live plane, pre-encoded as an ADMIN reply.
+  Outgoing handle_admin();
   ResponseFrame resolve(Outgoing& outgoing);
   void enqueue(Connection& connection, Outgoing outgoing);
   HelloFrame make_hello() const;
@@ -188,6 +202,7 @@ class RpcServer {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::uint64_t next_connection_id_ = 0;
   RpcServerStats stats_;
+  telemetry::TailSampler tail_;
   std::shared_ptr<telemetry::Histogram> latency_us_;
   std::shared_ptr<telemetry::Counter> ctr_connections_;
   std::shared_ptr<telemetry::Counter> ctr_received_;

@@ -22,23 +22,42 @@
 //              human-readable error message.
 //   kShutdown  client -> server: asks the serving process to drain and
 //              exit (the loopback admin path used by CI smoke runs).
+//   kAdmin     client -> server (v2): live-introspection poll with an
+//              empty body; answered immediately with kAdminReply, out of
+//              band of the inference stream.
+//   kAdminReply server -> client (v2): build/version info plus text
+//              sections — Prometheus metrics exposition, per-engine
+//              health states, the fleet replica map, and the tail
+//              sampler's slowest-request breakdowns.
 //
-// Strings are u16 length + bytes; payloads are u32 length + bytes. Frame
-// bodies are capped at kMaxBodyBytes — a peer announcing more is treated
-// as a protocol violation, not an allocation request.
+// Strings are u16 length + bytes; payloads and long text sections are
+// u32 length + bytes. Frame bodies are capped at kMaxBodyBytes — a peer
+// announcing more is treated as a protocol violation, not an allocation
+// request.
+//
+// Version negotiation: the HELLO layout is frozen. A v2 REQUEST may
+// append an optional fixed-size trace block (trace id + parent span id)
+// after the sample payload; v1 frames simply omit it, and a v2 client
+// sends it only when the server's HELLO advertised version >= 2, so old
+// and new peers interoperate in both directions. ADMIN frames are
+// likewise only sent to servers that advertised v2.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "spnhbm/telemetry/trace_context.hpp"
 #include "spnhbm/util/error.hpp"
 
 namespace spnhbm::rpc {
 
-/// Version of the frame layout described above. Bumped on any
-/// incompatible change; the client refuses to talk to a newer server.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Version of the frame layout described above. Bumped on any change a
+/// v1 peer could not parse; the client refuses to talk to a *newer*
+/// server but serves/accepts every version back to 1.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+/// First version carrying REQUEST trace blocks and ADMIN frames.
+inline constexpr std::uint16_t kTraceProtocolVersion = 2;
 
 inline constexpr std::uint32_t kFrameMagic = 0x52'4E'50'53;  // "SPNR"
 inline constexpr std::uint32_t kMaxBodyBytes = 64u << 20;
@@ -57,6 +76,8 @@ enum class FrameType : std::uint8_t {
   kRequest = 2,
   kResponse = 3,
   kShutdown = 4,
+  kAdmin = 5,
+  kAdminReply = 6,
 };
 
 /// Response status. kOverloaded and kNoHealthyEngine are *retryable*: the
@@ -96,6 +117,10 @@ struct RequestFrame {
   /// Relative per-request deadline in microseconds; 0 = none.
   std::uint64_t deadline_us = 0;
   std::vector<std::uint8_t> samples;
+  /// Optional (v2) distributed-tracing context. Encoded as a fixed
+  /// 16-byte trailing block only when valid; absent on v1 frames and on
+  /// untraced v2 requests.
+  telemetry::TraceContext trace;
 };
 
 struct ResponseFrame {
@@ -103,6 +128,18 @@ struct ResponseFrame {
   Status status = Status::kOk;
   std::vector<double> results;  ///< kOk only
   std::string error;            ///< non-kOk only
+};
+
+/// Live-introspection snapshot (v2). The long sections travel as u32
+/// length-prefixed text (the Prometheus exposition of a loaded registry
+/// does not fit the u16 string cap).
+struct AdminReplyFrame {
+  std::uint16_t protocol_version = kProtocolVersion;
+  std::string build_version;
+  std::string metrics_text;   ///< Prometheus text exposition
+  std::string health_text;    ///< per-engine health lines
+  std::string replicas_text;  ///< fleet replica map; empty = single server
+  std::string tail_text;      ///< tail-sampler slowest-request breakdowns
 };
 
 struct Frame {
@@ -122,10 +159,13 @@ Frame encode_hello(const HelloFrame& hello);
 Frame encode_request(const RequestFrame& request);
 Frame encode_response(const ResponseFrame& response);
 Frame encode_shutdown();
+Frame encode_admin();
+Frame encode_admin_reply(const AdminReplyFrame& reply);
 
 /// Body decoders; throw WireError on truncated or trailing bytes.
 HelloFrame decode_hello(const std::vector<std::uint8_t>& body);
 RequestFrame decode_request(const std::vector<std::uint8_t>& body);
 ResponseFrame decode_response(const std::vector<std::uint8_t>& body);
+AdminReplyFrame decode_admin_reply(const std::vector<std::uint8_t>& body);
 
 }  // namespace spnhbm::rpc

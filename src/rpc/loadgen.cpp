@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "spnhbm/rpc/client.hpp"
+#include "spnhbm/telemetry/json.hpp"
 #include "spnhbm/util/error.hpp"
 #include "spnhbm/util/rng.hpp"
 #include "spnhbm/util/strings.hpp"
@@ -132,10 +133,24 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   std::map<std::string, std::uint64_t> sent_by_model;
 
   // Shared completion state; callbacks run on the clients' reader threads.
-  auto latency = std::make_shared<telemetry::Histogram>(
-      telemetry::HistogramOptions{/*first_bucket=*/1.0, /*growth=*/1.5,
-                                  /*bucket_count=*/64});
+  const telemetry::HistogramOptions latency_options{
+      /*first_bucket=*/1.0, /*growth=*/1.5, /*bucket_count=*/64};
+  auto latency = std::make_shared<telemetry::Histogram>(latency_options);
   telemetry::metrics().attach_histogram("rpc.loadgen_latency_us", latency);
+  // One histogram per model reference, created up front so callbacks can
+  // record without taking the shared mutex.
+  std::map<std::string, std::shared_ptr<telemetry::Histogram>> model_latency;
+  if (config.traffic.empty()) {
+    model_latency[config.model] =
+        std::make_shared<telemetry::Histogram>(latency_options);
+  } else {
+    for (const auto& traffic : config.traffic) {
+      if (!model_latency.count(traffic.model)) {
+        model_latency[traffic.model] =
+            std::make_shared<telemetry::Histogram>(latency_options);
+      }
+    }
+  }
   std::mutex mutex;
   std::condition_variable cv;
   std::array<std::uint64_t, 8> by_status{};
@@ -160,14 +175,16 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
                                   traffic.payloads.size()];
     }
     const Clock::time_point fired = Clock::now();
-    const auto on_response = [&, fired](Status status,
-                                        const std::vector<double>&,
-                                        const std::string&) {
+    telemetry::Histogram* per_model = model_latency.at(*model).get();
+    const auto on_response = [&, fired, per_model](Status status,
+                                                   const std::vector<double>&,
+                                                   const std::string&) {
       if (status == Status::kOk) {
         const double us = std::chrono::duration<double, std::micro>(
                               Clock::now() - fired)
                               .count();
         latency->record(us);
+        per_model->record(us);
       }
       std::lock_guard<std::mutex> lock(mutex);
       ++by_status[static_cast<std::size_t>(status) % by_status.size()];
@@ -222,6 +239,9 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   report.achieved_rps =
       wall > 0.0 ? static_cast<double>(report.ok()) / wall : 0.0;
   report.latency_us = latency->snapshot();
+  for (const auto& [model, histogram] : model_latency) {
+    report.latency_by_model[model] = histogram->snapshot();
+  }
   return report;
 }
 
@@ -251,9 +271,14 @@ std::string LoadgenReport::describe() const {
                    offered_rps, achieved_rps);
   if (sent_by_model.size() > 1) {
     for (const auto& [model, count] : sent_by_model) {
-      out += strformat("  model %-24s %llu requests\n",
+      out += strformat("  model %-24s %llu requests",
                        (model.empty() ? "<default>" : model.c_str()),
                        static_cast<unsigned long long>(count));
+      const auto it = latency_by_model.find(model);
+      if (it != latency_by_model.end() && it->second.count > 0) {
+        out += "; latency_us " + it->second.summary();
+      }
+      out += "\n";
     }
   }
   for (std::size_t i = 0; i < by_status.size(); ++i) {
@@ -266,6 +291,42 @@ std::string LoadgenReport::describe() const {
   out += strformat("  conservation (sent == sum over statuses): %s\n",
                    conserved() ? "ok" : "VIOLATED");
   return out;
+}
+
+std::string LoadgenReport::bench_json() const {
+  telemetry::JsonWriter w;
+  const auto emit_latency = [&w](const telemetry::HistogramSnapshot& snap) {
+    w.key("latency_mean_us")
+        .value(snap.count > 0 ? snap.sum / static_cast<double>(snap.count)
+                              : 0.0);
+    w.key("latency_p50_us").value(snap.p50());
+    w.key("latency_p95_us").value(snap.p95());
+    w.key("latency_p99_us").value(snap.p99());
+  };
+  w.begin_object();
+  w.key("bench").value("loadgen");
+  w.key("records").begin_array();
+  w.begin_object();
+  w.key("name").value("overall");
+  w.key("sent").value(sent);
+  w.key("ok").value(ok());
+  w.key("offered_rps").value(offered_rps);
+  w.key("achieved_rps").value(achieved_rps);
+  w.key("wall_seconds").value(wall_seconds);
+  emit_latency(latency_us);
+  w.end_object();
+  for (const auto& [model, count] : sent_by_model) {
+    w.begin_object();
+    w.key("name").value(model.empty() ? "<default>" : model);
+    w.key("sent").value(count);
+    const auto it = latency_by_model.find(model);
+    emit_latency(it != latency_by_model.end() ? it->second
+                                              : telemetry::HistogramSnapshot{});
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace spnhbm::rpc

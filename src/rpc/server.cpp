@@ -52,7 +52,8 @@ RpcServer::RpcServer(engine::InferenceService& server, RpcServerConfig config)
               config_.admission.burst > 0.0
                   ? config_.admission.burst
                   : std::max(config_.admission.rate_limit_rps, 1.0)),
-      listener_(config_.port) {
+      listener_(config_.port),
+      tail_(std::max<std::size_t>(config_.tail_sample_capacity, 1)) {
   port_ = listener_.port();
   latency_us_ = std::make_shared<telemetry::Histogram>();
   auto& registry = telemetry::metrics();
@@ -200,7 +201,10 @@ void RpcServer::reader_loop(Connection& connection) {
       }
       switch (type) {
         case FrameType::kRequest:
-          enqueue(connection, handle_request(decode_request(body)));
+          enqueue(connection, handle_request(connection, decode_request(body)));
+          break;
+        case FrameType::kAdmin:
+          enqueue(connection, handle_admin());
           break;
         case FrameType::kShutdown:
           SPNHBM_INFO("rpc") << "shutdown requested by connection "
@@ -226,12 +230,29 @@ void RpcServer::reader_loop(Connection& connection) {
   connection.cv.notify_all();
 }
 
-RpcServer::Outgoing RpcServer::handle_request(RequestFrame request) {
+RpcServer::Outgoing RpcServer::handle_admin() {
+  AdminReplyFrame reply;
+  reply.build_version = config_.build_version;
+  reply.metrics_text = telemetry::metrics().prometheus_text();
+  reply.health_text = server_.health_text();
+  reply.replicas_text = server_.replicas_text();
+  reply.tail_text = tail_.describe();
+  Outgoing outgoing;
+  outgoing.admin = true;
+  outgoing.received = SteadyClock::now();
+  outgoing.wire = encode_frame(encode_admin_reply(reply));
+  return outgoing;
+}
+
+RpcServer::Outgoing RpcServer::handle_request(Connection& connection,
+                                              RequestFrame request) {
   const auto received = SteadyClock::now();
   Outgoing outgoing;
   outgoing.request_id = request.request_id;
   outgoing.deadline_us = request.deadline_us;
   outgoing.received = received;
+  outgoing.trace = request.trace;
+  outgoing.model = request.model;
 
   ResponseFrame response;
   response.request_id = request.request_id;
@@ -290,7 +311,9 @@ RpcServer::Outgoing RpcServer::handle_request(RequestFrame request) {
   }
   // 4. Submit (non-blocking; a full server queue is queue-depth shedding).
   try {
-    auto future = server_.try_submit(request.model, std::move(request.samples));
+    outgoing.sample_count = request.samples.size() / features;
+    auto future = server_.try_submit(request.model, std::move(request.samples),
+                                     request.trace);
     if (!future.has_value()) {
       reject(Status::kOverloaded, "shed by server queue bound (retryable)",
              &RpcServerStats::shed_queue_depth, ctr_shed_queue_depth_);
@@ -314,6 +337,13 @@ RpcServer::Outgoing RpcServer::handle_request(RequestFrame request) {
   }
   ctr_received_->add(1);
   ctr_accepted_->add(1);
+  if (request.trace.valid()) {
+    auto& tracer = telemetry::tracer();
+    tracer.complete_wall(connection.track, "admission", received,
+                         SteadyClock::now());
+    tracer.flow_wall(connection.track, "request", 't', request.trace.trace_id,
+                     received);
+  }
   return outgoing;
 }
 
@@ -380,8 +410,10 @@ void RpcServer::writer_loop(Connection& connection) {
       outgoing = std::move(connection.outbox.front());
       connection.outbox.pop_front();
     }
+    Status status = Status::kOk;
     if (outgoing.future.has_value()) {
       ResponseFrame response = resolve(outgoing);
+      status = response.status;
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (response.status == Status::kOk) {
@@ -397,12 +429,28 @@ void RpcServer::writer_loop(Connection& connection) {
       outgoing.wire = encode_frame(encode_response(response));
     }
     send_frame(outgoing.wire);
+    if (outgoing.admin) continue;  // not a request: no latency accounting
     const auto now = SteadyClock::now();
-    latency_us_->record(us_since(outgoing.received, now));
+    const double latency_us = us_since(outgoing.received, now);
+    latency_us_->record(latency_us);
     auto& tracer = telemetry::tracer();
     if (tracer.enabled() && connection.track != 0) {
       tracer.complete_wall(connection.track, "request", outgoing.received,
                            now);
+    }
+    if (outgoing.trace.valid()) {
+      // Server-side flow step across the whole frame-to-response window,
+      // then the record competes for a slot in the tail ring.
+      tracer.flow_wall(connection.track, "request", 't',
+                       outgoing.trace.trace_id, outgoing.received);
+      telemetry::RequestTraceRecord record;
+      record.trace_id = outgoing.trace.trace_id;
+      record.model = outgoing.model;
+      record.status = to_string(status);
+      record.sample_count = outgoing.sample_count;
+      record.latency_us = latency_us;
+      record.spans.push_back({"request", 0.0, latency_us, 0});
+      tail_.offer(std::move(record));
     }
   }
   {

@@ -32,6 +32,12 @@ class Writer {
     u32(static_cast<std::uint32_t>(b.size()));
     bytes_.insert(bytes_.end(), b.begin(), b.end());
   }
+  /// u32 length-prefixed text, for sections that may exceed the u16
+  /// string cap (metrics expositions).
+  void ltext(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
  private:
@@ -58,6 +64,12 @@ class Reader {
     const std::uint8_t* p = take(n);
     return std::vector<std::uint8_t>(p, p + n);
   }
+  std::string ltext() {
+    const std::size_t n = u32();
+    const std::uint8_t* p = take(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+  bool at_end() const { return cursor_ == bytes_.size(); }
   void expect_end() const {
     if (cursor_ != bytes_.size()) {
       throw WireError(strformat("%zu trailing byte(s) after frame body",
@@ -132,7 +144,7 @@ std::uint32_t decode_frame_header(
   }
   const std::uint8_t raw_type = header[4];
   if (raw_type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+      raw_type > static_cast<std::uint8_t>(FrameType::kAdminReply)) {
     throw WireError(strformat("unknown frame type %u", raw_type));
   }
   if (length > kMaxBodyBytes) {
@@ -179,6 +191,12 @@ Frame encode_request(const RequestFrame& request) {
   w.str(request.model);
   w.u64(request.deadline_us);
   w.blob(request.samples);
+  // Optional v2 trace block: a fixed 16 bytes, appended only for traced
+  // requests so untraced traffic stays byte-identical to v1.
+  if (request.trace.valid()) {
+    w.u64(request.trace.trace_id);
+    w.u64(request.trace.parent_span);
+  }
   return Frame{FrameType::kRequest, w.take()};
 }
 
@@ -189,6 +207,13 @@ RequestFrame decode_request(const std::vector<std::uint8_t>& body) {
   request.model = r.str();
   request.deadline_us = r.u64();
   request.samples = r.blob();
+  // v1 frames (and untraced v2 frames) end here; a remainder must be a
+  // complete trace block — anything shorter throws, so a corrupt tail is
+  // still caught.
+  if (!r.at_end()) {
+    request.trace.trace_id = r.u64();
+    request.trace.parent_span = r.u64();
+  }
   r.expect_end();
   return request;
 }
@@ -227,5 +252,31 @@ ResponseFrame decode_response(const std::vector<std::uint8_t>& body) {
 }
 
 Frame encode_shutdown() { return Frame{FrameType::kShutdown, {}}; }
+
+Frame encode_admin() { return Frame{FrameType::kAdmin, {}}; }
+
+Frame encode_admin_reply(const AdminReplyFrame& reply) {
+  Writer w;
+  w.u16(reply.protocol_version);
+  w.str(reply.build_version);
+  w.ltext(reply.metrics_text);
+  w.ltext(reply.health_text);
+  w.ltext(reply.replicas_text);
+  w.ltext(reply.tail_text);
+  return Frame{FrameType::kAdminReply, w.take()};
+}
+
+AdminReplyFrame decode_admin_reply(const std::vector<std::uint8_t>& body) {
+  Reader r(body);
+  AdminReplyFrame reply;
+  reply.protocol_version = r.u16();
+  reply.build_version = r.str();
+  reply.metrics_text = r.ltext();
+  reply.health_text = r.ltext();
+  reply.replicas_text = r.ltext();
+  reply.tail_text = r.ltext();
+  r.expect_end();
+  return reply;
+}
 
 }  // namespace spnhbm::rpc

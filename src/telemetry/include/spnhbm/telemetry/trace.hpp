@@ -64,6 +64,20 @@ class Tracer {
   void instant_wall(TrackId track, const char* name);
   void counter_wall(TrackId track, const char* name, double value);
 
+  // --- Flow events ---------------------------------------------------------
+  // Chrome flow events ('s' start, 't' step, 'f' end) sharing one `id`
+  // draw an arrow chain through the enclosing 'X' slices — including
+  // across the two clock "processes", which is how one request's
+  // wall-clock server spans are linked to its virtual-time device spans.
+  // Every flow event is emitted with the same category ("req"), because
+  // Chrome only binds flow events whose cat AND id match. A flow event
+  // must fall inside an 'X' slice on the same track to bind; emit it at
+  // (or just after) the enclosing slice's start timestamp.
+  void flow_wall(TrackId track, const char* name, char phase,
+                 std::uint64_t flow_id, WallTime at);
+  void flow_virtual(TrackId track, const char* name, char phase,
+                    std::uint64_t flow_id, Picoseconds at);
+
   /// RAII wall-clock span; emits a complete event on destruction. Safe to
   /// construct with tracing disabled (no-op).
   class WallSpan {
@@ -103,10 +117,12 @@ class Tracer {
   struct Event {
     TrackId track;
     const char* name;  ///< must point at a string literal
-    char phase;        ///< 'X' complete, 'i' instant, 'C' counter
+    char phase;        ///< 'X' complete, 'i' instant, 'C' counter,
+                       ///< 's'/'t'/'f' flow start/step/end
     double ts_us;
     double dur_us;     ///< 'X' only
     double value;      ///< 'C' only
+    std::uint64_t flow;  ///< flow events only: the binding id
   };
   struct Track {
     std::string name;

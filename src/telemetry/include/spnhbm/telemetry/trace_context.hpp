@@ -1,0 +1,150 @@
+// Request-scoped trace context and sampling.
+//
+// A `TraceContext` names one request end to end: the client (or loadgen)
+// mints a process-unique trace id, sends it on the wire as an optional
+// REQUEST field, and every layer that touches the request — admission,
+// model lane, batch, engine, simulated device — stamps its spans with
+// flow events carrying that id, so Perfetto draws one arrow chain from
+// the client send all the way into the virtual-time HBM/DMA lanes.
+//
+// Sampling is two-sided:
+//   * `HeadSampler` — an always-on 1-in-N gate applied where the context
+//     is minted; sampled requests get the full flow chain, unsampled
+//     requests carry no context and cost nothing.
+//   * `TailSampler` — a bounded ring that retains the span breakdown of
+//     the slowest requests actually observed, whatever the head sampler
+//     decided; it answers "what did the p99 stragglers spend their time
+//     on" without keeping every request.
+//
+// Log correlation: `TraceContextScope` publishes the trace id to the
+// util logging layer for the current thread, so every log line emitted
+// while a request is being handled carries ` trace=<hex>`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spnhbm::telemetry {
+
+/// Identity of one traced request. `trace_id` doubles as the Chrome
+/// flow-event id for the request's span chain; 0 means "no context"
+/// (untraced request — the wire omits the field entirely).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  /// Span id of the hop that minted/forwarded the context (currently the
+  /// client-side send span); carried for wire compatibility with future
+  /// multi-hop topologies (fleet-of-fleets).
+  std::uint64_t parent_span = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Process-unique, nonzero trace id (SplitMix64 over an atomic counter:
+/// well-mixed bits, deterministic per process, no clock involvement).
+std::uint64_t mint_trace_id();
+
+/// Canonical 16-hex-digit lowercase rendering used in logs and admin
+/// output.
+std::string trace_id_hex(std::uint64_t id);
+
+/// RAII: publishes the context's trace id as the calling thread's
+/// current trace id (log prefixes append ` trace=<hex>` while set) and
+/// restores the previous value on destruction. A scope over an invalid
+/// context is a no-op.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  std::uint64_t previous_ = 0;
+  bool active_ = false;
+};
+
+/// Always-on 1-in-N head sampler. `sample()` is lock-free and returns
+/// true for the 1st, (N+1)th, (2N+1)th... call; N = 1 samples every
+/// request. The period is mutable at runtime (CLI `--trace-sample`).
+class HeadSampler {
+ public:
+  explicit HeadSampler(std::uint64_t every_n = 1) { set_period(every_n); }
+
+  bool sample() {
+    const std::uint64_t n = every_n_.load(std::memory_order_relaxed);
+    return count_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+  }
+  std::uint64_t period() const {
+    return every_n_.load(std::memory_order_relaxed);
+  }
+  /// `every_n` < 1 is clamped to 1 (sample everything).
+  void set_period(std::uint64_t every_n) {
+    every_n_.store(every_n < 1 ? 1 : every_n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> every_n_{1};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// The process-global head sampler consulted by RpcClient/loadgen when
+/// minting contexts.
+HeadSampler& head_sampler();
+
+/// One span inside a retained request breakdown; `depth` encodes the
+/// tree shape (child spans indent under their parent).
+struct RequestSpan {
+  std::string name;
+  double start_us = 0.0;  ///< relative to the request's first span
+  double dur_us = 0.0;
+  int depth = 0;
+};
+
+/// Everything the tail sampler keeps about one slow request.
+struct RequestTraceRecord {
+  std::uint64_t trace_id = 0;
+  std::string model;
+  std::string status;  ///< "ok" or the failure status name
+  std::uint64_t sample_count = 0;
+  double latency_us = 0.0;
+  std::vector<RequestSpan> spans;
+};
+
+/// Bounded ring retaining the span trees of the slowest requests seen so
+/// far. `offer()` is O(capacity) worst case and never allocates beyond
+/// the fixed ring: once full, a new record evicts the fastest retained
+/// record (or is dropped if it is itself faster than everything kept),
+/// so memory stays bounded under any load while the retained set
+/// converges on the slowest percentile.
+class TailSampler {
+ public:
+  explicit TailSampler(std::size_t capacity = 64)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  void offer(RequestTraceRecord record);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t offered() const;
+  /// Latency of the fastest retained record — the admission bar for new
+  /// offers once the ring is full. 0 while not yet full.
+  double threshold_us() const;
+
+  /// Retained records, slowest first.
+  std::vector<RequestTraceRecord> snapshot() const;
+  /// Human-readable rendering for the admin plane: one line per record
+  /// plus indented span breakdowns.
+  std::string describe() const;
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<RequestTraceRecord> ring_;
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace spnhbm::telemetry

@@ -44,35 +44,47 @@ void Tracer::complete_virtual(TrackId track, const char* name,
                               Picoseconds start, Picoseconds end) {
   if (!enabled()) return;
   push(Event{track, name, 'X', virtual_us(start),
-             virtual_us(end) - virtual_us(start), 0.0});
+             virtual_us(end) - virtual_us(start), 0.0, 0});
 }
 
 void Tracer::instant_virtual(TrackId track, const char* name, Picoseconds at) {
   if (!enabled()) return;
-  push(Event{track, name, 'i', virtual_us(at), 0.0, 0.0});
+  push(Event{track, name, 'i', virtual_us(at), 0.0, 0.0, 0});
 }
 
 void Tracer::counter_virtual(TrackId track, const char* name, Picoseconds at,
                              double value) {
   if (!enabled()) return;
-  push(Event{track, name, 'C', virtual_us(at), 0.0, value});
+  push(Event{track, name, 'C', virtual_us(at), 0.0, value, 0});
 }
 
 void Tracer::complete_wall(TrackId track, const char* name, WallTime start,
                            WallTime end) {
   if (!enabled()) return;
   push(Event{track, name, 'X', wall_us(start), wall_us(end) - wall_us(start),
-             0.0});
+             0.0, 0});
 }
 
 void Tracer::instant_wall(TrackId track, const char* name) {
   if (!enabled()) return;
-  push(Event{track, name, 'i', wall_us(wall_now()), 0.0, 0.0});
+  push(Event{track, name, 'i', wall_us(wall_now()), 0.0, 0.0, 0});
 }
 
 void Tracer::counter_wall(TrackId track, const char* name, double value) {
   if (!enabled()) return;
-  push(Event{track, name, 'C', wall_us(wall_now()), 0.0, value});
+  push(Event{track, name, 'C', wall_us(wall_now()), 0.0, value, 0});
+}
+
+void Tracer::flow_wall(TrackId track, const char* name, char phase,
+                       std::uint64_t flow_id, WallTime at) {
+  if (!enabled()) return;
+  push(Event{track, name, phase, wall_us(at), 0.0, 0.0, flow_id});
+}
+
+void Tracer::flow_virtual(TrackId track, const char* name, char phase,
+                          std::uint64_t flow_id, Picoseconds at) {
+  if (!enabled()) return;
+  push(Event{track, name, phase, virtual_us(at), 0.0, 0.0, flow_id});
 }
 
 std::size_t Tracer::event_count() const {
@@ -141,9 +153,16 @@ std::string Tracer::chrome_trace_json() const {
 
   for (const auto& event : events_) {
     const Track& track = tracks_[event.track - 1];
+    const bool is_flow =
+        event.phase == 's' || event.phase == 't' || event.phase == 'f';
     w.begin_object();
     w.key("name").value(event.name);
-    w.key("cat").value(track.clock == TraceClock::kWall ? "wall" : "sim");
+    // Flow events carry one shared category ("req") regardless of the
+    // track's clock: Chrome binds a flow chain only across events whose
+    // cat and id both match, and a request chain crosses both clocks.
+    w.key("cat").value(
+        is_flow ? "req"
+                : (track.clock == TraceClock::kWall ? "wall" : "sim"));
     w.key("ph").value(std::string(1, event.phase));
     w.key("pid").value(pid_for(track.clock));
     w.key("tid").value(static_cast<std::uint64_t>(event.track));
@@ -156,6 +175,11 @@ std::string Tracer::chrome_trace_json() const {
       w.key("args").begin_object();
       w.key("value").value(event.value);
       w.end_object();
+    } else if (is_flow) {
+      w.key("id").value(event.flow);
+      // Bind the flow end to the enclosing slice rather than the next
+      // slice on the track.
+      if (event.phase == 'f') w.key("bp").value("e");
     }
     w.end_object();
   }

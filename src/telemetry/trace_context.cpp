@@ -1,0 +1,126 @@
+#include "spnhbm/telemetry/trace_context.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "spnhbm/util/log.hpp"
+
+namespace spnhbm::telemetry {
+
+std::uint64_t mint_trace_id() {
+  static std::atomic<std::uint64_t> next{0};
+  // SplitMix64: every distinct input maps to a distinct well-mixed
+  // output, so ids from one process never collide.
+  std::uint64_t z = next.fetch_add(1, std::memory_order_relaxed) +
+                    0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 is reserved for "no context"
+}
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+TraceContextScope::TraceContextScope(const TraceContext& context) {
+  if (!context.valid()) return;
+  previous_ = current_trace_id();
+  set_current_trace_id(context.trace_id);
+  active_ = true;
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (active_) set_current_trace_id(previous_);
+}
+
+HeadSampler& head_sampler() {
+  static HeadSampler instance;
+  return instance;
+}
+
+void TailSampler::offer(RequestTraceRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++offered_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  std::size_t fastest = 0;
+  for (std::size_t i = 1; i < ring_.size(); ++i) {
+    if (ring_[i].latency_us < ring_[fastest].latency_us) fastest = i;
+  }
+  if (record.latency_us > ring_[fastest].latency_us) {
+    ring_[fastest] = std::move(record);
+  }
+}
+
+std::size_t TailSampler::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TailSampler::offered() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return offered_;
+}
+
+double TailSampler::threshold_us() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) return 0.0;
+  double fastest = ring_.front().latency_us;
+  for (const auto& record : ring_) {
+    fastest = std::min(fastest, record.latency_us);
+  }
+  return fastest;
+}
+
+std::vector<RequestTraceRecord> TailSampler::snapshot() const {
+  std::vector<RequestTraceRecord> records;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    records = ring_;
+  }
+  std::sort(records.begin(), records.end(),
+            [](const RequestTraceRecord& a, const RequestTraceRecord& b) {
+              return a.latency_us > b.latency_us;
+            });
+  return records;
+}
+
+std::string TailSampler::describe() const {
+  const auto records = snapshot();
+  std::string out = "tail: " + std::to_string(records.size()) + "/" +
+                    std::to_string(capacity_) + " retained of " +
+                    std::to_string(offered()) + " offered\n";
+  for (const auto& record : records) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  trace=%s model=%s status=%s samples=%llu "
+                  "latency_us=%.1f\n",
+                  trace_id_hex(record.trace_id).c_str(),
+                  record.model.c_str(), record.status.c_str(),
+                  static_cast<unsigned long long>(record.sample_count),
+                  record.latency_us);
+    out += line;
+    for (const auto& span : record.spans) {
+      char span_line[160];
+      std::snprintf(span_line, sizeof(span_line), "    %*s%s +%.1fus %.1fus\n",
+                    span.depth * 2, "", span.name.c_str(), span.start_us,
+                    span.dur_us);
+      out += span_line;
+    }
+  }
+  return out;
+}
+
+void TailSampler::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  offered_ = 0;
+}
+
+}  // namespace spnhbm::telemetry

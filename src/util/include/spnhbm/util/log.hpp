@@ -13,6 +13,7 @@
 // accepted) and defaults to Warn otherwise.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -33,8 +34,17 @@ void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
 
 /// Formats the prefix of a log line (timestamp, level, thread id,
-/// component) without emitting it; exposed for tests.
+/// component) without emitting it; exposed for tests. When the calling
+/// thread has a current trace id set, the prefix carries
+/// ` trace=<16-hex-digits>` so log lines correlate with trace spans.
 std::string format_log_prefix(LogLevel level, const std::string& component);
+
+/// The calling thread's current request trace id; 0 = none. Set by the
+/// telemetry layer's TraceContextScope while a request is being handled
+/// (declared here, below telemetry, so the logger can read it without a
+/// dependency inversion).
+std::uint64_t current_trace_id();
+void set_current_trace_id(std::uint64_t id);
 
 namespace detail {
 class LogLine {

@@ -48,6 +48,8 @@ unsigned thread_ordinal() {
   return ordinal;
 }
 
+thread_local std::uint64_t t_trace_id = 0;
+
 }  // namespace
 
 LogLevel log_level() {
@@ -89,12 +91,21 @@ std::string format_log_prefix(LogLevel level, const std::string& component) {
 #endif
   char stamp[32];
   std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &tm);
-  char prefix[160];
-  std::snprintf(prefix, sizeof(prefix), "%s.%03d [%s] (t=%u) %s", stamp,
+  char trace[40] = "";
+  if (t_trace_id != 0) {
+    std::snprintf(trace, sizeof(trace), " trace=%016llx",
+                  static_cast<unsigned long long>(t_trace_id));
+  }
+  char prefix[200];
+  std::snprintf(prefix, sizeof(prefix), "%s.%03d [%s] (t=%u)%s %s", stamp,
                 static_cast<int>(millis), level_name(level), thread_ordinal(),
-                component.c_str());
+                trace, component.c_str());
   return prefix;
 }
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+
+void set_current_trace_id(std::uint64_t id) { t_trace_id = id; }
 
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {

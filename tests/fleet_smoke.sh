@@ -40,6 +40,7 @@ echo "resources reports structured deficits"
 "$CLI" serve --model a="$MODEL" --model b="$MODEL2" \
   --fleet-devices 2 --fleet-replicas 2 --rebalance-ms 100 \
   --batch 8 --max-latency-us 500 --listen 0 --port-file "$PORT_FILE" \
+  --trace-out "$WORK/fleet_smoke.server_trace.json" \
   > "$SERVER_OUT" 2>&1 &
 SERVER_PID=$!
 cleanup() { kill "$SERVER_PID" 2>/dev/null || true; }
@@ -67,17 +68,34 @@ diff "$WORK/fleet_smoke.local_a.out" "$WORK/fleet_smoke.remote_a.out"
 diff "$WORK/fleet_smoke.local_b.out" "$WORK/fleet_smoke.remote_b.out"
 echo "fleet remote inference matches local inference"
 
-# Weighted mixed-model load through the one endpoint, then drain.
+# Live introspection over the same endpoint: one ADMIN snapshot showing
+# every member's engines and the fleet replica map.
+"$CLI" top --connect "127.0.0.1:$PORT" --once > "$WORK/fleet_smoke.top.out"
+cat "$WORK/fleet_smoke.top.out"
+grep -q "member 0" "$WORK/fleet_smoke.top.out"
+grep -q "member 1" "$WORK/fleet_smoke.top.out"
+grep -q "replicas" "$WORK/fleet_smoke.top.out"
+grep -q -- "-> member" "$WORK/fleet_smoke.top.out"
+echo "top renders the fleet ADMIN snapshot"
+
+# Weighted mixed-model load through the one endpoint, then drain. The
+# traced run links fleet-routed requests across both member devices.
 "$CLI" loadgen --connect "127.0.0.1:$PORT" \
   --model a:3 --model b:1 \
   --requests a="$SAMPLES" --requests b="$SAMPLES2" \
   --count 300 --rate 2000 --arrival poisson --connections 4 --seed 7 \
+  --trace-out "$WORK/fleet_smoke.client_trace.json" \
+  --report-out "$WORK/fleet_smoke.report.json" \
   --shutdown > "$WORK/fleet_smoke.loadgen.out"
 cat "$WORK/fleet_smoke.loadgen.out"
 grep -q "conservation (sent == sum over statuses): ok" \
   "$WORK/fleet_smoke.loadgen.out"
 grep -q "model a " "$WORK/fleet_smoke.loadgen.out"
 grep -q "model b " "$WORK/fleet_smoke.loadgen.out"
+# The per-model latency breakdown rides in the report and the JSON.
+grep -q "latency_us " "$WORK/fleet_smoke.loadgen.out"
+grep -q '"name":"a"' "$WORK/fleet_smoke.report.json"
+grep -q '"name":"b"' "$WORK/fleet_smoke.report.json"
 
 for _ in $(seq 1 100); do
   kill -0 "$SERVER_PID" 2>/dev/null || break
@@ -95,4 +113,8 @@ grep -q "fleet: 2 device(s)" "$SERVER_OUT"
 grep -q "member fpga0" "$SERVER_OUT"
 grep -q "member fpga1" "$SERVER_OUT"
 grep -Eq "fleet: routed=[0-9]+ accepted=" "$SERVER_OUT"
+
+# Both sides of the traced run left Chrome-trace artifacts behind.
+[ -s "$WORK/fleet_smoke.server_trace.json" ]
+[ -s "$WORK/fleet_smoke.client_trace.json" ]
 echo "fleet smoke: OK"

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "spnhbm/fault/fault.hpp"
 #include "spnhbm/sim/process.hpp"
+#include "spnhbm/telemetry/trace.hpp"
 
 namespace spnhbm::hbm {
 namespace {
@@ -194,6 +196,43 @@ TEST(HbmChannelFaults, InjectedStallExtendsServiceTimeExactly) {
   const Picoseconds baseline = run(false);
   const Picoseconds stalled = run(true);
   EXPECT_EQ(stalled - baseline, 4 * microseconds(10.0));
+}
+
+TEST(HbmChannelFaults, InjectedFaultsAreAnnotatedOntoTheChannelLane) {
+  // With tracing enabled, every fired decision leaves a "fault.<kind>"
+  // instant on the channel's own swim lane — including a fail, whose
+  // access never completes a rd/wr span.
+  telemetry::tracer().enable();
+  sim::Scheduler scheduler;
+  HbmChannel channel(scheduler);  // after enable() so the track registers
+  fault::FaultPlan plan;
+  fault::FaultRule stall;
+  stall.site = "hbm.access";
+  stall.kind = fault::FaultKind::kStall;
+  stall.has_window = true;
+  stall.from = 0;
+  stall.until = 1;
+  stall.duration_us = 5.0;
+  plan.rules.push_back(stall);
+  fault::FaultRule fail = stall;
+  fail.kind = fault::FaultKind::kFail;
+  fail.from = 1;
+  fail.until = 2;
+  plan.rules.push_back(fail);
+  fault::ScopedFaultPlan armed(plan);
+
+  sim::ProcessRunner runner(scheduler);
+  runner.spawn([&]() -> sim::Process {
+    co_await channel.access({0, 1024, false});
+    co_await channel.access({0, 1024, false});
+  });
+  scheduler.run();
+  EXPECT_THROW(runner.check(), HbmEccError);
+
+  const std::string json = telemetry::tracer().chrome_trace_json();
+  telemetry::tracer().disable();
+  EXPECT_NE(json.find("fault.stall"), std::string::npos);
+  EXPECT_NE(json.find("fault.fail"), std::string::npos);
 }
 
 TEST(HbmChannelFaults, CorruptionIsDetectedByEccNotReturnedSilently) {

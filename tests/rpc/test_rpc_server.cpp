@@ -8,7 +8,10 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,6 +19,8 @@
 #include "spnhbm/engine/server.hpp"
 #include "spnhbm/rpc/client.hpp"
 #include "spnhbm/rpc/server.hpp"
+#include "spnhbm/telemetry/trace.hpp"
+#include "spnhbm/telemetry/trace_context.hpp"
 
 namespace spnhbm::rpc {
 namespace {
@@ -230,6 +235,119 @@ TEST(RpcServer, PerRequestDeadlineMapsToDeadlineExceeded) {
   const RpcServerStats stats = harness.front->stats();
   EXPECT_EQ(stats.failed, 1u);
   EXPECT_EQ(stats.deadline_exceeded, 1u);
+}
+
+/// Raw ADMIN poll over a fresh socket: consume the server's HELLO, send
+/// one kAdmin frame, decode the kAdminReply. RpcClient's reader thread
+/// only expects kResponse frames, so the introspection plane speaks the
+/// wire directly — exactly what `spnhbm top` does.
+AdminReplyFrame admin_poll(std::uint16_t port) {
+  Socket socket = Socket::connect("127.0.0.1", port);
+  const auto read_frame = [&socket]() {
+    std::uint8_t header[kFrameHeaderBytes];
+    if (!socket.recv_exact(header, sizeof(header))) {
+      throw RpcError("peer closed before frame");
+    }
+    FrameType type;
+    const std::uint32_t length = decode_frame_header(header, type);
+    Frame frame;
+    frame.type = type;
+    frame.body.resize(length);
+    if (length > 0 && !socket.recv_exact(frame.body.data(), length)) {
+      throw RpcError("peer closed mid-frame");
+    }
+    return frame;
+  };
+  const Frame hello = read_frame();
+  EXPECT_EQ(hello.type, FrameType::kHello);
+  const auto wire = encode_frame(encode_admin());
+  socket.send_all(wire.data(), wire.size());
+  const Frame reply = read_frame();
+  EXPECT_EQ(reply.type, FrameType::kAdminReply);
+  return decode_admin_reply(reply.body);
+}
+
+/// Parses a Prometheus text exposition into name -> value, skipping
+/// comments and labelled (histogram bucket) lines — the same projection
+/// `spnhbm top` renders from.
+std::map<std::string, double> parse_exposition_lines(const std::string& text) {
+  std::map<std::string, double> values;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    const std::string name = line.substr(0, space);
+    if (name.find('{') != std::string::npos) continue;
+    values[name] = std::stod(line.substr(space + 1));
+  }
+  return values;
+}
+
+TEST(RpcServer, AdminReplyCarriesParseableMetricsAndHealth) {
+  Harness harness;
+  const auto client = harness.connect();
+  const auto request = make_request(1, 50);
+  expect_encoded(request, client->infer("mock@1", request));
+  expect_encoded(request, client->infer("mock@1", request));
+
+  const AdminReplyFrame reply = admin_poll(harness.front->port());
+  EXPECT_EQ(reply.protocol_version, kProtocolVersion);
+  EXPECT_EQ(reply.build_version, "test-build");
+
+  const auto metrics = parse_exposition_lines(reply.metrics_text);
+  ASSERT_TRUE(metrics.count("spnhbm_rpc_completed"));
+  EXPECT_GE(metrics.at("spnhbm_rpc_completed"), 2.0);
+  ASSERT_TRUE(metrics.count("spnhbm_rpc_request_latency_us_count"));
+  EXPECT_GE(metrics.at("spnhbm_rpc_request_latency_us_count"), 2.0);
+
+  // Per-engine health comes from the inference server behind the front.
+  EXPECT_NE(reply.health_text.find("engine 0"), std::string::npos);
+  EXPECT_NE(reply.health_text.find("healthy"), std::string::npos);
+  // A single server has no fleet replica map.
+  EXPECT_TRUE(reply.replicas_text.empty());
+  EXPECT_NE(reply.tail_text.find("retained"), std::string::npos);
+
+  // The ADMIN exchange is out of band: it never perturbs the inference
+  // conservation law.
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.received, 2u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+TEST(RpcServer, TracedRequestsLandInTheTailSampler) {
+  // Enable the global tracer for this test only: the client mints a
+  // context per request (head sampler at 1), the server's writer offers
+  // every traced request to the tail ring.
+  struct TracerGuard {
+    TracerGuard() {
+      telemetry::tracer().enable();
+      telemetry::head_sampler().set_period(1);
+    }
+    ~TracerGuard() { telemetry::tracer().disable(); }
+  } guard;
+
+  Harness harness;
+  const auto client = harness.connect();
+  const auto request = make_request(1, 60);
+  expect_encoded(request, client->infer("mock@1", request));
+  expect_encoded(request, client->infer("mock@1", request));
+
+  EXPECT_EQ(harness.front->tail_sampler().offered(), 2u);
+  EXPECT_EQ(harness.front->tail_sampler().size(), 2u);
+  const auto kept = harness.front->tail_sampler().snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_NE(kept[0].trace_id, 0u);
+  EXPECT_EQ(kept[0].model, "mock@1");
+  EXPECT_GT(kept[0].latency_us, 0.0);
+  ASSERT_FALSE(kept[0].spans.empty());
+  EXPECT_EQ(kept[0].spans[0].name, "request");
+
+  const AdminReplyFrame reply = admin_poll(harness.front->port());
+  EXPECT_NE(reply.tail_text.find("2/64 retained of 2 offered"),
+            std::string::npos);
+  EXPECT_NE(reply.tail_text.find("trace="), std::string::npos);
 }
 
 TEST(RpcServer, ShutdownFrameSignalsTheServer) {

@@ -142,6 +142,105 @@ TEST(Wire, DecodersRejectTruncatedAndTrailingBytes) {
   EXPECT_THROW(decode_request(trailing), WireError);
 }
 
+TEST(Wire, TraceBlockRoundtripsWhenSet) {
+  RequestFrame request;
+  request.request_id = 11;
+  request.model = "mock@1";
+  request.samples = {9, 8, 7};
+  request.trace.trace_id = 0xABCDEF0123456789ull;
+  request.trace.parent_span = 0x42;
+  const RequestFrame decoded = decode_request(encode_request(request).body);
+  EXPECT_TRUE(decoded.trace.valid());
+  EXPECT_EQ(decoded.trace.trace_id, request.trace.trace_id);
+  EXPECT_EQ(decoded.trace.parent_span, request.trace.parent_span);
+  EXPECT_EQ(decoded.samples, request.samples);
+}
+
+TEST(Wire, UntracedRequestOmitsTheTraceBlock) {
+  // A v2 request without a context is byte-identical to the v1 layout:
+  // the optional trailing block is absent, not zero-filled, so a v1 peer
+  // parses it unchanged.
+  RequestFrame traced, untraced;
+  traced.model = untraced.model = "m@1";
+  traced.samples = untraced.samples = {1, 2, 3};
+  traced.trace.trace_id = 5;
+  EXPECT_EQ(encode_request(untraced).body.size() + 16,
+            encode_request(traced).body.size());
+  const RequestFrame decoded = decode_request(encode_request(untraced).body);
+  EXPECT_FALSE(decoded.trace.valid());
+  EXPECT_EQ(decoded.trace.trace_id, 0u);
+}
+
+TEST(Wire, V1PeerRequestBodyStillDecodes) {
+  // Hand-build the v1 body layout: u64 request_id, string model,
+  // u64 deadline_us, u32-length samples — and nothing after it.
+  const auto put_u32 = [](std::vector<std::uint8_t>& b, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  const auto put_u64 = [](std::vector<std::uint8_t>& b, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  std::vector<std::uint8_t> body;
+  put_u64(body, 77);               // request_id
+  body.push_back(3);               // u16 string length, little-endian
+  body.push_back(0);
+  body.push_back('m');
+  body.push_back('@');
+  body.push_back('1');
+  put_u64(body, 0);                // deadline_us
+  put_u32(body, 2);                // samples length
+  body.push_back(0xAA);
+  body.push_back(0xBB);
+
+  const RequestFrame decoded = decode_request(body);
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.model, "m@1");
+  ASSERT_EQ(decoded.samples.size(), 2u);
+  EXPECT_FALSE(decoded.trace.valid());
+}
+
+TEST(Wire, TracedRequestRejectsTruncatedAndTrailingBytes) {
+  RequestFrame request;
+  request.model = "m@1";
+  request.samples = {1, 2, 3};
+  request.trace.trace_id = 99;
+  const Frame frame = encode_request(request);
+
+  // A partial trace block is a violation, not a silent v1 fallback.
+  std::vector<std::uint8_t> truncated(frame.body.begin(),
+                                      frame.body.end() - 1);
+  EXPECT_THROW(decode_request(truncated), WireError);
+
+  std::vector<std::uint8_t> trailing = frame.body;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_request(trailing), WireError);
+}
+
+TEST(Wire, AdminFrameHasEmptyBody) {
+  const Frame frame = encode_admin();
+  EXPECT_EQ(frame.type, FrameType::kAdmin);
+  EXPECT_TRUE(frame.body.empty());
+}
+
+TEST(Wire, AdminReplyRoundtrip) {
+  AdminReplyFrame reply;
+  reply.build_version = "0.5.0-test";
+  reply.metrics_text =
+      "# TYPE spnhbm_rpc_completed counter\nspnhbm_rpc_completed 42\n";
+  reply.health_text = "engine 0 model=m@1 health=healthy\n";
+  reply.replicas_text = "m@1 -> member 0 partition p0 engine 0\n";
+  reply.tail_text = "tail: 1/64 retained of 9 offered\n";
+  const Frame frame = encode_admin_reply(reply);
+  EXPECT_EQ(frame.type, FrameType::kAdminReply);
+  const AdminReplyFrame decoded = decode_admin_reply(frame.body);
+  EXPECT_EQ(decoded.protocol_version, kProtocolVersion);
+  EXPECT_EQ(decoded.build_version, reply.build_version);
+  EXPECT_EQ(decoded.metrics_text, reply.metrics_text);
+  EXPECT_EQ(decoded.health_text, reply.health_text);
+  EXPECT_EQ(decoded.replicas_text, reply.replicas_text);
+  EXPECT_EQ(decoded.tail_text, reply.tail_text);
+}
+
 TEST(Wire, RetryableStatuses) {
   EXPECT_TRUE(is_retryable(Status::kOverloaded));
   EXPECT_TRUE(is_retryable(Status::kNoHealthyEngine));

@@ -14,6 +14,11 @@
 # both models served from one `serve --listen` process, each stream
 # diffed against its local inference.
 #
+# Phase 3 smokes the observability plane: a traced server under a traced
+# load must yield client+server Chrome traces whose flow events link one
+# request end to end (merged into one file when python3 is available),
+# and `spnhbm top` must render a live ADMIN snapshot from the same port.
+#
 # Usage: rpc_smoke.sh <spnhbm-cli> <model.spn> <samples.csv> <work-dir> \
 #                     [<model2.spn> <samples2.csv>]
 set -euo pipefail
@@ -115,5 +120,87 @@ if [ -n "$MODEL2" ]; then
     cat "$WORK/rpc_smoke.mm_server.out"; exit 1; }
   trap - EXIT
   grep -q "conservation ok" "$WORK/rpc_smoke.mm_server.out"
+fi
+
+# Phase 3: distributed tracing + the live ADMIN plane. FPGA + CPU
+# engines so the flow chain reaches the virtual-time HBM/DMA lanes.
+rm -f "$PORT_FILE"
+"$CLI" serve "$MODEL" --engines fpga,cpu --batch 8 --max-latency-us 500 \
+  --listen 0 --port-file "$PORT_FILE" \
+  --trace-out "$WORK/rpc_smoke.server_trace.json" \
+  > "$WORK/rpc_smoke.traced_server.out" 2>&1 &
+SERVER_PID=$!
+trap cleanup EXIT
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "traced server died before binding:"
+    cat "$WORK/rpc_smoke.traced_server.out"; exit 1; }
+  sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+
+# One ADMIN snapshot off the live server.
+"$CLI" top --connect "127.0.0.1:$PORT" --once > "$WORK/rpc_smoke.top.out"
+cat "$WORK/rpc_smoke.top.out"
+grep -q "engine 0" "$WORK/rpc_smoke.top.out"
+grep -q "requests " "$WORK/rpc_smoke.top.out"
+grep -q "slowest traced requests" "$WORK/rpc_smoke.top.out"
+echo "top renders the ADMIN snapshot"
+
+"$CLI" loadgen --connect "127.0.0.1:$PORT" --requests "$SAMPLES" \
+  --count 100 --rate 2000 --connections 2 --seed 7 \
+  --trace-out "$WORK/rpc_smoke.client_trace.json" \
+  --report-out "$WORK/rpc_smoke.report.json" \
+  --shutdown > "$WORK/rpc_smoke.traced_loadgen.out"
+grep -q "conservation (sent == sum over statuses): ok" \
+  "$WORK/rpc_smoke.traced_loadgen.out"
+grep -q '"name":"overall"' "$WORK/rpc_smoke.report.json"
+
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$SERVER_PID" || {
+  echo "traced server exited non-zero:"
+  cat "$WORK/rpc_smoke.traced_server.out"; exit 1; }
+trap - EXIT
+[ -s "$WORK/rpc_smoke.server_trace.json" ]
+[ -s "$WORK/rpc_smoke.client_trace.json" ]
+
+# Merge the two per-process traces into one file and assert the flow
+# chain actually spans client -> server -> virtual-time device lanes.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$WORK/rpc_smoke.client_trace.json" \
+    "$WORK/rpc_smoke.server_trace.json" \
+    "$WORK/rpc_smoke.merged_trace.json" <<'PY'
+import json, sys
+client_path, server_path, out_path = sys.argv[1:4]
+merged = []
+# The server keeps its pids (1 = wall, 2 = virtual); the client's are
+# remapped out of the way so the lanes stay distinct in one view.
+for path, pid_base in ((server_path, 0), (client_path, 10)):
+    for event in json.load(open(path))["traceEvents"]:
+        event = dict(event)
+        event["pid"] = event["pid"] + pid_base
+        merged.append(event)
+flows = [e for e in merged
+         if e.get("ph") in ("s", "t", "f") and e.get("cat") == "req"]
+phases_by_id = {}
+for e in flows:
+    phases_by_id.setdefault(e["id"], set()).add(e["ph"])
+complete = [i for i, phases in phases_by_id.items()
+            if phases == {"s", "t", "f"}]
+assert complete, "no request flow chain spans client and server"
+virtual_steps = [e for e in flows if e["pid"] == 2 and e["ph"] == "t"]
+assert virtual_steps, "no flow step reached the virtual-time device lanes"
+json.dump({"displayTimeUnit": "ms", "traceEvents": merged},
+          open(out_path, "w"))
+print("merged trace: %d events, %d complete request chains, "
+      "%d virtual-time flow steps" %
+      (len(merged), len(complete), len(virtual_steps)))
+PY
+else
+  echo "python3 unavailable; skipping trace merge check"
 fi
 echo "rpc smoke: OK"

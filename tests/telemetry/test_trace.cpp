@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "spnhbm/telemetry/json.hpp"
@@ -92,6 +93,51 @@ TEST(Trace, ChromeTraceJsonParsesBackWithTrackMetadata) {
   EXPECT_TRUE(saw_worker_name);
   EXPECT_TRUE(saw_span);
   EXPECT_TRUE(saw_wall_span);
+}
+
+TEST(Trace, FlowEventsLinkOneRequestAcrossBothClocks) {
+  // The distributed-tracing contract: one request's flow chain — start on
+  // a wall-clock track, steps on wall- and virtual-clock tracks, end back
+  // on a wall track — shares one cat ("req") and one id, so Perfetto
+  // draws a single arrow chain across the two clock "processes".
+  Tracer t;
+  t.enable();
+  const TrackId client = t.register_track("rpc/client", TraceClock::kWall);
+  const TrackId worker = t.register_track("server/worker0", TraceClock::kWall);
+  const TrackId hbm = t.register_track("hbm/ch0", TraceClock::kVirtual);
+
+  const std::uint64_t flow_id = 0xFEEDFACE;
+  const auto wall = Tracer::wall_now();
+  t.flow_wall(client, "request", 's', flow_id, wall);
+  t.flow_wall(worker, "request", 't', flow_id, wall);
+  t.flow_virtual(hbm, "request", 't', flow_id, 2'000'000);
+  t.flow_wall(client, "request", 'f', flow_id, wall);
+  EXPECT_EQ(t.event_count(), 4u);
+
+  const JsonValue doc = parse_json(t.chrome_trace_json());
+  int starts = 0, steps = 0, ends = 0;
+  bool saw_virtual_step = false;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    const std::string ph = e.at("ph").string;
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    // Chrome binds a flow only across events whose cat AND id both match.
+    EXPECT_EQ(e.at("cat").string, "req");
+    EXPECT_DOUBLE_EQ(e.at("id").number, static_cast<double>(flow_id));
+    if (ph == "s") ++starts;
+    if (ph == "t") {
+      ++steps;
+      if (e.at("pid").number == 2.0) saw_virtual_step = true;
+    }
+    if (ph == "f") {
+      ++ends;
+      // The end binds to its enclosing slice, not the next slice.
+      EXPECT_EQ(e.at("bp").string, "e");
+    }
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(steps, 2);
+  EXPECT_EQ(ends, 1);
+  EXPECT_TRUE(saw_virtual_step);  // the chain crossed into virtual time
 }
 
 TEST(Trace, ReenableClearsPreviousRunAndDropsStaleTracks) {

@@ -1,0 +1,134 @@
+// Trace-context unit tests: id minting, head-sampler gating, the
+// log-correlation scope, and the tail sampler's bounded-ring guarantee
+// (never exceeds capacity, converges on the slowest requests).
+#include "spnhbm/telemetry/trace_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "spnhbm/util/log.hpp"
+
+namespace spnhbm::telemetry {
+namespace {
+
+TEST(TraceContext, MintedIdsAreNonZeroAndUnique) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t id = mint_trace_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id " << id;
+  }
+}
+
+TEST(TraceContext, HexRenderingIsSixteenLowercaseDigits) {
+  EXPECT_EQ(trace_id_hex(0xABCDEFull), "0000000000abcdef");
+  EXPECT_EQ(trace_id_hex(0xFFFFFFFFFFFFFFFFull), "ffffffffffffffff");
+}
+
+TEST(TraceContext, DefaultContextIsInvalid) {
+  const TraceContext none;
+  EXPECT_FALSE(none.valid());
+  const TraceContext some{mint_trace_id(), 0};
+  EXPECT_TRUE(some.valid());
+}
+
+TEST(TraceContextScope, PublishesAndRestoresTheThreadLocalId) {
+  ASSERT_EQ(current_trace_id(), 0u);
+  {
+    const TraceContextScope outer(TraceContext{0x1111, 0});
+    EXPECT_EQ(current_trace_id(), 0x1111u);
+    {
+      const TraceContextScope inner(TraceContext{0x2222, 0});
+      EXPECT_EQ(current_trace_id(), 0x2222u);
+    }
+    EXPECT_EQ(current_trace_id(), 0x1111u);
+    {
+      // A scope over an invalid context is a no-op, not a reset.
+      const TraceContextScope noop(TraceContext{});
+      EXPECT_EQ(current_trace_id(), 0x1111u);
+    }
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+}
+
+TEST(TraceContextScope, TheIdIsPerThread) {
+  const TraceContextScope scope(TraceContext{0xAAAA, 0});
+  std::uint64_t other_thread = 0xDEAD;
+  std::thread([&] { other_thread = current_trace_id(); }).join();
+  EXPECT_EQ(other_thread, 0u);  // never leaks across threads
+  EXPECT_EQ(current_trace_id(), 0xAAAAu);
+}
+
+TEST(HeadSampler, PeriodOneSamplesEverything) {
+  HeadSampler sampler(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sampler.sample());
+}
+
+TEST(HeadSampler, OneInNIsExact) {
+  HeadSampler sampler(4);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += sampler.sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 25);  // deterministic 1st, 5th, 9th, ...
+}
+
+TEST(HeadSampler, ZeroPeriodClampsToOne) {
+  HeadSampler sampler(0);
+  EXPECT_EQ(sampler.period(), 1u);
+  sampler.set_period(7);
+  EXPECT_EQ(sampler.period(), 7u);
+}
+
+RequestTraceRecord record(double latency_us) {
+  RequestTraceRecord r;
+  r.trace_id = mint_trace_id();
+  r.model = "m@1";
+  r.status = "OK";
+  r.sample_count = 1;
+  r.latency_us = latency_us;
+  r.spans.push_back(RequestSpan{"request", 0.0, latency_us, 0});
+  return r;
+}
+
+TEST(TailSampler, NeverExceedsCapacityUnderLoad) {
+  TailSampler tail(4);
+  for (int i = 0; i < 1000; ++i) {
+    tail.offer(record(static_cast<double>((i * 37) % 501)));
+    EXPECT_LE(tail.size(), 4u);
+  }
+  EXPECT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.offered(), 1000u);
+}
+
+TEST(TailSampler, RetainsTheSlowestRequestsSlowestFirst) {
+  TailSampler tail(3);
+  for (const double us : {10.0, 500.0, 20.0, 900.0, 5.0, 700.0, 30.0}) {
+    tail.offer(record(us));
+  }
+  const auto kept = tail.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept[0].latency_us, 900.0);
+  EXPECT_DOUBLE_EQ(kept[1].latency_us, 700.0);
+  EXPECT_DOUBLE_EQ(kept[2].latency_us, 500.0);
+  // The admission bar is the fastest retained record.
+  EXPECT_DOUBLE_EQ(tail.threshold_us(), 500.0);
+}
+
+TEST(TailSampler, DescribeListsRetainedRecordsAndSpans) {
+  TailSampler tail(2);
+  tail.offer(record(123.0));
+  const std::string text = tail.describe();
+  EXPECT_NE(text.find("123.0"), std::string::npos);
+  EXPECT_NE(text.find("request"), std::string::npos);
+  EXPECT_NE(text.find("m@1"), std::string::npos);
+
+  tail.clear();
+  EXPECT_EQ(tail.size(), 0u);
+  EXPECT_EQ(tail.offered(), 0u);
+}
+
+}  // namespace
+}  // namespace spnhbm::telemetry

@@ -43,6 +43,21 @@ TEST(LogPrefix, CarriesTimestampLevelThreadAndComponent) {
             std::string::npos);
 }
 
+TEST(LogPrefix, CarriesTheActiveTraceIdWhenSet) {
+  // Without a request context the prefix is unchanged (byte-identical to
+  // the pre-tracing format); with one, it gains ` trace=<16 hex digits>`.
+  ASSERT_EQ(current_trace_id(), 0u);
+  const std::string plain = format_log_prefix(LogLevel::kInfo, "server");
+  EXPECT_EQ(plain.find("trace="), std::string::npos);
+
+  set_current_trace_id(0xABCDEF0123456789ull);
+  const std::string traced = format_log_prefix(LogLevel::kInfo, "server");
+  EXPECT_NE(traced.find(" trace=abcdef0123456789"), std::string::npos);
+  set_current_trace_id(0);
+  EXPECT_EQ(format_log_prefix(LogLevel::kInfo, "server").find("trace="),
+            std::string::npos);
+}
+
 TEST(LogLevelControl, SetAndGetRoundTrip) {
   const LogLevel before = log_level();
   set_log_level(LogLevel::kDebug);

@@ -5,14 +5,17 @@
 //   bench_compare <baseline.json> <current.json>
 //       [--threshold PCT] [--strict] [--ignore FIELD]...
 //
-// Records are matched by position; every numeric field present in both
-// sides is compared. The direction of "worse" is inferred from the field
-// name: throughput-style fields (…per_s, …rps, …gib…) regress when they
-// drop, latency-style fields (…latency…, …_us, …seconds…) regress when
-// they rise, and anything else is flagged when it moves at all beyond the
-// threshold. Default is warn-only (always exits 0, prints the deviations);
-// --strict turns regressions into exit 1 for opt-in gating. Host-dependent
-// fields (wall-clock CPU baselines) are skipped with --ignore.
+// Records are matched by their "name" field when every record on both
+// sides carries one (loadgen reports: "overall" plus one record per
+// model), falling back to positional matching otherwise; every numeric
+// field present in both sides is compared. The direction of "worse" is
+// inferred from the field name: throughput-style fields (…per_s, …rps,
+// …gib…) regress when they drop, latency-style fields (…latency…, …_us,
+// …seconds…) regress when they rise, and anything else is flagged when it
+// moves at all beyond the threshold. Default is warn-only (always exits
+// 0, prints the deviations); --strict turns regressions into exit 1 for
+// opt-in gating. Host-dependent fields (wall-clock CPU baselines) are
+// skipped with --ignore.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +23,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spnhbm/telemetry/json.hpp"
@@ -110,11 +114,54 @@ int run(int argc, char** argv) {
   std::vector<Deviation> deviations;
   bool shape_mismatch = base_records.size() != cur_records.size();
 
-  const std::size_t common = std::min(base_records.size(), cur_records.size());
+  // Prefer identity matching: when every record on both sides carries a
+  // string "name", pair records by it (a reordered or grown model mix
+  // then compares like against like instead of by accident of position).
+  const auto record_name =
+      [](const telemetry::JsonValue& record) -> const std::string* {
+    if (record.is_object() && record.has("name") &&
+        record.at("name").is_string()) {
+      return &record.at("name").string;
+    }
+    return nullptr;
+  };
+  bool all_named = !base_records.empty() && !cur_records.empty();
+  for (const auto& record : base_records) {
+    if (record_name(record) == nullptr) all_named = false;
+  }
+  for (const auto& record : cur_records) {
+    if (record_name(record) == nullptr) all_named = false;
+  }
+  std::vector<std::pair<const telemetry::JsonValue*,
+                        const telemetry::JsonValue*>> pairs;
+  if (all_named) {
+    for (const auto& base : base_records) {
+      const std::string& name = *record_name(base);
+      const telemetry::JsonValue* match = nullptr;
+      for (const auto& cur : cur_records) {
+        if (*record_name(cur) == name) {
+          match = &cur;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        shape_mismatch = true;  // a baseline record vanished
+        continue;
+      }
+      pairs.emplace_back(&base, match);
+    }
+  } else {
+    const std::size_t common =
+        std::min(base_records.size(), cur_records.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      pairs.emplace_back(&base_records[i], &cur_records[i]);
+    }
+  }
+
   std::size_t compared = 0;
-  for (std::size_t i = 0; i < common; ++i) {
-    const auto& base = base_records[i];
-    const auto& cur = cur_records[i];
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& base = *pairs[i].first;
+    const auto& cur = *pairs[i].second;
     if (!base.is_object() || !cur.is_object()) continue;
     for (const auto& [name, base_value] : base.object) {
       if (ignored.count(name) || !cur.has(name)) continue;

@@ -78,12 +78,18 @@
 //                  [--model name[@version]] [--count N] [--rate RPS]
 //                  [--arrival fixed|poisson|bursty] [--burst N]
 //                  [--connections N] [--seed S] [--deadline-us U]
-//                  [--shutdown] [--metrics-out FILE]
+//                  [--shutdown] [--metrics-out FILE] [--trace-out FILE]
+//                  [--trace-sample N] [--report-out FILE]
 //       Open-loop load generator: replays CSV rows as requests on a
 //       deterministic, seeded arrival schedule (arrivals never wait for
 //       responses) and reports achieved throughput plus wall-clock
-//       latency percentiles. --shutdown asks the server to drain and
-//       exit afterwards (CI teardown).
+//       latency percentiles, overall and per model. --shutdown asks the
+//       server to drain and exit afterwards (CI teardown). --trace-out
+//       enables distributed tracing: 1-in-N head-sampled requests
+//       (--trace-sample N, default every request) carry a trace context
+//       to the server, and the client-side spans land in the Chrome
+//       trace. --report-out writes a BENCH-shaped JSON latency report
+//       for tools/bench_compare.
 //
 //   spnhbm loadgen --connect HOST:PORT --model a[:weight] --model b[:weight]
 //                  --requests a=a.csv --requests b=b.csv [...]
@@ -95,6 +101,14 @@
 //   spnhbm infer --connect HOST:PORT <samples.csv> [--model name[@version]]
 //       Remote inference against a `serve --listen` process; prints one
 //       probability per row, byte-identical to the local engine path.
+//
+//   spnhbm top --connect HOST:PORT [--interval-ms MS] [--count N | --once]
+//       Live introspection of a `serve --listen` process over the ADMIN
+//       wire frames: per-poll request/latency deltas from the server's
+//       Prometheus metrics, per-engine health, the fleet replica map and
+//       the slowest traced requests, refreshed every --interval-ms
+//       (default 1000) until interrupted (--once = a single snapshot;
+//       --count N stops after N polls).
 //
 //   spnhbm learn <data.csv> [--min-instances N] [--threshold X]
 //       Learn a Mixed SPN from CSV data; print its textual description.
@@ -151,8 +165,8 @@ using namespace spnhbm;
 [[noreturn]] void usage() {
   std::fputs(
       "usage: spnhbm "
-      "<compile|resources|simulate|infer|serve|loadgen|learn|sample|version> "
-      "...\n"
+      "<compile|resources|simulate|infer|serve|loadgen|top|learn|sample|"
+      "version> ...\n"
       "run with a command and -h for details (see the header of\n"
       "tools/spnhbm_cli.cpp)\n",
       stderr);
@@ -922,11 +936,156 @@ int cmd_loadgen(const Args& args) {
   config.deadline_us = static_cast<std::uint64_t>(
       std::atoll(args.option("deadline-us", "0").c_str()));
   config.shutdown_server_after = args.flag("shutdown");
+  // 1-in-N head sampling for the trace contexts minted by the clients
+  // (effective only with --trace-out; otherwise no context is minted).
+  telemetry::head_sampler().set_period(static_cast<std::uint64_t>(
+      std::atoll(args.option("trace-sample", "1").c_str())));
 
   const rpc::LoadgenReport report = rpc::run_loadgen(config);
   std::printf("%s", report.describe().c_str());
+  const std::string report_path = args.option("report-out", "");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) throw Error("cannot open report output file: " + report_path);
+    out << report.bench_json() << "\n";
+    std::fprintf(stderr, "loadgen report written to %s\n",
+                 report_path.c_str());
+  }
   telemetry_outputs.write();
   return report.conserved() ? 0 : 1;
+}
+
+/// One ADMIN round-trip on an established connection.
+rpc::AdminReplyFrame fetch_admin(rpc::Socket& socket) {
+  const std::vector<std::uint8_t> wire =
+      rpc::encode_frame(rpc::encode_admin());
+  socket.send_all(wire.data(), wire.size());
+  std::uint8_t header[rpc::kFrameHeaderBytes];
+  if (!socket.recv_exact(header, sizeof(header))) {
+    throw Error("server closed the admin connection");
+  }
+  rpc::FrameType type;
+  const std::uint32_t body_length = rpc::decode_frame_header(header, type);
+  std::vector<std::uint8_t> body(body_length);
+  if (body_length > 0 && !socket.recv_exact(body.data(), body_length)) {
+    throw Error("server closed mid-frame");
+  }
+  if (type != rpc::FrameType::kAdminReply) {
+    throw Error("expected an admin reply, got frame type " +
+                std::to_string(static_cast<unsigned>(type)));
+  }
+  return rpc::decode_admin_reply(body);
+}
+
+/// Prometheus exposition -> {metric name, value}; bucket lines (labels)
+/// and comments are skipped.
+std::map<std::string, double> parse_exposition(const std::string& text) {
+  std::map<std::string, double> values;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find('{') != std::string::npos) continue;
+    const auto space = line.find(' ');
+    if (space == std::string::npos) continue;
+    values[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return values;
+}
+
+int cmd_top(const Args& args) {
+  const auto [host, port] = parse_host_port(args.option("connect", ""));
+  const std::size_t polls =
+      args.flag("once") ? 1
+                        : static_cast<std::size_t>(std::atoll(
+                              args.option("count", "0").c_str()));
+  const auto interval = std::chrono::milliseconds(
+      std::atoll(args.option("interval-ms", "1000").c_str()));
+
+  rpc::Socket socket = rpc::Socket::connect(host, port);
+  // Consume the hello that opens every connection.
+  std::uint8_t header[rpc::kFrameHeaderBytes];
+  if (!socket.recv_exact(header, sizeof(header))) {
+    throw Error("server closed the connection before the handshake");
+  }
+  rpc::FrameType type;
+  const std::uint32_t body_length = rpc::decode_frame_header(header, type);
+  if (type != rpc::FrameType::kHello) {
+    throw Error("expected a hello frame, got type " +
+                std::to_string(static_cast<unsigned>(type)));
+  }
+  std::vector<std::uint8_t> body(body_length);
+  if (body_length > 0 && !socket.recv_exact(body.data(), body_length)) {
+    throw Error("server closed the connection mid-handshake");
+  }
+  const rpc::HelloFrame hello = rpc::decode_hello(body);
+  if (hello.protocol_version < rpc::kTraceProtocolVersion) {
+    throw Error(strformat("server speaks protocol v%u, which has no ADMIN "
+                          "frames (needs v%u+)",
+                          hello.protocol_version,
+                          rpc::kTraceProtocolVersion));
+  }
+
+  std::map<std::string, double> previous;
+  auto previous_time = std::chrono::steady_clock::now();
+  for (std::size_t poll = 0; polls == 0 || poll < polls; ++poll) {
+    if (poll > 0) std::this_thread::sleep_for(interval);
+    const rpc::AdminReplyFrame reply = fetch_admin(socket);
+    const auto now = std::chrono::steady_clock::now();
+    const std::map<std::string, double> values =
+        parse_exposition(reply.metrics_text);
+    const auto metric = [&](const std::string& name) {
+      const auto it = values.find(name);
+      return it == values.end() ? 0.0 : it->second;
+    };
+    const auto delta = [&](const std::string& name) {
+      const auto it = previous.find(name);
+      return it == previous.end() ? metric(name) : metric(name) - it->second;
+    };
+    const double dt =
+        std::chrono::duration<double>(now - previous_time).count();
+
+    std::printf("spnhbm top — %s:%u (server %s, wire v%u)  poll %zu\n",
+                host.c_str(), static_cast<unsigned>(port),
+                reply.build_version.c_str(),
+                static_cast<unsigned>(reply.protocol_version), poll + 1);
+    std::printf(
+        "requests  received=%.0f accepted=%.0f completed=%.0f failed=%.0f "
+        "rejected=%.0f\n",
+        metric("spnhbm_rpc_requests"), metric("spnhbm_rpc_accepted"),
+        metric("spnhbm_rpc_completed"), metric("spnhbm_rpc_failed"),
+        metric("spnhbm_rpc_rejected"));
+    if (poll > 0 && dt > 0.0) {
+      const double completed = delta("spnhbm_rpc_completed");
+      const double latency_count =
+          delta("spnhbm_rpc_request_latency_us_count");
+      const double latency_sum = delta("spnhbm_rpc_request_latency_us_sum");
+      std::printf("interval  %.1f req/s completed, mean latency %.1f us "
+                  "(over %.1fs)\n",
+                  completed / dt,
+                  latency_count > 0.0 ? latency_sum / latency_count : 0.0,
+                  dt);
+    }
+    const auto print_section = [](const char* title,
+                                  const std::string& text) {
+      if (text.empty()) return;
+      std::printf("%s\n", title);
+      std::istringstream lines(text);
+      std::string line;
+      while (std::getline(lines, line)) {
+        std::printf("  %s\n", line.c_str());
+      }
+    };
+    print_section("engines", reply.health_text);
+    print_section("replicas", reply.replicas_text);
+    print_section("slowest traced requests", reply.tail_text);
+    std::printf("\n");
+    std::fflush(stdout);
+    previous = values;
+    previous_time = now;
+  }
+  return 0;
 }
 
 int cmd_version() {
@@ -977,6 +1136,7 @@ int main(int argc, char** argv) {
     if (command == "infer") return cmd_infer(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "loadgen") return cmd_loadgen(args);
+    if (command == "top") return cmd_top(args);
     if (command == "version" || command == "--version") return cmd_version();
     if (command == "learn") return cmd_learn(args);
     if (command == "sample") return cmd_sample(args);
