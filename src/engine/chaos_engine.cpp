@@ -19,7 +19,7 @@ namespace {
 constexpr double kMaxSleepUs = 500'000.0;
 }  // namespace
 
-ChaosEngine::ChaosEngine(std::unique_ptr<InferenceEngine> inner)
+ChaosEngine::ChaosEngine(std::shared_ptr<InferenceEngine> inner)
     : inner_(std::move(inner)) {
   SPNHBM_REQUIRE(inner_ != nullptr, "chaos engine needs an inner engine");
   track_ = telemetry::tracer().register_track(

@@ -29,7 +29,9 @@ class EngineFaultError : public Error {
 
 class ChaosEngine final : public InferenceEngine {
  public:
-  explicit ChaosEngine(std::unique_ptr<InferenceEngine> inner);
+  /// Shared ownership so device-owned engines (fleet tenants) can be
+  /// wrapped too; a unique_ptr converts implicitly.
+  explicit ChaosEngine(std::shared_ptr<InferenceEngine> inner);
 
   const EngineCapabilities& capabilities() const override;
   const ModelHandle& loaded_model() const override;
@@ -48,7 +50,7 @@ class ChaosEngine final : public InferenceEngine {
   /// instants ("fault.<kind>") next to the owning request's spans.
   void apply(const char* site);
 
-  std::unique_ptr<InferenceEngine> inner_;
+  std::shared_ptr<InferenceEngine> inner_;
   telemetry::TrackId track_ = 0;
 };
 

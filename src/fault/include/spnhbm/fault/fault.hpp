@@ -24,6 +24,16 @@
 // (every DES-driven site; every engine, which the server drives from a
 // single worker thread) therefore sees the identical fault sequence on
 // every run with the same seed.
+//
+// Site inventory. Device/substrate sites: "hbm.access", "pcie.dma",
+// "pe.launch", "engine.submit", "engine.wait", "engine.activate"
+// (instance = channel/PE/engine label). Network sites (DESIGN.md §12):
+// "rpc.accept" (instance "listener", one op per accepted socket),
+// "rpc.hello", "rpc.conn.rx" and "rpc.conn.tx" (instance "conn<N>"; rx
+// counts received frames, tx counts sent frames with the HELLO as tx op
+// 0 — per-connection counters restart on every new connection, keeping
+// reconnect-heavy runs reproducible), and "rpc.client.connect"
+// (instance = the client's label, one op per dial attempt).
 #pragma once
 
 #include <atomic>

@@ -13,7 +13,13 @@
 // Routing: try_submit() resolves the model (lane id or unambiguous bare
 // name), then offers the request to the model's replicas round-robin,
 // falling over to the next replica when a member's queue bound rejects
-// it. The fleet keeps conservation identities end to end:
+// it. Member health folds into the choice: replicas whose engine is
+// quarantined, or whose member has rejected
+// `member_suspect_threshold` consecutive offers, are skipped on the
+// first pass (counted in stats().health_skips) and only offered to as a
+// last resort when every healthy replica rejected — a degraded fleet
+// still prefers guaranteed-dead capacity over a guaranteed rejection.
+// The fleet keeps conservation identities end to end:
 //     routed_requests == accepted_requests + rejected_requests
 // and every accepted sample is queued on exactly one member.
 //
@@ -56,6 +62,10 @@ struct FleetConfig {
   engine::FpgaDeviceConfig device;
   /// PE slots per replica when deploy() is not told otherwise.
   int default_pe_slots = 1;
+  /// Consecutive rejected offers after which a member is treated as
+  /// suspect and skipped on the first routing pass (an accepted offer
+  /// resets the count); <= 0 disables the deprioritisation.
+  int member_suspect_threshold = 8;
 };
 
 /// Where one replica of a model lives.
@@ -96,6 +106,10 @@ struct FleetStats {
   std::uint64_t accepted_requests = 0;  ///< landed on some member
   std::uint64_t rejected_requests = 0;  ///< every replica's queue was full
   std::uint64_t accepted_samples = 0;
+  /// First-pass skips of unhealthy replicas (quarantined engine or
+  /// suspect member); not part of the conservation identity — a skipped
+  /// replica may still be offered to on the fallback pass.
+  std::uint64_t health_skips = 0;
   std::uint64_t deployments = 0;    ///< replicas added (deploy + rebalance)
   std::uint64_t undeployments = 0;  ///< replicas removed
   std::string describe() const;
@@ -152,6 +166,9 @@ class FleetRouter : public engine::InferenceService {
   engine::InferenceServer& server(std::size_t member);
   std::size_t replica_count(const std::string& model_ref) const;
   std::vector<ReplicaLocation> replicas(const std::string& model_ref) const;
+  /// Rejected offers since member `member` last accepted one (the
+  /// suspect-member routing signal).
+  std::uint64_t member_consecutive_rejects(std::size_t member) const;
   FleetStats stats() const;
   /// Fleet header, one block per member (device partitions + tenants),
   /// then the replica map.
@@ -161,7 +178,12 @@ class FleetRouter : public engine::InferenceService {
   struct Member {
     std::unique_ptr<engine::FpgaSimDevice> device;
     std::unique_ptr<engine::InferenceServer> server;
+    /// Rejected offers since the last accepted one (guarded by mutex_).
+    std::uint64_t consecutive_rejects = 0;
   };
+
+  /// True when the replica should be skipped on the first routing pass.
+  bool replica_suspect_locked(const ReplicaLocation& location) const;
 
   /// Resolves a model reference (lane id "name@version" or unambiguous
   /// bare name) against the deployed replicas; throws RuntimeApiError.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "spnhbm/engine/chaos_engine.hpp"
 #include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/util/strings.hpp"
 
@@ -26,13 +27,14 @@ std::string RebalanceReport::describe() const {
 std::string FleetStats::describe() const {
   return strformat(
       "fleet: routed=%llu accepted=%llu rejected=%llu samples=%llu "
-      "deploys=%llu undeploys=%llu",
+      "deploys=%llu undeploys=%llu health_skips=%llu",
       static_cast<unsigned long long>(routed_requests),
       static_cast<unsigned long long>(accepted_requests),
       static_cast<unsigned long long>(rejected_requests),
       static_cast<unsigned long long>(accepted_samples),
       static_cast<unsigned long long>(deployments),
-      static_cast<unsigned long long>(undeployments));
+      static_cast<unsigned long long>(undeployments),
+      static_cast<unsigned long long>(health_skips));
 }
 
 FleetRouter::FleetRouter(FleetConfig config) : config_(std::move(config)) {
@@ -85,9 +87,13 @@ ReplicaLocation FleetRouter::deploy_locked(model::ModelHandle model,
   member.device->add_tenant(partition, model, pe_slots);
   std::size_t engine_index = 0;
   try {
+    // The chaos decorator makes the "engine.*" fault sites apply to
+    // fleet tenants exactly as they do to standalone serve engines;
+    // disarmed it costs one relaxed atomic load per submit.
     engine_index = member.server->register_engine(
-        member.device->tenant_engine(partition), 0,
-        member.device->name() + "/" + partition);
+        std::make_shared<engine::ChaosEngine>(
+            member.device->tenant_engine(partition)),
+        0, member.device->name() + "/" + partition);
   } catch (...) {
     member.device->evict_tenant(partition);
     throw;
@@ -228,6 +234,18 @@ std::optional<std::future<std::vector<double>>> FleetRouter::try_submit(
   return try_submit(model, std::move(samples), telemetry::TraceContext{});
 }
 
+bool FleetRouter::replica_suspect_locked(
+    const ReplicaLocation& location) const {
+  const Member& member = members_[location.member];
+  if (member.server->engine_health(location.engine_index) ==
+      engine::EngineHealth::kQuarantined) {
+    return true;
+  }
+  return config_.member_suspect_threshold > 0 &&
+         member.consecutive_rejects >=
+             static_cast<std::uint64_t>(config_.member_suspect_threshold);
+}
+
 std::optional<std::future<std::vector<double>>> FleetRouter::try_submit(
     const std::string& model, std::vector<std::uint8_t> samples,
     const telemetry::TraceContext& trace) {
@@ -241,26 +259,64 @@ std::optional<std::future<std::vector<double>>> FleetRouter::try_submit(
           ? samples.size() / artifacts_.at(id)->input_features()
           : 0;
   std::size_t& cursor = rr_[id];
-  for (std::size_t attempt = 0; attempt < locations.size(); ++attempt) {
-    const ReplicaLocation& location =
-        locations[(cursor + attempt) % locations.size()];
-    // Each member may host several replicas of the model; its own
-    // dispatcher spreads batches across them. The router only picks the
-    // member; a copy is offered so a rejection leaves `samples` intact
-    // for the next replica.
-    auto future =
-        members_[location.member].server->try_submit(id, samples, trace);
+  std::size_t offers = 0;
+  std::size_t unhealthy = 0;
+  // The router only picks the member; a copy of `samples` is offered so
+  // a rejection leaves it intact for the next replica. A member whose
+  // engines are all quarantined throws NoHealthyEngineError — counted as
+  // a rejection here so `routed == accepted + rejected` survives, and
+  // rethrown below only when every replica is in that state.
+  const auto offer = [&](const ReplicaLocation& location, std::size_t advance)
+      -> std::optional<std::future<std::vector<double>>> {
+    Member& member = members_[location.member];
+    offers += 1;
+    std::optional<std::future<std::vector<double>>> future;
+    try {
+      future = member.server->try_submit(id, samples, trace);
+    } catch (const engine::NoHealthyEngineError&) {
+      unhealthy += 1;
+    }
     if (future.has_value()) {
-      cursor = (cursor + attempt + 1) % locations.size();
+      member.consecutive_rejects = 0;
+      cursor = (cursor + advance) % locations.size();
       stats_.accepted_requests += 1;
       stats_.accepted_samples += sample_count;
       telemetry::metrics().counter("fleet.accepted")->add();
-      return future;
+    } else {
+      member.consecutive_rejects += 1;
     }
+    return future;
+  };
+  // Pass 1: healthy replicas only. Quarantined engines and suspect
+  // members are skipped, so one dead member never eats its round-robin
+  // share of the traffic.
+  std::vector<std::size_t> skipped;
+  for (std::size_t attempt = 0; attempt < locations.size(); ++attempt) {
+    const std::size_t slot = (cursor + attempt) % locations.size();
+    if (replica_suspect_locked(locations[slot])) {
+      skipped.push_back(slot);
+      stats_.health_skips += 1;
+      telemetry::metrics().counter("fleet.health_skips")->add();
+      continue;
+    }
+    auto future = offer(locations[slot], attempt + 1);
+    if (future.has_value()) return future;
+  }
+  // Pass 2: last resort — offer to the replicas pass 1 skipped. A
+  // quarantined engine may still probe its way back, and rejecting here
+  // without asking would turn a slow member into a guaranteed loss.
+  for (const std::size_t slot : skipped) {
+    auto future = offer(locations[slot], 1);
+    if (future.has_value()) return future;
   }
   cursor = (cursor + 1) % locations.size();
   stats_.rejected_requests += 1;
   telemetry::metrics().counter("fleet.rejected")->add();
+  if (offers > 0 && unhealthy == offers) {
+    throw engine::NoHealthyEngineError("all " + std::to_string(offers) +
+                                       " replicas of '" + id +
+                                       "' are quarantined");
+  }
   return std::nullopt;
 }
 
@@ -268,9 +324,17 @@ std::string FleetRouter::health_text() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string text;
   for (std::size_t i = 0; i < members_.size(); ++i) {
-    text += strformat("member %zu [%s%zu]\n", i, config_.device_prefix.c_str(),
-                      i);
-    text += members_[i].server->health_text();
+    const Member& member = members_[i];
+    const bool suspect =
+        config_.member_suspect_threshold > 0 &&
+        member.consecutive_rejects >=
+            static_cast<std::uint64_t>(config_.member_suspect_threshold);
+    text += strformat(
+        "member %zu [%s%zu] consecutive_rejects=%llu%s\n", i,
+        config_.device_prefix.c_str(), i,
+        static_cast<unsigned long long>(member.consecutive_rejects),
+        suspect ? " SUSPECT" : "");
+    text += member.server->health_text();
   }
   return text;
 }
@@ -313,6 +377,13 @@ std::vector<ReplicaLocation> FleetRouter::replicas(
     const std::string& model_ref) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return replicas_.at(resolve_model_locked(model_ref));
+}
+
+std::uint64_t FleetRouter::member_consecutive_rejects(
+    std::size_t member) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SPNHBM_REQUIRE(member < members_.size(), "fleet member out of range");
+  return members_[member].consecutive_rejects;
 }
 
 FleetStats FleetRouter::stats() const {

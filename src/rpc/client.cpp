@@ -71,13 +71,19 @@ RpcClient::~RpcClient() { close(); }
 
 RpcClient::SentRequest RpcClient::send_request(
     const std::string& model, std::vector<std::uint8_t> samples,
-    std::uint64_t deadline_us) {
+    std::uint64_t deadline_us, std::uint64_t idempotency_key) {
   RequestFrame request;
   request.model = model.empty() && !info_.models.empty()
                       ? info_.models.front().id
                       : model;
   request.deadline_us = deadline_us;
   request.samples = std::move(samples);
+  // Idempotency keys ride the v3 trailing block; an older peer would
+  // reject the longer body, so the key is dropped (the retry is then
+  // simply re-executed — correct, just not deduplicated).
+  if (info_.protocol_version >= kIdempotencyProtocolVersion) {
+    request.idempotency_key = idempotency_key;
+  }
   // Mint a trace context for head-sampled requests — only when tracing is
   // on and the server speaks a protocol that carries the trace block (an
   // old peer would reject the longer REQUEST body).
@@ -106,7 +112,8 @@ RpcClient::SentRequest RpcClient::send_request(
 void RpcClient::submit_with_callback(const std::string& model,
                                      std::vector<std::uint8_t> samples,
                                      std::uint64_t deadline_us,
-                                     ResponseCallback callback) {
+                                     ResponseCallback callback,
+                                     std::uint64_t idempotency_key) {
   // pending_mutex_ is held across the send, so the reader thread cannot
   // look a response up before its callback is registered, however fast
   // the server answers. (Lock order is always pending -> send; the
@@ -116,14 +123,14 @@ void RpcClient::submit_with_callback(const std::string& model,
     throw RpcError("connection lost; request not sent");
   }
   const SentRequest sent =
-      send_request(model, std::move(samples), deadline_us);
+      send_request(model, std::move(samples), deadline_us, idempotency_key);
   pending_.emplace(sent.request_id,
                    PendingEntry{std::move(callback), sent.trace});
 }
 
 std::future<std::vector<double>> RpcClient::submit(
     const std::string& model, std::vector<std::uint8_t> samples,
-    std::uint64_t deadline_us) {
+    std::uint64_t deadline_us, std::uint64_t idempotency_key) {
   auto promise = std::make_shared<std::promise<std::vector<double>>>();
   std::future<std::vector<double>> future = promise->get_future();
   submit_with_callback(
@@ -136,7 +143,8 @@ std::future<std::vector<double>> RpcClient::submit(
           promise->set_exception(
               std::make_exception_ptr(RpcStatusError(status, error)));
         }
-      });
+      },
+      idempotency_key);
   return future;
 }
 
@@ -156,6 +164,11 @@ void RpcClient::request_shutdown() {
 std::size_t RpcClient::outstanding() const {
   std::lock_guard<std::mutex> lock(pending_mutex_);
   return pending_.size();
+}
+
+bool RpcClient::alive() const {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  return !reader_done_;
 }
 
 void RpcClient::reader_loop() {

@@ -76,10 +76,13 @@ class RpcClient {
   /// Pipelined asynchronous request. `model` empty = the server's first
   /// advertised model. `deadline_us` 0 = no per-request deadline. The
   /// future carries one probability per sample row, or RpcStatusError /
-  /// RpcError.
+  /// RpcError. A non-zero `idempotency_key` (v3 servers only; silently
+  /// dropped for older peers) marks retries of one logical request so
+  /// the server can deduplicate them.
   std::future<std::vector<double>> submit(const std::string& model,
                                           std::vector<std::uint8_t> samples,
-                                          std::uint64_t deadline_us = 0);
+                                          std::uint64_t deadline_us = 0,
+                                          std::uint64_t idempotency_key = 0);
 
   /// As submit(), but delivers the raw response via `callback` (on the
   /// reader thread) instead of a future — the open-loop load generator's
@@ -87,7 +90,8 @@ class RpcClient {
   void submit_with_callback(const std::string& model,
                             std::vector<std::uint8_t> samples,
                             std::uint64_t deadline_us,
-                            ResponseCallback callback);
+                            ResponseCallback callback,
+                            std::uint64_t idempotency_key = 0);
 
   /// Synchronous convenience wrapper around submit().get().
   std::vector<double> infer(const std::string& model,
@@ -99,6 +103,11 @@ class RpcClient {
 
   /// Requests not yet answered.
   std::size_t outstanding() const;
+
+  /// False once the connection dropped (every further submit would throw
+  /// RpcError). The self-healing wrapper polls this to decide whether a
+  /// fresh connection is needed.
+  bool alive() const;
 
   /// Closes the connection; outstanding futures fail with RpcError.
   /// Idempotent; the destructor calls it.
@@ -122,7 +131,8 @@ class RpcClient {
 
   SentRequest send_request(const std::string& model,
                            std::vector<std::uint8_t> samples,
-                           std::uint64_t deadline_us);
+                           std::uint64_t deadline_us,
+                           std::uint64_t idempotency_key);
   void reader_loop();
   void fail_outstanding(const std::string& reason);
 

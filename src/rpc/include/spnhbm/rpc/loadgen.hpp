@@ -15,6 +15,14 @@
 // Every response lands in one bucket of `by_status`, so the report
 // satisfies sent == sum(by_status): nothing the generator fired can
 // escape the accounting, mirroring the server-side conservation law.
+//
+// Connections ride the self-healing ResilientClient: a reset mid-run
+// reconnects with deterministic backoff instead of failing the rest of
+// the run. By default max_attempts = 1 so each request still gets
+// exactly one wire attempt (an overloaded server shows up as OVERLOADED
+// responses, not hidden retries); raising it turns on idempotency-keyed
+// retries, and every final give-up is recorded per GiveUpReason in the
+// report's give-up histogram.
 #pragma once
 
 #include <array>
@@ -23,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "spnhbm/rpc/resilient_client.hpp"
 #include "spnhbm/telemetry/metrics.hpp"
 
 namespace spnhbm::rpc {
@@ -74,6 +83,11 @@ struct LoadgenConfig {
   std::uint64_t deadline_us = 0;
   /// Send a kShutdown frame when done (CI teardown path).
   bool shutdown_server_after = false;
+  /// Wire attempts per request (1 = classic open-loop accounting where a
+  /// shed response lands in OVERLOADED; >1 = idempotency-keyed retries).
+  int max_attempts = 1;
+  /// Wall budget per logical request across retries; 0 = unbounded.
+  double retry_budget_us = 0.0;
 };
 
 struct LoadgenReport {
@@ -94,9 +108,19 @@ struct LoadgenReport {
   /// Same latency, split per model reference (keys match sent_by_model),
   /// so a mixed-model run shows each model's own percentiles.
   std::map<std::string, telemetry::HistogramSnapshot> latency_by_model;
+  /// Final outcomes per GiveUpReason, indexed by
+  /// static_cast<size_t>(GiveUpReason); [0] (kNone) counts clean
+  /// successes plus first-attempt terminal responses. Sums to `sent`.
+  std::array<std::uint64_t, 6> giveup_by_reason{};
+  /// Reconnects across all connections (0 = every socket survived).
+  std::uint64_t reconnects = 0;
 
   std::uint64_t ok() const;
   std::uint64_t retryable() const;  ///< OVERLOADED + NO_HEALTHY_ENGINE + SHUTTING_DOWN
+  std::uint64_t failed() const;     ///< sent - ok()
+  /// failed() / sent, the number `loadgen --max-failure-rate` gates on;
+  /// 0.0 when nothing was sent.
+  double failure_fraction() const;
   /// sent == sum(by_status): every request got exactly one outcome.
   bool conserved() const;
   std::string describe() const;
@@ -116,7 +140,8 @@ std::vector<std::uint64_t> make_schedule(const LoadgenConfig& config);
 std::vector<std::size_t> make_model_picks(const LoadgenConfig& config);
 
 /// Connects, replays the schedule, waits for every response. Throws
-/// RpcError when the initial connections cannot be established.
+/// RpcGiveUpError when the initial connections cannot be established
+/// even after the dial-backoff episode.
 LoadgenReport run_loadgen(const LoadgenConfig& config);
 
 }  // namespace spnhbm::rpc

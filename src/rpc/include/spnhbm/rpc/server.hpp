@@ -22,9 +22,35 @@
 // UNKNOWN_MODEL, submit-after-stop -> SHUTTING_DOWN.
 //
 // Accounting invariants (asserted by tests and printed by describe()):
-//   received = accepted + rejected + shed
+//   received = accepted + rejected + shed + duplicates
 //   accepted = completed + failed
 // so no request can vanish between the socket and the engine fleet.
+//
+// Idempotency (wire v3): a REQUEST carrying a non-zero idempotency key
+// is remembered in a bounded cache. When the same key arrives again —
+// a self-healing client retrying after a lost connection — the server
+// answers from the cache (or with a retryable OVERLOADED while the
+// original is still resolving) instead of re-executing the work, and
+// counts the frame under `duplicates`. Retried requests are therefore
+// never double-counted in the accepted/completed books.
+//
+// Network chaos: the reader, writer, accept and handshake paths consult
+// the process-global fault::injector() at the sites
+//
+//   rpc.accept    instance "listener" — kFail refuses (closes) the
+//                 accepted socket; window rules give refusal windows
+//   rpc.hello     instance "conn<N>"  — kFail closes the connection
+//                 before the HELLO handshake
+//   rpc.conn.rx   instance "conn<N>"  — per received frame: kFail
+//                 resets the connection, kCorrupt XORs the body with
+//                 corrupt_mask (a bit-flipped frame on the wire),
+//                 kStall/kDelay sleep duration_us before processing
+//   rpc.conn.tx   instance "conn<N>"  — per sent frame: kFail resets
+//                 the connection, kStall/kDelay model a slow peer by
+//                 sleeping duration_us before the write
+//
+// keyed by the (site, instance, op-index) scheme, so a disarmed run is
+// byte-identical and an armed run is reproducible by seed.
 //
 // The virtual-time simulation below the engines is untouched: everything
 // here runs in wall time, on real threads, and registers wall-clock
@@ -36,6 +62,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -73,12 +100,18 @@ struct RpcServerConfig {
   std::string build_version = kVersionString;
   /// Slowest traced requests retained for the ADMIN plane (ring bound).
   std::size_t tail_sample_capacity = 64;
+  /// Idempotency entries retained (oldest evicted first). A retry whose
+  /// key was already evicted is simply re-executed — safe, just no
+  /// longer deduplicated.
+  std::size_t idempotency_cache_capacity = 65536;
 };
 
 struct RpcServerStats {
   std::uint64_t connections_accepted = 0;
   /// Connections closed immediately because max_connections was reached.
   std::uint64_t connections_rejected = 0;
+  /// Connections closed by an injected rpc.accept refusal fault.
+  std::uint64_t connections_refused = 0;
   /// Request frames read off all sockets.
   std::uint64_t received = 0;
   /// Requests submitted into the InferenceServer (got a future).
@@ -95,6 +128,9 @@ struct RpcServerStats {
   std::uint64_t failed = 0;
   /// Of `failed`: deadline expirations (rpc- or engine-level).
   std::uint64_t deadline_exceeded = 0;
+  /// Retried REQUESTs answered from the idempotency cache (or told to
+  /// retry while the original was in flight) instead of re-executed.
+  std::uint64_t duplicates = 0;
   /// Wall-clock request latency, frame receipt -> response sent.
   telemetry::HistogramSnapshot request_latency_us;
 
@@ -104,7 +140,7 @@ struct RpcServerStats {
   }
   /// Both conservation identities hold.
   bool conserved() const {
-    return received == accepted + rejected + shed() &&
+    return received == accepted + rejected + shed() + duplicates &&
            accepted == completed + failed;
   }
   std::string describe() const;
@@ -160,8 +196,18 @@ class RpcServer {
     /// Lane id + sample count, kept for the tail sampler's records.
     std::string model;
     std::uint64_t sample_count = 0;
+    /// Non-zero when the request carried an idempotency key: the writer
+    /// publishes the resolved response into the cache under this key.
+    std::uint64_t idempotency_key = 0;
     /// ADMIN replies skip the request-latency accounting.
     bool admin = false;
+  };
+
+  /// One idempotency-cache slot: pending until the writer resolves the
+  /// original, then the replayable response.
+  struct IdempotencyEntry {
+    bool done = false;
+    ResponseFrame response;
   };
 
   struct Connection {
@@ -202,6 +248,10 @@ class RpcServer {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::uint64_t next_connection_id_ = 0;
   RpcServerStats stats_;
+  /// Idempotency cache (guarded by mutex_): key -> entry, plus the
+  /// insertion order for bounded eviction.
+  std::map<std::uint64_t, IdempotencyEntry> idempotency_cache_;
+  std::deque<std::uint64_t> idempotency_order_;
   telemetry::TailSampler tail_;
   std::shared_ptr<telemetry::Histogram> latency_us_;
   std::shared_ptr<telemetry::Counter> ctr_connections_;
@@ -212,6 +262,7 @@ class RpcServer {
   std::shared_ptr<telemetry::Counter> ctr_shed_queue_depth_;
   std::shared_ptr<telemetry::Counter> ctr_completed_;
   std::shared_ptr<telemetry::Counter> ctr_failed_;
+  std::shared_ptr<telemetry::Counter> ctr_duplicates_;
 };
 
 }  // namespace spnhbm::rpc

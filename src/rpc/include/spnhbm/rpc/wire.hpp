@@ -41,6 +41,15 @@
 // sends it only when the server's HELLO advertised version >= 2, so old
 // and new peers interoperate in both directions. ADMIN frames are
 // likewise only sent to servers that advertised v2.
+//
+// A v3 REQUEST may additionally append a fixed 8-byte idempotency key
+// after the (optional) trace block. The trailing-bytes length alone
+// disambiguates every combination — 0 (neither), 8 (key), 16 (trace),
+// 24 (trace + key) — and any other remainder is a protocol violation.
+// Self-healing clients mint one non-zero key per logical request and
+// reuse it across retries, so a server that already accepted the
+// original can answer the retry from its idempotency cache instead of
+// executing (and double-counting) the work.
 #pragma once
 
 #include <cstdint>
@@ -55,9 +64,11 @@ namespace spnhbm::rpc {
 /// Version of the frame layout described above. Bumped on any change a
 /// v1 peer could not parse; the client refuses to talk to a *newer*
 /// server but serves/accepts every version back to 1.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kProtocolVersion = 3;
 /// First version carrying REQUEST trace blocks and ADMIN frames.
 inline constexpr std::uint16_t kTraceProtocolVersion = 2;
+/// First version carrying REQUEST idempotency keys.
+inline constexpr std::uint16_t kIdempotencyProtocolVersion = 3;
 
 inline constexpr std::uint32_t kFrameMagic = 0x52'4E'50'53;  // "SPNR"
 inline constexpr std::uint32_t kMaxBodyBytes = 64u << 20;
@@ -121,6 +132,10 @@ struct RequestFrame {
   /// 16-byte trailing block only when valid; absent on v1 frames and on
   /// untraced v2 requests.
   telemetry::TraceContext trace;
+  /// Optional (v3) idempotency key; 0 = none. Encoded as a fixed 8-byte
+  /// trailing block (after the trace block when both are present) only
+  /// when non-zero. Stable across retries of one logical request.
+  std::uint64_t idempotency_key = 0;
 };
 
 struct ResponseFrame {

@@ -9,7 +9,7 @@
 #include <thread>
 #include <utility>
 
-#include "spnhbm/rpc/client.hpp"
+#include "spnhbm/rpc/resilient_client.hpp"
 #include "spnhbm/telemetry/json.hpp"
 #include "spnhbm/util/error.hpp"
 #include "spnhbm/util/rng.hpp"
@@ -119,10 +119,21 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   }
   SPNHBM_REQUIRE(config.connections > 0, "loadgen needs at least one connection");
 
-  std::vector<std::unique_ptr<RpcClient>> clients;
+  std::vector<std::unique_ptr<ResilientClient>> clients;
   clients.reserve(config.connections);
   for (std::size_t i = 0; i < config.connections; ++i) {
-    clients.push_back(RpcClient::connect(config.host, config.port));
+    ResilientClientConfig client_config;
+    client_config.host = config.host;
+    client_config.port = config.port;
+    client_config.label = "loadgen" + std::to_string(i);
+    client_config.seed = config.seed;
+    client_config.max_attempts = std::max(config.max_attempts, 1);
+    client_config.retry_budget_us = config.retry_budget_us;
+    clients.push_back(
+        std::make_unique<ResilientClient>(std::move(client_config)));
+    // Dial eagerly so an unreachable server still fails fast, like the
+    // old plain-client path did.
+    clients.back()->server_info();
   }
 
   const std::vector<std::uint64_t> schedule = make_schedule(config);
@@ -154,6 +165,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   std::mutex mutex;
   std::condition_variable cv;
   std::array<std::uint64_t, 8> by_status{};
+  std::array<std::uint64_t, 6> giveup_by_reason{};
   std::uint64_t outstanding = 0;
 
   const Clock::time_point start = Clock::now();
@@ -162,7 +174,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     // Open loop: sleep to the scheduled instant no matter how the server
     // is doing, then fire. A late wakeup just fires immediately.
     std::this_thread::sleep_until(start + std::chrono::microseconds(schedule[i]));
-    RpcClient& client = *clients[i % clients.size()];
+    ResilientClient& client = *clients[i % clients.size()];
     const std::string* model;
     const std::vector<std::uint8_t>* payload;
     if (picks.empty()) {
@@ -178,7 +190,8 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     telemetry::Histogram* per_model = model_latency.at(*model).get();
     const auto on_response = [&, fired, per_model](Status status,
                                                    const std::vector<double>&,
-                                                   const std::string&) {
+                                                   const std::string&,
+                                                   GiveUpReason reason) {
       if (status == Status::kOk) {
         const double us = std::chrono::duration<double, std::micro>(
                               Clock::now() - fired)
@@ -188,6 +201,8 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
       }
       std::lock_guard<std::mutex> lock(mutex);
       ++by_status[static_cast<std::size_t>(status) % by_status.size()];
+      ++giveup_by_reason[static_cast<std::size_t>(reason) %
+                         giveup_by_reason.size()];
       --outstanding;
       cv.notify_all();
     };
@@ -201,12 +216,13 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
       ++sent;
       ++sent_by_model[*model];
     } catch (const Error&) {
-      // The connection died under us; the request never left, but it must
-      // still land in exactly one accounting bucket.
+      // submit throws only after close(); the request never left, but it
+      // must still land in exactly one accounting bucket.
       ++sent;
       ++sent_by_model[*model];
       std::lock_guard<std::mutex> lock(mutex);
       ++by_status[static_cast<std::size_t>(Status::kInternalError)];
+      ++giveup_by_reason[static_cast<std::size_t>(GiveUpReason::kClientClosed)];
       --outstanding;
     }
   }
@@ -225,13 +241,17 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
       // Server already gone — that is what shutdown wanted anyway.
     }
   }
-  for (auto& client : clients) client->close();
-
   LoadgenReport report;
+  for (auto& client : clients) {
+    const std::uint64_t connects = client->connects();
+    if (connects > 1) report.reconnects += connects - 1;
+    client->close();
+  }
   report.sent = sent;
   {
     std::lock_guard<std::mutex> lock(mutex);
     report.by_status = by_status;
+    report.giveup_by_reason = giveup_by_reason;
   }
   report.wall_seconds = wall;
   report.sent_by_model = std::move(sent_by_model);
@@ -253,6 +273,13 @@ std::uint64_t LoadgenReport::retryable() const {
   return by_status[static_cast<std::size_t>(Status::kOverloaded)] +
          by_status[static_cast<std::size_t>(Status::kNoHealthyEngine)] +
          by_status[static_cast<std::size_t>(Status::kShuttingDown)];
+}
+
+std::uint64_t LoadgenReport::failed() const { return sent - ok(); }
+
+double LoadgenReport::failure_fraction() const {
+  return sent > 0 ? static_cast<double>(failed()) / static_cast<double>(sent)
+                  : 0.0;
 }
 
 bool LoadgenReport::conserved() const {
@@ -287,6 +314,18 @@ std::string LoadgenReport::describe() const {
                      to_string(static_cast<Status>(i)).c_str(),
                      static_cast<unsigned long long>(by_status[i]));
   }
+  // The give-up histogram: why requests ended without an OK. Index 0
+  // (kNone) is the non-give-up bucket, so start at 1.
+  for (std::size_t i = 1; i < giveup_by_reason.size(); ++i) {
+    if (giveup_by_reason[i] == 0) continue;
+    out += strformat("  give-up %-20s %llu\n",
+                     to_string(static_cast<GiveUpReason>(i)),
+                     static_cast<unsigned long long>(giveup_by_reason[i]));
+  }
+  if (reconnects > 0) {
+    out += strformat("  reconnects: %llu\n",
+                     static_cast<unsigned long long>(reconnects));
+  }
   out += "  latency_us: " + latency_us.summary() + "\n";
   out += strformat("  conservation (sent == sum over statuses): %s\n",
                    conserved() ? "ok" : "VIOLATED");
@@ -310,9 +349,17 @@ std::string LoadgenReport::bench_json() const {
   w.key("name").value("overall");
   w.key("sent").value(sent);
   w.key("ok").value(ok());
+  w.key("failed").value(failed());
   w.key("offered_rps").value(offered_rps);
   w.key("achieved_rps").value(achieved_rps);
   w.key("wall_seconds").value(wall_seconds);
+  w.key("reconnects").value(reconnects);
+  // Full give-up histogram (zeros included) so baseline comparisons see
+  // a stable field set run over run.
+  for (std::size_t i = 1; i < giveup_by_reason.size(); ++i) {
+    w.key(std::string("giveup_") + to_string(static_cast<GiveUpReason>(i)))
+        .value(giveup_by_reason[i]);
+  }
   emit_latency(latency_us);
   w.end_object();
   for (const auto& [model, count] : sent_by_model) {

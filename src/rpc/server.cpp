@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "spnhbm/engine/server.hpp"
+#include "spnhbm/fault/fault.hpp"
 #include "spnhbm/util/log.hpp"
 #include "spnhbm/util/strings.hpp"
 
@@ -17,16 +18,27 @@ double us_since(SteadyClock::time_point start, SteadyClock::time_point end) {
   return std::chrono::duration<double, std::micro>(end - start).count();
 }
 
+/// Wall sleep for injected stall/delay decisions (network sites have no
+/// virtual clock; a slow peer is wall-clock slow).
+void fault_sleep(const fault::FaultDecision& decision) {
+  if (decision.duration_us > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+        decision.duration_us));
+  }
+}
+
 }  // namespace
 
 std::string RpcServerStats::describe() const {
   std::string text = strformat(
-      "%llu connections (%llu rejected); %llu requests = %llu accepted + "
-      "%llu rejected + %llu shed (%llu rate-limit, %llu queue-depth, "
-      "%llu no-healthy-engine, %llu shutting-down); accepted = %llu "
-      "completed + %llu failed (%llu deadline-exceeded)",
+      "%llu connections (%llu rejected, %llu fault-refused); %llu requests "
+      "= %llu accepted + %llu rejected + %llu shed (%llu rate-limit, "
+      "%llu queue-depth, %llu no-healthy-engine, %llu shutting-down) + "
+      "%llu duplicates; accepted = %llu completed + %llu failed "
+      "(%llu deadline-exceeded)",
       static_cast<unsigned long long>(connections_accepted),
       static_cast<unsigned long long>(connections_rejected),
+      static_cast<unsigned long long>(connections_refused),
       static_cast<unsigned long long>(received),
       static_cast<unsigned long long>(accepted),
       static_cast<unsigned long long>(rejected),
@@ -35,6 +47,7 @@ std::string RpcServerStats::describe() const {
       static_cast<unsigned long long>(shed_queue_depth),
       static_cast<unsigned long long>(shed_no_healthy_engine),
       static_cast<unsigned long long>(shed_shutting_down),
+      static_cast<unsigned long long>(duplicates),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(deadline_exceeded));
@@ -66,6 +79,7 @@ RpcServer::RpcServer(engine::InferenceService& server, RpcServerConfig config)
   ctr_shed_queue_depth_ = registry.counter("rpc.shed_queue_depth");
   ctr_completed_ = registry.counter("rpc.completed");
   ctr_failed_ = registry.counter("rpc.failed");
+  ctr_duplicates_ = registry.counter("rpc.duplicates");
 }
 
 RpcServer::~RpcServer() { stop(); }
@@ -139,6 +153,19 @@ void RpcServer::accept_loop() {
     Socket socket = listener_.accept();
     if (!socket.valid()) return;  // listener shut down
     if (stopping_.load()) return;
+    // Injected accept() refusal: the accepted socket is closed before the
+    // handshake, modelling a refusal window on the listener.
+    if (auto decision = fault::injector().decide("rpc.accept", "listener")) {
+      if (decision.kind == fault::FaultKind::kStall ||
+          decision.kind == fault::FaultKind::kDelay) {
+        fault_sleep(decision);
+      } else {
+        SPNHBM_WARN("rpc") << "injected accept refusal (rpc.accept)";
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.connections_refused += 1;
+        continue;  // Socket destructor closes the connection
+      }
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     // Reap finished connections so long-lived servers do not accumulate
     // one entry per client ever seen.
@@ -188,6 +215,7 @@ void RpcServer::enqueue(Connection& connection, Outgoing outgoing) {
 }
 
 void RpcServer::reader_loop(Connection& connection) {
+  const std::string fault_instance = "conn" + std::to_string(connection.id);
   try {
     for (;;) {
       std::uint8_t header[kFrameHeaderBytes];
@@ -198,6 +226,24 @@ void RpcServer::reader_loop(Connection& connection) {
       if (body_length > 0 &&
           !connection.socket.recv_exact(body.data(), body_length)) {
         throw RpcError("peer closed between frame header and body");
+      }
+      // Injected receive-path faults, one decision per frame: a reset
+      // drops the connection, a corruption bit-flips the body (the
+      // decoder then rejects it like any malformed frame), a stall
+      // models a slow network before processing.
+      if (auto decision =
+              fault::injector().decide("rpc.conn.rx", fault_instance)) {
+        switch (decision.kind) {
+          case fault::FaultKind::kFail:
+          case fault::FaultKind::kHang:
+            throw RpcError("injected connection reset (rpc.conn.rx)");
+          case fault::FaultKind::kCorrupt:
+            for (auto& byte : body) byte ^= decision.corrupt_mask;
+            break;
+          default:
+            fault_sleep(decision);
+            break;
+        }
       }
       switch (type) {
         case FrameType::kRequest:
@@ -222,6 +268,10 @@ void RpcServer::reader_loop(Connection& connection) {
       SPNHBM_WARN("rpc") << "connection " << connection.id
                          << " dropped: " << e.what();
     }
+    // Protocol violations and injected resets close the connection; the
+    // explicit shutdown makes the close visible to the peer immediately
+    // (the writer keeps draining futures for the accounting books).
+    connection.socket.shutdown();
   }
   {
     std::lock_guard<std::mutex> lock(connection.mutex);
@@ -256,6 +306,32 @@ RpcServer::Outgoing RpcServer::handle_request(Connection& connection,
 
   ResponseFrame response;
   response.request_id = request.request_id;
+
+  // Idempotency (v3): a key seen before marks a client retry. Answer
+  // from the cache once the original completed OK — or with a retryable
+  // status while it is still in flight — so completed work is never
+  // re-executed and the frame lands in the `duplicates` book instead of
+  // the accepted/completed ones. Failed executions drop their key on
+  // resolution, so a retry of a failure re-executes from scratch.
+  if (request.idempotency_key != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = idempotency_cache_.find(request.idempotency_key);
+    if (it != idempotency_cache_.end()) {
+      stats_.received += 1;
+      stats_.duplicates += 1;
+      ctr_received_->add(1);
+      ctr_duplicates_->add(1);
+      if (it->second.done) {
+        response = it->second.response;
+        response.request_id = request.request_id;
+      } else {
+        response.status = Status::kOverloaded;
+        response.error = "duplicate of an in-flight request (retryable)";
+      }
+      outgoing.wire = encode_frame(encode_response(response));
+      return outgoing;
+    }
+  }
 
   auto reject = [&](Status status, const std::string& error,
                     std::uint64_t RpcServerStats::* bucket,
@@ -334,6 +410,18 @@ RpcServer::Outgoing RpcServer::handle_request(Connection& connection,
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.received += 1;
     stats_.accepted += 1;
+    // Register the accepted key as in-flight; the writer publishes the
+    // resolved response into this slot. Bounded: oldest entries fall out
+    // first (an evicted key's late retry is simply re-executed).
+    if (request.idempotency_key != 0) {
+      outgoing.idempotency_key = request.idempotency_key;
+      idempotency_cache_.emplace(request.idempotency_key, IdempotencyEntry{});
+      idempotency_order_.push_back(request.idempotency_key);
+      while (idempotency_order_.size() > config_.idempotency_cache_capacity) {
+        idempotency_cache_.erase(idempotency_order_.front());
+        idempotency_order_.pop_front();
+      }
+    }
   }
   ctr_received_->add(1);
   ctr_accepted_->add(1);
@@ -382,9 +470,27 @@ ResponseFrame RpcServer::resolve(Outgoing& outgoing) {
 }
 
 void RpcServer::writer_loop(Connection& connection) {
+  const std::string fault_instance = "conn" + std::to_string(connection.id);
   bool peer_writable = true;
   auto send_frame = [&](const std::vector<std::uint8_t>& wire) {
     if (!peer_writable) return;
+    // Injected send-path faults, one decision per frame: a reset drops
+    // the connection mid-stream ("connection reset after N frames" via
+    // window/every triggers), a stall models a slow peer draining its
+    // receive window.
+    if (auto decision =
+            fault::injector().decide("rpc.conn.tx", fault_instance)) {
+      if (decision.kind == fault::FaultKind::kStall ||
+          decision.kind == fault::FaultKind::kDelay) {
+        fault_sleep(decision);
+      } else {
+        SPNHBM_WARN("rpc") << "connection " << connection.id
+                           << " injected send reset (rpc.conn.tx)";
+        connection.socket.shutdown();
+        peer_writable = false;
+        return;
+      }
+    }
     try {
       connection.socket.send_all(wire.data(), wire.size());
     } catch (const std::exception& e) {
@@ -398,7 +504,21 @@ void RpcServer::writer_loop(Connection& connection) {
     }
   };
 
-  send_frame(encode_frame(encode_hello(make_hello())));
+  // Injected HELLO rejection: the connection is closed before the
+  // handshake, so the client's connect() fails and its reconnect/backoff
+  // path is exercised.
+  if (auto decision = fault::injector().decide("rpc.hello", fault_instance)) {
+    if (decision.kind == fault::FaultKind::kStall ||
+        decision.kind == fault::FaultKind::kDelay) {
+      fault_sleep(decision);
+    } else {
+      SPNHBM_WARN("rpc") << "connection " << connection.id
+                         << " injected hello rejection (rpc.hello)";
+      connection.socket.shutdown();
+      peer_writable = false;
+    }
+  }
+  if (peer_writable) send_frame(encode_frame(encode_hello(make_hello())));
   for (;;) {
     Outgoing outgoing;
     {
@@ -422,6 +542,20 @@ void RpcServer::writer_loop(Connection& connection) {
           stats_.failed += 1;
           if (response.status == Status::kDeadlineExceeded) {
             stats_.deadline_exceeded += 1;
+          }
+        }
+        if (outgoing.idempotency_key != 0) {
+          auto it = idempotency_cache_.find(outgoing.idempotency_key);
+          if (it != idempotency_cache_.end()) {
+            if (response.status == Status::kOk) {
+              it->second.done = true;
+              it->second.response = response;
+            } else {
+              // A failed execution must not pin the key: the client's
+              // retry asks for a re-execution, not a replay of the
+              // failure. Only completed work is dedup-protected.
+              idempotency_cache_.erase(it);
+            }
           }
         }
       }

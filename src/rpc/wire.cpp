@@ -70,6 +70,7 @@ class Reader {
     return std::string(reinterpret_cast<const char*>(p), n);
   }
   bool at_end() const { return cursor_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
   void expect_end() const {
     if (cursor_ != bytes_.size()) {
       throw WireError(strformat("%zu trailing byte(s) after frame body",
@@ -197,6 +198,9 @@ Frame encode_request(const RequestFrame& request) {
     w.u64(request.trace.trace_id);
     w.u64(request.trace.parent_span);
   }
+  // Optional v3 idempotency key: a fixed 8 bytes after the trace block,
+  // appended only when non-zero so plain traffic stays byte-identical.
+  if (request.idempotency_key != 0) w.u64(request.idempotency_key);
   return Frame{FrameType::kRequest, w.take()};
 }
 
@@ -207,13 +211,17 @@ RequestFrame decode_request(const std::vector<std::uint8_t>& body) {
   request.model = r.str();
   request.deadline_us = r.u64();
   request.samples = r.blob();
-  // v1 frames (and untraced v2 frames) end here; a remainder must be a
-  // complete trace block — anything shorter throws, so a corrupt tail is
-  // still caught.
-  if (!r.at_end()) {
+  // v1 frames (and untraced, keyless v2/v3 frames) end here. The tail
+  // length alone identifies the optional blocks: 8 = idempotency key,
+  // 16 = trace block, 24 = trace block + key. Any other remainder falls
+  // through to expect_end() and is rejected, so a corrupt tail is still
+  // caught.
+  const std::size_t tail = r.remaining();
+  if (tail == 16 || tail == 24) {
     request.trace.trace_id = r.u64();
     request.trace.parent_span = r.u64();
   }
+  if (tail == 8 || tail == 24) request.idempotency_key = r.u64();
   r.expect_end();
   return request;
 }

@@ -1,0 +1,265 @@
+// ResilientClient behaviour under deterministic network chaos:
+//
+//  * reconnect determinism — the same seed and the same fault plan must
+//    reproduce the identical retry/backoff schedule (the retry_log) and
+//    the identical final books across two independent runs,
+//  * idempotent replay — a retried request whose original completed OK
+//    is answered from the server cache (duplicates book), never
+//    re-executed,
+//  * in-flight duplicates get a retryable OVERLOADED answer,
+//  * failed executions drop their key, so a retry re-executes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../engine/mock_engine.hpp"
+#include "spnhbm/engine/server.hpp"
+#include "spnhbm/fault/fault.hpp"
+#include "spnhbm/rpc/client.hpp"
+#include "spnhbm/rpc/resilient_client.hpp"
+#include "spnhbm/rpc/server.hpp"
+
+namespace spnhbm::rpc {
+namespace {
+
+using engine_test::MockEngine;
+using engine_test::expect_encoded;
+using engine_test::make_request;
+
+/// A full serving stack on an ephemeral loopback port.
+struct Harness {
+  explicit Harness(MockEngine::Config mock_config = {},
+                   int engine_attempts = 3) {
+    engine::ServerConfig config;
+    config.batch_samples = 8;
+    config.max_latency = std::chrono::microseconds(200);
+    config.retry.max_attempts = engine_attempts;
+    server = std::make_unique<engine::InferenceServer>(config);
+    mock = std::make_shared<MockEngine>(mock_config);
+    server->register_engine(mock);
+    server->start();
+
+    RpcServerConfig rpc_config;
+    rpc_config.port = 0;  // ephemeral
+    rpc_config.max_connections = 64;
+    front = std::make_unique<RpcServer>(*server, rpc_config);
+    front->start();
+  }
+
+  ~Harness() {
+    mock->release();
+    front->stop();
+    server->stop();
+  }
+
+  std::shared_ptr<MockEngine> mock;
+  std::unique_ptr<engine::InferenceServer> server;
+  std::unique_ptr<RpcServer> front;
+};
+
+/// Everything one chaos run produces that must reproduce across runs.
+struct RunTrace {
+  std::vector<std::vector<double>> results;
+  std::vector<RetryEvent> retry_log;
+  std::uint64_t connects = 0;
+  std::uint64_t server_duplicates = 0;
+  bool conserved = false;
+};
+
+/// One complete chaos run: fresh server, fresh armed plan, one
+/// ResilientClient sending `requests` sequential inferences. Sequential
+/// submission keeps every (site, instance) op index deterministic, so
+/// the injected fault sequence — and hence the retry schedule — is a
+/// pure function of the seed and the plan.
+RunTrace chaos_run(std::uint64_t seed, std::size_t requests) {
+  Harness harness;
+
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  // Every connection's 3rd tx frame dies (HELLO is tx op 0, so each
+  // connection delivers two responses and then drops one on the floor —
+  // the dropped response was already computed, which is exactly the
+  // replay-from-cache path). `every: 2` would drop every connection's
+  // first response forever; 3 makes progress while reconnecting often.
+  fault::FaultRule tx;
+  tx.site = "rpc.conn.tx";
+  tx.kind = fault::FaultKind::kFail;
+  tx.every = 3;
+  plan.rules.push_back(tx);
+  // The client's very first dial fails, exercising the deterministic
+  // connect backoff (retry_log key 0).
+  fault::FaultRule dial;
+  dial.site = "rpc.client.connect";
+  dial.kind = fault::FaultKind::kFail;
+  dial.from = 0;
+  dial.until = 1;
+  dial.has_window = true;
+  plan.rules.push_back(dial);
+  fault::ScopedFaultPlan armed(plan);
+
+  ResilientClientConfig config;
+  config.host = "127.0.0.1";
+  config.port = harness.front->port();
+  config.label = "det";
+  config.seed = seed;
+  config.max_attempts = 32;
+  config.backoff_base_us = 50.0;
+  config.backoff_cap_us = 500.0;
+  config.connect_backoff_base_us = 50.0;
+  config.connect_backoff_cap_us = 500.0;
+  ResilientClient client(config);
+
+  RunTrace trace;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto payload =
+        make_request(1 + i % 3, static_cast<std::uint8_t>(i + 1));
+    trace.results.push_back(client.infer("mock@1", payload));
+    expect_encoded(payload, trace.results.back());
+  }
+  trace.retry_log = client.retry_log();
+  trace.connects = client.connects();
+  client.close();
+
+  const RpcServerStats stats = harness.front->stats();
+  trace.server_duplicates = stats.duplicates;
+  trace.conserved = stats.conserved();
+  return trace;
+}
+
+TEST(ResilientClient, SameSeedAndPlanReproduceTheRetrySchedule) {
+  const RunTrace first = chaos_run(20260809, 10);
+  const RunTrace second = chaos_run(20260809, 10);
+
+  // The chaos plan must actually bite: reconnects happened, the dial
+  // fault forced at least one connect backoff (key 0), and the server
+  // replayed at least one retried request from its cache.
+  EXPECT_GT(first.connects, 1u);
+  ASSERT_FALSE(first.retry_log.empty());
+  bool saw_connect_backoff = false;
+  for (const RetryEvent& event : first.retry_log) {
+    if (event.key == 0) saw_connect_backoff = true;
+  }
+  EXPECT_TRUE(saw_connect_backoff);
+  EXPECT_GT(first.server_duplicates, 0u);
+  EXPECT_TRUE(first.conserved);
+  EXPECT_TRUE(second.conserved);
+
+  // Determinism: identical results, identical books, and an identical
+  // retry/backoff schedule entry for entry (submission is sequential,
+  // so even the log order reproduces).
+  EXPECT_EQ(first.results, second.results);
+  EXPECT_EQ(first.connects, second.connects);
+  EXPECT_EQ(first.server_duplicates, second.server_duplicates);
+  ASSERT_EQ(first.retry_log.size(), second.retry_log.size());
+  for (std::size_t i = 0; i < first.retry_log.size(); ++i) {
+    EXPECT_EQ(first.retry_log[i].key, second.retry_log[i].key) << "entry " << i;
+    EXPECT_EQ(first.retry_log[i].attempt, second.retry_log[i].attempt)
+        << "entry " << i;
+    EXPECT_EQ(first.retry_log[i].backoff_us, second.retry_log[i].backoff_us)
+        << "entry " << i;
+  }
+}
+
+TEST(ResilientClient, CompletedReplayLandsInTheDuplicatesBook) {
+  Harness harness;
+  auto client = RpcClient::connect("127.0.0.1", harness.front->port());
+  const auto payload = make_request(2, 9);
+  constexpr std::uint64_t kKey = 0xFEEDFACEull;
+
+  const auto original = client->submit("mock@1", payload, 0, kKey).get();
+  expect_encoded(payload, original);
+  const std::size_t executed = harness.mock->submit_calls();
+
+  // Same key again: the cached response is replayed byte-for-byte, the
+  // engine never sees the retry, and the frame lands under duplicates.
+  const auto replay = client->submit("mock@1", payload, 0, kKey).get();
+  EXPECT_EQ(original, replay);
+  EXPECT_EQ(harness.mock->submit_calls(), executed);
+
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.received, 2u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+TEST(ResilientClient, InFlightDuplicateGetsRetryableOverload) {
+  MockEngine::Config gated;
+  gated.gated = true;
+  Harness harness(gated);
+  auto client = RpcClient::connect("127.0.0.1", harness.front->port());
+  const auto payload = make_request(1, 3);
+  constexpr std::uint64_t kKey = 0xC0FFEEull;
+
+  auto pending = client->submit("mock@1", payload, 0, kKey);
+  for (int i = 0; i < 500 && harness.front->stats().accepted == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(harness.front->stats().accepted, 1u);
+
+  // The duplicate arrives while the original is still executing. It
+  // must come over a second connection: responses are delivered in
+  // order per connection, so on the original's connection the answer
+  // would queue behind the gated response. Cross-connection it is
+  // answered immediately with a retryable status rather than a second
+  // execution.
+  auto second = RpcClient::connect("127.0.0.1", harness.front->port());
+  std::promise<std::pair<Status, std::string>> answered;
+  second->submit_with_callback(
+      "mock@1", payload, 0,
+      [&](Status status, const std::vector<double>&, const std::string& error) {
+        answered.set_value({status, error});
+      },
+      kKey);
+  const auto [status, error] = answered.get_future().get();
+  EXPECT_EQ(status, Status::kOverloaded);
+  EXPECT_EQ(error, "duplicate of an in-flight request (retryable)");
+
+  harness.mock->release();
+  expect_encoded(payload, pending.get());
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+TEST(ResilientClient, FailedExecutionDropsItsKeySoRetriesReExecute) {
+  MockEngine::Config flaky;
+  flaky.fail_first_n = 1;
+  // One execution per batch: the engine server must not absorb the
+  // failure itself — this test is about the RPC-layer key semantics.
+  Harness harness(flaky, /*engine_attempts=*/1);
+  auto client = RpcClient::connect("127.0.0.1", harness.front->port());
+  const auto payload = make_request(1, 5);
+  constexpr std::uint64_t kKey = 0xDEADBEEFull;
+
+  std::promise<Status> failed;
+  client->submit_with_callback(
+      "mock@1", payload, 0,
+      [&](Status status, const std::vector<double>&, const std::string&) {
+        failed.set_value(status);
+      },
+      kKey);
+  EXPECT_NE(failed.get_future().get(), Status::kOk);
+
+  // The failure must not pin the key: the retry re-executes from
+  // scratch (the engine sees a second submit) and succeeds.
+  expect_encoded(payload, client->submit("mock@1", payload, 0, kKey).get());
+  EXPECT_EQ(harness.mock->submit_calls(), 2u);
+
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+}  // namespace
+}  // namespace spnhbm::rpc

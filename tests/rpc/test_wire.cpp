@@ -216,6 +216,64 @@ TEST(Wire, TracedRequestRejectsTruncatedAndTrailingBytes) {
   EXPECT_THROW(decode_request(trailing), WireError);
 }
 
+TEST(Wire, IdempotencyKeyRoundtripsAlone) {
+  // Tail of 8 bytes = key without a trace block (v3).
+  RequestFrame request;
+  request.model = "m@1";
+  request.samples = {1, 2, 3};
+  request.idempotency_key = 0x1122334455667788ull;
+  const Frame frame = encode_request(request);
+  const RequestFrame decoded = decode_request(frame.body);
+  EXPECT_EQ(decoded.idempotency_key, request.idempotency_key);
+  EXPECT_FALSE(decoded.trace.valid());
+}
+
+TEST(Wire, IdempotencyKeyRoundtripsWithTraceBlock) {
+  // Tail of 24 bytes = trace block then key; both must survive.
+  RequestFrame request;
+  request.model = "m@1";
+  request.samples = {1, 2, 3};
+  request.trace.trace_id = 0xABCull;
+  request.trace.parent_span = 7;
+  request.idempotency_key = 0x99AABBCCDDEEFF00ull;
+  const RequestFrame decoded = decode_request(encode_request(request).body);
+  EXPECT_EQ(decoded.idempotency_key, request.idempotency_key);
+  EXPECT_TRUE(decoded.trace.valid());
+  EXPECT_EQ(decoded.trace.trace_id, request.trace.trace_id);
+  EXPECT_EQ(decoded.trace.parent_span, request.trace.parent_span);
+}
+
+TEST(Wire, KeylessRequestOmitsTheKeyBlock) {
+  // Key 0 means "no key": the frame stays byte-identical to the v1/v2
+  // layouts so old peers parse it unchanged.
+  RequestFrame keyed, keyless;
+  keyed.model = keyless.model = "m@1";
+  keyed.samples = keyless.samples = {1, 2, 3};
+  keyed.idempotency_key = 123;
+  EXPECT_EQ(encode_request(keyless).body.size() + 8,
+            encode_request(keyed).body.size());
+  const RequestFrame decoded = decode_request(encode_request(keyless).body);
+  EXPECT_EQ(decoded.idempotency_key, 0u);
+}
+
+TEST(Wire, KeyedRequestRejectsTruncatedAndTrailingBytes) {
+  // A malformed tail (7 or 9 bytes of trailing block) is a violation —
+  // the 0/8/16/24 disambiguation must not guess.
+  RequestFrame request;
+  request.model = "m@1";
+  request.samples = {1, 2, 3};
+  request.idempotency_key = 42;
+  const Frame frame = encode_request(request);
+
+  std::vector<std::uint8_t> truncated(frame.body.begin(),
+                                      frame.body.end() - 1);
+  EXPECT_THROW(decode_request(truncated), WireError);
+
+  std::vector<std::uint8_t> trailing = frame.body;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_request(trailing), WireError);
+}
+
 TEST(Wire, AdminFrameHasEmptyBody) {
   const Frame frame = encode_admin();
   EXPECT_EQ(frame.type, FrameType::kAdmin);

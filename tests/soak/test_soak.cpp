@@ -1,0 +1,129 @@
+// In-process soak-harness tests: a tiny soak passes the full assertion
+// stack, reproduces its deterministic books across same-seed runs, and a
+// disarmed chaos plan is indistinguishable (byte-identical describe())
+// from running with no plan at all. The CLI-level smoke (soak_smoke.sh)
+// covers the same properties end to end through `spnhbm soak`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spnhbm/arith/backend.hpp"
+#include "spnhbm/fault/fault.hpp"
+#include "spnhbm/model/artifact.hpp"
+#include "spnhbm/soak/soak.hpp"
+#include "spnhbm/spn/random_spn.hpp"
+
+namespace spnhbm::soak {
+namespace {
+
+SoakModel make_soak_model(const std::string& name, std::uint64_t seed) {
+  spn::RandomSpnConfig spn_config;
+  spn_config.variables = 4;
+  spn_config.seed = seed;
+  SoakModel entry;
+  entry.model = model::ModelArtifact::compile(
+      name, "1", spn::make_random_spn(spn_config),
+      arith::make_float64_backend());
+  const std::size_t width = entry.model->input_features();
+  for (std::size_t p = 0; p < 6; ++p) {
+    std::vector<std::uint8_t> payload((1 + p % 3) * width);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>((seed + 3 * p + 7 * i) % 13);
+    }
+    entry.payloads.push_back(std::move(payload));
+  }
+  return entry;
+}
+
+SoakConfig tiny_config() {
+  SoakConfig config;
+  config.seed = 42;
+  config.minutes = 0.05;  // a few waves of virtual reconfiguration time
+  config.devices = 2;
+  config.replicas = 2;
+  config.clients = 2;
+  config.wave_requests = 4;
+  config.swaps_per_wave = 2;
+  config.rebalance_every = 2;
+  config.models.push_back(make_soak_model("alpha", 11));
+  config.models.push_back(make_soak_model("beta", 23));
+  return config;
+}
+
+fault::FaultPlan mild_chaos() {
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  fault::FaultRule submit;
+  submit.site = "engine.submit";
+  submit.kind = fault::FaultKind::kFail;
+  submit.every = 9;
+  plan.rules.push_back(submit);
+  fault::FaultRule tx;
+  tx.site = "rpc.conn.tx";
+  tx.kind = fault::FaultKind::kFail;
+  tx.every = 7;
+  plan.rules.push_back(tx);
+  fault::FaultRule rx;
+  rx.site = "rpc.conn.rx";
+  rx.kind = fault::FaultKind::kFail;
+  rx.every = 11;
+  plan.rules.push_back(rx);
+  return plan;
+}
+
+TEST(Soak, TinyRunPassesTheFullAssertionStack) {
+  const SoakReport report = run_soak(tiny_config());
+  EXPECT_TRUE(report.passed()) << report.describe() << report.detail();
+  EXPECT_GE(report.virtual_seconds, report.virtual_target_seconds);
+  EXPECT_GT(report.waves, 0u);
+  EXPECT_GT(report.swaps, 0u);
+  EXPECT_GT(report.requests, 0u);
+  EXPECT_EQ(report.requests, report.ok + report.giveups);
+  EXPECT_NE(report.describe().find("soak verdict: PASS"), std::string::npos);
+  EXPECT_NE(report.bench_json().find("\"bench\":\"soak\""), std::string::npos);
+}
+
+TEST(Soak, SameSeedReproducesTheDeterministicBooks) {
+  const SoakReport first = run_soak(tiny_config());
+  const SoakReport second = run_soak(tiny_config());
+  EXPECT_EQ(first.describe(), second.describe());
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.waves, second.waves);
+  EXPECT_EQ(first.swaps, second.swaps);
+  EXPECT_EQ(first.requests, second.requests);
+}
+
+TEST(Soak, ChaosRunPassesAndNeverCorruptsResults) {
+  SoakReport calm = run_soak(tiny_config());
+
+  SoakReport chaotic = [] {
+    fault::ScopedFaultPlan armed(mild_chaos());
+    return run_soak(tiny_config());
+  }();
+  EXPECT_TRUE(chaotic.passed()) << chaotic.describe() << chaotic.detail();
+
+  // Chaos reshuffles schedules (retries, reconnects — stderr detail),
+  // but the deterministic books and the result digest must match the
+  // calm run exactly: faults delay work, they never corrupt it.
+  EXPECT_EQ(chaotic.describe(), calm.describe());
+  EXPECT_EQ(chaotic.digest, calm.digest);
+}
+
+TEST(Soak, DisarmedPlanIsByteIdenticalToNoPlan) {
+  const SoakReport calm = run_soak(tiny_config());
+
+  fault::injector().arm(mild_chaos());
+  fault::injector().disarm();
+  const SoakReport disarmed = run_soak(tiny_config());
+
+  // Only the deterministic summary is compared: a benign retry (e.g. a
+  // transient overload under a hot-swap) can occur without any chaos
+  // and lives in the stderr detail, never in describe().
+  EXPECT_EQ(disarmed.describe(), calm.describe());
+  EXPECT_EQ(disarmed.digest, calm.digest);
+}
+
+}  // namespace
+}  // namespace spnhbm::soak

@@ -110,6 +110,22 @@
 //       (default 1000) until interrupted (--once = a single snapshot;
 //       --count N stops after N polls).
 //
+//   spnhbm soak --model name=path [--model ...] --requests name=csv [...]
+//               [--seed S] [--minutes M] [--fault-plan plan.json]
+//               [--disarm] [--devices N] [--replicas R] [--clients C]
+//               [--wave-requests W] [--swaps-per-wave K]
+//               [--rebalance-every E] [--report-out FILE]
+//       Self-contained chaos soak: a fleet of N simulated devices behind
+//       an RPC server on a loopback port, resilient clients pushing
+//       waves of traffic while replicas hot-swap and the rebalancer
+//       runs, with the --fault-plan chaos (device AND network sites)
+//       armed throughout. Runs M minutes of virtual reconfiguration
+//       time, then asserts every conservation identity, health
+//       convergence and zero leaks. stdout is seed-deterministic
+//       (--disarm loads the plan without arming it, and the output is
+//       byte-identical to a run with no plan at all); wall-clock detail
+//       goes to stderr. Exits 0 only when every assertion holds.
+//
 //   spnhbm learn <data.csv> [--min-instances N] [--threshold X]
 //       Learn a Mixed SPN from CSV data; print its textual description.
 //
@@ -146,7 +162,9 @@
 #include "spnhbm/model/registry.hpp"
 #include "spnhbm/rpc/client.hpp"
 #include "spnhbm/rpc/loadgen.hpp"
+#include "spnhbm/rpc/resilient_client.hpp"
 #include "spnhbm/rpc/server.hpp"
+#include "spnhbm/soak/soak.hpp"
 #include "spnhbm/runtime/inference_runtime.hpp"
 #include "spnhbm/spn/dot_export.hpp"
 #include "spnhbm/spn/io_csv.hpp"
@@ -165,7 +183,7 @@ using namespace spnhbm;
 [[noreturn]] void usage() {
   std::fputs(
       "usage: spnhbm "
-      "<compile|resources|simulate|infer|serve|loadgen|top|learn|sample|"
+      "<compile|resources|simulate|infer|serve|loadgen|soak|top|learn|sample|"
       "version> ...\n"
       "run with a command and -h for details (see the header of\n"
       "tools/spnhbm_cli.cpp)\n",
@@ -437,11 +455,18 @@ std::vector<std::vector<std::uint8_t>> rows_as_payloads(
 
 /// `infer --connect`: one request carrying the whole CSV, so the output
 /// is byte-identical to the local engine path (one probability per row).
+/// Rides the self-healing client: a connection reset mid-request is
+/// retried under the same idempotency key instead of failing the run.
 int cmd_infer_remote(const Args& args) {
   if (args.positional.empty()) usage();
-  const auto [host, port] = parse_host_port(args.option("connect", ""));
-  const auto client = rpc::RpcClient::connect(host, port);
-  const rpc::ServerInfo& info = client->server_info();
+  rpc::ResilientClientConfig client_config;
+  std::tie(client_config.host, client_config.port) =
+      parse_host_port(args.option("connect", ""));
+  client_config.label = "infer";
+  client_config.seed = static_cast<std::uint64_t>(
+      std::atoll(args.option("seed", "42").c_str()));
+  rpc::ResilientClient client(std::move(client_config));
+  const rpc::ServerInfo info = client.server_info();
   if (info.models.empty()) {
     throw Error("server hosts no models");
   }
@@ -455,7 +480,7 @@ int cmd_infer_remote(const Args& args) {
   }
   const auto deadline_us = static_cast<std::uint64_t>(
       std::atoll(args.option("deadline-us", "0").c_str()));
-  for (const double p : client->infer(model, data.to_bytes(), deadline_us)) {
+  for (const double p : client.infer(model, data.to_bytes(), deadline_us)) {
     std::printf("%.12e\n", p);
   }
   return 0;
@@ -936,10 +961,15 @@ int cmd_loadgen(const Args& args) {
   config.deadline_us = static_cast<std::uint64_t>(
       std::atoll(args.option("deadline-us", "0").c_str()));
   config.shutdown_server_after = args.flag("shutdown");
+  config.max_attempts = std::atoi(args.option("max-attempts", "1").c_str());
+  config.retry_budget_us =
+      std::strtod(args.option("retry-budget-us", "0").c_str(), nullptr);
   // 1-in-N head sampling for the trace contexts minted by the clients
   // (effective only with --trace-out; otherwise no context is minted).
   telemetry::head_sampler().set_period(static_cast<std::uint64_t>(
       std::atoll(args.option("trace-sample", "1").c_str())));
+  const double max_failure_rate =
+      std::strtod(args.option("max-failure-rate", "1.0").c_str(), nullptr);
 
   const rpc::LoadgenReport report = rpc::run_loadgen(config);
   std::printf("%s", report.describe().c_str());
@@ -952,7 +982,103 @@ int cmd_loadgen(const Args& args) {
                  report_path.c_str());
   }
   telemetry_outputs.write();
-  return report.conserved() ? 0 : 1;
+  if (!report.conserved()) return 1;
+  // A run whose failed fraction exceeds the gate is a failed run, even
+  // though its books balance: a fully-failing loadgen must not exit 0
+  // once the caller set a threshold.
+  if (report.failure_fraction() > max_failure_rate) {
+    std::fprintf(stderr,
+                 "loadgen: failure fraction %.3f exceeds --max-failure-rate "
+                 "%.3f\n",
+                 report.failure_fraction(), max_failure_rate);
+    return 1;
+  }
+  return 0;
+}
+
+/// `spnhbm soak`: the self-contained chaos soak harness; see the usage
+/// block at the top of this file.
+int cmd_soak(const Args& args) {
+  const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
+  const auto model_specs = args.option_all("model");
+  if (model_specs.empty()) {
+    throw Error("soak requires at least one --model name=path spec");
+  }
+  const bool chaos = arm_fault_plan(args);
+  if (chaos && args.flag("disarm")) {
+    // Plan parsed and reported, but the injector stays cold: this run
+    // must be byte-identical (stdout) to one with no plan at all.
+    fault::injector().disarm();
+    std::fprintf(stderr, "fault plan disarmed (--disarm)\n");
+  }
+
+  // --requests name=csv per model, with a pathless --requests CSV as the
+  // shared fallback (same convention as loadgen's traffic mix).
+  std::map<std::string, std::string> csv_by_model;
+  std::string shared_csv;
+  for (const auto& raw : args.option_all("requests")) {
+    const auto eq = raw.find('=');
+    if (eq == std::string::npos) {
+      shared_csv = raw;
+    } else {
+      csv_by_model[raw.substr(0, eq)] = raw.substr(eq + 1);
+    }
+  }
+
+  soak::SoakConfig config;
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(args.option("seed", "42").c_str()));
+  config.minutes = std::strtod(args.option("minutes", "2").c_str(), nullptr);
+  config.devices = static_cast<std::size_t>(
+      std::atoll(args.option("devices", "2").c_str()));
+  config.replicas = static_cast<std::size_t>(
+      std::atoll(args.option("replicas", "2").c_str()));
+  config.clients = static_cast<std::size_t>(
+      std::atoll(args.option("clients", "2").c_str()));
+  config.wave_requests = static_cast<std::size_t>(
+      std::atoll(args.option("wave-requests", "8").c_str()));
+  config.swaps_per_wave = static_cast<std::size_t>(
+      std::atoll(args.option("swaps-per-wave", "4").c_str()));
+  config.rebalance_every = static_cast<std::size_t>(
+      std::atoll(args.option("rebalance-every", "3").c_str()));
+  config.convergence_wall_seconds = std::strtod(
+      args.option("convergence-seconds", "30").c_str(), nullptr);
+
+  const auto format = args.option("format", "cfp");
+  for (const auto& raw : model_specs) {
+    const ModelSpec spec = ModelSpec::parse(raw);
+    soak::SoakModel entry;
+    entry.model = model::ModelArtifact::load_file(
+        spec.name, spec.version, spec.path, backend_for(format));
+    const auto it = csv_by_model.find(spec.name);
+    const std::string csv =
+        it != csv_by_model.end() ? it->second : shared_csv;
+    if (csv.empty()) {
+      throw Error("no --requests CSV for soak model '" + spec.name + "'");
+    }
+    entry.payloads = rows_as_payloads(spn::load_csv_file(csv));
+    std::fprintf(stderr, "loaded %s (%zu payloads)\n",
+                 entry.model->describe().c_str(), entry.payloads.size());
+    config.models.push_back(std::move(entry));
+  }
+
+  const soak::SoakReport report = soak::run_soak(config);
+  std::printf("%s", report.describe().c_str());
+  std::fprintf(stderr, "%s", report.detail().c_str());
+  if (chaos) {
+    std::fprintf(stderr, "faults injected: %llu\n",
+                 static_cast<unsigned long long>(
+                     fault::injector().injected()));
+  }
+  const std::string report_path = args.option("report-out", "");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) throw Error("cannot open report output file: " + report_path);
+    out << report.bench_json() << "\n";
+    std::fprintf(stderr, "soak report written to %s\n", report_path.c_str());
+  }
+  telemetry_outputs.write();
+  return report.passed() ? 0 : 1;
 }
 
 /// One ADMIN round-trip on an established connection.
@@ -1136,6 +1262,7 @@ int main(int argc, char** argv) {
     if (command == "infer") return cmd_infer(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "loadgen") return cmd_loadgen(args);
+    if (command == "soak") return cmd_soak(args);
     if (command == "top") return cmd_top(args);
     if (command == "version" || command == "--version") return cmd_version();
     if (command == "learn") return cmd_learn(args);
