@@ -34,12 +34,21 @@ class ArithBackend {
   virtual double decode(std::uint64_t bits) const = 0;
   virtual std::uint64_t add(std::uint64_t a, std::uint64_t b) const = 0;
   virtual std::uint64_t mul(std::uint64_t a, std::uint64_t b) const = 0;
+  /// max(a, b) in the format — the sum-node operator of a max-product
+  /// (MPE) datapath. Every supported format orders like its decoded
+  /// value, so the default compares decoded operands and returns the
+  /// winning encoding unchanged (bit-exact: no re-round happens).
+  virtual std::uint64_t max(std::uint64_t a, std::uint64_t b) const {
+    return decode(a) >= decode(b) ? a : b;
+  }
 
   /// Pipeline latency of the operator in PE clock cycles (feeds the
   /// datapath scheduler; values follow the FCCM'20 / FPT'19 operator
   /// implementations).
   virtual int add_latency_cycles() const = 0;
   virtual int mul_latency_cycles() const = 0;
+  /// A max unit is a comparator + mux: one cycle in every format.
+  virtual int max_latency_cycles() const { return 1; }
 
   /// Smallest representable positive value (for underflow analyses).
   virtual double min_positive() const = 0;

@@ -1,5 +1,6 @@
 #include "spnhbm/baselines/cpu_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -56,6 +57,14 @@ void CpuInferenceEngine::infer_block(std::span<const std::uint8_t> samples,
           const double* rhs = values.data() + op.rhs * kLanes;
           for (std::size_t lane = 0; lane < kLanes; ++lane) {
             out[lane] = lhs[lane] + rhs[lane];
+          }
+          break;
+        }
+        case compiler::OpKind::kMax: {
+          const double* lhs = values.data() + op.lhs * kLanes;
+          const double* rhs = values.data() + op.rhs * kLanes;
+          for (std::size_t lane = 0; lane < kLanes; ++lane) {
+            out[lane] = std::max(lhs[lane], rhs[lane]);
           }
           break;
         }

@@ -5,6 +5,7 @@
 
 #include "spnhbm/spn/evaluate.hpp"
 #include "spnhbm/spn/validate.hpp"
+#include "spnhbm/util/error.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::compiler {
@@ -15,20 +16,48 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kMul: return "mul";
     case OpKind::kConstMul: return "cmul";
     case OpKind::kAdd: return "add";
+    case OpKind::kMax: return "max";
   }
   return "?";
+}
+
+const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kJoint: return "joint";
+    case QueryKind::kMarginal: return "marginal";
+    case QueryKind::kMpe: return "mpe";
+  }
+  return "?";
+}
+
+QueryKind parse_query_kind(const std::string& name) {
+  if (name == "joint") return QueryKind::kJoint;
+  if (name == "marginal") return QueryKind::kMarginal;
+  if (name == "mpe") return QueryKind::kMpe;
+  throw ParseError("unknown query kind '" + name +
+                   "' (expected joint, marginal or mpe)");
 }
 
 DatapathModule::DatapathModule(std::vector<DatapathOp> ops,
                                std::vector<LookupTable> tables, OpId result_op,
                                std::size_t input_features,
-                               std::uint32_t pipeline_depth)
+                               std::uint32_t pipeline_depth, QueryKind query,
+                               std::vector<std::uint8_t> default_evidence)
     : ops_(std::move(ops)),
       tables_(std::move(tables)),
       result_op_(result_op),
       input_features_(input_features),
-      pipeline_depth_(pipeline_depth) {
+      pipeline_depth_(pipeline_depth),
+      query_(query),
+      default_evidence_(std::move(default_evidence)) {
   SPNHBM_REQUIRE(result_op_ < ops_.size(), "result op out of range");
+  if (default_evidence_.empty()) {
+    default_evidence_.assign(
+        input_features_, query_ == QueryKind::kJoint ? std::uint8_t{0}
+                                                     : kMissingByte);
+  }
+  SPNHBM_REQUIRE(default_evidence_.size() == input_features_,
+                 "default evidence must span every input feature");
 }
 
 std::size_t DatapathModule::count_ops(OpKind kind) const {
@@ -47,6 +76,11 @@ double DatapathModule::evaluate(const arith::ArithBackend& backend,
                                 std::span<const std::uint8_t> sample) const {
   SPNHBM_REQUIRE(sample.size() >= input_features_,
                  "sample narrower than the datapath input");
+  return evaluate(backend, SampleView::dense(sample));
+}
+
+double DatapathModule::evaluate(const arith::ArithBackend& backend,
+                                const SampleView& sample) const {
   std::vector<std::uint64_t> values(ops_.size());
   for (OpId id = 0; id < ops_.size(); ++id) {
     const auto& op = ops_[id];
@@ -68,13 +102,16 @@ double DatapathModule::evaluate(const arith::ArithBackend& backend,
       case OpKind::kAdd:
         values[id] = backend.add(values[op.lhs], values[op.rhs]);
         break;
+      case OpKind::kMax:
+        values[id] = backend.max(values[op.lhs], values[op.rhs]);
+        break;
     }
   }
   return backend.decode(values[result_op_]);
 }
 
 std::string DatapathModule::report() const {
-  return strformat(
+  std::string text = strformat(
       "datapath: %zu ops (%zu hist, %zu mul, %zu cmul, %zu add), %zu lookup "
       "tables, %zu input bytes, pipeline depth %u, II=%u, %llu balance "
       "register stages",
@@ -83,6 +120,15 @@ std::string DatapathModule::report() const {
       count_ops(OpKind::kAdd), tables_.size(), input_features_,
       pipeline_depth_, initiation_interval(),
       static_cast<unsigned long long>(balance_register_stages()));
+  // Joint datapaths keep the historical report byte-identical; non-joint
+  // ones carry their query (and the max-tree ops MPE lowers to).
+  if (query_ != QueryKind::kJoint) {
+    text += strformat(", query %s", query_kind_name(query_));
+    if (const std::size_t maxes = count_ops(OpKind::kMax); maxes > 0) {
+      text += strformat(" (%zu max)", maxes);
+    }
+  }
+  return text;
 }
 
 namespace {
@@ -103,7 +149,7 @@ class Lowering {
     schedule();
     const auto depth = ops_[result].stage + ops_[result].latency;
     return DatapathModule(std::move(ops_), std::move(tables_), result,
-                          spn_.variable_count(), depth);
+                          spn_.variable_count(), depth, options_.query);
   }
 
  private:
@@ -115,6 +161,8 @@ class Lowering {
         return static_cast<std::uint32_t>(backend_.mul_latency_cycles());
       case OpKind::kAdd:
         return static_cast<std::uint32_t>(backend_.add_latency_cycles());
+      case OpKind::kMax:
+        return static_cast<std::uint32_t>(backend_.max_latency_cycles());
     }
     return 1;
   }
@@ -132,6 +180,21 @@ class Lowering {
     for (std::size_t byte = 0; byte < options_.input_domain; ++byte) {
       table.probability_by_byte[byte] =
           spn::leaf_density(spn::NodePayload(leaf), static_cast<double>(byte));
+    }
+    if (options_.query != QueryKind::kJoint) {
+      // The reserved "marginalised" slot: a missing variable contributes
+      // 1 under sum-out semantics (log-space 0), and its best completion
+      // under max-product — the most probable bucket's density.
+      table.probability_by_byte.resize(kMissingByte + 1, 0.0);
+      if (options_.query == QueryKind::kMarginal) {
+        table.probability_by_byte[kMissingByte] = 1.0;
+      } else {
+        double best = 0.0;
+        for (std::size_t byte = 0; byte < options_.input_domain; ++byte) {
+          best = std::max(best, table.probability_by_byte[byte]);
+        }
+        table.probability_by_byte[kMissingByte] = best;
+      }
     }
     if (options_.deduplicate_tables) {
       const auto key = std::make_pair(leaf.variable, table.probability_by_byte);
@@ -192,7 +255,12 @@ class Lowering {
         weighted.constant = sum->weights[c];
         operands.push_back(push(weighted));
       }
-      return reduce_tree(std::move(operands), OpKind::kAdd);
+      // Max-product: the sum node picks its best weighted child instead
+      // of mixing them — same operand fan-in, comparator tree instead of
+      // adder tree.
+      return reduce_tree(std::move(operands),
+                         options_.query == QueryKind::kMpe ? OpKind::kMax
+                                                           : OpKind::kAdd);
     }
     throw Error(strformat(
         "node %u: %s leaves are not supported by the byte-input hardware "
@@ -235,6 +303,10 @@ DatapathModule compile_spn(const spn::Spn& spn,
                            const CompileOptions& options) {
   SPNHBM_REQUIRE(options.input_domain >= 1 && options.input_domain <= 256,
                  "input domain must fit a byte");
+  SPNHBM_REQUIRE(options.query == QueryKind::kJoint ||
+                     options.input_domain <= kMissingByte,
+                 "non-joint queries reserve byte 255 as the marginalised "
+                 "slot; input domain must be <= 255");
   return Lowering(spn, backend, options).run();
 }
 

@@ -72,6 +72,15 @@ BatchHandle ChaosEngine::submit(std::span<const std::uint8_t> samples,
   return inner_->submit(samples, results);
 }
 
+BatchHandle ChaosEngine::submit_sparse(std::span<const std::uint8_t> stream,
+                                       std::size_t sample_count,
+                                       std::span<double> results) {
+  // Same chaos site as dense submit: a fault plan targeting an engine's
+  // submit boundary covers both encodings.
+  apply("engine.submit");
+  return inner_->submit_sparse(stream, sample_count, results);
+}
+
 void ChaosEngine::wait(BatchHandle handle) {
   apply("engine.wait");
   inner_->wait(handle);

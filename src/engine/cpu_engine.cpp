@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "spnhbm/compiler/sparse_evidence.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::engine {
@@ -65,6 +66,30 @@ BatchHandle CpuEngine::submit(std::span<const std::uint8_t> samples,
                    }));
   stats_.batches += 1;
   stats_.samples += count;
+  return handle;
+}
+
+BatchHandle CpuEngine::submit_sparse(std::span<const std::uint8_t> stream,
+                                     std::size_t sample_count,
+                                     std::span<double> results) {
+  check_sparse_batch(stream, sample_count, results);
+  const auto& module = model_->module();
+  // Densify up front (the helper thread owns the buffer) and reuse the
+  // dense vectorised kernel.
+  auto rows = std::make_shared<std::vector<std::uint8_t>>(
+      compiler::decode_sparse(stream, module.input_features(), sample_count)
+          .densify(module.default_evidence()));
+  const BatchHandle handle = next_handle_++;
+  pending_.emplace(handle,
+                   std::async(std::launch::async, [this, rows, results] {
+                     const auto start = std::chrono::steady_clock::now();
+                     native_->infer(*rows, results);
+                     return std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                         .count();
+                   }));
+  stats_.batches += 1;
+  stats_.samples += sample_count;
   return handle;
 }
 

@@ -1,9 +1,36 @@
 #include "spnhbm/engine/engine.hpp"
 
+#include "spnhbm/compiler/datapath.hpp"
+#include "spnhbm/compiler/sparse_evidence.hpp"
 #include "spnhbm/util/strings.hpp"
 #include "spnhbm/util/units.hpp"
 
 namespace spnhbm::engine {
+
+std::string query_lane_suffix(compiler::QueryKind query) {
+  switch (query) {
+    case compiler::QueryKind::kJoint:
+      return "";
+    case compiler::QueryKind::kMarginal:
+      return "#marginal";
+    case compiler::QueryKind::kMpe:
+      return "#mpe";
+  }
+  return "";
+}
+
+std::string lane_id_for(const std::string& model_id,
+                        compiler::QueryKind query) {
+  return model_id + query_lane_suffix(query);
+}
+
+std::pair<std::string, std::string> split_lane_ref(const std::string& ref) {
+  const std::size_t hash = ref.rfind('#');
+  if (hash == std::string::npos) return {ref, ""};
+  std::string suffix = ref.substr(hash);
+  if (suffix != "#marginal" && suffix != "#mpe") return {ref, ""};
+  return {ref.substr(0, hash), std::move(suffix)};
+}
 
 std::string EngineStats::describe() const {
   std::string text = strformat(
@@ -46,6 +73,28 @@ std::vector<double> InferenceEngine::infer(
   std::vector<double> results(samples.size() / features);
   wait(submit(samples, results));
   return results;
+}
+
+std::vector<double> InferenceEngine::infer_sparse(
+    std::span<const std::uint8_t> stream, std::size_t sample_count) {
+  std::vector<double> results(sample_count);
+  wait(submit_sparse(stream, sample_count, results));
+  return results;
+}
+
+void InferenceEngine::check_sparse_batch(std::span<const std::uint8_t> stream,
+                                         std::size_t sample_count,
+                                         std::span<double> results) const {
+  const auto& caps = capabilities();
+  SPNHBM_REQUIRE(caps.functional,
+                 "engine '" + caps.name +
+                     "' is configured timing-only and cannot run functional "
+                     "batches");
+  SPNHBM_REQUIRE(sample_count > 0 && results.size() == sample_count,
+                 "sparse sample_count/results size mismatch");
+  // Full decode: bounds, ordering, duplicates, truncation. Rejection
+  // happens before the engine touches the batch.
+  compiler::decode_sparse(stream, caps.input_features, sample_count);
 }
 
 }  // namespace spnhbm::engine

@@ -186,6 +186,26 @@ BatchHandle FpgaSimEngine::submit(std::span<const std::uint8_t> samples,
   return next_handle_++;
 }
 
+BatchHandle FpgaSimEngine::submit_sparse(std::span<const std::uint8_t> stream,
+                                         std::size_t sample_count,
+                                         std::span<double> results) {
+  check_sparse_batch(stream, sample_count, results);
+  const Picoseconds before = scheduler_.now();
+  const auto values = runtime_->infer_sparse(stream, sample_count);
+  std::copy(values.begin(), values.end(), results.begin());
+  telemetry::tracer().complete_virtual(track_, "infer_sparse", before,
+                                       scheduler_.now());
+  if (const std::uint64_t trace_id = current_trace_id()) {
+    telemetry::tracer().flow_virtual(track_, "request", 't', trace_id, before);
+  }
+  stats_.batches += 1;
+  stats_.samples += sample_count;
+  const double batch_seconds = to_seconds(scheduler_.now() - before);
+  stats_.busy_seconds += batch_seconds;
+  batch_latency_us_.record(batch_seconds * 1e6);
+  return next_handle_++;
+}
+
 void FpgaSimEngine::wait(BatchHandle handle) {
   SPNHBM_REQUIRE(handle > last_completed_ && handle < next_handle_,
                  "wait on unknown or already-completed batch handle");

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "spnhbm/compiler/sparse_evidence.hpp"
+
 namespace spnhbm::engine {
 
 GpuModelEngine::GpuModelEngine(ModelHandle artifact, gpu::GpuModelConfig config)
@@ -49,6 +51,26 @@ BatchHandle GpuModelEngine::submit(std::span<const std::uint8_t> samples,
   stats_.samples += count;
   const double batch_seconds =
       to_seconds(model_.batch_breakdown(module, count).total());
+  stats_.busy_seconds += batch_seconds;
+  batch_latency_us_.record(batch_seconds * 1e6);
+  return next_handle_++;
+}
+
+BatchHandle GpuModelEngine::submit_sparse(std::span<const std::uint8_t> stream,
+                                          std::size_t sample_count,
+                                          std::span<double> results) {
+  check_sparse_batch(stream, sample_count, results);
+  const compiler::DatapathModule& module = artifact_->module();
+  const compiler::SparseBatch batch = compiler::decode_sparse(
+      stream, module.input_features(), sample_count);
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    results[i] =
+        module.evaluate(*f64_, batch.view(i, module.default_evidence()));
+  }
+  stats_.batches += 1;
+  stats_.samples += sample_count;
+  const double batch_seconds =
+      to_seconds(model_.batch_breakdown(module, sample_count).total());
   stats_.busy_seconds += batch_seconds;
   batch_latency_us_.record(batch_seconds * 1e6);
   return next_handle_++;

@@ -38,6 +38,9 @@ class ChaosEngine final : public InferenceEngine {
   void activate(ModelHandle next) override;
   BatchHandle submit(std::span<const std::uint8_t> samples,
                      std::span<double> results) override;
+  BatchHandle submit_sparse(std::span<const std::uint8_t> stream,
+                            std::size_t sample_count,
+                            std::span<double> results) override;
   void wait(BatchHandle handle) override;
   double measure_throughput(std::uint64_t sample_count) override;
   EngineStats stats() const override;

@@ -39,6 +39,12 @@ class CpuEngine : public InferenceEngine {
   void activate(ModelHandle next) override;
   BatchHandle submit(std::span<const std::uint8_t> samples,
                      std::span<double> results) override;
+  /// Sparse batches densify against the module's default evidence and run
+  /// the same vectorised kernel — numerically identical to the dense path
+  /// (the CPU has no bandwidth model to shrink).
+  BatchHandle submit_sparse(std::span<const std::uint8_t> stream,
+                            std::size_t sample_count,
+                            std::span<double> results) override;
   void wait(BatchHandle handle) override;
   double measure_throughput(std::uint64_t sample_count) override;
   EngineStats stats() const override {

@@ -96,6 +96,23 @@ class InferenceEngine {
   virtual BatchHandle submit(std::span<const std::uint8_t> samples,
                              std::span<double> results) = 0;
 
+  /// Starts one batch of CSR sparse evidence (the per-sample
+  /// {active_count, {index, value}*} stream of
+  /// compiler/sparse_evidence.hpp); absent variables read the module's
+  /// default evidence. Backends that move data charge only the stream's
+  /// bytes — on the FPGA simulation both PCIe and HBM traffic shrink
+  /// with the active-index density. The base implementation throws:
+  /// engines advertise support by overriding.
+  virtual BatchHandle submit_sparse(std::span<const std::uint8_t> stream,
+                                    std::size_t sample_count,
+                                    std::span<double> results) {
+    (void)stream;
+    (void)sample_count;
+    (void)results;
+    throw Error("engine '" + capabilities().name +
+                "' does not support sparse evidence");
+  }
+
   /// Blocks until the batch behind `handle` has completed. Each handle
   /// must be waited on exactly once.
   virtual void wait(BatchHandle handle) = 0;
@@ -109,10 +126,21 @@ class InferenceEngine {
   /// Convenience synchronous path: submit + wait, returning the results.
   std::vector<double> infer(std::span<const std::uint8_t> samples);
 
+  /// Convenience synchronous sparse path: submit_sparse + wait.
+  std::vector<double> infer_sparse(std::span<const std::uint8_t> stream,
+                                   std::size_t sample_count);
+
  protected:
   /// Validates a submit() call against the capabilities and returns the
   /// sample count.
   std::size_t check_batch(std::span<const std::uint8_t> samples,
+                          std::span<double> results) const;
+
+  /// Validates a submit_sparse() call (functional capability, result span
+  /// width, and full stream decode — malformed streams throw ParseError
+  /// before any engine state changes).
+  void check_sparse_batch(std::span<const std::uint8_t> stream,
+                          std::size_t sample_count,
                           std::span<double> results) const;
 };
 

@@ -82,6 +82,12 @@ class FpgaSimEngine : public InferenceEngine {
   void activate(ModelHandle next) override;
   BatchHandle submit(std::span<const std::uint8_t> samples,
                      std::span<double> results) override;
+  /// Sparse batches ride InferenceRuntime::infer_sparse: only the CSR
+  /// stream's bytes cross the PCIe DMA and the PE's HBM channel, so the
+  /// modelled transfer time genuinely shrinks with active-index density.
+  BatchHandle submit_sparse(std::span<const std::uint8_t> stream,
+                            std::size_t sample_count,
+                            std::span<double> results) override;
   void wait(BatchHandle handle) override;
   double measure_throughput(std::uint64_t sample_count) override;
   EngineStats stats() const override {

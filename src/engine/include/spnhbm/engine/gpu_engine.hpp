@@ -32,6 +32,12 @@ class GpuModelEngine : public InferenceEngine {
   void activate(ModelHandle next) override;
   BatchHandle submit(std::span<const std::uint8_t> samples,
                      std::span<double> results) override;
+  /// Sparse batches evaluate through SampleView without densifying;
+  /// timing stays the dense analytic model (the real TF baseline feeds
+  /// dense tensors, so sparse evidence saves it nothing).
+  BatchHandle submit_sparse(std::span<const std::uint8_t> stream,
+                            std::size_t sample_count,
+                            std::span<double> results) override;
   void wait(BatchHandle handle) override;
   double measure_throughput(std::uint64_t sample_count) override;
   EngineStats stats() const override {

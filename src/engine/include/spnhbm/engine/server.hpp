@@ -308,6 +308,17 @@ class InferenceServer : public InferenceService {
   std::optional<std::future<std::vector<double>>> try_submit(
       const std::string& model, std::vector<std::uint8_t> samples,
       const telemetry::TraceContext& trace) override;
+  /// Non-blocking sparse submit: `stream` is the CSR evidence stream for
+  /// `sample_count` samples. The stream is validated at this front door
+  /// (a malformed one throws ParseError here, never inside an engine
+  /// where it would read as an engine fault and trip the health
+  /// machinery). A sparse request is dispatched as one indivisible batch:
+  /// the stream is not sliceable at sample granularity without
+  /// re-encoding, so it is never coalesced with other requests.
+  std::optional<std::future<std::vector<double>>> try_submit_sparse(
+      const std::string& model, std::vector<std::uint8_t> stream,
+      std::size_t sample_count,
+      const telemetry::TraceContext& trace = {}) override;
 
   /// Per-engine health lines for the admin plane.
   std::string health_text() const override;
@@ -340,7 +351,9 @@ class InferenceServer : public InferenceService {
   static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
 
   struct PendingRequest {
-    std::string model;  ///< lane id ("name@version")
+    std::string model;  ///< lane id ("name@version" + query-kind suffix)
+    /// Dense: rows of input_features bytes. Sparse: the CSR evidence
+    /// stream (count then carries the explicit sample count).
     std::vector<std::uint8_t> samples;
     std::vector<double> results;
     std::promise<std::vector<double>> promise;
@@ -356,6 +369,9 @@ class InferenceServer : public InferenceService {
     std::exception_ptr error;
     /// Distributed-tracing context; invalid (trace_id 0) when untraced.
     telemetry::TraceContext trace;
+    /// samples holds a CSR evidence stream; the request dispatches as one
+    /// indivisible batch (cursor jumps 0 -> count).
+    bool sparse = false;
   };
 
   struct BatchSlice {
@@ -381,6 +397,9 @@ class InferenceServer : public InferenceService {
     /// representative: the batch span and the engine's virtual-time
     /// spans join that request's flow chain).
     telemetry::TraceContext trace;
+    /// samples holds a CSR evidence stream; the worker dispatches it via
+    /// InferenceEngine::submit_sparse.
+    bool sparse = false;
   };
 
   /// Per-model request queue + accounting (one lane per served model id).
@@ -447,10 +466,13 @@ class InferenceServer : public InferenceService {
       std::unique_lock<std::mutex>& lock, const std::string& model,
       std::vector<std::uint8_t> samples,
       const telemetry::TraceContext& trace = {});
+  /// `sparse_samples` > 0 marks `samples` as a CSR stream covering that
+  /// many samples (0 = dense rows).
   std::future<std::vector<double>> enqueue_locked(
       std::unique_lock<std::mutex>& lock, const std::string& model,
       std::vector<std::uint8_t> samples,
-      const telemetry::TraceContext& trace = {});
+      const telemetry::TraceContext& trace = {},
+      std::size_t sparse_samples = 0);
   /// Throws NoHealthyEngineError if a started server cannot serve new work
   /// for `model`; RuntimeApiError when no engine hosts it at all.
   void require_admissible_locked(const std::string& model) const;
@@ -490,7 +512,8 @@ class InferenceServer : public InferenceService {
   /// Signalled by a worker the moment it finishes retiring.
   std::condition_variable cv_retire_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  /// Per-model request lanes, keyed by lane id ("name@version").
+  /// Per-model request lanes, keyed by lane id ("name@version" plus the
+  /// query-kind suffix of the engines' loaded module, see lane_id_for).
   std::map<std::string, ModelLane> lanes_;
   /// Failed batches awaiting their backoff before re-dispatch.
   std::deque<Batch> retry_queue_;

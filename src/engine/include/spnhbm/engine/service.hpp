@@ -25,11 +25,37 @@
 #include <future>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spnhbm/telemetry/trace_context.hpp"
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::compiler {
+enum class QueryKind : std::uint8_t;
+}  // namespace spnhbm::compiler
 
 namespace spnhbm::engine {
+
+// --- Query-kind lane addressing -----------------------------------------
+// A served lane is addressed by the model id plus a query-kind suffix:
+// "name@version" serves the joint likelihood (unchanged from before query
+// kinds existed), "name@version#marginal" and "name@version#mpe" serve the
+// marginal and max-product datapaths of the same artifact. Bare-name
+// references resolve within one kind: "m" finds the joint lane only,
+// "m#marginal" the marginal one.
+
+/// Lane-id suffix for a query kind: "" (joint), "#marginal", "#mpe".
+std::string query_lane_suffix(compiler::QueryKind query);
+
+/// Lane id of a model artifact serving `query`: "<model-id><suffix>".
+std::string lane_id_for(const std::string& model_id,
+                        compiler::QueryKind query);
+
+/// Splits a model/lane reference into {base, kind-suffix}; the suffix is
+/// "" for joint references. Only the known kind suffixes are recognised,
+/// so '#' elsewhere in an id stays part of the base.
+std::pair<std::string, std::string> split_lane_ref(const std::string& ref);
 
 class InferenceService {
  public:
@@ -56,6 +82,21 @@ class InferenceService {
       const telemetry::TraceContext& trace) {
     (void)trace;
     return try_submit(model, std::move(samples));
+  }
+
+  /// Non-blocking sparse submit: `stream` is the CSR evidence stream of
+  /// compiler/sparse_evidence.hpp covering `sample_count` samples; absent
+  /// variables read the model's default evidence. Same nullopt/throw
+  /// contract as try_submit, plus ParseError for a malformed stream. The
+  /// default rejects: services predating sparse evidence keep compiling.
+  virtual std::optional<std::future<std::vector<double>>> try_submit_sparse(
+      const std::string& model, std::vector<std::uint8_t> stream,
+      std::size_t sample_count, const telemetry::TraceContext& trace = {}) {
+    (void)stream;
+    (void)sample_count;
+    (void)trace;
+    throw RuntimeApiError("service does not accept sparse evidence for '" +
+                          model + "'");
   }
 
   // --- Live-introspection hooks (the ADMIN plane) ------------------------

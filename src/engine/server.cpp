@@ -4,6 +4,7 @@
 #include <limits>
 #include <string>
 
+#include "spnhbm/compiler/sparse_evidence.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::engine {
@@ -15,6 +16,13 @@ double elapsed_us(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - since)
       .count();
+}
+
+/// Lane id an artifact serves under: model id plus the query-kind suffix
+/// of its compiled module. One engine hosts one module with one kind, so
+/// a lane never mixes query kinds and batches inherit that property.
+std::string lane_id_of(const model::ModelHandle& model) {
+  return lane_id_for(model->id(), model->module().query());
 }
 
 }  // namespace
@@ -156,7 +164,7 @@ std::size_t InferenceServer::register_engine(
   const ModelHandle& model = engine->loaded_model();
   SPNHBM_REQUIRE(model != nullptr,
                  "engine '" + caps.name + "' has no loaded model");
-  const std::string model_id = model->id();
+  const std::string model_id = lane_id_of(model);
   ensure_lane_locked(model_id, caps.input_features);
   auto worker = std::make_unique<Worker>();
   worker->engine = std::move(engine);
@@ -289,12 +297,17 @@ void InferenceServer::stop() {
 std::string InferenceServer::resolve_model_locked(
     const std::string& ref) const {
   if (lanes_.count(ref) > 0) return ref;
-  // Bare model name: unique match over "name@version" lane ids.
+  // Bare model name, optionally kind-suffixed ("m", "m#marginal"): unique
+  // match over lane ids of the *same* query kind, so "m" still resolves
+  // to the joint lane even when marginal/MPE lanes of m are served too.
+  const auto [base, suffix] = split_lane_ref(ref);
   std::vector<std::string> matches;
   for (const auto& [id, lane] : lanes_) {
     (void)lane;
-    const std::size_t at = id.rfind('@');
-    if (at != std::string::npos && id.substr(0, at) == ref) {
+    const auto [id_base, id_suffix] = split_lane_ref(id);
+    if (id_suffix != suffix) continue;
+    const std::size_t at = id_base.rfind('@');
+    if (at != std::string::npos && id_base.substr(0, at) == base) {
       matches.push_back(id);  // lanes_ is ordered: candidates come sorted
     }
   }
@@ -323,7 +336,7 @@ std::string InferenceServer::default_model_locked() const {
           "server hosts multiple models; submit with an explicit model");
     }
     if (worker->pending_activation &&
-        worker->pending_activation->id() != sole) {
+        lane_id_of(worker->pending_activation) != sole) {
       throw RuntimeApiError(
           "server hosts multiple models; submit with an explicit model");
     }
@@ -337,7 +350,7 @@ bool InferenceServer::lane_served_locked(const std::string& model) const {
     if (worker->pending_activation) {
       // Mid-swap the worker serves neither model; it counts only towards
       // its activation target.
-      if (worker->pending_activation->id() == model) return true;
+      if (lane_id_of(worker->pending_activation) == model) return true;
       continue;
     }
     if (worker->model_id == model) return true;
@@ -347,13 +360,16 @@ bool InferenceServer::lane_served_locked(const std::string& model) const {
 
 std::future<std::vector<double>> InferenceServer::enqueue_locked(
     std::unique_lock<std::mutex>& lock, const std::string& model,
-    std::vector<std::uint8_t> samples, const telemetry::TraceContext& trace) {
+    std::vector<std::uint8_t> samples, const telemetry::TraceContext& trace,
+    std::size_t sparse_samples) {
   (void)lock;
   ModelLane& lane = lanes_.at(model);
   auto request = std::make_shared<PendingRequest>();
   request->model = model;
   request->trace = trace;
-  request->count = samples.size() / lane.input_features;
+  request->sparse = sparse_samples > 0;
+  request->count = request->sparse ? sparse_samples
+                                   : samples.size() / lane.input_features;
   request->remaining = request->count;
   request->samples = std::move(samples);
   request->results.resize(request->count);
@@ -386,7 +402,7 @@ void InferenceServer::require_admissible_locked(
     if (worker->pending_activation) {
       // The incoming engine: requests for its target model queue in the
       // lane until the swap completes.
-      if (worker->pending_activation->id() == model) return;
+      if (lane_id_of(worker->pending_activation) == model) return;
       continue;
     }
     if (worker->model_id != model) continue;
@@ -510,6 +526,36 @@ std::optional<std::future<std::vector<double>>> InferenceServer::try_submit(
                            std::move(samples), trace);
 }
 
+std::optional<std::future<std::vector<double>>>
+InferenceServer::try_submit_sparse(const std::string& model,
+                                   std::vector<std::uint8_t> stream,
+                                   std::size_t sample_count,
+                                   const telemetry::TraceContext& trace) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (workers_.empty()) {
+    throw RuntimeApiError("submit before any engine is registered");
+  }
+  if (stopping_ || stopped_) {
+    throw RuntimeApiError("submit on a stopped server");
+  }
+  const std::string lane_id = resolve_model_locked(model);
+  const ModelLane& lane = lanes_.at(lane_id);
+  SPNHBM_REQUIRE(sample_count > 0, "sparse submit needs at least one sample");
+  // Front-door validation: a malformed stream fails on the caller's
+  // thread, never inside an engine where it would read as an engine fault
+  // and feed the health state machine.
+  compiler::decode_sparse(stream, lane.input_features, sample_count);
+  SPNHBM_REQUIRE(sample_count <= config_.max_queue_samples,
+                 "request larger than the whole queue bound");
+  require_admissible_locked(lane_id);
+  if (outstanding_samples_ + sample_count > config_.max_queue_samples) {
+    stats_.rejected += 1;
+    ctr_rejected_->add(1);
+    return std::nullopt;
+  }
+  return enqueue_locked(lock, lane_id, std::move(stream), trace, sample_count);
+}
+
 std::string InferenceServer::health_text() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string text;
@@ -519,7 +565,7 @@ std::string InferenceServer::health_text() const {
       continue;
     }
     const std::string model = worker->pending_activation
-                                  ? worker->pending_activation->id()
+                                  ? lane_id_of(worker->pending_activation)
                                   : worker->model_id;
     text += strformat(
         "engine %zu%s%s%s model=%s tier=%d health=%s dispatched=%llu "
@@ -557,7 +603,7 @@ std::future<void> InferenceServer::activate(std::size_t index,
   }
   // Open the target lane now: requests for the incoming model queue while
   // the engine reconfigures.
-  ensure_lane_locked(next->id(), next->input_features());
+  ensure_lane_locked(lane_id_of(next), next->input_features());
   worker.pending_activation = std::move(next);
   worker.activation_promise = std::make_shared<std::promise<void>>();
   auto future = worker.activation_promise->get_future();
@@ -643,7 +689,7 @@ std::string InferenceServer::engine_model(std::size_t index) const {
                                     index, workers_.size()));
   }
   const Worker& worker = *workers_[index];
-  return worker.pending_activation ? worker.pending_activation->id()
+  return worker.pending_activation ? lane_id_of(worker.pending_activation)
                                    : worker.model_id;
 }
 
@@ -655,6 +701,11 @@ InferenceServer::Batch InferenceServer::form_batch_locked(
                         lane.input_features);
   while (batch.sample_count < batch_samples_ && !lane.queue.empty()) {
     auto& request = lane.queue.front();
+    // A sparse request rides alone: its CSR stream cannot be sliced at
+    // sample granularity (or concatenated with dense rows) without
+    // re-encoding. Close the dense batch formed so far; the sparse one
+    // follows on the next loop turn.
+    if (request->sparse && batch.sample_count > 0) break;
     if (request->cursor == 0) {
       // First slice of this request leaves the queue: its queue wait ends.
       queue_wait_us_->record(elapsed_us(request->enqueue_time));
@@ -669,6 +720,18 @@ InferenceServer::Batch InferenceServer::form_batch_locked(
     }
     if (!batch.trace.valid() && request->trace.valid()) {
       batch.trace = request->trace;
+    }
+    if (request->sparse) {
+      // Whole-request batch; the stream is copied so a retry after an
+      // engine failure re-dispatches from the batch, like dense batches.
+      batch.sparse = true;
+      batch.samples = request->samples;
+      batch.slices.push_back({request, 0, 0, request->count});
+      batch.sample_count = request->count;
+      request->cursor = request->count;
+      lane.queued_samples -= request->count;
+      lane.queue.pop_front();
+      break;
     }
     const std::size_t take =
         std::min(batch_samples_ - batch.sample_count,
@@ -1130,7 +1193,7 @@ void InferenceServer::perform_activation(std::unique_lock<std::mutex>& lock,
   worker.activation_promise = nullptr;
   if (!error) {
     const auto& caps = worker.engine->capabilities();
-    worker.model_id = worker.engine->loaded_model()->id();
+    worker.model_id = lane_id_of(worker.engine->loaded_model());
     worker.input_features = caps.input_features;
     worker.nominal_throughput = caps.nominal_throughput;
     // The measured rate belonged to the outgoing model; start fresh.
@@ -1189,7 +1252,11 @@ void InferenceServer::worker_loop(Worker& worker) {
       const telemetry::TraceContextScope trace_scope(batch.trace);
       busy_before = worker.engine->stats().busy_seconds;
       worker.engine->wait(
-          worker.engine->submit(batch.samples, batch.results));
+          batch.sparse
+              ? worker.engine->submit_sparse(batch.samples,
+                                             batch.sample_count,
+                                             batch.results)
+              : worker.engine->submit(batch.samples, batch.results));
     } catch (...) {
       error = std::current_exception();
     }

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -155,6 +156,13 @@ class FleetRouter : public engine::InferenceService {
   std::optional<std::future<std::vector<double>>> try_submit(
       const std::string& model, std::vector<std::uint8_t> samples,
       const telemetry::TraceContext& trace) override;
+  /// Sparse routing: the CSR stream is offered to the model's replicas
+  /// with the same two-pass health-aware policy as dense requests; each
+  /// offer copies the stream so a rejection leaves it intact.
+  std::optional<std::future<std::vector<double>>> try_submit_sparse(
+      const std::string& model, std::vector<std::uint8_t> stream,
+      std::size_t sample_count,
+      const telemetry::TraceContext& trace = {}) override;
   /// Per-engine health of every member, one block per member.
   std::string health_text() const override;
   /// The replica map: model -> member/partition/engine, one line each.
@@ -185,8 +193,18 @@ class FleetRouter : public engine::InferenceService {
   /// True when the replica should be skipped on the first routing pass.
   bool replica_suspect_locked(const ReplicaLocation& location) const;
 
-  /// Resolves a model reference (lane id "name@version" or unambiguous
-  /// bare name) against the deployed replicas; throws RuntimeApiError.
+  /// The two-pass health-aware offer loop shared by the dense and sparse
+  /// submit paths. `submit` offers the request to one member's server
+  /// (nullopt on rejection, NoHealthyEngineError when the member's
+  /// engines are all quarantined).
+  std::optional<std::future<std::vector<double>>> route_locked(
+      const std::string& id, std::size_t sample_count,
+      const std::function<std::optional<std::future<std::vector<double>>>(
+          engine::InferenceServer&)>& submit);
+
+  /// Resolves a model reference (lane id "name@version" with optional
+  /// query-kind suffix, or unambiguous bare name within one kind)
+  /// against the deployed replicas; throws RuntimeApiError.
   std::string resolve_model_locked(const std::string& ref) const;
   /// Member with the most free PE slots (ties: lowest index).
   std::size_t pick_member_locked() const;
@@ -197,11 +215,12 @@ class FleetRouter : public engine::InferenceService {
   FleetConfig config_;
   mutable std::mutex mutex_;
   std::vector<Member> members_;
-  /// model id -> its replicas, in deployment order.
+  /// lane id (model id + query-kind suffix) -> replicas, in deployment
+  /// order; the same keys the member servers use for their lanes.
   std::map<std::string, std::vector<ReplicaLocation>> replicas_;
-  /// model id -> artifact (kept for input_features and redeploys).
+  /// lane id -> artifact (kept for input_features and redeploys).
   std::map<std::string, model::ModelHandle> artifacts_;
-  /// model id -> round-robin cursor for routing.
+  /// lane id -> round-robin cursor for routing.
   std::map<std::string, std::size_t> rr_;
   /// model id -> "server.model.<id>.samples" reading at the last
   /// rebalance (or first deploy), so deltas ignore pre-fleet history.

@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "spnhbm/compiler/datapath.hpp"
 #include "spnhbm/engine/chaos_engine.hpp"
 #include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::fleet {
+
+namespace {
+/// Lane id a replica serves under: the same model-id + query-kind suffix
+/// keying the member servers' lanes, so router and member agree on the
+/// address of every replica.
+std::string lane_id_of(const model::ModelHandle& model) {
+  return engine::lane_id_for(model->id(), model->module().query());
+}
+}  // namespace
 
 std::string RebalanceReport::describe() const {
   std::string text = "rebalance:";
@@ -77,7 +87,7 @@ ReplicaLocation FleetRouter::deploy(model::ModelHandle model, int pe_slots) {
 
 ReplicaLocation FleetRouter::deploy_locked(model::ModelHandle model,
                                            int pe_slots) {
-  const std::string id = model->id();
+  const std::string id = lane_id_of(model);
   const std::size_t member_index = pick_member_locked();
   Member& member = members_[member_index];
   const std::string partition = "t" + std::to_string(next_partition_);
@@ -251,28 +261,50 @@ std::optional<std::future<std::vector<double>>> FleetRouter::try_submit(
     const telemetry::TraceContext& trace) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::string id = resolve_model_locked(model);
-  const auto& locations = replicas_.at(id);
-  stats_.routed_requests += 1;
-
   const std::size_t sample_count =
       artifacts_.at(id)->input_features() > 0
           ? samples.size() / artifacts_.at(id)->input_features()
           : 0;
+  // The router only picks the member; a copy of `samples` is offered so
+  // a rejection leaves it intact for the next replica.
+  return route_locked(id, sample_count,
+                      [&](engine::InferenceServer& server) {
+                        return server.try_submit(id, samples, trace);
+                      });
+}
+
+std::optional<std::future<std::vector<double>>> FleetRouter::try_submit_sparse(
+    const std::string& model, std::vector<std::uint8_t> stream,
+    std::size_t sample_count, const telemetry::TraceContext& trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string id = resolve_model_locked(model);
+  return route_locked(id, sample_count,
+                      [&](engine::InferenceServer& server) {
+                        return server.try_submit_sparse(id, stream,
+                                                        sample_count, trace);
+                      });
+}
+
+std::optional<std::future<std::vector<double>>> FleetRouter::route_locked(
+    const std::string& id, std::size_t sample_count,
+    const std::function<std::optional<std::future<std::vector<double>>>(
+        engine::InferenceServer&)>& submit) {
+  const auto& locations = replicas_.at(id);
+  stats_.routed_requests += 1;
   std::size_t& cursor = rr_[id];
   std::size_t offers = 0;
   std::size_t unhealthy = 0;
-  // The router only picks the member; a copy of `samples` is offered so
-  // a rejection leaves it intact for the next replica. A member whose
-  // engines are all quarantined throws NoHealthyEngineError — counted as
-  // a rejection here so `routed == accepted + rejected` survives, and
-  // rethrown below only when every replica is in that state.
+  // A member whose engines are all quarantined throws
+  // NoHealthyEngineError — counted as a rejection here so
+  // `routed == accepted + rejected` survives, and rethrown below only
+  // when every replica is in that state.
   const auto offer = [&](const ReplicaLocation& location, std::size_t advance)
       -> std::optional<std::future<std::vector<double>>> {
     Member& member = members_[location.member];
     offers += 1;
     std::optional<std::future<std::vector<double>>> future;
     try {
-      future = member.server->try_submit(id, samples, trace);
+      future = submit(*member.server);
     } catch (const engine::NoHealthyEngineError&) {
       unhealthy += 1;
     }
@@ -367,8 +399,10 @@ std::size_t FleetRouter::replica_count(const std::string& model_ref) const {
   auto it = replicas_.find(model_ref);
   if (it != replicas_.end()) return it->second.size();
   // Bare-name lookups are a convenience; unknown models simply have 0.
+  const auto [base, suffix] = engine::split_lane_ref(model_ref);
   for (const auto& [model, locations] : replicas_) {
-    if (artifacts_.at(model)->name() == model_ref) return locations.size();
+    if (engine::split_lane_ref(model).second != suffix) continue;
+    if (artifacts_.at(model)->name() == base) return locations.size();
   }
   return 0;
 }
@@ -412,9 +446,16 @@ std::string FleetRouter::describe() const {
 
 std::string FleetRouter::resolve_model_locked(const std::string& ref) const {
   if (replicas_.count(ref) > 0) return ref;
+  // Bare model name, optionally kind-suffixed: match within one query
+  // kind, so "m" finds the joint replicas even when marginal/MPE replicas
+  // of m are deployed too.
+  const auto [base, suffix] = engine::split_lane_ref(ref);
   std::string match;
   for (const auto& [model, locations] : replicas_) {
-    if (artifacts_.at(model)->name() != ref) continue;
+    const auto [model_base, model_suffix] = engine::split_lane_ref(model);
+    (void)model_base;
+    if (model_suffix != suffix) continue;
+    if (artifacts_.at(model)->name() != base) continue;
     if (!match.empty()) {
       throw RuntimeApiError("model name '" + ref +
                             "' is ambiguous across versions; use name@version");

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "spnhbm/compiler/sparse_evidence.hpp"
 #include "spnhbm/util/log.hpp"
 
 namespace spnhbm::fpga {
@@ -54,6 +55,7 @@ void SpnAccelerator::write_register(Reg reg, std::uint64_t value) {
     case Reg::kInputAddress: input_address_ = value; return;
     case Reg::kOutputAddress: output_address_ = value; return;
     case Reg::kSampleCount: sample_count_ = value; return;
+    case Reg::kInputBytes: input_bytes_ = value; return;
     case Reg::kStatus:
     case Reg::kReturnValue:
       throw RuntimeApiError("register is read-only");
@@ -69,6 +71,7 @@ std::uint64_t SpnAccelerator::read_register(Reg reg) const {
     case Reg::kInputAddress: return input_address_;
     case Reg::kOutputAddress: return output_address_;
     case Reg::kSampleCount: return sample_count_;
+    case Reg::kInputBytes: return input_bytes_;
     case Reg::kReturnValue: return return_value_;
   }
   throw RuntimeApiError("unknown register");
@@ -91,6 +94,9 @@ void SpnAccelerator::run_config_query() {
     case ConfigQuery::kClockHz:
       return_value_ = static_cast<std::uint64_t>(config_.clock.frequency_hz());
       return;
+    case ConfigQuery::kQueryKind:
+      return_value_ = static_cast<std::uint64_t>(module_.query());
+      return;
   }
   throw RuntimeApiError("unknown configuration query");
 }
@@ -112,9 +118,11 @@ sim::Process SpnAccelerator::job_process() {
   const std::uint64_t samples = sample_count_;
   const std::uint64_t input_address = input_address_;
   const std::uint64_t output_address = output_address_;
+  const std::uint64_t input_bytes = input_bytes_;
   const Picoseconds job_start = runner_.scheduler().now();
 
-  sim::Process load = runner_.spawn(load_unit(input_address, samples));
+  sim::Process load =
+      runner_.spawn(load_unit(input_address, samples, input_bytes));
   sim::Process datapath = runner_.spawn(datapath_unit(samples));
   sim::Process store = runner_.spawn(store_unit(output_address, samples));
   co_await load.join();
@@ -122,7 +130,7 @@ sim::Process SpnAccelerator::job_process() {
   co_await store.join();
 
   if (config_.compute_results && backing_ != nullptr) {
-    evaluate_block(input_address, output_address, samples);
+    evaluate_block(input_address, output_address, samples, input_bytes);
   }
   samples_processed_ += samples;
   ctr_jobs_->add(1);
@@ -135,9 +143,17 @@ sim::Process SpnAccelerator::job_process() {
 }
 
 sim::Process SpnAccelerator::load_unit(std::uint64_t input_address,
-                                       std::uint64_t samples) {
+                                       std::uint64_t samples,
+                                       std::uint64_t input_bytes) {
   const std::uint64_t features = module_.input_features();
-  const std::uint64_t total_bytes = samples * features;
+  // Dense layout bursts samples x features bytes. A sparse stream bursts
+  // exactly its encoded size — this is where the HBM read traffic drops
+  // with the active-index density. Sample boundaries inside a sparse
+  // burst are variable-length; the decoder emits samples proportionally
+  // to the bytes received (exact at the final burst), which preserves the
+  // II = 1 consumption rate downstream.
+  const std::uint64_t total_bytes =
+      input_bytes != 0 ? input_bytes : samples * features;
   std::uint64_t bytes_done = 0;
   std::uint64_t samples_emitted = 0;
   while (bytes_done < total_bytes) {
@@ -147,7 +163,11 @@ sim::Process SpnAccelerator::load_unit(std::uint64_t input_address,
         axi::BurstRequest{input_address + bytes_done, burst, false});
     bytes_done += burst;
     // Samples fully contained in the data received so far.
-    const std::uint64_t now_available = bytes_done / features;
+    const std::uint64_t now_available =
+        input_bytes != 0 ? (bytes_done == total_bytes
+                                ? samples
+                                : bytes_done * samples / total_bytes)
+                         : bytes_done / features;
     BurstToken token;
     token.samples = now_available - samples_emitted;
     token.last = bytes_done == total_bytes;
@@ -211,17 +231,34 @@ sim::Process SpnAccelerator::store_unit(std::uint64_t output_address,
 
 void SpnAccelerator::evaluate_block(std::uint64_t input_address,
                                     std::uint64_t output_address,
-                                    std::uint64_t samples) {
+                                    std::uint64_t samples,
+                                    std::uint64_t input_bytes) {
   const std::size_t features = module_.input_features();
-  std::vector<std::uint8_t> inputs(samples * features);
-  backing_->read_backdoor(input_address, inputs);
   std::vector<std::uint8_t> outputs(samples * 8);
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const double result = module_.evaluate(
-        backend_,
-        std::span<const std::uint8_t>(inputs).subspan(s * features, features));
+  const auto emit = [&](std::uint64_t s, double result) {
     const auto bits = std::bit_cast<std::uint64_t>(result);
     std::memcpy(outputs.data() + s * 8, &bits, 8);
+  };
+  if (input_bytes != 0) {
+    // Sparse path: decode the CSR stream in-core and evaluate each sample
+    // against the module's default evidence — the marginalised slot for
+    // non-joint datapaths.
+    std::vector<std::uint8_t> stream(input_bytes);
+    backing_->read_backdoor(input_address, stream);
+    const compiler::SparseBatch batch =
+        compiler::decode_sparse(stream, features, samples);
+    for (std::uint64_t s = 0; s < samples; ++s) {
+      emit(s, module_.evaluate(backend_,
+                               batch.view(s, module_.default_evidence())));
+    }
+  } else {
+    std::vector<std::uint8_t> inputs(samples * features);
+    backing_->read_backdoor(input_address, inputs);
+    for (std::uint64_t s = 0; s < samples; ++s) {
+      emit(s,
+           module_.evaluate(backend_, std::span<const std::uint8_t>(inputs)
+                                          .subspan(s * features, features)));
+    }
   }
   backing_->write_backdoor(output_address, outputs);
 }

@@ -45,6 +45,11 @@ enum class Reg : std::uint32_t {
   kOutputAddress = 0x18,  ///< device address for the results
   kSampleCount = 0x20,
   kReturnValue = 0x28,  ///< config mode result
+  /// Total bytes of a CSR sparse-evidence stream at kInputAddress; 0 (the
+  /// reset value) selects the dense samples x features layout. With sparse
+  /// input the load unit bursts exactly these bytes — the HBM traffic
+  /// shrinks with the active-index density.
+  kInputBytes = 0x30,
 };
 
 /// Config-mode selectors (written to kSampleCount before starting mode 2).
@@ -53,6 +58,10 @@ enum class ConfigQuery : std::uint64_t {
   kPipelineDepth = 1,
   kInterfaceBytes = 2,
   kClockHz = 3,
+  /// The compiled query kind (compiler::QueryKind) — lets the runtime
+  /// discover whether a bitstream computes joint, marginal or max-product
+  /// values without trusting the host-side artifact metadata.
+  kQueryKind = 4,
 };
 
 struct AcceleratorConfig {
@@ -100,11 +109,13 @@ class SpnAccelerator {
   void start_inference();
   void run_config_query();
   sim::Process job_process();
-  sim::Process load_unit(std::uint64_t input_address, std::uint64_t samples);
+  sim::Process load_unit(std::uint64_t input_address, std::uint64_t samples,
+                         std::uint64_t input_bytes);
   sim::Process datapath_unit(std::uint64_t samples);
   sim::Process store_unit(std::uint64_t output_address, std::uint64_t samples);
   void evaluate_block(std::uint64_t input_address,
-                      std::uint64_t output_address, std::uint64_t samples);
+                      std::uint64_t output_address, std::uint64_t samples,
+                      std::uint64_t input_bytes);
 
   sim::ProcessRunner& runner_;
   const compiler::DatapathModule& module_;
@@ -117,6 +128,7 @@ class SpnAccelerator {
   std::uint64_t input_address_ = 0;
   std::uint64_t output_address_ = 0;
   std::uint64_t sample_count_ = 0;
+  std::uint64_t input_bytes_ = 0;  // 0 = dense layout
   std::uint64_t return_value_ = 0;
   bool busy_ = false;
   bool done_ = true;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <utility>
 
+#include "spnhbm/engine/service.hpp"
 #include "spnhbm/telemetry/trace_context.hpp"
 #include "spnhbm/util/strings.hpp"
 
@@ -10,10 +11,17 @@ namespace spnhbm::rpc {
 
 std::uint32_t ServerInfo::input_features(const std::string& ref) const {
   const ModelInfo* match = nullptr;
+  // Advertised ids are lane ids — "name@version" plus an optional
+  // query-kind suffix ("#marginal"/"#mpe"). A bare-name ref matches only
+  // within its own suffix, so "m" stays unambiguous when the server also
+  // hosts "m@1#marginal".
+  const auto [base, suffix] = engine::split_lane_ref(ref);
   for (const ModelInfo& model : models) {
     if (model.id == ref) return model.input_features;
-    const std::size_t at = model.id.rfind('@');
-    if (at != std::string::npos && model.id.substr(0, at) == ref) {
+    const auto [id_base, id_suffix] = engine::split_lane_ref(model.id);
+    if (id_suffix != suffix) continue;
+    const std::size_t at = id_base.rfind('@');
+    if (at != std::string::npos && id_base.substr(0, at) == base) {
       if (match != nullptr) {
         throw RpcError("model reference '" + ref + "' is ambiguous");
       }
@@ -71,13 +79,43 @@ RpcClient::~RpcClient() { close(); }
 
 RpcClient::SentRequest RpcClient::send_request(
     const std::string& model, std::vector<std::uint8_t> samples,
-    std::uint64_t deadline_us, std::uint64_t idempotency_key) {
+    std::uint64_t deadline_us, std::uint64_t idempotency_key,
+    const QueryOptions& query) {
+  // Dense joint requests keep travelling as plain kRequest frames —
+  // byte-identical to a v3 client — so only genuinely query-generic
+  // traffic needs the v4 frame (and a v4 server).
+  const bool request2 = query.request2();
+  if (request2 && info_.protocol_version < kQueryProtocolVersion) {
+    throw RpcError(strformat(
+        "server speaks protocol v%u; marginal/MPE/sparse requests need v%u",
+        info_.protocol_version, kQueryProtocolVersion));
+  }
   RequestFrame request;
   request.model = model.empty() && !info_.models.empty()
                       ? info_.models.front().id
                       : model;
   request.deadline_us = deadline_us;
   request.samples = std::move(samples);
+  if (request2) {
+    request.query_kind = query.query_kind;
+    request.encoding = query.encoding;
+    request.sample_count = query.sample_count;
+    if (request.sample_count == 0) {
+      if (query.encoding == kEncodingSparse) {
+        throw RpcError("sparse evidence needs an explicit sample count");
+      }
+      // Dense: derive the explicit count from the advertised input width.
+      const std::uint32_t features = info_.input_features(request.model);
+      if (features == 0 || request.samples.size() % features != 0) {
+        throw RpcError(strformat(
+            "payload of %zu bytes is not a positive multiple of model "
+            "'%s's %u input features",
+            request.samples.size(), request.model.c_str(), features));
+      }
+      request.sample_count =
+          static_cast<std::uint32_t>(request.samples.size() / features);
+    }
+  }
   // Idempotency keys ride the v3 trailing block; an older peer would
   // reject the longer body, so the key is dropped (the retry is then
   // simply re-executed — correct, just not deduplicated).
@@ -95,8 +133,8 @@ RpcClient::SentRequest RpcClient::send_request(
   if (closed_) throw RpcError("client is closed");
   request.request_id = next_request_id_++;
   const telemetry::Tracer::WallTime send_start = telemetry::Tracer::wall_now();
-  const std::vector<std::uint8_t> wire =
-      encode_frame(encode_request(request));
+  const std::vector<std::uint8_t> wire = encode_frame(
+      request2 ? encode_request2(request) : encode_request(request));
   socket_.send_all(wire.data(), wire.size());
   if (request.trace.valid()) {
     auto& tracer = telemetry::tracer();
@@ -113,7 +151,8 @@ void RpcClient::submit_with_callback(const std::string& model,
                                      std::vector<std::uint8_t> samples,
                                      std::uint64_t deadline_us,
                                      ResponseCallback callback,
-                                     std::uint64_t idempotency_key) {
+                                     std::uint64_t idempotency_key,
+                                     const QueryOptions& query) {
   // pending_mutex_ is held across the send, so the reader thread cannot
   // look a response up before its callback is registered, however fast
   // the server answers. (Lock order is always pending -> send; the
@@ -122,15 +161,16 @@ void RpcClient::submit_with_callback(const std::string& model,
   if (reader_done_) {
     throw RpcError("connection lost; request not sent");
   }
-  const SentRequest sent =
-      send_request(model, std::move(samples), deadline_us, idempotency_key);
+  const SentRequest sent = send_request(model, std::move(samples),
+                                        deadline_us, idempotency_key, query);
   pending_.emplace(sent.request_id,
                    PendingEntry{std::move(callback), sent.trace});
 }
 
 std::future<std::vector<double>> RpcClient::submit(
     const std::string& model, std::vector<std::uint8_t> samples,
-    std::uint64_t deadline_us, std::uint64_t idempotency_key) {
+    std::uint64_t deadline_us, std::uint64_t idempotency_key,
+    const QueryOptions& query) {
   auto promise = std::make_shared<std::promise<std::vector<double>>>();
   std::future<std::vector<double>> future = promise->get_future();
   submit_with_callback(
@@ -144,14 +184,17 @@ std::future<std::vector<double>> RpcClient::submit(
               std::make_exception_ptr(RpcStatusError(status, error)));
         }
       },
-      idempotency_key);
+      idempotency_key, query);
   return future;
 }
 
 std::vector<double> RpcClient::infer(const std::string& model,
                                      std::vector<std::uint8_t> samples,
-                                     std::uint64_t deadline_us) {
-  return submit(model, std::move(samples), deadline_us).get();
+                                     std::uint64_t deadline_us,
+                                     const QueryOptions& query) {
+  return submit(model, std::move(samples), deadline_us, /*idempotency_key=*/0,
+                query)
+      .get();
 }
 
 void RpcClient::request_shutdown() {

@@ -56,6 +56,30 @@ struct ServerInfo {
   std::uint32_t input_features(const std::string& ref) const;
 };
 
+/// Query-generic request options (wire v4). The defaults describe the
+/// classic dense joint request, which always travels as a plain kRequest
+/// frame — byte-identical to a v3 client on the wire. Any non-default
+/// field upgrades the request to a kRequest2 frame, which requires a
+/// server whose HELLO advertised >= kQueryProtocolVersion; against an
+/// older peer the submit throws RpcError client-side instead of sending
+/// a frame the server cannot parse.
+struct QueryOptions {
+  /// 0 joint, 1 marginal, 2 MPE (compiler::QueryKind values).
+  std::uint8_t query_kind = 0;
+  /// kEncodingDense (sample rows) or kEncodingSparse (CSR evidence
+  /// stream, see compiler/sparse_evidence.hpp).
+  std::uint8_t encoding = kEncodingDense;
+  /// Explicit sample count. Required (non-zero) for sparse payloads —
+  /// they are not self-describing; derived from the payload size and the
+  /// advertised input width when left 0 on dense ones.
+  std::uint32_t sample_count = 0;
+
+  /// True when this request must travel as a kRequest2 frame.
+  bool request2() const {
+    return query_kind != 0 || encoding != kEncodingDense;
+  }
+};
+
 /// Completion callback: status, results (kOk only), error text (other
 /// statuses). Invoked on the client's reader thread — keep it cheap.
 using ResponseCallback = std::function<void(
@@ -78,11 +102,14 @@ class RpcClient {
   /// future carries one probability per sample row, or RpcStatusError /
   /// RpcError. A non-zero `idempotency_key` (v3 servers only; silently
   /// dropped for older peers) marks retries of one logical request so
-  /// the server can deduplicate them.
+  /// the server can deduplicate them. Non-default `query` options select
+  /// marginal/MPE inference or sparse evidence (v4 servers only; throws
+  /// RpcError against an older peer).
   std::future<std::vector<double>> submit(const std::string& model,
                                           std::vector<std::uint8_t> samples,
                                           std::uint64_t deadline_us = 0,
-                                          std::uint64_t idempotency_key = 0);
+                                          std::uint64_t idempotency_key = 0,
+                                          const QueryOptions& query = {});
 
   /// As submit(), but delivers the raw response via `callback` (on the
   /// reader thread) instead of a future — the open-loop load generator's
@@ -91,12 +118,14 @@ class RpcClient {
                             std::vector<std::uint8_t> samples,
                             std::uint64_t deadline_us,
                             ResponseCallback callback,
-                            std::uint64_t idempotency_key = 0);
+                            std::uint64_t idempotency_key = 0,
+                            const QueryOptions& query = {});
 
   /// Synchronous convenience wrapper around submit().get().
   std::vector<double> infer(const std::string& model,
                             std::vector<std::uint8_t> samples,
-                            std::uint64_t deadline_us = 0);
+                            std::uint64_t deadline_us = 0,
+                            const QueryOptions& query = {});
 
   /// Asks the serving process to drain and exit (admin/CI path).
   void request_shutdown();
@@ -132,7 +161,8 @@ class RpcClient {
   SentRequest send_request(const std::string& model,
                            std::vector<std::uint8_t> samples,
                            std::uint64_t deadline_us,
-                           std::uint64_t idempotency_key);
+                           std::uint64_t idempotency_key,
+                           const QueryOptions& query);
   void reader_loop();
   void fail_outstanding(const std::string& reason);
 

@@ -53,8 +53,12 @@ struct ModelTraffic {
   /// Relative share of the request stream; must be positive.
   double weight = 1.0;
   /// Request payloads for this model, cycled round-robin over its
-  /// requests. Must be non-empty, each a multiple of the model's width.
+  /// requests. Must be non-empty, each a multiple of the model's width
+  /// (or valid CSR sparse streams when `query` selects them).
   std::vector<std::vector<std::uint8_t>> payloads;
+  /// Query kind + payload encoding for this traffic share (wire v4);
+  /// default = classic dense joint requests.
+  QueryOptions query;
 };
 
 struct LoadgenConfig {
@@ -66,6 +70,10 @@ struct LoadgenConfig {
   /// Request payloads, cycled round-robin across the run. Must be
   /// non-empty and each payload a multiple of the model's input width.
   std::vector<std::vector<std::uint8_t>> payloads;
+  /// Query kind + payload encoding sent with every single-model request
+  /// (wire v4); ignored when `traffic` is non-empty (each ModelTraffic
+  /// carries its own).
+  QueryOptions query;
   /// Mixed-model traffic (the fleet-serving path): when non-empty,
   /// `model`/`payloads` above are ignored and every request draws its
   /// model from this weighted mix, deterministically in `seed`.

@@ -141,17 +141,22 @@ class ResilientClient {
   /// Sends one logical request; retries ride the same idempotency key.
   /// The callback fires exactly once with the final outcome (any thread:
   /// the caller's, the reader's, or the retry thread's). Throws RpcError
-  /// only after close().
+  /// only after close(). Non-default `query` options select marginal/MPE
+  /// inference or sparse evidence (wire v4) and fold into the
+  /// idempotency key, so two queries of different kinds over identical
+  /// payloads never collide in the server's dedup cache.
   void submit_with_callback(const std::string& model,
                             std::vector<std::uint8_t> samples,
                             std::uint64_t deadline_us,
-                            ResilientCallback callback);
+                            ResilientCallback callback,
+                            const QueryOptions& query = {});
 
   /// Synchronous convenience wrapper; throws RpcGiveUpError on any
   /// non-OK final outcome.
   std::vector<double> infer(const std::string& model,
                             std::vector<std::uint8_t> samples,
-                            std::uint64_t deadline_us = 0);
+                            std::uint64_t deadline_us = 0,
+                            const QueryOptions& query = {});
 
   /// Hello identity of the current connection (dials when needed).
   ServerInfo server_info();
@@ -180,6 +185,7 @@ class ResilientClient {
     std::string model;
     std::vector<std::uint8_t> samples;
     std::uint64_t deadline_us = 0;
+    QueryOptions query;
     std::uint64_t key = 0;
     std::uint32_t attempts = 0;
     Clock::time_point first_sent;

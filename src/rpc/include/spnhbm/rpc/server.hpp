@@ -227,7 +227,12 @@ class RpcServer {
   void reader_loop(Connection& connection);
   void writer_loop(Connection& connection);
   /// Admission + submit; returns the outbox entry for the request.
-  Outgoing handle_request(Connection& connection, RequestFrame request);
+  /// `request2` marks a v4 kRequest2 frame: the query-kind byte folds
+  /// into the lane address (model ref + suffix), the explicit sample
+  /// count is cross-checked (dense) or trusted to the sparse decoder,
+  /// and a sparse payload routes through try_submit_sparse.
+  Outgoing handle_request(Connection& connection, RequestFrame request,
+                          bool request2 = false);
   /// Snapshot of the live plane, pre-encoded as an ADMIN reply.
   Outgoing handle_admin();
   ResponseFrame resolve(Outgoing& outgoing);

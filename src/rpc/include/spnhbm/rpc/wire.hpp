@@ -50,6 +50,17 @@
 // reuse it across retries, so a server that already accepted the
 // original can answer the retry from its idempotency cache instead of
 // executing (and double-counting) the work.
+//
+// v4 adds kRequest2, the query-generic request frame: after the deadline
+// it carries a query-kind byte (0 joint, 1 marginal, 2 MPE), a payload
+// encoding byte (0 dense rows, 1 CSR sparse evidence stream), and an
+// explicit u32 sample count (dense frames must agree with payload size /
+// input width; sparse payloads are not self-describing without it). The
+// same optional trace/idempotency tail applies. A v4 client keeps
+// sending plain kRequest for dense joint traffic — byte-identical to v3
+// — and sends kRequest2 only when the server's HELLO advertised >= 4;
+// against an older server, marginal/MPE/sparse requests fail client-side
+// with a clear error instead of a protocol violation.
 #pragma once
 
 #include <cstdint>
@@ -64,11 +75,13 @@ namespace spnhbm::rpc {
 /// Version of the frame layout described above. Bumped on any change a
 /// v1 peer could not parse; the client refuses to talk to a *newer*
 /// server but serves/accepts every version back to 1.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+inline constexpr std::uint16_t kProtocolVersion = 4;
 /// First version carrying REQUEST trace blocks and ADMIN frames.
 inline constexpr std::uint16_t kTraceProtocolVersion = 2;
 /// First version carrying REQUEST idempotency keys.
 inline constexpr std::uint16_t kIdempotencyProtocolVersion = 3;
+/// First version carrying REQUEST2 frames (query kinds + sparse evidence).
+inline constexpr std::uint16_t kQueryProtocolVersion = 4;
 
 inline constexpr std::uint32_t kFrameMagic = 0x52'4E'50'53;  // "SPNR"
 inline constexpr std::uint32_t kMaxBodyBytes = 64u << 20;
@@ -89,6 +102,9 @@ enum class FrameType : std::uint8_t {
   kShutdown = 4,
   kAdmin = 5,
   kAdminReply = 6,
+  /// v4 query-generic request (query kind + payload encoding + explicit
+  /// sample count); answered with the same kResponse as kRequest.
+  kRequest2 = 7,
 };
 
 /// Response status. kOverloaded and kNoHealthyEngine are *retryable*: the
@@ -136,7 +152,21 @@ struct RequestFrame {
   /// trailing block (after the trace block when both are present) only
   /// when non-zero. Stable across retries of one logical request.
   std::uint64_t idempotency_key = 0;
+  // --- v4 kRequest2 fields (defaults describe a plain kRequest) ----------
+  /// Query kind: 0 joint, 1 marginal, 2 MPE. The server folds it into the
+  /// lane address (model id + query-kind suffix).
+  std::uint8_t query_kind = 0;
+  /// Payload encoding: 0 dense sample rows, 1 CSR sparse evidence stream.
+  std::uint8_t encoding = 0;
+  /// Explicit sample count; a sparse payload is not self-describing
+  /// without it, and dense frames must agree with samples.size() / width.
+  /// 0 on plain kRequest frames (the width derives the count).
+  std::uint32_t sample_count = 0;
 };
+
+/// Payload encodings of a kRequest2 frame.
+inline constexpr std::uint8_t kEncodingDense = 0;
+inline constexpr std::uint8_t kEncodingSparse = 1;
 
 struct ResponseFrame {
   std::uint64_t request_id = 0;
@@ -172,6 +202,9 @@ std::uint32_t decode_frame_header(
 
 Frame encode_hello(const HelloFrame& hello);
 Frame encode_request(const RequestFrame& request);
+/// v4 query-generic request. Throws WireError for an out-of-range query
+/// kind or encoding, or a zero sample count.
+Frame encode_request2(const RequestFrame& request);
 Frame encode_response(const ResponseFrame& response);
 Frame encode_shutdown();
 Frame encode_admin();
@@ -180,6 +213,7 @@ Frame encode_admin_reply(const AdminReplyFrame& reply);
 /// Body decoders; throw WireError on truncated or trailing bytes.
 HelloFrame decode_hello(const std::vector<std::uint8_t>& body);
 RequestFrame decode_request(const std::vector<std::uint8_t>& body);
+RequestFrame decode_request2(const std::vector<std::uint8_t>& body);
 ResponseFrame decode_response(const std::vector<std::uint8_t>& body);
 AdminReplyFrame decode_admin_reply(const std::vector<std::uint8_t>& body);
 

@@ -177,14 +177,17 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     ResilientClient& client = *clients[i % clients.size()];
     const std::string* model;
     const std::vector<std::uint8_t>* payload;
+    const QueryOptions* query;
     if (picks.empty()) {
       model = &config.model;
       payload = &config.payloads[i % config.payloads.size()];
+      query = &config.query;
     } else {
       const ModelTraffic& traffic = config.traffic[picks[i]];
       model = &traffic.model;
       payload = &traffic.payloads[payload_cursor[picks[i]]++ %
                                   traffic.payloads.size()];
+      query = &traffic.query;
     }
     const Clock::time_point fired = Clock::now();
     telemetry::Histogram* per_model = model_latency.at(*model).get();
@@ -212,7 +215,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
         ++outstanding;
       }
       client.submit_with_callback(*model, *payload, config.deadline_us,
-                                  on_response);
+                                  on_response, *query);
       ++sent;
       ++sent_by_model[*model];
     } catch (const Error&) {

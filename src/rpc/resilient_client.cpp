@@ -167,20 +167,24 @@ std::shared_ptr<RpcClient> ResilientClient::acquire_client(
 void ResilientClient::submit_with_callback(const std::string& model,
                                            std::vector<std::uint8_t> samples,
                                            std::uint64_t deadline_us,
-                                           ResilientCallback callback) {
+                                           ResilientCallback callback,
+                                           const QueryOptions& query) {
   auto request = std::make_shared<Request>();
   request->model = model;
   request->samples = std::move(samples);
   request->deadline_us = deadline_us;
+  request->query = query;
   request->callback = std::move(callback);
-  // The key folds in the request content (model + payload) on top of the
-  // per-client (label, seed, sequence) stream: two clients that happen to
-  // share a label and seed — e.g. two one-shot `infer` processes — must
-  // not collide in the server's dedup cache unless they really are
-  // retransmitting the same request. Still a pure function of
+  // The key folds in the request content (model + query shape + payload)
+  // on top of the per-client (label, seed, sequence) stream: two clients
+  // that happen to share a label and seed — e.g. two one-shot `infer`
+  // processes — must not collide in the server's dedup cache unless they
+  // really are retransmitting the same request. Still a pure function of
   // deterministic inputs, so retry schedules reproduce across runs.
+  const std::uint8_t query_shape[2] = {query.query_kind, query.encoding};
   std::uint64_t content = fnv1a(fnv1a(request->model), request->samples.data(),
                                 request->samples.size());
+  content = fnv1a(content, query_shape, sizeof(query_shape));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) throw RpcError("resilient client is closed");
@@ -196,7 +200,8 @@ void ResilientClient::submit_with_callback(const std::string& model,
 
 std::vector<double> ResilientClient::infer(const std::string& model,
                                            std::vector<std::uint8_t> samples,
-                                           std::uint64_t deadline_us) {
+                                           std::uint64_t deadline_us,
+                                           const QueryOptions& query) {
   auto promise = std::make_shared<std::promise<std::vector<double>>>();
   std::future<std::vector<double>> future = promise->get_future();
   submit_with_callback(
@@ -212,7 +217,8 @@ std::vector<double> ResilientClient::infer(const std::string& model,
           promise->set_exception(std::make_exception_ptr(
               RpcGiveUpError(reason, status, 0, error)));
         }
-      });
+      },
+      query);
   return future.get();
 }
 
@@ -264,6 +270,18 @@ void ResilientClient::send_attempt(RequestPtr request) {
              GiveUpReason::kClientClosed);
       return;
     }
+    // A query-generic request against a pre-v4 server is terminal, not a
+    // transport failure: no amount of reconnecting upgrades the peer.
+    if (request->query.request2() &&
+        client->server_info().protocol_version < kQueryProtocolVersion) {
+      finish(request, Status::kInvalidRequest, {},
+             strformat("server speaks protocol v%u; marginal/MPE/sparse "
+                       "requests need v%u",
+                       client->server_info().protocol_version,
+                       kQueryProtocolVersion),
+             GiveUpReason::kNonRetryable);
+      return;
+    }
     // The send happens outside the lock: a slow peer must not stall
     // unrelated submits or the response path.
     request->attempts += 1;
@@ -275,7 +293,7 @@ void ResilientClient::send_attempt(RequestPtr request) {
                           const std::string& error) {
             on_response(tracked, status, results, error);
           },
-          request->key);
+          request->key, request->query);
       return;  // the response (or transport failure) drives the rest
     } catch (const std::exception& e) {
       // The connection died between acquire and send; nothing reached

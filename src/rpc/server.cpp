@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "spnhbm/compiler/datapath.hpp"
 #include "spnhbm/engine/server.hpp"
 #include "spnhbm/fault/fault.hpp"
 #include "spnhbm/util/log.hpp"
@@ -249,6 +250,10 @@ void RpcServer::reader_loop(Connection& connection) {
         case FrameType::kRequest:
           enqueue(connection, handle_request(connection, decode_request(body)));
           break;
+        case FrameType::kRequest2:
+          enqueue(connection, handle_request(connection, decode_request2(body),
+                                             /*request2=*/true));
+          break;
         case FrameType::kAdmin:
           enqueue(connection, handle_admin());
           break;
@@ -295,14 +300,24 @@ RpcServer::Outgoing RpcServer::handle_admin() {
 }
 
 RpcServer::Outgoing RpcServer::handle_request(Connection& connection,
-                                              RequestFrame request) {
+                                              RequestFrame request,
+                                              bool request2) {
   const auto received = SteadyClock::now();
+  // The lane address folds the query-kind byte into the model reference
+  // ("m@1" + kind 1 -> "m@1#marginal"), matching the suffixed lane ids
+  // the serving layer advertises in HELLO.
+  std::string lane_ref = request.model;
+  if (request2 && request.query_kind != 0) {
+    lane_ref += engine::query_lane_suffix(
+        static_cast<compiler::QueryKind>(request.query_kind));
+  }
+  const bool sparse = request2 && request.encoding == kEncodingSparse;
   Outgoing outgoing;
   outgoing.request_id = request.request_id;
   outgoing.deadline_us = request.deadline_us;
   outgoing.received = received;
   outgoing.trace = request.trace;
-  outgoing.model = request.model;
+  outgoing.model = lane_ref;
 
   ResponseFrame response;
   response.request_id = request.request_id;
@@ -356,20 +371,34 @@ RpcServer::Outgoing RpcServer::handle_request(Connection& connection,
   }
   std::size_t features = 0;
   try {
-    features = server_.input_features(request.model);
+    features = server_.input_features(lane_ref);
   } catch (const std::exception& e) {
     reject(Status::kUnknownModel, e.what(), &RpcServerStats::rejected,
            ctr_rejected_);
     return outgoing;
   }
-  // 2. Payload validation.
-  if (request.samples.empty() || request.samples.size() % features != 0) {
-    reject(Status::kInvalidRequest,
-           strformat("payload of %zu bytes is not a positive multiple of "
-                     "the model's %zu input features",
-                     request.samples.size(), features),
-           &RpcServerStats::rejected, ctr_rejected_);
-    return outgoing;
+  // 2. Payload validation. Dense payloads must be whole rows (and agree
+  //    with an explicit REQUEST2 sample count); sparse streams are fully
+  //    validated by the serving layer's decoder below.
+  if (!sparse) {
+    if (request.samples.empty() || request.samples.size() % features != 0) {
+      reject(Status::kInvalidRequest,
+             strformat("payload of %zu bytes is not a positive multiple of "
+                       "the model's %zu input features",
+                       request.samples.size(), features),
+             &RpcServerStats::rejected, ctr_rejected_);
+      return outgoing;
+    }
+    if (request2 &&
+        request.sample_count != request.samples.size() / features) {
+      reject(Status::kInvalidRequest,
+             strformat("explicit sample count %u disagrees with the payload "
+                       "(%zu rows of %zu bytes)",
+                       request.sample_count, request.samples.size() / features,
+                       features),
+             &RpcServerStats::rejected, ctr_rejected_);
+      return outgoing;
+    }
   }
   // 3. Admission: token bucket, then queue depth. Shed responses go out
   //    immediately; the socket thread never blocks on queue space.
@@ -386,16 +415,27 @@ RpcServer::Outgoing RpcServer::handle_request(Connection& connection,
     return outgoing;
   }
   // 4. Submit (non-blocking; a full server queue is queue-depth shedding).
+  //    Sparse streams route through try_submit_sparse, whose front-door
+  //    decoder throws ParseError on a malformed payload — an invalid
+  //    request, not an engine fault.
   try {
-    outgoing.sample_count = request.samples.size() / features;
-    auto future = server_.try_submit(request.model, std::move(request.samples),
-                                     request.trace);
+    outgoing.sample_count =
+        sparse ? request.sample_count : request.samples.size() / features;
+    auto future =
+        sparse ? server_.try_submit_sparse(lane_ref, std::move(request.samples),
+                                           request.sample_count, request.trace)
+               : server_.try_submit(lane_ref, std::move(request.samples),
+                                    request.trace);
     if (!future.has_value()) {
       reject(Status::kOverloaded, "shed by server queue bound (retryable)",
              &RpcServerStats::shed_queue_depth, ctr_shed_queue_depth_);
       return outgoing;
     }
     outgoing.future = std::move(future);
+  } catch (const ParseError& e) {
+    reject(Status::kInvalidRequest, e.what(), &RpcServerStats::rejected,
+           ctr_rejected_);
+    return outgoing;
   } catch (const engine::NoHealthyEngineError& e) {
     reject(Status::kNoHealthyEngine, e.what(),
            &RpcServerStats::shed_no_healthy_engine, ctr_failed_);

@@ -65,10 +65,18 @@ class InferenceRuntime {
   RunStats run(std::uint64_t total_samples);
 
   /// Functional end-to-end inference of real samples (row-major bytes,
-  /// one row per sample): returns one joint probability per sample,
+  /// one row per sample): returns one result per sample (joint density,
+  /// marginal, or max-product value depending on the module's query),
   /// computed by the accelerators through the full copy/launch/readback
   /// path.
   std::vector<double> infer(std::span<const std::uint8_t> samples);
+
+  /// Functional inference over a CSR sparse-evidence stream of
+  /// `sample_count` samples (see compiler/sparse_evidence.hpp for the
+  /// layout). Only the stream's bytes cross PCIe and the PE's HBM
+  /// channel — the bandwidth saving sparse queries exist for.
+  std::vector<double> infer_sparse(std::span<const std::uint8_t> stream,
+                                   std::size_t sample_count);
 
  private:
   struct BlockCursor {

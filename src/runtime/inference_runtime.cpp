@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "spnhbm/compiler/sparse_evidence.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::runtime {
@@ -192,6 +193,40 @@ std::vector<double> InferenceRuntime::infer(
 
   std::vector<double> results(count);
   for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, raw_results.data() + i * 8, 8);
+    results[i] = std::bit_cast<double>(bits);
+  }
+  return results;
+}
+
+std::vector<double> InferenceRuntime::infer_sparse(
+    std::span<const std::uint8_t> stream, std::size_t sample_count) {
+  SPNHBM_REQUIRE(sample_count > 0, "nothing to infer");
+  SPNHBM_REQUIRE(device_.backing_channel(0) != nullptr,
+                 "functional inference needs a platform with backing store");
+  // Validate on the host before any bytes move: a malformed stream must
+  // fail here, not inside the device.
+  compiler::decode_sparse(stream, module_.input_features(), sample_count);
+
+  auto& scheduler = runner_.scheduler();
+  const DeviceBuffer input_buffer(memory_, 0, stream.size());
+  const DeviceBuffer output_buffer(memory_, 0, sample_count * 8);
+  std::vector<std::uint8_t> raw_results(sample_count * 8);
+
+  sim::Process job = runner_.spawn([&]() -> sim::Process {
+    co_await device_.copy_to_device(0, input_buffer.address(), stream);
+    co_await device_.launch_inference_sparse(
+        0, input_buffer.address(), output_buffer.address(), sample_count,
+        stream.size());
+    co_await device_.copy_from_device(0, output_buffer.address(), raw_results);
+  });
+  scheduler.run();
+  runner_.check();
+  SPNHBM_REQUIRE(job.done(), "inference job did not finish");
+
+  std::vector<double> results(sample_count);
+  for (std::size_t i = 0; i < sample_count; ++i) {
     std::uint64_t bits = 0;
     std::memcpy(&bits, raw_results.data() + i * 8, 8);
     results[i] = std::bit_cast<double>(bits);

@@ -20,12 +20,26 @@
 
 namespace spnhbm::spn {
 
-/// P(query | evidence): both spans are full-width samples where
+/// log P(query | evidence): both spans are full-width samples where
 /// `missing_value()` marks unconstrained variables; `query` must constrain
-/// a superset of `evidence`'s variables. Returns P(query) / P(evidence).
+/// a superset of `evidence`'s variables. Computed in one upward pass —
+/// sub-circuits whose scope is untouched by the extra query variables are
+/// evaluated once and shared — and returned in log space, so wide models
+/// whose linear-space probabilities underflow still condition correctly.
 double conditional_probability(Evaluator& evaluator,
                                std::span<const double> query,
                                std::span<const double> evidence);
+
+/// Max-product circuit value over byte evidence — the reference the MPE
+/// datapath (`CompileOptions.query == QueryKind::kMpe`) is checked
+/// against, byte for byte. Sum nodes take the max over weighted children,
+/// products multiply, and a missing leaf (NaN) contributes the density of
+/// its best byte in [0, input_domain) — exactly the reserved-slot value
+/// the compiler bakes into non-joint lookup tables. Returns the (linear
+/// domain) value of the most probable completion, not the completion
+/// itself; `mpe_completion` recovers the argmax in the continuous domain.
+double max_product_value(const Spn& spn, std::span<const double> evidence,
+                         std::size_t input_domain);
 
 /// Most probable explanation: completes every missing variable in
 /// `evidence` with its MPE assignment. Observed variables pass through.

@@ -2,8 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace spnhbm::spn {
+
+namespace {
+
+VariableId payload_variable(const NodePayload& payload) {
+  if (const auto* h = std::get_if<HistogramLeaf>(&payload)) return h->variable;
+  if (const auto* g = std::get_if<GaussianLeaf>(&payload)) return g->variable;
+  return std::get<CategoricalLeaf>(payload).variable;
+}
+
+/// Log-domain sum-node accumulation (log-sum-exp with max extraction),
+/// shared by the single-pass conditional below.
+double log_sum_node(const SumNode& sum, std::span<const double> child_logs) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  double max_term = kNegInf;
+  for (std::size_t c = 0; c < sum.children.size(); ++c) {
+    max_term = std::max(max_term,
+                        std::log(sum.weights[c]) + child_logs[sum.children[c]]);
+  }
+  if (max_term == kNegInf) return kNegInf;
+  double acc = 0.0;
+  for (std::size_t c = 0; c < sum.children.size(); ++c) {
+    acc += std::exp(std::log(sum.weights[c]) + child_logs[sum.children[c]] -
+                    max_term);
+  }
+  return max_term + std::log(acc);
+}
+
+}  // namespace
 
 double conditional_probability(Evaluator& evaluator,
                                std::span<const double> query,
@@ -16,10 +45,87 @@ double conditional_probability(Evaluator& evaluator,
                      "query must agree with the evidence where observed");
     }
   }
-  const double joint = evaluator.evaluate(query);
-  const double prior = evaluator.evaluate(evidence);
-  SPNHBM_REQUIRE(prior > 0.0, "evidence has zero probability");
-  return joint / prior;
+  // One upward pass computing log P(query) and log P(evidence) together.
+  // A leaf differs between the two only where the query constrains a
+  // variable the evidence leaves free; a sub-circuit whose leaves are all
+  // shared is evaluated once and its log value reused for both sides.
+  const Spn& spn = evaluator.spn();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> log_q(spn.node_count(), 0.0);
+  std::vector<double> log_e(spn.node_count(), 0.0);
+  std::vector<char> shared(spn.node_count(), 1);
+  for (const NodeId id : spn.reachable_topological()) {
+    const auto& payload = spn.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      bool all_shared = true;
+      for (const NodeId child : sum->children) {
+        all_shared = all_shared && shared[child];
+      }
+      log_e[id] = log_sum_node(*sum, log_e);
+      log_q[id] = all_shared ? log_e[id] : log_sum_node(*sum, log_q);
+      shared[id] = all_shared;
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      bool all_shared = true;
+      double acc_q = 0.0, acc_e = 0.0;
+      for (const NodeId child : product->children) {
+        all_shared = all_shared && shared[child];
+        acc_q += log_q[child];
+        acc_e += log_e[child];
+      }
+      log_e[id] = acc_e;
+      log_q[id] = all_shared ? acc_e : acc_q;
+      shared[id] = all_shared;
+    } else {
+      const VariableId variable = payload_variable(payload);
+      log_e[id] = std::log(leaf_density(payload, evidence[variable]));
+      const bool same = !is_missing(evidence[variable]) ||
+                        is_missing(query[variable]);
+      log_q[id] =
+          same ? log_e[id] : std::log(leaf_density(payload, query[variable]));
+      shared[id] = same;
+    }
+  }
+  const double log_prior = log_e[spn.root()];
+  SPNHBM_REQUIRE(log_prior > kNegInf, "evidence has zero probability");
+  return log_q[spn.root()] - log_prior;
+}
+
+double max_product_value(const Spn& spn, std::span<const double> evidence,
+                         std::size_t input_domain) {
+  SPNHBM_REQUIRE(evidence.size() >= spn.variable_count(),
+                 "evidence narrower than the SPN's scope");
+  SPNHBM_REQUIRE(input_domain >= 1 && input_domain <= 256,
+                 "input domain must fit a byte");
+  std::vector<double> value(spn.node_count(), 0.0);
+  for (const NodeId id : spn.reachable_topological()) {
+    const auto& payload = spn.node(id);
+    if (const auto* sum = std::get_if<SumNode>(&payload)) {
+      double best = 0.0;
+      for (std::size_t c = 0; c < sum->children.size(); ++c) {
+        best = std::max(best, sum->weights[c] * value[sum->children[c]]);
+      }
+      value[id] = best;
+    } else if (const auto* product = std::get_if<ProductNode>(&payload)) {
+      double acc = 1.0;
+      for (const NodeId child : product->children) acc *= value[child];
+      value[id] = acc;
+    } else {
+      const VariableId variable = payload_variable(payload);
+      if (is_missing(evidence[variable])) {
+        // Byte-domain mode: the same max the compiler stores in the
+        // reserved marginalised slot of an MPE lookup table.
+        double best = 0.0;
+        for (std::size_t byte = 0; byte < input_domain; ++byte) {
+          best = std::max(
+              best, leaf_density(payload, static_cast<double>(byte)));
+        }
+        value[id] = best;
+      } else {
+        value[id] = leaf_density(payload, evidence[variable]);
+      }
+    }
+  }
+  return value[spn.root()];
 }
 
 namespace {

@@ -161,6 +161,24 @@ sim::Task<void> Device::launch_inference(std::size_t pe_index,
                                          std::uint64_t input_address,
                                          std::uint64_t output_address,
                                          std::uint64_t samples) {
+  co_await launch_job(pe_index, input_address, output_address, samples, 0);
+}
+
+sim::Task<void> Device::launch_inference_sparse(std::size_t pe_index,
+                                                std::uint64_t input_address,
+                                                std::uint64_t output_address,
+                                                std::uint64_t samples,
+                                                std::uint64_t input_bytes) {
+  SPNHBM_REQUIRE(input_bytes > 0, "sparse job needs a non-empty stream");
+  co_await launch_job(pe_index, input_address, output_address, samples,
+                      input_bytes);
+}
+
+sim::Task<void> Device::launch_job(std::size_t pe_index,
+                                   std::uint64_t input_address,
+                                   std::uint64_t output_address,
+                                   std::uint64_t samples,
+                                   std::uint64_t input_bytes) {
   auto& scheduler = runner_.scheduler();
   fpga::SpnAccelerator& accelerator = pe(pe_index);
   if (fault::injector().armed()) {
@@ -187,6 +205,9 @@ sim::Task<void> Device::launch_inference(std::size_t pe_index,
   accelerator.write_register(fpga::Reg::kInputAddress, input_address);
   accelerator.write_register(fpga::Reg::kOutputAddress, output_address);
   accelerator.write_register(fpga::Reg::kSampleCount, samples);
+  // Always written: a stale non-zero value from a previous sparse job
+  // must not turn a dense launch sparse.
+  accelerator.write_register(fpga::Reg::kInputBytes, input_bytes);
   accelerator.write_register(fpga::Reg::kControl, 1);
   co_await accelerator.wait_done();
   // Completion interrupt + handler.

@@ -92,6 +92,15 @@ class Device {
                                    std::uint64_t output_address,
                                    std::uint64_t samples);
 
+  /// Sparse-evidence job: the input region holds a CSR evidence stream of
+  /// `input_bytes` total (not samples x features dense rows). The PE's
+  /// load unit bursts exactly those bytes from its channel.
+  sim::Task<void> launch_inference_sparse(std::size_t pe_index,
+                                          std::uint64_t input_address,
+                                          std::uint64_t output_address,
+                                          std::uint64_t samples,
+                                          std::uint64_t input_bytes);
+
   /// Configuration read-out via the PE's second execution mode.
   std::uint64_t query_config(std::size_t pe_index, fpga::ConfigQuery query);
 
@@ -101,6 +110,9 @@ class Device {
  private:
   sim::Task<void> dma_and_channel(std::size_t pe_index, std::uint64_t address,
                                   std::uint64_t bytes, bool to_device);
+  sim::Task<void> launch_job(std::size_t pe_index, std::uint64_t input_address,
+                             std::uint64_t output_address,
+                             std::uint64_t samples, std::uint64_t input_bytes);
 
   sim::ProcessRunner& runner_;
   CompositionConfig config_;

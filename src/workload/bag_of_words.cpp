@@ -57,4 +57,43 @@ spn::DataMatrix make_bag_of_words(const CorpusConfig& config) {
   return data;
 }
 
+compiler::SparseBatch sparse_queries(const spn::DataMatrix& corpus,
+                                     std::size_t active_words) {
+  SPNHBM_REQUIRE(corpus.cols() <= 0xFFFF,
+                 "sparse evidence indices are 16-bit");
+  compiler::SparseBatch batch;
+  batch.features = corpus.cols();
+  std::vector<std::pair<std::uint16_t, std::uint8_t>> active;
+  std::vector<std::uint16_t> indices;
+  std::vector<std::uint8_t> values;
+  for (std::size_t d = 0; d < corpus.rows(); ++d) {
+    active.clear();
+    for (std::size_t w = 0; w < corpus.cols(); ++w) {
+      const double count = std::clamp(corpus.at(d, w), 0.0, 255.0);
+      const auto byte = static_cast<std::uint8_t>(std::llround(count));
+      if (byte != 0) {
+        active.emplace_back(static_cast<std::uint16_t>(w), byte);
+      }
+    }
+    if (active_words > 0 && active.size() > active_words) {
+      // Keep the highest-count words; stable sort breaks count ties
+      // toward lower word indices, so the selection is deterministic.
+      std::stable_sort(active.begin(), active.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                       });
+      active.resize(active_words);
+      std::sort(active.begin(), active.end());
+    }
+    indices.clear();
+    values.clear();
+    for (const auto& [index, value] : active) {
+      indices.push_back(index);
+      values.push_back(value);
+    }
+    batch.add_sample(indices, values);
+  }
+  return batch;
+}
+
 }  // namespace spnhbm::workload

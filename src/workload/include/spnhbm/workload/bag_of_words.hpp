@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "spnhbm/compiler/sparse_evidence.hpp"
 #include "spnhbm/spn/dataset.hpp"
 
 namespace spnhbm::workload {
@@ -33,5 +34,19 @@ struct CorpusConfig {
 
 /// Generates a documents x vocabulary matrix of byte-clamped word counts.
 spn::DataMatrix make_bag_of_words(const CorpusConfig& config);
+
+/// Emits the corpus as CSR sparse evidence, one sample per document.
+///
+/// Bag-of-words queries are naturally sparse — most word counts are zero
+/// — so each sample carries only {word index, byte count} pairs. With
+/// `active_words` = 0 every non-zero count is a pair (the lossless sparse
+/// twin of the dense matrix, for joint datapaths whose default evidence
+/// is zero). With `active_words` > 0 each document contributes at most
+/// its `active_words` highest-count words (ties broken toward lower
+/// indices) — the shape of a marginal/MPE query observing a handful of
+/// words, the rest unobserved (absent pairs read the model's default
+/// byte, kMissingByte on non-joint datapaths).
+compiler::SparseBatch sparse_queries(const spn::DataMatrix& corpus,
+                                     std::size_t active_words = 0);
 
 }  // namespace spnhbm::workload

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Perf-trajectory smoke: the fig2/fig6 report generators must reproduce
-# the committed bench/baselines/ records on this machine (the simulated
-# numbers are deterministic), and bench_compare must actually catch a
-# planted regression in --strict mode.
+# Perf-trajectory smoke: the fig2/fig6/sparse-vs-dense report generators
+# must reproduce the committed bench/baselines/ records on this machine
+# (the simulated numbers are deterministic), and bench_compare must
+# actually catch a planted regression in --strict mode.
 #
 # Usage: bench_baseline_smoke.sh <bench-dir> <bench-compare> \
 #                                <baselines-dir> <work-dir>
@@ -17,6 +17,7 @@ mkdir -p "$WORK"
 
 SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/fig2_hbm_channel" > /dev/null
 SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/fig6_end_to_end" > /dev/null
+SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/sparse_vs_dense" > /dev/null
 
 # Fresh runs vs committed baselines: strict is safe here because every
 # compared field is simulated (the host-dependent CPU reference in fig6
@@ -26,6 +27,8 @@ SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/fig6_end_to_end" > /dev/null
 "$COMPARE" "$BASELINES/BENCH_fig6_end_to_end.json" \
   "$WORK/BENCH_fig6_end_to_end.json" --strict \
   --ignore native_cpu_samples_per_s
+"$COMPARE" "$BASELINES/BENCH_sparse_vs_dense.json" \
+  "$WORK/BENCH_sparse_vs_dense.json" --strict
 echo "fresh runs reproduce the committed baselines"
 
 # A planted 50% throughput drop must warn by default and fail --strict.

@@ -109,5 +109,73 @@ TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_design_file("/nonexistent/path/design.bin"), Error);
 }
 
+TEST(Serialize, JointModulesStillSaveAsV1) {
+  // Joint modules with derived (all-zero) default evidence must keep the
+  // v1 layout byte-for-byte: design files and content hashes from before
+  // the query-generic datapath stay stable.
+  const auto original = compile_test_module();
+  ASSERT_EQ(original.query(), QueryKind::kJoint);
+  std::stringstream stream;
+  save_design(original, stream);
+  const std::string bytes = stream.str();
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, 4);
+  EXPECT_EQ(version, 1u);
+  const auto loaded = load_design(stream);
+  EXPECT_EQ(loaded.query(), QueryKind::kJoint);
+}
+
+TEST(Serialize, QueryModulesRoundTripThroughV2) {
+  const auto model = workload::make_nips_model(10);
+  const auto backend = arith::make_float64_backend();
+  for (const QueryKind query : {QueryKind::kMarginal, QueryKind::kMpe}) {
+    CompileOptions options;
+    options.query = query;
+    options.input_domain = kMissingByte;
+    const auto original = compile_spn(model.spn, *backend, options);
+    std::stringstream stream;
+    save_design(original, stream);
+    const std::string bytes = stream.str();
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + 4, 4);
+    EXPECT_EQ(version, 2u) << query_kind_name(query);
+
+    const auto loaded = load_design(stream);
+    EXPECT_EQ(loaded.query(), query);
+    EXPECT_EQ(loaded.default_evidence(), original.default_evidence());
+    ASSERT_EQ(loaded.tables().size(), original.tables().size());
+
+    // Semantics survive, reserved slot included.
+    Rng rng(19);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<std::uint8_t> sample(10);
+      for (auto& b : sample) {
+        b = rng.next_below(4) == 0
+                ? kMissingByte
+                : static_cast<std::uint8_t>(rng.next_below(kMissingByte));
+      }
+      EXPECT_DOUBLE_EQ(loaded.evaluate(*backend, sample),
+                       original.evaluate(*backend, sample));
+    }
+  }
+}
+
+TEST(Serialize, RejectsCorruptedQueryKind) {
+  const auto model = workload::make_nips_model(10);
+  const auto backend = arith::make_float64_backend();
+  CompileOptions options;
+  options.query = QueryKind::kMarginal;
+  options.input_domain = kMissingByte;
+  const auto original = compile_spn(model.spn, *backend, options);
+  std::stringstream stream;
+  save_design(original, stream);
+  std::string bytes = stream.str();
+  // v2 layout: magic, version, then the query-kind word at offset 8.
+  const std::uint32_t bogus = 9;
+  std::memcpy(bytes.data() + 8, &bogus, 4);
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load_design(corrupted), ParseError);
+}
+
 }  // namespace
 }  // namespace spnhbm::compiler

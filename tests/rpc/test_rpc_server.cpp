@@ -16,11 +16,18 @@
 #include <vector>
 
 #include "../engine/mock_engine.hpp"
+#include "spnhbm/compiler/sparse_evidence.hpp"
+#include "spnhbm/engine/cpu_engine.hpp"
 #include "spnhbm/engine/server.hpp"
 #include "spnhbm/rpc/client.hpp"
+#include "spnhbm/rpc/resilient_client.hpp"
 #include "spnhbm/rpc/server.hpp"
+#include "spnhbm/spn/evaluate.hpp"
+#include "spnhbm/spn/queries.hpp"
+#include "spnhbm/spn/random_spn.hpp"
 #include "spnhbm/telemetry/trace.hpp"
 #include "spnhbm/telemetry/trace_context.hpp"
+#include "spnhbm/util/rng.hpp"
 
 namespace spnhbm::rpc {
 namespace {
@@ -382,6 +389,271 @@ TEST(RpcServer, StopResolvesInFlightRequestsAndClientSeesClosure) {
   EXPECT_THROW(client->infer("mock@1", make_request(1, 41)), Error);
   const RpcServerStats stats = harness.front->stats();
   EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+// --- Query-generic serving (wire v4) --------------------------------------
+
+constexpr std::size_t kQueryVars = 6;
+
+/// A serving stack hosting the same SPN under all three query kinds, as
+/// three real CpuEngine lanes ("q@1", "q@1#marginal", "q@1#mpe").
+struct QueryHarness {
+  QueryHarness() {
+    spn::RandomSpnConfig spn_config;
+    spn_config.variables = kQueryVars;
+    spn_config.leaf_domain = compiler::kMissingByte;
+    spn_config.seed = 2026;
+    spn = spn::make_random_spn(spn_config);
+
+    engine::ServerConfig config;
+    config.batch_samples = 8;
+    config.max_latency = std::chrono::microseconds(200);
+    server = std::make_unique<engine::InferenceServer>(config);
+    for (const auto query :
+         {compiler::QueryKind::kJoint, compiler::QueryKind::kMarginal,
+          compiler::QueryKind::kMpe}) {
+      compiler::CompileOptions options;
+      options.query = query;
+      options.input_domain = compiler::kMissingByte;
+      server->register_engine(std::make_shared<engine::CpuEngine>(
+          model::ModelArtifact::compile("q", "1", spn,
+                                        arith::make_float64_backend(),
+                                        options)));
+    }
+    server->start();
+
+    RpcServerConfig rpc_config;
+    rpc_config.port = 0;
+    rpc_config.build_version = "test-build";
+    front = std::make_unique<RpcServer>(*server, rpc_config);
+    front->start();
+  }
+
+  ~QueryHarness() {
+    front->stop();
+    server->stop();
+  }
+
+  std::unique_ptr<RpcClient> connect() {
+    return RpcClient::connect("127.0.0.1", front->port());
+  }
+
+  /// Rows with random missingness plus the double twins (NaN) the local
+  /// reference queries read.
+  void make_batch(std::size_t count, std::uint64_t seed,
+                  std::vector<std::uint8_t>& bytes,
+                  std::vector<std::vector<double>>& doubles) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<double> row(kQueryVars);
+      for (std::size_t v = 0; v < kQueryVars; ++v) {
+        if (rng.next_below(3) == 0) {
+          bytes.push_back(compiler::kMissingByte);
+          row[v] = spn::missing_value();
+        } else {
+          const auto byte = static_cast<std::uint8_t>(
+              rng.next_below(compiler::kMissingByte));
+          bytes.push_back(byte);
+          row[v] = static_cast<double>(byte);
+        }
+      }
+      doubles.push_back(std::move(row));
+    }
+  }
+
+  spn::Spn spn;
+  std::unique_ptr<engine::InferenceServer> server;
+  std::unique_ptr<RpcServer> front;
+};
+
+TEST(RpcServer, RemoteMarginalAndMpeMatchTheLocalReference) {
+  QueryHarness harness;
+  const auto client = harness.connect();
+
+  // The handshake advertises every lane with its width.
+  const ServerInfo& info = client->server_info();
+  ASSERT_EQ(info.models.size(), 3u);
+  EXPECT_EQ(info.input_features("q@1#marginal"), kQueryVars);
+
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::vector<double>> doubles;
+  harness.make_batch(16, 31, bytes, doubles);
+
+  QueryOptions marginal;
+  marginal.query_kind = 1;
+  const auto p_marginal = client->infer("q@1", bytes, 0, marginal);
+  QueryOptions mpe;
+  mpe.query_kind = 2;
+  const auto p_mpe = client->infer("q@1", bytes, 0, mpe);
+
+  spn::Evaluator reference(harness.spn);
+  ASSERT_EQ(p_marginal.size(), 16u);
+  ASSERT_EQ(p_mpe.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    // Results travel as raw IEEE bits: remote must equal local exactly.
+    EXPECT_EQ(p_marginal[i], reference.evaluate(doubles[i])) << i;
+    EXPECT_EQ(p_mpe[i], spn::max_product_value(harness.spn, doubles[i],
+                                               compiler::kMissingByte))
+        << i;
+  }
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+}
+
+TEST(RpcServer, RemoteSparseEvidenceEqualsDense) {
+  QueryHarness harness;
+  const auto client = harness.connect();
+
+  // Mostly-missing evidence (one observed variable per sample) is the
+  // regime sparse encoding exists for: the stream must be smaller than
+  // the dense rows it replaces.
+  std::vector<std::uint8_t> bytes;
+  Rng rng(32);
+  for (std::size_t i = 0; i < 12; ++i) {
+    std::vector<std::uint8_t> row(kQueryVars, compiler::kMissingByte);
+    row[rng.next_below(kQueryVars)] =
+        static_cast<std::uint8_t>(rng.next_below(compiler::kMissingByte));
+    bytes.insert(bytes.end(), row.begin(), row.end());
+  }
+  // The marginal module's default evidence is all-missing, so the sparse
+  // twin carries only the observed variables.
+  const std::vector<std::uint8_t> defaults(kQueryVars,
+                                           compiler::kMissingByte);
+  const auto stream = compiler::encode_sparse(
+      compiler::sparse_from_dense(bytes, kQueryVars, defaults));
+  ASSERT_LT(stream.size(), bytes.size());
+
+  QueryOptions dense;
+  dense.query_kind = 1;
+  QueryOptions sparse;
+  sparse.query_kind = 1;
+  sparse.encoding = kEncodingSparse;
+  sparse.sample_count = 12;
+  const auto p_dense = client->infer("q@1", bytes, 0, dense);
+  const auto p_sparse = client->infer("q@1", stream, 0, sparse);
+  ASSERT_EQ(p_sparse.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(p_sparse[i], p_dense[i]) << i;
+  }
+}
+
+TEST(RpcServer, MalformedSparseStreamsRejectWithInvalidRequest) {
+  QueryHarness harness;
+  const auto client = harness.connect();
+
+  const std::vector<std::uint8_t> defaults(kQueryVars,
+                                           compiler::kMissingByte);
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::vector<double>> doubles;
+  harness.make_batch(2, 33, bytes, doubles);
+  auto stream = compiler::encode_sparse(
+      compiler::sparse_from_dense(bytes, kQueryVars, defaults));
+
+  QueryOptions sparse;
+  sparse.query_kind = 1;
+  sparse.encoding = kEncodingSparse;
+  sparse.sample_count = 2;
+
+  // Truncated stream.
+  std::vector<std::uint8_t> truncated(stream.begin(), stream.end() - 1);
+  try {
+    client->infer("q@1", truncated, 0, sparse);
+    FAIL() << "expected kInvalidRequest";
+  } catch (const RpcStatusError& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidRequest);
+    EXPECT_FALSE(e.retryable());
+  }
+
+  // Duplicate index inside one sample: {count=2, (3,1), (3,2)}.
+  const std::vector<std::uint8_t> duplicate = {2, 0, 3, 0, 1, 3, 0, 2,  //
+                                               0, 0};
+  try {
+    client->infer("q@1", duplicate, 0, sparse);
+    FAIL() << "expected kInvalidRequest";
+  } catch (const RpcStatusError& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidRequest);
+  }
+
+  // Both rejections stayed at the front door: books conserved, no engine
+  // marked unhealthy.
+  const RpcServerStats stats = harness.front->stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_TRUE(stats.conserved()) << stats.describe();
+  for (std::size_t i = 0; i < harness.server->engine_count(); ++i) {
+    EXPECT_EQ(harness.server->engine_health(i),
+              engine::EngineHealth::kHealthy);
+  }
+}
+
+/// Minimal v3 peer: accepts connections and answers each with a HELLO
+/// advertising protocol_version 3, then holds the socket open.
+struct V3Peer {
+  V3Peer() : listener(0) {
+    acceptor = std::thread([this] {
+      while (true) {
+        Socket conn = listener.accept();
+        if (!conn.valid()) return;  // listener shut down
+        HelloFrame hello;
+        hello.protocol_version = 3;
+        hello.build_version = "old-build";
+        hello.models = {{"q@1", static_cast<std::uint32_t>(kQueryVars)}};
+        const auto wire = encode_frame(encode_hello(hello));
+        conn.send_all(wire.data(), wire.size());
+        std::uint8_t byte;
+        try {
+          conn.recv_exact(&byte, 1);  // block until the client hangs up
+        } catch (const RpcError&) {
+        }
+      }
+    });
+  }
+
+  ~V3Peer() {
+    listener.shutdown();
+    acceptor.join();
+  }
+
+  Listener listener;
+  std::thread acceptor;
+};
+
+TEST(RpcServer, QueryRequestsAgainstV3PeerFailClientSide) {
+  V3Peer peer;
+  const auto client =
+      RpcClient::connect("127.0.0.1", peer.listener.port());
+  EXPECT_EQ(client->server_info().protocol_version, 3u);
+
+  // Marginal/MPE/sparse requests need v4: the client refuses before
+  // sending a frame the old server could not parse.
+  QueryOptions marginal;
+  marginal.query_kind = 1;
+  EXPECT_THROW(client->submit("q@1", std::vector<std::uint8_t>(kQueryVars, 0),
+                              0, 0, marginal),
+               RpcError);
+  EXPECT_TRUE(client->alive());  // the refusal never touched the socket
+}
+
+TEST(RpcServer, ResilientClientGivesUpOnV3PeerWithoutRetrying) {
+  V3Peer peer;
+  ResilientClientConfig config;
+  config.port = peer.listener.port();
+  config.max_attempts = 5;
+  ResilientClient client(config);
+
+  QueryOptions marginal;
+  marginal.query_kind = 1;
+  try {
+    client.infer("q@1", std::vector<std::uint8_t>(kQueryVars, 0), 0,
+                 marginal);
+    FAIL() << "expected RpcGiveUpError";
+  } catch (const RpcGiveUpError& e) {
+    // Terminal, not transport: one classification, zero retries.
+    EXPECT_EQ(e.reason(), GiveUpReason::kNonRetryable);
+    EXPECT_EQ(e.last_status(), Status::kInvalidRequest);
+  }
+  EXPECT_TRUE(client.retry_log().empty());
+  client.close();
 }
 
 }  // namespace

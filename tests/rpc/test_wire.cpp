@@ -274,6 +274,115 @@ TEST(Wire, KeyedRequestRejectsTruncatedAndTrailingBytes) {
   EXPECT_THROW(decode_request(trailing), WireError);
 }
 
+TEST(Wire, Request2RoundtripDense) {
+  RequestFrame request;
+  request.request_id = 0xFEEDFACEull;
+  request.model = "m@1";
+  request.deadline_us = 50'000;
+  request.query_kind = 1;  // marginal
+  request.encoding = kEncodingDense;
+  request.sample_count = 2;
+  request.samples = {1, 2, 3, 4, 5, 6};
+  const Frame frame = encode_request2(request);
+  EXPECT_EQ(frame.type, FrameType::kRequest2);
+  const RequestFrame decoded = decode_request2(frame.body);
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.model, request.model);
+  EXPECT_EQ(decoded.deadline_us, request.deadline_us);
+  EXPECT_EQ(decoded.query_kind, 1);
+  EXPECT_EQ(decoded.encoding, kEncodingDense);
+  EXPECT_EQ(decoded.sample_count, 2u);
+  EXPECT_EQ(decoded.samples, request.samples);
+  EXPECT_FALSE(decoded.trace.valid());
+  EXPECT_EQ(decoded.idempotency_key, 0u);
+}
+
+TEST(Wire, Request2RoundtripSparseWithTraceAndKey) {
+  // The full tail (trace block then key, 24 bytes) must survive after
+  // the v4 fields, same disambiguation as plain REQUEST.
+  RequestFrame request;
+  request.request_id = 21;
+  request.model = "m@1";
+  request.query_kind = 2;  // MPE
+  request.encoding = kEncodingSparse;
+  request.sample_count = 3;
+  // Opaque to the wire layer: any CSR stream bytes pass through.
+  request.samples = {1, 0, 3, 0, 9, 0, 0, 2, 0, 1, 0, 4, 0, 7};
+  request.trace.trace_id = 0x77ull;
+  request.trace.parent_span = 5;
+  request.idempotency_key = 0xA5A5A5A5ull;
+  const RequestFrame decoded = decode_request2(encode_request2(request).body);
+  EXPECT_EQ(decoded.query_kind, 2);
+  EXPECT_EQ(decoded.encoding, kEncodingSparse);
+  EXPECT_EQ(decoded.sample_count, 3u);
+  EXPECT_EQ(decoded.samples, request.samples);
+  EXPECT_TRUE(decoded.trace.valid());
+  EXPECT_EQ(decoded.trace.trace_id, request.trace.trace_id);
+  EXPECT_EQ(decoded.trace.parent_span, request.trace.parent_span);
+  EXPECT_EQ(decoded.idempotency_key, request.idempotency_key);
+}
+
+TEST(Wire, Request2EncoderRejectsBadFields) {
+  RequestFrame request;
+  request.model = "m@1";
+  request.samples = {1, 2, 3};
+  request.sample_count = 1;
+
+  RequestFrame bad_kind = request;
+  bad_kind.query_kind = 3;
+  EXPECT_THROW(encode_request2(bad_kind), WireError);
+
+  RequestFrame bad_encoding = request;
+  bad_encoding.encoding = 2;
+  EXPECT_THROW(encode_request2(bad_encoding), WireError);
+
+  RequestFrame zero_count = request;
+  zero_count.sample_count = 0;
+  EXPECT_THROW(encode_request2(zero_count), WireError);
+}
+
+TEST(Wire, Request2RejectsTruncatedAndTrailingBytes) {
+  RequestFrame request;
+  request.model = "m@1";
+  request.query_kind = 1;
+  request.encoding = kEncodingSparse;
+  request.sample_count = 1;
+  request.samples = {1, 0, 2, 0, 9};
+  const Frame frame = encode_request2(request);
+
+  std::vector<std::uint8_t> truncated(frame.body.begin(),
+                                      frame.body.end() - 1);
+  EXPECT_THROW(decode_request2(truncated), WireError);
+
+  std::vector<std::uint8_t> trailing = frame.body;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_request2(trailing), WireError);
+}
+
+TEST(Wire, Request2DecoderRejectsCorruptQueryAndEncodingBytes) {
+  // Corrupt the encoded bytes in place: the query-kind and encoding bytes
+  // sit right after the u64 deadline, which follows the u16-length model
+  // string and the u64 request id.
+  RequestFrame request;
+  request.model = "m@1";
+  request.query_kind = 1;
+  request.encoding = kEncodingDense;
+  request.sample_count = 1;
+  request.samples = {1, 2, 3};
+  const Frame frame = encode_request2(request);
+  const std::size_t query_offset = 8 + 2 + 3 + 8;  // id, len, "m@1", deadline
+
+  std::vector<std::uint8_t> bad_kind = frame.body;
+  ASSERT_EQ(bad_kind[query_offset], 1);
+  bad_kind[query_offset] = 9;
+  EXPECT_THROW(decode_request2(bad_kind), WireError);
+
+  std::vector<std::uint8_t> bad_encoding = frame.body;
+  ASSERT_EQ(bad_encoding[query_offset + 1], kEncodingDense);
+  bad_encoding[query_offset + 1] = 7;
+  EXPECT_THROW(decode_request2(bad_encoding), WireError);
+}
+
 TEST(Wire, AdminFrameHasEmptyBody) {
   const Frame frame = encode_admin();
   EXPECT_EQ(frame.type, FrameType::kAdmin);

@@ -1,6 +1,8 @@
 // Wire-protocol fuzz: a live RpcServer is fed >= 10k seeded malformed
 // frames — truncations, bad magic, oversized length claims, random bit
-// flips, random bodies under valid headers — and must neither crash nor
+// flips, random bodies under valid headers (all v4 frame types, REQUEST2
+// included), and structurally valid REQUEST2 frames carrying broken v4
+// fields or malformed CSR sparse streams — and must neither crash nor
 // wedge: every violating connection is closed cleanly, the conservation
 // identities keep holding, and a well-formed client still gets correct
 // results afterwards.
@@ -45,6 +47,50 @@ std::vector<std::uint8_t> valid_request_wire(Rng& rng) {
   return encode_frame(encode_request(request));
 }
 
+/// A structurally valid REQUEST2 frame whose v4 fields or sparse payload
+/// are wrong: bogus query-kind/encoding bytes, sample-count lies, and
+/// CSR streams that are truncated, out of range, duplicated or
+/// non-increasing. The server must answer with a typed rejection or a
+/// clean close — never a crash and never an engine fault.
+std::vector<std::uint8_t> malformed_request2_wire(Rng& rng) {
+  RequestFrame request;
+  request.request_id = rng.next_u64();
+  request.model = "mock@1";
+  request.query_kind = static_cast<std::uint8_t>(rng.next_below(3));
+  request.encoding = kEncodingSparse;
+  request.sample_count = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  switch (rng.next_below(5)) {
+    case 0:  // truncated stream: count promises more pairs than sent
+      request.samples = {5, 0, 1, 0, 9};
+      break;
+    case 1:  // index out of the mock's 4-feature range
+      request.samples = {1, 0, 200, 0, 9};
+      break;
+    case 2:  // duplicate index
+      request.samples = {2, 0, 1, 0, 3, 1, 0, 4};
+      break;
+    case 3:  // decreasing indices
+      request.samples = {2, 0, 3, 0, 3, 1, 0, 4};
+      break;
+    default:  // random bytes as a stream
+      request.samples.resize(1 + rng.next_below(32));
+      for (auto& b : request.samples) {
+        b = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      break;
+  }
+  std::vector<std::uint8_t> wire = encode_frame(encode_request2(request));
+  // In a third of the frames, also corrupt the query-kind/encoding bytes
+  // in place (the encoder refuses to produce them, the decoder must not).
+  if (rng.next_below(3) == 0) {
+    const std::size_t query_offset =
+        kFrameHeaderBytes + 8 + 2 + request.model.size() + 8;
+    wire[query_offset + rng.next_below(2)] =
+        static_cast<std::uint8_t>(3 + rng.next_below(250));
+  }
+  return wire;
+}
+
 void put_u32(std::vector<std::uint8_t>& bytes, std::size_t at,
              std::uint32_t value) {
   for (int i = 0; i < 4; ++i) {
@@ -55,7 +101,7 @@ void put_u32(std::vector<std::uint8_t>& bytes, std::size_t at,
 
 std::vector<std::uint8_t> malformed_frame(Rng& rng) {
   std::vector<std::uint8_t> wire;
-  switch (rng.next_below(6)) {
+  switch (rng.next_below(7)) {
     case 0: {  // pure garbage, no header structure at all
       wire.resize(1 + rng.next_below(64));
       for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_u64());
@@ -88,15 +134,19 @@ std::vector<std::uint8_t> malformed_frame(Rng& rng) {
                       rng.next_below(0xFFFFFFFFu - kMaxBodyBytes - 1)));
       break;
     }
-    default: {  // valid header, random body bytes
+    case 5: {  // valid header (any v4 frame type), random body bytes
       const std::uint32_t body_len = 1 + rng.next_below(128);
       wire.resize(kFrameHeaderBytes + body_len);
       put_u32(wire, 0, kFrameMagic);
-      wire[4] = static_cast<std::uint8_t>(1 + rng.next_below(6));
+      wire[4] = static_cast<std::uint8_t>(1 + rng.next_below(7));
       put_u32(wire, 5, body_len);
       for (std::size_t at = kFrameHeaderBytes; at < wire.size(); ++at) {
         wire[at] = static_cast<std::uint8_t>(rng.next_u64());
       }
+      break;
+    }
+    default: {  // structurally valid REQUEST2 with broken v4/sparse content
+      wire = malformed_request2_wire(rng);
       break;
     }
   }

@@ -27,12 +27,32 @@ TEST(Conditional, MatchesBayesByHand) {
   // P(V1 in high half | V0 = 200): component B dominates given V0 high.
   const double query[] = {200.0, 200.0};
   const double evidence[] = {200.0, missing_value()};
-  const double conditional =
+  const double log_conditional =
       conditional_probability(evaluator, query, evidence);
   // By hand: P(v0=200) = .4*.0008125 + .6*.0070; joint adds the V1 factor.
   const double p_e = 0.4 * 0.0008125 + 0.6 * 0.0070;
   const double p_qe = 0.4 * 0.0008125 * 0.0008125 + 0.6 * 0.0070 * 0.0070;
-  EXPECT_NEAR(conditional, p_qe / p_e, 1e-12);
+  EXPECT_NEAR(log_conditional, std::log(p_qe / p_e), 1e-12);
+}
+
+TEST(Conditional, LogSpaceSurvivesWideModels) {
+  // 40 independent low-density leaves: the linear-space joint underflows
+  // well past what a ratio of two evaluate() calls can represent reliably,
+  // but the log-space conditional stays finite and exact.
+  Spn spn;
+  std::vector<NodeId> leaves;
+  for (VariableId v = 0; v < 40; ++v) {
+    leaves.push_back(spn.add_histogram(v, {0.0, 256.0}, {1e-12}));
+  }
+  spn.set_root(spn.add_product(leaves));
+  Evaluator evaluator(spn);
+  std::vector<double> query(40, 1.0);
+  std::vector<double> evidence(40, missing_value());
+  evidence[0] = 1.0;
+  const double log_conditional =
+      conditional_probability(evaluator, query, evidence);
+  // P(query)/P(evidence) leaves the 39 extra leaves: 39 * log(1e-12).
+  EXPECT_NEAR(log_conditional, 39.0 * std::log(1e-12), 1e-9);
 }
 
 TEST(Conditional, ConditioningSharpensPrediction) {
@@ -88,6 +108,29 @@ TEST(Mpe, CompletionHasMaximalProbabilityAmongBuckets) {
     const std::vector<double> alternative{200.0, candidate};
     EXPECT_GE(best, evaluator.evaluate(alternative) - 1e-15);
   }
+}
+
+TEST(Mpe, MaxProductValueMatchesHand) {
+  Spn spn = bimodal_spn();
+  // Fully observed: max-product == plain product at the leaves, but sums
+  // take the best weighted component rather than mixing.
+  const std::vector<double> observed{200.0, 200.0};
+  const double expect_b = 0.6 * 0.0070 * 0.0070;  // component B dominates
+  EXPECT_DOUBLE_EQ(max_product_value(spn, observed, 256), expect_b);
+  // V1 missing: its leaf contributes the best byte's density (the high
+  // bucket under component B, the low bucket under component A).
+  const std::vector<double> partial{200.0, missing_value()};
+  EXPECT_DOUBLE_EQ(max_product_value(spn, partial, 256), expect_b);
+}
+
+TEST(Mpe, MaxProductValueTracksTheWinningComponent) {
+  // Low V0 flips the winner to component A; the value is that branch's
+  // weighted contribution (max-product keeps one sub-circuit, it does not
+  // mix like evaluate() does).
+  Spn spn = bimodal_spn();
+  const std::vector<double> evidence{30.0, missing_value()};
+  EXPECT_DOUBLE_EQ(max_product_value(spn, evidence, 256),
+                   0.4 * 0.0070 * 0.0070);
 }
 
 TEST(Mpe, GaussianLeafCompletesWithMean) {

@@ -162,5 +162,70 @@ TEST(ModelZoo, EvaluatesRealCorpusRows) {
   }
 }
 
+TEST(SparseQueries, LosslessTwinOfTheDenseCorpus) {
+  // Without an active-words cap the sparse batch is a lossless
+  // re-encoding: densifying against zero defaults reproduces every
+  // (clamped) corpus byte.
+  CorpusConfig config;
+  config.documents = 24;
+  config.vocabulary = 64;
+  config.document_length = 12;  // short documents: most words absent
+  const auto corpus = make_bag_of_words(config);
+  const compiler::SparseBatch batch = sparse_queries(corpus);
+  ASSERT_EQ(batch.sample_count(), corpus.rows());
+  ASSERT_EQ(batch.features, corpus.cols());
+  const std::vector<std::uint8_t> defaults(corpus.cols(), 0);
+  const auto dense = batch.densify(defaults);
+  for (std::size_t d = 0; d < corpus.rows(); ++d) {
+    for (std::size_t w = 0; w < corpus.cols(); ++w) {
+      const auto want = static_cast<std::uint8_t>(
+          std::llround(std::min(corpus.at(d, w), 255.0)));
+      EXPECT_EQ(dense[d * corpus.cols() + w], want) << d << "," << w;
+    }
+  }
+  // Zipf corpora are sparse: the stream must undercut the dense bytes.
+  EXPECT_LT(batch.encoded_bytes(), corpus.rows() * corpus.cols());
+}
+
+TEST(SparseQueries, ActiveWordsCapKeepsTheHighestCounts) {
+  CorpusConfig config;
+  config.documents = 16;
+  config.vocabulary = 64;
+  config.document_length = 120;  // enough tokens that caps actually bite
+  const auto corpus = make_bag_of_words(config);
+  const compiler::SparseBatch full = sparse_queries(corpus);
+  const compiler::SparseBatch capped = sparse_queries(corpus, 4);
+  ASSERT_EQ(capped.sample_count(), corpus.rows());
+  for (std::size_t d = 0; d < corpus.rows(); ++d) {
+    const std::size_t begin = capped.offsets[d];
+    const std::size_t end = capped.offsets[d + 1];
+    ASSERT_LE(end - begin, 4u);
+    // Every kept count must be >= every dropped count: the cap keeps the
+    // top-K words of the document.
+    std::uint8_t kept_min = 255;
+    for (std::size_t i = begin; i < end; ++i) {
+      kept_min = std::min(kept_min, capped.values[i]);
+    }
+    std::size_t dropped_max = 0;
+    for (std::size_t i = full.offsets[d]; i < full.offsets[d + 1]; ++i) {
+      bool kept = false;
+      for (std::size_t j = begin; j < end; ++j) {
+        if (capped.indices[j] == full.indices[i]) kept = true;
+      }
+      if (!kept) {
+        dropped_max = std::max<std::size_t>(dropped_max, full.values[i]);
+      }
+    }
+    if (end > begin && full.offsets[d + 1] - full.offsets[d] > 4) {
+      EXPECT_GE(kept_min, dropped_max) << "document " << d;
+    }
+  }
+  // Deterministic: the same corpus caps to the same batch.
+  const compiler::SparseBatch again = sparse_queries(corpus, 4);
+  EXPECT_EQ(again.indices, capped.indices);
+  EXPECT_EQ(again.values, capped.values);
+  EXPECT_EQ(again.offsets, capped.offsets);
+}
+
 }  // namespace
 }  // namespace spnhbm::workload

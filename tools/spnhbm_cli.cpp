@@ -20,13 +20,22 @@
 //       ECC corruption, DMA aborts, PE launch faults) for the run.
 //
 //   spnhbm infer <spn.txt|design.bin> <samples.csv> [--engine fpga|cpu|gpu]
+//                [--query joint|marginal|mpe] [--sparse]
+//                [--evidence 'x3=1,x17=0' ...]
 //       Run real samples (one CSV row of byte features per line) through
 //       the unified inference-engine interface (default: the simulated
 //       accelerator); print one probability per line. The model may be a
 //       textual SPN or a binary design artifact from `compile --out`
-//       (recognised by its magic).
+//       (recognised by its magic). --query compiles the datapath for a
+//       marginal or MPE (max-product) query instead of the joint;
+//       --sparse re-encodes the CSV rows as CSR sparse evidence streams
+//       (bit-identical results, smaller modelled transfers); each
+//       --evidence flag is one sparse sample given directly as
+//       index=value pairs — variables not named carry no evidence
+//       (non-joint queries) or byte 0 (joint), and no CSV is needed.
 //
 //   spnhbm serve <spn.txt> --requests <samples.csv>
+//                [--queries joint,marginal,mpe]
 //                [--engines fpga,cpu,gpu] [--format ...] [--pes N]
 //                [--batch N] [--max-latency-us U] [--queue-bound N]
 //                [--policy rr|load] [--metrics-out FILE] [--trace-out FILE]
@@ -41,6 +50,9 @@
 //       quarantine + probes, deadlines) then recovers where it can, and
 //       rows that still fail print an "error:" line instead of a
 //       probability. --request-timeout sets the per-request deadline.
+//       --queries compiles and serves one lane per listed query kind —
+//       a marginal lane is addressed as "model@1#marginal" over the
+//       wire, or by a plain kRequest2 query-kind byte.
 //
 //   spnhbm serve --model name=path[@version] [--model ...]
 //                --requests name=samples.csv [--requests ...]
@@ -78,6 +90,7 @@
 //                  [--model name[@version]] [--count N] [--rate RPS]
 //                  [--arrival fixed|poisson|bursty] [--burst N]
 //                  [--connections N] [--seed S] [--deadline-us U]
+//                  [--query joint|marginal|mpe] [--sparse]
 //                  [--shutdown] [--metrics-out FILE] [--trace-out FILE]
 //                  [--trace-sample N] [--report-out FILE]
 //       Open-loop load generator: replays CSV rows as requests on a
@@ -89,7 +102,9 @@
 //       (--trace-sample N, default every request) carry a trace context
 //       to the server, and the client-side spans land in the Chrome
 //       trace. --report-out writes a BENCH-shaped JSON latency report
-//       for tools/bench_compare.
+//       for tools/bench_compare. --query targets a marginal/MPE lane
+//       (kRequest2 frames) and --sparse re-encodes every payload row as
+//       a CSR sparse evidence stream.
 //
 //   spnhbm loadgen --connect HOST:PORT --model a[:weight] --model b[:weight]
 //                  --requests a=a.csv --requests b=b.csv [...]
@@ -99,8 +114,13 @@
 //       shared by all). The report breaks sent counts down per model.
 //
 //   spnhbm infer --connect HOST:PORT <samples.csv> [--model name[@version]]
+//                [--query joint|marginal|mpe] [--sparse]
+//                [--evidence 'x3=1,x17=0' ...]
 //       Remote inference against a `serve --listen` process; prints one
 //       probability per row, byte-identical to the local engine path.
+//       --query/--sparse/--evidence mirror the local flags over the v4
+//       wire (kRequest2 frames); the server must serve a lane of that
+//       query kind (serve --queries ...).
 //
 //   spnhbm top --connect HOST:PORT [--interval-ms MS] [--count N | --once]
 //       Live introspection of a `serve --listen` process over the ADMIN
@@ -150,6 +170,7 @@
 #include <vector>
 
 #include "spnhbm/compiler/serialize.hpp"
+#include "spnhbm/compiler/sparse_evidence.hpp"
 #include "spnhbm/engine/chaos_engine.hpp"
 #include "spnhbm/engine/cpu_engine.hpp"
 #include "spnhbm/engine/fpga_engine.hpp"
@@ -313,6 +334,72 @@ void print_fault_summary() {
   }
 }
 
+/// "--queries joint,marginal,mpe" -> query kinds, command-line order.
+std::vector<compiler::QueryKind> parse_queries(const Args& args) {
+  std::vector<compiler::QueryKind> kinds;
+  for (const auto& name : split(args.option("queries", "joint"), ',')) {
+    kinds.push_back(compiler::parse_query_kind(name));
+  }
+  if (kinds.empty()) throw Error("--queries needs at least one query kind");
+  return kinds;
+}
+
+/// Compile options for one query kind. Non-joint datapaths reserve byte
+/// 255 as the marginalised slot, so their input domain shrinks to 255.
+compiler::CompileOptions compile_options_for(compiler::QueryKind query) {
+  compiler::CompileOptions options;
+  options.query = query;
+  if (query != compiler::QueryKind::kJoint) {
+    options.input_domain = compiler::kMissingByte;
+  }
+  return options;
+}
+
+/// One "--evidence 'x3=1,x17=0'" spec -> sorted {index, value} pairs
+/// (the 'x' prefix on indices is optional).
+std::vector<std::pair<std::uint16_t, std::uint8_t>> parse_evidence(
+    const std::string& spec) {
+  std::vector<std::pair<std::uint16_t, std::uint8_t>> pairs;
+  for (const auto& item : split(spec, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw Error("--evidence expects index=value pairs, got '" + item + "'");
+    }
+    std::string index_text = item.substr(0, eq);
+    if (index_text[0] == 'x' || index_text[0] == 'X') index_text.erase(0, 1);
+    const long index = std::atol(index_text.c_str());
+    const long value = std::atol(item.c_str() + eq + 1);
+    if (index < 0 || index > 0xFFFF) {
+      throw Error("--evidence index out of range in '" + item + "'");
+    }
+    if (value < 0 || value > 0xFF) {
+      throw Error("--evidence value out of range in '" + item + "'");
+    }
+    pairs.emplace_back(static_cast<std::uint16_t>(index),
+                       static_cast<std::uint8_t>(value));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+/// All --evidence flags -> one sparse batch (one sample per flag).
+compiler::SparseBatch evidence_batch(const std::vector<std::string>& specs,
+                                     std::size_t features) {
+  compiler::SparseBatch batch;
+  batch.features = features;
+  for (const auto& spec : specs) {
+    std::vector<std::uint16_t> indices;
+    std::vector<std::uint8_t> values;
+    for (const auto& [index, value] : parse_evidence(spec)) {
+      indices.push_back(index);
+      values.push_back(value);
+    }
+    batch.add_sample(indices, values);
+  }
+  return batch;
+}
+
 std::unique_ptr<arith::ArithBackend> backend_for(const std::string& name) {
   if (name == "cfp") return arith::make_cfp_backend(arith::paper_cfp_format());
   if (name == "lns") return arith::make_lns_backend(arith::paper_lns_format());
@@ -458,7 +545,8 @@ std::vector<std::vector<std::uint8_t>> rows_as_payloads(
 /// Rides the self-healing client: a connection reset mid-request is
 /// retried under the same idempotency key instead of failing the run.
 int cmd_infer_remote(const Args& args) {
-  if (args.positional.empty()) usage();
+  const auto evidence_specs = args.option_all("evidence");
+  if (args.positional.empty() && evidence_specs.empty()) usage();
   rpc::ResilientClientConfig client_config;
   std::tie(client_config.host, client_config.port) =
       parse_host_port(args.option("connect", ""));
@@ -470,17 +558,56 @@ int cmd_infer_remote(const Args& args) {
   if (info.models.empty()) {
     throw Error("server hosts no models");
   }
-  const std::string model = args.option("model", "");
-  const std::uint32_t features =
-      info.input_features(model.empty() ? info.models.front().id : model);
-  const spn::DataMatrix data = spn::load_csv_file(args.positional[0]);
-  if (data.cols() != features) {
-    throw Error(strformat("CSV rows have %zu cells, the model expects %u",
-                          data.cols(), features));
+  const auto query =
+      compiler::parse_query_kind(args.option("query", "joint"));
+  std::string model = args.option("model", "");
+  if (model.empty()) {
+    // The first advertised lane, stripped of any query-kind suffix: the
+    // query byte re-addresses it server-side.
+    model = engine::split_lane_ref(info.models.front().id).first;
   }
+  // The targeted lane is model + query suffix; all query kinds of one
+  // model share the input width.
+  const std::uint32_t features =
+      info.input_features(model + engine::query_lane_suffix(query));
   const auto deadline_us = static_cast<std::uint64_t>(
       std::atoll(args.option("deadline-us", "0").c_str()));
-  for (const double p : client.infer(model, data.to_bytes(), deadline_us)) {
+  rpc::QueryOptions options;
+  options.query_kind = static_cast<std::uint8_t>(query);
+
+  std::vector<std::uint8_t> payload;
+  if (!evidence_specs.empty()) {
+    const compiler::SparseBatch batch = evidence_batch(evidence_specs, features);
+    payload = compiler::encode_sparse(batch);
+    options.encoding = rpc::kEncodingSparse;
+    options.sample_count =
+        static_cast<std::uint32_t>(batch.sample_count());
+  } else {
+    const spn::DataMatrix data = spn::load_csv_file(args.positional[0]);
+    if (data.cols() != features) {
+      throw Error(strformat("CSV rows have %zu cells, the model expects %u",
+                            data.cols(), features));
+    }
+    payload = data.to_bytes();
+    if (args.flag("sparse")) {
+      // Re-encode as CSR sparse evidence against the query's default
+      // byte (no-evidence for non-joint datapaths, zero for joint).
+      const std::uint8_t missing = query == compiler::QueryKind::kJoint
+                                       ? std::uint8_t{0}
+                                       : compiler::kMissingByte;
+      const std::vector<std::uint8_t> defaults(features, missing);
+      const compiler::SparseBatch batch =
+          compiler::sparse_from_dense(payload, features, defaults);
+      payload = compiler::encode_sparse(batch);
+      options.encoding = rpc::kEncodingSparse;
+      options.sample_count =
+          static_cast<std::uint32_t>(batch.sample_count());
+    } else {
+      options.sample_count = static_cast<std::uint32_t>(data.rows());
+    }
+  }
+  for (const double p :
+       client.infer(model, std::move(payload), deadline_us, options)) {
     std::printf("%.12e\n", p);
   }
   return 0;
@@ -488,18 +615,45 @@ int cmd_infer_remote(const Args& args) {
 
 int cmd_infer(const Args& args) {
   if (!args.option("connect", "").empty()) return cmd_infer_remote(args);
-  if (args.positional.size() < 2) usage();
+  const auto evidence_specs = args.option_all("evidence");
+  if (args.positional.empty() ||
+      (args.positional.size() < 2 && evidence_specs.empty())) {
+    usage();
+  }
+  const auto query = compiler::parse_query_kind(args.option("query", "joint"));
   const auto artifact = model::ModelArtifact::load_file(
       "model", "1", args.positional[0],
-      backend_for(args.option("format", "cfp")));
+      backend_for(args.option("format", "cfp")), compile_options_for(query));
+  const auto engine = engine_for(args.option("engine", "fpga"), artifact, 1);
+
+  if (!evidence_specs.empty()) {
+    // Sparse evidence straight from the command line, one sample per
+    // --evidence flag; unnamed variables read the model's default byte.
+    const compiler::SparseBatch batch =
+        evidence_batch(evidence_specs, artifact->input_features());
+    const auto stream = compiler::encode_sparse(batch);
+    for (const double p : engine->infer_sparse(stream, batch.sample_count())) {
+      std::printf("%.12e\n", p);
+    }
+    return 0;
+  }
+
   const spn::DataMatrix data = spn::load_csv_file(args.positional[1]);
   if (data.cols() != artifact->input_features()) {
     throw Error(strformat("CSV rows have %zu cells, the model expects %zu",
                           data.cols(), artifact->input_features()));
   }
   const auto samples = data.to_bytes();
-
-  const auto engine = engine_for(args.option("engine", "fpga"), artifact, 1);
+  if (args.flag("sparse")) {
+    const compiler::SparseBatch batch = compiler::sparse_from_dense(
+        samples, artifact->input_features(),
+        artifact->module().default_evidence());
+    const auto stream = compiler::encode_sparse(batch);
+    for (const double p : engine->infer_sparse(stream, batch.sample_count())) {
+      std::printf("%.12e\n", p);
+    }
+    return 0;
+  }
   for (const double p : engine->infer(samples)) {
     std::printf("%.12e\n", p);
   }
@@ -647,21 +801,29 @@ int cmd_serve_multi(const Args& args,
   const TelemetryOutputs telemetry_outputs = TelemetryOutputs::from_args(args);
   const bool chaos = arm_fault_plan(args);
   const auto format = args.option("format", "cfp");
+  const auto queries = parse_queries(args);
 
+  // One artifact (and one server lane) per model x query kind; the
+  // registry holds the first-listed kind of each model — the variant
+  // local CSV replays address by name.
   model::ModelRegistry registry;
-  std::vector<std::string> ids;  // command-line order
+  std::vector<engine::ModelHandle> loaded;
   for (const auto& raw : model_specs) {
     const ModelSpec spec = ModelSpec::parse(raw);
-    const auto artifact = model::ModelArtifact::load_file(
-        spec.name, spec.version, spec.path, backend_for(format));
-    registry.add(artifact);
-    ids.push_back(artifact->id());
-    std::fprintf(stderr, "loaded %s\n", artifact->describe().c_str());
+    for (const auto query : queries) {
+      const auto artifact = model::ModelArtifact::load_file(
+          spec.name, spec.version, spec.path, backend_for(format),
+          compile_options_for(query));
+      if (query == queries.front()) registry.add(artifact);
+      loaded.push_back(artifact);
+      std::fprintf(stderr, "loaded %s (%s)\n", artifact->describe().c_str(),
+                   compiler::query_kind_name(query));
+    }
   }
 
   engine::InferenceServer server(server_config_from_args(args));
-  for (const auto& id : ids) {
-    register_engines_for(server, args, registry.get(id), chaos);
+  for (const auto& artifact : loaded) {
+    register_engines_for(server, args, artifact, chaos);
   }
   server.start();
 
@@ -698,7 +860,9 @@ int cmd_serve_multi(const Args& args,
     const auto samples = data.to_bytes();
     const std::size_t features = artifact->input_features();
     Replay replay;
-    replay.id = artifact->id();
+    // Address the registry variant's own lane (suffixed for non-joint
+    // first-listed query kinds).
+    replay.id = engine::lane_id_for(artifact->id(), queries.front());
     replay.rows = samples.size() / features;
     for (std::size_t i = 0; i < replay.rows; ++i) {
       std::vector<std::uint8_t> row(
@@ -750,15 +914,20 @@ int cmd_serve_fleet(const Args& args,
   config.server = server_config_from_args(args);
   config.default_pe_slots = pe_slots;
   fleet::FleetRouter router(config);
+  const auto queries = parse_queries(args);
   for (const auto& raw : model_specs) {
     const ModelSpec spec = ModelSpec::parse(raw);
-    const auto artifact = model::ModelArtifact::load_file(
-        spec.name, spec.version, spec.path, backend_for(format));
-    for (int r = 0; r < replicas; ++r) {
-      const auto location = router.deploy(artifact);
-      std::fprintf(stderr, "deployed %s -> %s/%s\n", artifact->id().c_str(),
-                   router.device(location.member).name().c_str(),
-                   location.partition.c_str());
+    for (const auto query : queries) {
+      const auto artifact = model::ModelArtifact::load_file(
+          spec.name, spec.version, spec.path, backend_for(format),
+          compile_options_for(query));
+      for (int r = 0; r < replicas; ++r) {
+        const auto location = router.deploy(artifact);
+        std::fprintf(stderr, "deployed %s (%s) -> %s/%s\n",
+                     artifact->id().c_str(), compiler::query_kind_name(query),
+                     router.device(location.member).name().c_str(),
+                     location.partition.c_str());
+      }
     }
   }
   router.start();
@@ -817,14 +986,22 @@ int cmd_serve(const Args& args) {
   const std::string requests_path = args.option("requests", "");
   const bool listen = !args.option("listen", "").empty();
   if (requests_path.empty() && !listen) usage();
-  const auto artifact = model::ModelArtifact::load_file(
-      "model", "1", args.positional[0],
-      backend_for(args.option("format", "cfp")));
+  const auto queries = parse_queries(args);
+  std::vector<engine::ModelHandle> artifacts;
+  for (const auto query : queries) {
+    artifacts.push_back(model::ModelArtifact::load_file(
+        "model", "1", args.positional[0],
+        backend_for(args.option("format", "cfp")),
+        compile_options_for(query)));
+  }
+  const auto& artifact = artifacts.front();
 
   const long long timeout_us =
       std::atoll(args.option("request-timeout", "0").c_str());
   engine::InferenceServer server(server_config_from_args(args));
-  register_engines_for(server, args, artifact, chaos);
+  for (const auto& variant : artifacts) {
+    register_engines_for(server, args, variant, chaos);
+  }
   server.start();
 
   if (listen) {
@@ -845,9 +1022,12 @@ int cmd_serve(const Args& args) {
   const std::size_t features = artifact->input_features();
   const std::size_t count = samples.size() / features;
 
-  // Replay: every CSV row is one independent request. Under chaos, a
-  // fail-fast NoHealthyEngineError is handled the way a real client
-  // would: back off and resubmit until a probe readmits an engine.
+  // Replay: every CSV row is one independent request against the
+  // first-listed query's lane. Under chaos, a fail-fast
+  // NoHealthyEngineError is handled the way a real client would: back
+  // off and resubmit until a probe readmits an engine.
+  const std::string replay_lane =
+      engine::lane_id_for(artifact->id(), queries.front());
   const bool soft_errors = chaos || timeout_us > 0;
   std::vector<std::future<std::vector<double>>> futures;
   futures.reserve(count);
@@ -857,7 +1037,7 @@ int cmd_serve(const Args& args) {
         samples.begin() + static_cast<std::ptrdiff_t>((i + 1) * features));
     for (int backoff = 0;; ++backoff) {
       try {
-        futures.push_back(server.submit(std::move(row)));
+        futures.push_back(server.submit(replay_lane, std::move(row)));
         break;
       } catch (const engine::NoHealthyEngineError& e) {
         if (!soft_errors || backoff >= 2000) throw;
@@ -947,6 +1127,31 @@ int cmd_loadgen(const Args& args) {
         rows_as_payloads(spn::load_csv_file(args.option("requests", "")));
     default_count = config.payloads.size();
   }
+  // --query / --sparse apply to every request of the run (payloads are
+  // single CSV rows, so the explicit sample count is always 1).
+  const auto query = compiler::parse_query_kind(args.option("query", "joint"));
+  rpc::QueryOptions query_options;
+  query_options.query_kind = static_cast<std::uint8_t>(query);
+  if (query != compiler::QueryKind::kJoint || args.flag("sparse")) {
+    query_options.sample_count = 1;
+  }
+  if (args.flag("sparse")) {
+    query_options.encoding = rpc::kEncodingSparse;
+    const std::uint8_t missing = query == compiler::QueryKind::kJoint
+                                     ? std::uint8_t{0}
+                                     : compiler::kMissingByte;
+    const auto sparsify = [&](std::vector<std::vector<std::uint8_t>>& rows) {
+      for (auto& row : rows) {
+        const std::vector<std::uint8_t> defaults(row.size(), missing);
+        row = compiler::encode_sparse(
+            compiler::sparse_from_dense(row, row.size(), defaults));
+      }
+    };
+    sparsify(config.payloads);
+    for (auto& traffic : config.traffic) sparsify(traffic.payloads);
+  }
+  config.query = query_options;
+  for (auto& traffic : config.traffic) traffic.query = query_options;
   config.request_count = static_cast<std::size_t>(std::atoll(
       args.option("count", std::to_string(default_count)).c_str()));
   config.rate_rps = std::strtod(args.option("rate", "1000").c_str(), nullptr);
