@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "spnhbm/fpga/resource_model.hpp"
+#include "spnhbm/model/tuning.hpp"
 #include "spnhbm/util/log.hpp"
 #include "spnhbm/util/strings.hpp"
 
@@ -14,6 +15,10 @@ namespace {
 tapasco::CompositionConfig make_composition(
     const compiler::DatapathModule& module, const arith::ArithBackend& backend,
     const FpgaEngineConfig& config) {
+  if (config.pe_count < 0) {
+    throw ConfigError("FpgaEngineConfig::pe_count must be >= 0, got " +
+                      std::to_string(config.pe_count));
+  }
   tapasco::CompositionConfig composition;
   composition.platform = config.platform;
   composition.pe_count =
@@ -21,6 +26,9 @@ tapasco::CompositionConfig make_composition(
           ? config.pe_count
           : fpga::max_placeable_pes(module, backend.kind(), config.platform);
   composition.memory_channels = config.memory_channels;
+  composition.hbm_crossbar = config.hbm_crossbar;
+  composition.hbm_pes_per_channel =
+      config.hbm_pes_per_channel > 0 ? config.hbm_pes_per_channel : 1;
   composition.pcie_generation = config.pcie_generation;
   composition.compute_results = config.compute_results;
   composition.skip_placement_check = config.skip_placement_check;
@@ -30,9 +38,30 @@ tapasco::CompositionConfig make_composition(
 
 runtime::RuntimeConfig make_runtime_config(const FpgaEngineConfig& config) {
   runtime::RuntimeConfig rc;
+  if (config.block_samples > 0) rc.block_samples = config.block_samples;
   rc.threads_per_pe = config.threads_per_pe;
   rc.include_transfers = config.include_transfers;
   return rc;
+}
+
+/// Folds the artifact's attached tuning manifest (when present) into the
+/// engine config: the manifest supplies the device-level knobs the caller
+/// left open. Explicit config values win over the manifest; pe_count is
+/// deliberately *not* taken here — placement is the caller's decision
+/// (CLI --pes, FleetRouter pe_slots), and both apply the tuned PE count
+/// themselves where it can be deficit-checked.
+FpgaEngineConfig with_model_tuning(FpgaEngineConfig config,
+                                   const model::ModelArtifact& artifact) {
+  const auto tuning = artifact.tuning();
+  if (tuning == nullptr) return config;
+  if (config.block_samples == 0) {
+    config.block_samples = tuning->config.block_samples;
+  }
+  if (config.hbm_pes_per_channel == 0) {
+    config.hbm_pes_per_channel = tuning->config.hbm_pes_per_channel;
+    config.hbm_crossbar = tuning->config.hbm_crossbar;
+  }
+  return config;
 }
 
 /// Device bytes of one PE's lookup-table image in the artifact's format.
@@ -64,11 +93,15 @@ FpgaSimEngine::FpgaSimEngine(ModelHandle model, FpgaEngineConfig config)
   }
   track_ = telemetry::tracer().register_track(track_label,
                                               telemetry::TraceClock::kVirtual);
+  // config_ stays the caller's raw request; the artifact's tuning fills
+  // the open knobs per composed design (activate() re-folds against the
+  // incoming model, so one model's tuning never leaks onto another).
+  const FpgaEngineConfig effective = with_model_tuning(config_, *model_);
   device_ = std::make_unique<tapasco::Device>(
       runner_, model_->module(), model_->backend(),
-      make_composition(model_->module(), model_->backend(), config_));
+      make_composition(model_->module(), model_->backend(), effective));
   runtime_ = std::make_unique<runtime::InferenceRuntime>(
-      runner_, *device_, model_->module(), make_runtime_config(config_));
+      runner_, *device_, model_->module(), make_runtime_config(effective));
   if (config_.charge_initial_program) {
     const Picoseconds charged = program_and_stage(*device_, *runtime_, *model_);
     stats_.reconfigurations += 1;
@@ -147,11 +180,12 @@ void FpgaSimEngine::activate(ModelHandle next) {
   SPNHBM_REQUIRE(next != nullptr, "activate requires a model");
   // Compose the next design first: a placement (or composition) failure
   // must leave the current model serving untouched.
+  const FpgaEngineConfig effective = with_model_tuning(config_, *next);
   auto device = std::make_unique<tapasco::Device>(
       runner_, next->module(), next->backend(),
-      make_composition(next->module(), next->backend(), config_));
+      make_composition(next->module(), next->backend(), effective));
   auto staged_runtime = std::make_unique<runtime::InferenceRuntime>(
-      runner_, *device, next->module(), make_runtime_config(config_));
+      runner_, *device, next->module(), make_runtime_config(effective));
 
   const Picoseconds reconfiguration =
       program_and_stage(*device, *staged_runtime, *next);

@@ -38,10 +38,20 @@ namespace spnhbm::engine {
 
 struct FpgaEngineConfig {
   fpga::Platform platform = fpga::Platform::kHbmXupVvh;
-  /// 0 = the largest placeable design on the platform.
+  /// 0 = the largest placeable design on the platform. Negative counts
+  /// are rejected with ConfigError (they used to be silently promoted).
   int pe_count = 1;
   /// F1 only: DDR channels/controllers composed in.
   int memory_channels = 1;
+  /// Host-runtime block size per PE job. 0 = the model's attached tuning
+  /// manifest when present, the calibrated default otherwise.
+  std::size_t block_samples = 0;
+  /// HBM channel packing (PEs per channel). 0 = the attached tuning
+  /// manifest when present, the paper's dedicated 1:1 otherwise.
+  int hbm_pes_per_channel = 0;
+  /// Route PEs through the HBM crossbar. An attached tuning manifest
+  /// overrides this (the tuner searches the routing dimension).
+  bool hbm_crossbar = false;
   int threads_per_pe = 1;
   int pcie_generation = 3;
   /// Include host<->device transfers in timing runs (paper Fig. 4 right).

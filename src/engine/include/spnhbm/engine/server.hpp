@@ -175,6 +175,10 @@ struct ModelServingStats {
   std::uint64_t samples = 0;
   std::uint64_t batches = 0;
   std::uint64_t failed_requests = 0;
+  /// Effective coalescing target of the model's lane: the tuned per-lane
+  /// batch size when its artifact carries a TuningManifest, the
+  /// server-wide target otherwise (0 until the lane exists).
+  std::size_t batch_samples = 0;
 };
 
 struct ServerStats {
@@ -345,6 +349,10 @@ class InferenceServer : public InferenceService {
   /// Input width of a named model; throws RuntimeApiError when unknown.
   std::size_t input_features(const std::string& model) const override;
   std::size_t batch_samples() const { return batch_samples_; }
+  /// Effective coalescing target of a named model's lane (tuned per-lane
+  /// override or the server-wide target). Throws RuntimeApiError for
+  /// unknown/ambiguous models.
+  std::size_t batch_samples(const std::string& model) const;
   ServerStats stats() const;
 
  private:
@@ -407,6 +415,11 @@ class InferenceServer : public InferenceService {
     std::deque<std::shared_ptr<PendingRequest>> queue;
     std::size_t queued_samples = 0;
     std::size_t input_features = 0;
+    /// Per-lane overrides from the model's TuningManifest; 0 means "use
+    /// the server-wide ServerConfig value". Set when an engine whose
+    /// artifact carries tuning registers (or activates) into the lane.
+    std::size_t batch_samples = 0;
+    std::chrono::microseconds max_latency{0};
     std::shared_ptr<telemetry::Counter> ctr_requests;
     std::shared_ptr<telemetry::Counter> ctr_samples;
     std::shared_ptr<telemetry::Counter> ctr_batches;
@@ -450,8 +463,22 @@ class InferenceServer : public InferenceService {
     telemetry::TrackId track = 0;
   };
 
+  /// Opens (or returns) the lane for `model`. When `artifact` carries a
+  /// tuning manifest, its batch target and flush deadline become the
+  /// lane's per-model overrides.
   ModelLane& ensure_lane_locked(const std::string& model,
-                                std::size_t input_features);
+                                std::size_t input_features,
+                                const ModelHandle& artifact);
+  /// Effective coalescing target / flush deadline of a lane (its tuned
+  /// override, falling back to the server-wide configuration).
+  std::size_t lane_batch_locked(const ModelLane& lane) const {
+    return lane.batch_samples > 0 ? lane.batch_samples : batch_samples_;
+  }
+  std::chrono::microseconds lane_max_latency_locked(
+      const ModelLane& lane) const {
+    return lane.max_latency.count() > 0 ? lane.max_latency
+                                        : config_.max_latency;
+  }
   /// Resolves a model reference (lane id or unambiguous bare name) to a
   /// lane id; throws RuntimeApiError for unknown/ambiguous references.
   std::string resolve_model_locked(const std::string& ref) const;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "spnhbm/compiler/sparse_evidence.hpp"
+#include "spnhbm/model/tuning.hpp"
 #include "spnhbm/util/strings.hpp"
 
 namespace spnhbm::engine {
@@ -130,13 +131,27 @@ InferenceServer::InferenceServer(ServerConfig config)
 InferenceServer::~InferenceServer() { stop(); }
 
 InferenceServer::ModelLane& InferenceServer::ensure_lane_locked(
-    const std::string& model, std::size_t input_features) {
+    const std::string& model, std::size_t input_features,
+    const ModelHandle& artifact) {
+  const auto apply_tuning = [&](ModelLane& lane) -> ModelLane& {
+    if (artifact != nullptr) {
+      if (const auto tuning = artifact->tuning()) {
+        // Per-lane overrides from the model's manifest: this lane
+        // coalesces to the tuned batch target and flushes on the tuned
+        // deadline while other lanes keep the server-wide settings.
+        lane.batch_samples = tuning->config.batch_samples;
+        lane.max_latency =
+            std::chrono::microseconds(tuning->config.flush_deadline_us);
+      }
+    }
+    return lane;
+  };
   auto it = lanes_.find(model);
   if (it != lanes_.end()) {
     SPNHBM_REQUIRE(it->second.input_features == input_features,
                    "engines serving model '" + model +
                        "' disagree on its input width");
-    return it->second;
+    return apply_tuning(it->second);
   }
   ModelLane lane;
   lane.input_features = input_features;
@@ -144,7 +159,7 @@ InferenceServer::ModelLane& InferenceServer::ensure_lane_locked(
   lane.ctr_requests = registry.counter("server.model." + model + ".requests");
   lane.ctr_samples = registry.counter("server.model." + model + ".samples");
   lane.ctr_batches = registry.counter("server.model." + model + ".batches");
-  return lanes_.emplace(model, std::move(lane)).first->second;
+  return apply_tuning(lanes_.emplace(model, std::move(lane)).first->second);
 }
 
 std::size_t InferenceServer::register_engine(
@@ -165,7 +180,7 @@ std::size_t InferenceServer::register_engine(
   SPNHBM_REQUIRE(model != nullptr,
                  "engine '" + caps.name + "' has no loaded model");
   const std::string model_id = lane_id_of(model);
-  ensure_lane_locked(model_id, caps.input_features);
+  ensure_lane_locked(model_id, caps.input_features, model);
   auto worker = std::make_unique<Worker>();
   worker->engine = std::move(engine);
   worker->index = workers_.size();
@@ -603,7 +618,7 @@ std::future<void> InferenceServer::activate(std::size_t index,
   }
   // Open the target lane now: requests for the incoming model queue while
   // the engine reconfigures.
-  ensure_lane_locked(lane_id_of(next), next->input_features());
+  ensure_lane_locked(lane_id_of(next), next->input_features(), next);
   worker.pending_activation = std::move(next);
   worker.activation_promise = std::make_shared<std::promise<void>>();
   auto future = worker.activation_promise->get_future();
@@ -649,7 +664,17 @@ ServerStats InferenceServer::stats() const {
   stats.queue_wait_us = queue_wait_us_->snapshot();
   stats.request_latency_us = request_latency_us_->snapshot();
   stats.batch_fill_samples = batch_fill_samples_->snapshot();
+  // Per-lane effective batch targets: a tuned model's entry shows its
+  // manifest batch size, untuned lanes the server-wide target.
+  for (const auto& [model, lane] : lanes_) {
+    stats.per_model[model].batch_samples = lane_batch_locked(lane);
+  }
   return stats;
+}
+
+std::size_t InferenceServer::batch_samples(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lane_batch_locked(lanes_.at(resolve_model_locked(model)));
 }
 
 const InferenceEngine& InferenceServer::engine(std::size_t index) const {
@@ -697,9 +722,10 @@ InferenceServer::Batch InferenceServer::form_batch_locked(
     const std::string& model, ModelLane& lane) {
   Batch batch;
   batch.model = model;
-  batch.samples.reserve(std::min(lane.queued_samples, batch_samples_) *
+  const std::size_t batch_target = lane_batch_locked(lane);
+  batch.samples.reserve(std::min(lane.queued_samples, batch_target) *
                         lane.input_features);
-  while (batch.sample_count < batch_samples_ && !lane.queue.empty()) {
+  while (batch.sample_count < batch_target && !lane.queue.empty()) {
     auto& request = lane.queue.front();
     // A sparse request rides alone: its CSR stream cannot be sliced at
     // sample granularity (or concatenated with dense rows) without
@@ -734,7 +760,7 @@ InferenceServer::Batch InferenceServer::form_batch_locked(
       break;
     }
     const std::size_t take =
-        std::min(batch_samples_ - batch.sample_count,
+        std::min(batch_target - batch.sample_count,
                  request->count - request->cursor);
     const auto* begin =
         request->samples.data() + request->cursor * lane.input_features;
@@ -1081,9 +1107,10 @@ void InferenceServer::dispatcher_loop() {
     for (auto& [model, lane] : lanes_) {
       if (is_blocked(model)) continue;
       while (!lane.queue.empty()) {
-        const bool full = lane.queued_samples >= batch_samples_;
+        const bool full = lane.queued_samples >= lane_batch_locked(lane);
         const bool flush_due =
-            now >= lane.queue.front()->enqueue_time + config_.max_latency;
+            now >= lane.queue.front()->enqueue_time +
+                       lane_max_latency_locked(lane);
         if (!full && !flush_due && !stopping_) break;
         if (!any_engine_available_locked(now, model)) {
           blocked.push_back(model);
@@ -1125,7 +1152,8 @@ void InferenceServer::dispatcher_loop() {
     for (const auto& batch : retry_queue_) consider(batch.not_before);
     for (const auto& [model, lane] : lanes_) {
       if (lane.queue.empty() || stopping_ || is_blocked(model)) continue;
-      consider(lane.queue.front()->enqueue_time + config_.max_latency);
+      consider(lane.queue.front()->enqueue_time +
+               lane_max_latency_locked(lane));
     }
     // Blocked models: wake when the earliest probe window of one of their
     // engines opens (activation completions notify the cv directly).

@@ -132,9 +132,11 @@ class FleetRouter : public engine::InferenceService {
 
   /// Adds one replica of `model` on the member with the most free PE
   /// slots (ties: lowest index), in a fresh partition of `pe_slots` PEs
-  /// (0 = FleetConfig::default_pe_slots). Propagates
+  /// (0 = the model's attached TuningManifest PE count when present,
+  /// FleetConfig::default_pe_slots otherwise). Propagates
   /// fpga::PlacementDeficitError (with per-resource deficits) when the
-  /// best member cannot fit the tenant; the fleet is left unchanged.
+  /// best member cannot fit the tenant; the fleet is left unchanged —
+  /// which is exactly how tuned PE counts stay deficit-checked.
   ReplicaLocation deploy(model::ModelHandle model, int pe_slots = 0);
 
   /// Removes one replica of `model_ref` — the most recently deployed —

@@ -5,6 +5,7 @@
 
 #include "spnhbm/compiler/datapath.hpp"
 #include "spnhbm/engine/chaos_engine.hpp"
+#include "spnhbm/model/tuning.hpp"
 #include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/util/strings.hpp"
 
@@ -81,8 +82,18 @@ void FleetRouter::stop() {
 ReplicaLocation FleetRouter::deploy(model::ModelHandle model, int pe_slots) {
   SPNHBM_REQUIRE(model != nullptr, "deploy requires a model");
   std::lock_guard<std::mutex> lock(mutex_);
-  return deploy_locked(std::move(model),
-                       pe_slots > 0 ? pe_slots : config_.default_pe_slots);
+  if (pe_slots <= 0) {
+    // Tuned models bring their own PE count; PartitionTable::reserve
+    // deficit-checks it against the member's free slots/channels below,
+    // so an oversized tuning fails with the usual placement rows instead
+    // of being silently clamped.
+    if (const auto tuning = model->tuning()) {
+      pe_slots = tuning->config.pe_count;
+    } else {
+      pe_slots = config_.default_pe_slots;
+    }
+  }
+  return deploy_locked(std::move(model), pe_slots);
 }
 
 ReplicaLocation FleetRouter::deploy_locked(model::ModelHandle model,

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "spnhbm/compiler/serialize.hpp"
+#include "spnhbm/model/tuning.hpp"
 #include "spnhbm/spn/text_format.hpp"
 #include "spnhbm/util/strings.hpp"
 
@@ -123,6 +124,19 @@ std::string ModelArtifact::describe() const {
   return strformat("%s [%s] %zu features, %s", id().c_str(),
                          content_hash_hex().c_str(), input_features(),
                          backend_->describe().c_str());
+}
+
+void ModelArtifact::attach_tuning(
+    std::shared_ptr<const TuningManifest> manifest) const {
+  SPNHBM_REQUIRE(manifest != nullptr, "attach_tuning requires a manifest");
+  manifest->require_matches(*this);
+  std::lock_guard<std::mutex> lock(tuning_mutex_);
+  tuning_ = std::move(manifest);
+}
+
+std::shared_ptr<const TuningManifest> ModelArtifact::tuning() const {
+  std::lock_guard<std::mutex> lock(tuning_mutex_);
+  return tuning_;
 }
 
 std::unique_ptr<arith::ArithBackend> make_backend(const std::string& format) {

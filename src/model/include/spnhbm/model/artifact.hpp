@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -29,6 +30,7 @@ class ModelError : public Error {
 };
 
 class ModelArtifact;
+struct TuningManifest;
 using ModelHandle = std::shared_ptr<const ModelArtifact>;
 
 class ModelArtifact {
@@ -85,6 +87,17 @@ class ModelArtifact {
   /// "name@version [hash] 10 features, <backend>".
   std::string describe() const;
 
+  /// Attaches a tuning manifest so every consumer of this handle (engines,
+  /// serving lanes, fleet placement) sees the tuned knobs. The manifest
+  /// must match this artifact — TuningManifest::require_matches runs here,
+  /// so a manifest produced for different compiled bits is rejected with
+  /// TuningError before it can influence anything. The manifest is serving
+  /// metadata, not model content: attaching one does not change the
+  /// content hash, and re-attaching replaces the previous manifest.
+  void attach_tuning(std::shared_ptr<const TuningManifest> manifest) const;
+  /// The attached manifest, or nullptr when the artifact is untuned.
+  std::shared_ptr<const TuningManifest> tuning() const;
+
  private:
   ModelArtifact(std::string name, std::string version,
                 std::optional<spn::Spn> spn, compiler::DatapathModule module,
@@ -98,6 +111,11 @@ class ModelArtifact {
   std::unique_ptr<arith::ArithBackend> owned_backend_;
   const arith::ArithBackend* backend_;  ///< owned_backend_.get() or borrowed
   std::uint64_t content_hash_ = 0;
+  /// Mutable serving metadata on an otherwise immutable artifact: the
+  /// manifest binds to the content hash, so it cannot change what the
+  /// artifact *is*, only how deployments configure themselves for it.
+  mutable std::mutex tuning_mutex_;
+  mutable std::shared_ptr<const TuningManifest> tuning_;
 };
 
 /// Builds an arithmetic backend by format name: "f64", "cfp", "lns" or

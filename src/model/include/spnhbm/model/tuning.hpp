@@ -1,0 +1,97 @@
+// Tuning manifests: the durable output of the autotuner (src/tune).
+//
+// A TunedConfig is one point in the deployment configuration space the
+// tuner searches — host-runtime block size, composed PE count, HBM channel
+// assignment (PEs per channel + crossbar routing) and the serving layer's
+// coalescing target / flush deadline. A TuningManifest wraps the winning
+// TunedConfig with provenance: which model (content hash + id), which
+// query kind the datapath answers, the search seed, and the scores that
+// justified the choice. Manifests are versioned JSON files keyed by the
+// model's content hash, so a manifest tuned for one compiled design can
+// never be applied to a different one (hash mismatch is a typed error).
+//
+// The manifest lives in the model layer — not in src/tune — because
+// ModelArtifact carries it (attach_tuning) and every consumer of tuned
+// knobs (FpgaSimEngine, InferenceServer lanes, FleetRouter placement)
+// already depends on the model layer; only the *search* needs the
+// simulator and lives in src/tune.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "spnhbm/util/error.hpp"
+
+namespace spnhbm::model {
+
+class ModelArtifact;
+
+/// A manifest that cannot be parsed, fails validation, or does not match
+/// the artifact it is applied to.
+class TuningError : public Error {
+ public:
+  explicit TuningError(const std::string& what)
+      : Error("tuning error: " + what) {}
+};
+
+/// One candidate deployment configuration (the tuner's search point).
+struct TunedConfig {
+  /// Host-runtime block size per PE job (InferenceRuntime sub-jobs).
+  std::size_t block_samples = 0;
+  /// PEs composed into the design (placement-checked by the consumer).
+  int pe_count = 0;
+  /// PEs sharing one HBM channel: 1 = the paper's dedicated-channel
+  /// architecture, k > 1 packs k PEs onto one channel (they contend for
+  /// its bandwidth but the design frees channels for other tenants).
+  int hbm_pes_per_channel = 1;
+  /// Route PEs through the global crossbar instead of direct SmartConnect.
+  bool hbm_crossbar = false;
+  /// Serving-layer coalescing target (InferenceServer lane batch size).
+  std::size_t batch_samples = 0;
+  /// Flush a partial serving batch once its oldest request waited this
+  /// long (microseconds of wall time at the serving layer).
+  std::uint64_t flush_deadline_us = 0;
+
+  /// Throws ConfigError for values outside the valid space: zero block or
+  /// batch size, non-positive PE count, a channel packing below 1 — and
+  /// the edge the tuner probes deliberately, a zero batch target next to
+  /// a nonzero flush deadline (a deadline with nothing to flush).
+  void validate() const;
+
+  /// "block=262144 pes=8 pes/ch=1 xbar=off batch=65536 flush=500us"
+  std::string describe() const;
+
+  bool operator==(const TunedConfig& other) const = default;
+};
+
+/// Versioned, content-addressed record of a tuning run's winner.
+struct TuningManifest {
+  /// Bumped when the JSON schema changes; load() rejects other versions.
+  static constexpr int kFormatVersion = 1;
+
+  std::string model_id;          ///< "name@version" (informational)
+  std::string content_hash_hex;  ///< the binding key (artifact hash)
+  std::string query;             ///< query kind name ("joint", ...)
+  std::uint64_t seed = 0;        ///< search seed (reproducibility)
+  TunedConfig config;            ///< the winning configuration
+  double tuned_samples_per_second = 0.0;
+  double baseline_samples_per_second = 0.0;
+  std::uint64_t candidates_evaluated = 0;
+
+  /// Serialises to a stable, human-diffable JSON document.
+  std::string to_json() const;
+  /// Parses and validates a manifest document. Throws TuningError for
+  /// malformed JSON, a wrong format version or missing fields, and
+  /// ConfigError (via TunedConfig::validate) for out-of-range knobs.
+  static TuningManifest from_json(const std::string& text);
+
+  void save(const std::string& path) const;
+  static TuningManifest load(const std::string& path);
+
+  /// Throws TuningError unless the manifest was produced for exactly this
+  /// artifact (content hash) and its compiled query kind.
+  void require_matches(const ModelArtifact& artifact) const;
+};
+
+}  // namespace spnhbm::model

@@ -1,0 +1,177 @@
+#include "spnhbm/model/tuning.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "spnhbm/compiler/datapath.hpp"
+#include "spnhbm/model/artifact.hpp"
+#include "spnhbm/telemetry/json.hpp"
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::model {
+
+void TunedConfig::validate() const {
+  if (block_samples == 0) {
+    throw ConfigError("block_samples must be positive");
+  }
+  if (pe_count <= 0) {
+    throw ConfigError(strformat("pe_count must be positive, got %d",
+                                pe_count));
+  }
+  if (hbm_pes_per_channel < 1) {
+    throw ConfigError(strformat("hbm_pes_per_channel must be >= 1, got %d",
+                                hbm_pes_per_channel));
+  }
+  if (batch_samples == 0 && flush_deadline_us != 0) {
+    throw ConfigError(
+        "batch_samples == 0 with a nonzero flush deadline: a deadline "
+        "without a batch target flushes nothing");
+  }
+  if (batch_samples == 0) {
+    throw ConfigError("batch_samples must be positive");
+  }
+}
+
+std::string TunedConfig::describe() const {
+  return strformat("block=%zu pes=%d pes/ch=%d xbar=%s batch=%zu flush=%lluus",
+                   block_samples, pe_count, hbm_pes_per_channel,
+                   hbm_crossbar ? "on" : "off", batch_samples,
+                   static_cast<unsigned long long>(flush_deadline_us));
+}
+
+std::string TuningManifest::to_json() const {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("format_version").value(std::int64_t{kFormatVersion});
+  w.key("model_id").value(model_id);
+  w.key("content_hash").value(content_hash_hex);
+  w.key("query").value(query);
+  w.key("seed").value(static_cast<std::uint64_t>(seed));
+  w.key("config").begin_object();
+  w.key("block_samples").value(static_cast<std::uint64_t>(config.block_samples));
+  w.key("pe_count").value(config.pe_count);
+  w.key("hbm_pes_per_channel").value(config.hbm_pes_per_channel);
+  w.key("hbm_crossbar").value(config.hbm_crossbar);
+  w.key("batch_samples").value(static_cast<std::uint64_t>(config.batch_samples));
+  w.key("flush_deadline_us")
+      .value(static_cast<std::uint64_t>(config.flush_deadline_us));
+  w.end_object();
+  w.key("tuned_samples_per_second").value(tuned_samples_per_second);
+  w.key("baseline_samples_per_second").value(baseline_samples_per_second);
+  w.key("candidates_evaluated")
+      .value(static_cast<std::uint64_t>(candidates_evaluated));
+  w.end_object();
+  return w.str() + "\n";
+}
+
+namespace {
+
+const telemetry::JsonValue& require_field(const telemetry::JsonValue& object,
+                                          const std::string& name) {
+  if (!object.has(name)) {
+    throw TuningError("manifest is missing field '" + name + "'");
+  }
+  return object.at(name);
+}
+
+double number_field(const telemetry::JsonValue& object,
+                    const std::string& name) {
+  const auto& value = require_field(object, name);
+  if (!value.is_number()) {
+    throw TuningError("manifest field '" + name + "' must be a number");
+  }
+  return value.number;
+}
+
+std::string string_field(const telemetry::JsonValue& object,
+                         const std::string& name) {
+  const auto& value = require_field(object, name);
+  if (!value.is_string()) {
+    throw TuningError("manifest field '" + name + "' must be a string");
+  }
+  return value.string;
+}
+
+}  // namespace
+
+TuningManifest TuningManifest::from_json(const std::string& text) {
+  telemetry::JsonValue doc;
+  try {
+    doc = telemetry::parse_json(text);
+  } catch (const Error& e) {
+    throw TuningError(std::string("manifest is not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw TuningError("manifest must be a JSON object");
+  const int version = static_cast<int>(number_field(doc, "format_version"));
+  if (version != kFormatVersion) {
+    throw TuningError(strformat(
+        "manifest format version %d is not the supported version %d",
+        version, kFormatVersion));
+  }
+  TuningManifest manifest;
+  manifest.model_id = string_field(doc, "model_id");
+  manifest.content_hash_hex = string_field(doc, "content_hash");
+  manifest.query = string_field(doc, "query");
+  manifest.seed = static_cast<std::uint64_t>(number_field(doc, "seed"));
+  const auto& config = require_field(doc, "config");
+  if (!config.is_object()) {
+    throw TuningError("manifest field 'config' must be an object");
+  }
+  manifest.config.block_samples =
+      static_cast<std::size_t>(number_field(config, "block_samples"));
+  manifest.config.pe_count =
+      static_cast<int>(number_field(config, "pe_count"));
+  manifest.config.hbm_pes_per_channel =
+      static_cast<int>(number_field(config, "hbm_pes_per_channel"));
+  const auto& crossbar = require_field(config, "hbm_crossbar");
+  if (crossbar.kind != telemetry::JsonValue::Kind::kBool) {
+    throw TuningError("manifest field 'hbm_crossbar' must be a boolean");
+  }
+  manifest.config.hbm_crossbar = crossbar.boolean;
+  manifest.config.batch_samples =
+      static_cast<std::size_t>(number_field(config, "batch_samples"));
+  manifest.config.flush_deadline_us =
+      static_cast<std::uint64_t>(number_field(config, "flush_deadline_us"));
+  manifest.tuned_samples_per_second =
+      number_field(doc, "tuned_samples_per_second");
+  manifest.baseline_samples_per_second =
+      number_field(doc, "baseline_samples_per_second");
+  manifest.candidates_evaluated =
+      static_cast<std::uint64_t>(number_field(doc, "candidates_evaluated"));
+  manifest.config.validate();
+  return manifest;
+}
+
+void TuningManifest::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw TuningError("cannot write manifest to " + path);
+  out << to_json();
+  if (!out) throw TuningError("write to " + path + " failed");
+}
+
+TuningManifest TuningManifest::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TuningError("cannot open manifest " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+void TuningManifest::require_matches(const ModelArtifact& artifact) const {
+  if (content_hash_hex != artifact.content_hash_hex()) {
+    throw TuningError(strformat(
+        "manifest was tuned for content hash %s (model '%s') but artifact "
+        "%s has hash %s — retune or load the matching design",
+        content_hash_hex.c_str(), model_id.c_str(), artifact.id().c_str(),
+        artifact.content_hash_hex().c_str()));
+  }
+  const std::string artifact_query =
+      compiler::query_kind_name(artifact.module().query());
+  if (query != artifact_query) {
+    throw TuningError(strformat(
+        "manifest was tuned for query '%s' but artifact %s answers '%s'",
+        query.c_str(), artifact.id().c_str(), artifact_query.c_str()));
+  }
+}
+
+}  // namespace spnhbm::model

@@ -30,9 +30,16 @@ InferenceRuntime::InferenceRuntime(sim::ProcessRunner& runner,
       module_(module),
       config_(config),
       memory_(device.pe_count(), device.memory_capacity_per_pe()) {
-  SPNHBM_REQUIRE(config_.block_samples > 0, "block size must be positive");
-  SPNHBM_REQUIRE(config_.threads_per_pe >= 1 && config_.threads_per_pe <= 8,
-                 "threads per PE out of range");
+  // Typed front-door validation (not SPNHBM_REQUIRE): the autotuner and
+  // the CLI probe the edges of this space, and must be able to catch the
+  // rejection as a recoverable error.
+  if (config_.block_samples == 0) {
+    throw ConfigError("RuntimeConfig::block_samples must be positive");
+  }
+  if (config_.threads_per_pe < 1 || config_.threads_per_pe > 8) {
+    throw ConfigError("RuntimeConfig::threads_per_pe must be in 1..8, got " +
+                      std::to_string(config_.threads_per_pe));
+  }
   // Self-configuration (paper §IV-B): read the parameters from the
   // accelerator instead of asking the user for them.
   for (std::size_t pe = 0; pe < device_.pe_count(); ++pe) {

@@ -10,7 +10,17 @@ Device::Device(sim::ProcessRunner& runner,
                const compiler::DatapathModule& module,
                const arith::ArithBackend& backend, CompositionConfig config)
     : runner_(runner), config_(config) {
-  SPNHBM_REQUIRE(config_.pe_count >= 1, "composition needs at least one PE");
+  // Typed front-door validation: the autotuner probes the edges of this
+  // space on purpose, so out-of-range knobs must be catchable rejections,
+  // not logic errors or silently "fixed up" values.
+  if (config_.pe_count < 1) {
+    throw ConfigError("composition needs at least one PE, got " +
+                      std::to_string(config_.pe_count));
+  }
+  if (config_.hbm_pes_per_channel < 1) {
+    throw ConfigError("hbm_pes_per_channel must be >= 1, got " +
+                      std::to_string(config_.hbm_pes_per_channel));
+  }
   if (!config_.skip_placement_check) {
     fpga::DesignSpec spec;
     spec.platform = config_.platform;
@@ -34,21 +44,34 @@ Device::Device(sim::ProcessRunner& runner,
   accel_config.compute_results = config_.compute_results;
 
   if (config_.platform == fpga::Platform::kHbmXupVvh) {
-    SPNHBM_REQUIRE(config_.pe_count <= 32, "at most 32 HBM channels");
+    const int channels_needed =
+        (config_.pe_count + config_.hbm_pes_per_channel - 1) /
+        config_.hbm_pes_per_channel;
+    if (channels_needed > 32) {
+      throw ConfigError(std::to_string(config_.pe_count) + " PE(s) at " +
+                        std::to_string(config_.hbm_pes_per_channel) +
+                        " per channel need " +
+                        std::to_string(channels_needed) +
+                        " HBM channels; the device has 32");
+    }
     hbm::HbmDeviceConfig hbm_config;
     hbm_config.crossbar_enabled = config_.hbm_crossbar;
     hbm_ = std::make_unique<hbm::HbmDevice>(scheduler, hbm_config);
     for (int i = 0; i < config_.pe_count; ++i) {
       // PE -> register slice -> SmartConnect (clock/width/protocol
-      // conversion) -> dedicated HBM channel (paper §IV-A).
+      // conversion) -> HBM channel (paper §IV-A). With the default
+      // packing of one PE per channel this is the paper's dedicated
+      // channel; packed PEs share their channel's port and therefore
+      // serialise on its bandwidth.
+      const std::size_t channel = channel_of(static_cast<std::size_t>(i));
       smart_connects_.push_back(std::make_unique<axi::SmartConnect>(
-          scheduler, hbm_->port(static_cast<std::size_t>(i))));
+          scheduler, hbm_->port(channel)));
       register_slices_.push_back(std::make_unique<axi::RegisterSlice>(
           scheduler, *smart_connects_.back()));
       accel_config.label = "pe" + std::to_string(i);
       accelerators_.push_back(std::make_unique<fpga::SpnAccelerator>(
           runner, module, backend, *register_slices_.back(),
-          &hbm_->channel(static_cast<std::size_t>(i)), accel_config));
+          &hbm_->channel(channel), accel_config));
     }
   } else {
     SPNHBM_REQUIRE(config_.memory_channels >= 1 &&
@@ -80,11 +103,27 @@ fpga::SpnAccelerator& Device::pe(std::size_t index) {
 hbm::HbmChannel* Device::backing_channel(std::size_t pe_index) {
   SPNHBM_REQUIRE(pe_index < accelerators_.size(), "PE index out of range");
   if (!hbm_) return nullptr;
-  return &hbm_->channel(pe_index);
+  return &hbm_->channel(channel_of(pe_index));
+}
+
+std::size_t Device::channel_of(std::size_t pe_index) const {
+  return pe_index / static_cast<std::size_t>(config_.hbm_pes_per_channel);
+}
+
+std::uint64_t Device::channel_address(std::size_t pe_index,
+                                      std::uint64_t address) const {
+  if (!hbm_) return address;
+  const auto slot =
+      pe_index % static_cast<std::size_t>(config_.hbm_pes_per_channel);
+  return address + slot * memory_capacity_per_pe();
 }
 
 std::uint64_t Device::memory_capacity_per_pe() const {
-  if (hbm_) return hbm_->channel(0).config().capacity_bytes;
+  if (hbm_) {
+    // Packed PEs split their channel's 256 MiB region into equal slices.
+    return hbm_->channel(0).config().capacity_bytes /
+           static_cast<std::uint64_t>(config_.hbm_pes_per_channel);
+  }
   return ddr_channels_.front()->config().capacity_bytes /
          static_cast<std::uint64_t>(config_.pe_count);
 }
@@ -98,7 +137,7 @@ sim::Task<void> Device::dma_and_channel(std::size_t pe_index,
   // a bounded retry budget.
   constexpr int kMaxDmaAttempts = 8;
   auto& accel_port =
-      hbm_ ? hbm_->channel(pe_index).port()
+      hbm_ ? hbm_->channel(channel_of(pe_index)).port()
            : ddr_channels_[pe_index % ddr_channels_.size()]->port();
   const pcie::Direction direction = to_device
                                         ? pcie::Direction::kHostToDevice
@@ -133,28 +172,36 @@ sim::Task<void> Device::copy_to_device(std::size_t pe_index,
                                        std::uint64_t address,
                                        std::span<const std::uint8_t> data) {
   SPNHBM_REQUIRE(pe_index < accelerators_.size(), "PE index out of range");
-  co_await dma_and_channel(pe_index, address, data.size(), true);
-  if (hbm_) hbm_->channel(pe_index).write_backdoor(address, data);
+  const std::uint64_t device_address = channel_address(pe_index, address);
+  co_await dma_and_channel(pe_index, device_address, data.size(), true);
+  if (hbm_) {
+    hbm_->channel(channel_of(pe_index)).write_backdoor(device_address, data);
+  }
 }
 
 sim::Task<void> Device::copy_from_device(std::size_t pe_index,
                                          std::uint64_t address,
                                          std::span<std::uint8_t> out) {
   SPNHBM_REQUIRE(pe_index < accelerators_.size(), "PE index out of range");
-  co_await dma_and_channel(pe_index, address, out.size(), false);
-  if (hbm_) hbm_->channel(pe_index).read_backdoor(address, out);
+  const std::uint64_t device_address = channel_address(pe_index, address);
+  co_await dma_and_channel(pe_index, device_address, out.size(), false);
+  if (hbm_) {
+    hbm_->channel(channel_of(pe_index)).read_backdoor(device_address, out);
+  }
 }
 
 sim::Task<void> Device::copy_to_device_timed(std::size_t pe_index,
                                              std::uint64_t address,
                                              std::uint64_t bytes) {
-  co_await dma_and_channel(pe_index, address, bytes, true);
+  co_await dma_and_channel(pe_index, channel_address(pe_index, address),
+                           bytes, true);
 }
 
 sim::Task<void> Device::copy_from_device_timed(std::size_t pe_index,
                                                std::uint64_t address,
                                                std::uint64_t bytes) {
-  co_await dma_and_channel(pe_index, address, bytes, false);
+  co_await dma_and_channel(pe_index, channel_address(pe_index, address),
+                           bytes, false);
 }
 
 sim::Task<void> Device::launch_inference(std::size_t pe_index,
@@ -200,10 +247,13 @@ sim::Task<void> Device::launch_job(std::size_t pe_index,
         break;
     }
   }
-  // AXI4-Lite register writes + doorbell.
+  // AXI4-Lite register writes + doorbell. The PE addresses its channel
+  // slice directly, so the host driver writes translated addresses.
   co_await sim::delay(scheduler, fpga::cal::kJobLaunchOverhead / 2);
-  accelerator.write_register(fpga::Reg::kInputAddress, input_address);
-  accelerator.write_register(fpga::Reg::kOutputAddress, output_address);
+  accelerator.write_register(fpga::Reg::kInputAddress,
+                             channel_address(pe_index, input_address));
+  accelerator.write_register(fpga::Reg::kOutputAddress,
+                             channel_address(pe_index, output_address));
   accelerator.write_register(fpga::Reg::kSampleCount, samples);
   // Always written: a stale non-zero value from a previous sparse job
   // must not turn a dense launch sparse.

@@ -40,6 +40,12 @@ struct CompositionConfig {
   int memory_channels = 1;
   /// HBM only: route PEs through the (slower) global crossbar.
   bool hbm_crossbar = false;
+  /// HBM only: PEs sharing one channel. 1 composes the paper's
+  /// dedicated-channel architecture; k > 1 packs k PEs onto each channel
+  /// (they contend for its bandwidth and split its capacity), which frees
+  /// channels for other tenants on a partitioned device. The autotuner
+  /// searches this dimension.
+  int hbm_pes_per_channel = 1;
   int pcie_generation = 3;
   /// Evaluate samples functionally (disable for timing-only sweeps).
   bool compute_results = true;
@@ -108,6 +114,12 @@ class Device {
   hbm::HbmChannel* backing_channel(std::size_t pe_index);
 
  private:
+  /// Channel backing PE `pe_index` under the configured packing.
+  std::size_t channel_of(std::size_t pe_index) const;
+  /// Translates a PE-relative device address into the PE's slice of its
+  /// (possibly shared) channel.
+  std::uint64_t channel_address(std::size_t pe_index,
+                                std::uint64_t address) const;
   sim::Task<void> dma_and_channel(std::size_t pe_index, std::uint64_t address,
                                   std::uint64_t bytes, bool to_device);
   sim::Task<void> launch_job(std::size_t pe_index, std::uint64_t input_address,

@@ -1,0 +1,79 @@
+// The configuration autotuner: grid seed + hill-climbing refinement over
+// the serving knobs {block_samples, pe_count, hbm channel packing,
+// crossbar routing, batch_samples, flush_deadline_us}, scored by the
+// calibrated simulator (cost_model.hpp) on a representative workload.
+//
+// The search is deterministic: the workload trace is seeded, the grid is
+// a fixed list, the climb always moves to the best strictly-improving
+// neighbour, and every number in the search log is formatted with fixed
+// precision — so the same model + spec + seed reproduces the same log
+// byte for byte and the same winning config. Infeasible candidates
+// (placement deficits, invalid knob combinations, device memory
+// exhaustion) are logged with their typed rejection and treated as walls.
+//
+// tune() returns both the winner and the baseline it had to beat —
+// default_config(), the hand-picked defaults a careful operator would
+// choose without a tuner (calibrated block size, maximum routable PEs,
+// dedicated HBM channels, a round batch size) — plus a ready-to-save
+// TuningManifest via TuneResult::manifest().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spnhbm/fpga/resource_model.hpp"
+#include "spnhbm/model/artifact.hpp"
+#include "spnhbm/model/tuning.hpp"
+#include "spnhbm/tune/cost_model.hpp"
+#include "spnhbm/tune/workload.hpp"
+
+namespace spnhbm::tune {
+
+struct TuneOptions {
+  /// The representative workload each candidate is scored on.
+  WorkloadSpec workload;
+  /// Overrides workload.seed when nonzero (the CLI's --seed).
+  std::uint64_t seed = 0;
+  /// Search budget: total candidates scored (baseline + grid + climb).
+  /// The climb stops early when no neighbour improves.
+  std::size_t max_evaluations = 48;
+  /// Upper bound on searched PE counts; 0 = the platform's routable
+  /// maximum for this model. Lower it to tune for a partition slice.
+  int max_pe_count = 0;
+  fpga::Platform platform = fpga::Platform::kHbmXupVvh;
+};
+
+struct TuneResult {
+  model::TunedConfig best;
+  CandidateScore best_score;
+  /// What the search had to beat; see default_config().
+  model::TunedConfig baseline;
+  CandidateScore baseline_score;
+  std::uint64_t candidates_evaluated = 0;
+  /// The seed the trajectory actually used (options.seed or the
+  /// workload's); recorded in the manifest for reproduction.
+  std::uint64_t seed = 0;
+  /// Structured, line-oriented log of the whole trajectory —
+  /// byte-identical across runs with the same inputs.
+  std::string search_log;
+
+  /// True when the search found something strictly better than baseline.
+  bool improved() const { return best_score.better_than(baseline_score); }
+  /// Assembles the versioned manifest for `artifact` (which must be the
+  /// tuned model: the manifest embeds its content hash and query kind).
+  model::TuningManifest manifest(const model::ModelArtifact& artifact) const;
+};
+
+/// The hand-picked defaults the tuner must beat: calibrated block size,
+/// the largest routable PE count (capped at `max_pe_count` when > 0),
+/// dedicated HBM channels, no crossbar, batch=1024, 1 ms flush.
+model::TunedConfig default_config(const model::ModelArtifact& artifact,
+                                  fpga::Platform platform,
+                                  int max_pe_count = 0);
+
+/// Runs the full search for `model`. Throws ConfigError when even the
+/// baseline is infeasible (the model cannot serve on the platform at all).
+TuneResult tune(const model::ModelHandle& model,
+                const TuneOptions& options = {});
+
+}  // namespace spnhbm::tune

@@ -1,0 +1,49 @@
+// Representative serving workloads for the autotuner.
+//
+// The tuner does not score candidates on a synthetic steady-state stream:
+// batching and flush-deadline knobs only matter under a request mix with
+// sizes and arrival gaps. A WorkloadSpec describes that mix — request
+// count, sample-count distribution, open-loop arrival rate, dense/sparse
+// split — and make_trace() expands it into a deterministic request trace
+// (seeded xoshiro, no wall-clock entropy), so the same spec + seed always
+// yields the same trajectory through the cost model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spnhbm::tune {
+
+struct WorkloadSpec {
+  /// Requests in the trace.
+  std::size_t requests = 48;
+  /// Mean samples per request; individual requests draw log-uniformly
+  /// from [mean/4, mean*4] (heavy-ish tail, like real batch queries).
+  std::size_t mean_request_samples = 4096;
+  /// Open-loop mean inter-arrival gap in (virtual) microseconds,
+  /// exponentially distributed. 0 = everything arrives at time zero
+  /// (a pure-throughput workload; flush deadlines become irrelevant).
+  std::uint64_t mean_interarrival_us = 200;
+  /// Fraction of requests submitted as sparse CSR evidence streams.
+  double sparse_fraction = 0.0;
+  /// Active-feature fraction of each sparse request.
+  double sparse_density = 0.25;
+  /// Seed of the whole trace (sizes, gaps, sparse placement).
+  std::uint64_t seed = 42;
+
+  /// "requests=48 mean_samples=4096 interarrival_us=200 ..."
+  std::string describe() const;
+};
+
+/// One request of the expanded trace.
+struct WorkloadRequest {
+  std::uint64_t arrival_us = 0;  ///< virtual arrival time
+  std::size_t samples = 0;
+  bool sparse = false;
+};
+
+/// Expands `spec` into its deterministic trace, sorted by arrival.
+std::vector<WorkloadRequest> make_trace(const WorkloadSpec& spec);
+
+}  // namespace spnhbm::tune

@@ -1,0 +1,204 @@
+#include "spnhbm/tune/tuner.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "spnhbm/compiler/datapath.hpp"
+#include "spnhbm/util/error.hpp"
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::tune {
+namespace {
+
+constexpr std::size_t kMinBlock = std::size_t{1} << 10;
+constexpr std::size_t kMaxBlock = std::size_t{1} << 20;
+constexpr std::size_t kMinBatch = 64;
+constexpr std::size_t kMaxBatch = std::size_t{1} << 16;
+constexpr std::uint64_t kMinFlushUs = 100;
+constexpr std::uint64_t kMaxFlushUs = 10000;
+
+/// A climb move: label for the search log + the mutation it applies.
+struct Move {
+  const char* label;
+  void (*apply)(model::TunedConfig&, int max_pe);
+};
+
+constexpr Move kMoves[] = {
+    {"block/2",
+     [](model::TunedConfig& c, int) {
+       c.block_samples = std::max(c.block_samples / 2, kMinBlock);
+     }},
+    {"block*2",
+     [](model::TunedConfig& c, int) {
+       c.block_samples = std::min(c.block_samples * 2, kMaxBlock);
+     }},
+    {"batch/2",
+     [](model::TunedConfig& c, int) {
+       c.batch_samples = std::max(c.batch_samples / 2, kMinBatch);
+     }},
+    {"batch*2",
+     [](model::TunedConfig& c, int) {
+       c.batch_samples = std::min(c.batch_samples * 2, kMaxBatch);
+     }},
+    {"flush/2",
+     [](model::TunedConfig& c, int) {
+       c.flush_deadline_us = std::max(c.flush_deadline_us / 2, kMinFlushUs);
+     }},
+    {"flush*2",
+     [](model::TunedConfig& c, int) {
+       c.flush_deadline_us = std::min(c.flush_deadline_us * 2, kMaxFlushUs);
+     }},
+    {"pe-1",
+     [](model::TunedConfig& c, int) { c.pe_count = std::max(c.pe_count - 1, 1); }},
+    {"pe+1",
+     [](model::TunedConfig& c, int max_pe) {
+       c.pe_count = std::min(c.pe_count + 1, max_pe);
+     }},
+    {"pack",
+     [](model::TunedConfig& c, int) {
+       c.hbm_pes_per_channel = c.hbm_pes_per_channel == 1 ? 2 : 1;
+     }},
+    {"xbar",
+     [](model::TunedConfig& c, int) { c.hbm_crossbar = !c.hbm_crossbar; }},
+};
+
+}  // namespace
+
+model::TunedConfig default_config(const model::ModelArtifact& artifact,
+                                  fpga::Platform platform, int max_pe_count) {
+  model::TunedConfig config;
+  config.block_samples = fpga::cal::kDefaultBlockSamples;
+  config.pe_count = fpga::max_placeable_pes(artifact.module(),
+                                            artifact.backend().kind(), platform);
+  if (max_pe_count > 0) config.pe_count = std::min(config.pe_count, max_pe_count);
+  config.hbm_pes_per_channel = 1;
+  config.hbm_crossbar = false;
+  config.batch_samples = 1024;
+  config.flush_deadline_us = 1000;
+  return config;
+}
+
+model::TuningManifest TuneResult::manifest(
+    const model::ModelArtifact& artifact) const {
+  model::TuningManifest manifest;
+  manifest.model_id = artifact.id();
+  manifest.content_hash_hex = artifact.content_hash_hex();
+  manifest.query = compiler::query_kind_name(artifact.module().query());
+  manifest.seed = seed;
+  manifest.config = best;
+  manifest.tuned_samples_per_second = best_score.samples_per_second;
+  manifest.baseline_samples_per_second = baseline_score.samples_per_second;
+  manifest.candidates_evaluated = candidates_evaluated;
+  return manifest;
+}
+
+TuneResult tune(const model::ModelHandle& model, const TuneOptions& options) {
+  TuneResult result;
+  result.seed = options.seed != 0 ? options.seed : options.workload.seed;
+  WorkloadSpec spec = options.workload;
+  spec.seed = result.seed;
+  const auto trace = make_trace(spec);
+
+  const int placeable = fpga::max_placeable_pes(
+      model->module(), model->backend().kind(), options.platform);
+  const int max_pe = options.max_pe_count > 0
+                         ? std::min(options.max_pe_count, placeable)
+                         : placeable;
+
+  std::string log;
+  log += "# spnhbm tune v1\n";
+  log += strformat("# model %s hash=%s query=%s\n", model->id().c_str(),
+                   model->content_hash_hex().c_str(),
+                   compiler::query_kind_name(model->module().query()));
+  log += "# workload " + spec.describe() + "\n";
+  log += strformat("# budget max_evaluations=%zu max_pe=%d\n",
+                   options.max_evaluations, max_pe);
+
+  // Score cache keyed on the config's canonical description — revisiting
+  // a config (grid overlap, climb backtrack) is free and not re-counted
+  // against the budget.
+  std::set<std::string> visited;
+  std::uint64_t evaluations = 0;
+  auto evaluate = [&](const model::TunedConfig& config) {
+    ++evaluations;
+    return score_candidate(model, config, spec, trace, options.platform);
+  };
+
+  result.baseline = default_config(*model, options.platform, options.max_pe_count);
+  result.baseline_score = evaluate(result.baseline);
+  visited.insert(result.baseline.describe());
+  log += "baseline " + result.baseline.describe() + " -> " +
+         result.baseline_score.describe() + "\n";
+  if (!result.baseline_score.feasible) {
+    throw ConfigError("tuning baseline is infeasible for " + model->id() +
+                      ": " + result.baseline_score.rejection);
+  }
+
+  result.best = result.baseline;
+  result.best_score = result.baseline_score;
+
+  auto consider = [&](const model::TunedConfig& config, const char* origin) {
+    if (evaluations >= options.max_evaluations) return false;
+    if (!visited.insert(config.describe()).second) return false;
+    const auto score = evaluate(config);
+    const bool improved = score.better_than(result.best_score);
+    log += strformat("eval %llu %s ",
+                     static_cast<unsigned long long>(evaluations), origin) +
+           config.describe() + " -> " + score.describe() +
+           (improved ? " [best]\n" : "\n");
+    if (improved) {
+      result.best = config;
+      result.best_score = score;
+    }
+    return improved;
+  };
+
+  // --- Grid seed: the coarse corners of the space -------------------------
+  const std::size_t blocks[] = {std::size_t{1} << 14, std::size_t{1} << 16,
+                                std::size_t{1} << 18};
+  const int pes[] = {1, max_pe};
+  for (const auto block : blocks) {
+    for (const auto pe : pes) {
+      // Blocks are the distribution granule: a batch smaller than
+      // block*pe leaves PEs idle, so the grid pairs every (block, pe)
+      // corner with one batch that keeps every PE busy ("full") next to
+      // the fixed sizes — without it, hill climbing can never cross the
+      // ridge from small-batch/one-PE configs to batch-parallel ones.
+      const std::size_t full = std::clamp(
+          block * static_cast<std::size_t>(pe), kMinBatch, kMaxBatch);
+      const std::size_t batches[] = {1024, 4096, full};
+      for (const auto batch : batches) {
+        model::TunedConfig candidate = result.baseline;
+        candidate.block_samples = block;
+        candidate.pe_count = pe;
+        candidate.batch_samples = batch;
+        consider(candidate, "grid");
+      }
+    }
+  }
+
+  // --- Hill climb from the grid winner ------------------------------------
+  bool moved = true;
+  while (moved && evaluations < options.max_evaluations) {
+    moved = false;
+    const model::TunedConfig here = result.best;
+    for (const auto& move : kMoves) {
+      model::TunedConfig neighbour = here;
+      move.apply(neighbour, max_pe);
+      if (neighbour == here) continue;  // clamped into a no-op
+      const auto origin = std::string("climb[") + move.label + "]";
+      if (consider(neighbour, origin.c_str())) moved = true;
+    }
+  }
+
+  result.candidates_evaluated = evaluations;
+  log += "best " + result.best.describe() + " -> " +
+         result.best_score.describe() +
+         strformat(" after %llu evaluations\n",
+                   static_cast<unsigned long long>(evaluations));
+  result.search_log = std::move(log);
+  return result;
+}
+
+}  // namespace spnhbm::tune

@@ -1,0 +1,51 @@
+#include "spnhbm/tune/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spnhbm/util/rng.hpp"
+#include "spnhbm/util/strings.hpp"
+
+namespace spnhbm::tune {
+
+std::string WorkloadSpec::describe() const {
+  return strformat(
+      "requests=%zu mean_samples=%zu interarrival_us=%llu sparse=%.2f "
+      "density=%.2f seed=%llu",
+      requests, mean_request_samples,
+      static_cast<unsigned long long>(mean_interarrival_us), sparse_fraction,
+      sparse_density, static_cast<unsigned long long>(seed));
+}
+
+std::vector<WorkloadRequest> make_trace(const WorkloadSpec& spec) {
+  Rng sizes = Rng(spec.seed).fork(1);
+  Rng gaps = Rng(spec.seed).fork(2);
+  Rng kinds = Rng(spec.seed).fork(3);
+
+  std::vector<WorkloadRequest> trace;
+  trace.reserve(spec.requests);
+  std::uint64_t clock_us = 0;
+  const double mean = static_cast<double>(std::max<std::size_t>(
+      spec.mean_request_samples, 1));
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    WorkloadRequest request;
+    request.arrival_us = clock_us;
+    // Log-uniform in [mean/4, mean*4]: most requests sit near the mean,
+    // but both small interactive queries and big batch queries appear.
+    const double magnitude = sizes.next_uniform(-1.0, 1.0);
+    request.samples = static_cast<std::size_t>(
+        std::max(1.0, std::round(mean * std::pow(4.0, magnitude))));
+    request.sparse = kinds.next_double() < spec.sparse_fraction;
+    trace.push_back(request);
+    if (spec.mean_interarrival_us > 0) {
+      // Exponential gaps (Poisson arrivals); clamp the log argument away
+      // from zero so the trace never stalls on a pathological draw.
+      const double u = std::max(gaps.next_double(), 1e-12);
+      clock_us += static_cast<std::uint64_t>(std::ceil(
+          -std::log(u) * static_cast<double>(spec.mean_interarrival_us)));
+    }
+  }
+  return trace;
+}
+
+}  // namespace spnhbm::tune

@@ -52,6 +52,18 @@ class RuntimeApiError : public Error {
       : Error("runtime API error: " + what) {}
 };
 
+/// A knob value outside its valid range (zero block size, negative PE
+/// count, a batch target of zero next to a flush deadline, ...). Raised at
+/// the front door of the component that owns the knob, so a caller probing
+/// the edge of the configuration space — the autotuner does this on
+/// purpose — gets a typed, catchable rejection instead of a silently
+/// "fixed up" value or a late std::logic_error.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error("config error: " + what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void require_failed(const char* cond, const char* file,
                                         int line, const std::string& msg) {

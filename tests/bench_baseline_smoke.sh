@@ -18,6 +18,7 @@ mkdir -p "$WORK"
 SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/fig2_hbm_channel" > /dev/null
 SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/fig6_end_to_end" > /dev/null
 SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/sparse_vs_dense" > /dev/null
+SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/tuned_vs_default" > /dev/null
 
 # Fresh runs vs committed baselines: strict is safe here because every
 # compared field is simulated (the host-dependent CPU reference in fig6
@@ -29,6 +30,8 @@ SPNHBM_BENCH_JSON_DIR=$WORK "$BENCH_DIR/sparse_vs_dense" > /dev/null
   --ignore native_cpu_samples_per_s
 "$COMPARE" "$BASELINES/BENCH_sparse_vs_dense.json" \
   "$WORK/BENCH_sparse_vs_dense.json" --strict
+"$COMPARE" "$BASELINES/BENCH_tuned_vs_default.json" \
+  "$WORK/BENCH_tuned_vs_default.json" --strict
 echo "fresh runs reproduce the committed baselines"
 
 # A planted 50% throughput drop must warn by default and fail --strict.

@@ -161,11 +161,11 @@ TEST(InferenceRuntime, RejectsBadConfig) {
   RuntimeConfig config;
   config.block_samples = 0;
   EXPECT_THROW(InferenceRuntime(h.runner, *h.device, h.module, config),
-               std::logic_error);
+               ConfigError);
   RuntimeConfig config2;
   config2.threads_per_pe = 99;
   EXPECT_THROW(InferenceRuntime(h.runner, *h.device, h.module, config2),
-               std::logic_error);
+               ConfigError);
 }
 
 }  // namespace

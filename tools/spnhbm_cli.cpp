@@ -7,6 +7,25 @@
 //
 //   spnhbm resources <spn.txt> [--format ...] [--pes N] [--platform hbm|f1]
 //       Estimate the design's resource vector and placement feasibility.
+//       --sweep prints the max routable PE count for every arithmetic
+//       format on both platforms as a table, with the resource (or
+//       routing/channel cap) that blocks the next PE.
+//
+//   spnhbm tune <spn.txt|design.bin> [--format ...] [--query ...]
+//               [--seed S] [--budget N] [--pes N] [--platform hbm|f1]
+//               [--requests N] [--request-samples N] [--arrival-us U]
+//               [--sparse-fraction F] [--sparse-density D]
+//               [--out manifest.json] [--log search.log]
+//       Search the serving-configuration space {block_samples, pe_count,
+//       HBM channel packing, crossbar, batch_samples, flush_deadline_us}
+//       for this model: grid seed + hill climbing, every candidate scored
+//       by replaying a representative workload (--requests/--request-
+//       samples/--arrival-us/--sparse-*) through the calibrated simulator
+//       in virtual time. Deterministic in --seed: the search log (stdout,
+//       and --log FILE) is byte-identical across runs. --out writes the
+//       winning config as a versioned TuningManifest JSON keyed by the
+//       model's content hash + query kind; infer/serve load it back with
+//       --tuning and refuse manifests minted for different compiled bits.
 //
 //   spnhbm simulate <spn.txt> [--format ...] [--pes N] [--threads N]
 //                   [--samples N] [--no-transfers] [--pcie GEN]
@@ -21,7 +40,7 @@
 //
 //   spnhbm infer <spn.txt|design.bin> <samples.csv> [--engine fpga|cpu|gpu]
 //                [--query joint|marginal|mpe] [--sparse]
-//                [--evidence 'x3=1,x17=0' ...]
+//                [--evidence 'x3=1,x17=0' ...] [--tuning manifest.json]
 //       Run real samples (one CSV row of byte features per line) through
 //       the unified inference-engine interface (default: the simulated
 //       accelerator); print one probability per line. The model may be a
@@ -53,6 +72,13 @@
 //       --queries compiles and serves one lane per listed query kind —
 //       a marginal lane is addressed as "model@1#marginal" over the
 //       wire, or by a plain kRequest2 query-kind byte.
+//       --tuning manifest.json (repeatable; name=path with --model)
+//       applies a `spnhbm tune` manifest to the lane whose query kind it
+//       was minted for: the engine composes with the tuned block size and
+//       HBM channel packing, the lane batches to the tuned batch_samples
+//       and flush deadline, and --pes defaults to the tuned PE count.
+//       Fleet serving sizes each replica's partition from the manifest
+//       when --fleet-pe-slots is not given (deficit-checked placement).
 //
 //   spnhbm serve --model name=path[@version] [--model ...]
 //                --requests name=samples.csv [--requests ...]
@@ -181,6 +207,7 @@
 #include "spnhbm/fpga/resource_model.hpp"
 #include "spnhbm/model/artifact.hpp"
 #include "spnhbm/model/registry.hpp"
+#include "spnhbm/model/tuning.hpp"
 #include "spnhbm/rpc/client.hpp"
 #include "spnhbm/rpc/loadgen.hpp"
 #include "spnhbm/rpc/resilient_client.hpp"
@@ -194,6 +221,7 @@
 #include "spnhbm/spn/text_format.hpp"
 #include "spnhbm/telemetry/metrics.hpp"
 #include "spnhbm/telemetry/trace.hpp"
+#include "spnhbm/tune/tuner.hpp"
 #include "spnhbm/util/strings.hpp"
 #include "spnhbm/util/version.hpp"
 
@@ -204,8 +232,8 @@ using namespace spnhbm;
 [[noreturn]] void usage() {
   std::fputs(
       "usage: spnhbm "
-      "<compile|resources|simulate|infer|serve|loadgen|soak|top|learn|sample|"
-      "version> ...\n"
+      "<compile|resources|simulate|infer|serve|tune|loadgen|soak|top|learn|"
+      "sample|version> ...\n"
       "run with a command and -h for details (see the header of\n"
       "tools/spnhbm_cli.cpp)\n",
       stderr);
@@ -432,8 +460,49 @@ int cmd_compile(const Args& args) {
   return 0;
 }
 
+/// `resources --sweep`: the max routable PE count for every arithmetic
+/// format on both platforms, plus what blocks the next PE — a resource
+/// deficit row, or the platform's routing/channel cap.
+int cmd_resources_sweep(const Args& args) {
+  const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
+  std::printf("  %-8s %-8s %8s   %s\n", "format", "platform", "max PEs",
+              "next PE blocked by");
+  for (const char* format_name : {"cfp", "lns", "posit", "f64"}) {
+    const auto backend = backend_for(format_name);
+    const auto module = compiler::compile_spn(model, *backend);
+    for (const auto platform :
+         {fpga::Platform::kHbmXupVvh, fpga::Platform::kF1}) {
+      const bool f1 = platform == fpga::Platform::kF1;
+      const int max_pes =
+          fpga::max_placeable_pes(module, backend->kind(), platform);
+      std::string blocker;
+      fpga::DesignSpec next;
+      next.platform = platform;
+      next.pe_count = max_pes + 1;
+      next.memory_controllers =
+          f1 ? std::min(next.pe_count, fpga::cal::kF1MaxMemoryChannels) : 1;
+      try {
+        fpga::check_placement(module, backend->kind(), next);
+        // Resources would fit one more PE; the platform's discrete cap
+        // (F1 DDR channels / HBM routable replication) is the wall.
+        blocker = f1 ? strformat("DDR channel limit (%d)",
+                                 fpga::cal::kF1MaxMemoryChannels)
+                     : strformat("routing cap (%d)", fpga::cal::kMaxRoutablePes);
+      } catch (const fpga::PlacementDeficitError& e) {
+        blocker = e.deficits().front().describe();
+      } catch (const PlacementError& e) {
+        blocker = e.what();
+      }
+      std::printf("  %-8s %-8s %8d   %s\n", format_name, f1 ? "f1" : "hbm",
+                  max_pes, blocker.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_resources(const Args& args) {
   if (args.positional.empty()) usage();
+  if (args.flag("sweep")) return cmd_resources_sweep(args);
   const spn::Spn model = spn::parse_spn(read_file(args.positional[0]));
   const auto backend = backend_for(args.option("format", "cfp"));
   const auto module = compiler::compile_spn(model, *backend);
@@ -523,6 +592,31 @@ std::unique_ptr<engine::InferenceEngine> engine_for(const std::string& name,
     return std::make_unique<engine::GpuModelEngine>(std::move(model));
   }
   throw Error("unknown engine '" + name + "' (fpga|cpu|gpu)");
+}
+
+/// Loads one --tuning manifest file into a shareable handle.
+std::shared_ptr<const model::TuningManifest> load_tuning_file(
+    const std::string& path) {
+  return std::make_shared<const model::TuningManifest>(
+      model::TuningManifest::load(path));
+}
+
+/// Attaches `manifest` to the loaded query-kind variant it was minted
+/// for; attach_tuning() then verifies the content hash, so a manifest
+/// from different compiled bits is rejected before it can serve. Throws
+/// TuningError when no served variant carries the manifest's query.
+void attach_tuning_to_variants(
+    const std::shared_ptr<const model::TuningManifest>& manifest,
+    const std::vector<engine::ModelHandle>& variants) {
+  for (const auto& variant : variants) {
+    if (manifest->query ==
+        compiler::query_kind_name(variant->module().query())) {
+      variant->attach_tuning(manifest);
+      return;
+    }
+  }
+  throw model::TuningError("no served lane matches manifest query '" +
+                           manifest->query + "'");
 }
 
 /// Splits a CSV's byte matrix into per-row request payloads.
@@ -624,7 +718,17 @@ int cmd_infer(const Args& args) {
   const auto artifact = model::ModelArtifact::load_file(
       "model", "1", args.positional[0],
       backend_for(args.option("format", "cfp")), compile_options_for(query));
-  const auto engine = engine_for(args.option("engine", "fpga"), artifact, 1);
+  // --tuning: the engine composes with the manifest's block size and HBM
+  // packing automatically once the artifact carries it; the PE count is
+  // applied here, where a deficit still fails placement loudly.
+  int pes = 1;
+  const std::string tuning_path = args.option("tuning", "");
+  if (!tuning_path.empty()) {
+    const auto manifest = load_tuning_file(tuning_path);
+    artifact->attach_tuning(manifest);
+    pes = manifest->config.pe_count;
+  }
+  const auto engine = engine_for(args.option("engine", "fpga"), artifact, pes);
 
   if (!evidence_specs.empty()) {
     // Sparse evidence straight from the command line, one sample per
@@ -660,6 +764,60 @@ int cmd_infer(const Args& args) {
   return 0;
 }
 
+/// `spnhbm tune`: search the serving-configuration space for one model
+/// with the simulator as cost model; see the file header for the flags.
+int cmd_tune(const Args& args) {
+  if (args.positional.empty()) usage();
+  const auto query = compiler::parse_query_kind(args.option("query", "joint"));
+  const auto artifact = model::ModelArtifact::load_file(
+      "model", "1", args.positional[0],
+      backend_for(args.option("format", "cfp")), compile_options_for(query));
+
+  tune::TuneOptions options;
+  options.workload.requests = static_cast<std::size_t>(
+      std::atoll(args.option("requests", "48").c_str()));
+  options.workload.mean_request_samples = static_cast<std::size_t>(
+      std::atoll(args.option("request-samples", "4096").c_str()));
+  options.workload.mean_interarrival_us = static_cast<std::uint64_t>(
+      std::atoll(args.option("arrival-us", "200").c_str()));
+  options.workload.sparse_fraction =
+      std::strtod(args.option("sparse-fraction", "0").c_str(), nullptr);
+  options.workload.sparse_density =
+      std::strtod(args.option("sparse-density", "0.25").c_str(), nullptr);
+  options.seed = static_cast<std::uint64_t>(
+      std::atoll(args.option("seed", "0").c_str()));
+  options.max_evaluations = static_cast<std::size_t>(
+      std::atoll(args.option("budget", "48").c_str()));
+  options.max_pe_count = std::atoi(args.option("pes", "0").c_str());
+  options.platform = args.option("platform", "hbm") == "f1"
+                         ? fpga::Platform::kF1
+                         : fpga::Platform::kHbmXupVvh;
+
+  const tune::TuneResult result = tune::tune(artifact, options);
+  std::fputs(result.search_log.c_str(), stdout);
+  std::printf("baseline: %s -> %s\n", result.baseline.describe().c_str(),
+              result.baseline_score.describe().c_str());
+  std::printf("tuned:    %s -> %s (%+.1f%%)\n", result.best.describe().c_str(),
+              result.best_score.describe().c_str(),
+              100.0 * (result.best_score.samples_per_second /
+                           result.baseline_score.samples_per_second -
+                       1.0));
+
+  const std::string log_path = args.option("log", "");
+  if (!log_path.empty()) {
+    std::ofstream out(log_path);
+    if (!out) throw Error("cannot write search log: " + log_path);
+    out << result.search_log;
+    std::printf("search log written to %s\n", log_path.c_str());
+  }
+  const std::string out_path = args.option("out", "");
+  if (!out_path.empty()) {
+    result.manifest(*artifact).save(out_path);
+    std::printf("tuning manifest written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 engine::ServerConfig server_config_from_args(const Args& args) {
   engine::ServerConfig config;
   config.batch_samples = static_cast<std::size_t>(
@@ -683,7 +841,14 @@ engine::ServerConfig server_config_from_args(const Args& args) {
 /// `model`, wrapped in the chaos decorator when a fault plan is armed.
 void register_engines_for(engine::InferenceServer& server, const Args& args,
                           const engine::ModelHandle& model, bool chaos) {
-  const int pes = std::atoi(args.option("pes", "1").c_str());
+  // An explicit --pes always wins; otherwise a model with an attached
+  // tuning manifest gets its tuned PE count (composition still
+  // deficit-checks it), and an untuned model keeps the old default of 1.
+  const std::string pes_text = args.option("pes", "");
+  int pes = pes_text.empty() ? 1 : std::atoi(pes_text.c_str());
+  if (pes_text.empty()) {
+    if (const auto tuning = model->tuning()) pes = tuning->config.pe_count;
+  }
   for (const auto& spec : split(args.option("engines", "fpga,cpu"), ',')) {
     std::string name = spec;
     int priority = 0;
@@ -808,6 +973,7 @@ int cmd_serve_multi(const Args& args,
   // local CSV replays address by name.
   model::ModelRegistry registry;
   std::vector<engine::ModelHandle> loaded;
+  std::map<std::string, std::vector<engine::ModelHandle>> variants_by_name;
   for (const auto& raw : model_specs) {
     const ModelSpec spec = ModelSpec::parse(raw);
     for (const auto query : queries) {
@@ -816,9 +982,24 @@ int cmd_serve_multi(const Args& args,
           compile_options_for(query));
       if (query == queries.front()) registry.add(artifact);
       loaded.push_back(artifact);
+      variants_by_name[spec.name].push_back(artifact);
       std::fprintf(stderr, "loaded %s (%s)\n", artifact->describe().c_str(),
                    compiler::query_kind_name(query));
     }
+  }
+  // "--tuning name=manifest.json": attach to that model's matching
+  // query-kind variant before any engine composes against it.
+  for (const auto& raw : args.option_all("tuning")) {
+    const auto eq = raw.find('=');
+    if (eq == std::string::npos) {
+      throw Error("with --model, --tuning expects name=manifest.json");
+    }
+    const auto it = variants_by_name.find(raw.substr(0, eq));
+    if (it == variants_by_name.end()) {
+      throw Error("--tuning names unknown model '" + raw.substr(0, eq) + "'");
+    }
+    attach_tuning_to_variants(load_tuning_file(raw.substr(eq + 1)),
+                              it->second);
   }
 
   engine::InferenceServer server(server_config_from_args(args));
@@ -906,8 +1087,9 @@ int cmd_serve_fleet(const Args& args,
   const auto format = args.option("format", "cfp");
   const int replicas =
       std::max(1, std::atoi(args.option("fleet-replicas", "1").c_str()));
+  const std::string pe_slots_text = args.option("fleet-pe-slots", "");
   const int pe_slots =
-      std::max(1, std::atoi(args.option("fleet-pe-slots", "1").c_str()));
+      std::max(1, pe_slots_text.empty() ? 1 : std::atoi(pe_slots_text.c_str()));
 
   fleet::FleetConfig config;
   config.devices = devices;
@@ -915,19 +1097,42 @@ int cmd_serve_fleet(const Args& args,
   config.default_pe_slots = pe_slots;
   fleet::FleetRouter router(config);
   const auto queries = parse_queries(args);
+  std::map<std::string, std::vector<engine::ModelHandle>> variants_by_name;
+  std::vector<engine::ModelHandle> deploy_order;
   for (const auto& raw : model_specs) {
     const ModelSpec spec = ModelSpec::parse(raw);
     for (const auto query : queries) {
       const auto artifact = model::ModelArtifact::load_file(
           spec.name, spec.version, spec.path, backend_for(format),
           compile_options_for(query));
-      for (int r = 0; r < replicas; ++r) {
-        const auto location = router.deploy(artifact);
-        std::fprintf(stderr, "deployed %s (%s) -> %s/%s\n",
-                     artifact->id().c_str(), compiler::query_kind_name(query),
-                     router.device(location.member).name().c_str(),
-                     location.partition.c_str());
-      }
+      variants_by_name[spec.name].push_back(artifact);
+      deploy_order.push_back(artifact);
+    }
+  }
+  for (const auto& raw : args.option_all("tuning")) {
+    const auto eq = raw.find('=');
+    if (eq == std::string::npos) {
+      throw Error("with --model, --tuning expects name=manifest.json");
+    }
+    const auto it = variants_by_name.find(raw.substr(0, eq));
+    if (it == variants_by_name.end()) {
+      throw Error("--tuning names unknown model '" + raw.substr(0, eq) + "'");
+    }
+    attach_tuning_to_variants(load_tuning_file(raw.substr(eq + 1)),
+                              it->second);
+  }
+  for (const auto& artifact : deploy_order) {
+    for (int r = 0; r < replicas; ++r) {
+      // An explicit --fleet-pe-slots wins; otherwise deploy() sizes the
+      // partition from the model's tuning manifest (deficit-checked by
+      // the partition table) or the fleet default.
+      const auto location =
+          router.deploy(artifact, pe_slots_text.empty() ? 0 : pe_slots);
+      std::fprintf(stderr, "deployed %s (%s) -> %s/%s\n",
+                   artifact->id().c_str(),
+                   compiler::query_kind_name(artifact->module().query()),
+                   router.device(location.member).name().c_str(),
+                   location.partition.c_str());
     }
   }
   router.start();
@@ -993,6 +1198,9 @@ int cmd_serve(const Args& args) {
         "model", "1", args.positional[0],
         backend_for(args.option("format", "cfp")),
         compile_options_for(query)));
+  }
+  for (const auto& spec : args.option_all("tuning")) {
+    attach_tuning_to_variants(load_tuning_file(spec), artifacts);
   }
   const auto& artifact = artifacts.front();
 
@@ -1466,6 +1674,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "infer") return cmd_infer(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "tune") return cmd_tune(args);
     if (command == "loadgen") return cmd_loadgen(args);
     if (command == "soak") return cmd_soak(args);
     if (command == "top") return cmd_top(args);
